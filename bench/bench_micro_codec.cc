@@ -1,0 +1,76 @@
+// M3 — Object serialization microbenchmarks: the marshaling cost of every
+// fetch reply and WAL record.
+
+#include <benchmark/benchmark.h>
+
+#include "objectmodel/object.h"
+
+namespace idba {
+namespace {
+
+DatabaseObject WideLink(int attrs) {
+  DatabaseObject obj(Oid(7), 2, attrs);
+  for (int i = 0; i < attrs; ++i) {
+    switch (i % 4) {
+      case 0: obj.Set(i, Value(static_cast<int64_t>(i))); break;
+      case 1: obj.Set(i, Value(0.5 * i)); break;
+      case 2: obj.Set(i, Value("attribute-value-" + std::to_string(i))); break;
+      case 3: obj.Set(i, Value(Oid(i + 1))); break;
+    }
+  }
+  return obj;
+}
+
+void BM_ObjectEncode(benchmark::State& state) {
+  DatabaseObject obj = WideLink(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    Encoder enc(&buf);
+    obj.EncodeTo(&enc);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(obj.WireBytes()));
+}
+BENCHMARK(BM_ObjectEncode)->Arg(4)->Arg(28)->Arg(64);
+
+void BM_ObjectDecode(benchmark::State& state) {
+  DatabaseObject obj = WideLink(static_cast<int>(state.range(0)));
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  obj.EncodeTo(&enc);
+  for (auto _ : state) {
+    Decoder dec(buf);
+    DatabaseObject out;
+    benchmark::DoNotOptimize(DatabaseObject::DecodeFrom(&dec, &out));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_ObjectDecode)->Arg(4)->Arg(28)->Arg(64);
+
+void BM_VarintEncode(benchmark::State& state) {
+  std::vector<uint8_t> buf;
+  buf.reserve(1 << 16);
+  uint64_t v = 0x123456789ULL;
+  for (auto _ : state) {
+    buf.clear();
+    Encoder enc(&buf);
+    for (int i = 0; i < 100; ++i) enc.PutVarint(v + i);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_ObjectMemoryBytes(benchmark::State& state) {
+  DatabaseObject obj = WideLink(28);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.MemoryBytes());
+  }
+}
+BENCHMARK(BM_ObjectMemoryBytes);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// M5 — Core display-stack microbenchmarks: the per-operation costs of the
+// paper's contribution itself (display object refresh, DLC dispatch, DLM
+// notification-set maintenance, view materialization).
+
+#include <benchmark/benchmark.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+struct CoreFixture {
+  CoreFixture() {
+    NmsConfig config;
+    config.num_nodes = 32;
+    config.sites = 1;
+    deployment = std::make_unique<Deployment>();
+    db = PopulateNms(&deployment->server(), config).value();
+    dcs = RegisterNmsDisplayClasses(&deployment->display_schema(),
+                                    deployment->server().schema(), db.schema)
+              .value();
+  }
+  std::unique_ptr<Deployment> deployment;
+  NmsDatabase db;
+  NmsDisplayClasses dcs;
+};
+
+void BM_DisplayObjectRefresh(benchmark::State& state) {
+  CoreFixture fx;
+  auto session = fx.deployment->NewSession(100);
+  ActiveView* view = session->CreateView("v");
+  const DisplayClassDef* dc =
+      fx.deployment->display_schema().Find(fx.dcs.color_coded_link);
+  DisplayObject* dob = view->Materialize(dc, {fx.db.link_oids[0]}).value();
+  DatabaseObject image =
+      fx.deployment->server().heap().Read(fx.db.link_oids[0]).value();
+  const SchemaCatalog& cat = fx.deployment->server().schema();
+  std::vector<DatabaseObject> images = {image};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dob->Refresh(cat, images));
+  }
+}
+BENCHMARK(BM_DisplayObjectRefresh);
+
+void BM_DisplayObjectGetAttribute(benchmark::State& state) {
+  CoreFixture fx;
+  auto session = fx.deployment->NewSession(100);
+  ActiveView* view = session->CreateView("v");
+  const DisplayClassDef* dc =
+      fx.deployment->display_schema().Find(fx.dcs.color_coded_link);
+  DisplayObject* dob = view->Materialize(dc, {fx.db.link_oids[0]}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dob->Get("Utilization"));
+    benchmark::DoNotOptimize(dob->Get("Color"));
+  }
+}
+BENCHMARK(BM_DisplayObjectGetAttribute);
+
+void BM_NotificationDeliveryAndDispatch(benchmark::State& state) {
+  // Full path: commit -> DLM fan-out -> DLC dispatch -> view refresh,
+  // for a view of `range(0)` display-locked objects (one is updated).
+  CoreFixture fx;
+  auto viewer = fx.deployment->NewSession(100);
+  auto writer = fx.deployment->NewSession(101);
+  ActiveView* view = viewer->CreateView("v");
+  const DisplayClassDef* dc =
+      fx.deployment->display_schema().Find(fx.dcs.color_coded_link);
+  const int objs = static_cast<int>(state.range(0));
+  for (int i = 0; i < objs; ++i) {
+    (void)view->Materialize(dc, {fx.db.link_oids[i % fx.db.link_oids.size()]});
+  }
+  const SchemaCatalog& cat = fx.deployment->server().schema();
+  double util = 0.1;
+  for (auto _ : state) {
+    TxnId t = writer->client().Begin();
+    DatabaseObject link = writer->client().Read(t, fx.db.link_oids[0]).value();
+    util = util < 0.9 ? util + 0.01 : 0.1;
+    (void)link.SetByName(cat, "Utilization", Value(util));
+    (void)writer->client().Write(t, std::move(link));
+    (void)writer->client().Commit(t);
+    benchmark::DoNotOptimize(viewer->PumpOnce());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotificationDeliveryAndDispatch)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_DlmLockUnlock(benchmark::State& state) {
+  CoreFixture fx;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Oid oid = fx.db.link_oids[i % fx.db.link_oids.size()];
+    benchmark::DoNotOptimize(fx.deployment->dlm().Lock(100, oid, 0));
+    benchmark::DoNotOptimize(fx.deployment->dlm().Unlock(100, oid, 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_DlmLockUnlock);
+
+void BM_ViewPopulate(benchmark::State& state) {
+  CoreFixture fx;
+  auto session = fx.deployment->NewSession(100);
+  const DisplayClassDef* dc =
+      fx.deployment->display_schema().Find(fx.dcs.color_coded_link);
+  int round = 0;
+  for (auto _ : state) {
+    ActiveView* view = session->CreateView("v" + std::to_string(round++));
+    benchmark::DoNotOptimize(view->PopulateFromClass(dc));
+    (void)session->CloseView("v" + std::to_string(round - 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.db.link_oids.size()));
+}
+BENCHMARK(BM_ViewPopulate);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// M1 — Lock manager microbenchmarks: the per-operation costs behind E3's
+// "very small fraction of overhead" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "txn/lock_manager.h"
+
+namespace idba {
+namespace {
+
+void BM_LockUnlockS(benchmark::State& state) {
+  LockManager lm;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Oid oid(i % 1024 + 1);
+    benchmark::DoNotOptimize(lm.Lock(1, oid, LockMode::kS));
+    benchmark::DoNotOptimize(lm.Unlock(1, oid));
+    ++i;
+  }
+}
+BENCHMARK(BM_LockUnlockS);
+
+void BM_LockUnlockX(benchmark::State& state) {
+  LockManager lm;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Oid oid(i % 1024 + 1);
+    benchmark::DoNotOptimize(lm.Lock(1, oid, LockMode::kX));
+    benchmark::DoNotOptimize(lm.Unlock(1, oid));
+    ++i;
+  }
+}
+BENCHMARK(BM_LockUnlockX);
+
+void BM_DisplayLockUnlock(benchmark::State& state) {
+  LockManager lm;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Oid oid(i % 1024 + 1);
+    benchmark::DoNotOptimize(lm.Lock(100, oid, LockMode::kD));
+    benchmark::DoNotOptimize(lm.Unlock(100, oid));
+    ++i;
+  }
+}
+BENCHMARK(BM_DisplayLockUnlock);
+
+// X grant on an object already display-locked by N clients — the exact
+// extra work a commit pays per display-locked object.
+void BM_XLockWithDisplayHolders(benchmark::State& state) {
+  LockManager lm;
+  const int holders = static_cast<int>(state.range(0));
+  Oid oid(1);
+  for (int h = 0; h < holders; ++h) {
+    (void)lm.Lock(100 + h, oid, LockMode::kD);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.Lock(1, oid, LockMode::kX));
+    benchmark::DoNotOptimize(lm.Unlock(1, oid));
+  }
+}
+BENCHMARK(BM_XLockWithDisplayHolders)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DisplayHolderLookup(benchmark::State& state) {
+  LockManager lm;
+  const int holders = static_cast<int>(state.range(0));
+  Oid oid(1);
+  for (int h = 0; h < holders; ++h) {
+    (void)lm.Lock(100 + h, oid, LockMode::kD);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.DisplayLockHolders(oid));
+  }
+}
+BENCHMARK(BM_DisplayHolderLookup)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ReleaseAll(benchmark::State& state) {
+  LockManager lm;
+  const int locks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < locks; ++i) (void)lm.Lock(1, Oid(i + 1), LockMode::kS);
+    state.ResumeTiming();
+    lm.ReleaseAll(1);
+  }
+}
+BENCHMARK(BM_ReleaseAll)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// M2 — Storage microbenchmarks: buffer pool and heap store operation costs
+// (the substrate behind the fetch path of E1 and the churn of E8).
+
+#include <benchmark/benchmark.h>
+
+#include "storage/heap_store.h"
+#include "storage/wal.h"
+
+namespace idba {
+namespace {
+
+DatabaseObject MakeObj(uint64_t oid, size_t payload) {
+  DatabaseObject obj(Oid(oid), 1, 2);
+  obj.Set(0, Value(std::string(payload, 'b')));
+  obj.Set(1, Value(static_cast<int64_t>(oid)));
+  return obj;
+}
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 64});
+  { auto g = pool.FetchPage(0); }
+  for (auto _ : state) {
+    auto g = pool.FetchPage(0);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 8});
+  PageId p = 0;
+  for (auto _ : state) {
+    auto g = pool.FetchPage(p % 64);  // working set >> pool: always miss
+    benchmark::DoNotOptimize(g);
+    ++p;
+  }
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_HeapInsert(benchmark::State& state) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 1024});
+  auto store = std::move(HeapStore::Open(&pool, 0).value());
+  uint64_t oid = 1;
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Insert(MakeObj(oid++, payload)));
+  }
+}
+BENCHMARK(BM_HeapInsert)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_HeapRead(benchmark::State& state) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 1024});
+  auto store = std::move(HeapStore::Open(&pool, 0).value());
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    (void)store->Insert(MakeObj(i, 256));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Read(Oid(i % 1000 + 1)));
+    ++i;
+  }
+}
+BENCHMARK(BM_HeapRead);
+
+void BM_HeapUpdateInPlace(benchmark::State& state) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 1024});
+  auto store = std::move(HeapStore::Open(&pool, 0).value());
+  for (uint64_t i = 1; i <= 100; ++i) {
+    (void)store->Insert(MakeObj(i, 256));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Update(MakeObj(i % 100 + 1, 256)));
+    ++i;
+  }
+}
+BENCHMARK(BM_HeapUpdateInPlace);
+
+void BM_WalAppendFlush(benchmark::State& state) {
+  MemDisk disk;
+  Wal wal(&disk);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      WalRecord rec;
+      rec.type = WalRecordType::kUpdate;
+      rec.txn = 1;
+      rec.oid = Oid(i + 1);
+      rec.after = MakeObj(i + 1, 128);
+      benchmark::DoNotOptimize(wal.Append(std::move(rec)));
+    }
+    benchmark::DoNotOptimize(wal.Flush());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WalAppendFlush)->Arg(1)->Arg(16);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

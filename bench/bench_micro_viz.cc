@@ -1,0 +1,84 @@
+// M4 — Visualization layout microbenchmarks: Tree-Map and PDQ tree-browser
+// layout costs (the client-side redraw work of §4's prototype).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "viz/pdq_tree.h"
+#include "viz/treemap.h"
+
+namespace idba {
+namespace {
+
+TreemapNode BuildHierarchy(int fanout, int depth, Rng& rng) {
+  TreemapNode node;
+  node.label = "n";
+  if (depth == 0) {
+    node.weight = 1.0 + rng.NextDouble() * 9;
+    return node;
+  }
+  for (int i = 0; i < fanout; ++i) {
+    node.children.push_back(BuildHierarchy(fanout, depth - 1, rng));
+  }
+  return node;
+}
+
+void BM_TreemapSliceAndDice(benchmark::State& state) {
+  Rng rng(1);
+  TreemapNode root = BuildHierarchy(4, static_cast<int>(state.range(0)), rng);
+  Rect bounds{0, 0, 1024, 768};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayoutTreemap(root, bounds, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(root.TotalWeight()));
+}
+BENCHMARK(BM_TreemapSliceAndDice)->Arg(3)->Arg(5);
+
+void BM_TreemapSquarified(benchmark::State& state) {
+  Rng rng(1);
+  TreemapNode root = BuildHierarchy(4, static_cast<int>(state.range(0)), rng);
+  Rect bounds{0, 0, 1024, 768};
+  TreemapOptions opts;
+  opts.algorithm = TreemapAlgorithm::kSquarified;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayoutTreemap(root, bounds, opts));
+  }
+}
+BENCHMARK(BM_TreemapSquarified)->Arg(3)->Arg(5);
+
+PdqNode BuildPdq(int fanout, int depth, Rng& rng) {
+  PdqNode node;
+  node.label = "n";
+  node.attributes["Utilization"] = rng.NextDouble();
+  if (depth == 0) return node;
+  for (int i = 0; i < fanout; ++i) {
+    node.children.push_back(BuildPdq(fanout, depth - 1, rng));
+  }
+  return node;
+}
+
+void BM_PdqLayoutNoQueries(benchmark::State& state) {
+  Rng rng(2);
+  PdqNode root = BuildPdq(4, static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayoutPdqTree(root, {}));
+  }
+}
+BENCHMARK(BM_PdqLayoutNoQueries)->Arg(3)->Arg(5);
+
+void BM_PdqLayoutWithPruning(benchmark::State& state) {
+  Rng rng(2);
+  PdqNode root = BuildPdq(4, static_cast<int>(state.range(0)), rng);
+  std::vector<DynamicQuery> queries = {
+      {DynamicQuery::kAllLevels, "Utilization", 0.0, 0.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayoutPdqTree(root, queries));
+  }
+}
+BENCHMARK(BM_PdqLayoutWithPruning)->Arg(3)->Arg(5);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E10 — Cost-model sensitivity ablation (DESIGN.md): how the paper's
+// propagation numbers move across network eras, holding the protocol
+// fixed. Shows (a) which design conclusions are era-independent (message
+// COUNTS, protocol orderings) and (b) that the 1-2 s absolute number is a
+// property of the 1996 stack, not of display locking.
+
+#include "bench/exp_common.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+struct Era {
+  std::string label;
+  CostModelOptions cost;
+};
+
+std::vector<Era> Eras() {
+  Era paper;  // defaults: calibrated 1996 campus LAN + agent stack
+  paper.label = "1996 LAN (paper)";
+
+  Era y2005;
+  y2005.label = "2005 switched LAN";
+  y2005.cost.message_base = 5 * kVMillisecond;
+  y2005.cost.network_bandwidth_bps = 125'000'000;  // 1 Gbit
+  y2005.cost.disk_seek = 8 * kVMillisecond;
+  y2005.cost.disk_page_transfer = 100;  // 0.1 ms
+  y2005.cost.server_request_cpu = 300;
+  y2005.cost.display_refresh_cpu = 1 * kVMillisecond;
+  y2005.cost.notification_dispatch_cpu = 100;
+
+  Era modern;
+  modern.label = "modern DC + SSD";
+  modern.cost.message_base = 200;  // 0.2 ms RPC
+  modern.cost.network_bandwidth_bps = 1'250'000'000;  // 10 Gbit
+  modern.cost.disk_seek = 100;     // SSD
+  modern.cost.disk_page_transfer = 10;
+  modern.cost.server_request_cpu = 50;
+  modern.cost.display_refresh_cpu = 200;
+  modern.cost.notification_dispatch_cpu = 20;
+  return {paper, y2005, modern};
+}
+
+void RunRow(const Era& era, bool eager, Table* table) {
+  DeploymentOptions dopts;
+  dopts.cost = era.cost;
+  dopts.dlm.eager_shipping = eager;
+  NmsConfig net;
+  net.num_nodes = 16;
+  net.sites = 1;
+  Testbed tb = MakeTestbed(dopts, net);
+
+  auto viewer = tb.dep().NewSession(100);
+  ActiveView* view = viewer->CreateView("links");
+  const DisplayClassDef* dc = tb.Dc(tb.dcs.color_coded_link);
+  for (int i = 0; i < 10; ++i) {
+    (void)view->Materialize(dc, {tb.db.link_oids[i]});
+  }
+  auto writer = tb.dep().NewSession(50);
+  uint64_t msgs0 = tb.dep().bus().messages_sent() + tb.dep().meter().messages();
+
+  Rng rng(1);
+  const int kUpdates = 30;
+  for (int u = 0; u < kUpdates; ++u) {
+    (void)UpdateUtilization(&writer->client(), tb.db.link_oids[rng.NextBelow(10)],
+                            rng.NextDouble());
+    viewer->PumpOnce();
+  }
+  double msgs_per_update =
+      static_cast<double>(tb.dep().bus().messages_sent() +
+                          tb.dep().meter().messages() - msgs0) /
+      kUpdates;
+  table->AddRow({era.label, eager ? "eager" : "lazy",
+                 Fmt("%.1f", view->propagation_ms().mean()),
+                 Fmt("%.1f", view->propagation_ms().Percentile(0.95)),
+                 Fmt("%.1f", msgs_per_update)});
+}
+
+void Run() {
+  Banner("E10", "cost-model era ablation",
+         "the 1-2 s absolute latency is a property of the 1996 stack; the "
+         "protocol structure (message counts, lazy>eager ordering) is "
+         "era-independent");
+  Table table({"era", "protocol", "propagation mean ms", "p95 ms",
+               "msgs/update"});
+  for (const Era& era : Eras()) {
+    RunRow(era, /*eager=*/false, &table);
+    RunRow(era, /*eager=*/true, &table);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: per-era absolute latencies span ~3 orders of\n"
+      "magnitude, yet messages/update and the lazy-vs-eager gap structure\n"
+      "are identical — confirming the reproduction's relative results do\n"
+      "not depend on the 1996 calibration.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

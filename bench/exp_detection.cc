@@ -1,0 +1,153 @@
+// E9 — Detection-based vs avoidance-based cache consistency (paper §3.3).
+//
+// Paper: "Detection-based protocols, which allow stale copies of data to
+// reside in the client's cache, are not suitable for display objects...
+// The user interface, therefore, needs to be somehow notified on relevant
+// data updates... This makes avoidance-based protocols more appropriate."
+//
+// Two measurements:
+//  (a) Staleness: how much of a client's cached working set is stale after
+//      a burst of remote updates — avoidance keeps it at zero by callback,
+//      detection lets it rot silently (what a display must never do).
+//  (b) Transaction behaviour under contention: detection converts
+//      conflicts into commit-time validation aborts (optimistic), while
+//      avoidance blocks/deadlocks (pessimistic). Both serialize correctly;
+//      the display-relevant difference is (a).
+
+#include <thread>
+
+#include "bench/exp_common.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+void RunStalenessRow(ConsistencyMode mode, int updates, Table* table) {
+  NmsConfig net;
+  net.num_nodes = 48;
+  Testbed tb = MakeTestbed({}, net);
+  DatabaseClientOptions copts;
+  copts.consistency = mode;
+  DatabaseClient viewer(&tb.dep().server(), 100, &tb.dep().meter(),
+                        &tb.dep().bus(), copts);
+  // Viewer caches every link (its "displayed" working set).
+  for (Oid oid : tb.db.link_oids) (void)viewer.ReadCurrent(oid);
+  size_t cached = viewer.cache().entry_count();
+
+  // A remote writer updates a subset.
+  auto writer = tb.dep().NewSession(50);
+  Rng rng(5);
+  for (int u = 0; u < updates; ++u) {
+    (void)UpdateUtilization(&writer->client(),
+                            tb.db.link_oids[rng.NextBelow(tb.db.link_oids.size())],
+                            rng.NextDouble());
+  }
+
+  // Count stale cache entries against the server's heap.
+  const SchemaCatalog& cat = tb.dep().server().schema();
+  (void)cat;
+  size_t stale = 0;
+  for (Oid oid : tb.db.link_oids) {
+    auto cached_copy = viewer.cache().Get(oid);
+    if (!cached_copy.has_value()) continue;
+    auto current = tb.dep().server().heap().Read(oid);
+    if (current.ok() && current.value().version() != cached_copy->version()) {
+      ++stale;
+    }
+  }
+  table->AddRow({mode == ConsistencyMode::kAvoidance ? "avoidance (paper)"
+                                                     : "detection",
+                 FmtInt(cached), FmtInt(updates), FmtInt(stale),
+                 Fmt("%.0f%%", cached ? 100.0 * stale / cached : 0)});
+}
+
+void RunContentionRow(ConsistencyMode mode, int clients, Table* table) {
+  NmsConfig net;
+  net.num_nodes = 8;
+  Testbed tb = MakeTestbed({}, net);
+  const SchemaCatalog& cat = tb.dep().server().schema();
+
+  std::vector<std::unique_ptr<DatabaseClient>> workers;
+  for (int c = 0; c < clients; ++c) {
+    DatabaseClientOptions copts;
+    copts.consistency = mode;
+    workers.push_back(std::make_unique<DatabaseClient>(
+        &tb.dep().server(), 100 + c, &tb.dep().meter(), &tb.dep().bus(), copts));
+  }
+  std::atomic<uint64_t> commits{0}, aborts{0};
+  std::vector<std::thread> threads;
+  for (auto& worker : workers) {
+    threads.emplace_back([&, w = worker.get()] {
+      Rng rng(reinterpret_cast<uintptr_t>(w));
+      for (int i = 0; i < 150; ++i) {
+        Oid oid = tb.db.link_oids[rng.NextBelow(4)];  // hot set of 4
+        TxnId t = w->Begin();
+        auto obj = w->Read(t, oid);
+        if (!obj.ok()) {
+          (void)w->Abort(t);
+          aborts.fetch_add(1);
+          continue;
+        }
+        DatabaseObject o = std::move(obj).value();
+        (void)o.SetByName(cat, "CostMetric", int64_t(i));
+        if (!w->Write(t, std::move(o)).ok()) {
+          (void)w->Abort(t);
+          aborts.fetch_add(1);
+          continue;
+        }
+        if (w->Commit(t).ok()) {
+          commits.fetch_add(1);
+        } else {
+          aborts.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t attempts = commits.load() + aborts.load();
+  table->AddRow({mode == ConsistencyMode::kAvoidance ? "avoidance (paper)"
+                                                     : "detection",
+                 FmtInt(clients), FmtInt(attempts), FmtInt(commits.load()),
+                 FmtInt(aborts.load()),
+                 Fmt("%.1f%%", attempts ? 100.0 * aborts.load() / attempts : 0)});
+}
+
+void Run() {
+  Banner("E9", "detection-based vs avoidance-based cache consistency",
+         "detection-based protocols allow stale copies in the client cache "
+         "and are therefore unsuitable for display objects");
+  std::printf("(a) cached working-set staleness after remote updates:\n");
+  Table staleness({"protocol", "cached objs", "remote updates", "stale",
+                   "stale %"});
+  for (int updates : {10, 40, 160}) {
+    RunStalenessRow(ConsistencyMode::kAvoidance, updates, &staleness);
+    RunStalenessRow(ConsistencyMode::kDetection, updates, &staleness);
+  }
+  staleness.Print();
+
+  std::printf("\n(b) update transactions under contention (hot set of 4):\n");
+  Table contention({"protocol", "clients", "attempts", "commits", "aborts",
+                    "abort %"});
+  for (int clients : {2, 4, 8}) {
+    RunContentionRow(ConsistencyMode::kAvoidance, clients, &contention);
+    RunContentionRow(ConsistencyMode::kDetection, clients, &contention);
+  }
+  contention.Print();
+  std::printf(
+      "\nexpected shape: (a) avoidance keeps staleness at exactly 0 (every\n"
+      "remote copy is called back before the commit returns); detection's\n"
+      "staleness grows with the update count — a display built on it shows\n"
+      "wrong data until some validation event. (b) both families\n"
+      "serialize updates; detection pays with validation aborts at commit,\n"
+      "avoidance with blocking — the display-relevant difference is (a),\n"
+      "which is why the paper builds display locks on avoidance.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E8 — Double caching ablation: display cache vs DB-cache-only GUI
+// (paper §2.2 / §3.2).
+//
+// Paper: with database caching alone, applications "cannot 'pin' data
+// there... the buffer manager may drop an object out of the buffer...
+// As a result, a simple user action such as zooming or panning that
+// involves that object may be unexpectedly delayed until it is brought
+// back into the buffer." The display cache is "explicitly managed by the
+// application... not affected either by DBMS policies and parameters or
+// by other concurrent user accesses" — making interaction latency
+// predictable.
+//
+// A user pans/zooms over a view of V links while the same client also runs
+// a query workload (hardware scans) that churns its small DB cache.
+// Interaction latency (virtual) is measured per user action.
+
+#include "bench/exp_common.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+void RunRow(bool use_display_cache, size_t db_cache_bytes, Table* table) {
+  NmsConfig net;
+  net.num_nodes = 48;
+  net.sites = 2;
+  net.racks_per_building = 3;
+  Testbed tb = MakeTestbed({}, net);
+
+  DatabaseClientOptions copts;
+  copts.cache.capacity_bytes = db_cache_bytes;
+  auto session = tb.dep().NewSession(100, copts);
+  DatabaseClient& client = session->client();
+  const DisplayClassDef* dc = tb.Dc(tb.dcs.color_coded_link);
+  const CostModel& cm = tb.dep().bus().cost_model();
+
+  constexpr size_t kViewObjs = 24;
+  ActiveView* view = session->CreateView("links");
+  std::vector<Oid> shown;
+  for (size_t i = 0; i < kViewObjs; ++i) {
+    Oid oid = tb.db.link_oids[i];
+    shown.push_back(oid);
+    (void)view->Materialize(dc, {oid});
+  }
+
+  Histogram interaction_ms;
+  Rng rng(11);
+  const SchemaCatalog& cat = client.schema();
+  for (int action = 0; action < 300; ++action) {
+    // Background query work of the same application: scan some hardware
+    // objects through the DB cache (this is what churns it).
+    for (int q = 0; q < 8; ++q) {
+      Oid hw = tb.db.all_hardware_oids[rng.NextBelow(
+          tb.db.all_hardware_oids.size())];
+      (void)client.ReadCurrent(hw);
+    }
+    // User action: pan/zoom touching 4 displayed elements.
+    VTime start = client.clock().Now();
+    for (int k = 0; k < 4; ++k) {
+      Oid oid = shown[rng.NextBelow(shown.size())];
+      if (use_display_cache) {
+        // GUI state lives in the pinned display object: no DB access.
+        DisplayObject* dob = view->display_objects()[0];
+        for (DisplayObject* candidate : view->display_objects()) {
+          if (candidate->sources()[0] == oid) dob = candidate;
+        }
+        (void)dob->Get("Utilization");
+        (void)dob->Get("Color");
+        client.clock().Advance(cm.NotificationDispatchCpu());
+      } else {
+        // Baseline GUI keeps only OIDs and re-derives from the DB cache —
+        // subject to whatever the buffer manager kept around.
+        auto obj = client.ReadCurrent(oid);
+        if (obj.ok()) {
+          (void)obj.value().GetByName(cat, "Utilization");
+        }
+        client.clock().Advance(cm.NotificationDispatchCpu());
+      }
+    }
+    interaction_ms.Record(
+        static_cast<double>(client.clock().Now() - start) / kVMillisecond);
+  }
+
+  table->AddRow({use_display_cache ? "display cache (paper)" : "DB cache only",
+                 FmtInt(db_cache_bytes / 1024),
+                 Fmt("%.0f", interaction_ms.Percentile(0.5)),
+                 Fmt("%.0f", interaction_ms.Percentile(0.95)),
+                 Fmt("%.0f", interaction_ms.Percentile(0.99)),
+                 Fmt("%.0f", interaction_ms.max()),
+                 FmtInt(client.cache().misses())});
+}
+
+void Run() {
+  Banner("E8", "double caching vs DB-cache-only GUI (ablation)",
+         "pinned display objects make interaction latency predictable; with "
+         "DB caching alone, cache churn makes pans/zooms unexpectedly slow");
+  Table table({"GUI design", "db cache KiB", "p50 ms", "p95 ms", "p99 ms",
+               "max ms", "db misses"});
+  for (size_t kib : {16, 64, 256}) {
+    RunRow(/*use_display_cache=*/true, kib * 1024, &table);
+    RunRow(/*use_display_cache=*/false, kib * 1024, &table);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: with the display cache, interaction latency is flat\n"
+      "(sub-ms virtual CPU) at every DB-cache size. Without it, tail latency\n"
+      "explodes when the DB cache is small (each touched object may need a\n"
+      "server round trip + disk), and the variance is exactly the paper's\n"
+      "'unexpected delays'.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E5 — Early notify vs post-commit notify: update conflicts and aborts
+// (paper §3.3).
+//
+// Paper: under the early notify protocol "displays could then graphically
+// mark (e.g. turn red) the object being updated, deterring users from
+// modifying objects already being updated. As a result update conflicts and
+// therefore transaction aborts can be significantly decreased."
+//
+// Concurrent operators hammer a small hot set of links; with early notify
+// they honor "being updated" marks and back off.
+
+#include <thread>
+
+#include "bench/exp_common.h"
+#include "nms/operators.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+struct Totals {
+  uint64_t attempts = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t skips = 0;
+};
+
+Totals RunConfig(NotifyProtocol protocol, bool honor_marks, int operators,
+                 double zipf_theta) {
+  DeploymentOptions dopts;
+  dopts.dlm.protocol = protocol;
+  NmsConfig net;
+  net.num_nodes = 12;
+  Testbed tb = MakeTestbed(dopts, net);
+
+  std::vector<std::unique_ptr<OperatorSession>> ops;
+  for (int i = 0; i < operators; ++i) {
+    OperatorOptions oo;
+    oo.seed = 500 + i;
+    oo.update_probability = 0.9;
+    oo.zipf_theta = zipf_theta;
+    oo.view_size = 8;  // everyone watches the same hot links
+    oo.honor_update_marks = honor_marks;
+    oo.links_per_update = 2;  // multi-link edits can deadlock
+    oo.edit_time_ms = 1;      // user holds X locks while editing
+    ops.push_back(
+        OperatorSession::Create(&tb.dep(), 100 + i, &tb.db, &tb.dcs, oo)
+            .value());
+  }
+  std::vector<std::thread> threads;
+  for (auto& op : ops) {
+    threads.emplace_back([&op] {
+      for (int i = 0; i < 120; ++i) (void)op->StepOnce();
+    });
+  }
+  for (auto& t : threads) t.join();
+  Totals totals;
+  for (auto& op : ops) {
+    totals.attempts += op->updates_attempted();
+    totals.commits += op->updates_committed();
+    totals.aborts += op->updates_aborted();
+    totals.skips += op->marked_skips();
+  }
+  return totals;
+}
+
+void Run() {
+  Banner("E5", "early notify vs post-commit: conflicts and aborts",
+         "early notify marks objects being updated, significantly decreasing "
+         "update conflicts and transaction aborts");
+  Table table({"protocol", "operators", "zipf", "attempts", "commits",
+               "aborts", "abort %", "mark-skips"});
+  for (int operators : {2, 4, 8}) {
+    for (double theta : {0.8, 1.4}) {
+      for (bool early : {false, true}) {
+        Totals t = RunConfig(early ? NotifyProtocol::kEarlyNotify
+                                   : NotifyProtocol::kPostCommit,
+                             /*honor_marks=*/early, operators, theta);
+        double abort_pct =
+            t.attempts ? 100.0 * t.aborts / static_cast<double>(t.attempts) : 0;
+        table.AddRow({early ? "early-notify" : "post-commit",
+                      FmtInt(operators), Fmt("%.1f", theta),
+                      FmtInt(t.attempts), FmtInt(t.commits), FmtInt(t.aborts),
+                      Fmt("%.1f", abort_pct), FmtInt(t.skips)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: early-notify abort rate well below post-commit at\n"
+      "the same contention (operators back off marked objects instead of\n"
+      "colliding); the gap widens with more operators and hotter skew.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

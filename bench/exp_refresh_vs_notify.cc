@@ -1,0 +1,166 @@
+// E7 — Periodic refresh vs display-lock notifications (paper §2.3).
+//
+// Paper: "the straightforward approach of periodically refreshing the user
+// interfaces is not considered acceptable, since it may cause excessive
+// overhead."
+//
+// Compares, for a viewer over V displayed links while updates arrive at
+// rate r (updates per virtual second), the VIEWER-side consistency traffic
+// (the writer's own update transactions cost the same in every scheme and
+// are excluded):
+//  - notify: display locks + post-commit notifications (this paper) —
+//    measured as the traffic delta between runs with and without the
+//    viewer, scaled by r;
+//  - poll naive(T): the strawman — every T the GUI re-fetches each of its
+//    V objects (what a 1996 GUI without server-side change tracking does);
+//  - poll validate(T): a generous batched baseline — one round trip per
+//    period carrying V (oid, version) pairs, returning changed images.
+
+#include "bench/exp_common.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+struct Traffic {
+  double msgs = 0;
+  double bytes = 0;
+};
+
+Traffic MeasureUpdateTraffic(size_t view_objs, bool with_viewer,
+                             double* staleness_ms) {
+  NmsConfig net;
+  net.num_nodes = 64;
+  Testbed tb = MakeTestbed({}, net);
+  std::unique_ptr<InteractiveSession> viewer;
+  ActiveView* view = nullptr;
+  if (with_viewer) {
+    viewer = tb.dep().NewSession(100);
+    view = viewer->CreateView("links");
+    const DisplayClassDef* dc = tb.Dc(tb.dcs.color_coded_link);
+    for (size_t i = 0; i < view_objs; ++i) {
+      (void)view->Materialize(dc,
+                              {tb.db.link_oids[i % tb.db.link_oids.size()]});
+    }
+  }
+  auto writer = tb.dep().NewSession(50);
+
+  const int kUpdates = 40;
+  uint64_t msgs0 = tb.dep().bus().messages_sent() + tb.dep().meter().messages();
+  uint64_t bytes0 = tb.dep().bus().bytes_sent() + tb.dep().meter().bytes();
+  Rng rng(7);
+  for (int u = 0; u < kUpdates; ++u) {
+    (void)UpdateUtilization(&writer->client(),
+                            tb.db.link_oids[rng.NextBelow(view_objs)],
+                            rng.NextDouble());
+    if (viewer) viewer->PumpOnce();
+  }
+  Traffic t;
+  t.msgs = static_cast<double>(tb.dep().bus().messages_sent() +
+                               tb.dep().meter().messages() - msgs0) /
+           kUpdates;
+  t.bytes = static_cast<double>(tb.dep().bus().bytes_sent() +
+                                tb.dep().meter().bytes() - bytes0) /
+            kUpdates;
+  if (view != nullptr && staleness_ms != nullptr) {
+    *staleness_ms = view->propagation_ms().mean();
+  }
+  return t;
+}
+
+struct PollCost {
+  double msgs_per_s;
+  double bytes_per_s;
+  double staleness_ms;
+};
+
+PollCost MeasurePoll(size_t view_objs, double period_s,
+                     double update_rate_per_s, bool naive) {
+  NmsConfig net;
+  net.num_nodes = 64;
+  Testbed tb = MakeTestbed({}, net);
+  const CostModel& cm = tb.dep().bus().cost_model();
+  auto probe = tb.dep().NewSession(50);
+  auto link = probe->client().ReadCurrent(tb.db.link_oids[0]).value();
+  double obj_bytes = static_cast<double>(link.WireBytes());
+  double polls_per_s = 1.0 / period_s;
+  PollCost cost;
+  double round_trip_ms;
+  if (naive) {
+    // Re-fetch every displayed object, one request/reply per object.
+    cost.msgs_per_s = 2.0 * static_cast<double>(view_objs) * polls_per_s;
+    cost.bytes_per_s =
+        static_cast<double>(view_objs) * (40 + obj_bytes) * polls_per_s;
+    // The refresh itself completes after V serialized fetches.
+    round_trip_ms = static_cast<double>(cm.MessageCost(40) +
+                                        cm.MessageCost(static_cast<int64_t>(
+                                            obj_bytes))) /
+                    kVMillisecond;
+  } else {
+    // One batched validation round trip per period.
+    double changed = std::min<double>(static_cast<double>(view_objs),
+                                      update_rate_per_s * period_s);
+    double req_bytes = 32 + 16.0 * static_cast<double>(view_objs);
+    double resp_bytes = 32 + changed * obj_bytes;
+    cost.msgs_per_s = 2 * polls_per_s;
+    cost.bytes_per_s = (req_bytes + resp_bytes) * polls_per_s;
+    round_trip_ms = static_cast<double>(
+                        cm.MessageCost(static_cast<int64_t>(req_bytes)) +
+                        cm.MessageCost(static_cast<int64_t>(resp_bytes))) /
+                    kVMillisecond;
+  }
+  cost.staleness_ms = period_s * 1000 / 2 + round_trip_ms;
+  return cost;
+}
+
+void Run() {
+  Banner("E7", "periodic refresh (strawman) vs display-lock notifications",
+         "periodic refresh causes excessive overhead; notifications cost "
+         "traffic only when something actually changes");
+  Table table({"scheme", "view objs", "upd/s", "msgs/s", "KB/s",
+               "staleness ms"});
+  for (size_t view_objs : {32, 128}) {
+    double staleness = 0;
+    Traffic with_viewer = MeasureUpdateTraffic(view_objs, true, &staleness);
+    Traffic writer_only = MeasureUpdateTraffic(view_objs, false, nullptr);
+    double msgs_per_update = with_viewer.msgs - writer_only.msgs;
+    double bytes_per_update = with_viewer.bytes - writer_only.bytes;
+    for (double rate : {0.5, 4.0}) {
+      table.AddRow({"notify (paper)", FmtInt(view_objs), Fmt("%.1f", rate),
+                    Fmt("%.1f", msgs_per_update * rate),
+                    Fmt("%.2f", bytes_per_update * rate / 1024),
+                    Fmt("%.0f", staleness)});
+      for (double period : {1.0, 5.0, 30.0}) {
+        PollCost naive = MeasurePoll(view_objs, period, rate, true);
+        table.AddRow({"poll naive T=" + Fmt("%.0fs", period),
+                      FmtInt(view_objs), Fmt("%.1f", rate),
+                      Fmt("%.1f", naive.msgs_per_s),
+                      Fmt("%.2f", naive.bytes_per_s / 1024),
+                      Fmt("%.0f", naive.staleness_ms)});
+      }
+      PollCost validate = MeasurePoll(view_objs, 5.0, rate, false);
+      table.AddRow({"poll validate T=5s", FmtInt(view_objs), Fmt("%.1f", rate),
+                    Fmt("%.1f", validate.msgs_per_s),
+                    Fmt("%.2f", validate.bytes_per_s / 1024),
+                    Fmt("%.0f", validate.staleness_ms)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: notify costs ~3-5 viewer-side messages PER UPDATE\n"
+      "and holds staleness at the fixed 1-2 s propagation latency. Naive\n"
+      "periodic refresh pays 2V messages and V full objects PER PERIOD even\n"
+      "when nothing changed — at T=1 s and V=128 that is two orders of\n"
+      "magnitude more traffic than notify at 0.5 upd/s (the paper's\n"
+      "'excessive overhead'); stretching T to recover bandwidth pushes\n"
+      "staleness to T/2 >> the notify propagation time.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E11 — Concurrent-user scalability (extension of §4.3's 4-user test).
+//
+// The paper tested "up to 4 concurrent users" and noted that was too small
+// a scale to separate effects. This experiment runs the same workload at
+// 2-16 operators (threaded) and reports throughput, abort rate and
+// notification traffic — checking that the display-lock machinery itself
+// never becomes the bottleneck and that displays stay exact at every scale.
+
+#include <chrono>
+
+#include "bench/exp_common.h"
+#include "nms/workload.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+void RunRow(int operators, NotifyProtocol protocol, Table* table) {
+  WorkloadConfig config;
+  config.network.num_nodes = 32;
+  config.deployment.dlm.protocol = protocol;
+  config.operators = operators;
+  config.operator_options.update_probability = 0.5;
+  config.operator_options.view_size = 16;
+  config.operator_options.honor_update_marks =
+      protocol == NotifyProtocol::kEarlyNotify;
+  config.operator_options.links_per_update = 2;
+  config.steps_per_operator = 120;
+  config.threaded = true;
+  config.monitor_steps_per_round = 1;
+
+  auto runner = WorkloadRunner::Create(config).value();
+  auto start = std::chrono::steady_clock::now();
+  auto report = runner->Run().value();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  double actions_per_s =
+      (report.monitor_actions + report.updates_attempted) / seconds;
+  table->AddRow(
+      {protocol == NotifyProtocol::kEarlyNotify ? "early-notify" : "post-commit",
+       FmtInt(operators), Fmt("%.0f", actions_per_s),
+       FmtInt(report.updates_committed), Fmt("%.1f%%", report.abort_rate() * 100),
+       FmtInt(report.deployment_stats.update_notifications),
+       FmtInt(report.refreshes), FmtInt(report.stale_display_objects)});
+}
+
+void Run() {
+  Banner("E11", "concurrent-user scalability (extension)",
+         "the paper tested only 4 users; scaling the same workload shows "
+         "display-lock handling is never the bottleneck and displays stay "
+         "exact at every scale");
+  Table table({"protocol", "operators", "actions/s", "commits", "abort %",
+               "notifications", "refreshes", "stale"});
+  for (NotifyProtocol protocol :
+       {NotifyProtocol::kPostCommit, NotifyProtocol::kEarlyNotify}) {
+    for (int operators : {2, 4, 8, 16}) {
+      RunRow(operators, protocol, &table);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: aggregate action throughput grows with operators\n"
+      "(real host parallelism permitting); post-commit abort rates climb\n"
+      "with contention while early-notify stays near zero; the stale column\n"
+      "is 0 at EVERY scale — consistency does not degrade with users.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main() {
+  idba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,203 @@
+// nms_repl: an interactive operator console over the full stack — the
+// closest thing to the paper's prototype UI that a terminal allows.
+// Type commands to open query-scoped live views, update links, run the
+// monitor, and watch notifications keep every open view exact.
+//
+// Run interactively, pipe a script in, or run with no input to execute the
+// built-in demo script.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/monitor.h"
+#include "viz/color.h"
+
+using namespace idba;
+
+namespace {
+
+struct Repl {
+  Deployment deployment;
+  NmsDatabase db;
+  NmsDisplayClasses dcs;
+  std::unique_ptr<InteractiveSession> session;
+  std::unique_ptr<InteractiveSession> monitor_session;
+  std::unique_ptr<MonitorProcess> monitor;
+
+  Repl() {
+    NmsConfig config;
+    config.num_nodes = 10;
+    config.avg_degree = 3.0;
+    db = PopulateNms(&deployment.server(), config).value();
+    dcs = RegisterNmsDisplayClasses(&deployment.display_schema(),
+                                    deployment.server().schema(), db.schema)
+              .value();
+    session = deployment.NewSession(100);
+    monitor_session = deployment.NewSession(50);
+    monitor = std::make_unique<MonitorProcess>(
+        &monitor_session->client(), &db,
+        MonitorOptions{.updates_per_step = 2, .walk_step = 0.3});
+  }
+
+  void Help() {
+    std::printf(
+        "commands:\n"
+        "  open <name> [min_util]   open a live view of links (>= min_util)\n"
+        "  close <name>             close a view (releases display locks)\n"
+        "  show <name>              render a view\n"
+        "  views                    list open views\n"
+        "  links                    list all links with current utilization\n"
+        "  set <oid> <util>         commit an update to a link\n"
+        "  monitor <steps>          run the monitoring process\n"
+        "  stats                    deployment statistics\n"
+        "  demo                     run the built-in demo script\n"
+        "  quit\n");
+  }
+
+  void Show(const std::string& name) {
+    ActiveView* view = session->FindView(name);
+    if (view == nullptr) {
+      std::printf("no view named '%s'\n", name.c_str());
+      return;
+    }
+    session->PumpOnce();
+    std::printf("view '%s' (%zu elements, %llu refreshes, %zu stale):\n",
+                name.c_str(), view->size(),
+                static_cast<unsigned long long>(view->refreshes()),
+                view->CountStaleObjects());
+    for (DisplayObject* dob : view->display_objects()) {
+      double util = dob->Get("Utilization").value().AsNumber();
+      std::printf("  oid:%-4llu %-5s %5.2f %s%s\n",
+                  static_cast<unsigned long long>(dob->sources()[0].value),
+                  dob->Get("Color").value().AsString().c_str(), util,
+                  std::string(static_cast<int>(util * 24), '#').c_str(),
+                  dob->marked_in_update() ? " [being updated]" : "");
+    }
+  }
+
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "open") {
+      std::string name;
+      double min_util = 0.0;
+      in >> name >> min_util;
+      if (name.empty()) {
+        std::printf("usage: open <name> [min_util]\n");
+        return true;
+      }
+      ActiveView* view = session->CreateView(name);
+      ObjectQuery q;
+      q.cls = db.schema.link;
+      if (min_util > 0) {
+        q.conjuncts.push_back({"Utilization", CompareOp::kGe, Value(min_util)});
+      }
+      auto dobs = view->PopulateFromQuery(
+          deployment.display_schema().Find(dcs.color_coded_link), q);
+      if (dobs.ok()) {
+        std::printf("opened '%s' with %zu links (display-locked)\n",
+                    name.c_str(), dobs.value().size());
+      } else {
+        std::printf("error: %s\n", dobs.status().ToString().c_str());
+      }
+    } else if (cmd == "close") {
+      std::string name;
+      in >> name;
+      Status st = session->CloseView(name);
+      std::printf("%s\n", st.ok() ? "closed" : st.ToString().c_str());
+    } else if (cmd == "show") {
+      std::string name;
+      in >> name;
+      Show(name);
+    } else if (cmd == "views") {
+      for (ActiveView* view : session->views()) {
+        std::printf("  %s (%zu elements)\n", view->name().c_str(), view->size());
+      }
+    } else if (cmd == "links") {
+      const SchemaCatalog& cat = deployment.server().schema();
+      for (Oid oid : db.link_oids) {
+        auto link = deployment.server().heap().Read(oid);
+        if (!link.ok()) continue;
+        double util =
+            link.value().GetByName(cat, "Utilization").value().AsNumber();
+        std::printf("  oid:%-4llu util=%.2f (%s)\n",
+                    static_cast<unsigned long long>(oid.value), util,
+                    UtilizationColorName(util).c_str());
+      }
+    } else if (cmd == "set") {
+      uint64_t oid = 0;
+      double util = 0;
+      in >> oid >> util;
+      const SchemaCatalog& cat = deployment.server().schema();
+      DatabaseClient& client = session->client();
+      TxnId t = client.Begin();
+      auto obj = client.Read(t, Oid(oid));
+      if (!obj.ok()) {
+        (void)client.Abort(t);
+        std::printf("error: %s\n", obj.status().ToString().c_str());
+        return true;
+      }
+      DatabaseObject link = std::move(obj).value();
+      (void)link.SetByName(cat, "Utilization", Value(util));
+      (void)client.Write(t, std::move(link));
+      auto commit = client.Commit(t);
+      std::printf("%s\n", commit.ok() ? "committed" : commit.status().ToString().c_str());
+      session->PumpOnce();
+    } else if (cmd == "monitor") {
+      int steps = 1;
+      in >> steps;
+      for (int i = 0; i < steps; ++i) (void)monitor->StepOnce();
+      int handled = session->PumpOnce();
+      std::printf("%d monitor steps, %d notifications handled\n", steps, handled);
+    } else if (cmd == "stats") {
+      std::printf(
+          "server: %llu commits, %llu aborts | DLM: %zu locked objects, %llu "
+          "notifications | client cache: %zu objs %zu B | display cache: %zu "
+          "objs %zu B\n",
+          static_cast<unsigned long long>(deployment.server().commits()),
+          static_cast<unsigned long long>(deployment.server().aborts()),
+          deployment.dlm().locked_object_count(),
+          static_cast<unsigned long long>(deployment.dlm().update_notifications()),
+          session->client().cache().entry_count(),
+          session->client().cache().bytes_used(),
+          session->display_cache().object_count(),
+          session->display_cache().bytes_used());
+    } else if (cmd == "demo") {
+      for (const char* step :
+           {"open all", "show all", "monitor 10", "show all", "open hot 0.7",
+            "show hot", "stats", "close hot", "close all", "stats"}) {
+        std::printf("repl> %s\n", step);
+        Execute(step);
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  std::printf("idba nms console — %zu nodes, %zu links. Type 'help'.\n",
+              repl.db.node_oids.size(), repl.db.link_oids.size());
+  std::string line;
+  bool any_input = false;
+  while (std::getline(std::cin, line)) {
+    any_input = true;
+    if (!repl.Execute(line)) break;
+  }
+  if (!any_input) {
+    std::printf("(no input — running the demo script)\n");
+    repl.Execute("demo");
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: the paper's figure-1 scenario end to end.
+//
+// Defines a Link database class, the ColorCodedLink / WidthCodedLink
+// display classes over it, opens two client sessions (a viewer and an
+// operator), and shows a committed update propagating to the viewer's
+// display objects through display locks + post-commit notification.
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "viz/color.h"
+
+using namespace idba;
+
+int main() {
+  // --- 1. Deployment: server + DLM agent + notification bus -------------
+  Deployment deployment;
+  SchemaCatalog& catalog = deployment.server().schema();
+
+  // --- 2. Database schema: pure real-world modelling, zero GUI state ----
+  ClassId node_cls = catalog.DefineClass("NetworkNode").value();
+  (void)catalog.AddAttribute(node_cls, "Name", ValueType::kString);
+  ClassId link_cls = catalog.DefineClass("Link").value();
+  (void)catalog.AddAttribute(link_cls, "Name", ValueType::kString);
+  (void)catalog.AddAttribute(link_cls, "From", ValueType::kOid);
+  (void)catalog.AddAttribute(link_cls, "To", ValueType::kOid);
+  (void)catalog.AddAttribute(link_cls, "Utilization", ValueType::kDouble,
+                             Value(0.0));
+  (void)catalog.AddAttribute(link_cls, "CapacityMbps", ValueType::kDouble,
+                             Value(10.0));
+
+  // --- 3. Display schema (external to the database!) — figure 1 ---------
+  DisplaySchema& dschema = deployment.display_schema();
+  DisplayClassDef color_def("ColorCodedLink", link_cls);
+  color_def.Project("From", "From")
+      .Project("To", "To")
+      .Project("Utilization", "Utilization")
+      .Derive("Color",
+              [&catalog](const std::vector<DatabaseObject>& srcs) {
+                double u = srcs[0].GetByName(catalog, "Utilization")
+                               .value()
+                               .AsNumber();
+                return Value(UtilizationColorName(u));
+              })
+      .Gui("X1", Value(0.0))
+      .Gui("Y1", Value(0.0))
+      .Gui("X2", Value(0.0))
+      .Gui("Y2", Value(0.0));
+  DisplayClassId color_dc = dschema.Define(std::move(color_def), catalog).value();
+
+  DisplayClassDef width_def("WidthCodedLink", link_cls);
+  width_def.Project("Utilization", "Utilization")
+      .Derive("Width",
+              [&catalog](const std::vector<DatabaseObject>& srcs) {
+                double u = srcs[0].GetByName(catalog, "Utilization")
+                               .value()
+                               .AsNumber();
+                return Value(UtilizationWidth(u));
+              })
+      .Gui("X1", Value(0.0))
+      .Gui("Y1", Value(0.0));
+  DisplayClassId width_dc = dschema.Define(std::move(width_def), catalog).value();
+
+  // --- 4. Populate a tiny database --------------------------------------
+  auto op_session = deployment.NewSession(101);  // the updating operator
+  DatabaseClient& op = op_session->client();
+  TxnId setup = op.Begin();
+  Oid n1 = op.AllocateOid(), n2 = op.AllocateOid(), l1 = op.AllocateOid();
+  DatabaseObject node1(n1, node_cls, 1);
+  node1.Set(0, Value("gateway"));
+  DatabaseObject node2(n2, node_cls, 1);
+  node2.Set(0, Value("backbone"));
+  DatabaseObject link(l1, link_cls, 5);
+  link.Set(0, Value("uplink-1"));
+  link.Set(1, Value(n1));
+  link.Set(2, Value(n2));
+  link.Set(3, Value(0.12));
+  link.Set(4, Value(100.0));
+  (void)op.Insert(setup, node1);
+  (void)op.Insert(setup, node2);
+  (void)op.Insert(setup, link);
+  (void)op.Commit(setup);
+
+  // --- 5. Viewer session: an active view over the link ------------------
+  auto viewer = deployment.NewSession(100);
+  ActiveView* color_view = viewer->CreateView("color-coded");
+  ActiveView* width_view = viewer->CreateView("width-coded");
+  DisplayObject* color_line =
+      color_view->Materialize(dschema.Find(color_dc), {l1}).value();
+  DisplayObject* width_line =
+      width_view->Materialize(dschema.Find(width_dc), {l1}).value();
+  (void)color_line->SetGui("X1", Value(3.0));  // user drags the element
+  (void)color_line->SetGui("Y1", Value(7.0));
+
+  std::printf("before update:\n  %s\n  %s\n",
+              color_line->ToString().c_str(), width_line->ToString().c_str());
+
+  // --- 6. The operator commits an update --------------------------------
+  TxnId txn = op.Begin();
+  DatabaseObject fresh = op.Read(txn, l1).value();
+  (void)fresh.SetByName(catalog, "Utilization", Value(0.93));
+  (void)op.Write(txn, std::move(fresh));
+  (void)op.Commit(txn);
+
+  // --- 7. Notification propagates; the display refreshes ----------------
+  int handled = viewer->PumpOnce();
+  std::printf(
+      "\nafter update (%d notification handled, both displays refreshed "
+      "from ONE message thanks to the DLC):\n  %s\n  %s\n",
+      handled, color_line->ToString().c_str(), width_line->ToString().c_str());
+
+  std::printf("\npropagation latency (calibrated 1996 virtual time): %.0f ms\n",
+              color_view->propagation_ms().mean());
+  std::printf("display locks held at DLM: %zu object(s)\n",
+              deployment.dlm().locked_object_count());
+  std::printf(
+      "memory: db object %zu B in client DB cache vs display object %zu B in "
+      "display cache\n",
+      op.ReadCurrent(l1).value().MemoryBytes(), color_line->MemoryBytes());
+  return 0;
+}

@@ -1,0 +1,208 @@
+// ticker_dashboard: a second application domain on the same framework —
+// a trading floor dashboard. Quotes stream into the database; each trader's
+// display shows price cells (color-flash derivation) and a multi-source
+// portfolio summary (derived from all the positions' quotes), all kept
+// exact through display locks. Demonstrates that nothing in src/core is
+// specific to network management.
+
+#include <cstdio>
+
+#include "client/txn_retry.h"
+#include "common/rng.h"
+#include "core/session.h"
+
+using namespace idba;
+
+namespace {
+
+struct TickerDb {
+  ClassId quote_cls = 0;
+  ClassId position_cls = 0;
+  std::vector<Oid> quotes;     // one per symbol
+  std::vector<Oid> positions;  // trader 1's portfolio
+  DisplayClassId price_cell = 0;
+  DisplayClassId portfolio_summary = 0;
+};
+
+const char* kSymbols[] = {"IBM", "DEC", "SUNW", "MSFT", "ORCL", "SGI"};
+
+TickerDb Setup(Deployment& deployment) {
+  TickerDb db;
+  SchemaCatalog& cat = deployment.server().schema();
+  // Database schema: market data + positions, zero GUI state.
+  db.quote_cls = cat.DefineClass("Quote").value();
+  (void)cat.AddAttribute(db.quote_cls, "Symbol", ValueType::kString);
+  (void)cat.AddAttribute(db.quote_cls, "Last", ValueType::kDouble, Value(100.0));
+  (void)cat.AddAttribute(db.quote_cls, "PrevClose", ValueType::kDouble, Value(100.0));
+  (void)cat.AddAttribute(db.quote_cls, "Bid", ValueType::kDouble);
+  (void)cat.AddAttribute(db.quote_cls, "Ask", ValueType::kDouble);
+  (void)cat.AddAttribute(db.quote_cls, "Volume", ValueType::kInt, Value(int64_t(0)));
+  db.position_cls = cat.DefineClass("Position").value();
+  (void)cat.AddAttribute(db.position_cls, "Symbol", ValueType::kString);
+  (void)cat.AddAttribute(db.position_cls, "QuoteRef", ValueType::kOid);
+  (void)cat.AddAttribute(db.position_cls, "Shares", ValueType::kInt);
+  (void)cat.AddAttribute(db.position_cls, "CostBasis", ValueType::kDouble);
+
+  // Display schema (external, per §3.1): a flashing price cell...
+  DisplayClassDef cell("PriceCell", db.quote_cls);
+  cell.Project("Symbol", "Symbol")
+      .Project("Last", "Last")
+      .Derive("ChangePct",
+              [&cat](const std::vector<DatabaseObject>& srcs) {
+                double last = srcs[0].GetByName(cat, "Last").value().AsNumber();
+                double prev =
+                    srcs[0].GetByName(cat, "PrevClose").value().AsNumber();
+                return Value(prev > 0 ? (last - prev) / prev * 100 : 0.0);
+              })
+      .Derive("Flash",
+              [&cat](const std::vector<DatabaseObject>& srcs) {
+                double last = srcs[0].GetByName(cat, "Last").value().AsNumber();
+                double prev =
+                    srcs[0].GetByName(cat, "PrevClose").value().AsNumber();
+                return Value(std::string(last > prev   ? "up"
+                                         : last < prev ? "down"
+                                                       : "flat"));
+              })
+      .Gui("Row", Value(int64_t(0)));
+  db.price_cell =
+      deployment.display_schema().Define(std::move(cell), cat).value();
+
+  // ...and a portfolio summary over MANY database objects (positions and
+  // their quotes interleaved: position_0, quote_0, position_1, quote_1...).
+  DisplayClassDef summary("PortfolioSummary", db.position_cls);
+  summary
+      .Derive("MarketValue",
+              [&cat](const std::vector<DatabaseObject>& srcs) {
+                double total = 0;
+                for (size_t i = 0; i + 1 < srcs.size(); i += 2) {
+                  double shares =
+                      srcs[i].GetByName(cat, "Shares").value().AsNumber();
+                  double last =
+                      srcs[i + 1].GetByName(cat, "Last").value().AsNumber();
+                  total += shares * last;
+                }
+                return Value(total);
+              })
+      .Derive("UnrealizedPnl",
+              [&cat](const std::vector<DatabaseObject>& srcs) {
+                double pnl = 0;
+                for (size_t i = 0; i + 1 < srcs.size(); i += 2) {
+                  double shares =
+                      srcs[i].GetByName(cat, "Shares").value().AsNumber();
+                  double basis =
+                      srcs[i].GetByName(cat, "CostBasis").value().AsNumber();
+                  double last =
+                      srcs[i + 1].GetByName(cat, "Last").value().AsNumber();
+                  pnl += shares * (last - basis);
+                }
+                return Value(pnl);
+              })
+      .Gui("Collapsed", Value(false));
+  db.portfolio_summary =
+      deployment.display_schema().Define(std::move(summary), cat).value();
+
+  // Seed market data + a portfolio.
+  auto loader = deployment.NewSession(99);
+  DatabaseClient& client = loader->client();
+  Rng rng(5);
+  TxnId t = client.Begin();
+  for (const char* symbol : kSymbols) {
+    Oid oid = client.AllocateOid();
+    DatabaseObject quote(oid, db.quote_cls, 6);
+    quote.Set(0, Value(symbol));
+    double px = 20 + rng.NextDouble() * 180;
+    quote.Set(1, Value(px));
+    quote.Set(2, Value(px));
+    quote.Set(3, Value(px - 0.125));
+    quote.Set(4, Value(px + 0.125));
+    quote.Set(5, Value(int64_t(0)));
+    (void)client.Insert(t, std::move(quote));
+    db.quotes.push_back(oid);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Oid oid = client.AllocateOid();
+    DatabaseObject pos(oid, db.position_cls, 4);
+    pos.Set(0, Value(kSymbols[i]));
+    pos.Set(1, Value(db.quotes[i]));
+    pos.Set(2, Value(int64_t(100 * (i + 1))));
+    pos.Set(3, Value(50.0 + 20 * i));
+    (void)client.Insert(t, std::move(pos));
+    db.positions.push_back(oid);
+  }
+  (void)client.Commit(t);
+  return db;
+}
+
+void RenderBoard(ActiveView* board, ActiveView* portfolio) {
+  std::printf("%-6s %10s %8s %s\n", "sym", "last", "chg%", "flash");
+  for (DisplayObject* dob : board->display_objects()) {
+    std::printf("%-6s %10.2f %+7.2f%% %s\n",
+                dob->Get("Symbol").value().AsString().c_str(),
+                dob->Get("Last").value().AsNumber(),
+                dob->Get("ChangePct").value().AsNumber(),
+                dob->Get("Flash").value().AsString().c_str());
+  }
+  for (DisplayObject* dob : portfolio->display_objects()) {
+    std::printf("portfolio: market value %.2f, unrealized P&L %+.2f\n",
+                dob->Get("MarketValue").value().AsNumber(),
+                dob->Get("UnrealizedPnl").value().AsNumber());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Deployment deployment;
+  TickerDb db = Setup(deployment);
+  const SchemaCatalog& cat = deployment.server().schema();
+
+  // The trader's display: all price cells + one portfolio summary whose
+  // OID list interleaves positions and their quotes.
+  auto trader = deployment.NewSession(100);
+  ActiveView* board = trader->CreateView("board");
+  for (Oid quote : db.quotes) {
+    (void)board->Materialize(deployment.display_schema().Find(db.price_cell),
+                             {quote});
+  }
+  ActiveView* portfolio = trader->CreateView("portfolio");
+  std::vector<Oid> sources;
+  for (size_t i = 0; i < db.positions.size(); ++i) {
+    sources.push_back(db.positions[i]);
+    sources.push_back(db.quotes[i]);
+  }
+  (void)portfolio->Materialize(
+      deployment.display_schema().Find(db.portfolio_summary), sources);
+
+  std::printf("== opening board ==\n");
+  RenderBoard(board, portfolio);
+
+  // The market data feed: a writer client streaming ticks.
+  auto feed = deployment.NewSession(50);
+  Rng rng(77);
+  int handled = 0;
+  for (int tick = 0; tick < 30; ++tick) {
+    Oid quote = db.quotes[rng.NextBelow(db.quotes.size())];
+    auto result = RunTransaction(&feed->client(), [&](DatabaseClient& c, TxnId t) {
+      IDBA_ASSIGN_OR_RETURN(DatabaseObject q, c.Read(t, quote));
+      double last = q.GetByName(cat, "Last").value().AsNumber();
+      double px = std::max(1.0, last * (1 + (rng.NextDouble() - 0.5) * 0.04));
+      IDBA_RETURN_NOT_OK(q.SetByName(cat, "Last", Value(px)));
+      IDBA_RETURN_NOT_OK(q.SetByName(
+          cat, "Volume",
+          q.GetByName(cat, "Volume").value().AsInt() + int64_t(100)));
+      return c.Write(t, std::move(q));
+    });
+    (void)result;
+    handled += trader->PumpOnce();  // the trader's listener keeps pace
+  }
+
+  std::printf("\n== after 30 ticks (%d notifications, board refreshed %llu "
+              "times, portfolio %llu) ==\n",
+              handled, static_cast<unsigned long long>(board->refreshes()),
+              static_cast<unsigned long long>(portfolio->refreshes()));
+  RenderBoard(board, portfolio);
+  std::printf("\npropagation: %.0f virtual ms mean | stale objects: %zu\n",
+              board->propagation_ms().mean(),
+              board->CountStaleObjects() + portfolio->CountStaleObjects());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Client runtime: the application-facing handle to the database.
+//
+// Owns the client database cache (second level of the paper's memory
+// hierarchy), a virtual clock for the GUI/user thread, and an inbox for
+// asynchronous notifications (the Display Lock Client in src/core pumps
+// it). Every server interaction charges calibrated virtual latency through
+// the shared RpcMeter; cache hits cost nothing — the avoidance-based
+// protocol guarantees cached copies are valid.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "client/object_cache.h"
+#include "net/inbox.h"
+#include "net/notification_bus.h"
+#include "net/rpc_meter.h"
+#include "server/database_server.h"
+
+namespace idba {
+
+/// Client cache consistency family (paper §3.3). Avoidance (the default,
+/// and the paper's choice for displays) guarantees cached copies are valid
+/// via server callbacks; detection allows stale copies and validates a
+/// transaction's optimistic reads at commit, aborting on staleness.
+enum class ConsistencyMode { kAvoidance, kDetection };
+
+struct DatabaseClientOptions {
+  ObjectCacheOptions cache;
+  /// Report cache evictions to the server (keeps the callback registry
+  /// tight; piggybacked on other traffic in real systems, so free here).
+  bool report_evictions = true;
+  ConsistencyMode consistency = ConsistencyMode::kAvoidance;
+};
+
+/// One per application process. Thread-compatible: the application drives
+/// it from its user thread; the notification pump may concurrently touch
+/// the cache (which is internally synchronized).
+class DatabaseClient {
+ public:
+  DatabaseClient(DatabaseServer* server, ClientId id, RpcMeter* meter,
+                 NotificationBus* bus, DatabaseClientOptions opts = {});
+  ~DatabaseClient();
+
+  DatabaseClient(const DatabaseClient&) = delete;
+  DatabaseClient& operator=(const DatabaseClient&) = delete;
+
+  ClientId id() const { return id_; }
+  VirtualClock& clock() { return clock_; }
+  Inbox& inbox() { return inbox_; }
+  ObjectCache& cache() { return cache_; }
+  DatabaseServer& server() { return *server_; }
+  const SchemaCatalog& schema() const { return server_->schema(); }
+
+  // --- Transactions ----------------------------------------------------
+  TxnId Begin();
+
+  /// Transactional read (S lock at the server on a miss; free on a hit).
+  Result<DatabaseObject> Read(TxnId txn, Oid oid);
+
+  /// Degree-0 read of the latest committed image (display building).
+  Result<DatabaseObject> ReadCurrent(Oid oid);
+
+  Status Write(TxnId txn, DatabaseObject obj);
+  Status Insert(TxnId txn, DatabaseObject obj);
+  Status EraseObject(TxnId txn, Oid oid);
+
+  Result<CommitResult> Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  /// Degree-0 scan used to populate displays.
+  Result<std::vector<DatabaseObject>> ScanClass(ClassId cls,
+                                                bool include_subclasses = false);
+
+  /// Degree-0 server-side predicate query; matches enter the cache.
+  Result<std::vector<DatabaseObject>> RunQuery(const ObjectQuery& query);
+
+  Oid AllocateOid() { return server_->AllocateOid(); }
+
+  uint64_t rpcs_issued() const { return rpcs_.Get(); }
+  ConsistencyMode consistency() const { return opts_.consistency; }
+  /// Validation aborts suffered (detection mode only).
+  uint64_t validation_aborts() const { return validation_aborts_.Get(); }
+
+ private:
+  void PreObserve();
+  void Charge(const ServerCallInfo& info);
+  void RecordRead(TxnId txn, const DatabaseObject& obj);
+
+  DatabaseServer* server_;
+  ClientId id_;
+  RpcMeter* meter_;
+  NotificationBus* bus_;
+  DatabaseClientOptions opts_;
+  ObjectCache cache_;
+  Inbox inbox_;
+  VirtualClock clock_;
+  Counter rpcs_;
+  Counter validation_aborts_;
+  // Detection mode: optimistic read sets per open transaction.
+  std::mutex read_sets_mu_;
+  std::unordered_map<TxnId, std::vector<std::pair<Oid, uint64_t>>> read_sets_;
+};
+
+}  // namespace idba

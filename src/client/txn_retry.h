@@ -1,0 +1,61 @@
+// Transaction retry helper: runs a read-modify-write body with automatic
+// retry on deadlock / validation-abort / busy outcomes — the loop every
+// interactive application otherwise writes by hand.
+
+#pragma once
+
+#include <functional>
+
+#include "client/database_client.h"
+
+namespace idba {
+
+struct TxnRetryOptions {
+  int max_attempts = 10;
+};
+
+struct TxnRetryResult {
+  Status status;      ///< final outcome
+  int attempts = 0;   ///< total tries (1 = first try succeeded)
+  CommitResult commit;  ///< valid when status.ok()
+};
+
+/// Runs `body(client, txn)` in a fresh transaction, committing afterwards.
+/// On Deadlock / Aborted / TimedOut / Busy from the body or the commit,
+/// aborts (if still active) and retries up to `max_attempts`. Any other
+/// error aborts and returns immediately.
+inline TxnRetryResult RunTransaction(
+    DatabaseClient* client,
+    const std::function<Status(DatabaseClient&, TxnId)>& body,
+    TxnRetryOptions opts = {}) {
+  TxnRetryResult result;
+  for (result.attempts = 1; result.attempts <= opts.max_attempts;
+       ++result.attempts) {
+    TxnId txn = client->Begin();
+    Status st = body(*client, txn);
+    if (st.ok()) {
+      auto commit = client->Commit(txn);
+      if (commit.ok()) {
+        result.status = Status::OK();
+        result.commit = std::move(commit).value();
+        return result;
+      }
+      st = commit.status();
+      // CommitValidated already aborted server-side on validation failure;
+      // for other commit errors the txn is finished too.
+    } else {
+      (void)client->Abort(txn);
+    }
+    const bool retryable =
+        st.IsDeadlock() || st.IsAborted() || st.IsTimedOut() || st.IsBusy();
+    if (!retryable) {
+      result.status = st;
+      return result;
+    }
+    result.status = st;  // keep the latest failure in case we run out
+  }
+  --result.attempts;
+  return result;
+}
+
+}  // namespace idba

@@ -1,0 +1,155 @@
+// Byte-level encoding/decoding used for page payloads, WAL records and
+// message envelopes. Little-endian fixed-width integers plus LEB128 varints
+// and length-prefixed strings.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idba {
+
+/// Append-only byte encoder.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Unsigned LEB128.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_->push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Varint length prefix followed by raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    PutBytes(buf, sizeof(T));
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Sequential byte decoder over a borrowed buffer. All getters return
+/// Corruption on underflow instead of reading out of bounds.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Status GetU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return Underflow("u8");
+    *v = data_[pos_++];
+    return Status::OK();
+  }
+  Status GetU16(uint16_t* v) { return GetFixed(v); }
+  Status GetU32(uint32_t* v) { return GetFixed(v); }
+  Status GetU64(uint64_t* v) { return GetFixed(v); }
+  Status GetI64(int64_t* v) {
+    uint64_t u;
+    IDBA_RETURN_NOT_OK(GetU64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+
+  Status GetDouble(double* v) {
+    uint64_t bits;
+    IDBA_RETURN_NOT_OK(GetU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  Status GetVarint(uint64_t* v) {
+    uint64_t result = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+      if (pos_ >= size_) return Underflow("varint");
+      uint8_t byte = data_[pos_++];
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = result;
+        return Status::OK();
+      }
+    }
+    return Status::Corruption("varint longer than 64 bits");
+  }
+
+  Status GetString(std::string* s) {
+    uint64_t len;
+    IDBA_RETURN_NOT_OK(GetVarint(&len));
+    if (pos_ + len > size_) return Underflow("string body");
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Skip(size_t n) {
+    if (pos_ + n > size_) return Underflow("skip");
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  Status GetFixed(T* v) {
+    if (pos_ + sizeof(T) > size_) return Underflow("fixed int");
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return Status::OK();
+  }
+
+  Status Underflow(const char* what) {
+    return Status::Corruption(std::string("decode underflow reading ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace idba

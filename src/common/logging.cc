@@ -1,0 +1,28 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace idba {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+std::mutex g_mu;
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+void LogLine(LogLevel level, const std::string& component, const std::string& msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[%s] %s: %s\n", tag, component.c_str(), msg.c_str());
+}
+
+}  // namespace idba

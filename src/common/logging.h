@@ -1,0 +1,33 @@
+// Minimal leveled logger. Off by default; experiments and examples can
+// raise the level. Not a hot-path facility.
+
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace idba {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-global log level (defaults to kError).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Writes one line to stderr if `level` is enabled.
+void LogLine(LogLevel level, const std::string& component, const std::string& msg);
+
+}  // namespace idba
+
+#define IDBA_LOG(level, component, msg)                          \
+  do {                                                           \
+    if (static_cast<int>(::idba::GetLogLevel()) >=               \
+        static_cast<int>(level)) {                               \
+      ::idba::LogLine(level, (component), (msg));                \
+    }                                                            \
+  } while (0)
+
+#define IDBA_LOG_INFO(component, msg) IDBA_LOG(::idba::LogLevel::kInfo, component, msg)
+#define IDBA_LOG_DEBUG(component, msg) IDBA_LOG(::idba::LogLevel::kDebug, component, msg)
+#define IDBA_LOG_ERROR(component, msg) IDBA_LOG(::idba::LogLevel::kError, component, msg)

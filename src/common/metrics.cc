@@ -1,0 +1,133 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace idba {
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_count_;
+  total_sum_ += value;
+  ++counts_[BucketFor(value)];
+}
+
+int Histogram::BucketFor(double v) {
+  if (v <= 0) return 0;
+  // Two buckets per power of two: bucket = 2*log2(v), clamped.
+  int b = static_cast<int>(std::floor(2.0 * std::log2(v))) + 2;
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0;
+  return std::pow(2.0, (b - 2) / 2.0);
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_count_ ? total_sum_ / static_cast<double>(total_count_) : 0;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_count_ == 0) return 0;
+  const double target = q * static_cast<double>(total_count_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) >= target) {
+      // Interpolate between the bucket bounds, clamped to observed range.
+      double lo = BucketLowerBound(b);
+      double hi = BucketLowerBound(b + 1);
+      double v = (lo + hi) / 2.0;
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counts_) c = 0;
+  total_count_ = 0;
+  total_sum_ = 0;
+  min_ = max_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(count()), mean(), Percentile(0.5),
+                Percentile(0.95), Percentile(0.99), min(), max());
+  return buf;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->Get();
+  return out;
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " = " + std::to_string(c->Get()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " : " + h->Summary() + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace idba

@@ -1,0 +1,78 @@
+// Lightweight counters and histograms used by every subsystem, and a
+// registry that experiment harnesses snapshot and print.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace idba {
+
+/// Thread-safe monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Thread-safe histogram with power-of-two-ish buckets plus exact
+/// min/max/sum. Value unit is caller-defined (microseconds, bytes, ...).
+class Histogram {
+ public:
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Approximate quantile via bucket interpolation (q in [0,1]).
+  double Percentile(double q) const;
+  void Reset();
+
+  /// "count=N mean=X p50=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 128;
+  static int BucketFor(double v);
+  static double BucketLowerBound(int b);
+
+  mutable std::mutex mu_;
+  uint64_t counts_[kBuckets] = {};
+  uint64_t total_count_ = 0;
+  double total_sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named registry of counters and histograms. Components hold pointers
+/// obtained at construction; lookups are not on the hot path.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of all counter values (name -> value).
+  std::map<std::string, uint64_t> CounterSnapshot() const;
+  /// Multi-line human-readable dump of all metrics.
+  std::string Dump() const;
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace idba

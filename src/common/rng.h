@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All stochastic behaviour in the library is seeded explicitly so that
+// every experiment is reproducible bit-for-bit.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace idba {
+
+/// xoshiro256** — fast, high-quality, splittable-enough PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent generator (for per-thread streams).
+  Rng Split() { return Rng(NextU64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed selector over [0, n), with skew theta (0 = uniform).
+/// Precomputes the CDF; O(log n) per sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  uint64_t Next(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first CDF entry >= u.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace idba

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace idba {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kDeadlock: return "Deadlock";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace idba

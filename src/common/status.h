@@ -1,0 +1,159 @@
+// Status / Result error model for the idba library.
+//
+// The library does not throw exceptions on hot paths; fallible operations
+// return a Status (or a Result<T> when they also produce a value), in the
+// style of RocksDB / Arrow.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace idba {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,        ///< requested entity (object, page, lock, ...) does not exist
+  kAlreadyExists = 2,   ///< insert of an entity that is already present
+  kInvalidArgument = 3, ///< malformed input or unsatisfiable request
+  kCorruption = 4,      ///< on-disk or wire data failed validation
+  kDeadlock = 5,        ///< transaction chosen as deadlock victim
+  kAborted = 6,         ///< transaction aborted (explicitly or by conflict)
+  kTimedOut = 7,        ///< lock or message wait exceeded its deadline
+  kBusy = 8,            ///< resource temporarily unavailable, retry may succeed
+  kIOError = 9,         ///< simulated or real disk failure
+  kNotSupported = 10,   ///< operation not implemented for this configuration
+  kInternal = 11,       ///< invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy when OK
+/// (message is empty) and carry a heap-allocated message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error Status. Accessing the value of an errored Result is
+/// a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_value;`
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from error: `return Status::NotFound(...);`
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The error Status (OK if the Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+}  // namespace idba
+
+/// Propagates a non-OK Status out of the current function.
+#define IDBA_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::idba::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning its value to `lhs` or
+/// propagating its error Status.
+#define IDBA_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto IDBA_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!IDBA_CONCAT_(_res_, __LINE__).ok())        \
+    return IDBA_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(IDBA_CONCAT_(_res_, __LINE__)).value()
+
+#define IDBA_CONCAT_(a, b) IDBA_CONCAT_IMPL_(a, b)
+#define IDBA_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,52 @@
+// Causal virtual time.
+//
+// The library executes in-process (real threads, real mutexes) but reports
+// latencies in *virtual time*: every component owns a VirtualClock and every
+// message envelope carries a virtual timestamp. On receive the destination
+// clock advances to max(local, arrival), Lamport-style, and processing /
+// transmission costs from the CostModel are charged explicitly. This
+// reproduces the latency structure of the paper's 1996 client-server testbed
+// deterministically, independent of host machine speed.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace idba {
+
+/// Virtual microseconds.
+using VTime = int64_t;
+
+constexpr VTime kVMillisecond = 1000;
+constexpr VTime kVSecond = 1000 * 1000;
+
+/// Per-component monotonic virtual clock. Thread-safe: several threads may
+/// touch a server-side clock concurrently.
+class VirtualClock {
+ public:
+  VTime Now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Charges `cost` virtual microseconds of local work; returns the new time.
+  VTime Advance(VTime cost) {
+    return now_.fetch_add(cost, std::memory_order_relaxed) + cost;
+  }
+
+  /// Merges an incoming message timestamp: now = max(now, t).
+  /// Returns the merged time.
+  VTime Observe(VTime t) {
+    VTime cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+    return std::max(cur, t);
+  }
+
+  void Reset(VTime t = 0) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<VTime> now_{0};
+};
+
+}  // namespace idba

@@ -1,0 +1,302 @@
+#include "core/active_view.h"
+
+#include <algorithm>
+
+namespace idba {
+
+ActiveView::ActiveView(std::string name, DatabaseClient* client,
+                       DisplayLockClient* dlc, DisplayCache* cache,
+                       ActiveViewOptions opts)
+    : name_(std::move(name)), client_(client), dlc_(dlc), cache_(cache),
+      opts_(opts) {
+  display_id_ = dlc_->RegisterDisplay(this);
+}
+
+ActiveView::~ActiveView() { Close(); }
+
+Result<DisplayObject*> ActiveView::Materialize(const DisplayClassDef* dclass,
+                                               std::vector<Oid> sources) {
+  // 1. Read the current images through the client database cache.
+  std::vector<DatabaseObject> images;
+  images.reserve(sources.size());
+  for (Oid oid : sources) {
+    IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, client_->ReadCurrent(oid));
+    images.push_back(std::move(obj));
+  }
+  // 2. Create + materialize the display object in the display cache.
+  IDBA_ASSIGN_OR_RETURN(DisplayObject * dob, cache_->Create(dclass, sources));
+  Status st = dob->Refresh(client_->schema(), images);
+  if (!st.ok()) {
+    (void)cache_->Remove(dob->id());
+    return st;
+  }
+  client_->clock().Advance(dlc_->cost_model().DisplayRefreshCpu());
+  // 3. Display-lock every associated database object (paper §4.2.2:
+  //    constructors request the locks) — unless this is a passive
+  //    snapshot, which deliberately never subscribes.
+  if (opts_.subscribe) {
+    for (Oid oid : sources) {
+      st = dlc_->AcquireDisplayLock(display_id_, oid);
+      if (!st.ok()) {
+        (void)cache_->Remove(dob->id());
+        return st;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    my_objects_.insert(dob->id());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      by_source_[sources[i]].push_back(dob->id());
+      displayed_versions_[sources[i]] = images[i].version();
+    }
+  }
+  return dob;
+}
+
+Result<std::vector<DisplayObject*>> ActiveView::PopulateFromClass(
+    const DisplayClassDef* dclass, bool include_subclasses) {
+  IDBA_ASSIGN_OR_RETURN(std::vector<DatabaseObject> objs,
+                        client_->ScanClass(dclass->primary_source(),
+                                           include_subclasses));
+  std::vector<DisplayObject*> out;
+  out.reserve(objs.size());
+  dlc_->BeginLockBatch();  // one DLM message for the whole view
+  for (const DatabaseObject& obj : objs) {
+    auto dob = Materialize(dclass, {obj.oid()});
+    if (!dob.ok()) {
+      (void)dlc_->EndLockBatch();
+      return dob.status();
+    }
+    out.push_back(dob.value());
+  }
+  IDBA_RETURN_NOT_OK(dlc_->EndLockBatch());
+  return out;
+}
+
+Result<std::vector<DisplayObject*>> ActiveView::PopulateFromQuery(
+    const DisplayClassDef* dclass, const ObjectQuery& query) {
+  IDBA_ASSIGN_OR_RETURN(std::vector<DatabaseObject> objs,
+                        client_->RunQuery(query));
+  std::vector<DisplayObject*> out;
+  out.reserve(objs.size());
+  dlc_->BeginLockBatch();
+  for (const DatabaseObject& obj : objs) {
+    auto dob = Materialize(dclass, {obj.oid()});
+    if (!dob.ok()) {
+      (void)dlc_->EndLockBatch();
+      return dob.status();
+    }
+    out.push_back(dob.value());
+  }
+  IDBA_RETURN_NOT_OK(dlc_->EndLockBatch());
+  return out;
+}
+
+Result<size_t> ActiveView::RefreshAll() {
+  std::vector<DoId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.assign(my_objects_.begin(), my_objects_.end());
+  }
+  size_t refreshed = 0;
+  for (DoId id : ids) {
+    DisplayObject* dob = cache_->Find(id);
+    if (dob == nullptr) continue;
+    std::vector<DatabaseObject> images;
+    images.reserve(dob->sources().size());
+    for (Oid oid : dob->sources()) {
+      // Bypass the local cache: a manual refresh must observe the server's
+      // current state even when no callbacks maintain this client's cache
+      // (the snapshot / detection-mode scenario).
+      client_->cache().Drop(oid);
+      IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, client_->ReadCurrent(oid));
+      images.push_back(std::move(obj));
+    }
+    IDBA_RETURN_NOT_OK(dob->Refresh(client_->schema(), images));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const DatabaseObject& img : images) {
+        displayed_versions_[img.oid()] = img.version();
+      }
+    }
+    client_->clock().Advance(dlc_->cost_model().DisplayRefreshCpu());
+    refreshes_.Add();
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+size_t ActiveView::CountStaleObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t stale = 0;
+  for (const auto& [oid, displayed_version] : displayed_versions_) {
+    auto current = client_->server().heap().Read(oid);
+    if (!current.ok() || current.value().version() != displayed_version) {
+      ++stale;
+    }
+  }
+  return stale;
+}
+
+Status ActiveView::Dismiss(DoId id) {
+  DisplayObject* dob = cache_->Find(id);
+  if (dob == nullptr) return Status::NotFound("display object " + std::to_string(id));
+  std::vector<Oid> sources = dob->sources();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!my_objects_.count(id)) {
+      return Status::NotFound("display object not in this view");
+    }
+    my_objects_.erase(id);
+    for (Oid oid : sources) {
+      auto it = by_source_.find(oid);
+      if (it != by_source_.end()) {
+        auto& v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), id), v.end());
+        if (v.empty()) {
+          by_source_.erase(it);
+          displayed_versions_.erase(oid);
+        }
+      }
+    }
+  }
+  // Destructor duties (paper §4.2.2): release display locks the view no
+  // longer needs, free the DO.
+  for (Oid oid : sources) {
+    bool still_used;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      still_used = by_source_.count(oid) != 0;
+    }
+    if (!still_used) (void)dlc_->ReleaseDisplayLock(display_id_, oid);
+  }
+  return cache_->Remove(id);
+}
+
+void ActiveView::Close() {
+  std::vector<DoId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    ids.assign(my_objects_.begin(), my_objects_.end());
+    my_objects_.clear();
+    by_source_.clear();
+    displayed_versions_.clear();
+  }
+  for (DoId id : ids) {
+    DisplayObject* dob = cache_->Find(id);
+    if (dob != nullptr) (void)cache_->Remove(id);
+  }
+  dlc_->UnregisterDisplay(display_id_);
+}
+
+Status ActiveView::RefreshObject(DisplayObject* dob,
+                                 const UpdateNotifyMessage& msg) {
+  // Gather fresh images of every source. Eagerly shipped images are first
+  // installed into the client DB cache (saving the fetch round trip); all
+  // other sources are read through the cache (usually hits).
+  for (const DatabaseObject& img : msg.images) {
+    client_->cache().Put(img);
+  }
+  std::vector<DatabaseObject> images;
+  images.reserve(dob->sources().size());
+  for (Oid oid : dob->sources()) {
+    auto obj = client_->ReadCurrent(oid);
+    if (!obj.ok()) return obj.status();
+    images.push_back(std::move(obj).value());
+  }
+  IDBA_RETURN_NOT_OK(dob->Refresh(client_->schema(), images));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const DatabaseObject& img : images) {
+      displayed_versions_[img.oid()] = img.version();
+    }
+  }
+  return Status::OK();
+}
+
+void ActiveView::OnUpdateNotify(const UpdateNotifyMessage& msg, VTime /*local_now*/) {
+  // Affected display objects of *this* view.
+  std::vector<DoId> affected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto add = [&](Oid oid) {
+      auto it = by_source_.find(oid);
+      if (it == by_source_.end()) return;
+      for (DoId id : it->second) affected.push_back(id);
+    };
+    for (Oid oid : msg.updated) add(oid);
+    for (Oid oid : msg.erased) add(oid);
+    // Intent resolution: the objects are no longer "being updated".
+    for (Oid oid : msg.updated) marked_sources_.erase(oid);
+  }
+  if (!msg.committed) {
+    // Early-notify resolution of an aborted transaction: just unmark.
+    for (DoId id : affected) {
+      DisplayObject* dob = cache_->Find(id);
+      if (dob != nullptr) dob->SetMarkedInUpdate(false);
+    }
+    return;
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+  if (affected.empty()) return;
+
+  if (!msg.erased.empty()) erased_seen_.Add(msg.erased.size());
+  for (DoId id : affected) {
+    DisplayObject* dob = cache_->Find(id);
+    if (dob == nullptr) continue;
+    dob->MarkDirty();
+    Status st = RefreshObject(dob, msg);
+    if (st.ok()) {
+      dob->SetMarkedInUpdate(false);
+      refreshes_.Add();
+      // Redraw cost for this element.
+      client_->clock().Advance(dlc_->cost_model().DisplayRefreshCpu());
+    }
+  }
+  // Commit -> on-screen propagation latency (§4.3's headline metric). The
+  // client clock has observed the notification arrival (in the DLC), any
+  // re-fetch round trips, and the refresh CPU.
+  propagation_ms_.Record(
+      static_cast<double>(client_->clock().Now() - msg.commit_vtime) /
+      kVMillisecond);
+}
+
+void ActiveView::OnIntentNotify(const IntentNotifyMessage& msg, VTime /*local_now*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Oid oid : msg.oids) {
+    auto it = by_source_.find(oid);
+    if (it == by_source_.end()) continue;
+    marked_sources_.insert(oid);
+    for (DoId id : it->second) {
+      DisplayObject* dob = cache_->Find(id);
+      if (dob != nullptr) dob->SetMarkedInUpdate(true);
+    }
+    intent_marks_.Add();
+  }
+}
+
+std::vector<DisplayObject*> ActiveView::display_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DisplayObject*> out;
+  for (DoId id : my_objects_) {
+    DisplayObject* dob = cache_->Find(id);
+    if (dob != nullptr) out.push_back(dob);
+  }
+  return out;
+}
+
+size_t ActiveView::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return my_objects_.size();
+}
+
+bool ActiveView::IsSourceMarked(Oid source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return marked_sources_.count(source) != 0;
+}
+
+}  // namespace idba

@@ -1,0 +1,116 @@
+// Active views (paper §3.1): "the collection of display objects [forms] an
+// active (updatable) view of the database as opposed to a passive
+// snapshot". An ActiveView materializes display objects from database
+// objects, pins them in the display cache, holds display locks on every
+// associated database object through the DLC, and refreshes exactly the
+// affected display objects when update notifications arrive.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/dlc.h"
+#include "core/display_cache.h"
+
+namespace idba {
+
+struct ActiveViewOptions {
+  /// When false the view is the paper's contrasting "passive snapshot"
+  /// (§3.1): display objects are materialized once, no display locks are
+  /// taken, no notifications arrive, and the image silently goes stale.
+  bool subscribe = true;
+};
+
+/// One display (window). Register it on a DLC, then Materialize elements.
+class ActiveView : public DisplayNotificationSink {
+ public:
+  ActiveView(std::string name, DatabaseClient* client, DisplayLockClient* dlc,
+             DisplayCache* cache, ActiveViewOptions opts = {});
+  ~ActiveView() override;
+
+  const std::string& name() const { return name_; }
+  DisplayId display_id() const { return display_id_; }
+
+  /// Creates one display object of `dclass` over `sources`: reads current
+  /// images (through the client DB cache), materializes the DO into the
+  /// display cache, and acquires display locks on every source.
+  Result<DisplayObject*> Materialize(const DisplayClassDef* dclass,
+                                     std::vector<Oid> sources);
+
+  /// Materializes one DO per database object of dclass->primary_source()
+  /// (the common build-a-view-from-a-class flow). Display locks for the
+  /// whole view are requested in one batched DLM message.
+  Result<std::vector<DisplayObject*>> PopulateFromClass(
+      const DisplayClassDef* dclass, bool include_subclasses = false);
+
+  /// Materializes one DO per object matching `query` ("all links with
+  /// utilization above 0.8"). The query's class should match (or derive
+  /// from) dclass->primary_source().
+  Result<std::vector<DisplayObject*>> PopulateFromQuery(
+      const DisplayClassDef* dclass, const ObjectQuery& query);
+
+  /// Re-reads every source and refreshes every display object — the
+  /// manual "periodic refresh" operation (§2.3's strawman, but also how a
+  /// passive snapshot is brought current on demand). Returns the number of
+  /// display objects refreshed.
+  Result<size_t> RefreshAll();
+
+  /// Stale display objects compared to the current database state —
+  /// always 0 for a subscribed (active) view after a pump; grows silently
+  /// for a passive snapshot. Compares the displayed source versions.
+  size_t CountStaleObjects() const;
+
+  bool subscribed() const { return opts_.subscribe; }
+
+  /// Removes one element (releases its locks, evicts its DO).
+  Status Dismiss(DoId id);
+
+  /// Tears the whole view down.
+  void Close();
+
+  // --- DisplayNotificationSink -----------------------------------------
+  void OnUpdateNotify(const UpdateNotifyMessage& msg, VTime local_now) override;
+  void OnIntentNotify(const IntentNotifyMessage& msg, VTime local_now) override;
+
+  // --- Introspection -----------------------------------------------------
+  std::vector<DisplayObject*> display_objects() const;
+  size_t size() const;
+  /// True while an early-notify intent marks this source "being updated".
+  bool IsSourceMarked(Oid source) const;
+
+  uint64_t refreshes() const { return refreshes_.Get(); }
+  uint64_t intent_marks() const { return intent_marks_.Get(); }
+  uint64_t erased_sources_seen() const { return erased_seen_.Get(); }
+  /// Commit -> on-screen propagation latency in virtual milliseconds.
+  const Histogram& propagation_ms() const { return propagation_ms_; }
+
+ private:
+  Status RefreshObject(DisplayObject* dob, const UpdateNotifyMessage& msg);
+
+  std::string name_;
+  DatabaseClient* client_;
+  DisplayLockClient* dlc_;
+  DisplayCache* cache_;
+  ActiveViewOptions opts_;
+  DisplayId display_id_;
+  // Versions of the source images each DO was last refreshed from
+  // (CountStaleObjects compares these against the server's heap).
+  std::unordered_map<Oid, uint64_t> displayed_versions_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<DoId> my_objects_;
+  std::unordered_map<Oid, std::vector<DoId>> by_source_;
+  std::unordered_set<Oid> marked_sources_;
+  bool closed_ = false;
+
+  Counter refreshes_, intent_marks_, erased_seen_;
+  Histogram propagation_ms_;
+};
+
+}  // namespace idba

@@ -1,0 +1,78 @@
+#include "core/display_cache.h"
+
+#include <algorithm>
+
+namespace idba {
+
+DisplayCache::DisplayCache(DisplayCacheOptions opts) : opts_(opts) {}
+
+Result<DisplayObject*> DisplayCache::Create(const DisplayClassDef* dclass,
+                                            std::vector<Oid> sources) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto obj = std::make_unique<DisplayObject>(next_id_, dclass, std::move(sources));
+  size_t bytes = obj->MemoryBytes();
+  if (opts_.capacity_bytes != 0 && bytes_used_ + bytes > opts_.capacity_bytes) {
+    return Status::Busy("display cache over budget: " +
+                        std::to_string(bytes_used_ + bytes) + " > " +
+                        std::to_string(opts_.capacity_bytes));
+  }
+  DisplayObject* raw = obj.get();
+  for (Oid src : raw->sources()) by_source_[src].push_back(next_id_);
+  objects_[next_id_] = std::move(obj);
+  bytes_used_ += bytes;
+  ++next_id_;
+  return raw;
+}
+
+DisplayObject* DisplayCache::Find(DoId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Status DisplayCache::Remove(DoId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("display object " + std::to_string(id));
+  bytes_used_ -= std::min(bytes_used_, it->second->MemoryBytes());
+  for (Oid src : it->second->sources()) {
+    auto sit = by_source_.find(src);
+    if (sit != by_source_.end()) {
+      auto& v = sit->second;
+      v.erase(std::remove(v.begin(), v.end(), id), v.end());
+      if (v.empty()) by_source_.erase(sit);
+    }
+  }
+  objects_.erase(it);
+  return Status::OK();
+}
+
+std::vector<DisplayObject*> DisplayCache::FindBySource(Oid source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DisplayObject*> out;
+  auto it = by_source_.find(source);
+  if (it == by_source_.end()) return out;
+  for (DoId id : it->second) {
+    auto oit = objects_.find(id);
+    if (oit != objects_.end()) out.push_back(oit->second.get());
+  }
+  return out;
+}
+
+size_t DisplayCache::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+size_t DisplayCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+void DisplayCache::ReaccountBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_used_ = 0;
+  for (const auto& [id, obj] : objects_) bytes_used_ += obj->MemoryBytes();
+}
+
+}  // namespace idba

@@ -1,0 +1,63 @@
+// The display cache (paper §3.2): the new topmost level of the memory
+// hierarchy. Holds display objects, is *explicitly managed by the
+// application* — entries are pinned for as long as they are displayed and
+// are never evicted by any replacement policy, database parameter or
+// concurrent workload. That explicit control is precisely what makes GUI
+// interaction latency predictable (experiment E8 ablates it).
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/display_object.h"
+
+namespace idba {
+
+struct DisplayCacheOptions {
+  /// Soft budget: Add fails with Busy beyond it, forcing the application
+  /// to make an explicit decision (close a view) instead of suffering a
+  /// silent eviction. 0 = unlimited.
+  size_t capacity_bytes = 0;
+};
+
+/// Thread-safe pinned cache of display objects.
+class DisplayCache {
+ public:
+  explicit DisplayCache(DisplayCacheOptions opts = {});
+
+  /// Creates and pins a display object. Fails with Busy over budget.
+  Result<DisplayObject*> Create(const DisplayClassDef* dclass,
+                                std::vector<Oid> sources);
+
+  /// Looks up by id (nullptr if absent).
+  DisplayObject* Find(DoId id);
+
+  /// Explicitly removes a display object (when its element leaves the
+  /// screen). The only way space is ever reclaimed.
+  Status Remove(DoId id);
+
+  /// Display objects associated with a given database object.
+  std::vector<DisplayObject*> FindBySource(Oid source) const;
+
+  size_t object_count() const;
+  size_t bytes_used() const;
+  size_t capacity_bytes() const { return opts_.capacity_bytes; }
+
+  /// Recomputes the byte account (display objects mutate in place on
+  /// refresh). Cheap enough to call per refresh batch.
+  void ReaccountBytes();
+
+ private:
+  DisplayCacheOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<DoId, std::unique_ptr<DisplayObject>> objects_;
+  std::unordered_map<Oid, std::vector<DoId>> by_source_;
+  size_t bytes_used_ = 0;
+  DoId next_id_ = 1;
+};
+
+}  // namespace idba

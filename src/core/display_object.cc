@@ -1,0 +1,80 @@
+#include "core/display_object.h"
+
+namespace idba {
+
+DisplayObject::DisplayObject(DoId id, const DisplayClassDef* dclass,
+                             std::vector<Oid> sources)
+    : id_(id), dclass_(dclass), sources_(std::move(sources)),
+      values_(dclass->attribute_count()) {
+  size_t slot = dclass_->gui_slot_begin();
+  for (const GuiAttribute& g : dclass_->gui_attributes()) {
+    values_[slot++] = g.initial;
+  }
+}
+
+Status DisplayObject::Refresh(const SchemaCatalog& catalog,
+                              const std::vector<DatabaseObject>& source_images) {
+  if (source_images.size() != sources_.size()) {
+    return Status::InvalidArgument(
+        "refresh expects " + std::to_string(sources_.size()) + " images, got " +
+        std::to_string(source_images.size()));
+  }
+  for (size_t i = 0; i < source_images.size(); ++i) {
+    if (source_images[i].oid() != sources_[i]) {
+      return Status::InvalidArgument("refresh image " + std::to_string(i) +
+                                     " is not " + sources_[i].ToString());
+    }
+  }
+  const auto& projections = dclass_->projections();
+  for (size_t slot = 0; slot < projections.size(); ++slot) {
+    const ProjectedAttribute& p = projections[slot];
+    if (p.source_index >= source_images.size()) {
+      return Status::InvalidArgument("projection " + p.display_name +
+                                     " names missing source index " +
+                                     std::to_string(p.source_index));
+    }
+    IDBA_ASSIGN_OR_RETURN(
+        Value v, source_images[p.source_index].GetByName(catalog, p.source_attr));
+    values_[slot] = std::move(v);
+  }
+  const auto& derivations = dclass_->derivations();
+  for (size_t i = 0; i < derivations.size(); ++i) {
+    values_[projections.size() + i] = derivations[i].derive(source_images);
+  }
+  dirty_ = false;
+  ++refresh_count_;
+  return Status::OK();
+}
+
+size_t DisplayObject::MemoryBytes() const {
+  size_t bytes = sizeof(DisplayObject) + sources_.capacity() * sizeof(Oid);
+  for (const Value& v : values_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+Result<Value> DisplayObject::Get(const std::string& name) const {
+  auto slot = dclass_->FindSlot(name);
+  if (!slot.has_value()) return Status::NotFound("display attribute " + name);
+  return values_[*slot];
+}
+
+Status DisplayObject::SetGui(const std::string& name, Value v) {
+  auto slot = dclass_->FindSlot(name);
+  if (!slot.has_value() || *slot < dclass_->gui_slot_begin()) {
+    return Status::InvalidArgument(name + " is not a GUI attribute of " +
+                                   dclass_->name());
+  }
+  values_[*slot] = std::move(v);
+  return Status::OK();
+}
+
+std::string DisplayObject::ToString() const {
+  std::string out = dclass_->name() + "#" + std::to_string(id_) + "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += dclass_->AttributeNameAt(i) + "=" + values_[i].ToString();
+  }
+  return out + "}";
+}
+
+}  // namespace idba

@@ -1,0 +1,80 @@
+// Display objects (paper §3.1): instances of display classes, explicitly
+// associated with the database objects they were derived from (the OID
+// list of footnote 1) and kept consistent with them for their lifetime —
+// turning the display into an active view rather than a passive snapshot.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/display_schema.h"
+
+namespace idba {
+
+/// Identifier of a display object within a client (unique per process).
+using DoId = uint64_t;
+
+class DisplayObject {
+ public:
+  /// Creates an instance of `dclass` associated with `sources` (their
+  /// order matters: projections name a source_index). GUI attributes start
+  /// at their declared initial values. Call Refresh() to materialize.
+  /// `dclass` must be registered in a DisplaySchema (slot index built).
+  DisplayObject(DoId id, const DisplayClassDef* dclass, std::vector<Oid> sources);
+
+  DoId id() const { return id_; }
+  const DisplayClassDef& display_class() const { return *dclass_; }
+  /// The associated database objects (the paper's per-DO OID list).
+  const std::vector<Oid>& sources() const { return sources_; }
+
+  /// Recomputes projected and derived attributes from fresh images of the
+  /// associated database objects (same order as sources()). GUI attributes
+  /// are untouched. Clears the dirty flag.
+  Status Refresh(const SchemaCatalog& catalog,
+                 const std::vector<DatabaseObject>& source_images);
+
+  /// Attribute access (projected, derived, or GUI).
+  Result<Value> Get(const std::string& name) const;
+  /// Only GUI attributes may be written (the database is updated through
+  /// transactions, never through the display object).
+  Status SetGui(const std::string& name, Value v);
+
+  bool Has(const std::string& name) const {
+    return dclass_->FindSlot(name).has_value();
+  }
+
+  /// True when an update notification affected a source but Refresh has
+  /// not run yet.
+  bool dirty() const { return dirty_; }
+  void MarkDirty() { dirty_ = true; }
+
+  /// Early-notify protocol: object is being updated by another user.
+  bool marked_in_update() const { return marked_in_update_; }
+  void SetMarkedInUpdate(bool marked) { marked_in_update_ = marked; }
+
+  uint64_t refresh_count() const { return refresh_count_; }
+
+  /// Approximate main-memory footprint, used for display-cache accounting
+  /// (§4.3 compares this against the DB-cache footprint of the sources).
+  size_t MemoryBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  DoId id_;
+  const DisplayClassDef* dclass_;
+  std::vector<Oid> sources_;
+  // Positional slots per the class's layout (projections, derivations,
+  // GUI) — names are stored once on the class, keeping instances compact
+  // (the basis of §4.3's display-vs-DB cache size comparison).
+  std::vector<Value> values_;
+  bool dirty_ = true;  // not yet materialized
+  bool marked_in_update_ = false;
+  uint64_t refresh_count_ = 0;
+};
+
+}  // namespace idba

@@ -1,0 +1,72 @@
+#include "core/display_schema.h"
+
+namespace idba {
+
+Status DisplayClassDef::Validate(const SchemaCatalog& catalog) const {
+  if (catalog.Find(primary_source_) == nullptr) {
+    return Status::NotFound("display class " + name_ + ": unknown source class " +
+                            std::to_string(primary_source_));
+  }
+  for (const auto& p : projections_) {
+    if (p.source_index != 0) continue;  // validated against objects at refresh
+    if (!catalog.ResolveAttribute(primary_source_, p.source_attr)) {
+      return Status::NotFound("display class " + name_ + ": source class has no attribute " +
+                              p.source_attr);
+    }
+  }
+  // Attribute names must be unique across projections/derivations/GUI.
+  std::vector<std::string> names;
+  for (const auto& p : projections_) names.push_back(p.display_name);
+  for (const auto& d : derivations_) names.push_back(d.name);
+  for (const auto& g : gui_attrs_) names.push_back(g.name);
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        return Status::InvalidArgument("display class " + name_ +
+                                       ": duplicate attribute " + names[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const std::string& DisplayClassDef::AttributeNameAt(size_t slot) const {
+  if (slot < projections_.size()) return projections_[slot].display_name;
+  slot -= projections_.size();
+  if (slot < derivations_.size()) return derivations_[slot].name;
+  return gui_attrs_[slot - derivations_.size()].name;
+}
+
+void DisplayClassDef::BuildSlotIndex() {
+  slot_index_.clear();
+  for (size_t i = 0; i < attribute_count(); ++i) {
+    slot_index_[AttributeNameAt(i)] = i;
+  }
+}
+
+Result<DisplayClassId> DisplaySchema::Define(DisplayClassDef def,
+                                             const SchemaCatalog& catalog) {
+  IDBA_RETURN_NOT_OK(def.Validate(catalog));
+  if (FindByName(def.name()) != nullptr) {
+    return Status::AlreadyExists("display class " + def.name());
+  }
+  auto id = static_cast<DisplayClassId>(classes_.size() + 1);
+  def.id_ = id;
+  def.BuildSlotIndex();
+  classes_.push_back(std::make_unique<DisplayClassDef>(std::move(def)));
+  return id;
+}
+
+const DisplayClassDef* DisplaySchema::Find(DisplayClassId id) const {
+  if (id == 0 || id > classes_.size()) return nullptr;
+  return classes_[id - 1].get();
+}
+
+const DisplayClassDef* DisplaySchema::FindByName(const std::string& name) const {
+  for (const auto& c : classes_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace idba

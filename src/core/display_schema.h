@@ -1,0 +1,138 @@
+// Display schemas (paper §3.1).
+//
+// A display class (DC) is defined *over* the database schema, externally to
+// it: it names which database attributes a graphical element needs
+// (projections), how values that exist in no database attribute are
+// computed (derivations — e.g. Color from Link.Utilization), and which
+// GUI-only attributes it carries (screen coordinates, selection state...).
+// Display objects (display_object.h) are its instances; a DC may combine
+// several database objects into one graphical element (e.g. a path's line
+// derived from all its Links).
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objectmodel/object.h"
+
+namespace idba {
+
+using DisplayClassId = uint32_t;
+
+/// Computes a display attribute from the associated database objects
+/// (ordered as the display object's OID list).
+using DerivationFn = std::function<Value(const std::vector<DatabaseObject>&)>;
+
+/// Attribute copied verbatim from a source database object.
+struct ProjectedAttribute {
+  std::string display_name;  ///< name on the display object
+  std::string source_attr;   ///< attribute on the database class
+  size_t source_index = 0;   ///< which associated object to project from
+};
+
+/// Attribute computed from the associated database objects.
+struct DerivedAttribute {
+  std::string name;
+  DerivationFn derive;
+};
+
+/// GUI-only attribute (never touches the database; owned by the display).
+struct GuiAttribute {
+  std::string name;
+  Value initial;
+};
+
+/// A display class definition. Build with the fluent setters, then
+/// register in a DisplaySchema.
+class DisplayClassDef {
+ public:
+  DisplayClassDef(std::string name, ClassId primary_source)
+      : name_(std::move(name)), primary_source_(primary_source) {}
+
+  DisplayClassDef& Project(std::string display_name, std::string source_attr,
+                           size_t source_index = 0) {
+    projections_.push_back(
+        {std::move(display_name), std::move(source_attr), source_index});
+    return *this;
+  }
+
+  DisplayClassDef& Derive(std::string name, DerivationFn fn) {
+    derivations_.push_back({std::move(name), std::move(fn)});
+    return *this;
+  }
+
+  DisplayClassDef& Gui(std::string name, Value initial) {
+    gui_attrs_.push_back({std::move(name), std::move(initial)});
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  ClassId primary_source() const { return primary_source_; }
+  DisplayClassId id() const { return id_; }
+
+  const std::vector<ProjectedAttribute>& projections() const { return projections_; }
+  const std::vector<DerivedAttribute>& derivations() const { return derivations_; }
+  const std::vector<GuiAttribute>& gui_attributes() const { return gui_attrs_; }
+
+  /// Validates against the database schema: every projected attribute must
+  /// exist on the primary source class (index-0 projections only; other
+  /// indices are validated at refresh time against the actual objects).
+  Status Validate(const SchemaCatalog& catalog) const;
+
+  // Display objects store attribute values positionally; the slot layout
+  // (projections, then derivations, then GUI attributes) and the
+  // name->slot index live here, once per class, so instances stay compact
+  // — that compactness is what §4.3's display-vs-DB cache ratio measures.
+
+  /// Total number of display attributes.
+  size_t attribute_count() const {
+    return projections_.size() + derivations_.size() + gui_attrs_.size();
+  }
+  /// Slot of `name`, or nullopt. Valid after schema registration.
+  std::optional<size_t> FindSlot(const std::string& name) const {
+    auto it = slot_index_.find(name);
+    if (it == slot_index_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Slots >= this index are GUI attributes (writable via SetGui).
+  size_t gui_slot_begin() const {
+    return projections_.size() + derivations_.size();
+  }
+  /// Attribute name of `slot` (layout order).
+  const std::string& AttributeNameAt(size_t slot) const;
+
+ private:
+  friend class DisplaySchema;
+  void BuildSlotIndex();
+  std::string name_;
+  ClassId primary_source_;
+  DisplayClassId id_ = 0;
+  std::vector<ProjectedAttribute> projections_;
+  std::vector<DerivedAttribute> derivations_;
+  std::vector<GuiAttribute> gui_attrs_;
+  std::unordered_map<std::string, size_t> slot_index_;
+};
+
+/// A named collection of display classes — one per interactive application
+/// (paper: "for each interactive application, a proper external display
+/// schema should be defined over the existing database schema").
+class DisplaySchema {
+ public:
+  /// Registers a display class (validating it) and returns its id.
+  Result<DisplayClassId> Define(DisplayClassDef def, const SchemaCatalog& catalog);
+
+  const DisplayClassDef* Find(DisplayClassId id) const;
+  const DisplayClassDef* FindByName(const std::string& name) const;
+  size_t size() const { return classes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<DisplayClassDef>> classes_;
+};
+
+}  // namespace idba

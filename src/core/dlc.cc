@@ -1,0 +1,212 @@
+#include "core/dlc.h"
+
+#include <optional>
+
+namespace idba {
+
+DisplayLockClient::DisplayLockClient(DatabaseClient* client,
+                                     DisplayLockManager* dlm,
+                                     NotificationBus* bus, DlcOptions opts)
+    : client_(client), dlm_(dlm), bus_(bus), opts_(opts) {}
+
+DisplayLockClient::~DisplayLockClient() {
+  std::vector<DisplayId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, sink] : displays_) ids.push_back(id);
+  }
+  for (DisplayId id : ids) UnregisterDisplay(id);
+}
+
+ClientId DisplayLockClient::RemoteIdFor(DisplayId display) const {
+  if (opts_.hierarchical) return client_->id();
+  // Non-hierarchical baseline: each display is its own DLM client.
+  return (client_->id() << 16) | display;
+}
+
+DisplayId DisplayLockClient::RegisterDisplay(DisplayNotificationSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisplayId id = next_display_++;
+  displays_[id] = sink;
+  if (!opts_.hierarchical && bus_ != nullptr) {
+    // Route the pseudo-client's notifications into the same client inbox;
+    // the bus still counts them as separate messages (that is the point
+    // of the E6 baseline).
+    bus_->Register(static_cast<EndpointId>(RemoteIdFor(id)), &client_->inbox());
+  }
+  return id;
+}
+
+void DisplayLockClient::UnregisterDisplay(DisplayId display) {
+  std::vector<Oid> to_release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto bit = by_display_.find(display);
+    if (bit != by_display_.end()) {
+      to_release.assign(bit->second.begin(), bit->second.end());
+    }
+  }
+  for (Oid oid : to_release) (void)ReleaseDisplayLock(display, oid);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opts_.hierarchical && bus_ != nullptr) {
+    bus_->Unregister(static_cast<EndpointId>(RemoteIdFor(display)));
+  }
+  displays_.erase(display);
+  by_display_.erase(display);
+}
+
+Status DisplayLockClient::AcquireDisplayLock(DisplayId display, Oid oid) {
+  local_requests_.Add();
+  bool need_remote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!displays_.count(display)) {
+      return Status::NotFound("display " + std::to_string(display));
+    }
+    auto& holders = local_locks_[oid];
+    if (opts_.hierarchical) {
+      // Lock at the DLM only on the first local holder (§4.2.1: "a
+      // database object is display-locked at the DLM only once, no matter
+      // how many local displays depend on it").
+      need_remote = holders.empty();
+    } else {
+      need_remote = !by_display_[display].count(oid);
+    }
+    holders.insert(display);
+    by_display_[display].insert(oid);
+  }
+  if (need_remote) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batching_) {
+        pending_batch_[RemoteIdFor(display)].push_back(oid);
+        return Status::OK();
+      }
+    }
+    remote_requests_.Add();
+    return dlm_->Lock(RemoteIdFor(display), oid, client_->clock().Now());
+  }
+  return Status::OK();
+}
+
+void DisplayLockClient::BeginLockBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  batching_ = true;
+}
+
+Status DisplayLockClient::EndLockBatch() {
+  std::unordered_map<ClientId, std::vector<Oid>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batching_ = false;
+    pending = std::move(pending_batch_);
+    pending_batch_.clear();
+  }
+  for (auto& [remote, oids] : pending) {
+    remote_requests_.Add();  // ONE message per remote id
+    IDBA_RETURN_NOT_OK(dlm_->LockBatch(remote, oids, client_->clock().Now()));
+  }
+  return Status::OK();
+}
+
+Status DisplayLockClient::ReleaseDisplayLock(DisplayId display, Oid oid) {
+  bool need_remote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = local_locks_.find(oid);
+    if (it == local_locks_.end() || !it->second.count(display)) {
+      return Status::NotFound("display holds no lock on " + oid.ToString());
+    }
+    it->second.erase(display);
+    if (it->second.empty()) local_locks_.erase(it);
+    auto bit = by_display_.find(display);
+    if (bit != by_display_.end()) bit->second.erase(oid);
+    need_remote = opts_.hierarchical ? (local_locks_.count(oid) == 0) : true;
+  }
+  if (need_remote) {
+    remote_requests_.Add();
+    return dlm_->Unlock(RemoteIdFor(display), oid, client_->clock().Now());
+  }
+  return Status::OK();
+}
+
+void DisplayLockClient::Dispatch(const Envelope& env) {
+  notifications_.Add();
+  // The client observes the message arrival and pays dispatch CPU.
+  client_->clock().Observe(env.arrives_at);
+  client_->clock().Advance(
+      bus_->cost_model().NotificationDispatchCpu());
+
+  // Which local displays care? Hierarchical mode: every display holding a
+  // local lock on any OID in the message (the DLC's fan-out role).
+  // Non-hierarchical baseline: the envelope targets one specific
+  // pseudo-client = one display; dispatch only to it.
+  std::optional<DisplayId> only_display;
+  if (!opts_.hierarchical) {
+    only_display = static_cast<DisplayId>(env.to & 0xFFFF);
+  }
+  auto collect = [&](const std::vector<Oid>& oids,
+                     std::unordered_set<DisplayId>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Oid oid : oids) {
+      auto it = local_locks_.find(oid);
+      if (it == local_locks_.end()) continue;
+      for (DisplayId d : it->second) {
+        if (only_display.has_value() && d != *only_display) continue;
+        out->insert(d);
+      }
+    }
+  };
+
+  if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(env.msg.get())) {
+    std::unordered_set<DisplayId> targets;
+    collect(update->updated, &targets);
+    collect(update->erased, &targets);
+    for (DisplayId d : targets) {
+      DisplayNotificationSink* sink = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = displays_.find(d);
+        if (it != displays_.end()) sink = it->second;
+      }
+      if (sink != nullptr) {
+        dispatches_.Add();
+        sink->OnUpdateNotify(*update, client_->clock().Now());
+      }
+    }
+  } else if (const auto* intent =
+                 dynamic_cast<const IntentNotifyMessage*>(env.msg.get())) {
+    std::unordered_set<DisplayId> targets;
+    collect(intent->oids, &targets);
+    for (DisplayId d : targets) {
+      DisplayNotificationSink* sink = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = displays_.find(d);
+        if (it != displays_.end()) sink = it->second;
+      }
+      if (sink != nullptr) {
+        dispatches_.Add();
+        sink->OnIntentNotify(*intent, client_->clock().Now());
+      }
+    }
+  }
+}
+
+int DisplayLockClient::PumpOnce() {
+  int handled = 0;
+  while (auto env = client_->inbox().Poll()) {
+    Dispatch(*env);
+    ++handled;
+  }
+  return handled;
+}
+
+int DisplayLockClient::PumpWait(int64_t timeout_ms) {
+  auto env = client_->inbox().WaitNext(timeout_ms);
+  if (!env) return 0;
+  Dispatch(*env);
+  return 1 + PumpOnce();
+}
+
+}  // namespace idba

@@ -1,0 +1,69 @@
+#include "core/notification.h"
+
+namespace idba {
+
+void UpdateNotifyMessage::EncodeTo(Encoder* enc) const {
+  enc->PutU64(txn);
+  enc->PutI64(commit_vtime);
+  enc->PutU8(committed ? 1 : 0);
+  enc->PutVarint(updated.size());
+  for (Oid oid : updated) enc->PutU64(oid.value);
+  enc->PutVarint(erased.size());
+  for (Oid oid : erased) enc->PutU64(oid.value);
+  enc->PutVarint(images.size());
+  for (const DatabaseObject& img : images) img.EncodeTo(enc);
+}
+
+Status UpdateNotifyMessage::DecodeFrom(Decoder* dec, UpdateNotifyMessage* out) {
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->txn));
+  IDBA_RETURN_NOT_OK(dec->GetI64(&out->commit_vtime));
+  uint8_t committed = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU8(&committed));
+  out->committed = committed != 0;
+  uint64_t n = 0;
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->updated.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t oid = 0;
+    IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+    out->updated.emplace_back(oid);
+  }
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->erased.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t oid = 0;
+    IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+    out->erased.emplace_back(oid);
+  }
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->images.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    DatabaseObject obj;
+    IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(dec, &obj));
+    out->images.push_back(std::move(obj));
+  }
+  return Status::OK();
+}
+
+void IntentNotifyMessage::EncodeTo(Encoder* enc) const {
+  enc->PutU64(txn);
+  enc->PutI64(intent_vtime);
+  enc->PutVarint(oids.size());
+  for (Oid oid : oids) enc->PutU64(oid.value);
+}
+
+Status IntentNotifyMessage::DecodeFrom(Decoder* dec, IntentNotifyMessage* out) {
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->txn));
+  IDBA_RETURN_NOT_OK(dec->GetI64(&out->intent_vtime));
+  uint64_t n = 0;
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->oids.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t oid = 0;
+    IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+    out->oids.emplace_back(oid);
+  }
+  return Status::OK();
+}
+
+}  // namespace idba

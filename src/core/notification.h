@@ -1,0 +1,66 @@
+// Notification protocol messages (paper §3.3).
+//
+// - post-commit notify: after an update commits, the DLM tells every
+//   display-lock holder which objects changed; holders re-fetch and
+//   refresh (the lazy 3-message path measured in §4.3), unless the DLM is
+//   configured for *eager shipping*, in which case the new images ride
+//   along and the fetch round trip disappears.
+// - early notify: additionally, when a transaction obtains an X lock the
+//   DLM sends an update-intention notice so displays can mark the object
+//   "being updated"; a resolution notice follows at commit/abort.
+
+#pragma once
+
+#include <vector>
+
+#include "net/message.h"
+#include "objectmodel/object.h"
+#include "storage/wal.h"
+
+namespace idba {
+
+enum class NotifyProtocol {
+  kPostCommit,   ///< notify after commit only
+  kEarlyNotify,  ///< + intention notices at X-lock time
+};
+
+/// DLM -> client: objects committed (or an early-notify resolution).
+class UpdateNotifyMessage : public Message {
+ public:
+  TxnId txn = 0;
+  VTime commit_vtime = 0;  ///< server virtual time of the commit
+  std::vector<Oid> updated;
+  std::vector<Oid> erased;
+  /// Eager shipping: new images for `updated` (empty under lazy protocol).
+  std::vector<DatabaseObject> images;
+  /// False when this resolves an earlier intent as *aborted*.
+  bool committed = true;
+
+  std::string_view name() const override { return "UpdateNotify"; }
+  size_t WireBytes() const override {
+    size_t bytes = 32 + 8 * (updated.size() + erased.size());
+    for (const auto& img : images) bytes += img.WireBytes();
+    return bytes;
+  }
+
+  /// Wire format (what a real DLM would put on the socket; used by tests
+  /// to validate WireBytes and by any out-of-process transport).
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, UpdateNotifyMessage* out);
+};
+
+/// DLM -> client: a transaction intends to update these objects.
+class IntentNotifyMessage : public Message {
+ public:
+  TxnId txn = 0;
+  VTime intent_vtime = 0;
+  std::vector<Oid> oids;
+
+  std::string_view name() const override { return "IntentNotify"; }
+  size_t WireBytes() const override { return 32 + 8 * oids.size(); }
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, IntentNotifyMessage* out);
+};
+
+}  // namespace idba

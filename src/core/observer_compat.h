@@ -1,0 +1,88 @@
+// ObServer-vocabulary adapter (paper §5, related work).
+//
+// The paper observes that "the rich set of locks and communication modes
+// offered by ObServer [Hornick & Zdonik] for cooperative transactions can
+// be used to implement display locks. Non-restrictive read (NR-READ)
+// locks allow a transaction to read an object without prohibiting write
+// privileges to other transactions. These locks can be combined either
+// with the update-notify (U-NOTIFY) communication mode which notifies lock
+// holders upon updates (post-commit notify protocol), or with the
+// write-notify (W-NOTIFY) communication mode which notifies lock holders
+// when another transaction requests [the] object for writing (early notify
+// protocol)."
+//
+// This header makes that equivalence executable: an ObServer-style client
+// written against NR-READ + notification modes runs unchanged on top of
+// the DLM/DLC stack. It is a *vocabulary* adapter — semantics are exactly
+// those of display locks.
+
+#pragma once
+
+#include "core/dlm.h"
+
+namespace idba {
+namespace observer_compat {
+
+/// ObServer lock types (the subset meaningful for displays).
+enum class ObLockType {
+  kNrRead,  ///< non-restrictive read == display lock mode D
+};
+
+/// ObServer communication modes.
+enum class ObCommMode {
+  kUNotify,  ///< notify on committed update  == post-commit notify
+  kWNotify,  ///< notify on write-lock request == early notify (intent)
+};
+
+/// Maps an ObServer (lock, mode) pair onto the DLM configuration that
+/// realizes it. kNrRead+kUNotify needs a post-commit DLM; kNrRead+kWNotify
+/// needs an early-notify DLM (which also delivers the commit resolution,
+/// subsuming U-NOTIFY).
+inline NotifyProtocol RequiredProtocol(ObCommMode mode) {
+  return mode == ObCommMode::kWNotify ? NotifyProtocol::kEarlyNotify
+                                      : NotifyProtocol::kPostCommit;
+}
+
+/// True if a DLM configured with `configured` can serve a client that
+/// asked for `requested` semantics.
+inline bool ProtocolServes(NotifyProtocol configured, ObCommMode requested) {
+  if (requested == ObCommMode::kUNotify) return true;  // both protocols notify
+  return configured == NotifyProtocol::kEarlyNotify;
+}
+
+/// An ObServer-style handle: SetLock/ReleaseLock in ObServer vocabulary,
+/// backed by the display lock manager.
+class ObServerClient {
+ public:
+  ObServerClient(DisplayLockManager* dlm, ClientId client, ObCommMode mode)
+      : dlm_(dlm), client_(client), mode_(mode) {}
+
+  /// ObServer SetLock(object, NR-READ). Never blocks (display locks are
+  /// compatible with everything). Fails with NotSupported if the DLM's
+  /// protocol cannot deliver the requested communication mode.
+  Status SetLock(Oid oid, ObLockType type, VTime now = 0) {
+    if (type != ObLockType::kNrRead) {
+      return Status::NotSupported("only NR-READ maps onto display locks");
+    }
+    if (!ProtocolServes(dlm_->options().protocol, mode_)) {
+      return Status::NotSupported(
+          "W-NOTIFY requires an early-notify DLM deployment");
+    }
+    return dlm_->Lock(client_, oid, now);
+  }
+
+  Status ReleaseLock(Oid oid, VTime now = 0) {
+    return dlm_->Unlock(client_, oid, now);
+  }
+
+  ObCommMode mode() const { return mode_; }
+  ClientId client() const { return client_; }
+
+ private:
+  DisplayLockManager* dlm_;
+  ClientId client_;
+  ObCommMode mode_;
+};
+
+}  // namespace observer_compat
+}  // namespace idba

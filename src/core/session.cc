@@ -1,0 +1,79 @@
+#include "core/session.h"
+
+namespace idba {
+
+Deployment::Deployment(DeploymentOptions opts)
+    : opts_(opts),
+      server_(opts.server),
+      bus_(CostModel(opts.cost)),
+      meter_(CostModel(opts.cost)),
+      dlm_(&server_, &bus_, opts.dlm) {}
+
+std::unique_ptr<InteractiveSession> Deployment::NewSession(
+    ClientId id, DatabaseClientOptions client_opts, DlcOptions dlc_opts,
+    DisplayCacheOptions cache_opts) {
+  return std::make_unique<InteractiveSession>(this, id, client_opts, dlc_opts,
+                                              cache_opts);
+}
+
+InteractiveSession::InteractiveSession(Deployment* deployment, ClientId id,
+                                       DatabaseClientOptions client_opts,
+                                       DlcOptions dlc_opts,
+                                       DisplayCacheOptions cache_opts)
+    : deployment_(deployment),
+      client_(&deployment->server(), id, &deployment->meter(),
+              &deployment->bus(), client_opts),
+      dlc_(&client_, &deployment->dlm(), &deployment->bus(), dlc_opts),
+      display_cache_(cache_opts) {}
+
+InteractiveSession::~InteractiveSession() {
+  StopPump();
+  for (auto& [name, view] : views_) view->Close();
+  views_.clear();
+  deployment_->dlm().ReleaseClient(client_.id());
+}
+
+ActiveView* InteractiveSession::CreateView(const std::string& name,
+                                           ActiveViewOptions opts) {
+  auto view = std::make_unique<ActiveView>(name, &client_, &dlc_,
+                                           &display_cache_, opts);
+  ActiveView* raw = view.get();
+  views_[name] = std::move(view);
+  return raw;
+}
+
+ActiveView* InteractiveSession::FindView(const std::string& name) {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+Status InteractiveSession::CloseView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("view " + name);
+  it->second->Close();
+  views_.erase(it);
+  return Status::OK();
+}
+
+std::vector<ActiveView*> InteractiveSession::views() {
+  std::vector<ActiveView*> out;
+  out.reserve(views_.size());
+  for (auto& [name, view] : views_) out.push_back(view.get());
+  return out;
+}
+
+void InteractiveSession::StartPump() {
+  if (pumping_.exchange(true)) return;
+  pump_thread_ = std::thread([this] {
+    while (pumping_.load()) {
+      dlc_.PumpWait(/*timeout_ms=*/20);
+    }
+  });
+}
+
+void InteractiveSession::StopPump() {
+  if (!pumping_.exchange(false)) return;
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+}  // namespace idba

@@ -1,0 +1,94 @@
+// Deployment and session wiring — figure 3 of the paper as code.
+//
+// A Deployment is one database server + one DLM agent + the shared
+// notification bus and RPC meter. An InteractiveSession is one client
+// application: its DatabaseClient (with client DB cache), its DLC, its
+// display cache, and any number of ActiveViews (displays). An optional
+// pump thread plays the role of the client's notification listener.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/active_view.h"
+#include "core/display_schema.h"
+
+namespace idba {
+
+struct DeploymentOptions {
+  CostModelOptions cost;
+  DatabaseServerOptions server;
+  DlmOptions dlm;
+};
+
+class InteractiveSession;
+
+/// One server + one DLM + shared bus/meter. Create first, then sessions.
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions opts = {});
+
+  DatabaseServer& server() { return server_; }
+  NotificationBus& bus() { return bus_; }
+  RpcMeter& meter() { return meter_; }
+  DisplayLockManager& dlm() { return dlm_; }
+  DisplaySchema& display_schema() { return display_schema_; }
+  const DeploymentOptions& options() const { return opts_; }
+
+  /// Creates a client application session with the given id (>= 100 and
+  /// unique per deployment; ids also serve as endpoint + lock-owner ids).
+  std::unique_ptr<InteractiveSession> NewSession(
+      ClientId id, DatabaseClientOptions client_opts = {},
+      DlcOptions dlc_opts = {}, DisplayCacheOptions cache_opts = {});
+
+ private:
+  DeploymentOptions opts_;
+  DatabaseServer server_;
+  NotificationBus bus_;
+  RpcMeter meter_;
+  DisplayLockManager dlm_;
+  DisplaySchema display_schema_;
+};
+
+/// One client application: DB client + DLC + display cache + views.
+class InteractiveSession {
+ public:
+  InteractiveSession(Deployment* deployment, ClientId id,
+                     DatabaseClientOptions client_opts, DlcOptions dlc_opts,
+                     DisplayCacheOptions cache_opts);
+  ~InteractiveSession();
+
+  DatabaseClient& client() { return client_; }
+  DisplayLockClient& dlc() { return dlc_; }
+  DisplayCache& display_cache() { return display_cache_; }
+  Deployment& deployment() { return *deployment_; }
+
+  /// Creates a named display (window). Owned by the session.
+  ActiveView* CreateView(const std::string& name, ActiveViewOptions opts = {});
+  ActiveView* FindView(const std::string& name);
+  Status CloseView(const std::string& name);
+  std::vector<ActiveView*> views();
+
+  /// Handles all pending notifications on the calling thread.
+  int PumpOnce() { return dlc_.PumpOnce(); }
+
+  /// Starts/stops a background notification listener thread.
+  void StartPump();
+  void StopPump();
+
+ private:
+  Deployment* deployment_;
+  DatabaseClient client_;
+  DisplayLockClient dlc_;
+  DisplayCache display_cache_;
+  std::unordered_map<std::string, std::unique_ptr<ActiveView>> views_;
+  std::thread pump_thread_;
+  std::atomic<bool> pumping_{false};
+};
+
+}  // namespace idba

@@ -1,0 +1,107 @@
+#include "core/stats_report.h"
+
+#include <cstdio>
+
+namespace idba {
+
+namespace {
+std::string Line(const char* label, uint64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %-26s %llu\n", label,
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+}  // namespace
+
+DeploymentStats CollectStats(Deployment& deployment) {
+  DeploymentStats s;
+  DatabaseServer& server = deployment.server();
+  s.commits = server.commits();
+  s.aborts = server.aborts();
+  s.lock_grants = server.lock_manager().grants();
+  s.lock_waits = server.lock_manager().waits();
+  s.lock_deadlocks = server.lock_manager().deadlocks();
+  s.cache_callbacks = server.callback_manager().callbacks_issued();
+  s.buffer_hits = server.buffer_pool().hits();
+  s.buffer_misses = server.buffer_pool().misses();
+  s.buffer_evictions = server.buffer_pool().evictions();
+  s.heap_objects = server.heap().object_count();
+  s.data_pages = server.heap().data_page_count();
+  s.wal_pages = server.wal().DiskPages();
+
+  DisplayLockManager& dlm = deployment.dlm();
+  s.display_locked_objects = dlm.locked_object_count();
+  s.display_lock_requests = dlm.lock_requests();
+  s.display_unlock_requests = dlm.unlock_requests();
+  s.update_notifications = dlm.update_notifications();
+  s.intent_notifications = dlm.intent_notifications();
+
+  s.rpc_messages = deployment.meter().messages();
+  s.rpc_bytes = deployment.meter().bytes();
+  s.notify_messages = deployment.bus().messages_sent();
+  s.notify_bytes = deployment.bus().bytes_sent();
+  return s;
+}
+
+std::string DeploymentStats::ToString() const {
+  std::string out = "server:\n";
+  out += Line("commits", commits);
+  out += Line("aborts", aborts);
+  out += Line("lock grants", lock_grants);
+  out += Line("lock waits", lock_waits);
+  out += Line("deadlocks", lock_deadlocks);
+  out += Line("cache callbacks", cache_callbacks);
+  out += Line("buffer hits", buffer_hits);
+  out += Line("buffer misses", buffer_misses);
+  out += Line("buffer evictions", buffer_evictions);
+  out += Line("heap objects", heap_objects);
+  out += Line("data pages", data_pages);
+  out += Line("wal pages", wal_pages);
+  out += "display lock manager:\n";
+  out += Line("locked objects", display_locked_objects);
+  out += Line("lock requests", display_lock_requests);
+  out += Line("unlock requests", display_unlock_requests);
+  out += Line("update notifications", update_notifications);
+  out += Line("intent notifications", intent_notifications);
+  out += "traffic:\n";
+  out += Line("rpc messages", rpc_messages);
+  out += Line("rpc bytes", rpc_bytes);
+  out += Line("notify messages", notify_messages);
+  out += Line("notify bytes", notify_bytes);
+  return out;
+}
+
+SessionStats CollectSessionStats(InteractiveSession& session) {
+  SessionStats s;
+  ObjectCache& cache = session.client().cache();
+  s.db_cache_objects = cache.entry_count();
+  s.db_cache_bytes = cache.bytes_used();
+  s.db_cache_hits = cache.hits();
+  s.db_cache_misses = cache.misses();
+  s.db_cache_invalidations = cache.invalidations();
+  s.display_objects = session.display_cache().object_count();
+  s.display_cache_bytes = session.display_cache().bytes_used();
+  s.notifications_received = session.dlc().notifications_received();
+  s.local_dispatches = session.dlc().local_dispatches();
+  s.remote_lock_requests = session.dlc().remote_lock_requests();
+  s.rpcs_issued = session.client().rpcs_issued();
+  return s;
+}
+
+std::string SessionStats::ToString() const {
+  std::string out = "client session:\n";
+  out += Line("db cache objects", db_cache_objects);
+  out += Line("db cache bytes", db_cache_bytes);
+  out += Line("db cache hits", db_cache_hits);
+  out += Line("db cache misses", db_cache_misses);
+  out += Line("invalidations", db_cache_invalidations);
+  out += Line("display objects", display_objects);
+  out += Line("display cache bytes", display_cache_bytes);
+  out += Line("notifications", notifications_received);
+  out += Line("local dispatches", local_dispatches);
+  out += Line("remote lock requests", remote_lock_requests);
+  out += Line("rpcs issued", rpcs_issued);
+  return out;
+}
+
+}  // namespace idba

@@ -1,0 +1,66 @@
+// Deployment-wide statistics snapshot — one call that gathers every
+// counter an operator (or an experiment harness) wants to see, formatted
+// the way the paper's figure-3 components are organized.
+
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+
+namespace idba {
+
+/// A point-in-time snapshot of one deployment's counters.
+struct DeploymentStats {
+  // Server.
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t lock_grants = 0;
+  uint64_t lock_waits = 0;
+  uint64_t lock_deadlocks = 0;
+  uint64_t cache_callbacks = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_evictions = 0;
+  uint64_t heap_objects = 0;
+  uint64_t data_pages = 0;
+  uint64_t wal_pages = 0;
+  // DLM.
+  uint64_t display_locked_objects = 0;
+  uint64_t display_lock_requests = 0;
+  uint64_t display_unlock_requests = 0;
+  uint64_t update_notifications = 0;
+  uint64_t intent_notifications = 0;
+  // Traffic.
+  uint64_t rpc_messages = 0;
+  uint64_t rpc_bytes = 0;
+  uint64_t notify_messages = 0;
+  uint64_t notify_bytes = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Collects a snapshot from a live deployment.
+DeploymentStats CollectStats(Deployment& deployment);
+
+/// Per-session statistics (figure 3's client side).
+struct SessionStats {
+  uint64_t db_cache_objects = 0;
+  uint64_t db_cache_bytes = 0;
+  uint64_t db_cache_hits = 0;
+  uint64_t db_cache_misses = 0;
+  uint64_t db_cache_invalidations = 0;
+  uint64_t display_objects = 0;
+  uint64_t display_cache_bytes = 0;
+  uint64_t notifications_received = 0;
+  uint64_t local_dispatches = 0;
+  uint64_t remote_lock_requests = 0;
+  uint64_t rpcs_issued = 0;
+
+  std::string ToString() const;
+};
+
+SessionStats CollectSessionStats(InteractiveSession& session);
+
+}  // namespace idba

@@ -1,0 +1,86 @@
+// Per-endpoint queue of incoming asynchronous messages.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace idba {
+
+/// Thread-safe FIFO of envelopes. Producers are the NotificationBus;
+/// consumers are client notification-pump threads (or tests pumping
+/// manually for determinism).
+class Inbox {
+ public:
+  void Deliver(Envelope e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(e));
+    }
+    cv_.notify_all();
+  }
+
+  /// Non-blocking: next message if any.
+  std::optional<Envelope> Poll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Envelope e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+  /// Blocks up to `timeout_ms` (real time) for the next message.
+  std::optional<Envelope> WaitNext(int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return !queue_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (queue_.empty()) return std::nullopt;
+    Envelope e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+  /// Removes and returns everything queued.
+  std::vector<Envelope> DrainAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Envelope> out(std::make_move_iterator(queue_.begin()),
+                              std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return out;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Wakes all waiters permanently (client shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace idba

@@ -1,0 +1,48 @@
+// Message abstractions for the simulated client-server network.
+//
+// Request/response (RPC) traffic is executed as direct in-process calls and
+// *metered* through RpcMeter (see rpc_meter.h); asynchronous server->client
+// traffic (cache callbacks, display-lock notifications) flows as Envelopes
+// through the NotificationBus into per-client Inboxes. Both paths charge
+// virtual latency from the CostModel, so every experiment reports the
+// paper's 1996-era message economics regardless of host speed.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/vtime.h"
+
+namespace idba {
+
+/// Logical network address of a component (server, DLM, each client).
+using EndpointId = uint32_t;
+
+constexpr EndpointId kServerEndpoint = 1;
+constexpr EndpointId kDlmEndpoint = 2;
+constexpr EndpointId kFirstClientEndpoint = 100;
+
+/// Base class for notification payloads. Implementations are immutable
+/// once sent (shared by sender and receivers).
+class Message {
+ public:
+  virtual ~Message() = default;
+  /// Short type name for tracing/metrics (e.g. "UpdateNotify").
+  virtual std::string_view name() const = 0;
+  /// Serialized size in bytes, used for bandwidth cost accounting.
+  virtual size_t WireBytes() const = 0;
+};
+
+/// One in-flight message.
+struct Envelope {
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::shared_ptr<const Message> msg;
+  VTime sent_at = 0;     ///< sender's virtual clock at Send()
+  VTime arrives_at = 0;  ///< sent_at + hop cost (receiver merges this)
+  size_t wire_bytes = 0;
+};
+
+}  // namespace idba

@@ -1,0 +1,76 @@
+// Asynchronous message delivery between endpoints, with per-hop virtual
+// latency from the CostModel and message/byte metering.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/cost_model.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/inbox.h"
+#include "net/message.h"
+
+namespace idba {
+
+/// Routes envelopes to registered inboxes. Thread-safe.
+class NotificationBus {
+ public:
+  explicit NotificationBus(CostModel cost_model = CostModel())
+      : cost_(cost_model) {}
+
+  void Register(EndpointId endpoint, Inbox* inbox) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inboxes_[endpoint] = inbox;
+  }
+
+  void Unregister(EndpointId endpoint) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inboxes_.erase(endpoint);
+  }
+
+  /// Sends `msg` from `from` (whose virtual clock read `sent_at`) to `to`.
+  /// The receiver observes arrives_at = sent_at + hop cost.
+  Status Send(EndpointId from, EndpointId to,
+              std::shared_ptr<const Message> msg, VTime sent_at) {
+    Inbox* inbox = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inboxes_.find(to);
+      if (it == inboxes_.end()) {
+        return Status::NotFound("endpoint " + std::to_string(to) +
+                                " not registered");
+      }
+      inbox = it->second;
+    }
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.wire_bytes = msg->WireBytes();
+    env.msg = std::move(msg);
+    env.sent_at = sent_at;
+    env.arrives_at = sent_at + cost_.MessageCost(static_cast<int64_t>(env.wire_bytes));
+    messages_.Add();
+    bytes_.Add(env.wire_bytes);
+    inbox->Deliver(std::move(env));
+    return Status::OK();
+  }
+
+  const CostModel& cost_model() const { return cost_; }
+  uint64_t messages_sent() const { return messages_.Get(); }
+  uint64_t bytes_sent() const { return bytes_.Get(); }
+  void ResetCounters() {
+    messages_.Reset();
+    bytes_.Reset();
+  }
+
+ private:
+  CostModel cost_;
+  mutable std::mutex mu_;
+  std::unordered_map<EndpointId, Inbox*> inboxes_;
+  Counter messages_, bytes_;
+};
+
+}  // namespace idba

@@ -1,0 +1,82 @@
+// Virtual-cost accounting for the synchronous RPC path.
+//
+// Client requests execute as direct in-process calls into the server; this
+// meter charges the virtual latency such a call would have cost on the
+// paper's 1996 testbed: request hop -> server CPU (serialized on the
+// server's single virtual CPU, which naturally models queueing) -> disk
+// misses -> response hop. It also counts logical messages/bytes so the
+// experiments can report message economics (E1, E6, E7).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/cost_model.h"
+#include "common/metrics.h"
+#include "common/vtime.h"
+
+namespace idba {
+
+/// One per deployment; shared by all clients of a server.
+class RpcMeter {
+ public:
+  explicit RpcMeter(CostModel cost_model = CostModel()) : cost_(cost_model) {}
+
+  /// Charges one full round trip initiated at client virtual time
+  /// `client_now`. `server_clock` is the server's virtual CPU clock:
+  /// work is serialized behind whatever it has already committed to.
+  /// Returns the client-side completion time (response arrival).
+  /// Marks the server clock with the arrival of a request issued at client
+  /// virtual time `client_now`. Call *before* executing the server call so
+  /// that events observed inside it (commit hooks capturing the commit
+  /// time) see a causally correct server clock.
+  VTime ObserveRequest(VTime client_now, VirtualClock* server_clock,
+                       int64_t request_bytes = 64) {
+    VTime arrival = client_now + cost_.MessageCost(request_bytes);
+    server_clock->Observe(arrival);
+    return arrival;
+  }
+
+  /// `callback_round_trips` models the cache-consistency callbacks + acks
+  /// the server must complete before replying. They fan out in parallel:
+  /// latency of one round trip, message count of all of them, plus a small
+  /// per-callback CPU share.
+  VTime ChargeRoundTrip(VTime client_now, VirtualClock* server_clock,
+                        int64_t request_bytes, int64_t response_bytes,
+                        int disk_page_misses, int callback_round_trips = 0) {
+    // Request hop.
+    VTime arrival = client_now + cost_.MessageCost(request_bytes);
+    // Server: wait for its CPU, then process (CPU + any disk misses).
+    server_clock->Observe(arrival);
+    VTime service = cost_.ServerRequestCpu();
+    if (disk_page_misses > 0) service += cost_.DiskCost(disk_page_misses);
+    if (callback_round_trips > 0) {
+      service += 2 * cost_.MessageCost(64);  // parallel fan-out: one RT
+      service += callback_round_trips * (cost_.ServerRequestCpu() / 4);
+      messages_.Add(static_cast<uint64_t>(callback_round_trips) * 2);
+    }
+    VTime done = server_clock->Advance(service);
+    // Response hop.
+    VTime completion = done + cost_.MessageCost(response_bytes);
+    rpcs_.Add();
+    messages_.Add(2);
+    bytes_.Add(static_cast<uint64_t>(request_bytes + response_bytes));
+    return completion;
+  }
+
+  const CostModel& cost_model() const { return cost_; }
+  uint64_t rpcs() const { return rpcs_.Get(); }
+  uint64_t messages() const { return messages_.Get(); }
+  uint64_t bytes() const { return bytes_.Get(); }
+  void ResetCounters() {
+    rpcs_.Reset();
+    messages_.Reset();
+    bytes_.Reset();
+  }
+
+ private:
+  CostModel cost_;
+  Counter rpcs_, messages_, bytes_;
+};
+
+}  // namespace idba

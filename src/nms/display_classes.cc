@@ -1,0 +1,143 @@
+#include "nms/display_classes.h"
+
+#include <algorithm>
+
+#include "viz/color.h"
+
+namespace idba {
+
+namespace {
+
+double Utilization(const DatabaseObject& obj, const SchemaCatalog* catalog) {
+  auto v = obj.GetByName(*catalog, "Utilization");
+  return v.ok() ? v.value().AsNumber() : 0.0;
+}
+
+}  // namespace
+
+Result<NmsDisplayClasses> RegisterNmsDisplayClasses(DisplaySchema* schema,
+                                                    const SchemaCatalog& catalog,
+                                                    const NmsSchema& nms) {
+  NmsDisplayClasses out;
+  const SchemaCatalog* cat = &catalog;
+
+  // --- ColorCodedLink (figure 1, left) ----------------------------------
+  {
+    DisplayClassDef def("ColorCodedLink", nms.link);
+    def.Project("From", "From")
+        .Project("To", "To")
+        .Project("Utilization", "Utilization")
+        .Derive("Color",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  return Value(UtilizationColorName(Utilization(srcs[0], cat)));
+                })
+        .Gui("X1", Value(0.0))
+        .Gui("Y1", Value(0.0))
+        .Gui("X2", Value(0.0))
+        .Gui("Y2", Value(0.0))
+        .Gui("Selected", Value(false));
+    IDBA_ASSIGN_OR_RETURN(out.color_coded_link, schema->Define(std::move(def), catalog));
+  }
+
+  // --- WidthCodedLink (figure 1, right) ----------------------------------
+  {
+    DisplayClassDef def("WidthCodedLink", nms.link);
+    def.Project("From", "From")
+        .Project("To", "To")
+        .Project("Utilization", "Utilization")
+        .Derive("Width",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  return Value(UtilizationWidth(Utilization(srcs[0], cat)));
+                })
+        .Gui("X1", Value(0.0))
+        .Gui("Y1", Value(0.0))
+        .Gui("X2", Value(0.0))
+        .Gui("Y2", Value(0.0))
+        .Gui("Selected", Value(false));
+    IDBA_ASSIGN_OR_RETURN(out.width_coded_link, schema->Define(std::move(def), catalog));
+  }
+
+  // --- NodeIcon ----------------------------------------------------------
+  {
+    DisplayClassDef def("NodeIcon", nms.network_node);
+    def.Project("Name", "Name")
+        .Project("Status", "Status")
+        .Derive("Icon",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  auto st = srcs[0].GetByName(*cat, "Status");
+                  int64_t up = st.ok() ? st.value().AsInt() : 0;
+                  return Value(std::string(up == 1 ? "[#]" : "[!]"));
+                })
+        .Gui("X", Value(0.0))
+        .Gui("Y", Value(0.0))
+        .Gui("Selected", Value(false));
+    IDBA_ASSIGN_OR_RETURN(out.node_icon, schema->Define(std::move(def), catalog));
+  }
+
+  // --- PathSummary: one line for a whole path of links (§3.1) ------------
+  {
+    DisplayClassDef def("PathSummary", nms.link);
+    def.Derive("MaxUtilization",
+               [cat](const std::vector<DatabaseObject>& srcs) {
+                 double max_u = 0;
+                 for (const auto& s : srcs) max_u = std::max(max_u, Utilization(s, cat));
+                 return Value(max_u);
+               })
+        .Derive("AvgUtilization",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  double sum = 0;
+                  for (const auto& s : srcs) sum += Utilization(s, cat);
+                  return Value(srcs.empty() ? 0.0 : sum / srcs.size());
+                })
+        .Derive("Color",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  double max_u = 0;
+                  for (const auto& s : srcs) max_u = std::max(max_u, Utilization(s, cat));
+                  return Value(UtilizationColorName(max_u));
+                })
+        .Derive("HopCount",
+                [](const std::vector<DatabaseObject>& srcs) {
+                  return Value(static_cast<int64_t>(srcs.size()));
+                })
+        .Gui("X1", Value(0.0))
+        .Gui("Y1", Value(0.0))
+        .Gui("X2", Value(0.0))
+        .Gui("Y2", Value(0.0));
+    IDBA_ASSIGN_OR_RETURN(out.path_summary, schema->Define(std::move(def), catalog));
+  }
+
+  // --- HardwareTile: Tree-Map rectangle ----------------------------------
+  {
+    DisplayClassDef def("HardwareTile", nms.hardware_component);
+    def.Project("Name", "Name")
+        .Project("Capacity", "Capacity")
+        .Project("Status", "Status")
+        .Project("Utilization", "Utilization")
+        .Derive("Color",
+                [cat](const std::vector<DatabaseObject>& srcs) {
+                  return Value(UtilizationColorName(Utilization(srcs[0], cat)));
+                })
+        .Gui("RectX", Value(0.0))
+        .Gui("RectY", Value(0.0))
+        .Gui("RectW", Value(0.0))
+        .Gui("RectH", Value(0.0));
+    IDBA_ASSIGN_OR_RETURN(out.hardware_tile, schema->Define(std::move(def), catalog));
+  }
+
+  // --- PdqComponent: PDQ browser node ------------------------------------
+  {
+    DisplayClassDef def("PdqComponent", nms.hardware_component);
+    def.Project("Name", "Name")
+        .Project("Parent", "Parent")
+        .Project("Status", "Status")
+        .Project("Utilization", "Utilization")
+        .Gui("X", Value(0.0))
+        .Gui("Y", Value(0.0))
+        .Gui("Visible", Value(true));
+    IDBA_ASSIGN_OR_RETURN(out.pdq_component, schema->Define(std::move(def), catalog));
+  }
+
+  return out;
+}
+
+}  // namespace idba

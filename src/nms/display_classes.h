@@ -1,0 +1,29 @@
+// The display schema of the NMS application — figure 1 of the paper as
+// code: ColorCodedLink and WidthCodedLink project the two Link attributes a
+// GUI needs out of ~28, add GUI-only screen coordinates, and derive their
+// Color / Width from Utilization. Additional display classes cover node
+// icons, multi-source path summaries (§3.1's "combine multiple database
+// objects into a single graphical element") and the Tree-Map / PDQ tiles.
+
+#pragma once
+
+#include "core/display_schema.h"
+#include "nms/network_model.h"
+
+namespace idba {
+
+struct NmsDisplayClasses {
+  DisplayClassId color_coded_link = 0;
+  DisplayClassId width_coded_link = 0;
+  DisplayClassId node_icon = 0;
+  DisplayClassId path_summary = 0;   ///< multi-source: all Links of a path
+  DisplayClassId hardware_tile = 0;  ///< Tree-Map rectangle data
+  DisplayClassId pdq_component = 0;  ///< PDQ browser node data
+};
+
+/// Defines the standard NMS display classes over the database schema.
+Result<NmsDisplayClasses> RegisterNmsDisplayClasses(DisplaySchema* schema,
+                                                    const SchemaCatalog& catalog,
+                                                    const NmsSchema& nms);
+
+}  // namespace idba

@@ -1,0 +1,72 @@
+#include "nms/monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace idba {
+
+MonitorProcess::MonitorProcess(DatabaseClient* client, const NmsDatabase* db,
+                               MonitorOptions opts)
+    : client_(client), db_(db), opts_(opts), rng_(opts.seed),
+      zipf_(std::max<size_t>(db->link_oids.size(), 1), opts.zipf_theta) {}
+
+MonitorProcess::~MonitorProcess() { Stop(); }
+
+Result<std::vector<Oid>> MonitorProcess::StepOnce() {
+  steps_.Add();
+  const SchemaCatalog& catalog = client_->schema();
+  TxnId txn = client_->Begin();
+  std::vector<Oid> touched;
+  for (int i = 0; i < opts_.updates_per_step; ++i) {
+    Oid oid = db_->link_oids[zipf_.Next(rng_)];
+    auto obj = client_->Read(txn, oid);
+    if (!obj.ok()) {
+      (void)client_->Abort(txn);
+      aborts_.Add();
+      return obj.status();
+    }
+    DatabaseObject link = std::move(obj).value();
+    double u = link.GetByName(catalog, "Utilization").value_or(Value(0.0)).AsNumber();
+    u += (rng_.NextDouble() * 2 - 1) * opts_.walk_step;
+    u = std::clamp(u, 0.0, 1.0);
+    IDBA_RETURN_NOT_OK(link.SetByName(catalog, "Utilization", u));
+    if (rng_.NextBool(opts_.flap_probability)) {
+      int64_t status =
+          link.GetByName(catalog, "Status").value_or(Value(int64_t(1))).AsInt();
+      IDBA_RETURN_NOT_OK(link.SetByName(catalog, "Status", int64_t(status == 1 ? 0 : 1)));
+    }
+    IDBA_RETURN_NOT_OK(
+        link.SetByName(catalog, "LastPolled", static_cast<int64_t>(steps())));
+    Status st = client_->Write(txn, std::move(link));
+    if (!st.ok()) {
+      (void)client_->Abort(txn);
+      aborts_.Add();
+      return st;
+    }
+    touched.push_back(oid);
+  }
+  auto commit = client_->Commit(txn);
+  if (!commit.ok()) {
+    aborts_.Add();
+    return commit.status();
+  }
+  committed_.Add(touched.size());
+  return touched;
+}
+
+void MonitorProcess::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load()) {
+      (void)StepOnce();
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts_.interval_ms));
+    }
+  });
+}
+
+void MonitorProcess::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace idba

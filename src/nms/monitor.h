@@ -1,0 +1,61 @@
+// The monitoring process (paper §4.3): "a separate process that was
+// continuously modifying attribute values of database objects, simulating
+// real-time network monitoring". Random-walks link utilizations (and
+// occasionally flaps status) through ordinary update transactions.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "client/database_client.h"
+#include "common/rng.h"
+#include "nms/network_model.h"
+
+namespace idba {
+
+struct MonitorOptions {
+  uint64_t seed = 7;
+  /// Objects updated per step (one transaction per step).
+  int updates_per_step = 1;
+  /// Zipf skew of object selection (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Random-walk step size on Utilization.
+  double walk_step = 0.15;
+  /// Probability a step also flaps a link's Status.
+  double flap_probability = 0.02;
+  /// Real milliseconds between steps in threaded mode.
+  int64_t interval_ms = 10;
+};
+
+/// Drives updates against the links of an NmsDatabase. Use StepOnce for
+/// deterministic experiments or Start/Stop for the threaded mode.
+class MonitorProcess {
+ public:
+  MonitorProcess(DatabaseClient* client, const NmsDatabase* db,
+                 MonitorOptions opts = {});
+  ~MonitorProcess();
+
+  /// Performs one update transaction. Returns the OIDs it updated.
+  Result<std::vector<Oid>> StepOnce();
+
+  void Start();
+  void Stop();
+
+  uint64_t steps() const { return steps_.Get(); }
+  uint64_t updates_committed() const { return committed_.Get(); }
+  uint64_t aborts() const { return aborts_.Get(); }
+
+ private:
+  DatabaseClient* client_;
+  const NmsDatabase* db_;
+  MonitorOptions opts_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  Counter steps_, committed_, aborts_;
+};
+
+}  // namespace idba

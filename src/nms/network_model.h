@@ -1,0 +1,70 @@
+// The network-management database (paper §1, §4: the MANDATE-style NMS
+// that motivated the work). Defines the database schema — deliberately
+// free of any GUI attribute, per §2.1 — and generates synthetic managed
+// networks: a node/link topology for the monitoring views and a hardware
+// containment hierarchy (sites, buildings, racks, devices, cards, ports)
+// for the Tree-Map / PDQ browsers.
+//
+// Link and node classes are wide on purpose: §4.3's observation that the
+// display cache is 3-5x smaller than the DB cache rests on display objects
+// projecting a handful of the many attributes a real Link carries.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "objectmodel/schema.h"
+#include "server/database_server.h"
+
+namespace idba {
+
+/// Class ids and key attribute names of the NMS schema.
+struct NmsSchema {
+  ClassId network_node = 0;
+  ClassId link = 0;
+  ClassId hardware_component = 0;  // base class
+  ClassId site = 0;
+  ClassId building = 0;
+  ClassId rack = 0;
+  ClassId device = 0;
+  ClassId card = 0;
+  ClassId port = 0;
+};
+
+/// Registers the NMS classes into `catalog`.
+Result<NmsSchema> RegisterNmsSchema(SchemaCatalog* catalog);
+
+struct NmsConfig {
+  int num_nodes = 32;
+  double avg_degree = 3.0;  ///< links ~= num_nodes * avg_degree / 2
+  int sites = 2;
+  int buildings_per_site = 2;
+  int racks_per_building = 3;
+  int devices_per_rack = 4;
+  int cards_per_device = 2;
+  int ports_per_card = 4;
+  uint64_t seed = 42;
+};
+
+/// Handle onto a populated NMS database.
+struct NmsDatabase {
+  NmsSchema schema;
+  NmsConfig config;
+  std::vector<Oid> node_oids;
+  std::vector<Oid> link_oids;
+  Oid hardware_root;                 ///< synthetic root site container
+  std::vector<Oid> site_oids;
+  std::vector<Oid> device_oids;
+  std::vector<Oid> all_hardware_oids;  ///< every component incl. root
+};
+
+/// Registers the schema (if `catalog` lacks it) and loads a synthetic
+/// network through ordinary transactions on `server`.
+Result<NmsDatabase> PopulateNms(DatabaseServer* server, const NmsConfig& config);
+
+/// Builds a fresh DatabaseObject of `cls` with catalog defaults applied.
+DatabaseObject NewObject(const SchemaCatalog& catalog, ClassId cls, Oid oid);
+
+}  // namespace idba

@@ -1,0 +1,134 @@
+#include "nms/operators.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace idba {
+
+Result<std::unique_ptr<OperatorSession>> OperatorSession::Create(
+    Deployment* deployment, ClientId id, const NmsDatabase* db,
+    const NmsDisplayClasses* dcs, OperatorOptions opts) {
+  auto session = deployment->NewSession(id);
+  auto op = std::unique_ptr<OperatorSession>(new OperatorSession(
+      deployment, db, dcs, opts, std::move(session)));
+
+  // Build the monitoring view: color-coded links.
+  op->view_ = op->session_->CreateView("monitor-" + std::to_string(id));
+  const DisplayClassDef* link_dc =
+      deployment->display_schema().Find(dcs->color_coded_link);
+  if (link_dc == nullptr) {
+    return Status::NotFound("ColorCodedLink display class not registered");
+  }
+  size_t n = opts.view_size == 0
+                 ? db->link_oids.size()
+                 : std::min(opts.view_size, db->link_oids.size());
+  for (size_t i = 0; i < n; ++i) {
+    IDBA_RETURN_NOT_OK(
+        op->view_->Materialize(link_dc, {db->link_oids[i]}).status());
+    op->my_links_.push_back(db->link_oids[i]);
+  }
+  op->zipf_ = std::make_unique<ZipfGenerator>(op->my_links_.size(),
+                                              opts.zipf_theta);
+  return op;
+}
+
+OperatorSession::OperatorSession(Deployment* deployment, const NmsDatabase* db,
+                                 const NmsDisplayClasses* dcs,
+                                 OperatorOptions opts,
+                                 std::unique_ptr<InteractiveSession> session)
+    : deployment_(deployment), db_(db), dcs_(dcs), opts_(opts),
+      session_(std::move(session)), rng_(opts.seed) {}
+
+OperatorSession::~OperatorSession() = default;
+
+Result<OperatorStepResult> OperatorSession::StepOnce() {
+  OperatorStepResult result;
+  // Process whatever notifications arrived since the last action (the
+  // paper's listener would have handled them during think time).
+  session_->PumpOnce();
+
+  DatabaseClient& client = session_->client();
+  const SchemaCatalog& catalog = client.schema();
+
+  if (!rng_.NextBool(opts_.update_probability)) {
+    // Monitoring action: inspect a displayed element (pure display-cache
+    // work; this is the interaction the display cache keeps fast).
+    monitors_.Add();
+    auto dobs = view_->display_objects();
+    if (!dobs.empty()) {
+      DisplayObject* dob = dobs[rng_.NextBelow(dobs.size())];
+      (void)dob->Get("Utilization");
+      (void)dob->SetGui("Selected", true);
+      (void)dob->SetGui("Selected", false);
+    }
+    return result;
+  }
+
+  // Configuration update: edit one or more of the viewed links. The X
+  // lock is taken at edit START (when the user opens the configuration
+  // dialog) — that is the moment the early-notify intent is broadcast.
+  result.was_update = true;
+  std::vector<Oid> targets;
+  for (int i = 0; i < opts_.links_per_update; ++i) {
+    Oid oid = my_links_[zipf_->Next(rng_)];
+    bool dup = false;
+    for (Oid t : targets) dup |= (t == oid);
+    if (!dup) targets.push_back(oid);
+  }
+  if (opts_.honor_update_marks) {
+    for (Oid oid : targets) {
+      if (view_->IsSourceMarked(oid)) {
+        // Early-notify: someone else is editing this object — back off.
+        result.skipped_marked = true;
+        skips_.Add();
+        return result;
+      }
+    }
+  }
+  attempts_.Add();
+  TxnId txn = client.Begin();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto obj = client.Read(txn, targets[i]);
+    if (!obj.ok()) {
+      (void)client.Abort(txn);
+      aborts_.Add();
+      result.aborted = true;
+      return result;
+    }
+    DatabaseObject link = std::move(obj).value();
+    int64_t metric = link.GetByName(catalog, "CostMetric")
+                         .value_or(Value(int64_t(10)))
+                         .AsInt();
+    IDBA_RETURN_NOT_OK(
+        link.SetByName(catalog, "CostMetric", int64_t((metric % 100) + 1)));
+    IDBA_RETURN_NOT_OK(link.SetByName(catalog, "AdminState",
+                                      int64_t(rng_.NextBool(0.9) ? 1 : 0)));
+    // Acquire the X lock now (sends the update intention under early
+    // notify), then keep editing.
+    Status st = client.Write(txn, std::move(link));
+    if (!st.ok()) {
+      (void)client.Abort(txn);
+      aborts_.Add();
+      result.aborted = true;
+      return result;
+    }
+    if (opts_.edit_time_ms > 0 && i + 1 < targets.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts_.edit_time_ms));
+    }
+  }
+  if (opts_.edit_time_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.edit_time_ms));
+  }
+  auto commit = client.Commit(txn);
+  if (!commit.ok()) {
+    aborts_.Add();
+    result.aborted = true;
+    return result;
+  }
+  commits_.Add();
+  result.committed = true;
+  return result;
+}
+
+}  // namespace idba

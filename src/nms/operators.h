@@ -1,0 +1,89 @@
+// Scripted network operators (paper §4.3: "up to 4 concurrent users
+// performing simple monitoring and updating functions"). An operator owns
+// an InteractiveSession with a monitoring view over some links and
+// alternates between monitoring actions (inspecting display objects) and
+// configuration updates (read-modify-write transactions on link
+// attributes). Under the early-notify protocol an operator can be told to
+// honor "being updated" marks, skipping objects another user is editing —
+// the mechanism the paper credits with reducing conflicts and aborts.
+
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+
+struct OperatorOptions {
+  uint64_t seed = 11;
+  /// Probability a step is an update (vs a pure monitoring action).
+  double update_probability = 0.3;
+  /// Skew of link selection across operators (shared hot set drives
+  /// contention).
+  double zipf_theta = 0.6;
+  /// Honor early-notify marks: skip objects currently flagged as being
+  /// updated by someone else.
+  bool honor_update_marks = false;
+  /// Links shown in this operator's monitoring view (0 = all).
+  size_t view_size = 0;
+  /// Links touched by one configuration change. Multi-link edits acquire
+  /// X locks in selection order, so concurrent edits can deadlock — the
+  /// conflicts early notify is designed to avoid (§3.3).
+  int links_per_update = 1;
+  /// Real milliseconds the user spends editing while holding X locks
+  /// (the paper's long-transaction window).
+  int64_t edit_time_ms = 0;
+};
+
+/// Result of one operator step.
+struct OperatorStepResult {
+  bool was_update = false;
+  bool committed = false;
+  bool aborted = false;
+  bool skipped_marked = false;  ///< early-notify: backed off a marked object
+};
+
+class OperatorSession {
+ public:
+  /// Builds the operator's session + monitoring view. The view holds
+  /// display locks on every displayed link.
+  static Result<std::unique_ptr<OperatorSession>> Create(
+      Deployment* deployment, ClientId id, const NmsDatabase* db,
+      const NmsDisplayClasses* dcs, OperatorOptions opts = {});
+
+  ~OperatorSession();
+
+  /// One user action (think time is virtual; pump before acting).
+  Result<OperatorStepResult> StepOnce();
+
+  InteractiveSession& session() { return *session_; }
+  ActiveView* view() { return view_; }
+
+  uint64_t updates_attempted() const { return attempts_.Get(); }
+  uint64_t updates_committed() const { return commits_.Get(); }
+  uint64_t updates_aborted() const { return aborts_.Get(); }
+  uint64_t marked_skips() const { return skips_.Get(); }
+  uint64_t monitor_actions() const { return monitors_.Get(); }
+
+ private:
+  OperatorSession(Deployment* deployment, const NmsDatabase* db,
+                  const NmsDisplayClasses* dcs, OperatorOptions opts,
+                  std::unique_ptr<InteractiveSession> session);
+
+  Deployment* deployment_;
+  const NmsDatabase* db_;
+  const NmsDisplayClasses* dcs_;
+  OperatorOptions opts_;
+  std::unique_ptr<InteractiveSession> session_;
+  ActiveView* view_ = nullptr;
+  std::vector<Oid> my_links_;  ///< the links in this operator's view
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  Counter attempts_, commits_, aborts_, skips_, monitors_;
+};
+
+}  // namespace idba

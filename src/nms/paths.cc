@@ -1,0 +1,92 @@
+#include "nms/paths.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace idba {
+
+Result<TopologyIndex> TopologyIndex::Build(DatabaseServer* server,
+                                           const NmsDatabase& db) {
+  TopologyIndex index;
+  const SchemaCatalog& catalog = server->schema();
+  std::unordered_map<Oid, size_t> node_index;
+  index.nodes_ = db.node_oids;
+  for (size_t i = 0; i < index.nodes_.size(); ++i) {
+    node_index[index.nodes_[i]] = i;
+  }
+  index.adjacency_.resize(index.nodes_.size());
+  for (Oid link_oid : db.link_oids) {
+    IDBA_ASSIGN_OR_RETURN(DatabaseObject link, server->heap().Read(link_oid));
+    IDBA_ASSIGN_OR_RETURN(Value from, link.GetByName(catalog, "From"));
+    IDBA_ASSIGN_OR_RETURN(Value to, link.GetByName(catalog, "To"));
+    auto ai = node_index.find(from.AsOid());
+    auto bi = node_index.find(to.AsOid());
+    if (ai == node_index.end() || bi == node_index.end()) {
+      return Status::Corruption("link " + link_oid.ToString() +
+                                " references unknown node");
+    }
+    size_t pos = index.links_.size();
+    index.links_.push_back(link_oid);
+    index.edges_.push_back(Edge{ai->second, bi->second});
+    index.adjacency_[ai->second].emplace_back(bi->second, pos);
+    index.adjacency_[bi->second].emplace_back(ai->second, pos);
+  }
+  return index;
+}
+
+Result<size_t> TopologyIndex::NodeIndex(Oid node) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) return i;
+  }
+  return Status::NotFound("node " + node.ToString());
+}
+
+Result<std::vector<Oid>> TopologyIndex::ShortestPath(Oid from_node,
+                                                     Oid to_node) const {
+  IDBA_ASSIGN_OR_RETURN(size_t src, NodeIndex(from_node));
+  IDBA_ASSIGN_OR_RETURN(size_t dst, NodeIndex(to_node));
+  if (src == dst) return std::vector<Oid>{};
+
+  // BFS with parent-link tracking.
+  std::vector<int64_t> parent_link(nodes_.size(), -1);
+  std::vector<int64_t> parent_node(nodes_.size(), -1);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<size_t> frontier = {src};
+  seen[src] = true;
+  while (!frontier.empty()) {
+    size_t cur = frontier.front();
+    frontier.pop_front();
+    if (cur == dst) break;
+    for (const auto& [next, link_pos] : adjacency_[cur]) {
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent_link[next] = static_cast<int64_t>(link_pos);
+      parent_node[next] = static_cast<int64_t>(cur);
+      frontier.push_back(next);
+    }
+  }
+  if (!seen[dst]) {
+    return Status::NotFound("no path between " + from_node.ToString() + " and " +
+                            to_node.ToString());
+  }
+  std::vector<Oid> path;
+  for (size_t cur = dst; cur != src;
+       cur = static_cast<size_t>(parent_node[cur])) {
+    path.push_back(links_[static_cast<size_t>(parent_link[cur])]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Oid> TopologyIndex::IncidentLinks(Oid node) const {
+  std::vector<Oid> out;
+  auto idx = NodeIndex(node);
+  if (!idx.ok()) return out;
+  for (const auto& [next, link_pos] : adjacency_[idx.value()]) {
+    (void)next;
+    out.push_back(links_[link_pos]);
+  }
+  return out;
+}
+
+}  // namespace idba

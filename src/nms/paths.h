@@ -1,0 +1,53 @@
+// Path finding over the managed network topology — the substrate for the
+// paper's multi-source display objects (§3.1: "the path between two nodes
+// in a communication network may be represented by a line connecting the
+// two nodes, without showing the actual links in the path. The graphical
+// element for that line can be a display object that is associated with
+// all the Link database objects of the path").
+
+#pragma once
+
+#include <vector>
+
+#include "nms/network_model.h"
+
+namespace idba {
+
+/// Adjacency index over the topology of an NmsDatabase, built once from
+/// the database and reused by path queries.
+class TopologyIndex {
+ public:
+  /// Reads every link's endpoints from the server's heap.
+  static Result<TopologyIndex> Build(DatabaseServer* server,
+                                     const NmsDatabase& db);
+
+  /// Fewest-hops path between two nodes; returns the LINK OIDs along it
+  /// (the display object's OID list). NotFound if disconnected.
+  Result<std::vector<Oid>> ShortestPath(Oid from_node, Oid to_node) const;
+
+  /// All link OIDs incident to a node.
+  std::vector<Oid> IncidentLinks(Oid node) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return links_.size(); }
+
+  /// Node index lookups for layout code (index into `nodes()`).
+  const std::vector<Oid>& nodes() const { return nodes_; }
+  Result<size_t> NodeIndex(Oid node) const;
+
+  /// Edges as node-index pairs, parallel to `link_oids()`.
+  struct Edge {
+    size_t a, b;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<Oid>& link_oids() const { return links_; }
+
+ private:
+  std::vector<Oid> nodes_;
+  std::vector<Oid> links_;
+  std::vector<Edge> edges_;
+  // adjacency: node index -> (neighbor index, link position)
+  std::vector<std::vector<std::pair<size_t, size_t>>> adjacency_;
+};
+
+}  // namespace idba

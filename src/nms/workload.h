@@ -1,0 +1,89 @@
+// Closed-loop workload runner: the §4.3 test setup (N operators + monitor
+// process over one deployment) as a reusable, parameterized harness with a
+// measurement report — what exp_* binaries and integration tests otherwise
+// wire up by hand.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats_report.h"
+#include "nms/monitor.h"
+#include "nms/operators.h"
+
+namespace idba {
+
+struct WorkloadConfig {
+  NmsConfig network;
+  DeploymentOptions deployment;
+  int operators = 4;
+  OperatorOptions operator_options;
+  /// Steps each operator performs.
+  int steps_per_operator = 50;
+  /// Monitor steps interleaved per operator round (0 disables the monitor).
+  int monitor_steps_per_round = 1;
+  MonitorOptions monitor_options;
+  /// Run operators on concurrent threads (false = deterministic
+  /// round-robin interleaving on the calling thread).
+  bool threaded = false;
+  uint64_t seed = 99;
+};
+
+/// Aggregated outcome of one workload run.
+struct WorkloadReport {
+  // Operator totals.
+  uint64_t monitor_actions = 0;
+  uint64_t updates_attempted = 0;
+  uint64_t updates_committed = 0;
+  uint64_t updates_aborted = 0;
+  uint64_t marked_skips = 0;
+  // Display totals.
+  uint64_t refreshes = 0;
+  uint64_t intent_marks = 0;
+  double propagation_mean_ms = 0;
+  double propagation_p95_ms = 0;
+  uint64_t stale_display_objects = 0;  ///< after final drain; must be 0
+  // Monitor.
+  uint64_t monitor_commits = 0;
+  // Deployment snapshot.
+  DeploymentStats deployment_stats;
+
+  double abort_rate() const {
+    return updates_attempted
+               ? static_cast<double>(updates_aborted) / updates_attempted
+               : 0.0;
+  }
+  std::string Summary() const;
+};
+
+/// Owns a deployment + populated database + operators + monitor; runs the
+/// configured workload and reports.
+class WorkloadRunner {
+ public:
+  /// Builds the deployment, database, display classes and operators.
+  static Result<std::unique_ptr<WorkloadRunner>> Create(WorkloadConfig config);
+
+  /// Runs the configured steps (threaded or deterministic) and returns the
+  /// aggregated report. Callable once.
+  Result<WorkloadReport> Run();
+
+  Deployment& deployment() { return *deployment_; }
+  const NmsDatabase& database() const { return db_; }
+  std::vector<OperatorSession*> operators();
+
+ private:
+  explicit WorkloadRunner(WorkloadConfig config) : config_(std::move(config)) {}
+
+  WorkloadConfig config_;
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+  std::vector<std::unique_ptr<OperatorSession>> operators_;
+  std::unique_ptr<InteractiveSession> monitor_session_;
+  std::unique_ptr<MonitorProcess> monitor_;
+  bool ran_ = false;
+};
+
+}  // namespace idba

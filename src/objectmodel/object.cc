@@ -1,0 +1,84 @@
+#include "objectmodel/object.h"
+
+namespace idba {
+
+Result<Value> DatabaseObject::GetByName(const SchemaCatalog& catalog,
+                                        const std::string& name) const {
+  auto slot = catalog.ResolveAttribute(class_id_, name);
+  if (!slot.has_value()) {
+    return Status::NotFound("attribute " + name + " on class " +
+                            std::to_string(class_id_));
+  }
+  if (*slot >= values_.size()) {
+    return Status::Internal("slot out of range for " + name);
+  }
+  return values_[*slot];
+}
+
+Status DatabaseObject::SetByName(const SchemaCatalog& catalog,
+                                 const std::string& name, Value v) {
+  auto slot = catalog.ResolveAttribute(class_id_, name);
+  if (!slot.has_value()) {
+    return Status::NotFound("attribute " + name + " on class " +
+                            std::to_string(class_id_));
+  }
+  if (*slot >= values_.size()) {
+    return Status::Internal("slot out of range for " + name);
+  }
+  values_[*slot] = std::move(v);
+  return Status::OK();
+}
+
+size_t DatabaseObject::MemoryBytes() const {
+  size_t bytes = sizeof(DatabaseObject);
+  for (const auto& v : values_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+size_t DatabaseObject::WireBytes() const {
+  size_t bytes = 8 /*oid*/ + 4 /*class*/ + 8 /*version*/ + 5 /*count*/;
+  for (const auto& v : values_) bytes += v.WireBytes();
+  return bytes;
+}
+
+void DatabaseObject::EncodeTo(Encoder* enc) const {
+  enc->PutU64(oid_.value);
+  enc->PutU32(class_id_);
+  enc->PutU64(version_);
+  enc->PutVarint(values_.size());
+  for (const auto& v : values_) v.EncodeTo(enc);
+}
+
+Status DatabaseObject::DecodeFrom(Decoder* dec, DatabaseObject* out) {
+  uint64_t oid;
+  IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+  uint32_t class_id;
+  IDBA_RETURN_NOT_OK(dec->GetU32(&class_id));
+  uint64_t version;
+  IDBA_RETURN_NOT_OK(dec->GetU64(&version));
+  uint64_t count;
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&count));
+  *out = DatabaseObject(Oid(oid), class_id, count);
+  out->set_version(version);
+  for (uint64_t i = 0; i < count; ++i) {
+    Value v;
+    IDBA_RETURN_NOT_OK(Value::DecodeFrom(dec, &v));
+    out->Set(i, std::move(v));
+  }
+  return Status::OK();
+}
+
+std::string DatabaseObject::ToString(const SchemaCatalog& catalog) const {
+  const ClassDef* cls = catalog.Find(class_id_);
+  std::string out = (cls ? cls->name() : "class" + std::to_string(class_id_)) +
+                    "(" + oid_.ToString() + ", v" + std::to_string(version_) + "){";
+  auto attrs = catalog.AllAttributes(class_id_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += (i < attrs.size() ? attrs[i]->name : "a" + std::to_string(i));
+    out += "=" + values_[i].ToString();
+  }
+  return out + "}";
+}
+
+}  // namespace idba

@@ -1,0 +1,62 @@
+// Database objects: an OID, a class, a version counter and attribute values.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "objectmodel/oid.h"
+#include "objectmodel/schema.h"
+#include "objectmodel/value.h"
+
+namespace idba {
+
+/// A materialized database object. Attribute slots are positional, matching
+/// SchemaCatalog::AllAttributes(class_id) order.
+class DatabaseObject {
+ public:
+  DatabaseObject() = default;
+  DatabaseObject(Oid oid, ClassId class_id, size_t attr_count)
+      : oid_(oid), class_id_(class_id), values_(attr_count) {}
+
+  Oid oid() const { return oid_; }
+  ClassId class_id() const { return class_id_; }
+
+  /// Version, incremented on every committed update. Lets clients and
+  /// display objects detect stale copies cheaply.
+  uint64_t version() const { return version_; }
+  void set_version(uint64_t v) { version_ = v; }
+  void BumpVersion() { ++version_; }
+
+  size_t attr_count() const { return values_.size(); }
+
+  const Value& Get(size_t slot) const { return values_[slot]; }
+  void Set(size_t slot, Value v) { values_[slot] = std::move(v); }
+
+  /// Named access via the catalog. Returns NotFound for unknown attributes.
+  Result<Value> GetByName(const SchemaCatalog& catalog, const std::string& name) const;
+  Status SetByName(const SchemaCatalog& catalog, const std::string& name, Value v);
+
+  /// Approximate in-memory footprint (for client DB-cache accounting).
+  size_t MemoryBytes() const;
+  /// Serialized size in bytes (for pages and message payloads).
+  size_t WireBytes() const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, DatabaseObject* out);
+
+  std::string ToString(const SchemaCatalog& catalog) const;
+
+  bool operator==(const DatabaseObject& other) const = default;
+
+ private:
+  Oid oid_;
+  ClassId class_id_ = 0;
+  uint64_t version_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace idba

@@ -1,0 +1,36 @@
+// Object identifiers.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace idba {
+
+/// Globally unique, immutable identifier of a database object.
+/// OID 0 is reserved as "null".
+struct Oid {
+  uint64_t value = 0;
+
+  constexpr Oid() = default;
+  constexpr explicit Oid(uint64_t v) : value(v) {}
+
+  constexpr bool IsNull() const { return value == 0; }
+  constexpr bool operator==(const Oid&) const = default;
+  constexpr auto operator<=>(const Oid&) const = default;
+
+  std::string ToString() const { return "oid:" + std::to_string(value); }
+};
+
+constexpr Oid kNullOid{};
+
+}  // namespace idba
+
+template <>
+struct std::hash<idba::Oid> {
+  size_t operator()(const idba::Oid& oid) const noexcept {
+    // Fibonacci hashing of the raw id.
+    return static_cast<size_t>(oid.value * 0x9E3779B97F4A7C15ULL);
+  }
+};

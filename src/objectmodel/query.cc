@@ -1,0 +1,66 @@
+#include "objectmodel/query.h"
+
+namespace idba {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+bool Compare(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInt || v.type() == ValueType::kDouble ||
+         v.type() == ValueType::kBool;
+}
+
+}  // namespace
+
+bool AttrPredicate::Matches(const SchemaCatalog& catalog,
+                            const DatabaseObject& obj) const {
+  auto got = obj.GetByName(catalog, attr);
+  if (!got.ok()) return false;
+  const Value& lhs = got.value();
+  if (IsNumeric(lhs) && IsNumeric(value)) {
+    return Compare(op, lhs.AsNumber(), value.AsNumber());
+  }
+  if (lhs.type() == ValueType::kString && value.type() == ValueType::kString) {
+    return Compare(op, lhs.AsString(), value.AsString());
+  }
+  // Remaining types (oid, oid-list, null or mixed): equality only.
+  switch (op) {
+    case CompareOp::kEq: return lhs == value;
+    case CompareOp::kNe: return !(lhs == value);
+    default: return false;
+  }
+}
+
+size_t ObjectQuery::WireBytes() const {
+  size_t bytes = 16;
+  for (const auto& p : conjuncts) {
+    bytes += 2 + p.attr.size() + p.value.WireBytes();
+  }
+  return bytes;
+}
+
+}  // namespace idba

@@ -1,0 +1,50 @@
+// Predicate queries over classes — the minimal query capability an
+// interactive application needs to populate a view ("all links with
+// utilization above 0.8", "all devices in site-3"). Conjunctions of
+// attribute comparisons, evaluated server-side so only matching objects
+// travel to the client.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objectmodel/object.h"
+
+namespace idba {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One conjunct: <attr> <op> <value>.
+struct AttrPredicate {
+  std::string attr;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  /// Evaluates against `obj` (attribute resolved through `catalog`).
+  /// Unknown attributes never match. Numeric comparisons widen int/double;
+  /// strings compare lexicographically; other types support kEq/kNe only.
+  bool Matches(const SchemaCatalog& catalog, const DatabaseObject& obj) const;
+};
+
+/// A conjunctive query over one class (optionally with subclasses).
+struct ObjectQuery {
+  ClassId cls = 0;
+  bool include_subclasses = false;
+  std::vector<AttrPredicate> conjuncts;
+
+  bool Matches(const SchemaCatalog& catalog, const DatabaseObject& obj) const {
+    for (const auto& p : conjuncts) {
+      if (!p.Matches(catalog, obj)) return false;
+    }
+    return true;
+  }
+
+  /// Approximate request wire size (for cost metering).
+  size_t WireBytes() const;
+};
+
+}  // namespace idba

@@ -1,0 +1,73 @@
+#include "objectmodel/schema.h"
+
+namespace idba {
+
+Result<ClassId> SchemaCatalog::DefineClass(const std::string& name, ClassId base) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("class " + name + " already defined");
+  }
+  if (base != 0 && Find(base) == nullptr) {
+    return Status::NotFound("base class id " + std::to_string(base));
+  }
+  ClassId id = static_cast<ClassId>(classes_.size() + 1);
+  classes_.emplace_back(id, name, base);
+  by_name_[name] = id;
+  return id;
+}
+
+Status SchemaCatalog::AddAttribute(ClassId cls, const std::string& name,
+                                   ValueType type, Value default_value) {
+  if (cls == 0 || cls > classes_.size()) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  if (ResolveAttribute(cls, name).has_value()) {
+    return Status::AlreadyExists("attribute " + name + " already defined on class " +
+                                 classes_[cls - 1].name());
+  }
+  classes_[cls - 1].AddAttribute(AttributeDef{name, type, std::move(default_value)});
+  return Status::OK();
+}
+
+const ClassDef* SchemaCatalog::Find(ClassId id) const {
+  if (id == 0 || id > classes_.size()) return nullptr;
+  return &classes_[id - 1];
+}
+
+const ClassDef* SchemaCatalog::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return Find(it->second);
+}
+
+std::vector<const AttributeDef*> SchemaCatalog::AllAttributes(ClassId cls) const {
+  std::vector<const AttributeDef*> out;
+  // Walk to the root, collecting the inheritance chain.
+  std::vector<const ClassDef*> chain;
+  for (const ClassDef* c = Find(cls); c != nullptr; c = Find(c->base())) {
+    chain.push_back(c);
+    if (c->base() == 0) break;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const auto& a : (*it)->attributes()) out.push_back(&a);
+  }
+  return out;
+}
+
+std::optional<size_t> SchemaCatalog::ResolveAttribute(ClassId cls,
+                                                      const std::string& attr) const {
+  auto attrs = AllAttributes(cls);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i]->name == attr) return i;
+  }
+  return std::nullopt;
+}
+
+bool SchemaCatalog::IsA(ClassId cls, ClassId ancestor) const {
+  for (const ClassDef* c = Find(cls); c != nullptr; c = Find(c->base())) {
+    if (c->id() == ancestor) return true;
+    if (c->base() == 0) break;
+  }
+  return false;
+}
+
+}  // namespace idba

@@ -1,0 +1,97 @@
+// Database schema catalog: classes and attributes.
+//
+// Per the paper (§2.1), the *database* schema models only the real-world
+// entities — no GUI attributes. Display schemas (src/core/display_schema.h)
+// are defined externally over these classes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "objectmodel/value.h"
+
+namespace idba {
+
+/// Identifier of a class in the catalog. 0 is reserved.
+using ClassId = uint32_t;
+
+/// One attribute of a database class.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  Value default_value;  ///< value a new object starts with
+};
+
+/// A database class: a named, ordered collection of attributes, optionally
+/// derived from a base class (single inheritance; attributes are inherited).
+class ClassDef {
+ public:
+  ClassDef(ClassId id, std::string name, ClassId base = 0)
+      : id_(id), name_(std::move(name)), base_(base) {}
+
+  ClassId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ClassId base() const { return base_; }
+
+  /// Appends an attribute. Names must be unique within the class (including
+  /// inherited ones; enforced by the catalog at registration).
+  void AddAttribute(AttributeDef attr) {
+    index_[attr.name] = attrs_.size();
+    attrs_.push_back(std::move(attr));
+  }
+
+  const std::vector<AttributeDef>& attributes() const { return attrs_; }
+
+  /// Index of `name` among this class's own attributes, or nullopt.
+  std::optional<size_t> FindAttribute(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  ClassId id_;
+  std::string name_;
+  ClassId base_;
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// The schema catalog. Owned by the server; clients hold an immutable copy
+/// (schema evolution is out of scope — the paper argues for orthogonal,
+/// stable database design).
+class SchemaCatalog {
+ public:
+  /// Registers a new class; returns its id.
+  Result<ClassId> DefineClass(const std::string& name, ClassId base = 0);
+
+  /// Adds an attribute to an existing class.
+  Status AddAttribute(ClassId cls, const std::string& name, ValueType type,
+                      Value default_value = Value());
+
+  const ClassDef* Find(ClassId id) const;
+  const ClassDef* FindByName(const std::string& name) const;
+
+  /// All attributes of `cls` including inherited ones, base-first.
+  /// Returns an empty vector for unknown classes.
+  std::vector<const AttributeDef*> AllAttributes(ClassId cls) const;
+
+  /// Position of `attr` within AllAttributes(cls), or nullopt.
+  std::optional<size_t> ResolveAttribute(ClassId cls, const std::string& attr) const;
+
+  /// True if `cls` equals or transitively derives from `ancestor`.
+  bool IsA(ClassId cls, ClassId ancestor) const;
+
+  size_t class_count() const { return classes_.size(); }
+
+ private:
+  std::vector<ClassDef> classes_;  // index = id - 1
+  std::unordered_map<std::string, ClassId> by_name_;
+};
+
+}  // namespace idba

@@ -1,0 +1,352 @@
+#include "server/database_server.h"
+
+namespace idba {
+
+namespace {
+// Integrated display locks are owned by clients, not transactions; shift
+// client ids into a disjoint owner-id space.
+constexpr LockOwnerId kDisplayOwnerBase = 1ULL << 62;
+LockOwnerId DisplayOwner(ClientId client) { return kDisplayOwnerBase + client; }
+}  // namespace
+
+DatabaseServer::DatabaseServer(DatabaseServerOptions opts)
+    : opts_(opts),
+      owned_data_disk_(std::make_unique<MemDisk>()),
+      owned_wal_disk_(std::make_unique<MemDisk>()) {
+  pool_ = std::make_unique<BufferPool>(owned_data_disk_.get(), opts.buffer_pool);
+  heap_ = std::move(HeapStore::Open(pool_.get(), 0).value());
+  wal_ = std::make_unique<Wal>(owned_wal_disk_.get());
+  txn_mgr_ = std::make_unique<TxnManager>(heap_.get(), wal_.get(), opts.txn);
+  WireHooks();
+}
+
+DatabaseServer::DatabaseServer(Disk* data_disk, Disk* wal_disk,
+                               PageId data_page_count, DatabaseServerOptions opts)
+    : opts_(opts) {
+  pool_ = std::make_unique<BufferPool>(data_disk, opts.buffer_pool);
+  heap_ = std::move(HeapStore::Open(pool_.get(), data_page_count).value());
+  wal_ = std::make_unique<Wal>(wal_disk);
+  txn_mgr_ = std::make_unique<TxnManager>(heap_.get(), wal_.get(), opts.txn);
+  WireHooks();
+}
+
+DatabaseServer::~DatabaseServer() = default;
+
+void DatabaseServer::WireHooks() {
+  txn_mgr_->set_commit_hook([this](const CommitResult& result) {
+    ClientId writer = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txn_client_.find(result.txn);
+      if (it != txn_client_.end()) writer = it->second;
+    }
+    // ROWA: call back every remote cached copy before the commit returns.
+    int cb = 0;
+    for (const DatabaseObject& obj : result.updated) {
+      cb += callbacks_.OnCommittedUpdate(writer, obj.oid(), obj.version());
+    }
+    for (Oid oid : result.erased) {
+      cb += callbacks_.OnCommittedUpdate(writer, oid, /*new_version=*/~0ULL);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      commit_callbacks_[result.txn] = cb;
+    }
+    std::vector<CommitObserver> observers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      observers = commit_observers_;
+    }
+    for (const auto& obs : observers) obs(writer, result);
+  });
+  txn_mgr_->set_abort_hook([this](TxnId txn) {
+    ClientId writer = 0;
+    std::vector<AbortObserver> observers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txn_client_.find(txn);
+      if (it != txn_client_.end()) writer = it->second;
+      observers = abort_observers_;
+    }
+    for (const auto& obs : observers) obs(writer, txn);
+  });
+  txn_mgr_->set_xlock_hook([this](TxnId txn, Oid oid) {
+    ClientId writer = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txn_client_.find(txn);
+      if (it != txn_client_.end()) writer = it->second;
+    }
+    std::vector<IntentObserver> observers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      observers = intent_observers_;
+    }
+    for (const auto& obs : observers) obs(writer, txn, oid);
+  });
+}
+
+void DatabaseServer::ConnectClient(ClientId client,
+                                   CacheCallbackHandler* cache_handler) {
+  callbacks_.RegisterClient(client, cache_handler);
+}
+
+void DatabaseServer::DisconnectClient(ClientId client) {
+  callbacks_.UnregisterClient(client);
+  lock_manager().ReleaseAll(DisplayOwner(client));
+}
+
+TxnId DatabaseServer::Begin(ClientId client) {
+  TxnId txn = txn_mgr_->Begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_client_[txn] = client;
+  return txn;
+}
+
+Result<CommitResult> DatabaseServer::Commit(ClientId client, TxnId txn,
+                                            ServerCallInfo* info) {
+  (void)client;
+  auto result = txn_mgr_->Commit(txn);
+  int callbacks = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_client_.erase(txn);
+    auto it = commit_callbacks_.find(txn);
+    if (it != commit_callbacks_.end()) {
+      callbacks = it->second;
+      commit_callbacks_.erase(it);
+    }
+  }
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes();
+    // The commit reply carries the new images back to the writer so its own
+    // cache stays current (write-all includes the writer).
+    int64_t resp = RequestHeaderBytes();
+    if (result.ok()) {
+      info->page_misses = result.value().page_misses;
+      for (const DatabaseObject& obj : result.value().updated) {
+        resp += static_cast<int64_t>(obj.WireBytes());
+      }
+    }
+    info->response_bytes = resp;
+    info->callbacks = callbacks;
+  }
+  return result;
+}
+
+Status DatabaseServer::Abort(ClientId client, TxnId txn, ServerCallInfo* info) {
+  (void)client;
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes();
+    info->response_bytes = RequestHeaderBytes();
+  }
+  Status st = txn_mgr_->Abort(txn);
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_client_.erase(txn);
+  return st;
+}
+
+Result<DatabaseObject> DatabaseServer::Fetch(ClientId client, TxnId txn, Oid oid,
+                                             ServerCallInfo* info) {
+  IoStats io;
+  auto obj = txn_mgr_->Get(txn, oid, &io);
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes() + 8;
+    info->response_bytes =
+        RequestHeaderBytes() +
+        (obj.ok() ? static_cast<int64_t>(obj.value().WireBytes()) : 0);
+    info->page_misses = io.page_misses;
+  }
+  if (obj.ok()) callbacks_.NoteCached(client, oid);
+  return obj;
+}
+
+Status DatabaseServer::LockForRead(ClientId client, TxnId txn, Oid oid,
+                                   ServerCallInfo* info) {
+  (void)client;
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes() + 8;
+    info->response_bytes = RequestHeaderBytes();
+  }
+  return txn_mgr_->LockRead(txn, oid);
+}
+
+Result<DatabaseObject> DatabaseServer::FetchCurrent(ClientId client, Oid oid,
+                                                    ServerCallInfo* info,
+                                                    bool register_copy) {
+  IoStats io;
+  auto obj = heap_->Read(oid, &io);
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes() + 8;
+    info->response_bytes =
+        RequestHeaderBytes() +
+        (obj.ok() ? static_cast<int64_t>(obj.value().WireBytes()) : 0);
+    info->page_misses = io.page_misses;
+  }
+  if (obj.ok() && register_copy) callbacks_.NoteCached(client, oid);
+  return obj;
+}
+
+Result<CommitResult> DatabaseServer::CommitValidated(
+    ClientId client, TxnId txn,
+    const std::vector<std::pair<Oid, uint64_t>>& read_set,
+    ServerCallInfo* info) {
+  IoStats io;
+  Status validation = txn_mgr_->ValidateReads(txn, read_set, &io);
+  if (!validation.ok()) {
+    (void)Abort(client, txn, nullptr);
+    if (info != nullptr) {
+      info->request_bytes =
+          RequestHeaderBytes() + 16 * static_cast<int64_t>(read_set.size());
+      info->response_bytes = RequestHeaderBytes();
+      info->page_misses = io.page_misses;
+    }
+    return validation;
+  }
+  ServerCallInfo commit_info;
+  auto result = Commit(client, txn, &commit_info);
+  if (info != nullptr) {
+    *info = commit_info;
+    info->request_bytes += 16 * static_cast<int64_t>(read_set.size());
+    info->page_misses += io.page_misses;
+  }
+  return result;
+}
+
+Status DatabaseServer::Put(ClientId client, TxnId txn, DatabaseObject obj,
+                           ServerCallInfo* info) {
+  (void)client;
+  if (info != nullptr) {
+    info->request_bytes =
+        RequestHeaderBytes() + static_cast<int64_t>(obj.WireBytes());
+    info->response_bytes = RequestHeaderBytes();
+  }
+  return txn_mgr_->Put(txn, std::move(obj));
+}
+
+Status DatabaseServer::Insert(ClientId client, TxnId txn, DatabaseObject obj,
+                              ServerCallInfo* info) {
+  (void)client;
+  if (info != nullptr) {
+    info->request_bytes =
+        RequestHeaderBytes() + static_cast<int64_t>(obj.WireBytes());
+    info->response_bytes = RequestHeaderBytes();
+  }
+  return txn_mgr_->Insert(txn, std::move(obj));
+}
+
+Status DatabaseServer::Erase(ClientId client, TxnId txn, Oid oid,
+                             ServerCallInfo* info) {
+  (void)client;
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes() + 8;
+    info->response_bytes = RequestHeaderBytes();
+  }
+  return txn_mgr_->Erase(txn, oid);
+}
+
+Result<std::vector<DatabaseObject>> DatabaseServer::ScanClass(
+    ClientId client, ClassId cls, bool include_subclasses, ServerCallInfo* info) {
+  std::vector<ClassId> classes;
+  if (include_subclasses) {
+    for (ClassId c = 1; c <= schema_.class_count(); ++c) {
+      if (schema_.IsA(c, cls)) classes.push_back(c);
+    }
+  } else {
+    classes.push_back(cls);
+  }
+  std::vector<DatabaseObject> out;
+  IoStats io;
+  int64_t bytes = 0;
+  for (ClassId c : classes) {
+    IDBA_ASSIGN_OR_RETURN(std::vector<Oid> oids, heap_->ScanClass(c));
+    for (Oid oid : oids) {
+      IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, heap_->Read(oid, &io));
+      bytes += static_cast<int64_t>(obj.WireBytes());
+      callbacks_.NoteCached(client, oid);
+      out.push_back(std::move(obj));
+    }
+  }
+  if (info != nullptr) {
+    info->request_bytes = RequestHeaderBytes() + 8;
+    info->response_bytes = RequestHeaderBytes() + bytes;
+    info->page_misses = io.page_misses;
+  }
+  return out;
+}
+
+Result<std::vector<DatabaseObject>> DatabaseServer::ExecuteQuery(
+    ClientId client, const ObjectQuery& query, ServerCallInfo* info) {
+  std::vector<ClassId> classes;
+  if (query.include_subclasses) {
+    for (ClassId c = 1; c <= schema_.class_count(); ++c) {
+      if (schema_.IsA(c, query.cls)) classes.push_back(c);
+    }
+  } else {
+    classes.push_back(query.cls);
+  }
+  std::vector<DatabaseObject> out;
+  IoStats io;
+  int64_t bytes = 0;
+  for (ClassId c : classes) {
+    IDBA_ASSIGN_OR_RETURN(std::vector<Oid> oids, heap_->ScanClass(c));
+    for (Oid oid : oids) {
+      IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, heap_->Read(oid, &io));
+      if (!query.Matches(schema_, obj)) continue;
+      bytes += static_cast<int64_t>(obj.WireBytes());
+      callbacks_.NoteCached(client, oid);
+      out.push_back(std::move(obj));
+    }
+  }
+  if (info != nullptr) {
+    info->request_bytes =
+        RequestHeaderBytes() + static_cast<int64_t>(query.WireBytes());
+    info->response_bytes = RequestHeaderBytes() + bytes;
+    info->page_misses = io.page_misses;
+  }
+  return out;
+}
+
+void DatabaseServer::NoteEvicted(ClientId client, Oid oid) {
+  callbacks_.NoteDropped(client, oid);
+}
+
+void DatabaseServer::AddCommitObserver(CommitObserver obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  commit_observers_.push_back(std::move(obs));
+}
+
+void DatabaseServer::AddIntentObserver(IntentObserver obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  intent_observers_.push_back(std::move(obs));
+}
+
+void DatabaseServer::AddAbortObserver(AbortObserver obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_observers_.push_back(std::move(obs));
+}
+
+Status DatabaseServer::DisplayLock(ClientId client, Oid oid) {
+  if (!opts_.integrated_display_locks) {
+    return Status::NotSupported("server built without integrated display locks");
+  }
+  return lock_manager().Lock(DisplayOwner(client), oid, LockMode::kD);
+}
+
+Status DatabaseServer::DisplayUnlock(ClientId client, Oid oid) {
+  if (!opts_.integrated_display_locks) {
+    return Status::NotSupported("server built without integrated display locks");
+  }
+  return lock_manager().Unlock(DisplayOwner(client), oid);
+}
+
+Status DatabaseServer::Checkpoint() {
+  // Force the log, then every data page, then truncate the log: a crash at
+  // any intermediate point recovers correctly (redo is idempotent), and
+  // after the truncation the log no longer grows without bound.
+  IDBA_RETURN_NOT_OK(wal_->Flush());
+  IDBA_RETURN_NOT_OK(pool_->FlushAll());
+  return wal_->Reset();
+}
+
+}  // namespace idba

@@ -1,0 +1,24 @@
+#include "server/durable.h"
+
+#include <sys/stat.h>
+
+namespace idba {
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& dir, DatabaseServerOptions opts) {
+  ::mkdir(dir.c_str(), 0755);  // best effort; Open below reports failures
+  auto db = std::unique_ptr<DurableDatabase>(new DurableDatabase());
+  IDBA_ASSIGN_OR_RETURN(db->data_disk_, FileDisk::Open(dir + "/data.idb"));
+  IDBA_ASSIGN_OR_RETURN(db->wal_disk_, FileDisk::Open(dir + "/wal.idb"));
+  // Every data page is a heap page (the heap allocates from 0 upward).
+  PageId data_pages = db->data_disk_->PageCount();
+  db->server_ = std::make_unique<DatabaseServer>(
+      db->data_disk_.get(), db->wal_disk_.get(), data_pages, opts);
+  IDBA_ASSIGN_OR_RETURN(db->recovery_stats_,
+                        RecoverFromWal(db->wal_disk_.get(), &db->server_->heap()));
+  return db;
+}
+
+Status DurableDatabase::Checkpoint() { return server_->Checkpoint(); }
+
+}  // namespace idba

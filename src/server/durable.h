@@ -1,0 +1,40 @@
+// Durable (file-backed) server deployment: opens a database directory,
+// replays the WAL into the heap, and serves. Orderly shutdown checkpoints;
+// a crash (process death without Close) is recovered on the next Open —
+// committed transactions survive, uncommitted ones vanish.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "server/database_server.h"
+#include "txn/recovery.h"
+
+namespace idba {
+
+/// A DatabaseServer plus the FileDisks backing it.
+class DurableDatabase {
+ public:
+  /// Opens (creating if empty) the database stored in `dir`, which holds
+  /// `data.idb` (heap pages) and `wal.idb` (log pages). Runs recovery.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      const std::string& dir, DatabaseServerOptions opts = {});
+
+  DatabaseServer& server() { return *server_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Checkpoints everything to disk (orderly shutdown). Safe to call
+  /// repeatedly; the destructor does NOT checkpoint (so tests can simulate
+  /// crashes by simply destroying the object).
+  Status Checkpoint();
+
+ private:
+  DurableDatabase() = default;
+  std::unique_ptr<FileDisk> data_disk_;
+  std::unique_ptr<FileDisk> wal_disk_;
+  std::unique_ptr<DatabaseServer> server_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace idba

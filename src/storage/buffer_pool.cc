@@ -1,0 +1,126 @@
+#include "storage/buffer_pool.h"
+
+namespace idba {
+
+BufferPool::BufferPool(Disk* disk, BufferPoolOptions opts)
+    : disk_(disk), opts_(opts), frames_(opts.frame_count) {
+  free_list_.reserve(opts.frame_count);
+  for (size_t i = opts.frame_count; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+Result<size_t> BufferPool::GetVictimLocked() {
+  if (!free_list_.empty()) {
+    size_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Busy("buffer pool exhausted: all frames pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  evictions_.Add();
+  if (f.dirty) {
+    Status st = disk_->WritePage(f.page_id, f.data);
+    if (!st.ok()) {
+      // The victim stays resident (its data is still the only copy);
+      // return it to the LRU so a later eviction can retry the write.
+      lru_.push_front(idx);
+      f.lru_pos = lru_.begin();
+      f.in_lru = true;
+      return st;
+    }
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.valid = false;
+  return idx;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id, bool* missed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    hits_.Add();
+    if (missed != nullptr) *missed = false;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, it->second, &f.data, id);
+  }
+  misses_.Add();
+  if (missed != nullptr) *missed = true;
+  IDBA_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked());
+  Frame& f = frames_[idx];
+  Status st = disk_->ReadPage(id, &f.data);
+  if (!st.ok()) {
+    free_list_.push_back(idx);
+    return st;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.valid = true;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, &f.data, id);
+}
+
+Result<PageGuard> BufferPool::NewPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_table_.count(id)) {
+    return Status::AlreadyExists("page " + std::to_string(id) + " already buffered");
+  }
+  IDBA_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked());
+  Frame& f = frames_[idx];
+  f.data = PageData{};
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // a new page must reach disk eventually
+  f.valid = true;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, &f.data, id);
+}
+
+void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame_index];
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0 && f.valid) {
+    lru_.push_back(frame_index);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      IDBA_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data));
+      f.dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+void BufferPool::DropAllNoFlush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_table_.clear();
+  lru_.clear();
+  free_list_.clear();
+  for (size_t i = frames_.size(); i > 0; --i) {
+    frames_[i - 1] = Frame{};
+    free_list_.push_back(i - 1);
+  }
+}
+
+}  // namespace idba

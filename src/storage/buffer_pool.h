@@ -1,0 +1,123 @@
+// Server buffer pool: fixed number of page frames over a Disk, LRU
+// replacement, pin counts, dirty tracking. This is the middle level of the
+// paper's memory hierarchy (figure 2): server disk -> server main memory ->
+// client main memory (-> display cache, added by this work).
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace idba {
+
+struct BufferPoolOptions {
+  size_t frame_count = 256;  ///< pool capacity in 4 KiB pages
+};
+
+/// RAII pin on a buffered page. Unpins (and marks dirty if requested) on
+/// destruction. Move-only.
+class PageGuard;
+
+/// Thread-safe buffer pool.
+class BufferPool {
+ public:
+  BufferPool(Disk* disk, BufferPoolOptions opts);
+  ~BufferPool();
+
+  /// Pins page `id`, reading it from disk on a miss. `missed`, if non-null,
+  /// reports whether a physical read occurred (used by the server to charge
+  /// virtual disk latency into the causal chain).
+  Result<PageGuard> FetchPage(PageId id, bool* missed = nullptr);
+
+  /// Pins a page assumed fresh (no disk read); used when allocating.
+  Result<PageGuard> NewPage(PageId id);
+
+  /// Writes all dirty unpinned+pinned frames back to disk.
+  Status FlushAll();
+
+  /// Drops every frame without writing (crash simulation for recovery tests).
+  void DropAllNoFlush();
+
+  uint64_t hits() const { return hits_.Get(); }
+  uint64_t misses() const { return misses_.Get(); }
+  uint64_t evictions() const { return evictions_.Get(); }
+  size_t frame_count() const { return opts_.frame_count; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = 0;
+    PageData data;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index, bool dirty);
+  Result<size_t> GetVictimLocked();  // requires mu_
+
+  Disk* disk_;
+  BufferPoolOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;        // front = least recently used
+  std::vector<size_t> free_list_;
+  Counter hits_, misses_, evictions_;
+};
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, PageData* data, PageId id)
+      : pool_(pool), frame_(frame_index), data_(data), id_(id) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    data_ = o.data_;
+    id_ = o.id_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return id_; }
+  PageData* data() { return data_; }
+  const PageData* data() const { return data_; }
+
+  /// Marks the page dirty; it will be written back before eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicitly unpins early.
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Unpin(frame_, dirty_);
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageData* data_ = nullptr;
+  PageId id_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace idba

@@ -1,0 +1,138 @@
+#include "storage/disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace idba {
+
+Status MemDisk::ReadPage(PageId id, PageData* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failing_reads_ > 0) {
+    --failing_reads_;
+    return Status::IOError("injected read failure on page " + std::to_string(id));
+  }
+  reads_.Add();
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    std::memset(out->bytes, 0, kPageSize);
+    return Status::OK();
+  }
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status MemDisk::WritePage(PageId id, const PageData& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failing_writes_ > 0) {
+    --failing_writes_;
+    return Status::IOError("injected write failure on page " + std::to_string(id));
+  }
+  writes_.Add();
+  if (id >= pages_.size()) pages_.resize(id + 1);
+  if (pages_[id] == nullptr) pages_[id] = std::make_unique<PageData>();
+  *pages_[id] = data;
+  return Status::OK();
+}
+
+Status MemDisk::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  return Status::OK();
+}
+
+PageId MemDisk::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+void MemDisk::InjectReadFailures(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failing_reads_ = n;
+}
+
+void MemDisk::InjectWriteFailures(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failing_writes_ = n;
+}
+
+std::unique_ptr<MemDisk> MemDisk::Clone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto copy = std::make_unique<MemDisk>();
+  copy->pages_.reserve(pages_.size());
+  for (const auto& page : pages_) {
+    copy->pages_.push_back(page ? std::make_unique<PageData>(*page) : nullptr);
+  }
+  return copy;
+}
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+  }
+  PageId pages = static_cast<PageId>(st.st_size) / kPageSize;
+  return std::unique_ptr<FileDisk>(new FileDisk(fd, pages));
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDisk::ReadPage(PageId id, PageData* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reads_.Add();
+  if (id >= page_count_) {
+    std::memset(out->bytes, 0, kPageSize);
+    return Status::OK();
+  }
+  ssize_t n = ::pread(fd_, out->bytes, kPageSize,
+                      static_cast<off_t>(id * kPageSize));
+  if (n < 0) return Status::IOError("pread: " + std::string(std::strerror(errno)));
+  if (static_cast<size_t>(n) < kPageSize) {
+    std::memset(out->bytes + n, 0, kPageSize - n);
+  }
+  return Status::OK();
+}
+
+Status FileDisk::WritePage(PageId id, const PageData& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writes_.Add();
+  ssize_t n = ::pwrite(fd_, data.bytes, kPageSize,
+                       static_cast<off_t>(id * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  if (id >= page_count_) page_count_ = id + 1;
+  return Status::OK();
+}
+
+Status FileDisk::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileDisk::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  page_count_ = 0;
+  return Status::OK();
+}
+
+PageId FileDisk::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+}  // namespace idba

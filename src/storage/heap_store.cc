@@ -1,0 +1,180 @@
+#include "storage/heap_store.h"
+
+#include <algorithm>
+
+namespace idba {
+
+namespace {
+void CountMiss(IoStats* io, bool missed) {
+  if (io != nullptr && missed) ++io->page_misses;
+}
+}  // namespace
+
+Result<std::unique_ptr<HeapStore>> HeapStore::Open(BufferPool* pool,
+                                                   PageId data_page_count) {
+  auto store = std::unique_ptr<HeapStore>(new HeapStore(pool));
+  for (PageId p = 0; p < data_page_count; ++p) {
+    IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPage(p));
+    SlottedPage page(guard.data());
+    for (const auto& [slot, bytes] : page.LiveRecords()) {
+      Decoder dec(bytes.data(), bytes.size());
+      DatabaseObject obj;
+      IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(&dec, &obj));
+      store->directory_[obj.oid()] = ObjectLocation{p, slot};
+    }
+    if (page.FreeSpaceAfterCompaction() >= kPageSize / 4) {
+      store->pages_with_space_.push_back(p);
+    }
+  }
+  store->next_page_ = data_page_count;
+  return store;
+}
+
+Status HeapStore::Insert(const DatabaseObject& obj, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(obj, io);
+}
+
+Status HeapStore::InsertLocked(const DatabaseObject& obj, IoStats* io) {
+  if (directory_.count(obj.oid())) {
+    return Status::AlreadyExists(obj.oid().ToString());
+  }
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  obj.EncodeTo(&enc);
+  if (bytes.size() > kPageSize - 64) {
+    return Status::InvalidArgument("object too large for a page: " +
+                                   std::to_string(bytes.size()) + " bytes");
+  }
+  // Try candidate pages with free space, newest first.
+  while (!pages_with_space_.empty()) {
+    PageId pid = pages_with_space_.back();
+    bool missed = false;
+    IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid, &missed));
+    CountMiss(io, missed);
+    SlottedPage page(guard.data());
+    auto slot = page.Insert(bytes.data(), bytes.size());
+    if (slot.ok()) {
+      guard.MarkDirty();
+      directory_[obj.oid()] = ObjectLocation{pid, slot.value()};
+      if (page.FreeSpaceAfterCompaction() < kPageSize / 4) pages_with_space_.pop_back();
+      return Status::OK();
+    }
+    pages_with_space_.pop_back();  // full; stop considering it
+  }
+  // Allocate a fresh page.
+  PageId pid = next_page_++;
+  IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(pid));
+  SlottedPage page(guard.data());
+  page.Init();
+  IDBA_ASSIGN_OR_RETURN(SlotId slot, page.Insert(bytes.data(), bytes.size()));
+  guard.MarkDirty();
+  directory_[obj.oid()] = ObjectLocation{pid, slot};
+  if (page.FreeSpaceAfterCompaction() >= kPageSize / 4) pages_with_space_.push_back(pid);
+  return Status::OK();
+}
+
+Result<DatabaseObject> HeapStore::Read(Oid oid, IoStats* io) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return Status::NotFound(oid.ToString());
+  bool missed = false;
+  IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(it->second.page, &missed));
+  CountMiss(io, missed);
+  SlottedPage page(guard.data());
+  IDBA_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, page.Read(it->second.slot));
+  Decoder dec(bytes.data(), bytes.size());
+  DatabaseObject obj;
+  IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(&dec, &obj));
+  return obj;
+}
+
+Status HeapStore::Update(const DatabaseObject& obj, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(obj.oid());
+  if (it == directory_.end()) return Status::NotFound(obj.oid().ToString());
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  obj.EncodeTo(&enc);
+  if (bytes.size() > kPageSize - 64) {
+    return Status::InvalidArgument("object too large for a page");
+  }
+  bool missed = false;
+  IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(it->second.page, &missed));
+  CountMiss(io, missed);
+  SlottedPage page(guard.data());
+  Status st = page.Update(it->second.slot, bytes.data(), bytes.size());
+  if (st.ok()) {
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  if (!st.IsBusy()) return st;
+  // Doesn't fit in place: relocate to another page.
+  IDBA_RETURN_NOT_OK(page.Erase(it->second.slot));
+  guard.MarkDirty();
+  guard.Release();
+  directory_.erase(it);
+  return InsertLocked(obj, io);
+}
+
+Status HeapStore::Erase(Oid oid, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return Status::NotFound(oid.ToString());
+  bool missed = false;
+  IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(it->second.page, &missed));
+  CountMiss(io, missed);
+  SlottedPage page(guard.data());
+  IDBA_RETURN_NOT_OK(page.Erase(it->second.slot));
+  guard.MarkDirty();
+  // The page regained space; make it an insert candidate again.
+  if (std::find(pages_with_space_.begin(), pages_with_space_.end(),
+                it->second.page) == pages_with_space_.end() &&
+      page.FreeSpaceAfterCompaction() >= kPageSize / 4) {
+    pages_with_space_.push_back(it->second.page);
+  }
+  directory_.erase(it);
+  return Status::OK();
+}
+
+bool HeapStore::Contains(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.count(oid) != 0;
+}
+
+size_t HeapStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.size();
+}
+
+PageId HeapStore::data_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_page_;
+}
+
+Result<std::vector<Oid>> HeapStore::ScanClass(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Oid> out;
+  for (const auto& [oid, loc] : directory_) {
+    IDBA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(loc.page));
+    SlottedPage page(guard.data());
+    IDBA_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, page.Read(loc.slot));
+    Decoder dec(bytes.data(), bytes.size());
+    DatabaseObject obj;
+    IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(&dec, &obj));
+    if (obj.class_id() == cls) out.push_back(oid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Oid> HeapStore::AllOids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Oid> out;
+  out.reserve(directory_.size());
+  for (const auto& [oid, loc] : directory_) out.push_back(oid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace idba

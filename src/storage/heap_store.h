@@ -1,0 +1,75 @@
+// Object heap store: places serialized DatabaseObjects on slotted pages via
+// the buffer pool and maintains an in-memory OID -> (page, slot) directory
+// (rebuilt by scanning pages on open, i.e. after a restart).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "objectmodel/object.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace idba {
+
+/// Physical location of an object.
+struct ObjectLocation {
+  PageId page = 0;
+  SlotId slot = 0;
+};
+
+/// Per-operation physical I/O accounting, fed into the virtual cost chain.
+struct IoStats {
+  int page_misses = 0;  ///< pages that required a physical read
+};
+
+/// Thread-safe heap of objects over a buffer pool.
+class HeapStore {
+ public:
+  /// Opens a heap over `pool`, scanning pages [0, data_page_count) to
+  /// rebuild the OID directory. Pass 0 for an empty/new heap.
+  static Result<std::unique_ptr<HeapStore>> Open(BufferPool* pool,
+                                                 PageId data_page_count);
+
+  /// Inserts a new object (fails with AlreadyExists on a duplicate OID).
+  Status Insert(const DatabaseObject& obj, IoStats* io = nullptr);
+
+  /// Reads the current image of `oid`.
+  Result<DatabaseObject> Read(Oid oid, IoStats* io = nullptr) const;
+
+  /// Replaces the image of an existing object (relocating it if it grew).
+  Status Update(const DatabaseObject& obj, IoStats* io = nullptr);
+
+  /// Removes the object.
+  Status Erase(Oid oid, IoStats* io = nullptr);
+
+  bool Contains(Oid oid) const;
+  size_t object_count() const;
+  PageId data_page_count() const;
+
+  /// All OIDs of objects whose class equals `cls` (no inheritance walk;
+  /// callers with hierarchies expand class ids first). Full scan of the
+  /// directory + pages.
+  Result<std::vector<Oid>> ScanClass(ClassId cls) const;
+
+  /// Every OID in the heap.
+  std::vector<Oid> AllOids() const;
+
+ private:
+  explicit HeapStore(BufferPool* pool) : pool_(pool) {}
+  Status InsertLocked(const DatabaseObject& obj, IoStats* io);
+
+  BufferPool* pool_;
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, ObjectLocation> directory_;
+  // Pages with at least ~25% free space, candidates for inserts.
+  std::vector<PageId> pages_with_space_;
+  PageId next_page_ = 0;
+};
+
+}  // namespace idba

@@ -1,0 +1,177 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+namespace idba {
+
+namespace {
+constexpr size_t kWalPageHeader = 2;  // u16 used-bytes
+constexpr size_t kWalPageCapacity = kPageSize - kWalPageHeader;
+
+uint16_t PageUsed(const PageData& p) {
+  return static_cast<uint16_t>(p.bytes[0] | (static_cast<uint16_t>(p.bytes[1]) << 8));
+}
+
+void SetPageUsed(PageData* p, uint16_t used) {
+  p->bytes[0] = static_cast<uint8_t>(used);
+  p->bytes[1] = static_cast<uint8_t>(used >> 8);
+}
+
+Status ParsePage(const PageData& page, std::vector<WalRecord>* out) {
+  size_t used = PageUsed(page);
+  if (used > kWalPageCapacity) {
+    return Status::Corruption("WAL page used-bytes out of range");
+  }
+  size_t off = 0;
+  const uint8_t* body = page.bytes + kWalPageHeader;
+  while (off + 4 <= used) {
+    uint32_t len = 0;
+    std::memcpy(&len, body + off, 4);
+    off += 4;
+    if (len == 0 || off + len > used) {
+      return Status::Corruption("WAL record overruns page");
+    }
+    Decoder dec(body + off, len);
+    WalRecord rec;
+    IDBA_RETURN_NOT_OK(WalRecord::DecodeFrom(&dec, &rec));
+    out->push_back(std::move(rec));
+    off += len;
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void WalRecord::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type));
+  enc->PutU64(lsn);
+  enc->PutU64(txn);
+  enc->PutU64(oid.value);
+  const bool has_image =
+      type == WalRecordType::kInsert || type == WalRecordType::kUpdate;
+  enc->PutU8(has_image ? 1 : 0);
+  if (has_image) after.EncodeTo(enc);
+}
+
+Status WalRecord::DecodeFrom(Decoder* dec, WalRecord* out) {
+  uint8_t type = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU8(&type));
+  out->type = static_cast<WalRecordType>(type);
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->lsn));
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->txn));
+  uint64_t oid = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+  out->oid = Oid(oid);
+  uint8_t has_image = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU8(&has_image));
+  if (has_image != 0) {
+    IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(dec, &out->after));
+  }
+  return Status::OK();
+}
+
+Wal::Wal(Disk* disk) : disk_(disk) {
+  // Resume after an existing log: position past the last durable record.
+  auto existing = ReadAllFromDisk(disk_);
+  if (existing.ok() && !existing.value().empty()) {
+    next_lsn_ = existing.value().back().lsn + 1;
+    // Continue appending on a fresh page (simpler than refilling a partial
+    // tail page; wastes at most one page per restart).
+    next_page_ = disk_->PageCount();
+  }
+}
+
+Result<Lsn> Wal::Append(WalRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.lsn = next_lsn_++;
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  rec.EncodeTo(&enc);
+  if (payload.size() + 4 > kWalPageCapacity) {
+    return Status::InvalidArgument("WAL record exceeds page capacity: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  std::vector<uint8_t> entry(4 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(entry.data(), &len, 4);
+  std::memcpy(entry.data() + 4, payload.data(), payload.size());
+  appended_bytes_ += entry.size();
+  pending_.push_back(std::move(entry));
+  return rec.lsn;
+}
+
+Status Wal::FlushLocked() {
+  for (auto& entry : pending_) {
+    if (cur_used_ + entry.size() > kWalPageCapacity) {
+      SetPageUsed(&cur_page_, static_cast<uint16_t>(cur_used_));
+      IDBA_RETURN_NOT_OK(disk_->WritePage(next_page_, cur_page_));
+      ++next_page_;
+      cur_page_ = PageData{};
+      cur_used_ = 0;
+    }
+    std::memcpy(cur_page_.bytes + kWalPageHeader + cur_used_, entry.data(),
+                entry.size());
+    cur_used_ += entry.size();
+  }
+  pending_.clear();
+  SetPageUsed(&cur_page_, static_cast<uint16_t>(cur_used_));
+  IDBA_RETURN_NOT_OK(disk_->WritePage(next_page_, cur_page_));
+  return disk_->Sync();
+}
+
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Result<std::vector<WalRecord>> Wal::ReadAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WalRecord> out;
+  // Full pages already shipped to disk.
+  for (PageId p = 0; p < next_page_; ++p) {
+    PageData page;
+    IDBA_RETURN_NOT_OK(disk_->ReadPage(p, &page));
+    IDBA_RETURN_NOT_OK(ParsePage(page, &out));
+  }
+  // The in-memory tail page is authoritative for its contents.
+  IDBA_RETURN_NOT_OK(ParsePage(cur_page_, &out));
+  // Records appended but not yet packed into any page.
+  for (const auto& entry : pending_) {
+    Decoder dec(entry.data() + 4, entry.size() - 4);
+    WalRecord rec;
+    IDBA_RETURN_NOT_OK(WalRecord::DecodeFrom(&dec, &rec));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::vector<WalRecord>> Wal::ReadAllFromDisk(Disk* disk) {
+  std::vector<WalRecord> out;
+  for (PageId p = 0; p < disk->PageCount(); ++p) {
+    PageData page;
+    IDBA_RETURN_NOT_OK(disk->ReadPage(p, &page));
+    IDBA_RETURN_NOT_OK(ParsePage(page, &out));
+  }
+  return out;
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  IDBA_RETURN_NOT_OK(disk_->Truncate());
+  next_page_ = 0;
+  cur_page_ = PageData{};
+  cur_used_ = 0;
+  pending_.clear();
+  return Status::OK();
+}
+
+Lsn Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+PageId Wal::DiskPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_->PageCount();
+}
+
+}  // namespace idba

@@ -1,0 +1,94 @@
+// Write-ahead log.
+//
+// The transaction manager uses deferred updates (no-steal): a transaction's
+// writes are buffered in an intention list and applied to the heap store
+// only after the commit record is durable. The WAL therefore carries
+// redo-only full object images; recovery replays committed transactions'
+// images in log order (idempotent, since images are complete).
+//
+// On-disk format: the WAL owns its own Disk. Records are packed
+// back-to-back into pages as [u32 length][payload]; a zero length
+// terminates a page (the tail continues on the next page only when a
+// record is split, which we avoid by starting oversized records on a fresh
+// page — records larger than a page are rejected).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "objectmodel/object.h"
+#include "storage/disk.h"
+
+namespace idba {
+
+using Lsn = uint64_t;
+using TxnId = uint64_t;
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kInsert = 2,   ///< after image
+  kUpdate = 3,   ///< after image (redo-only)
+  kErase = 4,    ///< erased oid
+  kCommit = 5,
+  kAbort = 6,
+  kCheckpoint = 7,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  Lsn lsn = 0;
+  TxnId txn = 0;
+  Oid oid;                   // kInsert/kUpdate/kErase
+  DatabaseObject after;      // kInsert/kUpdate
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, WalRecord* out);
+};
+
+/// Append-only durable log. Thread-safe.
+class Wal {
+ public:
+  explicit Wal(Disk* disk);
+
+  /// Appends a record, assigning it the next LSN (returned).
+  Result<Lsn> Append(WalRecord rec);
+
+  /// Makes everything appended so far durable.
+  Status Flush();
+
+  /// Reads every record currently durable *plus* buffered ones, in order.
+  Result<std::vector<WalRecord>> ReadAll() const;
+
+  /// Scans the log from disk only — what recovery would see after a crash.
+  static Result<std::vector<WalRecord>> ReadAllFromDisk(Disk* disk);
+
+  /// Discards the entire log (LSNs keep counting). Call ONLY after every
+  /// effect of logged transactions has been forced to the data disk (a
+  /// checkpoint) — replaying an empty log over those pages is then a
+  /// no-op, which is exactly what recovery will do.
+  Status Reset();
+
+  Lsn next_lsn() const;
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  /// Pages the log currently occupies on its disk.
+  PageId DiskPages() const;
+
+ private:
+  Status FlushLocked();
+
+  Disk* disk_;
+  mutable std::mutex mu_;
+  Lsn next_lsn_ = 1;
+  PageId next_page_ = 0;            // page the in-memory tail will land on
+  PageData cur_page_;               // partially filled tail page
+  size_t cur_used_ = 0;             // payload bytes used in cur_page_
+  std::vector<std::vector<uint8_t>> pending_;  // entries not yet paged
+  uint64_t appended_bytes_ = 0;
+};
+
+}  // namespace idba

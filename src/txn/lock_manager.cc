@@ -1,0 +1,303 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace idba {
+
+std::string_view LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNL: return "NL";
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+    case LockMode::kD: return "D";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode held, LockMode requested) {
+  // Display locks (paper §3.3): "display locks are compatible with all
+  // types of locks" — in both directions.
+  if (held == LockMode::kD || requested == LockMode::kD) return true;
+  if (held == LockMode::kNL || requested == LockMode::kNL) return true;
+  auto idx = [](LockMode m) {
+    switch (m) {
+      case LockMode::kIS: return 0;
+      case LockMode::kIX: return 1;
+      case LockMode::kS: return 2;
+      case LockMode::kSIX: return 3;
+      case LockMode::kX: return 4;
+      default: return 4;
+    }
+  };
+  // Rows: held IS,IX,S,SIX,X; columns: requested.
+  static constexpr bool kCompat[5][5] = {
+      /*IS */ {true, true, true, true, false},
+      /*IX */ {true, true, false, false, false},
+      /*S  */ {true, false, true, false, false},
+      /*SIX*/ {true, false, false, false, false},
+      /*X  */ {false, false, false, false, false},
+  };
+  return kCompat[idx(held)][idx(requested)];
+}
+
+LockMode LockSupremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kNL) return b;
+  if (b == LockMode::kNL) return a;
+  // D does not join the regular lattice; callers must not mix (enforced in
+  // LockInternal). Treat sup(D, m) = m defensively.
+  if (a == LockMode::kD) return b;
+  if (b == LockMode::kD) return a;
+  auto rank = [](LockMode m) {
+    switch (m) {
+      case LockMode::kIS: return 1;
+      case LockMode::kIX: return 2;
+      case LockMode::kS: return 2;
+      case LockMode::kSIX: return 3;
+      case LockMode::kX: return 4;
+      default: return 0;
+    }
+  };
+  // sup(IX, S) = SIX is the one non-chain join.
+  if ((a == LockMode::kIX && b == LockMode::kS) ||
+      (a == LockMode::kS && b == LockMode::kIX)) {
+    return LockMode::kSIX;
+  }
+  return rank(a) >= rank(b) ? a : b;
+}
+
+LockManager::LockManager(LockManagerOptions opts) : opts_(opts) {}
+
+Status LockManager::Lock(LockOwnerId owner, Oid oid, LockMode mode) {
+  return LockInternal(owner, oid, mode, /*blocking=*/true);
+}
+
+Status LockManager::TryLock(LockOwnerId owner, Oid oid, LockMode mode) {
+  return LockInternal(owner, oid, mode, /*blocking=*/false);
+}
+
+bool LockManager::CanGrantLocked(const Queue& q, LockOwnerId owner, LockMode mode,
+                                 uint64_t ticket) const {
+  for (const Held& h : q.granted) {
+    if (h.owner == owner) continue;  // self-compatibility (upgrade path)
+    if (!LockCompatible(h.mode, mode)) return false;
+  }
+  // FIFO fairness: an earlier conflicting waiter goes first. Upgrades jump
+  // the queue (a blocked upgrade behind a new waiter is an instant deadlock).
+  bool is_upgrade = false;
+  for (const Held& h : q.granted) {
+    if (h.owner == owner) is_upgrade = true;
+  }
+  if (is_upgrade) return true;
+  for (const Waiter& w : q.waiting) {
+    if (w.ticket >= ticket || w.owner == owner) continue;
+    if (!LockCompatible(w.mode, mode) || !LockCompatible(mode, w.mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::GrantLocked(Queue& q, LockOwnerId owner, LockMode mode) {
+  for (Held& h : q.granted) {
+    if (h.owner == owner) {
+      h.mode = LockSupremum(h.mode, mode);
+      grants_.Add();
+      return;
+    }
+  }
+  q.granted.push_back(Held{owner, mode});
+  owner_locks_[owner];  // ensure entry exists
+  grants_.Add();
+}
+
+bool LockManager::WouldDeadlockLocked(LockOwnerId requester, const Oid& oid,
+                                      LockMode mode) const {
+  // DFS over the waits-for graph. Each owner (thread) has at most one
+  // outstanding blocking request, recorded in waiting_requests_, so edges
+  // are cheap to expand: x waits-for every granted owner whose held mode
+  // conflicts with x's requested mode. Edges to earlier queued waiters are
+  // not modeled; those rare deadlocks fall back to the wait timeout.
+  std::vector<LockOwnerId> stack;
+  std::unordered_set<LockOwnerId> visited;
+  auto expand = [&](const Oid& target_oid, LockMode req, LockOwnerId self) {
+    auto qit = table_.find(target_oid);
+    if (qit == table_.end()) return;
+    for (const Held& h : qit->second.granted) {
+      if (h.owner == self) continue;
+      if (!LockCompatible(h.mode, req) && !visited.count(h.owner)) {
+        visited.insert(h.owner);
+        stack.push_back(h.owner);
+      }
+    }
+  };
+  expand(oid, mode, requester);
+  while (!stack.empty()) {
+    LockOwnerId x = stack.back();
+    stack.pop_back();
+    if (x == requester) return true;
+    auto wit = waiting_requests_.find(x);
+    if (wit == waiting_requests_.end()) continue;
+    expand(wit->second.first, wit->second.second, x);
+  }
+  return visited.count(requester) != 0;
+}
+
+void LockManager::RemoveWaiterLocked(Queue& q, LockOwnerId owner, uint64_t ticket) {
+  q.waiting.erase(std::remove_if(q.waiting.begin(), q.waiting.end(),
+                                 [&](const Waiter& w) {
+                                   return w.owner == owner && w.ticket == ticket;
+                                 }),
+                  q.waiting.end());
+}
+
+Status LockManager::LockInternal(LockOwnerId owner, Oid oid, LockMode mode,
+                                 bool blocking) {
+  if (mode == LockMode::kNL) return Status::InvalidArgument("cannot lock in NL");
+  std::unique_lock<std::mutex> lock(mu_);
+  Queue& q = table_[oid];
+
+  LockMode held = LockMode::kNL;
+  for (const Held& h : q.granted) {
+    if (h.owner == owner) held = h.mode;
+  }
+  // D and regular modes live in disjoint owner spaces (client ids vs
+  // transaction ids); mixing them under one owner is a usage error.
+  if (held != LockMode::kNL &&
+      ((held == LockMode::kD) != (mode == LockMode::kD))) {
+    return Status::InvalidArgument("owner mixes display and regular locks on " +
+                                   oid.ToString());
+  }
+  if (held != LockMode::kNL && LockSupremum(held, mode) == held) {
+    return Status::OK();  // already holds a sufficient mode
+  }
+  LockMode effective = LockSupremum(held, mode);
+
+  // Display locks never conflict and are granted unconditionally (§3.3:
+  // "the lock manager is expected to grant those locks").
+  if (mode == LockMode::kD) {
+    GrantLocked(q, owner, LockMode::kD);
+    owner_locks_[owner].insert(oid);
+    return Status::OK();
+  }
+
+  uint64_t ticket = next_ticket_++;
+  if (CanGrantLocked(q, owner, effective, ticket)) {
+    GrantLocked(q, owner, effective);
+    owner_locks_[owner].insert(oid);
+    return Status::OK();
+  }
+  if (!blocking) {
+    if (q.granted.empty() && q.waiting.empty()) table_.erase(oid);
+    return Status::Busy("lock " + std::string(LockModeName(mode)) + " on " +
+                        oid.ToString() + " unavailable");
+  }
+  if (opts_.deadlock_detection && WouldDeadlockLocked(owner, oid, effective)) {
+    deadlocks_.Add();
+    if (q.granted.empty() && q.waiting.empty()) table_.erase(oid);
+    return Status::Deadlock("lock " + std::string(LockModeName(mode)) + " on " +
+                            oid.ToString() + " would deadlock");
+  }
+
+  waits_.Add();
+  q.waiting.push_back(Waiter{owner, effective, held != LockMode::kNL, ticket});
+  waiting_requests_[owner] = {oid, effective};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.wait_timeout_ms);
+  for (;;) {
+    // Re-find the queue: rehash may have moved it while we slept.
+    Queue& cur = table_[oid];
+    if (CanGrantLocked(cur, owner, effective, ticket)) {
+      RemoveWaiterLocked(cur, owner, ticket);
+      waiting_requests_.erase(owner);
+      GrantLocked(cur, owner, effective);
+      owner_locks_[owner].insert(oid);
+      cv_.notify_all();
+      return Status::OK();
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      Queue& cur2 = table_[oid];
+      RemoveWaiterLocked(cur2, owner, ticket);
+      waiting_requests_.erase(owner);
+      timeouts_.Add();
+      cv_.notify_all();
+      return Status::TimedOut("lock wait on " + oid.ToString());
+    }
+  }
+}
+
+Status LockManager::Unlock(LockOwnerId owner, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return Status::NotFound("no locks on " + oid.ToString());
+  auto& granted = it->second.granted;
+  auto pos = std::find_if(granted.begin(), granted.end(),
+                          [&](const Held& h) { return h.owner == owner; });
+  if (pos == granted.end()) {
+    return Status::NotFound("owner holds no lock on " + oid.ToString());
+  }
+  granted.erase(pos);
+  auto oit = owner_locks_.find(owner);
+  if (oit != owner_locks_.end()) oit->second.erase(oid);
+  if (granted.empty() && it->second.waiting.empty()) table_.erase(it);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(LockOwnerId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto oit = owner_locks_.find(owner);
+  if (oit == owner_locks_.end()) return;
+  for (const Oid& oid : oit->second) {
+    auto it = table_.find(oid);
+    if (it == table_.end()) continue;
+    auto& granted = it->second.granted;
+    granted.erase(std::remove_if(granted.begin(), granted.end(),
+                                 [&](const Held& h) { return h.owner == owner; }),
+                  granted.end());
+    if (granted.empty() && it->second.waiting.empty()) table_.erase(it);
+  }
+  owner_locks_.erase(oit);
+  cv_.notify_all();
+}
+
+LockMode LockManager::HeldMode(LockOwnerId owner, Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return LockMode::kNL;
+  for (const Held& h : it->second.granted) {
+    if (h.owner == owner) return h.mode;
+  }
+  return LockMode::kNL;
+}
+
+std::vector<LockOwnerId> LockManager::DisplayLockHolders(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LockOwnerId> out;
+  auto it = table_.find(oid);
+  if (it == table_.end()) return out;
+  for (const Held& h : it->second.granted) {
+    if (h.mode == LockMode::kD) out.push_back(h.owner);
+  }
+  return out;
+}
+
+std::vector<LockOwnerId> LockManager::Holders(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LockOwnerId> out;
+  auto it = table_.find(oid);
+  if (it == table_.end()) return out;
+  for (const Held& h : it->second.granted) {
+    if (h.mode != LockMode::kD) out.push_back(h.owner);
+  }
+  return out;
+}
+
+size_t LockManager::LockedObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace idba

@@ -1,0 +1,134 @@
+// Object-granularity lock manager.
+//
+// Modes are the classical IS/IX/S/SIX/X hierarchy (Gray & Reuter ch. 8,
+// which the paper cites as the substrate display locks extend) plus the
+// paper's contribution: mode D ("display lock", §3.3) — a non-restrictive
+// shared lock **compatible with every mode including X and other D locks**.
+// Holding D never blocks anyone and never waits; its only semantics is
+// membership in the notification set maintained by the DLM / callback
+// machinery.
+//
+// Owners are generic uint64 ids: transactions for IS..X, clients for D and
+// for cache callback bookkeeping.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/vtime.h"
+#include "objectmodel/oid.h"
+
+namespace idba {
+
+/// Lock owner (transaction id or client id depending on mode).
+using LockOwnerId = uint64_t;
+
+enum class LockMode : uint8_t {
+  kNL = 0,   ///< no lock
+  kIS = 1,   ///< intention shared
+  kIX = 2,   ///< intention exclusive
+  kS = 3,    ///< shared (read)
+  kSIX = 4,  ///< shared + intention exclusive
+  kX = 5,    ///< exclusive (write)
+  kD = 6,    ///< display lock (paper §3.3): compatible with everything
+};
+
+std::string_view LockModeName(LockMode m);
+
+/// True if a requested mode is compatible with a held mode.
+bool LockCompatible(LockMode held, LockMode requested);
+
+/// The least-upper-bound of two modes (for upgrades), e.g. sup(S,IX)=SIX.
+LockMode LockSupremum(LockMode a, LockMode b);
+
+struct LockManagerOptions {
+  /// Wall-clock bound on a single lock wait before TimedOut (safety net on
+  /// top of deadlock detection).
+  int64_t wait_timeout_ms = 5000;
+  /// If false, deadlocks are resolved only by timeout.
+  bool deadlock_detection = true;
+};
+
+/// Thread-safe lock manager. Blocking requests wait on a condition
+/// variable; deadlocks are detected with a waits-for-graph DFS at block
+/// time and resolved by aborting the requester (Status::Deadlock).
+class LockManager {
+ public:
+  explicit LockManager(LockManagerOptions opts = {});
+
+  /// Acquires (or upgrades to) `mode` on `oid` for `owner`. Blocks while
+  /// conflicting. D-mode requests never block (granted immediately).
+  Status Lock(LockOwnerId owner, Oid oid, LockMode mode);
+
+  /// Non-blocking variant: Busy instead of waiting.
+  Status TryLock(LockOwnerId owner, Oid oid, LockMode mode);
+
+  /// Releases `owner`'s lock on `oid` (whatever its mode).
+  Status Unlock(LockOwnerId owner, Oid oid);
+
+  /// Releases every lock held by `owner` (commit/abort/disconnect).
+  void ReleaseAll(LockOwnerId owner);
+
+  /// Mode currently held by `owner` on `oid` (kNL if none).
+  LockMode HeldMode(LockOwnerId owner, Oid oid) const;
+
+  /// Owners currently holding D locks on `oid` (the notification set).
+  std::vector<LockOwnerId> DisplayLockHolders(Oid oid) const;
+
+  /// Owners holding any non-D lock on `oid`.
+  std::vector<LockOwnerId> Holders(Oid oid) const;
+
+  /// Number of OIDs with at least one lock entry.
+  size_t LockedObjectCount() const;
+
+  uint64_t grants() const { return grants_.Get(); }
+  uint64_t waits() const { return waits_.Get(); }
+  uint64_t deadlocks() const { return deadlocks_.Get(); }
+  uint64_t timeouts() const { return timeouts_.Get(); }
+
+ private:
+  struct Held {
+    LockOwnerId owner;
+    LockMode mode;
+  };
+  struct Waiter {
+    LockOwnerId owner;
+    LockMode mode;
+    bool is_upgrade;
+    uint64_t ticket;  // FIFO ordering
+  };
+  struct Queue {
+    std::vector<Held> granted;
+    std::deque<Waiter> waiting;
+  };
+
+  Status LockInternal(LockOwnerId owner, Oid oid, LockMode mode, bool blocking);
+  // All helpers below require mu_.
+  bool CanGrantLocked(const Queue& q, LockOwnerId owner, LockMode mode,
+                      uint64_t ticket) const;
+  void GrantLocked(Queue& q, LockOwnerId owner, LockMode mode);
+  bool WouldDeadlockLocked(LockOwnerId requester, const Oid& oid, LockMode mode) const;
+  void RemoveWaiterLocked(Queue& q, LockOwnerId owner, uint64_t ticket);
+
+  LockManagerOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<Oid, Queue> table_;
+  std::unordered_map<LockOwnerId, std::unordered_set<Oid>> owner_locks_;
+  // Each owner thread blocks on at most one request at a time; this map
+  // backs the waits-for-graph expansion in WouldDeadlockLocked.
+  std::unordered_map<LockOwnerId, std::pair<Oid, LockMode>> waiting_requests_;
+  uint64_t next_ticket_ = 1;
+  Counter grants_, waits_, deadlocks_, timeouts_;
+};
+
+}  // namespace idba

@@ -1,0 +1,54 @@
+#include "txn/recovery.h"
+
+#include <unordered_set>
+
+namespace idba {
+
+Result<RecoveryStats> RecoverFromWal(Disk* wal_disk, HeapStore* heap) {
+  RecoveryStats stats;
+  IDBA_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                        Wal::ReadAllFromDisk(wal_disk));
+  stats.records_scanned = records.size();
+
+  // Pass 1: winners.
+  std::unordered_set<TxnId> committed;
+  for (const WalRecord& rec : records) {
+    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+  }
+  stats.committed_txns = committed.size();
+
+  // Pass 2: redo committed writes in log order.
+  for (const WalRecord& rec : records) {
+    if (!committed.count(rec.txn)) continue;
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+      case WalRecordType::kUpdate: {
+        auto current = heap->Read(rec.oid);
+        if (current.ok()) {
+          if (current.value().version() >= rec.after.version()) {
+            ++stats.skipped_stale;
+            break;
+          }
+          IDBA_RETURN_NOT_OK(heap->Update(rec.after));
+        } else if (current.status().IsNotFound()) {
+          IDBA_RETURN_NOT_OK(heap->Insert(rec.after));
+        } else {
+          return current.status();
+        }
+        ++stats.redone_writes;
+        break;
+      }
+      case WalRecordType::kErase: {
+        Status st = heap->Erase(rec.oid);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        ++stats.redone_writes;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace idba

@@ -1,0 +1,26 @@
+// Crash recovery: redo-only replay of the WAL into a heap store.
+//
+// The commit protocol is no-steal (uncommitted writes never reach the heap)
+// so recovery is pure redo: replay committed transactions' images in log
+// order. Images carry versions, making replay idempotent against whatever
+// prefix of updates already reached the data disk before the crash.
+
+#pragma once
+
+#include "common/status.h"
+#include "storage/heap_store.h"
+#include "storage/wal.h"
+
+namespace idba {
+
+struct RecoveryStats {
+  size_t records_scanned = 0;
+  size_t committed_txns = 0;
+  size_t redone_writes = 0;
+  size_t skipped_stale = 0;  ///< images already present with >= version
+};
+
+/// Replays `wal_disk` into `heap`. Call on a freshly opened heap store.
+Result<RecoveryStats> RecoverFromWal(Disk* wal_disk, HeapStore* heap);
+
+}  // namespace idba

@@ -1,0 +1,214 @@
+#include "txn/txn_manager.h"
+
+namespace idba {
+
+TxnManager::TxnManager(HeapStore* heap, Wal* wal, TxnManagerOptions opts)
+    : heap_(heap), wal_(wal), opts_(opts), locks_(opts.lock_options) {
+  // Never hand out an OID that already exists (e.g. after restart/recovery).
+  uint64_t max_oid = 0;
+  for (Oid oid : heap_->AllOids()) max_oid = std::max(max_oid, oid.value);
+  next_oid_.store(max_oid + 1);
+}
+
+TxnId TxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = next_txn_++;
+  txns_[id] = std::make_unique<Txn>();
+  return id;
+}
+
+Oid TxnManager::AllocateOid() { return Oid(next_oid_.fetch_add(1)); }
+
+Result<TxnManager::Txn*> TxnManager::FindActive(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn));
+  if (it->second->state != TxnState::kActive) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) + " not active");
+  }
+  return it->second.get();
+}
+
+Result<DatabaseObject> TxnManager::Get(TxnId txn, Oid oid, IoStats* io) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  // Read-your-writes from the intention list.
+  auto wit = t->last_write.find(oid);
+  if (wit != t->last_write.end()) {
+    const PendingWrite& w = t->writes[wit->second];
+    if (w.kind == WriteKind::kErase) return Status::NotFound(oid.ToString());
+    return w.obj;
+  }
+  IDBA_RETURN_NOT_OK(locks_.Lock(txn, oid, LockMode::kS));
+  return heap_->Read(oid, io);
+}
+
+Status TxnManager::LockRead(TxnId txn, Oid oid) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  (void)t;
+  return locks_.Lock(txn, oid, LockMode::kS);
+}
+
+Status TxnManager::ValidateReads(
+    TxnId txn, const std::vector<std::pair<Oid, uint64_t>>& reads, IoStats* io) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  (void)t;
+  for (const auto& [oid, version] : reads) {
+    IDBA_RETURN_NOT_OK(locks_.Lock(txn, oid, LockMode::kS));
+    auto current = heap_->Read(oid, io);
+    if (!current.ok()) {
+      return Status::Aborted("validation: " + oid.ToString() + " vanished");
+    }
+    if (current.value().version() != version) {
+      return Status::Aborted("validation: stale read of " + oid.ToString() +
+                             " (read v" + std::to_string(version) + ", now v" +
+                             std::to_string(current.value().version()) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Put(TxnId txn, DatabaseObject obj) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  Oid oid = obj.oid();
+  if (oid.IsNull()) return Status::InvalidArgument("Put with null OID");
+  IDBA_RETURN_NOT_OK(locks_.Lock(txn, oid, LockMode::kX));
+  if (xlock_hook_) xlock_hook_(txn, oid);
+  auto wit = t->last_write.find(oid);
+  WriteKind kind = WriteKind::kUpdate;
+  if (wit != t->last_write.end() &&
+      t->writes[wit->second].kind == WriteKind::kInsert) {
+    kind = WriteKind::kInsert;  // updating an object this txn inserted
+  }
+  t->last_write[oid] = t->writes.size();
+  t->writes.push_back(PendingWrite{kind, std::move(obj), oid});
+  return Status::OK();
+}
+
+Status TxnManager::Insert(TxnId txn, DatabaseObject obj) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  Oid oid = obj.oid();
+  if (oid.IsNull()) return Status::InvalidArgument("Insert with null OID");
+  if (heap_->Contains(oid)) return Status::AlreadyExists(oid.ToString());
+  IDBA_RETURN_NOT_OK(locks_.Lock(txn, oid, LockMode::kX));
+  if (xlock_hook_) xlock_hook_(txn, oid);
+  t->last_write[oid] = t->writes.size();
+  t->writes.push_back(PendingWrite{WriteKind::kInsert, std::move(obj), oid});
+  return Status::OK();
+}
+
+Status TxnManager::Erase(TxnId txn, Oid oid) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  IDBA_RETURN_NOT_OK(locks_.Lock(txn, oid, LockMode::kX));
+  if (xlock_hook_) xlock_hook_(txn, oid);
+  t->last_write[oid] = t->writes.size();
+  t->writes.push_back(PendingWrite{WriteKind::kErase, DatabaseObject{}, oid});
+  return Status::OK();
+}
+
+Result<CommitResult> TxnManager::Commit(TxnId txn) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  CommitResult result;
+  result.txn = txn;
+  IoStats io;
+
+  // 1. Determine final images (last write per OID wins) and bump versions.
+  std::vector<PendingWrite> finals;
+  for (const auto& [oid, idx] : t->last_write) {
+    PendingWrite w = t->writes[idx];
+    if (w.kind != WriteKind::kErase) {
+      uint64_t old_version = 0;
+      if (w.kind == WriteKind::kUpdate) {
+        auto cur = heap_->Read(oid, &io);
+        if (!cur.ok()) return cur.status();  // update of a vanished object
+        old_version = cur.value().version();
+      }
+      w.obj.set_version(old_version + 1);
+    }
+    finals.push_back(std::move(w));
+  }
+
+  // 2. Write-ahead log: redo images + commit record, then force.
+  for (const PendingWrite& w : finals) {
+    WalRecord rec;
+    rec.txn = txn;
+    rec.oid = w.oid;
+    switch (w.kind) {
+      case WriteKind::kInsert:
+        rec.type = WalRecordType::kInsert;
+        rec.after = w.obj;
+        break;
+      case WriteKind::kUpdate:
+        rec.type = WalRecordType::kUpdate;
+        rec.after = w.obj;
+        break;
+      case WriteKind::kErase:
+        rec.type = WalRecordType::kErase;
+        break;
+    }
+    IDBA_RETURN_NOT_OK(wal_->Append(std::move(rec)).status());
+  }
+  WalRecord commit_rec;
+  commit_rec.type = WalRecordType::kCommit;
+  commit_rec.txn = txn;
+  IDBA_RETURN_NOT_OK(wal_->Append(std::move(commit_rec)).status());
+  if (opts_.durable_commit) IDBA_RETURN_NOT_OK(wal_->Flush());
+
+  // 3. Apply to the heap (we still hold X locks, so this is race-free).
+  for (const PendingWrite& w : finals) {
+    switch (w.kind) {
+      case WriteKind::kInsert:
+        IDBA_RETURN_NOT_OK(heap_->Insert(w.obj, &io));
+        result.updated.push_back(w.obj);
+        break;
+      case WriteKind::kUpdate:
+        IDBA_RETURN_NOT_OK(heap_->Update(w.obj, &io));
+        result.updated.push_back(w.obj);
+        break;
+      case WriteKind::kErase: {
+        Status st = heap_->Erase(w.oid, &io);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        result.erased.push_back(w.oid);
+        break;
+      }
+    }
+  }
+  result.page_misses = io.page_misses;
+
+  // 4. Fire hooks while locks are still held (strictness: nobody can read
+  //    a newer uncommitted state between the hook and the release).
+  if (commit_hook_) commit_hook_(result);
+
+  // 5. Release locks, mark committed.
+  locks_.ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->state = TxnState::kCommitted;
+  }
+  commits_.Add();
+  return result;
+}
+
+Status TxnManager::Abort(TxnId txn) {
+  IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = txn;
+  IDBA_RETURN_NOT_OK(wal_->Append(std::move(rec)).status());
+  if (abort_hook_) abort_hook_(txn);
+  locks_.ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->state = TxnState::kAborted;
+  }
+  aborts_.Add();
+  return Status::OK();
+}
+
+TxnState TxnManager::GetState(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return TxnState::kAborted;
+  return it->second->state;
+}
+
+}  // namespace idba

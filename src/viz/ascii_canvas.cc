@@ -1,0 +1,93 @@
+#include "viz/ascii_canvas.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace idba {
+
+AsciiCanvas::AsciiCanvas(int width, int height, char fill)
+    : width_(width), height_(height),
+      rows_(height, std::string(static_cast<size_t>(width), fill)) {}
+
+void AsciiCanvas::Clear(char fill) {
+  for (auto& row : rows_) row.assign(static_cast<size_t>(width_), fill);
+}
+
+void AsciiCanvas::Put(int x, int y, char c) {
+  if (In(x, y)) rows_[y][x] = c;
+}
+
+char AsciiCanvas::At(int x, int y) const {
+  return In(x, y) ? rows_[y][x] : '\0';
+}
+
+void AsciiCanvas::Text(int x, int y, const std::string& s) {
+  for (size_t i = 0; i < s.size(); ++i) Put(x + static_cast<int>(i), y, s[i]);
+}
+
+void AsciiCanvas::HLine(int x0, int x1, int y, char c) {
+  if (x0 > x1) std::swap(x0, x1);
+  for (int x = x0; x <= x1; ++x) Put(x, y, c);
+}
+
+void AsciiCanvas::VLine(int x, int y0, int y1, char c) {
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) Put(x, y, c);
+}
+
+void AsciiCanvas::Box(const Rect& r, char border, char fill) {
+  int x0 = static_cast<int>(std::lround(r.x));
+  int y0 = static_cast<int>(std::lround(r.y));
+  int x1 = static_cast<int>(std::lround(r.right())) - 1;
+  int y1 = static_cast<int>(std::lround(r.bottom())) - 1;
+  if (x1 < x0) x1 = x0;
+  if (y1 < y0) y1 = y0;
+  if (fill != '\0') {
+    for (int y = y0 + 1; y < y1; ++y) {
+      for (int x = x0 + 1; x < x1; ++x) Put(x, y, fill);
+    }
+  }
+  HLine(x0, x1, y0, '-');
+  HLine(x0, x1, y1, '-');
+  VLine(x0, y0, y1, '|');
+  VLine(x1, y0, y1, '|');
+  Put(x0, y0, border);
+  Put(x1, y0, border);
+  Put(x0, y1, border);
+  Put(x1, y1, border);
+}
+
+void AsciiCanvas::Line(Point a, Point b, char c) {
+  int x0 = static_cast<int>(std::lround(a.x));
+  int y0 = static_cast<int>(std::lround(a.y));
+  int x1 = static_cast<int>(std::lround(b.x));
+  int y1 = static_cast<int>(std::lround(b.y));
+  int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    Put(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+std::string AsciiCanvas::ToString() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(width_ + 1) * height_);
+  for (const auto& row : rows_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace idba

@@ -1,0 +1,43 @@
+// Character-cell canvas for the examples: renders layout output (treemap
+// rectangles, PDQ trees, link tables) as text frames. Stands in for the
+// paper's X11 displays — the data paths being measured are identical.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "viz/geometry.h"
+
+namespace idba {
+
+class AsciiCanvas {
+ public:
+  AsciiCanvas(int width, int height, char fill = ' ');
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear(char fill = ' ');
+  void Put(int x, int y, char c);
+  char At(int x, int y) const;
+  void Text(int x, int y, const std::string& s);
+  void HLine(int x0, int x1, int y, char c = '-');
+  void VLine(int x, int y0, int y1, char c = '|');
+  /// Box with corners '+', optionally filled.
+  void Box(const Rect& r, char border = '+', char fill = '\0');
+  /// Draws a straight line between two points (Bresenham).
+  void Line(Point a, Point b, char c = '*');
+
+  std::string ToString() const;
+
+ private:
+  bool In(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  int width_;
+  int height_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace idba

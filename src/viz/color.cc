@@ -1,0 +1,41 @@
+#include "viz/color.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idba {
+
+std::string Rgb::ToHex() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02X%02X%02X", r, g, b);
+  return buf;
+}
+
+Rgb UtilizationColor(double utilization) {
+  double u = std::clamp(utilization, 0.0, 1.0);
+  if (u < 0.5) {
+    // white (255,255,255) -> pink (255,150,180)
+    double t = u / 0.5;
+    return Rgb{255, static_cast<uint8_t>(255 - t * 105),
+               static_cast<uint8_t>(255 - t * 75)};
+  }
+  // pink (255,150,180) -> red (220,0,0)
+  double t = (u - 0.5) / 0.5;
+  return Rgb{static_cast<uint8_t>(255 - t * 35),
+             static_cast<uint8_t>(150 - t * 150),
+             static_cast<uint8_t>(180 - t * 180)};
+}
+
+std::string UtilizationColorName(double utilization) {
+  double u = std::clamp(utilization, 0.0, 1.0);
+  if (u < 1.0 / 3.0) return "white";
+  if (u < 2.0 / 3.0) return "pink";
+  return "red";
+}
+
+double UtilizationWidth(double utilization, double min_w, double max_w) {
+  double u = std::clamp(utilization, 0.0, 1.0);
+  return min_w + u * (max_w - min_w);
+}
+
+}  // namespace idba

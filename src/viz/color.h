@@ -1,0 +1,28 @@
+// Color and width coding of link utilization (paper §2.1: "red, pink and
+// white lines could represent links with high, moderate and low utilization
+// respectively"; "the line width is proportional to the link utilization").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idba {
+
+struct Rgb {
+  uint8_t r = 0, g = 0, b = 0;
+  bool operator==(const Rgb&) const = default;
+  std::string ToHex() const;
+};
+
+/// Piecewise white -> pink -> red ramp over utilization in [0, 1].
+Rgb UtilizationColor(double utilization);
+
+/// The paper's categorical coding: "white" (<1/3), "pink" (<2/3), "red".
+std::string UtilizationColorName(double utilization);
+
+/// Width coding: line width proportional to utilization, in [min_w, max_w].
+double UtilizationWidth(double utilization, double min_w = 1.0,
+                        double max_w = 9.0);
+
+}  // namespace idba

@@ -1,0 +1,45 @@
+// Minimal 2D geometry for headless layout computation.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace idba {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+struct Rect {
+  double x = 0;
+  double y = 0;
+  double w = 0;
+  double h = 0;
+
+  double area() const { return w * h; }
+  double right() const { return x + w; }
+  double bottom() const { return y + h; }
+  bool Contains(const Point& p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+  bool Intersects(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+  /// Shrinks by `m` on every side (clamped at zero size).
+  Rect Inset(double m) const {
+    return Rect{x + m, y + m, std::max(0.0, w - 2 * m), std::max(0.0, h - 2 * m)};
+  }
+  std::string ToString() const;
+};
+
+inline std::string Rect::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.1f,%.1f %sx%s]", x, y,
+                std::to_string(w).c_str(), std::to_string(h).c_str());
+  return buf;
+}
+
+}  // namespace idba

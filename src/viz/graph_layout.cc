@@ -1,0 +1,102 @@
+#include "viz/graph_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idba {
+
+Result<std::vector<Point>> LayoutGraph(size_t node_count,
+                                       const std::vector<GraphEdge>& edges,
+                                       const Rect& bounds,
+                                       const GraphLayoutOptions& opts) {
+  if (bounds.w <= 0 || bounds.h <= 0) {
+    return Status::InvalidArgument("graph layout bounds must have positive area");
+  }
+  for (const GraphEdge& e : edges) {
+    if (e.a >= node_count || e.b >= node_count) {
+      return Status::InvalidArgument("edge references node out of range");
+    }
+  }
+  std::vector<Point> pos(node_count);
+  if (node_count == 0) return pos;
+
+  // Initial placement: circle inscribed in the bounds, with tiny seeded
+  // jitter to break symmetry for the force phase.
+  Rng rng(opts.seed);
+  const double cx = bounds.x + bounds.w / 2, cy = bounds.y + bounds.h / 2;
+  const double rx = bounds.w * 0.42, ry = bounds.h * 0.42;
+  for (size_t i = 0; i < node_count; ++i) {
+    double angle = 2 * M_PI * static_cast<double>(i) / static_cast<double>(node_count);
+    pos[i] = Point{cx + rx * std::cos(angle) + (rng.NextDouble() - 0.5),
+                   cy + ry * std::sin(angle) + (rng.NextDouble() - 0.5)};
+  }
+  if (opts.iterations <= 0 || node_count == 1) return pos;
+
+  // Fruchterman-Reingold: k = sqrt(area / n); repulsion k^2/d, attraction
+  // d^2/k along edges; temperature cools linearly.
+  const double k = std::sqrt(bounds.area() / static_cast<double>(node_count));
+  double temperature = std::min(bounds.w, bounds.h) / 8;
+  std::vector<Point> disp(node_count);
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    for (auto& d : disp) d = Point{0, 0};
+    // Repulsive forces between every pair.
+    for (size_t i = 0; i < node_count; ++i) {
+      for (size_t j = i + 1; j < node_count; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double dist = std::max(1e-6, std::hypot(dx, dy));
+        double force = k * k / dist;
+        disp[i].x += dx / dist * force;
+        disp[i].y += dy / dist * force;
+        disp[j].x -= dx / dist * force;
+        disp[j].y -= dy / dist * force;
+      }
+    }
+    // Attractive forces along edges.
+    for (const GraphEdge& e : edges) {
+      double dx = pos[e.a].x - pos[e.b].x;
+      double dy = pos[e.a].y - pos[e.b].y;
+      double dist = std::max(1e-6, std::hypot(dx, dy));
+      double force = dist * dist / k;
+      disp[e.a].x -= dx / dist * force;
+      disp[e.a].y -= dy / dist * force;
+      disp[e.b].x += dx / dist * force;
+      disp[e.b].y += dy / dist * force;
+    }
+    // Apply displacements, capped by temperature, clamped to bounds.
+    for (size_t i = 0; i < node_count; ++i) {
+      double len = std::max(1e-6, std::hypot(disp[i].x, disp[i].y));
+      double step = std::min(len, temperature);
+      pos[i].x += disp[i].x / len * step;
+      pos[i].y += disp[i].y / len * step;
+      pos[i].x = std::clamp(pos[i].x, bounds.x, bounds.right());
+      pos[i].y = std::clamp(pos[i].y, bounds.y, bounds.bottom());
+    }
+    temperature *= 1.0 - 1.0 / (opts.iterations + 1.0);
+  }
+  return pos;
+}
+
+double MeanEdgeLength(const std::vector<Point>& positions,
+                      const std::vector<GraphEdge>& edges) {
+  if (edges.empty()) return 0;
+  double sum = 0;
+  for (const GraphEdge& e : edges) {
+    sum += std::hypot(positions[e.a].x - positions[e.b].x,
+                      positions[e.a].y - positions[e.b].y);
+  }
+  return sum / static_cast<double>(edges.size());
+}
+
+double MinNodeDistance(const std::vector<Point>& positions) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < positions.size(); ++i) {
+    for (size_t j = i + 1; j < positions.size(); ++j) {
+      best = std::min(best, std::hypot(positions[i].x - positions[j].x,
+                                       positions[i].y - positions[j].y));
+    }
+  }
+  return positions.size() < 2 ? 0 : best;
+}
+
+}  // namespace idba

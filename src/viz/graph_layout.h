@@ -1,0 +1,46 @@
+// Node-link graph layout for the network monitoring views (§2.1: "a graph
+// representing the nodes and links of a real communication network").
+// Headless: computes positions that the GUI writes into display objects'
+// coordinate attributes. Circular layout for determinism and a classic
+// Fruchterman-Reingold force-directed refinement for nicer drawings.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "viz/geometry.h"
+
+namespace idba {
+
+/// An undirected edge between node indices.
+struct GraphEdge {
+  size_t a = 0;
+  size_t b = 0;
+};
+
+struct GraphLayoutOptions {
+  /// Iterations of force-directed refinement (0 = pure circular layout).
+  int iterations = 50;
+  /// Deterministic jitter seed (symmetric layouts need symmetry breaking).
+  uint64_t seed = 1;
+};
+
+/// Positions `node_count` nodes inside `bounds`, starting from a circle
+/// and optionally refining with Fruchterman-Reingold forces.
+/// Fails if an edge references a node out of range.
+Result<std::vector<Point>> LayoutGraph(size_t node_count,
+                                       const std::vector<GraphEdge>& edges,
+                                       const Rect& bounds,
+                                       const GraphLayoutOptions& opts = {});
+
+/// Mean edge length of a layout (quality metric used by tests).
+double MeanEdgeLength(const std::vector<Point>& positions,
+                      const std::vector<GraphEdge>& edges);
+
+/// Minimum pairwise node distance (quality metric: no two nodes collapse).
+double MinNodeDistance(const std::vector<Point>& positions);
+
+}  // namespace idba

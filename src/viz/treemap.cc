@@ -1,0 +1,171 @@
+#include "viz/treemap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idba {
+
+double TreemapNode::TotalWeight() const {
+  if (is_leaf()) return weight;
+  double sum = 0;
+  for (const auto& c : children) sum += c.TotalWeight();
+  return sum;
+}
+
+namespace {
+
+void EmitNode(const TreemapNode& node, const Rect& rect, int depth,
+              std::vector<TreemapRect>* out) {
+  out->push_back(TreemapRect{rect, node.label, node.tag, depth, node.is_leaf(),
+                             node.TotalWeight()});
+}
+
+// --- Slice-and-dice (Johnson & Shneiderman 1991) ------------------------
+
+void SliceAndDice(const TreemapNode& node, Rect rect, int depth, double inset,
+                  std::vector<TreemapRect>* out) {
+  EmitNode(node, rect, depth, out);
+  if (node.is_leaf()) return;
+  Rect inner = rect.Inset(inset);
+  double total = node.TotalWeight();
+  if (total <= 0 || inner.w <= 0 || inner.h <= 0) return;
+  const bool horizontal = (depth % 2) == 0;  // split along x at even depths
+  double offset = 0;
+  for (const auto& child : node.children) {
+    double frac = child.TotalWeight() / total;
+    Rect r;
+    if (horizontal) {
+      r = Rect{inner.x + offset, inner.y, inner.w * frac, inner.h};
+      offset += inner.w * frac;
+    } else {
+      r = Rect{inner.x, inner.y + offset, inner.w, inner.h * frac};
+      offset += inner.h * frac;
+    }
+    SliceAndDice(child, r, depth + 1, inset, out);
+  }
+}
+
+// --- Squarified (Bruls, Huizing, van Wijk) -------------------------------
+
+double WorstAspect(const std::vector<double>& row, double side, double scale) {
+  // `scale` converts weight to area. Row is laid along `side`.
+  double sum = 0;
+  double min_w = row[0], max_w = row[0];
+  for (double w : row) {
+    sum += w;
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  double sum_area = sum * scale;
+  double s2 = side * side;
+  return std::max(s2 * max_w * scale / (sum_area * sum_area),
+                  sum_area * sum_area / (s2 * min_w * scale));
+}
+
+void LayRow(const std::vector<const TreemapNode*>& row, Rect* free, double scale,
+            int depth, double inset, std::vector<TreemapRect>* out,
+            std::vector<std::pair<const TreemapNode*, Rect>>* recurse);
+
+void Squarify(const TreemapNode& node, Rect rect, int depth, double inset,
+              std::vector<TreemapRect>* out) {
+  EmitNode(node, rect, depth, out);
+  if (node.is_leaf()) return;
+  Rect inner = rect.Inset(inset);
+  double total = node.TotalWeight();
+  if (total <= 0 || inner.w <= 0 || inner.h <= 0) return;
+  double scale = inner.area() / total;
+
+  // Children sorted by decreasing weight, zero-weight skipped.
+  std::vector<const TreemapNode*> kids;
+  for (const auto& c : node.children) {
+    if (c.TotalWeight() > 0) kids.push_back(&c);
+  }
+  std::sort(kids.begin(), kids.end(), [](const TreemapNode* a, const TreemapNode* b) {
+    return a->TotalWeight() > b->TotalWeight();
+  });
+
+  Rect free = inner;
+  std::vector<const TreemapNode*> row;
+  std::vector<double> row_weights;
+  std::vector<std::pair<const TreemapNode*, Rect>> recurse;
+  size_t i = 0;
+  while (i < kids.size()) {
+    double side = std::min(free.w, free.h);
+    row.push_back(kids[i]);
+    row_weights.push_back(kids[i]->TotalWeight());
+    if (row.size() > 1) {
+      std::vector<double> without(row_weights.begin(), row_weights.end() - 1);
+      if (side > 0 && WorstAspect(without, side, scale) <
+                          WorstAspect(row_weights, side, scale)) {
+        // Adding worsened the row: lay the previous row, retry this child.
+        row.pop_back();
+        row_weights.pop_back();
+        LayRow(row, &free, scale, depth, inset, out, &recurse);
+        row.clear();
+        row_weights.clear();
+        continue;
+      }
+    }
+    ++i;
+  }
+  if (!row.empty()) LayRow(row, &free, scale, depth, inset, out, &recurse);
+  for (auto& [child, r] : recurse) Squarify(*child, r, depth + 1, inset, out);
+}
+
+void LayRow(const std::vector<const TreemapNode*>& row, Rect* free, double scale,
+            int depth, double inset, std::vector<TreemapRect>* out,
+            std::vector<std::pair<const TreemapNode*, Rect>>* recurse) {
+  (void)depth;
+  (void)inset;
+  (void)out;
+  double row_weight = 0;
+  for (const auto* n : row) row_weight += n->TotalWeight();
+  double row_area = row_weight * scale;
+  const bool along_height = free->w >= free->h;  // row occupies a vertical strip
+  if (along_height) {
+    double strip_w = free->h > 0 ? row_area / free->h : 0;
+    double y = free->y;
+    for (const auto* n : row) {
+      double h = row_weight > 0 ? free->h * (n->TotalWeight() / row_weight) : 0;
+      recurse->emplace_back(n, Rect{free->x, y, strip_w, h});
+      y += h;
+    }
+    free->x += strip_w;
+    free->w = std::max(0.0, free->w - strip_w);
+  } else {
+    double strip_h = free->w > 0 ? row_area / free->w : 0;
+    double x = free->x;
+    for (const auto* n : row) {
+      double w = row_weight > 0 ? free->w * (n->TotalWeight() / row_weight) : 0;
+      recurse->emplace_back(n, Rect{x, free->y, w, strip_h});
+      x += w;
+    }
+    free->y += strip_h;
+    free->h = std::max(0.0, free->h - strip_h);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<TreemapRect>> LayoutTreemap(const TreemapNode& root,
+                                               const Rect& bounds,
+                                               const TreemapOptions& opts) {
+  if (bounds.w <= 0 || bounds.h <= 0) {
+    return Status::InvalidArgument("treemap bounds must have positive area");
+  }
+  if (root.TotalWeight() <= 0) {
+    return Status::InvalidArgument("treemap root has no weight");
+  }
+  std::vector<TreemapRect> out;
+  switch (opts.algorithm) {
+    case TreemapAlgorithm::kSliceAndDice:
+      SliceAndDice(root, bounds, 0, opts.nesting_inset, &out);
+      break;
+    case TreemapAlgorithm::kSquarified:
+      Squarify(root, bounds, 0, opts.nesting_inset, &out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace idba

@@ -1,0 +1,60 @@
+// Tree-Map layout (Johnson & Shneiderman, IEEE Visualization 1991) — the
+// space-filling hierarchy visualization the paper's prototype uses for
+// hardware hierarchies (§4). Implements the original slice-and-dice
+// algorithm plus the squarified variant (Bruls et al.) as an extension.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "viz/geometry.h"
+
+namespace idba {
+
+/// Input hierarchy. Leaf weights drive area; interior weights are ignored
+/// (recomputed as the sum of descendants).
+struct TreemapNode {
+  std::string label;
+  double weight = 0;   ///< leaf size (e.g. device capacity)
+  uint64_t tag = 0;    ///< caller payload (e.g. OID)
+  std::vector<TreemapNode> children;
+
+  bool is_leaf() const { return children.empty(); }
+  /// Sum of leaf weights underneath (own weight for leaves).
+  double TotalWeight() const;
+};
+
+/// One laid-out rectangle.
+struct TreemapRect {
+  Rect rect;
+  std::string label;
+  uint64_t tag = 0;
+  int depth = 0;
+  bool leaf = false;
+  double weight = 0;
+};
+
+enum class TreemapAlgorithm {
+  kSliceAndDice,  ///< the 1991 original: alternate split axis per level
+  kSquarified,    ///< Bruls et al.: aspect-ratio-optimized rows
+};
+
+struct TreemapOptions {
+  TreemapAlgorithm algorithm = TreemapAlgorithm::kSliceAndDice;
+  /// Border drawn around interior nodes ("nesting offset" of the paper's
+  /// tree-map reference), in layout units.
+  double nesting_inset = 0.0;
+};
+
+/// Lays out `root` inside `bounds`. Returns rectangles in pre-order
+/// (parents before children). Areas of leaves are proportional to their
+/// weights (within the space lost to nesting insets).
+Result<std::vector<TreemapRect>> LayoutTreemap(const TreemapNode& root,
+                                               const Rect& bounds,
+                                               const TreemapOptions& opts = {});
+
+}  // namespace idba

@@ -1,0 +1,180 @@
+#include "core/active_view.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+#include "viz/color.h"
+
+namespace idba {
+namespace {
+
+class ActiveViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 6;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 2;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+    viewer_ = deployment_->NewSession(100);
+    writer_ = deployment_->NewSession(101);
+  }
+
+  const DisplayClassDef* Dc(DisplayClassId id) {
+    return deployment_->display_schema().Find(id);
+  }
+
+  void UpdateUtil(Oid oid, double util) {
+    const SchemaCatalog& cat = writer_->client().schema();
+    TxnId t = writer_->client().Begin();
+    DatabaseObject obj = writer_->client().Read(t, oid).value();
+    ASSERT_TRUE(obj.SetByName(cat, "Utilization", Value(util)).ok());
+    ASSERT_TRUE(writer_->client().Write(t, std::move(obj)).ok());
+    ASSERT_TRUE(writer_->client().Commit(t).ok());
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+  std::unique_ptr<InteractiveSession> viewer_, writer_;
+};
+
+TEST_F(ActiveViewTest, MaterializeReadsLocksAndCaches) {
+  ActiveView* view = viewer_->CreateView("v");
+  Oid oid = db_.link_oids[0];
+  auto dob = view->Materialize(Dc(dcs_.color_coded_link), {oid});
+  ASSERT_TRUE(dob.ok());
+  EXPECT_FALSE(dob.value()->dirty());
+  EXPECT_TRUE(dob.value()->Has("Color"));
+  // Display lock held, DB copy cached, DO pinned.
+  EXPECT_EQ(deployment_->dlm().holder_count(oid), 1u);
+  EXPECT_TRUE(viewer_->client().cache().Contains(oid));
+  EXPECT_EQ(viewer_->display_cache().object_count(), 1u);
+  EXPECT_EQ(view->size(), 1u);
+}
+
+TEST_F(ActiveViewTest, PopulateFromClassBuildsWholeView) {
+  ActiveView* view = viewer_->CreateView("v");
+  auto dobs = view->PopulateFromClass(Dc(dcs_.color_coded_link));
+  ASSERT_TRUE(dobs.ok());
+  EXPECT_EQ(dobs.value().size(), db_.link_oids.size());
+  EXPECT_EQ(view->size(), db_.link_oids.size());
+  for (Oid oid : db_.link_oids) {
+    EXPECT_EQ(deployment_->dlm().holder_count(oid), 1u);
+  }
+}
+
+TEST_F(ActiveViewTest, PopulateWithSubclassesCoversHierarchy) {
+  ActiveView* view = viewer_->CreateView("hw");
+  auto dobs = view->PopulateFromClass(Dc(dcs_.hardware_tile),
+                                      /*include_subclasses=*/true);
+  ASSERT_TRUE(dobs.ok());
+  EXPECT_EQ(dobs.value().size(), db_.all_hardware_oids.size());
+}
+
+TEST_F(ActiveViewTest, NotificationRefreshesOnlyAffected) {
+  ActiveView* view = viewer_->CreateView("v");
+  ASSERT_TRUE(view->PopulateFromClass(Dc(dcs_.color_coded_link)).ok());
+  UpdateUtil(db_.link_oids[2], 0.99);
+  viewer_->PumpOnce();
+  EXPECT_EQ(view->refreshes(), 1u);
+  for (DisplayObject* dob : view->display_objects()) {
+    if (dob->sources()[0] == db_.link_oids[2]) {
+      EXPECT_EQ(dob->Get("Utilization").value(), Value(0.99));
+      EXPECT_EQ(dob->refresh_count(), 2u);  // initial + notify
+    } else {
+      EXPECT_EQ(dob->refresh_count(), 1u);  // untouched
+    }
+  }
+}
+
+TEST_F(ActiveViewTest, PropagationLatencyRecordedInPaperUnits) {
+  ActiveView* view = viewer_->CreateView("v");
+  ASSERT_TRUE(view->Materialize(Dc(dcs_.color_coded_link), {db_.link_oids[0]}).ok());
+  UpdateUtil(db_.link_oids[0], 0.42);
+  viewer_->PumpOnce();
+  ASSERT_EQ(view->propagation_ms().count(), 1u);
+  double ms = view->propagation_ms().mean();
+  // Lazy path with default 1996 calibration: the paper's 1-2 s band.
+  EXPECT_GE(ms, 500.0);
+  EXPECT_LE(ms, 2500.0);
+}
+
+TEST_F(ActiveViewTest, MultiSourcePathRefreshesOnAnyMemberUpdate) {
+  ActiveView* view = viewer_->CreateView("v");
+  std::vector<Oid> path = {db_.link_oids[0], db_.link_oids[1], db_.link_oids[2]};
+  auto dob = view->Materialize(Dc(dcs_.path_summary), path);
+  ASSERT_TRUE(dob.ok());
+  UpdateUtil(db_.link_oids[1], 1.0);
+  viewer_->PumpOnce();
+  EXPECT_EQ(view->refreshes(), 1u);
+  EXPECT_EQ(dob.value()->Get("MaxUtilization").value(), Value(1.0));
+  EXPECT_EQ(dob.value()->Get("Color").value(), Value("red"));
+  EXPECT_EQ(dob.value()->Get("HopCount").value(), Value(int64_t(3)));
+}
+
+TEST_F(ActiveViewTest, DismissStopsNotifications) {
+  ActiveView* view = viewer_->CreateView("v");
+  Oid oid = db_.link_oids[0];
+  auto dob = view->Materialize(Dc(dcs_.color_coded_link), {oid});
+  ASSERT_TRUE(dob.ok());
+  ASSERT_TRUE(view->Dismiss(dob.value()->id()).ok());
+  EXPECT_EQ(deployment_->dlm().holder_count(oid), 0u);
+  EXPECT_EQ(viewer_->display_cache().object_count(), 0u);
+  UpdateUtil(oid, 0.9);
+  EXPECT_EQ(viewer_->client().inbox().pending(), 0u);
+  EXPECT_EQ(view->refreshes(), 0u);
+}
+
+TEST_F(ActiveViewTest, CloseReleasesEverything) {
+  ActiveView* view = viewer_->CreateView("v");
+  ASSERT_TRUE(view->PopulateFromClass(Dc(dcs_.color_coded_link)).ok());
+  view->Close();
+  EXPECT_EQ(viewer_->display_cache().object_count(), 0u);
+  for (Oid oid : db_.link_oids) {
+    EXPECT_EQ(deployment_->dlm().holder_count(oid), 0u);
+  }
+}
+
+TEST_F(ActiveViewTest, GuiStateSurvivesRefresh) {
+  ActiveView* view = viewer_->CreateView("v");
+  Oid oid = db_.link_oids[0];
+  auto dob = view->Materialize(Dc(dcs_.color_coded_link), {oid});
+  ASSERT_TRUE(dob.ok());
+  // The user dragged the element to (30, 40) — GUI-only state.
+  ASSERT_TRUE(dob.value()->SetGui("X1", Value(30.0)).ok());
+  ASSERT_TRUE(dob.value()->SetGui("Y1", Value(40.0)).ok());
+  UpdateUtil(oid, 0.77);
+  viewer_->PumpOnce();
+  EXPECT_EQ(dob.value()->Get("X1").value(), Value(30.0));
+  EXPECT_EQ(dob.value()->Get("Y1").value(), Value(40.0));
+  EXPECT_EQ(dob.value()->Get("Utilization").value(), Value(0.77));
+}
+
+TEST_F(ActiveViewTest, TwoClientsBothNotified) {
+  auto viewer2 = deployment_->NewSession(102);
+  ActiveView* v1 = viewer_->CreateView("v1");
+  ActiveView* v2 = viewer2->CreateView("v2");
+  Oid oid = db_.link_oids[0];
+  ASSERT_TRUE(v1->Materialize(Dc(dcs_.color_coded_link), {oid}).ok());
+  ASSERT_TRUE(v2->Materialize(Dc(dcs_.width_coded_link), {oid}).ok());
+  EXPECT_EQ(deployment_->dlm().holder_count(oid), 2u);
+  UpdateUtil(oid, 0.66);
+  viewer_->PumpOnce();
+  viewer2->PumpOnce();
+  EXPECT_EQ(v1->refreshes(), 1u);
+  EXPECT_EQ(v2->refreshes(), 1u);
+  EXPECT_EQ(v2->display_objects()[0]->Get("Width").value(),
+            Value(UtilizationWidth(0.66)));
+}
+
+}  // namespace
+}  // namespace idba

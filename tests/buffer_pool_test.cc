@@ -1,0 +1,139 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace idba {
+namespace {
+
+TEST(BufferPoolTest, FetchMissesThenHits) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 4});
+  bool missed = false;
+  {
+    auto g = pool.FetchPage(0, &missed);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(missed);
+  }
+  {
+    auto g = pool.FetchPage(0, &missed);
+    ASSERT_TRUE(g.ok());
+    EXPECT_FALSE(missed);
+  }
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, DirtyPagesReachDiskOnEviction) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 2});
+  {
+    auto g = pool.FetchPage(0);
+    ASSERT_TRUE(g.ok());
+    g.value().data()->bytes[10] = 0x42;
+    g.value().MarkDirty();
+  }
+  // Evict page 0 by touching two other pages.
+  { auto g = pool.FetchPage(1); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.FetchPage(2); ASSERT_TRUE(g.ok()); }
+  EXPECT_GE(pool.evictions(), 1u);
+  PageData out;
+  ASSERT_TRUE(disk.ReadPage(0, &out).ok());
+  EXPECT_EQ(out.bytes[10], 0x42);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 2});
+  auto a = pool.FetchPage(0);
+  auto b = pool.FetchPage(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // All frames pinned: a third fetch must fail, not evict.
+  auto c = pool.FetchPage(2);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsBusy());
+  a.value().Release();
+  auto d = pool.FetchPage(2);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(BufferPoolTest, LruEvictsOldestUnpinned) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 2});
+  { auto g = pool.FetchPage(0); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.FetchPage(1); ASSERT_TRUE(g.ok()); }
+  // Touch 0 so 1 becomes LRU.
+  { auto g = pool.FetchPage(0); ASSERT_TRUE(g.ok()); }
+  { auto g = pool.FetchPage(2); ASSERT_TRUE(g.ok()); }  // evicts 1
+  bool missed = false;
+  { auto g = pool.FetchPage(0, &missed); ASSERT_TRUE(g.ok()); }
+  EXPECT_FALSE(missed);  // 0 survived
+  { auto g = pool.FetchPage(1, &missed); ASSERT_TRUE(g.ok()); }
+  EXPECT_TRUE(missed);   // 1 was evicted
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 4});
+  {
+    auto g = pool.NewPage(5);
+    ASSERT_TRUE(g.ok());
+    g.value().data()->bytes[0] = 0x77;
+    g.value().MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  PageData out;
+  ASSERT_TRUE(disk.ReadPage(5, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0x77);
+}
+
+TEST(BufferPoolTest, DropAllNoFlushLosesUnflushedWrites) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 4});
+  {
+    auto g = pool.NewPage(0);
+    ASSERT_TRUE(g.ok());
+    g.value().data()->bytes[0] = 0x99;
+    g.value().MarkDirty();
+  }
+  pool.DropAllNoFlush();  // crash simulation
+  bool missed = false;
+  auto g = pool.FetchPage(0, &missed);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(missed);
+  EXPECT_EQ(g.value().data()->bytes[0], 0);  // write lost, as a crash would
+}
+
+TEST(BufferPoolTest, NewPageOnBufferedPageRejected) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 4});
+  auto a = pool.NewPage(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.NewPage(0).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BufferPoolTest, ReadFailurePropagatesAndFreesFrame) {
+  MemDisk disk;
+  disk.InjectReadFailures(1);
+  BufferPool pool(&disk, {.frame_count = 1});
+  EXPECT_EQ(pool.FetchPage(0).status().code(), StatusCode::kIOError);
+  // The frame must have been returned to the free list.
+  EXPECT_TRUE(pool.FetchPage(0).ok());
+}
+
+TEST(BufferPoolTest, MoveOnlyGuardTransfersPin) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 1});
+  auto a = pool.FetchPage(0);
+  ASSERT_TRUE(a.ok());
+  PageGuard g = std::move(a.value());
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(a.value().valid());
+  g.Release();
+  EXPECT_TRUE(pool.FetchPage(1).ok());  // frame free again
+}
+
+}  // namespace
+}  // namespace idba

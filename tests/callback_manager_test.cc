@@ -1,0 +1,111 @@
+#include "server/callback_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+class RecordingHandler : public CacheCallbackHandler {
+ public:
+  void InvalidateCached(Oid oid, uint64_t new_version) override {
+    invalidated.emplace_back(oid, new_version);
+  }
+  std::vector<std::pair<Oid, uint64_t>> invalidated;
+};
+
+TEST(CallbackManagerTest, InvalidatesRemoteCopiesOnly) {
+  CallbackManager cm;
+  RecordingHandler h1, h2, h3;
+  cm.RegisterClient(1, &h1);
+  cm.RegisterClient(2, &h2);
+  cm.RegisterClient(3, &h3);
+  cm.NoteCached(1, Oid(10));
+  cm.NoteCached(2, Oid(10));
+  // Client 3 does not cache Oid(10).
+
+  int callbacks = cm.OnCommittedUpdate(/*writer=*/1, Oid(10), 5);
+  EXPECT_EQ(callbacks, 1);  // only client 2
+  EXPECT_TRUE(h1.invalidated.empty());
+  ASSERT_EQ(h2.invalidated.size(), 1u);
+  EXPECT_EQ(h2.invalidated[0], std::make_pair(Oid(10), uint64_t(5)));
+  EXPECT_TRUE(h3.invalidated.empty());
+}
+
+TEST(CallbackManagerTest, CalledBackCopiesAreDeregistered) {
+  CallbackManager cm;
+  RecordingHandler h2;
+  cm.RegisterClient(1, nullptr);
+  cm.RegisterClient(2, &h2);
+  cm.NoteCached(2, Oid(10));
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(10), 1), 1);
+  // Second update: client 2 no longer holds a copy.
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(10), 2), 0);
+  EXPECT_EQ(h2.invalidated.size(), 1u);
+}
+
+TEST(CallbackManagerTest, NoteDroppedAvoidsCallback) {
+  CallbackManager cm;
+  RecordingHandler h2;
+  cm.RegisterClient(2, &h2);
+  cm.NoteCached(2, Oid(10));
+  cm.NoteDropped(2, Oid(10));
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(10), 1), 0);
+  EXPECT_TRUE(h2.invalidated.empty());
+}
+
+TEST(CallbackManagerTest, CopyHoldersListed) {
+  CallbackManager cm;
+  cm.RegisterClient(1, nullptr);
+  cm.RegisterClient(2, nullptr);
+  cm.NoteCached(1, Oid(5));
+  cm.NoteCached(2, Oid(5));
+  auto holders = cm.CopyHolders(Oid(5));
+  EXPECT_EQ(holders.size(), 2u);
+  EXPECT_TRUE(cm.CopyHolders(Oid(6)).empty());
+}
+
+TEST(CallbackManagerTest, UnregisterDropsAllCopies) {
+  CallbackManager cm;
+  RecordingHandler h2;
+  cm.RegisterClient(2, &h2);
+  cm.NoteCached(2, Oid(1));
+  cm.NoteCached(2, Oid(2));
+  cm.UnregisterClient(2);
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(1), 1), 0);
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(2), 1), 0);
+  EXPECT_TRUE(cm.CopyHolders(Oid(1)).empty());
+}
+
+TEST(CallbackManagerTest, CallbackCounterAccumulates) {
+  CallbackManager cm;
+  RecordingHandler h2, h3;
+  cm.RegisterClient(2, &h2);
+  cm.RegisterClient(3, &h3);
+  cm.NoteCached(2, Oid(1));
+  cm.NoteCached(3, Oid(1));
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(1), 1), 2);
+  EXPECT_EQ(cm.callbacks_issued(), 2u);
+}
+
+TEST(CallbackManagerTest, HandlerMayReenter) {
+  // A handler that reports a drop of another OID during its callback must
+  // not deadlock (callbacks are issued outside the registry lock).
+  class ReentrantHandler : public CacheCallbackHandler {
+   public:
+    explicit ReentrantHandler(CallbackManager* cm) : cm_(cm) {}
+    void InvalidateCached(Oid, uint64_t) override {
+      cm_->NoteDropped(2, Oid(99));
+    }
+    CallbackManager* cm_;
+  };
+  CallbackManager cm;
+  ReentrantHandler h(&cm);
+  cm.RegisterClient(2, &h);
+  cm.NoteCached(2, Oid(1));
+  cm.NoteCached(2, Oid(99));
+  EXPECT_EQ(cm.OnCommittedUpdate(1, Oid(1), 1), 1);
+  EXPECT_TRUE(cm.CopyHolders(Oid(99)).empty());
+}
+
+}  // namespace
+}  // namespace idba

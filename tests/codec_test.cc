@@ -1,0 +1,142 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace idba {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU8(0xAB);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFULL);
+  enc.PutI64(-42);
+  enc.PutDouble(3.14159);
+
+  Decoder dec(buf);
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetU16(&u16).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CodecTest, StringRoundTrip) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutString("");
+  enc.PutString("hello");
+  enc.PutString(std::string(1000, 'x'));
+
+  Decoder dec(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetString(&a).ok());
+  ASSERT_TRUE(dec.GetString(&b).ok());
+  ASSERT_TRUE(dec.GetString(&c).ok());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "hello");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodecTest, DecodeUnderflowIsCorruption) {
+  std::vector<uint8_t> buf = {0x01};
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetU64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, StringUnderflowIsCorruption) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(100);  // claims 100 bytes follow
+  buf.push_back('x');  // only 1 does
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_EQ(dec.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, VarintOverlongIsCorruption) {
+  std::vector<uint8_t> buf(11, 0xFF);  // continuation bit forever
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, SkipAndRemaining) {
+  std::vector<uint8_t> buf(10, 0);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.remaining(), 10u);
+  ASSERT_TRUE(dec.Skip(4).ok());
+  EXPECT_EQ(dec.remaining(), 6u);
+  EXPECT_EQ(dec.position(), 4u);
+  EXPECT_EQ(dec.Skip(7).code(), StatusCode::kCorruption);
+}
+
+class VarintSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintSweep, RoundTrips) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(GetParam());
+  Decoder dec(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetVarint(&v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintSweep,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 255ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 17,
+                      ~0ULL));
+
+TEST(CodecProperty, RandomSequencesRoundTrip) {
+  Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<uint64_t> varints;
+    std::vector<std::string> strings;
+    std::vector<uint8_t> buf;
+    Encoder enc(&buf);
+    int n = 1 + static_cast<int>(rng.NextBelow(30));
+    for (int i = 0; i < n; ++i) {
+      uint64_t v = rng.NextU64() >> rng.NextBelow(64);
+      varints.push_back(v);
+      enc.PutVarint(v);
+      std::string s(rng.NextBelow(64), static_cast<char>('a' + rng.NextBelow(26)));
+      strings.push_back(s);
+      enc.PutString(s);
+    }
+    Decoder dec(buf);
+    for (int i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      std::string s;
+      ASSERT_TRUE(dec.GetVarint(&v).ok());
+      ASSERT_TRUE(dec.GetString(&s).ok());
+      EXPECT_EQ(v, varints[i]);
+      EXPECT_EQ(s, strings[i]);
+    }
+    EXPECT_TRUE(dec.exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,170 @@
+// Cache-coherency properties under randomized concurrent workloads.
+//
+// The avoidance-based protocol's contract (§3.3): a client never reads
+// stale data from its cache. Checked two ways: (1) versions observed by
+// any client for any object never decrease (monotonic reads) and never lag
+// a version the client itself committed; (2) at quiescence every cached
+// copy equals the server's current image exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/txn_retry.h"
+#include "common/rng.h"
+
+namespace idba {
+namespace {
+
+class CoherencyPropertyTest : public ::testing::Test {
+ protected:
+  CoherencyPropertyTest() {
+    cls_ = server_.schema().DefineClass("Item").value();
+    EXPECT_TRUE(server_.schema()
+                    .AddAttribute(cls_, "Counter", ValueType::kInt, Value(int64_t(0)))
+                    .ok());
+    EXPECT_TRUE(server_.schema()
+                    .AddAttribute(cls_, "Writer", ValueType::kInt, Value(int64_t(0)))
+                    .ok());
+  }
+
+  std::vector<Oid> SeedObjects(int n) {
+    DatabaseClient seeder(&server_, 99, &meter_, &bus_);
+    std::vector<Oid> oids;
+    TxnId t = seeder.Begin();
+    for (int i = 0; i < n; ++i) {
+      Oid oid = seeder.AllocateOid();
+      DatabaseObject obj(oid, cls_, 2);
+      obj.Set(0, Value(int64_t(0)));
+      obj.Set(1, Value(int64_t(0)));
+      EXPECT_TRUE(seeder.Insert(t, std::move(obj)).ok());
+      oids.push_back(oid);
+    }
+    EXPECT_TRUE(seeder.Commit(t).ok());
+    return oids;
+  }
+
+  DatabaseServer server_;
+  NotificationBus bus_;
+  RpcMeter meter_;
+  ClassId cls_;
+};
+
+TEST_F(CoherencyPropertyTest, MonotonicReadsAndQuiescentExactness) {
+  constexpr int kClients = 4;
+  constexpr int kObjects = 10;
+  constexpr int kOpsPerClient = 120;
+  std::vector<Oid> oids = SeedObjects(kObjects);
+
+  std::vector<std::unique_ptr<DatabaseClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(
+        std::make_unique<DatabaseClient>(&server_, 100 + c, &meter_, &bus_));
+  }
+
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      // Per-object high-water mark of observed versions.
+      std::vector<uint64_t> seen(kObjects, 0);
+      DatabaseClient* client = clients[c].get();
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        int idx = static_cast<int>(rng.NextBelow(kObjects));
+        Oid oid = oids[idx];
+        if (rng.NextBool(0.6)) {
+          // Plain read (may be a cache hit — must never go backwards).
+          auto obj = client->ReadCurrent(oid);
+          if (!obj.ok()) continue;
+          if (obj.value().version() < seen[idx]) violation = true;
+          seen[idx] = std::max(seen[idx], obj.value().version());
+        } else {
+          // RMW increment via the retry helper.
+          auto result = RunTransaction(client, [&](DatabaseClient& cl, TxnId t) {
+            IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, cl.Read(t, oid));
+            if (obj.version() < seen[idx]) violation = true;
+            obj.Set(0, Value(obj.Get(0).AsInt() + 1));
+            obj.Set(1, Value(int64_t(c)));
+            return cl.Write(t, std::move(obj));
+          });
+          if (result.status.ok()) {
+            for (const auto& committed : result.commit.updated) {
+              if (committed.oid() == oid) {
+                seen[idx] = std::max(seen[idx], committed.version());
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load()) << "a client observed a version go backwards";
+
+  // Quiescence: every cached copy equals the server's current image.
+  for (auto& client : clients) {
+    for (int i = 0; i < kObjects; ++i) {
+      auto cached = client->cache().Get(oids[i]);
+      if (!cached.has_value()) continue;
+      auto current = server_.heap().Read(oids[i]);
+      ASSERT_TRUE(current.ok());
+      EXPECT_EQ(cached->version(), current.value().version())
+          << "client " << client->id() << " holds a stale copy of object " << i;
+      EXPECT_EQ(cached->Get(0), current.value().Get(0));
+    }
+  }
+
+  // Total increments == final counter sum (no lost updates).
+  int64_t total = 0;
+  for (Oid oid : oids) {
+    total += server_.heap().Read(oid).value().Get(0).AsInt();
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(server_.commits(), static_cast<uint64_t>(total) + 1);  // +1 seed txn
+}
+
+TEST_F(CoherencyPropertyTest, CallbackStormKeepsEveryCacheExact) {
+  // One writer hammers a single object while many clients keep re-caching
+  // it; every invalidate must land before the corresponding commit returns.
+  std::vector<Oid> oids = SeedObjects(1);
+  Oid oid = oids[0];
+  constexpr int kReaders = 6;
+  std::vector<std::unique_ptr<DatabaseClient>> readers;
+  for (int c = 0; c < kReaders; ++c) {
+    readers.push_back(
+        std::make_unique<DatabaseClient>(&server_, 200 + c, &meter_, &bus_));
+  }
+  DatabaseClient writer(&server_, 199, &meter_, &bus_);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stale_seen{false};
+  std::vector<std::thread> threads;
+  for (auto& reader : readers) {
+    threads.emplace_back([&, r = reader.get()] {
+      uint64_t high_water = 0;
+      while (!stop.load()) {
+        auto obj = r->ReadCurrent(oid);
+        if (!obj.ok()) continue;
+        if (obj.value().version() < high_water) stale_seen = true;
+        high_water = std::max(high_water, obj.value().version());
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto result = RunTransaction(&writer, [&](DatabaseClient& c, TxnId t) {
+      IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
+      obj.Set(0, Value(obj.Get(0).AsInt() + 1));
+      return c.Write(t, std::move(obj));
+    });
+    ASSERT_TRUE(result.status.ok());
+  }
+  stop = true;
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(stale_seen.load());
+  EXPECT_EQ(server_.heap().Read(oid).value().Get(0), Value(int64_t(200)));
+}
+
+}  // namespace
+}  // namespace idba

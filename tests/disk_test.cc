@@ -1,0 +1,102 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace idba {
+namespace {
+
+PageData MakePage(uint8_t fill) {
+  PageData p;
+  std::memset(p.bytes, fill, kPageSize);
+  return p;
+}
+
+TEST(MemDiskTest, ReadBackWhatWasWritten) {
+  MemDisk disk;
+  ASSERT_TRUE(disk.WritePage(3, MakePage(0xAA)).ok());
+  PageData out;
+  ASSERT_TRUE(disk.ReadPage(3, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0xAA);
+  EXPECT_EQ(out.bytes[kPageSize - 1], 0xAA);
+}
+
+TEST(MemDiskTest, UnwrittenPagesReadAsZero) {
+  MemDisk disk;
+  PageData out = MakePage(0xFF);
+  ASSERT_TRUE(disk.ReadPage(7, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0);
+  EXPECT_EQ(out.bytes[kPageSize - 1], 0);
+}
+
+TEST(MemDiskTest, PageCountTracksHighestWrite) {
+  MemDisk disk;
+  EXPECT_EQ(disk.PageCount(), 0u);
+  ASSERT_TRUE(disk.WritePage(9, MakePage(1)).ok());
+  EXPECT_EQ(disk.PageCount(), 10u);
+}
+
+TEST(MemDiskTest, CountersTrackIo) {
+  MemDisk disk;
+  PageData p;
+  ASSERT_TRUE(disk.WritePage(0, MakePage(1)).ok());
+  ASSERT_TRUE(disk.ReadPage(0, &p).ok());
+  ASSERT_TRUE(disk.ReadPage(0, &p).ok());
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.reads(), 2u);
+}
+
+TEST(MemDiskTest, InjectedFailuresFireThenClear) {
+  MemDisk disk;
+  disk.InjectReadFailures(2);
+  PageData p;
+  EXPECT_EQ(disk.ReadPage(0, &p).code(), StatusCode::kIOError);
+  EXPECT_EQ(disk.ReadPage(0, &p).code(), StatusCode::kIOError);
+  EXPECT_TRUE(disk.ReadPage(0, &p).ok());
+}
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/idba_filedisk_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileDiskTest, PersistsAcrossReopen) {
+  {
+    auto disk = FileDisk::Open(path_);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE(disk.value()->WritePage(2, MakePage(0x5C)).ok());
+    ASSERT_TRUE(disk.value()->Sync().ok());
+  }
+  auto disk = FileDisk::Open(path_);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk.value()->PageCount(), 3u);
+  PageData out;
+  ASSERT_TRUE(disk.value()->ReadPage(2, &out).ok());
+  EXPECT_EQ(out.bytes[100], 0x5C);
+}
+
+TEST_F(FileDiskTest, ReadPastEndIsZeros) {
+  auto disk = FileDisk::Open(path_);
+  ASSERT_TRUE(disk.ok());
+  PageData out = MakePage(0xEE);
+  ASSERT_TRUE(disk.value()->ReadPage(50, &out).ok());
+  EXPECT_EQ(out.bytes[0], 0);
+}
+
+TEST_F(FileDiskTest, OpenFailsOnBadPath) {
+  auto disk = FileDisk::Open("/nonexistent_dir_xyz/file");
+  EXPECT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,107 @@
+#include "core/display_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+class DisplayCacheTest : public ::testing::Test {
+ protected:
+  DisplayCacheTest() {
+    link_ = catalog_.DefineClass("Link").value();
+    EXPECT_TRUE(
+        catalog_.AddAttribute(link_, "Utilization", ValueType::kDouble).ok());
+    DisplayClassDef def("LinkLine", link_);
+    def.Project("Utilization", "Utilization").Gui("X", Value(0.0));
+    dc_ = schema_.Define(std::move(def), catalog_).value();
+  }
+  SchemaCatalog catalog_;
+  DisplaySchema schema_;
+  ClassId link_;
+  DisplayClassId dc_;
+};
+
+TEST_F(DisplayCacheTest, CreateFindRemove) {
+  DisplayCache cache;
+  auto dob = cache.Create(schema_.Find(dc_), {Oid(1)});
+  ASSERT_TRUE(dob.ok());
+  DoId id = dob.value()->id();
+  EXPECT_EQ(cache.Find(id), dob.value());
+  EXPECT_EQ(cache.object_count(), 1u);
+  EXPECT_GT(cache.bytes_used(), 0u);
+  ASSERT_TRUE(cache.Remove(id).ok());
+  EXPECT_EQ(cache.Find(id), nullptr);
+  EXPECT_EQ(cache.object_count(), 0u);
+  EXPECT_EQ(cache.Remove(id).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DisplayCacheTest, IdsAreUnique) {
+  DisplayCache cache;
+  DoId a = cache.Create(schema_.Find(dc_), {Oid(1)}).value()->id();
+  DoId b = cache.Create(schema_.Find(dc_), {Oid(1)}).value()->id();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(DisplayCacheTest, FindBySourceIndexes) {
+  DisplayCache cache;
+  auto* d1 = cache.Create(schema_.Find(dc_), {Oid(1)}).value();
+  auto* d2 = cache.Create(schema_.Find(dc_), {Oid(1), Oid(2)}).value();
+  auto* d3 = cache.Create(schema_.Find(dc_), {Oid(3)}).value();
+  auto for1 = cache.FindBySource(Oid(1));
+  EXPECT_EQ(for1.size(), 2u);
+  auto for2 = cache.FindBySource(Oid(2));
+  ASSERT_EQ(for2.size(), 1u);
+  EXPECT_EQ(for2[0], d2);
+  EXPECT_TRUE(cache.FindBySource(Oid(99)).empty());
+  (void)d1;
+  (void)d3;
+}
+
+TEST_F(DisplayCacheTest, RemoveUnindexesSources) {
+  DisplayCache cache;
+  auto* d = cache.Create(schema_.Find(dc_), {Oid(1)}).value();
+  ASSERT_TRUE(cache.Remove(d->id()).ok());
+  EXPECT_TRUE(cache.FindBySource(Oid(1)).empty());
+}
+
+TEST_F(DisplayCacheTest, BudgetRefusesInsteadOfEvicting) {
+  // The defining property (§3.2): the display cache NEVER silently evicts.
+  DisplayCache cache(DisplayCacheOptions{.capacity_bytes = 1500});
+  std::vector<DoId> created;
+  for (;;) {
+    auto dob = cache.Create(schema_.Find(dc_), {Oid(created.size() + 1)});
+    if (!dob.ok()) {
+      EXPECT_TRUE(dob.status().IsBusy());
+      break;
+    }
+    created.push_back(dob.value()->id());
+  }
+  ASSERT_FALSE(created.empty());
+  // Everything created is still there — pinned.
+  for (DoId id : created) EXPECT_NE(cache.Find(id), nullptr);
+  // Explicit removal (the application's decision) makes room again.
+  ASSERT_TRUE(cache.Remove(created[0]).ok());
+  EXPECT_TRUE(cache.Create(schema_.Find(dc_), {Oid(1000)}).ok());
+}
+
+TEST_F(DisplayCacheTest, UnlimitedByDefault) {
+  DisplayCache cache;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(cache.Create(schema_.Find(dc_), {Oid(i + 1)}).ok());
+  }
+  EXPECT_EQ(cache.object_count(), 500u);
+}
+
+TEST_F(DisplayCacheTest, ReaccountBytesAfterMutation) {
+  DisplayCache cache;
+  auto* d = cache.Create(schema_.Find(dc_), {Oid(1)}).value();
+  size_t before = cache.bytes_used();
+  DatabaseObject img(Oid(1), link_, 1);
+  img.Set(0, Value(0.5));
+  ASSERT_TRUE(d->Refresh(catalog_, {img}).ok());
+  cache.ReaccountBytes();
+  EXPECT_GE(cache.bytes_used(), before);  // gained the projected attribute
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,143 @@
+#include "core/display_object.h"
+
+#include <gtest/gtest.h>
+
+#include "viz/color.h"
+
+namespace idba {
+namespace {
+
+class DisplayObjectTest : public ::testing::Test {
+ protected:
+  DisplayObjectTest() {
+    link_ = catalog_.DefineClass("Link").value();
+    EXPECT_TRUE(
+        catalog_.AddAttribute(link_, "Utilization", ValueType::kDouble).ok());
+    EXPECT_TRUE(catalog_.AddAttribute(link_, "From", ValueType::kOid).ok());
+
+    DisplayClassDef def("ColorCodedLink", link_);
+    def.Project("Utilization", "Utilization")
+        .Project("From", "From")
+        .Derive("Color",
+                [this](const std::vector<DatabaseObject>& srcs) {
+                  double u = srcs[0].GetByName(catalog_, "Utilization")
+                                 .value()
+                                 .AsNumber();
+                  return Value(UtilizationColorName(u));
+                })
+        .Gui("X1", Value(5.0))
+        .Gui("Selected", Value(false));
+    id_ = schema_.Define(std::move(def), catalog_).value();
+  }
+
+  DatabaseObject MakeLink(uint64_t oid, double util) {
+    DatabaseObject obj(Oid(oid), link_, 2);
+    obj.Set(0, Value(util));
+    obj.Set(1, Value(Oid(100)));
+    return obj;
+  }
+
+  SchemaCatalog catalog_;
+  DisplaySchema schema_;
+  ClassId link_;
+  DisplayClassId id_;
+};
+
+TEST_F(DisplayObjectTest, StartsDirtyWithGuiDefaults) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  EXPECT_TRUE(dob.dirty());
+  EXPECT_EQ(dob.refresh_count(), 0u);
+  EXPECT_EQ(dob.Get("X1").value(), Value(5.0));
+  // Projected slots exist but hold null until the first Refresh.
+  EXPECT_TRUE(dob.Get("Utilization").value().is_null());
+  EXPECT_EQ(dob.Get("NoSuchAttr").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DisplayObjectTest, RefreshMaterializesProjectionsAndDerivations) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(7, 0.9)}).ok());
+  EXPECT_FALSE(dob.dirty());
+  EXPECT_EQ(dob.refresh_count(), 1u);
+  EXPECT_EQ(dob.Get("Utilization").value(), Value(0.9));
+  EXPECT_EQ(dob.Get("Color").value(), Value("red"));
+  EXPECT_EQ(dob.Get("From").value(), Value(Oid(100)));
+  // GUI attributes untouched by refresh.
+  EXPECT_EQ(dob.Get("X1").value(), Value(5.0));
+}
+
+TEST_F(DisplayObjectTest, RefreshTracksSourceChanges) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(7, 0.1)}).ok());
+  EXPECT_EQ(dob.Get("Color").value(), Value("white"));
+  dob.MarkDirty();
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(7, 0.5)}).ok());
+  EXPECT_EQ(dob.Get("Color").value(), Value("pink"));
+  EXPECT_EQ(dob.refresh_count(), 2u);
+}
+
+TEST_F(DisplayObjectTest, RefreshValidatesImages) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  // Wrong count.
+  EXPECT_EQ(dob.Refresh(catalog_, {}).code(), StatusCode::kInvalidArgument);
+  // Wrong OID.
+  EXPECT_EQ(dob.Refresh(catalog_, {MakeLink(8, 0.5)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DisplayObjectTest, OnlyGuiAttributesWritable) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(7, 0.5)}).ok());
+  EXPECT_TRUE(dob.SetGui("X1", Value(10.0)).ok());
+  EXPECT_TRUE(dob.SetGui("Selected", Value(true)).ok());
+  EXPECT_EQ(dob.Get("X1").value(), Value(10.0));
+  // Projected/derived attributes are read-only through the GUI.
+  EXPECT_EQ(dob.SetGui("Utilization", Value(1.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dob.SetGui("Color", Value("blue")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DisplayObjectTest, MarkedInUpdateFlag) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  EXPECT_FALSE(dob.marked_in_update());
+  dob.SetMarkedInUpdate(true);
+  EXPECT_TRUE(dob.marked_in_update());
+}
+
+TEST_F(DisplayObjectTest, MultiSourceRefresh) {
+  DisplayClassDef def("PathSummary", link_);
+  def.Derive("MaxUtilization", [this](const std::vector<DatabaseObject>& srcs) {
+    double m = 0;
+    for (const auto& s : srcs) {
+      m = std::max(m, s.GetByName(catalog_, "Utilization").value().AsNumber());
+    }
+    return Value(m);
+  });
+  DisplayClassId path_id = schema_.Define(std::move(def), catalog_).value();
+
+  DisplayObject dob(2, schema_.Find(path_id), {Oid(1), Oid(2), Oid(3)});
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(1, 0.2), MakeLink(2, 0.8),
+                                     MakeLink(3, 0.4)})
+                  .ok());
+  EXPECT_EQ(dob.Get("MaxUtilization").value(), Value(0.8));
+  EXPECT_EQ(dob.sources().size(), 3u);
+}
+
+TEST_F(DisplayObjectTest, MemoryBytesIsPositiveAndGrowsWithSources) {
+  DisplayObject small(1, schema_.Find(id_), {Oid(1)});
+  DisplayObject big(2, schema_.Find(id_),
+                    std::vector<Oid>(100, Oid(1)));
+  EXPECT_GT(small.MemoryBytes(), 0u);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST_F(DisplayObjectTest, ToStringListsAttributes) {
+  DisplayObject dob(1, schema_.Find(id_), {Oid(7)});
+  ASSERT_TRUE(dob.Refresh(catalog_, {MakeLink(7, 0.9)}).ok());
+  std::string s = dob.ToString();
+  EXPECT_NE(s.find("ColorCodedLink"), std::string::npos);
+  EXPECT_NE(s.find("Color"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idba

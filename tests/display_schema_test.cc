@@ -1,0 +1,94 @@
+#include "core/display_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+class DisplaySchemaTest : public ::testing::Test {
+ protected:
+  DisplaySchemaTest() {
+    link_ = catalog_.DefineClass("Link").value();
+    EXPECT_TRUE(catalog_.AddAttribute(link_, "From", ValueType::kOid).ok());
+    EXPECT_TRUE(catalog_.AddAttribute(link_, "To", ValueType::kOid).ok());
+    EXPECT_TRUE(
+        catalog_.AddAttribute(link_, "Utilization", ValueType::kDouble).ok());
+  }
+  SchemaCatalog catalog_;
+  ClassId link_;
+};
+
+TEST_F(DisplaySchemaTest, Figure1ColorCodedLinkValidates) {
+  DisplayClassDef def("ColorCodedLink", link_);
+  def.Project("From", "From")
+      .Project("To", "To")
+      .Derive("Color",
+              [](const std::vector<DatabaseObject>&) { return Value("red"); })
+      .Gui("X1", Value(0.0))
+      .Gui("Y1", Value(0.0));
+  DisplaySchema schema;
+  auto id = schema.Define(std::move(def), catalog_);
+  ASSERT_TRUE(id.ok());
+  const DisplayClassDef* found = schema.Find(*id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name(), "ColorCodedLink");
+  EXPECT_EQ(found->projections().size(), 2u);
+  EXPECT_EQ(found->derivations().size(), 1u);
+  EXPECT_EQ(found->gui_attributes().size(), 2u);
+  EXPECT_EQ(schema.FindByName("ColorCodedLink"), found);
+}
+
+TEST_F(DisplaySchemaTest, UnknownSourceClassRejected) {
+  DisplayClassDef def("Bad", 999);
+  DisplaySchema schema;
+  EXPECT_EQ(schema.Define(std::move(def), catalog_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DisplaySchemaTest, UnknownProjectedAttributeRejected) {
+  DisplayClassDef def("Bad", link_);
+  def.Project("Color", "NoSuchAttribute");
+  DisplaySchema schema;
+  EXPECT_EQ(schema.Define(std::move(def), catalog_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DisplaySchemaTest, NonZeroSourceIndexSkipsStaticValidation) {
+  // Multi-source display classes project from other associated objects,
+  // which are validated at refresh time, not definition time.
+  DisplayClassDef def("PathEnd", link_);
+  def.Project("FarUtilization", "Utilization", /*source_index=*/3);
+  DisplaySchema schema;
+  EXPECT_TRUE(schema.Define(std::move(def), catalog_).ok());
+}
+
+TEST_F(DisplaySchemaTest, DuplicateAttributeNamesRejected) {
+  DisplayClassDef def("Bad", link_);
+  def.Project("Utilization", "Utilization")
+      .Gui("Utilization", Value(0.0));
+  DisplaySchema schema;
+  EXPECT_EQ(schema.Define(std::move(def), catalog_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DisplaySchemaTest, DuplicateClassNameRejected) {
+  DisplaySchema schema;
+  ASSERT_TRUE(schema.Define(DisplayClassDef("D", link_), catalog_).ok());
+  EXPECT_EQ(schema.Define(DisplayClassDef("D", link_), catalog_).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(DisplaySchemaTest, MultipleClassesGetDistinctIds) {
+  DisplaySchema schema;
+  auto a = schema.Define(DisplayClassDef("A", link_), catalog_);
+  auto b = schema.Define(DisplayClassDef("B", link_), catalog_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.Find(0), nullptr);
+  EXPECT_EQ(schema.Find(99), nullptr);
+}
+
+}  // namespace
+}  // namespace idba

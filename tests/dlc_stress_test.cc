@@ -1,0 +1,144 @@
+// Stress tests of the display stack under concurrency: views opening and
+// closing while writers commit and pump threads dispatch notifications.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/monitor.h"
+
+namespace idba {
+namespace {
+
+class DlcStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeploymentOptions opts;
+    opts.dlm.protocol = NotifyProtocol::kEarlyNotify;
+    deployment_ = std::make_unique<Deployment>(opts);
+    NmsConfig config;
+    config.num_nodes = 16;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+TEST_F(DlcStressTest, ViewsOpenAndCloseUnderUpdateFire) {
+  auto viewer = deployment_->NewSession(100);
+  viewer->StartPump();
+  auto monitor_session = deployment_->NewSession(50);
+  MonitorProcess monitor(&monitor_session->client(), &db_,
+                         MonitorOptions{.updates_per_step = 2, .interval_ms = 1});
+  monitor.Start();
+
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  // Churn views on the UI thread while updates and notifications fly.
+  for (int round = 0; round < 30; ++round) {
+    ActiveView* view = viewer->CreateView("churn-" + std::to_string(round));
+    ASSERT_TRUE(view->PopulateFromClass(dc).ok());
+    ASSERT_TRUE(viewer->CloseView("churn-" + std::to_string(round)).ok());
+  }
+  monitor.Stop();
+  viewer->StopPump();
+  viewer->PumpOnce();  // drain leftovers
+
+  // Everything released: no locks, no pinned display objects.
+  EXPECT_EQ(deployment_->dlm().locked_object_count(), 0u);
+  EXPECT_EQ(viewer->display_cache().object_count(), 0u);
+}
+
+TEST_F(DlcStressTest, ManySessionsConcurrentLifecycle) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&, c] {
+      auto session = deployment_->NewSession(100 + c);
+      const DisplayClassDef* dc =
+          deployment_->display_schema().Find(dcs_.color_coded_link);
+      for (int round = 0; round < 10; ++round) {
+        ActiveView* view = session->CreateView("v" + std::to_string(round));
+        if (!view->PopulateFromClass(dc).ok()) failures.fetch_add(1);
+        session->PumpOnce();
+        if (!session->CloseView("v" + std::to_string(round)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(deployment_->dlm().locked_object_count(), 0u);
+}
+
+TEST_F(DlcStressTest, LongRunningSceneStaysExactUnderFire) {
+  auto viewer = deployment_->NewSession(100);
+  ActiveView* view = viewer->CreateView("scene");
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ASSERT_TRUE(view->PopulateFromClass(dc).ok());
+  viewer->StartPump();
+
+  auto monitor_session = deployment_->NewSession(50);
+  MonitorProcess monitor(&monitor_session->client(), &db_,
+                         MonitorOptions{.updates_per_step = 3});
+  for (int i = 0; i < 150; ++i) ASSERT_TRUE(monitor.StepOnce().ok());
+
+  // Wait for the pump to drain, then the scene must be exact.
+  for (int i = 0; i < 200 && viewer->client().inbox().pending() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  viewer->StopPump();
+  viewer->PumpOnce();
+  EXPECT_EQ(view->CountStaleObjects(), 0u);
+  EXPECT_GT(view->refreshes(), 0u);
+}
+
+TEST_F(DlcStressTest, EarlyNotifyMarksNeverLeakAfterResolution) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* view = viewer->CreateView("scene");
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ASSERT_TRUE(view->PopulateFromClass(dc).ok());
+
+  const SchemaCatalog& cat = deployment_->server().schema();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Oid oid = db_.link_oids[rng.NextBelow(db_.link_oids.size())];
+    TxnId t = writer->client().Begin();
+    auto obj = writer->client().Read(t, oid);
+    ASSERT_TRUE(obj.ok());
+    DatabaseObject link = std::move(obj).value();
+    ASSERT_TRUE(link.SetByName(cat, "Utilization", rng.NextDouble()).ok());
+    ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+    if (rng.NextBool(0.4)) {
+      ASSERT_TRUE(writer->client().Abort(t).ok());
+    } else {
+      ASSERT_TRUE(writer->client().Commit(t).ok());
+    }
+  }
+  viewer->PumpOnce();
+  // Every intent was resolved (commit or abort): nothing stays marked.
+  for (DisplayObject* dob : view->display_objects()) {
+    EXPECT_FALSE(dob->marked_in_update()) << dob->ToString();
+  }
+  for (Oid oid : db_.link_oids) {
+    EXPECT_FALSE(view->IsSourceMarked(oid));
+  }
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,143 @@
+// Failure injection: disk errors must surface as clean Status failures at
+// every layer — no crashes, no partial silent state. Plus RefreshAll (the
+// manual-refresh API that brings a passive snapshot current).
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+#include "txn/txn_manager.h"
+
+namespace idba {
+namespace {
+
+DatabaseObject MakeObj(Oid oid, int64_t v) {
+  DatabaseObject obj(oid, 1, 1);
+  obj.Set(0, Value(v));
+  return obj;
+}
+
+TEST(FailureInjectionTest, WalWriteFailureFailsCommitCleanly) {
+  MemDisk data_disk, wal_disk;
+  BufferPool pool(&data_disk, {.frame_count = 16});
+  auto heap = std::move(HeapStore::Open(&pool, 0).value());
+  Wal wal(&wal_disk);
+  TxnManager mgr(heap.get(), &wal);
+
+  TxnId t = mgr.Begin();
+  Oid oid = mgr.AllocateOid();
+  ASSERT_TRUE(mgr.Insert(t, MakeObj(oid, 1)).ok());
+  wal_disk.InjectWriteFailures(1);  // the commit's log force will fail
+  auto commit = mgr.Commit(t);
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kIOError);
+  // The write never reached the heap (commit applies only after the force).
+  EXPECT_FALSE(heap->Contains(oid));
+}
+
+TEST(FailureInjectionTest, BufferPoolEvictionWriteFailureSurfaces) {
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 1});
+  {
+    auto g = pool.NewPage(0);
+    ASSERT_TRUE(g.ok());
+    g.value().MarkDirty();
+  }
+  disk.InjectWriteFailures(1);
+  // Fetching another page must evict + write back page 0, which fails.
+  auto fetch = pool.FetchPage(1);
+  EXPECT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kIOError);
+  // Once the disk recovers, the pool keeps working.
+  EXPECT_TRUE(pool.FetchPage(1).ok());
+}
+
+TEST(FailureInjectionTest, HeapReadFailureSurfacesThroughServer) {
+  DatabaseServer server;
+  ClassId cls = server.schema().DefineClass("Item").value();
+  ASSERT_TRUE(server.schema().AddAttribute(cls, "V", ValueType::kInt).ok());
+  TxnId t = server.Begin(0);
+  Oid oid = server.AllocateOid();
+  DatabaseObject obj(oid, cls, 1);
+  obj.Set(0, Value(int64_t(1)));
+  ASSERT_TRUE(server.Insert(0, t, std::move(obj), nullptr).ok());
+  ASSERT_TRUE(server.Commit(0, t, nullptr).ok());
+  ASSERT_TRUE(server.Checkpoint().ok());
+  server.buffer_pool().DropAllNoFlush();
+
+  // The server was built over its own MemDisks; we cannot reach them here,
+  // so exercise the path at heap level with a fresh stack instead.
+  MemDisk disk;
+  BufferPool pool(&disk, {.frame_count = 4});
+  auto heap = std::move(HeapStore::Open(&pool, 0).value());
+  ASSERT_TRUE(heap->Insert(MakeObj(Oid(1), 5)).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.DropAllNoFlush();
+  disk.InjectReadFailures(1);
+  EXPECT_EQ(heap->Read(Oid(1)).status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(heap->Read(Oid(1)).ok());  // transient: next read succeeds
+}
+
+class RefreshAllTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 6;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+TEST_F(RefreshAllTest, BringsPassiveSnapshotCurrent) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* snap = viewer->CreateView("snapshot", {.subscribe = false});
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ASSERT_TRUE(snap->PopulateFromClass(dc).ok());
+
+  const SchemaCatalog& cat = deployment_->server().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, db_.link_oids[0]).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.99)).ok());
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  ASSERT_TRUE(writer->client().Commit(t).ok());
+
+  EXPECT_EQ(snap->CountStaleObjects(), 1u);
+  auto refreshed = snap->RefreshAll();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value(), db_.link_oids.size());
+  EXPECT_EQ(snap->CountStaleObjects(), 0u);
+  for (DisplayObject* dob : snap->display_objects()) {
+    if (dob->sources()[0] == db_.link_oids[0]) {
+      EXPECT_EQ(dob->Get("Utilization").value(), Value(0.99));
+    }
+  }
+}
+
+TEST_F(RefreshAllTest, CostsFullViewTrafficUnlikeNotify) {
+  // The quantitative §2.3 point as an API-level check: RefreshAll pays a
+  // fetch per displayed object, notify pays only for what changed.
+  auto viewer = deployment_->NewSession(100);
+  ActiveView* snap = viewer->CreateView("snapshot", {.subscribe = false});
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ASSERT_TRUE(snap->PopulateFromClass(dc).ok());
+  uint64_t rpcs_before = viewer->client().rpcs_issued();
+  ASSERT_TRUE(snap->RefreshAll().ok());
+  EXPECT_GE(viewer->client().rpcs_issued() - rpcs_before, db_.link_oids.size());
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/paths.h"
+#include "viz/graph_layout.h"
+
+namespace idba {
+namespace {
+
+// --- Graph layout ------------------------------------------------------------
+
+TEST(GraphLayoutTest, AllNodesInsideBounds) {
+  std::vector<GraphEdge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  Rect bounds{10, 20, 100, 80};
+  auto pos = LayoutGraph(4, edges, bounds);
+  ASSERT_TRUE(pos.ok());
+  ASSERT_EQ(pos.value().size(), 4u);
+  for (const Point& p : pos.value()) {
+    EXPECT_GE(p.x, bounds.x);
+    EXPECT_LE(p.x, bounds.right());
+    EXPECT_GE(p.y, bounds.y);
+    EXPECT_LE(p.y, bounds.bottom());
+  }
+}
+
+TEST(GraphLayoutTest, DeterministicForSeed) {
+  std::vector<GraphEdge> edges = {{0, 1}, {1, 2}};
+  auto a = LayoutGraph(3, edges, {0, 0, 50, 50}).value();
+  auto b = LayoutGraph(3, edges, {0, 0, 50, 50}).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(GraphLayoutTest, ForcesSeparateNodes) {
+  // A star graph: force-directed refinement must keep leaves apart.
+  std::vector<GraphEdge> edges;
+  for (size_t i = 1; i < 10; ++i) edges.push_back({0, i});
+  auto pos = LayoutGraph(10, edges, {0, 0, 200, 200}).value();
+  EXPECT_GT(MinNodeDistance(pos), 5.0);
+}
+
+TEST(GraphLayoutTest, ForcesShortenEdgesVsCircle) {
+  // Two dense clusters joined by one edge: forces should pull cluster
+  // members together, reducing mean edge length vs the initial circle.
+  std::vector<GraphEdge> edges;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) edges.push_back({i, j});
+  }
+  for (size_t i = 5; i < 10; ++i) {
+    for (size_t j = i + 1; j < 10; ++j) edges.push_back({i, j});
+  }
+  edges.push_back({0, 5});
+  Rect bounds{0, 0, 300, 300};
+  GraphLayoutOptions circle_only;
+  circle_only.iterations = 0;
+  double circle = MeanEdgeLength(LayoutGraph(10, edges, bounds, circle_only).value(), edges);
+  double forces = MeanEdgeLength(LayoutGraph(10, edges, bounds).value(), edges);
+  EXPECT_LT(forces, circle);
+}
+
+TEST(GraphLayoutTest, InvalidInputsRejected) {
+  EXPECT_FALSE(LayoutGraph(2, {{0, 5}}, {0, 0, 10, 10}).ok());
+  EXPECT_FALSE(LayoutGraph(2, {}, {0, 0, 0, 10}).ok());
+  EXPECT_TRUE(LayoutGraph(0, {}, {0, 0, 10, 10}).ok());
+  EXPECT_TRUE(LayoutGraph(1, {}, {0, 0, 10, 10}).ok());
+}
+
+// --- Topology index + paths ---------------------------------------------------
+
+class PathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 12;
+    config.avg_degree = 2.0;  // ring only: predictable paths
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+    index_ = TopologyIndex::Build(&deployment_->server(), db_).value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+  TopologyIndex index_;
+};
+
+TEST_F(PathsTest, IndexCoversTopology) {
+  EXPECT_EQ(index_.node_count(), db_.node_oids.size());
+  EXPECT_EQ(index_.link_count(), db_.link_oids.size());
+  EXPECT_EQ(index_.edges().size(), db_.link_oids.size());
+}
+
+TEST_F(PathsTest, RingShortestPathsGoTheShortWay) {
+  // Ring of 12: nodes 0 and 3 are 3 hops apart.
+  auto path = index_.ShortestPath(db_.node_oids[0], db_.node_oids[3]);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().size(), 3u);
+  // Opposite side: 6 hops either way.
+  auto far = index_.ShortestPath(db_.node_oids[0], db_.node_oids[6]);
+  ASSERT_TRUE(far.ok());
+  EXPECT_EQ(far.value().size(), 6u);
+  // Trivial path.
+  auto self = index_.ShortestPath(db_.node_oids[0], db_.node_oids[0]);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self.value().empty());
+}
+
+TEST_F(PathsTest, UnknownNodeIsNotFound) {
+  EXPECT_EQ(index_.ShortestPath(Oid(999999), db_.node_oids[0]).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PathsTest, IncidentLinksMatchDegree) {
+  // In the ring every node has exactly two incident links.
+  for (Oid node : db_.node_oids) {
+    EXPECT_EQ(index_.IncidentLinks(node).size(), 2u);
+  }
+}
+
+TEST_F(PathsTest, PathSummaryDisplayObjectOverRealPath) {
+  // The paper's §3.1 example, end to end: one display object associated
+  // with ALL the link objects of a path, refreshed when any of them moves.
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* view = viewer->CreateView("paths");
+  auto path = index_.ShortestPath(db_.node_oids[0], db_.node_oids[4]).value();
+  ASSERT_EQ(path.size(), 4u);
+  auto dob = view->Materialize(
+      deployment_->display_schema().Find(dcs_.path_summary), path);
+  ASSERT_TRUE(dob.ok());
+  EXPECT_EQ(dob.value()->Get("HopCount").value(), Value(int64_t(4)));
+
+  // Saturate the middle link; the path line must turn red.
+  const SchemaCatalog& cat = deployment_->server().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, path[2]).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(1.0)).ok());
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  ASSERT_TRUE(writer->client().Commit(t).ok());
+  viewer->PumpOnce();
+  EXPECT_EQ(dob.value()->Get("MaxUtilization").value(), Value(1.0));
+  EXPECT_EQ(dob.value()->Get("Color").value(), Value("red"));
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,261 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace idba {
+namespace {
+
+constexpr Oid kObj{1};
+
+// --- Compatibility matrix (paper-critical: D compatible with everything) --
+
+struct CompatCase {
+  LockMode held;
+  LockMode requested;
+  bool compatible;
+};
+
+class CompatibilityMatrix : public ::testing::TestWithParam<CompatCase> {};
+
+TEST_P(CompatibilityMatrix, MatchesGrayReuterPlusDisplayMode) {
+  EXPECT_EQ(LockCompatible(GetParam().held, GetParam().requested),
+            GetParam().compatible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classical, CompatibilityMatrix,
+    ::testing::Values(
+        CompatCase{LockMode::kIS, LockMode::kIS, true},
+        CompatCase{LockMode::kIS, LockMode::kIX, true},
+        CompatCase{LockMode::kIS, LockMode::kS, true},
+        CompatCase{LockMode::kIS, LockMode::kSIX, true},
+        CompatCase{LockMode::kIS, LockMode::kX, false},
+        CompatCase{LockMode::kIX, LockMode::kIX, true},
+        CompatCase{LockMode::kIX, LockMode::kS, false},
+        CompatCase{LockMode::kIX, LockMode::kSIX, false},
+        CompatCase{LockMode::kIX, LockMode::kX, false},
+        CompatCase{LockMode::kS, LockMode::kS, true},
+        CompatCase{LockMode::kS, LockMode::kIX, false},
+        CompatCase{LockMode::kS, LockMode::kX, false},
+        CompatCase{LockMode::kSIX, LockMode::kIS, true},
+        CompatCase{LockMode::kSIX, LockMode::kS, false},
+        CompatCase{LockMode::kSIX, LockMode::kX, false},
+        CompatCase{LockMode::kX, LockMode::kIS, false},
+        CompatCase{LockMode::kX, LockMode::kS, false},
+        CompatCase{LockMode::kX, LockMode::kX, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DisplayMode, CompatibilityMatrix,
+    ::testing::Values(
+        CompatCase{LockMode::kD, LockMode::kD, true},
+        CompatCase{LockMode::kD, LockMode::kX, true},   // the defining property
+        CompatCase{LockMode::kX, LockMode::kD, true},   // ...in both directions
+        CompatCase{LockMode::kD, LockMode::kS, true},
+        CompatCase{LockMode::kS, LockMode::kD, true},
+        CompatCase{LockMode::kD, LockMode::kIX, true},
+        CompatCase{LockMode::kSIX, LockMode::kD, true}));
+
+TEST(LockSupremumTest, LatticeJoins) {
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kS), LockMode::kS);
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(LockSupremum(LockMode::kIS, LockMode::kS), LockMode::kS);
+  EXPECT_EQ(LockSupremum(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(LockSupremum(LockMode::kNL, LockMode::kX), LockMode::kX);
+}
+
+// --- Basic grant/conflict behavior ---------------------------------------
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(2, kObj, LockMode::kS).ok());
+  EXPECT_EQ(lm.Holders(kObj).size(), 2u);
+}
+
+TEST(LockManagerTest, TryLockConflictIsBusy) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryLock(2, kObj, LockMode::kS).IsBusy());
+  EXPECT_TRUE(lm.TryLock(2, kObj, LockMode::kX).IsBusy());
+}
+
+TEST(LockManagerTest, ReacquireSameModeIsIdempotent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  EXPECT_EQ(lm.HeldMode(1, kObj), LockMode::kS);
+  ASSERT_TRUE(lm.Unlock(1, kObj).ok());
+  EXPECT_EQ(lm.HeldMode(1, kObj), LockMode::kNL);
+}
+
+TEST(LockManagerTest, UpgradeSToXWhenAlone) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kX).ok());
+  EXPECT_EQ(lm.HeldMode(1, kObj), LockMode::kX);
+}
+
+TEST(LockManagerTest, UnlockWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kX).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Lock(2, kObj, LockMode::kS).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  ASSERT_TRUE(lm.Unlock(1, kObj).ok());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, Oid(1), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(1, Oid(2), LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(1, Oid(3), LockMode::kIX).ok());
+  EXPECT_EQ(lm.LockedObjectCount(), 3u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.LockedObjectCount(), 0u);
+  EXPECT_TRUE(lm.TryLock(2, Oid(1), LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, WaitTimesOut) {
+  LockManager lm(LockManagerOptions{.wait_timeout_ms = 80,
+                                    .deadlock_detection = false});
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kX).ok());
+  Status st = lm.Lock(2, kObj, LockMode::kX);
+  EXPECT_TRUE(st.IsTimedOut());
+  EXPECT_EQ(lm.timeouts(), 1u);
+}
+
+// --- Display locks ---------------------------------------------------------
+
+TEST(LockManagerTest, DisplayLockNeverBlocksAndNeverBlocksOthers) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kX).ok());       // txn 1 holds X
+  EXPECT_TRUE(lm.Lock(100, kObj, LockMode::kD).ok());     // client 100: instant
+  EXPECT_TRUE(lm.Lock(101, kObj, LockMode::kD).ok());
+  // X still exclusive against other transactions...
+  EXPECT_TRUE(lm.TryLock(2, kObj, LockMode::kX).IsBusy());
+  // ...and a new X can be granted alongside D once released.
+  ASSERT_TRUE(lm.Unlock(1, kObj).ok());
+  EXPECT_TRUE(lm.TryLock(2, kObj, LockMode::kX).ok());
+  auto holders = lm.DisplayLockHolders(kObj);
+  EXPECT_EQ(holders.size(), 2u);
+}
+
+TEST(LockManagerTest, DisplayHoldersListedSeparately) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(100, kObj, LockMode::kD).ok());
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  EXPECT_EQ(lm.DisplayLockHolders(kObj), std::vector<LockOwnerId>{100});
+  EXPECT_EQ(lm.Holders(kObj), std::vector<LockOwnerId>{1});
+}
+
+TEST(LockManagerTest, MixingDisplayAndRegularUnderOneOwnerRejected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kD).ok());
+  EXPECT_EQ(lm.Lock(1, kObj, LockMode::kX).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(lm.Lock(2, kObj, LockMode::kS).ok());
+  EXPECT_EQ(lm.Lock(2, kObj, LockMode::kD).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LockManagerTest, DisplayUnlockLeavesOthers) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(100, kObj, LockMode::kD).ok());
+  ASSERT_TRUE(lm.Lock(101, kObj, LockMode::kD).ok());
+  ASSERT_TRUE(lm.Unlock(100, kObj).ok());
+  EXPECT_EQ(lm.DisplayLockHolders(kObj), std::vector<LockOwnerId>{101});
+}
+
+// --- Deadlock detection -----------------------------------------------------
+
+TEST(LockManagerTest, TwoTxnCycleDetected) {
+  LockManager lm(LockManagerOptions{.wait_timeout_ms = 2000});
+  ASSERT_TRUE(lm.Lock(1, Oid(1), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(2, Oid(2), LockMode::kX).ok());
+  std::thread t1([&] {
+    // T1 blocks on Oid(2) held by T2.
+    Status st = lm.Lock(1, Oid(2), LockMode::kX);
+    if (st.ok()) {
+      // Granted after T2 was refused and released.
+      lm.ReleaseAll(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // T2 requesting Oid(1) completes the cycle: must be refused immediately.
+  Status st = lm.Lock(2, Oid(1), LockMode::kX);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  EXPECT_GE(lm.deadlocks(), 1u);
+  lm.ReleaseAll(2);
+  t1.join();
+}
+
+TEST(LockManagerTest, UpgradeDeadlockDetected) {
+  LockManager lm(LockManagerOptions{.wait_timeout_ms = 2000});
+  ASSERT_TRUE(lm.Lock(1, kObj, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(2, kObj, LockMode::kS).ok());
+  std::thread t1([&] {
+    (void)lm.Lock(1, kObj, LockMode::kX);  // waits on T2's S
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status st = lm.Lock(2, kObj, LockMode::kX);  // cycle
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  lm.ReleaseAll(2);  // T1's upgrade can now proceed
+  t1.join();
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, ThreeTxnCycleDetected) {
+  LockManager lm(LockManagerOptions{.wait_timeout_ms = 3000});
+  ASSERT_TRUE(lm.Lock(1, Oid(1), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(2, Oid(2), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(3, Oid(3), LockMode::kX).ok());
+  std::thread t1([&] { (void)lm.Lock(1, Oid(2), LockMode::kX); });
+  std::thread t2([&] { (void)lm.Lock(2, Oid(3), LockMode::kX); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Status st = lm.Lock(3, Oid(1), LockMode::kX);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  lm.ReleaseAll(3);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  t1.join();
+  t2.join();
+}
+
+// --- Concurrency stress ------------------------------------------------------
+
+TEST(LockManagerStress, ExclusionIsMutual) {
+  LockManager lm;
+  std::atomic<int> in_critical{0};
+  std::atomic<int> max_seen{0};
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        Status st = lm.Lock(100 + t, kObj, LockMode::kX);
+        if (!st.ok()) continue;
+        acquired.fetch_add(1);
+        int now = in_critical.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        in_critical.fetch_sub(1);
+        ASSERT_TRUE(lm.Unlock(100 + t, kObj).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_seen.load(), 1);
+  EXPECT_GT(acquired.load(), 700);  // nearly all succeed
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,100 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace idba {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Get(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Get(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Get(), 80000u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonicAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 0.5);
+  double p50 = h.Percentile(0.5);
+  double p95 = h.Percentile(0.95);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 7.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  EXPECT_NE(h.Summary().find("count=2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SameNameSameCounter) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(reg.CounterSnapshot()["x"], 3u);
+}
+
+TEST(MetricsRegistryTest, DumpAndReset) {
+  MetricsRegistry reg;
+  reg.GetCounter("commits")->Add(5);
+  reg.GetHistogram("latency")->Record(1.5);
+  std::string dump = reg.Dump();
+  EXPECT_NE(dump.find("commits = 5"), std::string::npos);
+  EXPECT_NE(dump.find("latency"), std::string::npos);
+  reg.ResetAll();
+  EXPECT_EQ(reg.CounterSnapshot()["commits"], 0u);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,164 @@
+// Net-layer tests: inbox concurrency, notification bus routing and
+// metering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/inbox.h"
+#include "net/notification_bus.h"
+
+namespace idba {
+namespace {
+
+class TestMessage : public Message {
+ public:
+  explicit TestMessage(int id, size_t bytes = 100) : id_(id), bytes_(bytes) {}
+  std::string_view name() const override { return "Test"; }
+  size_t WireBytes() const override { return bytes_; }
+  int id() const { return id_; }
+
+ private:
+  int id_;
+  size_t bytes_;
+};
+
+Envelope MakeEnvelope(int id) {
+  Envelope e;
+  e.msg = std::make_shared<TestMessage>(id);
+  return e;
+}
+
+TEST(InboxTest, FifoOrder) {
+  Inbox inbox;
+  for (int i = 0; i < 5; ++i) inbox.Deliver(MakeEnvelope(i));
+  EXPECT_EQ(inbox.pending(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto env = inbox.Poll();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(static_cast<const TestMessage*>(env->msg.get())->id(), i);
+  }
+  EXPECT_FALSE(inbox.Poll().has_value());
+}
+
+TEST(InboxTest, DrainAllEmpties) {
+  Inbox inbox;
+  for (int i = 0; i < 7; ++i) inbox.Deliver(MakeEnvelope(i));
+  auto all = inbox.DrainAll();
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(inbox.pending(), 0u);
+}
+
+TEST(InboxTest, WaitNextTimesOutEmpty) {
+  Inbox inbox;
+  auto env = inbox.WaitNext(10);
+  EXPECT_FALSE(env.has_value());
+}
+
+TEST(InboxTest, WaitNextWakesOnDelivery) {
+  Inbox inbox;
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto env = inbox.WaitNext(2000);
+    got = env.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  inbox.Deliver(MakeEnvelope(1));
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(InboxTest, CloseWakesWaiters) {
+  Inbox inbox;
+  std::atomic<bool> returned{false};
+  std::thread waiter([&] {
+    (void)inbox.WaitNext(10000);
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  inbox.Close();
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(inbox.closed());
+}
+
+TEST(InboxTest, ConcurrentProducersLoseNothing) {
+  Inbox inbox;
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        inbox.Deliver(MakeEnvelope(p * kPerProducer + i));
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    while (consumed.load() < kProducers * kPerProducer) {
+      if (inbox.Poll().has_value()) consumed.fetch_add(1);
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+TEST(NotificationBusTest, RoutesToRegisteredEndpoint) {
+  NotificationBus bus;
+  Inbox a, b;
+  bus.Register(1, &a);
+  bus.Register(2, &b);
+  ASSERT_TRUE(bus.Send(9, 1, std::make_shared<TestMessage>(42), 0).ok());
+  EXPECT_EQ(a.pending(), 1u);
+  EXPECT_EQ(b.pending(), 0u);
+  auto env = a.Poll();
+  EXPECT_EQ(env->from, 9u);
+  EXPECT_EQ(env->to, 1u);
+}
+
+TEST(NotificationBusTest, UnknownEndpointIsNotFound) {
+  NotificationBus bus;
+  EXPECT_EQ(bus.Send(1, 99, std::make_shared<TestMessage>(1), 0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(NotificationBusTest, UnregisterStopsDelivery) {
+  NotificationBus bus;
+  Inbox a;
+  bus.Register(1, &a);
+  bus.Unregister(1);
+  EXPECT_FALSE(bus.Send(9, 1, std::make_shared<TestMessage>(1), 0).ok());
+}
+
+TEST(NotificationBusTest, ArrivalTimeIncludesHopCost) {
+  CostModelOptions opts;
+  opts.message_base = 10 * kVMillisecond;
+  opts.network_bandwidth_bps = 1'000'000;  // 1 MB/s
+  NotificationBus bus{CostModel(opts)};
+  Inbox a;
+  bus.Register(1, &a);
+  // 1000 bytes at 1 MB/s = 1 virtual ms extra.
+  ASSERT_TRUE(bus.Send(9, 1, std::make_shared<TestMessage>(1, 1000), 500).ok());
+  auto env = a.Poll();
+  EXPECT_EQ(env->sent_at, 500);
+  EXPECT_EQ(env->arrives_at, 500 + 11 * kVMillisecond);
+  EXPECT_EQ(env->wire_bytes, 1000u);
+}
+
+TEST(NotificationBusTest, CountersAccumulate) {
+  NotificationBus bus;
+  Inbox a;
+  bus.Register(1, &a);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(bus.Send(9, 1, std::make_shared<TestMessage>(i, 50), 0).ok());
+  }
+  EXPECT_EQ(bus.messages_sent(), 3u);
+  EXPECT_EQ(bus.bytes_sent(), 150u);
+  bus.ResetCounters();
+  EXPECT_EQ(bus.messages_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace idba

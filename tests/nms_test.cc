@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/monitor.h"
+#include "nms/operators.h"
+
+namespace idba {
+namespace {
+
+class NmsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    config_.num_nodes = 10;
+    config_.avg_degree = 3.0;
+    config_.sites = 2;
+    config_.buildings_per_site = 1;
+    config_.racks_per_building = 1;
+    config_.devices_per_rack = 2;
+    config_.cards_per_device = 1;
+    config_.ports_per_card = 2;
+    db_ = PopulateNms(&deployment_->server(), config_).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsConfig config_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+TEST_F(NmsTest, PopulationCountsMatchConfig) {
+  EXPECT_EQ(db_.node_oids.size(), 10u);
+  EXPECT_GE(db_.link_oids.size(), 10u);  // ring at minimum
+  EXPECT_EQ(db_.site_oids.size(), 2u);
+  // sites*buildings*racks*devices = 2*1*1*2.
+  EXPECT_EQ(db_.device_oids.size(), 4u);
+  // root + 2 sites + 2 buildings + 2 racks + 4 devices + 4 cards + 8 ports.
+  EXPECT_EQ(db_.all_hardware_oids.size(), 23u);
+  EXPECT_EQ(deployment_->server().heap().object_count(),
+            10 + db_.link_oids.size() + 23);
+}
+
+TEST_F(NmsTest, LinksReferenceRealNodes) {
+  const SchemaCatalog& cat = deployment_->server().schema();
+  for (Oid oid : db_.link_oids) {
+    auto link = deployment_->server().heap().Read(oid);
+    ASSERT_TRUE(link.ok());
+    Oid from = link.value().GetByName(cat, "From").value().AsOid();
+    Oid to = link.value().GetByName(cat, "To").value().AsOid();
+    EXPECT_TRUE(deployment_->server().heap().Contains(from));
+    EXPECT_TRUE(deployment_->server().heap().Contains(to));
+    double u = link.value().GetByName(cat, "Utilization").value().AsDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST_F(NmsTest, HardwareHierarchyIsWellFormed) {
+  const SchemaCatalog& cat = deployment_->server().schema();
+  size_t children_sum = 0;
+  for (Oid oid : db_.all_hardware_oids) {
+    auto comp = deployment_->server().heap().Read(oid);
+    ASSERT_TRUE(comp.ok());
+    Oid parent = comp.value().GetByName(cat, "Parent").value().AsOid();
+    if (oid != db_.hardware_root) {
+      EXPECT_TRUE(deployment_->server().heap().Contains(parent));
+    }
+    children_sum +=
+        comp.value().GetByName(cat, "Children").value().AsOidList().size();
+  }
+  // Every non-root component is someone's child exactly once.
+  EXPECT_EQ(children_sum, db_.all_hardware_oids.size() - 1);
+}
+
+TEST_F(NmsTest, WideSchemaMakesDbObjectsMuchBiggerThanDisplayObjects) {
+  // The structural root of §4.3's 3-5x cache-size observation.
+  auto link = deployment_->server().heap().Read(db_.link_oids[0]).value();
+  auto session = deployment_->NewSession(100);
+  ActiveView* view = session->CreateView("v");
+  auto dob = view->Materialize(
+      deployment_->display_schema().Find(dcs_.color_coded_link),
+      {db_.link_oids[0]});
+  ASSERT_TRUE(dob.ok());
+  EXPECT_GT(link.MemoryBytes(), 2 * dob.value()->MemoryBytes());
+}
+
+TEST_F(NmsTest, MonitorStepUpdatesUtilization) {
+  auto session = deployment_->NewSession(50);
+  MonitorOptions opts;
+  opts.updates_per_step = 3;
+  MonitorProcess monitor(&session->client(), &db_, opts);
+  auto touched = monitor.StepOnce();
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(touched.value().size(), 3u);
+  EXPECT_EQ(monitor.updates_committed(), 3u);
+  for (Oid oid : touched.value()) {
+    auto obj = deployment_->server().heap().Read(oid);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_GE(obj.value().version(), 2u);  // insert + update
+  }
+}
+
+TEST_F(NmsTest, MonitorIsDeterministicForSeed) {
+  auto s1 = deployment_->NewSession(50);
+  auto s2 = deployment_->NewSession(51);
+  MonitorProcess m1(&s1->client(), &db_, MonitorOptions{.seed = 9});
+  MonitorProcess m2(&s2->client(), &db_, MonitorOptions{.seed = 9});
+  auto a = m1.StepOnce();
+  auto b = m2.StepOnce();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // same link selection
+}
+
+TEST_F(NmsTest, MonitorThreadedModeRuns) {
+  auto session = deployment_->NewSession(50);
+  MonitorOptions opts;
+  opts.interval_ms = 1;
+  MonitorProcess monitor(&session->client(), &db_, opts);
+  monitor.Start();
+  while (monitor.steps() < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  monitor.Stop();
+  EXPECT_GE(monitor.steps(), 5u);
+}
+
+TEST_F(NmsTest, OperatorMonitorsAndUpdates) {
+  auto op = OperatorSession::Create(deployment_.get(), 100, &db_, &dcs_,
+                                    OperatorOptions{.update_probability = 0.5,
+                                                    .view_size = 5});
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op.value()->view()->size(), 5u);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(op.value()->StepOnce().ok());
+  }
+  EXPECT_GT(op.value()->monitor_actions(), 0u);
+  EXPECT_GT(op.value()->updates_committed(), 0u);
+}
+
+TEST_F(NmsTest, OperatorSeesMonitorUpdatesOnItsDisplay) {
+  auto op = OperatorSession::Create(deployment_.get(), 100, &db_, &dcs_,
+                                    OperatorOptions{.update_probability = 0.0})
+                .value();
+  auto msession = deployment_->NewSession(50);
+  MonitorProcess monitor(&msession->client(), &db_,
+                         MonitorOptions{.updates_per_step = 5});
+  ASSERT_TRUE(monitor.StepOnce().ok());
+  ASSERT_TRUE(op->StepOnce().ok());  // pumps notifications first
+  EXPECT_GE(op->view()->refreshes(), 1u);
+}
+
+TEST_F(NmsTest, RepeatedPopulationReusesSchema) {
+  auto db2 = PopulateNms(&deployment_->server(), config_);
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ(db2.value().schema.link, db_.schema.link);
+  // No duplicate classes appeared.
+  EXPECT_EQ(deployment_->server().schema().class_count(), 9u);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,111 @@
+#include "core/notification.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+DatabaseObject MakeImage(uint64_t oid) {
+  DatabaseObject obj(Oid(oid), 3, 2);
+  obj.Set(0, Value(0.7));
+  obj.Set(1, Value("name-" + std::to_string(oid)));
+  obj.set_version(4);
+  return obj;
+}
+
+TEST(NotificationTest, UpdateNotifyRoundTripLazy) {
+  UpdateNotifyMessage msg;
+  msg.txn = 12;
+  msg.commit_vtime = 5 * kVSecond;
+  msg.committed = true;
+  msg.updated = {Oid(1), Oid(2), Oid(3)};
+  msg.erased = {Oid(9)};
+
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  msg.EncodeTo(&enc);
+  Decoder dec(buf);
+  UpdateNotifyMessage out;
+  ASSERT_TRUE(UpdateNotifyMessage::DecodeFrom(&dec, &out).ok());
+  EXPECT_EQ(out.txn, 12u);
+  EXPECT_EQ(out.commit_vtime, 5 * kVSecond);
+  EXPECT_TRUE(out.committed);
+  EXPECT_EQ(out.updated, msg.updated);
+  EXPECT_EQ(out.erased, msg.erased);
+  EXPECT_TRUE(out.images.empty());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(NotificationTest, UpdateNotifyRoundTripEager) {
+  UpdateNotifyMessage msg;
+  msg.txn = 7;
+  msg.updated = {Oid(5), Oid(6)};
+  msg.images = {MakeImage(5), MakeImage(6)};
+  msg.committed = false;  // an abort resolution
+
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  msg.EncodeTo(&enc);
+  Decoder dec(buf);
+  UpdateNotifyMessage out;
+  ASSERT_TRUE(UpdateNotifyMessage::DecodeFrom(&dec, &out).ok());
+  EXPECT_FALSE(out.committed);
+  ASSERT_EQ(out.images.size(), 2u);
+  EXPECT_EQ(out.images[0], msg.images[0]);
+  EXPECT_EQ(out.images[1], msg.images[1]);
+}
+
+TEST(NotificationTest, WireBytesBoundsEncodedSize) {
+  UpdateNotifyMessage msg;
+  msg.txn = 1;
+  msg.updated = {Oid(1), Oid(2), Oid(3), Oid(4)};
+  msg.erased = {Oid(5)};
+  msg.images = {MakeImage(1), MakeImage(2)};
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  msg.EncodeTo(&enc);
+  // WireBytes is the cost-accounting estimate; it must bound the real
+  // encoding and not exceed it by more than the fixed header slack.
+  EXPECT_GE(msg.WireBytes(), buf.size());
+  EXPECT_LE(msg.WireBytes(), buf.size() + 64);
+}
+
+TEST(NotificationTest, IntentNotifyRoundTrip) {
+  IntentNotifyMessage msg;
+  msg.txn = 99;
+  msg.intent_vtime = 1234;
+  msg.oids = {Oid(10), Oid(20)};
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  msg.EncodeTo(&enc);
+  EXPECT_GE(msg.WireBytes(), buf.size());
+
+  Decoder dec(buf);
+  IntentNotifyMessage out;
+  ASSERT_TRUE(IntentNotifyMessage::DecodeFrom(&dec, &out).ok());
+  EXPECT_EQ(out.txn, 99u);
+  EXPECT_EQ(out.intent_vtime, 1234);
+  EXPECT_EQ(out.oids, msg.oids);
+}
+
+TEST(NotificationTest, DecodeTruncatedIsCorruption) {
+  UpdateNotifyMessage msg;
+  msg.txn = 1;
+  msg.updated = {Oid(1)};
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  msg.EncodeTo(&enc);
+  buf.resize(buf.size() / 2);
+  Decoder dec(buf);
+  UpdateNotifyMessage out;
+  EXPECT_EQ(UpdateNotifyMessage::DecodeFrom(&dec, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NotificationTest, MessageNamesStable) {
+  EXPECT_EQ(UpdateNotifyMessage().name(), "UpdateNotify");
+  EXPECT_EQ(IntentNotifyMessage().name(), "IntentNotify");
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,122 @@
+#include "core/observer_compat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+using observer_compat::ObCommMode;
+using observer_compat::ObLockType;
+using observer_compat::ObServerClient;
+
+class ObServerCompatTest : public ::testing::Test {
+ protected:
+  void Init(NotifyProtocol protocol) {
+    DeploymentOptions opts;
+    opts.dlm.protocol = protocol;
+    deployment_ = std::make_unique<Deployment>(opts);
+    NmsConfig config;
+    config.num_nodes = 4;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+};
+
+TEST_F(ObServerCompatTest, ProtocolMapping) {
+  EXPECT_EQ(observer_compat::RequiredProtocol(ObCommMode::kUNotify),
+            NotifyProtocol::kPostCommit);
+  EXPECT_EQ(observer_compat::RequiredProtocol(ObCommMode::kWNotify),
+            NotifyProtocol::kEarlyNotify);
+  EXPECT_TRUE(observer_compat::ProtocolServes(NotifyProtocol::kPostCommit,
+                                              ObCommMode::kUNotify));
+  EXPECT_TRUE(observer_compat::ProtocolServes(NotifyProtocol::kEarlyNotify,
+                                              ObCommMode::kUNotify));
+  EXPECT_FALSE(observer_compat::ProtocolServes(NotifyProtocol::kPostCommit,
+                                               ObCommMode::kWNotify));
+  EXPECT_TRUE(observer_compat::ProtocolServes(NotifyProtocol::kEarlyNotify,
+                                              ObCommMode::kWNotify));
+}
+
+TEST_F(ObServerCompatTest, NrReadLockNeverBlocksWriters) {
+  Init(NotifyProtocol::kPostCommit);
+  ObServerClient ob(&deployment_->dlm(), 100, ObCommMode::kUNotify);
+  Oid oid = db_.link_oids[0];
+  ASSERT_TRUE(ob.SetLock(oid, ObLockType::kNrRead).ok());
+  EXPECT_EQ(deployment_->dlm().holder_count(oid), 1u);
+
+  // Another transaction can still write the object (the NR-READ promise).
+  auto writer = deployment_->NewSession(101);
+  const SchemaCatalog& cat = writer->client().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, oid).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.5)).ok());
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  EXPECT_TRUE(writer->client().Commit(t).ok());
+
+  ASSERT_TRUE(ob.ReleaseLock(oid).ok());
+  EXPECT_EQ(deployment_->dlm().holder_count(oid), 0u);
+}
+
+TEST_F(ObServerCompatTest, UNotifyDeliversUpdateNotifications) {
+  Init(NotifyProtocol::kPostCommit);
+  // An ObServer-style holder registered through a real session (so the
+  // notification has an inbox to land in).
+  auto holder_session = deployment_->NewSession(100);
+  ObServerClient ob(&deployment_->dlm(), 100, ObCommMode::kUNotify);
+  Oid oid = db_.link_oids[0];
+  ASSERT_TRUE(ob.SetLock(oid, ObLockType::kNrRead).ok());
+
+  auto writer = deployment_->NewSession(101);
+  const SchemaCatalog& cat = writer->client().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, oid).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.9)).ok());
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  ASSERT_TRUE(writer->client().Commit(t).ok());
+
+  EXPECT_EQ(holder_session->client().inbox().pending(), 1u);
+}
+
+TEST_F(ObServerCompatTest, WNotifyRequiresEarlyNotifyDlm) {
+  Init(NotifyProtocol::kPostCommit);
+  ObServerClient ob(&deployment_->dlm(), 100, ObCommMode::kWNotify);
+  EXPECT_EQ(ob.SetLock(db_.link_oids[0], ObLockType::kNrRead).code(),
+            StatusCode::kNotSupported);
+
+  Init(NotifyProtocol::kEarlyNotify);
+  ObServerClient ob2(&deployment_->dlm(), 100, ObCommMode::kWNotify);
+  EXPECT_TRUE(ob2.SetLock(db_.link_oids[0], ObLockType::kNrRead).ok());
+}
+
+TEST_F(ObServerCompatTest, WNotifyDeliversIntentNotifications) {
+  Init(NotifyProtocol::kEarlyNotify);
+  auto holder_session = deployment_->NewSession(100);
+  ObServerClient ob(&deployment_->dlm(), 100, ObCommMode::kWNotify);
+  Oid oid = db_.link_oids[0];
+  ASSERT_TRUE(ob.SetLock(oid, ObLockType::kNrRead).ok());
+
+  auto writer = deployment_->NewSession(101);
+  const SchemaCatalog& cat = writer->client().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, oid).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.9)).ok());
+  // W-NOTIFY: the notification fires at the write-lock REQUEST...
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  EXPECT_GE(holder_session->client().inbox().pending(), 1u);
+  size_t after_intent = holder_session->client().inbox().pending();
+  // ...and the commit resolution follows.
+  ASSERT_TRUE(writer->client().Commit(t).ok());
+  EXPECT_GT(holder_session->client().inbox().pending(), after_intent);
+}
+
+}  // namespace
+}  // namespace idba

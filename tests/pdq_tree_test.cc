@@ -1,0 +1,139 @@
+#include "viz/pdq_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+PdqNode Node(const std::string& label, double util,
+             std::vector<PdqNode> children = {}) {
+  PdqNode n;
+  n.label = label;
+  n.attributes["Utilization"] = util;
+  n.children = std::move(children);
+  return n;
+}
+
+PdqNode SampleTree() {
+  // root(0.5) -> {siteA(0.2) -> {dev1(0.9), dev2(0.1)}, siteB(0.8) -> {dev3(0.5)}}
+  return Node("root", 0.5,
+              {Node("siteA", 0.2, {Node("dev1", 0.9), Node("dev2", 0.1)}),
+               Node("siteB", 0.8, {Node("dev3", 0.5)})});
+}
+
+TEST(PdqTreeTest, NoQueriesShowsEverything) {
+  auto layout = LayoutPdqTree(SampleTree(), {});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout.value().visible_count, 6u);
+  EXPECT_EQ(layout.value().pruned_count, 0u);
+  EXPECT_EQ(layout.value().nodes.size(), 6u);
+}
+
+TEST(PdqTreeTest, LevelsMapToXCoordinates) {
+  PdqOptions opts;
+  opts.level_spacing = 10;
+  auto layout = LayoutPdqTree(SampleTree(), {}, opts).value();
+  for (const auto& n : layout.nodes) {
+    EXPECT_DOUBLE_EQ(n.position.x, n.level * 10.0);
+  }
+  EXPECT_EQ(layout.nodes[0].level, 0);
+  EXPECT_EQ(layout.nodes[0].parent_index, -1);
+}
+
+TEST(PdqTreeTest, QueryPrunesSubtrees) {
+  // Keep only devices (level 2) with utilization >= 0.5.
+  DynamicQuery q{2, "Utilization", 0.5, 1.0};
+  auto layout = LayoutPdqTree(SampleTree(), {q}).value();
+  // dev2 (0.1) pruned; everything else stays.
+  EXPECT_EQ(layout.visible_count, 5u);
+  EXPECT_EQ(layout.pruned_count, 1u);
+  for (const auto& n : layout.nodes) EXPECT_NE(n.label, "dev2");
+}
+
+TEST(PdqTreeTest, PruningAnInteriorNodePrunesItsSubtree) {
+  // Level-1 filter rejecting siteB (0.8 > 0.5) removes dev3 too.
+  DynamicQuery q{1, "Utilization", 0.0, 0.5};
+  auto layout = LayoutPdqTree(SampleTree(), {q}).value();
+  EXPECT_EQ(layout.pruned_count, 2u);  // siteB + dev3
+  for (const auto& n : layout.nodes) {
+    EXPECT_NE(n.label, "siteB");
+    EXPECT_NE(n.label, "dev3");
+  }
+}
+
+TEST(PdqTreeTest, AllLevelsQueryAppliesEverywhere) {
+  DynamicQuery q{DynamicQuery::kAllLevels, "Utilization", 0.0, 0.6};
+  auto layout = LayoutPdqTree(SampleTree(), {q}).value();
+  // dev1 (0.9) and siteB (0.8, + its subtree dev3) pruned.
+  EXPECT_EQ(layout.visible_count, 3u);
+  EXPECT_EQ(layout.pruned_count, 3u);
+}
+
+TEST(PdqTreeTest, UnknownAttributeMatchesEverything) {
+  DynamicQuery q{DynamicQuery::kAllLevels, "NoSuchAttr", 0.0, 0.0};
+  auto layout = LayoutPdqTree(SampleTree(), {q}).value();
+  EXPECT_EQ(layout.visible_count, 6u);
+}
+
+TEST(PdqTreeTest, RootPrunedYieldsEmptyLayout) {
+  DynamicQuery q{0, "Utilization", 0.9, 1.0};  // root has 0.5
+  auto layout = LayoutPdqTree(SampleTree(), {q}).value();
+  EXPECT_EQ(layout.visible_count, 0u);
+  EXPECT_TRUE(layout.nodes.empty());
+}
+
+TEST(PdqTreeTest, InvalidRangeRejected) {
+  DynamicQuery q{0, "Utilization", 0.9, 0.1};
+  EXPECT_EQ(LayoutPdqTree(SampleTree(), {q}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PdqTreeTest, ParentsCenteredOverChildren) {
+  auto layout = LayoutPdqTree(SampleTree(), {}).value();
+  // Locate root and its children.
+  double root_y = 0, site_a_y = 0, site_b_y = 0;
+  for (const auto& n : layout.nodes) {
+    if (n.label == "root") root_y = n.position.y;
+    if (n.label == "siteA") site_a_y = n.position.y;
+    if (n.label == "siteB") site_b_y = n.position.y;
+  }
+  EXPECT_NEAR(root_y, (site_a_y + site_b_y) / 2, 1e-9);
+}
+
+TEST(PdqTreeTest, LeavesGetDistinctRows) {
+  PdqOptions opts;
+  opts.row_spacing = 3.0;
+  auto layout = LayoutPdqTree(SampleTree(), {}, opts).value();
+  std::vector<double> leaf_ys;
+  for (const auto& n : layout.nodes) {
+    if (n.label.rfind("dev", 0) == 0) leaf_ys.push_back(n.position.y);
+  }
+  ASSERT_EQ(leaf_ys.size(), 3u);
+  std::sort(leaf_ys.begin(), leaf_ys.end());
+  EXPECT_DOUBLE_EQ(leaf_ys[1] - leaf_ys[0], 3.0);
+  EXPECT_DOUBLE_EQ(leaf_ys[2] - leaf_ys[1], 3.0);
+  EXPECT_DOUBLE_EQ(layout.height, 9.0);
+}
+
+TEST(PdqTreeTest, TotalCountCountsSubtree) {
+  EXPECT_EQ(SampleTree().TotalCount(), 6u);
+  EXPECT_EQ(Node("leaf", 0).TotalCount(), 1u);
+}
+
+TEST(PdqTreeTest, MultipleQueriesIntersect) {
+  // Devices must have util in [0.4, 1.0] AND [0.0, 0.6] -> only dev3 (0.5).
+  DynamicQuery q1{2, "Utilization", 0.4, 1.0};
+  DynamicQuery q2{2, "Utilization", 0.0, 0.6};
+  auto layout = LayoutPdqTree(SampleTree(), {q1, q2}).value();
+  int devices = 0;
+  for (const auto& n : layout.nodes) {
+    if (n.label.rfind("dev", 0) == 0) {
+      ++devices;
+      EXPECT_EQ(n.label, "dev3");
+    }
+  }
+  EXPECT_EQ(devices, 1);
+}
+
+}  // namespace
+}  // namespace idba

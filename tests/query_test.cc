@@ -1,0 +1,181 @@
+#include "objectmodel/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() {
+    cls_ = catalog_.DefineClass("Link").value();
+    EXPECT_TRUE(catalog_.AddAttribute(cls_, "Utilization", ValueType::kDouble).ok());
+    EXPECT_TRUE(catalog_.AddAttribute(cls_, "Hops", ValueType::kInt).ok());
+    EXPECT_TRUE(catalog_.AddAttribute(cls_, "Name", ValueType::kString).ok());
+    EXPECT_TRUE(catalog_.AddAttribute(cls_, "From", ValueType::kOid).ok());
+    obj_ = DatabaseObject(Oid(1), cls_, 4);
+    obj_.Set(0, Value(0.5));
+    obj_.Set(1, Value(int64_t(3)));
+    obj_.Set(2, Value("uplink"));
+    obj_.Set(3, Value(Oid(42)));
+  }
+  bool M(const std::string& attr, CompareOp op, Value v) {
+    return AttrPredicate{attr, op, std::move(v)}.Matches(catalog_, obj_);
+  }
+
+  SchemaCatalog catalog_;
+  ClassId cls_;
+  DatabaseObject obj_;
+};
+
+TEST_F(PredicateTest, NumericComparisonsWiden) {
+  EXPECT_TRUE(M("Utilization", CompareOp::kGt, Value(0.4)));
+  EXPECT_FALSE(M("Utilization", CompareOp::kGt, Value(0.5)));
+  EXPECT_TRUE(M("Utilization", CompareOp::kGe, Value(0.5)));
+  // Int attribute compared against a double value — widened.
+  EXPECT_TRUE(M("Hops", CompareOp::kLe, Value(3.5)));
+  EXPECT_TRUE(M("Hops", CompareOp::kEq, Value(int64_t(3))));
+  EXPECT_TRUE(M("Hops", CompareOp::kNe, Value(int64_t(4))));
+  EXPECT_FALSE(M("Hops", CompareOp::kLt, Value(int64_t(3))));
+}
+
+TEST_F(PredicateTest, StringComparisonsAreLexicographic) {
+  EXPECT_TRUE(M("Name", CompareOp::kEq, Value("uplink")));
+  EXPECT_TRUE(M("Name", CompareOp::kGt, Value("alpha")));
+  EXPECT_FALSE(M("Name", CompareOp::kLt, Value("alpha")));
+}
+
+TEST_F(PredicateTest, OidSupportsEqualityOnly) {
+  EXPECT_TRUE(M("From", CompareOp::kEq, Value(Oid(42))));
+  EXPECT_TRUE(M("From", CompareOp::kNe, Value(Oid(7))));
+  EXPECT_FALSE(M("From", CompareOp::kLt, Value(Oid(99))));
+}
+
+TEST_F(PredicateTest, UnknownAttributeNeverMatches) {
+  EXPECT_FALSE(M("Nope", CompareOp::kEq, Value(1)));
+}
+
+TEST_F(PredicateTest, ConjunctionSemantics) {
+  ObjectQuery q;
+  q.cls = cls_;
+  q.conjuncts = {{"Utilization", CompareOp::kGe, Value(0.4)},
+                 {"Hops", CompareOp::kLt, Value(int64_t(10))}};
+  EXPECT_TRUE(q.Matches(catalog_, obj_));
+  q.conjuncts.push_back({"Name", CompareOp::kEq, Value("other")});
+  EXPECT_FALSE(q.Matches(catalog_, obj_));
+  ObjectQuery empty;
+  empty.cls = cls_;
+  EXPECT_TRUE(empty.Matches(catalog_, obj_));  // no conjuncts: match all
+}
+
+TEST_F(PredicateTest, WireBytesGrowsWithConjuncts) {
+  ObjectQuery q;
+  q.cls = cls_;
+  size_t base = q.WireBytes();
+  q.conjuncts.push_back({"Utilization", CompareOp::kGe, Value(0.4)});
+  EXPECT_GT(q.WireBytes(), base);
+}
+
+// --- End-to-end query execution ------------------------------------------
+
+class QueryExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 12;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+TEST_F(QueryExecutionTest, ServerFiltersBeforeShipping) {
+  auto session = deployment_->NewSession(100);
+  ObjectQuery q;
+  q.cls = db_.schema.link;
+  q.conjuncts = {{"Utilization", CompareOp::kGe, Value(0.5)}};
+  auto hot = session->client().RunQuery(q);
+  ASSERT_TRUE(hot.ok());
+  const SchemaCatalog& cat = deployment_->server().schema();
+  size_t expected = 0;
+  for (Oid oid : db_.link_oids) {
+    auto link = deployment_->server().heap().Read(oid).value();
+    if (link.GetByName(cat, "Utilization").value().AsNumber() >= 0.5) ++expected;
+  }
+  EXPECT_EQ(hot.value().size(), expected);
+  EXPECT_GT(expected, 0u);
+  EXPECT_LT(expected, db_.link_oids.size());
+  // Only matches entered the client cache.
+  EXPECT_EQ(session->client().cache().entry_count(), expected);
+}
+
+TEST_F(QueryExecutionTest, SubclassQueriesCoverHierarchy) {
+  auto session = deployment_->NewSession(100);
+  ObjectQuery q;
+  q.cls = db_.schema.hardware_component;
+  q.include_subclasses = true;
+  q.conjuncts = {{"Status", CompareOp::kEq, Value(int64_t(1))}};
+  auto up = session->client().RunQuery(q);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up.value().size(), db_.all_hardware_oids.size());
+}
+
+TEST_F(QueryExecutionTest, ViewPopulatedFromQueryTracksOnlyMatches) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* view = viewer->CreateView("hot-links");
+  ObjectQuery q;
+  q.cls = db_.schema.link;
+  q.conjuncts = {{"Utilization", CompareOp::kGe, Value(0.5)}};
+  auto dobs = view->PopulateFromQuery(
+      deployment_->display_schema().Find(dcs_.color_coded_link), q);
+  ASSERT_TRUE(dobs.ok());
+  ASSERT_GT(dobs.value().size(), 0u);
+  // Display locks held exactly on the matches.
+  size_t locked = 0;
+  for (Oid oid : db_.link_oids) {
+    locked += deployment_->dlm().holder_count(oid);
+  }
+  EXPECT_EQ(locked, dobs.value().size());
+
+  // An update to a displayed link refreshes; to a non-displayed one, no
+  // notification at all.
+  const SchemaCatalog& cat = deployment_->server().schema();
+  Oid shown = dobs.value()[0]->sources()[0];
+  Oid hidden = kNullOid;
+  for (Oid oid : db_.link_oids) {
+    if (deployment_->dlm().holder_count(oid) == 0) hidden = oid;
+  }
+  ASSERT_FALSE(hidden.IsNull());
+  for (Oid target : {shown, hidden}) {
+    TxnId t = writer->client().Begin();
+    DatabaseObject link = writer->client().Read(t, target).value();
+    ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.99)).ok());
+    ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+    ASSERT_TRUE(writer->client().Commit(t).ok());
+  }
+  EXPECT_EQ(viewer->client().inbox().pending(), 1u);  // only `shown`
+  viewer->PumpOnce();
+  EXPECT_EQ(view->refreshes(), 1u);
+}
+
+TEST_F(QueryExecutionTest, QueryChargesVirtualTime) {
+  auto session = deployment_->NewSession(100);
+  VTime before = session->client().clock().Now();
+  ObjectQuery q;
+  q.cls = db_.schema.link;
+  ASSERT_TRUE(session->client().RunQuery(q).ok());
+  EXPECT_GT(session->client().clock().Now(), before);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,130 @@
+// Crash-point property test: for every prefix of a random committed
+// workload, crashing immediately after commit k and recovering must yield
+// exactly the model state after k commits — regardless of which data pages
+// happened to be flushed before the crash.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "txn/recovery.h"
+#include "txn/txn_manager.h"
+
+namespace idba {
+namespace {
+
+DatabaseObject MakeObj(Oid oid, const std::string& payload) {
+  DatabaseObject obj(oid, 1, 1);
+  obj.Set(0, Value(payload));
+  return obj;
+}
+
+struct ModelState {
+  std::map<uint64_t, std::string> objects;  // oid -> payload
+};
+
+TEST(RecoveryPropertyTest, EveryCrashPointRecoversToModelPrefix) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    MemDisk data_disk, wal_disk;
+    BufferPool pool(&data_disk, {.frame_count = 8});  // tiny: forces evictions
+    auto heap = std::move(HeapStore::Open(&pool, 0).value());
+    Wal wal(&wal_disk);
+    TxnManager mgr(heap.get(), &wal);
+
+    constexpr int kCommits = 40;
+    ModelState model;
+    // Snapshots of (disks, model, heap pages) after each commit.
+    struct CrashPoint {
+      std::unique_ptr<MemDisk> data;
+      std::unique_ptr<MemDisk> wal;
+      PageId data_pages;
+      ModelState model;
+    };
+    std::vector<CrashPoint> points;
+
+    for (int k = 0; k < kCommits; ++k) {
+      TxnId t = mgr.Begin();
+      int ops = 1 + static_cast<int>(rng.NextBelow(3));
+      ModelState next = model;
+      bool ok = true;
+      for (int op = 0; op < ops && ok; ++op) {
+        double dice = rng.NextDouble();
+        if (dice < 0.5 || next.objects.empty()) {
+          Oid oid = mgr.AllocateOid();
+          std::string payload(1 + rng.NextBelow(200), 'a' + static_cast<char>(rng.NextBelow(26)));
+          ASSERT_TRUE(mgr.Insert(t, MakeObj(oid, payload)).ok());
+          next.objects[oid.value] = payload;
+        } else if (dice < 0.8) {
+          auto it = next.objects.begin();
+          std::advance(it, rng.NextBelow(next.objects.size()));
+          std::string payload(1 + rng.NextBelow(300), 'U');
+          ASSERT_TRUE(mgr.Put(t, MakeObj(Oid(it->first), payload)).ok());
+          it->second = payload;
+        } else {
+          auto it = next.objects.begin();
+          std::advance(it, rng.NextBelow(next.objects.size()));
+          ASSERT_TRUE(mgr.Erase(t, Oid(it->first)).ok());
+          next.objects.erase(it);
+        }
+      }
+      // Some transactions abort: model unchanged.
+      if (rng.NextBool(0.2)) {
+        ASSERT_TRUE(mgr.Abort(t).ok());
+      } else {
+        ASSERT_TRUE(mgr.Commit(t).ok());
+        model = std::move(next);
+      }
+      // Randomly flush some dirty pages (vary what the crash preserves).
+      if (rng.NextBool(0.3)) ASSERT_TRUE(pool.FlushAll().ok());
+      points.push_back(CrashPoint{data_disk.Clone(), wal_disk.Clone(),
+                                  heap->data_page_count(), model});
+    }
+
+    // Crash + recover at a sample of points (every 5th to keep it fast).
+    for (size_t k = 0; k < points.size(); k += 5) {
+      const CrashPoint& cp = points[k];
+      BufferPool rpool(cp.data.get(), {.frame_count = 32});
+      auto rheap = HeapStore::Open(&rpool, cp.data_pages);
+      ASSERT_TRUE(rheap.ok());
+      auto stats = RecoverFromWal(cp.wal.get(), rheap.value().get());
+      ASSERT_TRUE(stats.ok()) << "seed " << seed << " crash point " << k;
+
+      // Recovered state must equal the model exactly.
+      EXPECT_EQ(rheap.value()->object_count(), cp.model.objects.size())
+          << "seed " << seed << " crash point " << k;
+      for (const auto& [oid, payload] : cp.model.objects) {
+        auto obj = rheap.value()->Read(Oid(oid));
+        ASSERT_TRUE(obj.ok()) << "seed " << seed << " point " << k << " oid " << oid;
+        EXPECT_EQ(obj.value().Get(0), Value(payload));
+      }
+    }
+  }
+}
+
+TEST(RecoveryPropertyTest, RecoveryIsIdempotent) {
+  MemDisk data_disk, wal_disk;
+  BufferPool pool(&data_disk, {.frame_count = 16});
+  auto heap = std::move(HeapStore::Open(&pool, 0).value());
+  Wal wal(&wal_disk);
+  TxnManager mgr(heap.get(), &wal);
+  for (int i = 0; i < 10; ++i) {
+    TxnId t = mgr.Begin();
+    ASSERT_TRUE(mgr.Insert(t, MakeObj(mgr.AllocateOid(), "x")).ok());
+    ASSERT_TRUE(mgr.Commit(t).ok());
+  }
+  PageId pages = heap->data_page_count();
+  pool.DropAllNoFlush();
+  BufferPool rpool(&data_disk, {.frame_count = 16});
+  auto rheap = std::move(HeapStore::Open(&rpool, pages).value());
+  // Recover twice: second pass must be a no-op (versions already present).
+  ASSERT_TRUE(RecoverFromWal(&wal_disk, rheap.get()).ok());
+  auto second = RecoverFromWal(&wal_disk, rheap.get());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().redone_writes, 0u);
+  EXPECT_EQ(rheap->object_count(), 10u);
+}
+
+}  // namespace
+}  // namespace idba

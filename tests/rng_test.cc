@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(21);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.3);
+}
+
+TEST(RngTest, SplitIsIndependent) {
+  Rng a(77);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(3);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(3);
+  ZipfGenerator zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfTest, AllIndicesReachable) {
+  Rng rng(9);
+  ZipfGenerator zipf(4, 1.2);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 10000; ++i) seen[zipf.Next(rng)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,106 @@
+#include "objectmodel/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+TEST(SchemaTest, DefineAndFind) {
+  SchemaCatalog cat;
+  auto id = cat.DefineClass("Link");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cat.Find(*id)->name(), "Link");
+  EXPECT_EQ(cat.FindByName("Link")->id(), *id);
+  EXPECT_EQ(cat.Find(999), nullptr);
+  EXPECT_EQ(cat.FindByName("Nope"), nullptr);
+  EXPECT_EQ(cat.class_count(), 1u);
+}
+
+TEST(SchemaTest, DuplicateClassRejected) {
+  SchemaCatalog cat;
+  ASSERT_TRUE(cat.DefineClass("Link").ok());
+  EXPECT_EQ(cat.DefineClass("Link").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, UnknownBaseRejected) {
+  SchemaCatalog cat;
+  EXPECT_EQ(cat.DefineClass("Sub", 42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AttributesWithDefaults) {
+  SchemaCatalog cat;
+  ClassId link = cat.DefineClass("Link").value();
+  ASSERT_TRUE(cat.AddAttribute(link, "Utilization", ValueType::kDouble,
+                               Value(0.25)).ok());
+  auto attrs = cat.AllAttributes(link);
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0]->name, "Utilization");
+  EXPECT_EQ(attrs[0]->default_value, Value(0.25));
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  SchemaCatalog cat;
+  ClassId link = cat.DefineClass("Link").value();
+  ASSERT_TRUE(cat.AddAttribute(link, "Name", ValueType::kString).ok());
+  EXPECT_EQ(cat.AddAttribute(link, "Name", ValueType::kString).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, InheritanceConcatenatesBaseFirst) {
+  SchemaCatalog cat;
+  ClassId base = cat.DefineClass("Hardware").value();
+  ASSERT_TRUE(cat.AddAttribute(base, "Name", ValueType::kString).ok());
+  ASSERT_TRUE(cat.AddAttribute(base, "Status", ValueType::kInt).ok());
+  ClassId dev = cat.DefineClass("Device", base).value();
+  ASSERT_TRUE(cat.AddAttribute(dev, "IpAddress", ValueType::kString).ok());
+
+  auto attrs = cat.AllAttributes(dev);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0]->name, "Name");
+  EXPECT_EQ(attrs[1]->name, "Status");
+  EXPECT_EQ(attrs[2]->name, "IpAddress");
+
+  EXPECT_EQ(cat.ResolveAttribute(dev, "Status"), std::optional<size_t>(1));
+  EXPECT_EQ(cat.ResolveAttribute(dev, "IpAddress"), std::optional<size_t>(2));
+  EXPECT_EQ(cat.ResolveAttribute(base, "IpAddress"), std::nullopt);
+}
+
+TEST(SchemaTest, InheritedAttributeCollisionRejected) {
+  SchemaCatalog cat;
+  ClassId base = cat.DefineClass("Base").value();
+  ASSERT_TRUE(cat.AddAttribute(base, "Name", ValueType::kString).ok());
+  ClassId sub = cat.DefineClass("Sub", base).value();
+  EXPECT_EQ(cat.AddAttribute(sub, "Name", ValueType::kString).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, IsAWalksChain) {
+  SchemaCatalog cat;
+  ClassId a = cat.DefineClass("A").value();
+  ClassId b = cat.DefineClass("B", a).value();
+  ClassId c = cat.DefineClass("C", b).value();
+  ClassId other = cat.DefineClass("Other").value();
+  EXPECT_TRUE(cat.IsA(c, a));
+  EXPECT_TRUE(cat.IsA(c, b));
+  EXPECT_TRUE(cat.IsA(c, c));
+  EXPECT_FALSE(cat.IsA(a, c));
+  EXPECT_FALSE(cat.IsA(c, other));
+}
+
+TEST(SchemaTest, ThreeLevelInheritanceOrdering) {
+  SchemaCatalog cat;
+  ClassId a = cat.DefineClass("A").value();
+  ASSERT_TRUE(cat.AddAttribute(a, "x", ValueType::kInt).ok());
+  ClassId b = cat.DefineClass("B", a).value();
+  ASSERT_TRUE(cat.AddAttribute(b, "y", ValueType::kInt).ok());
+  ClassId c = cat.DefineClass("C", b).value();
+  ASSERT_TRUE(cat.AddAttribute(c, "z", ValueType::kInt).ok());
+  auto attrs = cat.AllAttributes(c);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0]->name, "x");
+  EXPECT_EQ(attrs[1]->name, "y");
+  EXPECT_EQ(attrs[2]->name, "z");
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,107 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 4;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+TEST_F(SessionTest, ViewLifecycle) {
+  auto session = deployment_->NewSession(100);
+  ActiveView* v = session->CreateView("main");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(session->FindView("main"), v);
+  EXPECT_EQ(session->FindView("other"), nullptr);
+  EXPECT_EQ(session->views().size(), 1u);
+  ASSERT_TRUE(session->CloseView("main").ok());
+  EXPECT_EQ(session->FindView("main"), nullptr);
+  EXPECT_EQ(session->CloseView("main").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, SessionTeardownReleasesDisplayLocks) {
+  {
+    auto session = deployment_->NewSession(100);
+    ActiveView* v = session->CreateView("main");
+    ASSERT_TRUE(
+        v->Materialize(deployment_->display_schema().Find(dcs_.color_coded_link),
+                       {db_.link_oids[0]})
+            .ok());
+    EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[0]), 1u);
+  }
+  EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[0]), 0u);
+}
+
+TEST_F(SessionTest, PumpThreadDeliversNotifications) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* view = viewer->CreateView("main");
+  Oid oid = db_.link_oids[0];
+  ASSERT_TRUE(
+      view->Materialize(deployment_->display_schema().Find(dcs_.color_coded_link),
+                        {oid})
+          .ok());
+  viewer->StartPump();
+
+  const SchemaCatalog& cat = writer->client().schema();
+  TxnId t = writer->client().Begin();
+  DatabaseObject link = writer->client().Read(t, oid).value();
+  ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(0.9)).ok());
+  ASSERT_TRUE(writer->client().Write(t, std::move(link)).ok());
+  ASSERT_TRUE(writer->client().Commit(t).ok());
+
+  // The pump thread should refresh the view without any explicit pump.
+  for (int i = 0; i < 100 && view->refreshes() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  viewer->StopPump();
+  EXPECT_EQ(view->refreshes(), 1u);
+}
+
+TEST_F(SessionTest, StartPumpIsIdempotent) {
+  auto session = deployment_->NewSession(100);
+  session->StartPump();
+  session->StartPump();
+  session->StopPump();
+  session->StopPump();
+}
+
+TEST_F(SessionTest, MultipleSessionsCoexist) {
+  auto s1 = deployment_->NewSession(100);
+  auto s2 = deployment_->NewSession(101);
+  auto s3 = deployment_->NewSession(102);
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  for (auto* s : {s1.get(), s2.get(), s3.get()}) {
+    ActiveView* v = s->CreateView("v");
+    ASSERT_TRUE(v->Materialize(dc, {db_.link_oids[0]}).ok());
+  }
+  EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[0]), 3u);
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,154 @@
+// Tests for two §3.1/§4.2 refinements: passive snapshots (the paper's
+// contrast to active views) and batched display-lock requests.
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+class SnapshotBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<Deployment>();
+    NmsConfig config;
+    config.num_nodes = 8;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    dcs_ = RegisterNmsDisplayClasses(&deployment_->display_schema(),
+                                     deployment_->server().schema(), db_.schema)
+               .value();
+  }
+
+  void UpdateLink(DatabaseClient* writer, Oid oid, double util) {
+    const SchemaCatalog& cat = writer->schema();
+    TxnId t = writer->Begin();
+    DatabaseObject link = writer->Read(t, oid).value();
+    ASSERT_TRUE(link.SetByName(cat, "Utilization", Value(util)).ok());
+    ASSERT_TRUE(writer->Write(t, std::move(link)).ok());
+    ASSERT_TRUE(writer->Commit(t).ok());
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  NmsDatabase db_;
+  NmsDisplayClasses dcs_;
+};
+
+// --- Passive snapshots ------------------------------------------------------
+
+TEST_F(SnapshotBatchTest, SnapshotTakesNoDisplayLocks) {
+  auto session = deployment_->NewSession(100);
+  ActiveView* snap = session->CreateView("snapshot", {.subscribe = false});
+  ASSERT_TRUE(
+      snap->PopulateFromClass(deployment_->display_schema().Find(dcs_.color_coded_link))
+          .ok());
+  EXPECT_FALSE(snap->subscribed());
+  EXPECT_EQ(deployment_->dlm().locked_object_count(), 0u);
+  EXPECT_EQ(session->dlc().remote_lock_requests(), 0u);
+}
+
+TEST_F(SnapshotBatchTest, SnapshotGoesStaleActiveViewDoesNot) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  const DisplayClassDef* dc =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ActiveView* active = viewer->CreateView("active");
+  ActiveView* snap = viewer->CreateView("snapshot", {.subscribe = false});
+  ASSERT_TRUE(active->Materialize(dc, {db_.link_oids[0]}).ok());
+  ASSERT_TRUE(snap->Materialize(dc, {db_.link_oids[0]}).ok());
+  EXPECT_EQ(active->CountStaleObjects(), 0u);
+  EXPECT_EQ(snap->CountStaleObjects(), 0u);
+
+  UpdateLink(&writer->client(), db_.link_oids[0], 0.99);
+  viewer->PumpOnce();
+  // The active view refreshed; the snapshot silently shows the old state
+  // — the paper's "passive snapshot" failure mode.
+  EXPECT_EQ(active->CountStaleObjects(), 0u);
+  EXPECT_EQ(active->refreshes(), 1u);
+  EXPECT_EQ(snap->CountStaleObjects(), 1u);
+  EXPECT_EQ(snap->refreshes(), 0u);
+}
+
+TEST_F(SnapshotBatchTest, SnapshotDismissAndCloseAreClean) {
+  auto session = deployment_->NewSession(100);
+  ActiveView* snap = session->CreateView("snapshot", {.subscribe = false});
+  auto dob = snap->Materialize(
+      deployment_->display_schema().Find(dcs_.color_coded_link),
+      {db_.link_oids[0]});
+  ASSERT_TRUE(dob.ok());
+  EXPECT_TRUE(snap->Dismiss(dob.value()->id()).ok());
+  snap->Close();
+  EXPECT_EQ(session->display_cache().object_count(), 0u);
+}
+
+// --- Batched display-lock requests ------------------------------------------
+
+TEST_F(SnapshotBatchTest, PopulateSendsOneLockMessageForWholeView) {
+  auto session = deployment_->NewSession(100);
+  ActiveView* view = session->CreateView("links");
+  ASSERT_TRUE(
+      view->PopulateFromClass(deployment_->display_schema().Find(dcs_.color_coded_link))
+          .ok());
+  // N objects displayed, ONE message to the DLM.
+  EXPECT_EQ(view->size(), db_.link_oids.size());
+  EXPECT_EQ(session->dlc().remote_lock_requests(), 1u);
+  EXPECT_EQ(deployment_->dlm().lock_requests(), 1u);
+  // All locks really registered.
+  for (Oid oid : db_.link_oids) {
+    EXPECT_EQ(deployment_->dlm().holder_count(oid), 1u);
+  }
+}
+
+TEST_F(SnapshotBatchTest, BatchedLocksStillNotify) {
+  auto viewer = deployment_->NewSession(100);
+  auto writer = deployment_->NewSession(101);
+  ActiveView* view = viewer->CreateView("links");
+  ASSERT_TRUE(
+      view->PopulateFromClass(deployment_->display_schema().Find(dcs_.color_coded_link))
+          .ok());
+  UpdateLink(&writer->client(), db_.link_oids[2], 0.77);
+  viewer->PumpOnce();
+  EXPECT_EQ(view->refreshes(), 1u);
+}
+
+TEST_F(SnapshotBatchTest, EmptyBatchIsFree) {
+  auto session = deployment_->NewSession(100);
+  session->dlc().BeginLockBatch();
+  ASSERT_TRUE(session->dlc().EndLockBatch().ok());
+  EXPECT_EQ(session->dlc().remote_lock_requests(), 0u);
+}
+
+TEST_F(SnapshotBatchTest, DlmBatchLockUnlockRoundTrip) {
+  std::vector<Oid> oids = {db_.link_oids[0], db_.link_oids[1], db_.link_oids[2]};
+  ASSERT_TRUE(deployment_->dlm().LockBatch(100, oids, 0).ok());
+  EXPECT_EQ(deployment_->dlm().lock_requests(), 1u);
+  for (Oid oid : oids) EXPECT_EQ(deployment_->dlm().holder_count(oid), 1u);
+  ASSERT_TRUE(deployment_->dlm().UnlockBatch(100, oids, 0).ok());
+  for (Oid oid : oids) EXPECT_EQ(deployment_->dlm().holder_count(oid), 0u);
+  EXPECT_EQ(deployment_->dlm().unlock_requests(), 1u);
+}
+
+TEST_F(SnapshotBatchTest, BatchWithMultipleViewsCoalescesPerClient) {
+  auto session = deployment_->NewSession(100);
+  const DisplayClassDef* color =
+      deployment_->display_schema().Find(dcs_.color_coded_link);
+  ActiveView* v1 = session->CreateView("a");
+  ActiveView* v2 = session->CreateView("b");
+  session->dlc().BeginLockBatch();
+  ASSERT_TRUE(v1->Materialize(color, {db_.link_oids[0]}).ok());
+  ASSERT_TRUE(v2->Materialize(color, {db_.link_oids[1]}).ok());
+  ASSERT_TRUE(session->dlc().EndLockBatch().ok());
+  // Hierarchical DLC: both views share the client's remote id -> 1 message.
+  EXPECT_EQ(session->dlc().remote_lock_requests(), 1u);
+  EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[0]), 1u);
+  EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[1]), 1u);
+}
+
+}  // namespace
+}  // namespace idba

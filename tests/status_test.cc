@@ -1,0 +1,111 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("object 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "object 42");
+  EXPECT_EQ(st.ToString(), "NotFound: object 42");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Deadlock("").code(), StatusCode::kDeadlock);
+  EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::TimedOut("").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Busy("").code(), StatusCode::kBusy);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_FALSE(Status::Busy("x").IsDeadlock());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Busy("later");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBusy());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  IDBA_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  IDBA_ASSIGN_OR_RETURN(int h, Half(x));
+  IDBA_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(MacroTest, AssignOrReturnChains) {
+  auto r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlock), "Deadlock");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+}  // namespace
+}  // namespace idba

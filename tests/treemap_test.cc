@@ -1,0 +1,201 @@
+#include "viz/treemap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace idba {
+namespace {
+
+TreemapNode Leaf(const std::string& label, double weight, uint64_t tag = 0) {
+  TreemapNode n;
+  n.label = label;
+  n.weight = weight;
+  n.tag = tag;
+  return n;
+}
+
+TreemapNode SampleTree() {
+  TreemapNode root;
+  root.label = "root";
+  TreemapNode a;
+  a.label = "a";
+  a.children = {Leaf("a1", 4, 1), Leaf("a2", 2, 2)};
+  TreemapNode b;
+  b.label = "b";
+  b.children = {Leaf("b1", 1, 3), Leaf("b2", 2, 4), Leaf("b3", 3, 5)};
+  root.children = {a, b};
+  return root;
+}
+
+class TreemapAlgorithms : public ::testing::TestWithParam<TreemapAlgorithm> {};
+
+TEST_P(TreemapAlgorithms, LeafAreasProportionalToWeights) {
+  TreemapNode root = SampleTree();
+  Rect bounds{0, 0, 120, 80};
+  TreemapOptions opts;
+  opts.algorithm = GetParam();
+  auto rects = LayoutTreemap(root, bounds, opts);
+  ASSERT_TRUE(rects.ok());
+  double total_weight = root.TotalWeight();
+  for (const auto& r : rects.value()) {
+    if (!r.leaf) continue;
+    double expected = bounds.area() * (r.weight / total_weight);
+    EXPECT_NEAR(r.rect.area(), expected, expected * 1e-6) << r.label;
+  }
+}
+
+TEST_P(TreemapAlgorithms, LeavesCoverBoundsWithoutOverlap) {
+  TreemapNode root = SampleTree();
+  Rect bounds{0, 0, 100, 100};
+  TreemapOptions opts;
+  opts.algorithm = GetParam();
+  auto rects = LayoutTreemap(root, bounds, opts).value();
+  double leaf_area = 0;
+  std::vector<Rect> leaves;
+  for (const auto& r : rects) {
+    if (!r.leaf) continue;
+    leaf_area += r.rect.area();
+    // Inside bounds.
+    EXPECT_GE(r.rect.x, bounds.x - 1e-9);
+    EXPECT_GE(r.rect.y, bounds.y - 1e-9);
+    EXPECT_LE(r.rect.right(), bounds.right() + 1e-9);
+    EXPECT_LE(r.rect.bottom(), bounds.bottom() + 1e-9);
+    leaves.push_back(r.rect);
+  }
+  EXPECT_NEAR(leaf_area, bounds.area(), 1e-6);
+  // Pairwise interiors disjoint (shrink slightly to dodge shared edges).
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      EXPECT_FALSE(leaves[i].Inset(1e-6).Intersects(leaves[j].Inset(1e-6)))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST_P(TreemapAlgorithms, PreOrderParentsBeforeChildren) {
+  TreemapNode root = SampleTree();
+  TreemapOptions opts;
+  opts.algorithm = GetParam();
+  auto rects = LayoutTreemap(root, {0, 0, 10, 10}, opts).value();
+  EXPECT_EQ(rects[0].label, "root");
+  EXPECT_EQ(rects[0].depth, 0);
+  // Every node count: 1 root + 2 interior + 5 leaves.
+  EXPECT_EQ(rects.size(), 8u);
+  std::map<int, int> by_depth;
+  for (const auto& r : rects) ++by_depth[r.depth];
+  EXPECT_EQ(by_depth[0], 1);
+  EXPECT_EQ(by_depth[1], 2);
+  EXPECT_EQ(by_depth[2], 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, TreemapAlgorithms,
+                         ::testing::Values(TreemapAlgorithm::kSliceAndDice,
+                                           TreemapAlgorithm::kSquarified));
+
+TEST(TreemapTest, SliceAndDiceAlternatesOrientation) {
+  // Root splits horizontally (children side by side), depth-1 splits
+  // vertically (children stacked) — the 1991 algorithm's signature.
+  TreemapNode root;
+  root.label = "r";
+  TreemapNode a;
+  a.label = "a";
+  a.children = {Leaf("a1", 1), Leaf("a2", 1)};
+  root.children = {a, Leaf("b", 2)};
+  auto rects = LayoutTreemap(root, {0, 0, 100, 100}, {}).value();
+  const TreemapRect *a1 = nullptr, *a2 = nullptr;
+  for (const auto& r : rects) {
+    if (r.label == "a1") a1 = &r;
+    if (r.label == "a2") a2 = &r;
+  }
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(a2, nullptr);
+  EXPECT_DOUBLE_EQ(a1->rect.x, a2->rect.x);   // stacked vertically
+  EXPECT_NE(a1->rect.y, a2->rect.y);
+}
+
+TEST(TreemapTest, SquarifiedImprovesAspectRatio) {
+  // Many equal leaves: slice-and-dice makes thin strips, squarified must
+  // produce a better (lower) worst aspect ratio.
+  TreemapNode root;
+  root.label = "r";
+  for (int i = 0; i < 16; ++i) root.children.push_back(Leaf("x", 1));
+  auto worst = [](const std::vector<TreemapRect>& rects) {
+    double w = 1;
+    for (const auto& r : rects) {
+      if (!r.leaf || r.rect.h <= 0 || r.rect.w <= 0) continue;
+      w = std::max(w, std::max(r.rect.w / r.rect.h, r.rect.h / r.rect.w));
+    }
+    return w;
+  };
+  TreemapOptions sd, sq;
+  sq.algorithm = TreemapAlgorithm::kSquarified;
+  double w_sd = worst(LayoutTreemap(root, {0, 0, 100, 100}, sd).value());
+  double w_sq = worst(LayoutTreemap(root, {0, 0, 100, 100}, sq).value());
+  EXPECT_GT(w_sd, 10.0);  // 16 thin strips
+  EXPECT_LT(w_sq, 3.0);   // near-square tiles
+}
+
+TEST(TreemapTest, NestingInsetShrinksChildren) {
+  TreemapNode root = SampleTree();
+  TreemapOptions opts;
+  opts.nesting_inset = 2.0;
+  auto rects = LayoutTreemap(root, {0, 0, 100, 100}, opts).value();
+  for (const auto& r : rects) {
+    if (r.depth == 1) {
+      EXPECT_GE(r.rect.x, 2.0 - 1e-9);
+      EXPECT_LE(r.rect.right(), 98.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TreemapTest, InvalidInputsRejected) {
+  TreemapNode root = SampleTree();
+  EXPECT_FALSE(LayoutTreemap(root, {0, 0, 0, 10}, {}).ok());
+  TreemapNode empty;
+  empty.label = "e";
+  EXPECT_FALSE(LayoutTreemap(empty, {0, 0, 10, 10}, {}).ok());
+}
+
+TEST(TreemapTest, ZeroWeightChildGetsZeroArea) {
+  TreemapNode root;
+  root.label = "r";
+  root.children = {Leaf("a", 0), Leaf("b", 5)};
+  auto rects = LayoutTreemap(root, {0, 0, 100, 100}, {}).value();
+  for (const auto& r : rects) {
+    if (r.label == "a") EXPECT_DOUBLE_EQ(r.rect.area(), 0.0);
+    if (r.label == "b") EXPECT_NEAR(r.rect.area(), 10000.0, 1e-6);
+  }
+}
+
+TEST(TreemapTest, TagsPropagate) {
+  TreemapNode root;
+  root.label = "r";
+  root.tag = 77;
+  root.children = {Leaf("a", 1, 42)};
+  auto rects = LayoutTreemap(root, {0, 0, 10, 10}, {}).value();
+  EXPECT_EQ(rects[0].tag, 77u);
+  EXPECT_EQ(rects[1].tag, 42u);
+}
+
+TEST(TreemapTest, DeepHierarchyLaysOut) {
+  TreemapNode node = Leaf("leaf", 3);
+  for (int d = 0; d < 10; ++d) {
+    TreemapNode parent;
+    parent.label = "d" + std::to_string(d);
+    parent.children = {node, Leaf("side" + std::to_string(d), 1)};
+    node = parent;
+  }
+  auto rects = LayoutTreemap(node, {0, 0, 1000, 1000}, {}).value();
+  EXPECT_EQ(rects.size(), 21u);
+  // The deep leaf's area: 1000*1000 * 3/13.
+  for (const auto& r : rects) {
+    if (r.label == "leaf") {
+      EXPECT_NEAR(r.rect.area(), 1e6 * 3 / 13.0, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,123 @@
+#include "client/txn_retry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace idba {
+namespace {
+
+class TxnRetryTest : public ::testing::Test {
+ protected:
+  TxnRetryTest() {
+    cls_ = server_.schema().DefineClass("Item").value();
+    EXPECT_TRUE(server_.schema()
+                    .AddAttribute(cls_, "Counter", ValueType::kInt, Value(int64_t(0)))
+                    .ok());
+    a_ = std::make_unique<DatabaseClient>(&server_, 100, &meter_, &bus_);
+    DatabaseClientOptions detection;
+    detection.consistency = ConsistencyMode::kDetection;
+    d_ = std::make_unique<DatabaseClient>(&server_, 102, &meter_, &bus_, detection);
+  }
+
+  Oid Seed() {
+    TxnId t = a_->Begin();
+    Oid oid = a_->AllocateOid();
+    DatabaseObject obj(oid, cls_, 1);
+    obj.Set(0, Value(int64_t(0)));
+    EXPECT_TRUE(a_->Insert(t, std::move(obj)).ok());
+    EXPECT_TRUE(a_->Commit(t).ok());
+    return oid;
+  }
+
+  DatabaseServer server_;
+  NotificationBus bus_;
+  RpcMeter meter_;
+  ClassId cls_;
+  std::unique_ptr<DatabaseClient> a_, d_;
+};
+
+TEST_F(TxnRetryTest, SucceedsFirstTry) {
+  Oid oid = Seed();
+  auto result = RunTransaction(a_.get(), [&](DatabaseClient& c, TxnId t) {
+    IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
+    obj.Set(0, Value(int64_t(7)));
+    return c.Write(t, std::move(obj));
+  });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 1);
+  ASSERT_EQ(result.commit.updated.size(), 1u);
+  EXPECT_EQ(server_.heap().Read(oid).value().Get(0), Value(int64_t(7)));
+}
+
+TEST_F(TxnRetryTest, NonRetryableErrorReturnsImmediately) {
+  auto result = RunTransaction(a_.get(), [&](DatabaseClient& c, TxnId t) {
+    return c.Read(t, Oid(424242)).status();  // NotFound
+  });
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST_F(TxnRetryTest, RetriesDetectionValidationAborts) {
+  Oid oid = Seed();
+  // Pre-warm the detection client's cache with a soon-to-be-stale copy.
+  {
+    TxnId t = d_->Begin();
+    ASSERT_TRUE(d_->Read(t, oid).ok());
+    ASSERT_TRUE(d_->Abort(t).ok());
+  }
+  // Another client bumps the version.
+  {
+    TxnId t = a_->Begin();
+    DatabaseObject obj = a_->Read(t, oid).value();
+    obj.Set(0, Value(int64_t(1)));
+    ASSERT_TRUE(a_->Write(t, std::move(obj)).ok());
+    ASSERT_TRUE(a_->Commit(t).ok());
+  }
+  // Retry loop: first attempt validates stale and aborts, second succeeds.
+  auto result = RunTransaction(d_.get(), [&](DatabaseClient& c, TxnId t) {
+    IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
+    obj.Set(0, Value(obj.Get(0).AsInt() + 10));
+    return c.Write(t, std::move(obj));
+  });
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(server_.heap().Read(oid).value().Get(0), Value(int64_t(11)));
+}
+
+TEST_F(TxnRetryTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  auto result = RunTransaction(
+      a_.get(),
+      [&](DatabaseClient&, TxnId) {
+        ++calls;
+        return Status::Busy("always");
+      },
+      TxnRetryOptions{.max_attempts = 3});
+  EXPECT_TRUE(result.status.IsBusy());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(TxnRetryTest, ConcurrentIncrementsAllLand) {
+  Oid oid = Seed();
+  auto b = std::make_unique<DatabaseClient>(&server_, 101, &meter_, &bus_);
+  auto increment = [&](DatabaseClient* client) {
+    for (int i = 0; i < 25; ++i) {
+      auto result = RunTransaction(client, [&](DatabaseClient& c, TxnId t) {
+        IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
+        obj.Set(0, Value(obj.Get(0).AsInt() + 1));
+        return c.Write(t, std::move(obj));
+      });
+      ASSERT_TRUE(result.status.ok());
+    }
+  };
+  std::thread t1([&] { increment(a_.get()); });
+  std::thread t2([&] { increment(b.get()); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(server_.heap().Read(oid).value().Get(0), Value(int64_t(50)));
+}
+
+}  // namespace
+}  // namespace idba

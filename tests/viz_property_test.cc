@@ -1,0 +1,126 @@
+// Randomized property tests for the visualization substrates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "viz/pdq_tree.h"
+#include "viz/treemap.h"
+
+namespace idba {
+namespace {
+
+TreemapNode RandomTree(Rng& rng, int depth) {
+  TreemapNode node;
+  node.label = "n";
+  node.tag = rng.NextU64();
+  if (depth == 0 || rng.NextBool(0.3)) {
+    node.weight = 0.1 + rng.NextDouble() * 10;
+    return node;
+  }
+  int kids = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < kids; ++i) {
+    node.children.push_back(RandomTree(rng, depth - 1));
+  }
+  return node;
+}
+
+class TreemapRandomProperty
+    : public ::testing::TestWithParam<std::tuple<TreemapAlgorithm, uint64_t>> {};
+
+TEST_P(TreemapRandomProperty, AreasProportionalAndCovering) {
+  auto [algorithm, seed] = GetParam();
+  Rng rng(seed);
+  TreemapNode root = RandomTree(rng, 4);
+  if (root.is_leaf()) {
+    // Degenerate single-leaf tree: whole bounds.
+    root.children.push_back(root);
+  }
+  Rect bounds{0, 0, 640, 480};
+  TreemapOptions opts;
+  opts.algorithm = algorithm;
+  auto rects = LayoutTreemap(root, bounds, opts);
+  ASSERT_TRUE(rects.ok());
+  double total_weight = root.TotalWeight();
+  double leaf_area = 0;
+  for (const auto& r : rects.value()) {
+    if (!r.leaf) continue;
+    leaf_area += r.rect.area();
+    double expected = bounds.area() * r.weight / total_weight;
+    EXPECT_NEAR(r.rect.area(), expected, expected * 1e-6 + 1e-6);
+    EXPECT_GE(r.rect.x, bounds.x - 1e-9);
+    EXPECT_LE(r.rect.right(), bounds.right() + 1e-6);
+    EXPECT_GE(r.rect.y, bounds.y - 1e-9);
+    EXPECT_LE(r.rect.bottom(), bounds.bottom() + 1e-6);
+  }
+  EXPECT_NEAR(leaf_area, bounds.area(), bounds.area() * 1e-9 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, TreemapRandomProperty,
+    ::testing::Combine(::testing::Values(TreemapAlgorithm::kSliceAndDice,
+                                         TreemapAlgorithm::kSquarified),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+PdqNode RandomPdq(Rng& rng, int depth) {
+  PdqNode node;
+  node.label = "n";
+  node.attributes["Utilization"] = rng.NextDouble();
+  node.attributes["Status"] = static_cast<double>(rng.NextBelow(2));
+  if (depth == 0 || rng.NextBool(0.3)) return node;
+  int kids = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < kids; ++i) {
+    node.children.push_back(RandomPdq(rng, depth - 1));
+  }
+  return node;
+}
+
+class PdqRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PdqRandomProperty, VisiblePlusPrunedEqualsTotal) {
+  Rng rng(GetParam());
+  PdqNode root = RandomPdq(rng, 5);
+  size_t total = root.TotalCount();
+  for (double threshold : {0.0, 0.3, 0.7, 1.0}) {
+    std::vector<DynamicQuery> queries = {
+        {DynamicQuery::kAllLevels, "Utilization", 0.0, threshold}};
+    auto layout = LayoutPdqTree(root, queries);
+    ASSERT_TRUE(layout.ok());
+    EXPECT_EQ(layout.value().visible_count + layout.value().pruned_count, total)
+        << "threshold " << threshold;
+    EXPECT_EQ(layout.value().nodes.size(), layout.value().visible_count);
+  }
+}
+
+TEST_P(PdqRandomProperty, TighterQueriesNeverShowMore) {
+  Rng rng(GetParam() + 100);
+  PdqNode root = RandomPdq(rng, 5);
+  size_t prev_visible = root.TotalCount() + 1;
+  for (double threshold : {1.0, 0.8, 0.6, 0.4, 0.2, 0.0}) {
+    std::vector<DynamicQuery> queries = {
+        {DynamicQuery::kAllLevels, "Utilization", 0.0, threshold}};
+    auto layout = LayoutPdqTree(root, queries).value();
+    EXPECT_LE(layout.visible_count, prev_visible);
+    prev_visible = layout.visible_count;
+  }
+}
+
+TEST_P(PdqRandomProperty, ParentsAlwaysPrecedeChildren) {
+  Rng rng(GetParam() + 200);
+  PdqNode root = RandomPdq(rng, 5);
+  auto layout = LayoutPdqTree(root, {}).value();
+  for (size_t i = 0; i < layout.nodes.size(); ++i) {
+    int parent = layout.nodes[i].parent_index;
+    if (parent >= 0) {
+      EXPECT_LT(static_cast<size_t>(parent), i);
+      EXPECT_EQ(layout.nodes[parent].level, layout.nodes[i].level - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdqRandomProperty,
+                         ::testing::Values(10u, 20u, 30u, 40u));
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "viz/ascii_canvas.h"
+#include "viz/color.h"
+#include "viz/geometry.h"
+
+namespace idba {
+namespace {
+
+// --- Color / width coding (paper §2.1) ------------------------------------
+
+TEST(ColorTest, PaperCategoriesWhitePinkRed) {
+  EXPECT_EQ(UtilizationColorName(0.0), "white");
+  EXPECT_EQ(UtilizationColorName(0.2), "white");
+  EXPECT_EQ(UtilizationColorName(0.4), "pink");
+  EXPECT_EQ(UtilizationColorName(0.65), "pink");
+  EXPECT_EQ(UtilizationColorName(0.7), "red");
+  EXPECT_EQ(UtilizationColorName(1.0), "red");
+}
+
+TEST(ColorTest, RampEndpointsAndMonotonicRedness) {
+  EXPECT_EQ(UtilizationColor(0.0), (Rgb{255, 255, 255}));
+  Rgb high = UtilizationColor(1.0);
+  EXPECT_GT(high.r, 200);
+  EXPECT_EQ(high.g, 0);
+  // Green channel decreases monotonically with utilization.
+  int prev_g = 256;
+  for (double u = 0; u <= 1.0; u += 0.1) {
+    Rgb c = UtilizationColor(u);
+    EXPECT_LE(c.g, prev_g);
+    prev_g = c.g;
+  }
+}
+
+TEST(ColorTest, OutOfRangeClamped) {
+  EXPECT_EQ(UtilizationColor(-1.0), UtilizationColor(0.0));
+  EXPECT_EQ(UtilizationColor(2.0), UtilizationColor(1.0));
+  EXPECT_EQ(UtilizationColorName(-5), "white");
+  EXPECT_EQ(UtilizationColorName(5), "red");
+}
+
+TEST(ColorTest, HexFormat) {
+  EXPECT_EQ((Rgb{255, 0, 16}).ToHex(), "#FF0010");
+}
+
+TEST(ColorTest, WidthProportionalToUtilization) {
+  EXPECT_DOUBLE_EQ(UtilizationWidth(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(UtilizationWidth(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(UtilizationWidth(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(UtilizationWidth(0.5, 2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(UtilizationWidth(7.0), 9.0);  // clamped
+}
+
+// --- Geometry ---------------------------------------------------------------
+
+TEST(GeometryTest, RectBasics) {
+  Rect r{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(r.area(), 1200);
+  EXPECT_DOUBLE_EQ(r.right(), 40);
+  EXPECT_DOUBLE_EQ(r.bottom(), 60);
+  EXPECT_TRUE(r.Contains({10, 20}));
+  EXPECT_TRUE(r.Contains({39.9, 59.9}));
+  EXPECT_FALSE(r.Contains({40, 60}));
+}
+
+TEST(GeometryTest, Intersection) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.Intersects({5, 5, 10, 10}));
+  EXPECT_FALSE(a.Intersects({10, 0, 5, 5}));  // edge-adjacent: open interval
+  EXPECT_FALSE(a.Intersects({20, 20, 5, 5}));
+}
+
+TEST(GeometryTest, InsetClampsAtZero) {
+  Rect r{0, 0, 10, 10};
+  Rect i = r.Inset(2);
+  EXPECT_DOUBLE_EQ(i.x, 2);
+  EXPECT_DOUBLE_EQ(i.w, 6);
+  Rect tiny = r.Inset(20);
+  EXPECT_DOUBLE_EQ(tiny.w, 0);
+  EXPECT_DOUBLE_EQ(tiny.h, 0);
+}
+
+// --- AsciiCanvas -------------------------------------------------------------
+
+TEST(AsciiCanvasTest, PutTextAndBounds) {
+  AsciiCanvas canvas(10, 3);
+  canvas.Text(2, 1, "hi");
+  EXPECT_EQ(canvas.At(2, 1), 'h');
+  EXPECT_EQ(canvas.At(3, 1), 'i');
+  // Out-of-bounds writes are silently clipped.
+  canvas.Put(-1, 0, 'x');
+  canvas.Put(100, 100, 'x');
+  canvas.Text(8, 0, "long-text");
+  EXPECT_EQ(canvas.At(9, 0), 'o');
+  EXPECT_EQ(canvas.At(0, 0), ' ');
+}
+
+TEST(AsciiCanvasTest, BoxDrawsBorders) {
+  AsciiCanvas canvas(10, 6);
+  canvas.Box(Rect{1, 1, 5, 4}, '+', '.');
+  EXPECT_EQ(canvas.At(1, 1), '+');
+  EXPECT_EQ(canvas.At(5, 1), '+');
+  EXPECT_EQ(canvas.At(1, 4), '+');
+  EXPECT_EQ(canvas.At(3, 1), '-');
+  EXPECT_EQ(canvas.At(1, 2), '|');
+  EXPECT_EQ(canvas.At(3, 2), '.');  // fill
+}
+
+TEST(AsciiCanvasTest, LineConnectsEndpoints) {
+  AsciiCanvas canvas(10, 10);
+  canvas.Line({0, 0}, {9, 9}, '*');
+  EXPECT_EQ(canvas.At(0, 0), '*');
+  EXPECT_EQ(canvas.At(9, 9), '*');
+  EXPECT_EQ(canvas.At(5, 5), '*');
+  canvas.Clear();
+  canvas.Line({0, 5}, {9, 5}, '#');
+  for (int x = 0; x <= 9; ++x) EXPECT_EQ(canvas.At(x, 5), '#');
+}
+
+TEST(AsciiCanvasTest, ToStringHasOneRowPerLine) {
+  AsciiCanvas canvas(3, 2, '.');
+  std::string s = canvas.ToString();
+  EXPECT_EQ(s, "...\n...\n");
+}
+
+TEST(AsciiCanvasTest, HLineVLineSwapEndpoints) {
+  AsciiCanvas canvas(10, 10);
+  canvas.HLine(7, 2, 0, '-');
+  EXPECT_EQ(canvas.At(5, 0), '-');
+  canvas.VLine(0, 8, 3, '|');
+  EXPECT_EQ(canvas.At(0, 5), '|');
+}
+
+}  // namespace
+}  // namespace idba

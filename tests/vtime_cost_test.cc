@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/vtime.h"
+#include "net/rpc_meter.h"
+
+namespace idba {
+namespace {
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  EXPECT_EQ(clock.Advance(100), 100);
+  EXPECT_EQ(clock.Advance(50), 150);
+  EXPECT_EQ(clock.Now(), 150);
+}
+
+TEST(VirtualClockTest, ObserveTakesMax) {
+  VirtualClock clock;
+  clock.Advance(100);
+  EXPECT_EQ(clock.Observe(60), 100);   // older timestamp: no change
+  EXPECT_EQ(clock.Now(), 100);
+  EXPECT_EQ(clock.Observe(250), 250);  // newer: jump forward
+  EXPECT_EQ(clock.Now(), 250);
+}
+
+TEST(VirtualClockTest, ResetRestarts) {
+  VirtualClock clock;
+  clock.Advance(500);
+  clock.Reset();
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvanceIsLossless) {
+  VirtualClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 10000; ++i) clock.Advance(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.Now(), 40000);
+}
+
+TEST(CostModelTest, MessageCostHasBaseAndBandwidthTerm) {
+  CostModelOptions opts;
+  opts.message_base = 100 * kVMillisecond;
+  opts.network_bandwidth_bps = 1'000'000;  // 1 MB/s
+  CostModel cm(opts);
+  EXPECT_EQ(cm.MessageCost(0), 100 * kVMillisecond);
+  // 1 MB at 1 MB/s = 1 virtual second extra.
+  EXPECT_EQ(cm.MessageCost(1'000'000), 100 * kVMillisecond + kVSecond);
+}
+
+TEST(CostModelTest, DiskCostScalesWithPages) {
+  CostModelOptions opts;
+  opts.disk_seek = 10 * kVMillisecond;
+  opts.disk_page_transfer = 2 * kVMillisecond;
+  CostModel cm(opts);
+  EXPECT_EQ(cm.DiskCost(1), 12 * kVMillisecond);
+  EXPECT_EQ(cm.DiskCost(5), 20 * kVMillisecond);
+}
+
+TEST(CostModelTest, DefaultsLandLazyPathInPaperBand) {
+  // The lazy propagation path is 5 hops (commit reply, update report,
+  // notification, fetch request, fetch reply) + a disk access + client
+  // CPU. With default calibration it must land inside 1-2 virtual seconds
+  // (§4.3: "in the order of 1 to 2 seconds").
+  CostModel cm;
+  VTime path = 5 * cm.MessageCost(300) + cm.DiskCost(1) +
+               cm.ServerRequestCpu() * 2 + cm.NotificationDispatchCpu() +
+               cm.DisplayRefreshCpu();
+  EXPECT_GE(path, 1 * kVSecond);
+  EXPECT_LE(path, 2 * kVSecond);
+}
+
+TEST(RpcMeterTest, RoundTripChargesBothHopsAndServer) {
+  CostModelOptions opts;
+  opts.message_base = 10 * kVMillisecond;
+  opts.network_bandwidth_bps = 1'000'000'000;  // negligible byte term
+  opts.server_request_cpu = 5 * kVMillisecond;
+  RpcMeter meter{CostModel(opts)};
+  VirtualClock server;
+  VTime done = meter.ChargeRoundTrip(/*client_now=*/0, &server, 100, 100, 0);
+  EXPECT_NEAR(done, 25 * kVMillisecond, kVMillisecond);
+  EXPECT_EQ(meter.rpcs(), 1u);
+  EXPECT_EQ(meter.messages(), 2u);
+}
+
+TEST(RpcMeterTest, ServerCpuSerializesConcurrentClients) {
+  CostModelOptions opts;
+  opts.message_base = 0;
+  opts.server_request_cpu = 10 * kVMillisecond;
+  RpcMeter meter{CostModel(opts)};
+  VirtualClock server;
+  // Two clients issue at the same instant; the second completes one CPU
+  // quantum later (queueing behind the first).
+  VTime a = meter.ChargeRoundTrip(0, &server, 10, 10, 0);
+  VTime b = meter.ChargeRoundTrip(0, &server, 10, 10, 0);
+  EXPECT_EQ(b - a, 10 * kVMillisecond);
+}
+
+TEST(RpcMeterTest, DiskMissesAddLatency) {
+  RpcMeter meter;
+  VirtualClock s1, s2;
+  VTime no_miss = meter.ChargeRoundTrip(0, &s1, 100, 100, 0);
+  VTime with_miss = meter.ChargeRoundTrip(0, &s2, 100, 100, 3);
+  EXPECT_GT(with_miss, no_miss);
+}
+
+TEST(RpcMeterTest, ExtraRoundTripsCountMessages) {
+  RpcMeter meter;
+  VirtualClock server;
+  meter.ChargeRoundTrip(0, &server, 10, 10, 0, /*extra_round_trips=*/2);
+  EXPECT_EQ(meter.messages(), 6u);  // 2 main + 2*2 callback traffic
+}
+
+}  // namespace
+}  // namespace idba

@@ -1,0 +1,167 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+DatabaseObject MakeObj(uint64_t oid, int64_t v) {
+  DatabaseObject obj(Oid(oid), 1, 1);
+  obj.Set(0, Value(v));
+  obj.set_version(1);
+  return obj;
+}
+
+WalRecord Update(TxnId txn, uint64_t oid, int64_t v) {
+  WalRecord rec;
+  rec.type = WalRecordType::kUpdate;
+  rec.txn = txn;
+  rec.oid = Oid(oid);
+  rec.after = MakeObj(oid, v);
+  return rec;
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundTrip) {
+  WalRecord rec = Update(7, 42, 99);
+  rec.lsn = 13;
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  rec.EncodeTo(&enc);
+  Decoder dec(buf);
+  WalRecord out;
+  ASSERT_TRUE(WalRecord::DecodeFrom(&dec, &out).ok());
+  EXPECT_EQ(out.type, WalRecordType::kUpdate);
+  EXPECT_EQ(out.lsn, 13u);
+  EXPECT_EQ(out.txn, 7u);
+  EXPECT_EQ(out.oid, Oid(42));
+  EXPECT_EQ(out.after, rec.after);
+}
+
+TEST(WalTest, AppendAssignsMonotonicLsns) {
+  MemDisk disk;
+  Wal wal(&disk);
+  EXPECT_EQ(wal.Append(Update(1, 1, 1)).value(), 1u);
+  EXPECT_EQ(wal.Append(Update(1, 2, 2)).value(), 2u);
+  EXPECT_EQ(wal.next_lsn(), 3u);
+}
+
+TEST(WalTest, ReadAllSeesBufferedRecords) {
+  MemDisk disk;
+  Wal wal(&disk);
+  ASSERT_TRUE(wal.Append(Update(1, 1, 10)).ok());
+  ASSERT_TRUE(wal.Append(Update(2, 2, 20)).ok());
+  auto records = wal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].txn, 1u);
+  EXPECT_EQ(records.value()[1].txn, 2u);
+}
+
+TEST(WalTest, DiskSeesNothingBeforeFlush) {
+  MemDisk disk;
+  Wal wal(&disk);
+  ASSERT_TRUE(wal.Append(Update(1, 1, 10)).ok());
+  EXPECT_EQ(Wal::ReadAllFromDisk(&disk).value().size(), 0u);
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(Wal::ReadAllFromDisk(&disk).value().size(), 1u);
+}
+
+TEST(WalTest, ManyRecordsSpanPagesAndSurvive) {
+  MemDisk disk;
+  Wal wal(&disk);
+  const int kRecords = 500;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(wal.Append(Update(i, i, i * 10)).ok());
+  }
+  ASSERT_TRUE(wal.Flush().ok());
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(records.value()[i].lsn, static_cast<Lsn>(i + 1));
+    EXPECT_EQ(records.value()[i].oid, Oid(i));
+  }
+  EXPECT_GT(disk.PageCount(), 1u);  // really spanned pages
+}
+
+TEST(WalTest, InterleavedFlushesPreserveOrder) {
+  MemDisk disk;
+  Wal wal(&disk);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(wal.Append(Update(1, i, i)).ok());
+    if (i % 7 == 0) ASSERT_TRUE(wal.Flush().ok());
+  }
+  ASSERT_TRUE(wal.Flush().ok());
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(records.value()[i].oid, Oid(i));
+}
+
+TEST(WalTest, RestartContinuesLsnSequence) {
+  MemDisk disk;
+  {
+    Wal wal(&disk);
+    ASSERT_TRUE(wal.Append(Update(1, 1, 1)).ok());
+    ASSERT_TRUE(wal.Append(Update(1, 2, 2)).ok());
+    ASSERT_TRUE(wal.Flush().ok());
+  }
+  Wal wal2(&disk);
+  EXPECT_EQ(wal2.next_lsn(), 3u);
+  ASSERT_TRUE(wal2.Append(Update(2, 3, 3)).ok());
+  ASSERT_TRUE(wal2.Flush().ok());
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[2].lsn, 3u);
+}
+
+TEST(WalTest, OversizedRecordRejected) {
+  MemDisk disk;
+  Wal wal(&disk);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.txn = 1;
+  DatabaseObject obj(Oid(1), 1, 1);
+  obj.Set(0, Value(std::string(5000, 'x')));
+  rec.oid = obj.oid();
+  rec.after = std::move(obj);
+  EXPECT_EQ(wal.Append(std::move(rec)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WalTest, ResetTruncatesButKeepsLsnSequence) {
+  MemDisk disk;
+  Wal wal(&disk);
+  ASSERT_TRUE(wal.Append(Update(1, 1, 1)).ok());
+  ASSERT_TRUE(wal.Append(Update(1, 2, 2)).ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_GT(wal.DiskPages(), 0u);
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.DiskPages(), 0u);
+  EXPECT_EQ(wal.ReadAll().value().size(), 0u);
+  // LSNs continue monotonically across the truncation.
+  EXPECT_EQ(wal.Append(Update(2, 3, 3)).value(), 3u);
+  ASSERT_TRUE(wal.Flush().ok());
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].lsn, 3u);
+}
+
+TEST(WalTest, CommitAndAbortRecordsCarryNoImage) {
+  MemDisk disk;
+  Wal wal(&disk);
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn = 9;
+  ASSERT_TRUE(wal.Append(std::move(commit)).ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].type, WalRecordType::kCommit);
+  EXPECT_EQ(records.value()[0].txn, 9u);
+}
+
+}  // namespace
+}  // namespace idba

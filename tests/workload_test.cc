@@ -1,0 +1,93 @@
+#include "nms/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace idba {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.network.num_nodes = 10;
+  config.network.sites = 1;
+  config.network.buildings_per_site = 1;
+  config.network.racks_per_building = 1;
+  config.network.devices_per_rack = 1;
+  config.operators = 3;
+  config.operator_options.update_probability = 0.4;
+  config.operator_options.view_size = 8;
+  config.steps_per_operator = 30;
+  return config;
+}
+
+TEST(WorkloadTest, DeterministicRunProducesConsistentDisplays) {
+  auto runner = WorkloadRunner::Create(SmallConfig());
+  ASSERT_TRUE(runner.ok());
+  auto report = runner.value()->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().monitor_actions, 0u);
+  EXPECT_GT(report.value().updates_committed, 0u);
+  EXPECT_GT(report.value().refreshes, 0u);
+  EXPECT_GT(report.value().monitor_commits, 0u);
+  // The defining invariant: after draining, no display is stale.
+  EXPECT_EQ(report.value().stale_display_objects, 0u);
+  // Deployment stats captured.
+  EXPECT_GT(report.value().deployment_stats.commits, 0u);
+  EXPECT_GT(report.value().deployment_stats.update_notifications, 0u);
+  // The summary mentions its key fields.
+  std::string summary = report.value().Summary();
+  EXPECT_NE(summary.find("refreshes"), std::string::npos);
+  EXPECT_NE(summary.find("propagation"), std::string::npos);
+}
+
+TEST(WorkloadTest, DeterministicRunsRepeatExactly) {
+  auto ReportCounts = [](const WorkloadReport& r) {
+    return std::make_tuple(r.monitor_actions, r.updates_attempted,
+                           r.updates_committed, r.refreshes, r.monitor_commits);
+  };
+  auto r1 = WorkloadRunner::Create(SmallConfig()).value()->Run().value();
+  auto r2 = WorkloadRunner::Create(SmallConfig()).value()->Run().value();
+  EXPECT_EQ(ReportCounts(r1), ReportCounts(r2));
+}
+
+TEST(WorkloadTest, ThreadedRunAlsoEndsConsistent) {
+  WorkloadConfig config = SmallConfig();
+  config.threaded = true;
+  config.operator_options.update_probability = 0.6;
+  auto runner = WorkloadRunner::Create(config);
+  ASSERT_TRUE(runner.ok());
+  auto report = runner.value()->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().stale_display_objects, 0u);
+  EXPECT_GT(report.value().updates_committed, 0u);
+}
+
+TEST(WorkloadTest, EarlyNotifyConfigCarriesThrough) {
+  WorkloadConfig config = SmallConfig();
+  config.deployment.dlm.protocol = NotifyProtocol::kEarlyNotify;
+  config.operator_options.honor_update_marks = true;
+  config.operator_options.update_probability = 0.9;
+  config.operator_options.links_per_update = 2;
+  config.threaded = true;
+  config.operators = 4;
+  auto report = WorkloadRunner::Create(config).value()->Run().value();
+  // Early notify active: intents were broadcast (marks observed or not,
+  // depending on timing, but the DLM counter must move).
+  EXPECT_GT(report.deployment_stats.intent_notifications, 0u);
+  EXPECT_EQ(report.stale_display_objects, 0u);
+}
+
+TEST(WorkloadTest, RunIsSingleShot) {
+  auto runner = WorkloadRunner::Create(SmallConfig()).value();
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_EQ(runner->Run().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadTest, MonitorCanBeDisabled) {
+  WorkloadConfig config = SmallConfig();
+  config.monitor_steps_per_round = 0;
+  auto report = WorkloadRunner::Create(config).value()->Run().value();
+  EXPECT_EQ(report.monitor_commits, 0u);
+}
+
+}  // namespace
+}  // namespace idba
