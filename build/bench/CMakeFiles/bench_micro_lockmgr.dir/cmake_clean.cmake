@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lockmgr.dir/bench_micro_lockmgr.cc.o"
+  "CMakeFiles/bench_micro_lockmgr.dir/bench_micro_lockmgr.cc.o.d"
+  "bench_micro_lockmgr"
+  "bench_micro_lockmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lockmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_viz.dir/bench_micro_viz.cc.o"
+  "CMakeFiles/bench_micro_viz.dir/bench_micro_viz.cc.o.d"
+  "bench_micro_viz"
+  "bench_micro_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

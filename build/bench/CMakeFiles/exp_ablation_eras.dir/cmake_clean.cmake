@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_eras.dir/exp_ablation_eras.cc.o"
+  "CMakeFiles/exp_ablation_eras.dir/exp_ablation_eras.cc.o.d"
+  "exp_ablation_eras"
+  "exp_ablation_eras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_eras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cache_sizes.dir/exp_cache_sizes.cc.o"
+  "CMakeFiles/exp_cache_sizes.dir/exp_cache_sizes.cc.o.d"
+  "exp_cache_sizes"
+  "exp_cache_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cache_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

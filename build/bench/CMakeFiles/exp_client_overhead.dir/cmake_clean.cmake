@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_client_overhead.dir/exp_client_overhead.cc.o"
+  "CMakeFiles/exp_client_overhead.dir/exp_client_overhead.cc.o.d"
+  "exp_client_overhead"
+  "exp_client_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_client_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

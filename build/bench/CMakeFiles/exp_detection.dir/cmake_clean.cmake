@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_detection.dir/exp_detection.cc.o"
+  "CMakeFiles/exp_detection.dir/exp_detection.cc.o.d"
+  "exp_detection"
+  "exp_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_dlc_filtering.dir/exp_dlc_filtering.cc.o"
+  "CMakeFiles/exp_dlc_filtering.dir/exp_dlc_filtering.cc.o.d"
+  "exp_dlc_filtering"
+  "exp_dlc_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_dlc_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

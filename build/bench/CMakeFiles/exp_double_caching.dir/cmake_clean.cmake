@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_double_caching.dir/exp_double_caching.cc.o"
+  "CMakeFiles/exp_double_caching.dir/exp_double_caching.cc.o.d"
+  "exp_double_caching"
+  "exp_double_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_double_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_early_notify.dir/exp_early_notify.cc.o"
+  "CMakeFiles/exp_early_notify.dir/exp_early_notify.cc.o.d"
+  "exp_early_notify"
+  "exp_early_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_early_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

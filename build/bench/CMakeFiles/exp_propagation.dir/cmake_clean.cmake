@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_propagation.dir/exp_propagation.cc.o"
+  "CMakeFiles/exp_propagation.dir/exp_propagation.cc.o.d"
+  "exp_propagation"
+  "exp_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

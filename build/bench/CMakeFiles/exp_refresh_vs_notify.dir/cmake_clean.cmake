@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_refresh_vs_notify.dir/exp_refresh_vs_notify.cc.o"
+  "CMakeFiles/exp_refresh_vs_notify.dir/exp_refresh_vs_notify.cc.o.d"
+  "exp_refresh_vs_notify"
+  "exp_refresh_vs_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_refresh_vs_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_refresh_vs_notify.
+# This may be replaced when dependencies are built.

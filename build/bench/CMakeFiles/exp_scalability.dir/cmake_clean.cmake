@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_scalability.dir/exp_scalability.cc.o"
+  "CMakeFiles/exp_scalability.dir/exp_scalability.cc.o.d"
+  "exp_scalability"
+  "exp_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_server_overhead.dir/exp_server_overhead.cc.o"
+  "CMakeFiles/exp_server_overhead.dir/exp_server_overhead.cc.o.d"
+  "exp_server_overhead"
+  "exp_server_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_server_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

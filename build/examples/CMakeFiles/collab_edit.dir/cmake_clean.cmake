@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_edit.dir/collab_edit.cpp.o"
+  "CMakeFiles/collab_edit.dir/collab_edit.cpp.o.d"
+  "collab_edit"
+  "collab_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nms_console.dir/nms_console.cpp.o"
+  "CMakeFiles/nms_console.dir/nms_console.cpp.o.d"
+  "nms_console"
+  "nms_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nms_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nms_repl.dir/nms_repl.cpp.o"
+  "CMakeFiles/nms_repl.dir/nms_repl.cpp.o.d"
+  "nms_repl"
+  "nms_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nms_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_dashboard.dir/query_dashboard.cpp.o"
+  "CMakeFiles/query_dashboard.dir/query_dashboard.cpp.o.d"
+  "query_dashboard"
+  "query_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

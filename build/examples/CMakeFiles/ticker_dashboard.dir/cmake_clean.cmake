@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticker_dashboard.dir/ticker_dashboard.cpp.o"
+  "CMakeFiles/ticker_dashboard.dir/ticker_dashboard.cpp.o.d"
+  "ticker_dashboard"
+  "ticker_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticker_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treemap_explorer.dir/treemap_explorer.cpp.o"
+  "CMakeFiles/treemap_explorer.dir/treemap_explorer.cpp.o.d"
+  "treemap_explorer"
+  "treemap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treemap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/database_client.cc" "src/client/CMakeFiles/idba_client.dir/database_client.cc.o" "gcc" "src/client/CMakeFiles/idba_client.dir/database_client.cc.o.d"
+  "/root/repo/src/client/object_cache.cc" "src/client/CMakeFiles/idba_client.dir/object_cache.cc.o" "gcc" "src/client/CMakeFiles/idba_client.dir/object_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/idba_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/idba_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idba_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectmodel/CMakeFiles/idba_objectmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_client.dir/database_client.cc.o"
+  "CMakeFiles/idba_client.dir/database_client.cc.o.d"
+  "CMakeFiles/idba_client.dir/object_cache.cc.o"
+  "CMakeFiles/idba_client.dir/object_cache.cc.o.d"
+  "libidba_client.a"
+  "libidba_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_common.dir/logging.cc.o"
+  "CMakeFiles/idba_common.dir/logging.cc.o.d"
+  "CMakeFiles/idba_common.dir/metrics.cc.o"
+  "CMakeFiles/idba_common.dir/metrics.cc.o.d"
+  "CMakeFiles/idba_common.dir/status.cc.o"
+  "CMakeFiles/idba_common.dir/status.cc.o.d"
+  "libidba_common.a"
+  "libidba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_view.cc" "src/core/CMakeFiles/idba_core.dir/active_view.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/active_view.cc.o.d"
+  "/root/repo/src/core/display_cache.cc" "src/core/CMakeFiles/idba_core.dir/display_cache.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/display_cache.cc.o.d"
+  "/root/repo/src/core/display_object.cc" "src/core/CMakeFiles/idba_core.dir/display_object.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/display_object.cc.o.d"
+  "/root/repo/src/core/display_schema.cc" "src/core/CMakeFiles/idba_core.dir/display_schema.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/display_schema.cc.o.d"
+  "/root/repo/src/core/dlc.cc" "src/core/CMakeFiles/idba_core.dir/dlc.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/dlc.cc.o.d"
+  "/root/repo/src/core/dlm.cc" "src/core/CMakeFiles/idba_core.dir/dlm.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/dlm.cc.o.d"
+  "/root/repo/src/core/notification.cc" "src/core/CMakeFiles/idba_core.dir/notification.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/notification.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/idba_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/session.cc.o.d"
+  "/root/repo/src/core/stats_report.cc" "src/core/CMakeFiles/idba_core.dir/stats_report.cc.o" "gcc" "src/core/CMakeFiles/idba_core.dir/stats_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/idba_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/idba_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/idba_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idba_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectmodel/CMakeFiles/idba_objectmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

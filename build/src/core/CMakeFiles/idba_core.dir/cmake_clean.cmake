@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_core.dir/active_view.cc.o"
+  "CMakeFiles/idba_core.dir/active_view.cc.o.d"
+  "CMakeFiles/idba_core.dir/display_cache.cc.o"
+  "CMakeFiles/idba_core.dir/display_cache.cc.o.d"
+  "CMakeFiles/idba_core.dir/display_object.cc.o"
+  "CMakeFiles/idba_core.dir/display_object.cc.o.d"
+  "CMakeFiles/idba_core.dir/display_schema.cc.o"
+  "CMakeFiles/idba_core.dir/display_schema.cc.o.d"
+  "CMakeFiles/idba_core.dir/dlc.cc.o"
+  "CMakeFiles/idba_core.dir/dlc.cc.o.d"
+  "CMakeFiles/idba_core.dir/dlm.cc.o"
+  "CMakeFiles/idba_core.dir/dlm.cc.o.d"
+  "CMakeFiles/idba_core.dir/notification.cc.o"
+  "CMakeFiles/idba_core.dir/notification.cc.o.d"
+  "CMakeFiles/idba_core.dir/session.cc.o"
+  "CMakeFiles/idba_core.dir/session.cc.o.d"
+  "CMakeFiles/idba_core.dir/stats_report.cc.o"
+  "CMakeFiles/idba_core.dir/stats_report.cc.o.d"
+  "libidba_core.a"
+  "libidba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

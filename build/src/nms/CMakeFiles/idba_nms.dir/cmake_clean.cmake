@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_nms.dir/display_classes.cc.o"
+  "CMakeFiles/idba_nms.dir/display_classes.cc.o.d"
+  "CMakeFiles/idba_nms.dir/monitor.cc.o"
+  "CMakeFiles/idba_nms.dir/monitor.cc.o.d"
+  "CMakeFiles/idba_nms.dir/network_model.cc.o"
+  "CMakeFiles/idba_nms.dir/network_model.cc.o.d"
+  "CMakeFiles/idba_nms.dir/operators.cc.o"
+  "CMakeFiles/idba_nms.dir/operators.cc.o.d"
+  "CMakeFiles/idba_nms.dir/paths.cc.o"
+  "CMakeFiles/idba_nms.dir/paths.cc.o.d"
+  "CMakeFiles/idba_nms.dir/workload.cc.o"
+  "CMakeFiles/idba_nms.dir/workload.cc.o.d"
+  "libidba_nms.a"
+  "libidba_nms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_nms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

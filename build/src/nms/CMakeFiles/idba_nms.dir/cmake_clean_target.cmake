@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidba_nms.a"
+)

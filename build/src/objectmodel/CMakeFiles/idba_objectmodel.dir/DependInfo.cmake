@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectmodel/object.cc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/object.cc.o" "gcc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/object.cc.o.d"
+  "/root/repo/src/objectmodel/query.cc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/query.cc.o" "gcc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/query.cc.o.d"
+  "/root/repo/src/objectmodel/schema.cc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/schema.cc.o" "gcc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/schema.cc.o.d"
+  "/root/repo/src/objectmodel/value.cc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/value.cc.o" "gcc" "src/objectmodel/CMakeFiles/idba_objectmodel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

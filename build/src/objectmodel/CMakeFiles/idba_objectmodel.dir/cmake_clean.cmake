@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_objectmodel.dir/object.cc.o"
+  "CMakeFiles/idba_objectmodel.dir/object.cc.o.d"
+  "CMakeFiles/idba_objectmodel.dir/query.cc.o"
+  "CMakeFiles/idba_objectmodel.dir/query.cc.o.d"
+  "CMakeFiles/idba_objectmodel.dir/schema.cc.o"
+  "CMakeFiles/idba_objectmodel.dir/schema.cc.o.d"
+  "CMakeFiles/idba_objectmodel.dir/value.cc.o"
+  "CMakeFiles/idba_objectmodel.dir/value.cc.o.d"
+  "libidba_objectmodel.a"
+  "libidba_objectmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_objectmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

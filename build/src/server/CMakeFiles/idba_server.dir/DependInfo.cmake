@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/callback_manager.cc" "src/server/CMakeFiles/idba_server.dir/callback_manager.cc.o" "gcc" "src/server/CMakeFiles/idba_server.dir/callback_manager.cc.o.d"
+  "/root/repo/src/server/database_server.cc" "src/server/CMakeFiles/idba_server.dir/database_server.cc.o" "gcc" "src/server/CMakeFiles/idba_server.dir/database_server.cc.o.d"
+  "/root/repo/src/server/durable.cc" "src/server/CMakeFiles/idba_server.dir/durable.cc.o" "gcc" "src/server/CMakeFiles/idba_server.dir/durable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/idba_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idba_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectmodel/CMakeFiles/idba_objectmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_server.dir/callback_manager.cc.o"
+  "CMakeFiles/idba_server.dir/callback_manager.cc.o.d"
+  "CMakeFiles/idba_server.dir/database_server.cc.o"
+  "CMakeFiles/idba_server.dir/database_server.cc.o.d"
+  "CMakeFiles/idba_server.dir/durable.cc.o"
+  "CMakeFiles/idba_server.dir/durable.cc.o.d"
+  "libidba_server.a"
+  "libidba_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/idba_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/idba_storage.dir/disk.cc.o"
+  "CMakeFiles/idba_storage.dir/disk.cc.o.d"
+  "CMakeFiles/idba_storage.dir/heap_store.cc.o"
+  "CMakeFiles/idba_storage.dir/heap_store.cc.o.d"
+  "CMakeFiles/idba_storage.dir/page.cc.o"
+  "CMakeFiles/idba_storage.dir/page.cc.o.d"
+  "CMakeFiles/idba_storage.dir/wal.cc.o"
+  "CMakeFiles/idba_storage.dir/wal.cc.o.d"
+  "libidba_storage.a"
+  "libidba_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/idba_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/idba_txn.dir/recovery.cc.o"
+  "CMakeFiles/idba_txn.dir/recovery.cc.o.d"
+  "CMakeFiles/idba_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/idba_txn.dir/txn_manager.cc.o.d"
+  "libidba_txn.a"
+  "libidba_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii_canvas.cc" "src/viz/CMakeFiles/idba_viz.dir/ascii_canvas.cc.o" "gcc" "src/viz/CMakeFiles/idba_viz.dir/ascii_canvas.cc.o.d"
+  "/root/repo/src/viz/color.cc" "src/viz/CMakeFiles/idba_viz.dir/color.cc.o" "gcc" "src/viz/CMakeFiles/idba_viz.dir/color.cc.o.d"
+  "/root/repo/src/viz/graph_layout.cc" "src/viz/CMakeFiles/idba_viz.dir/graph_layout.cc.o" "gcc" "src/viz/CMakeFiles/idba_viz.dir/graph_layout.cc.o.d"
+  "/root/repo/src/viz/pdq_tree.cc" "src/viz/CMakeFiles/idba_viz.dir/pdq_tree.cc.o" "gcc" "src/viz/CMakeFiles/idba_viz.dir/pdq_tree.cc.o.d"
+  "/root/repo/src/viz/treemap.cc" "src/viz/CMakeFiles/idba_viz.dir/treemap.cc.o" "gcc" "src/viz/CMakeFiles/idba_viz.dir/treemap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idba_viz.dir/ascii_canvas.cc.o"
+  "CMakeFiles/idba_viz.dir/ascii_canvas.cc.o.d"
+  "CMakeFiles/idba_viz.dir/color.cc.o"
+  "CMakeFiles/idba_viz.dir/color.cc.o.d"
+  "CMakeFiles/idba_viz.dir/graph_layout.cc.o"
+  "CMakeFiles/idba_viz.dir/graph_layout.cc.o.d"
+  "CMakeFiles/idba_viz.dir/pdq_tree.cc.o"
+  "CMakeFiles/idba_viz.dir/pdq_tree.cc.o.d"
+  "CMakeFiles/idba_viz.dir/treemap.cc.o"
+  "CMakeFiles/idba_viz.dir/treemap.cc.o.d"
+  "libidba_viz.a"
+  "libidba_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idba_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

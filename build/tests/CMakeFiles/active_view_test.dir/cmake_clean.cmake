@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_view_test.dir/active_view_test.cc.o"
+  "CMakeFiles/active_view_test.dir/active_view_test.cc.o.d"
+  "active_view_test"
+  "active_view_test.pdb"
+  "active_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

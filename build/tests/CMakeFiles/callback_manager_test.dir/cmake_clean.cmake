@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callback_manager_test.dir/callback_manager_test.cc.o"
+  "CMakeFiles/callback_manager_test.dir/callback_manager_test.cc.o.d"
+  "callback_manager_test"
+  "callback_manager_test.pdb"
+  "callback_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callback_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_server_test.dir/client_server_test.cc.o"
+  "CMakeFiles/client_server_test.dir/client_server_test.cc.o.d"
+  "client_server_test"
+  "client_server_test.pdb"
+  "client_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

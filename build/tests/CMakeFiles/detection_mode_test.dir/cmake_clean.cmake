@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_mode_test.dir/detection_mode_test.cc.o"
+  "CMakeFiles/detection_mode_test.dir/detection_mode_test.cc.o.d"
+  "detection_mode_test"
+  "detection_mode_test.pdb"
+  "detection_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

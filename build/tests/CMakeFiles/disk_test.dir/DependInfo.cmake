@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nms/CMakeFiles/idba_nms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/idba_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/idba_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/idba_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idba_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectmodel/CMakeFiles/idba_objectmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/idba_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

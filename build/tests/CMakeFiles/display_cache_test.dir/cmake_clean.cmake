@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_cache_test.dir/display_cache_test.cc.o"
+  "CMakeFiles/display_cache_test.dir/display_cache_test.cc.o.d"
+  "display_cache_test"
+  "display_cache_test.pdb"
+  "display_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlc_stress_test.dir/dlc_stress_test.cc.o"
+  "CMakeFiles/dlc_stress_test.dir/dlc_stress_test.cc.o.d"
+  "dlc_stress_test"
+  "dlc_stress_test.pdb"
+  "dlc_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlc_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

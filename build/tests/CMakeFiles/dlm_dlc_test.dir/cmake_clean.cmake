@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlm_dlc_test.dir/dlm_dlc_test.cc.o"
+  "CMakeFiles/dlm_dlc_test.dir/dlm_dlc_test.cc.o.d"
+  "dlm_dlc_test"
+  "dlm_dlc_test.pdb"
+  "dlm_dlc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlm_dlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlm_unit_test.dir/dlm_unit_test.cc.o"
+  "CMakeFiles/dlm_unit_test.dir/dlm_unit_test.cc.o.d"
+  "dlm_unit_test"
+  "dlm_unit_test.pdb"
+  "dlm_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

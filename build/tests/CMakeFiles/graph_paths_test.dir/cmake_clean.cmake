@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_paths_test.dir/graph_paths_test.cc.o"
+  "CMakeFiles/graph_paths_test.dir/graph_paths_test.cc.o.d"
+  "graph_paths_test"
+  "graph_paths_test.pdb"
+  "graph_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_store_test.dir/heap_store_test.cc.o"
+  "CMakeFiles/heap_store_test.dir/heap_store_test.cc.o.d"
+  "heap_store_test"
+  "heap_store_test.pdb"
+  "heap_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_fairness_test.dir/lock_fairness_test.cc.o"
+  "CMakeFiles/lock_fairness_test.dir/lock_fairness_test.cc.o.d"
+  "lock_fairness_test"
+  "lock_fairness_test.pdb"
+  "lock_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nms_test.dir/nms_test.cc.o"
+  "CMakeFiles/nms_test.dir/nms_test.cc.o.d"
+  "nms_test"
+  "nms_test.pdb"
+  "nms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observer_compat_test.dir/observer_compat_test.cc.o"
+  "CMakeFiles/observer_compat_test.dir/observer_compat_test.cc.o.d"
+  "observer_compat_test"
+  "observer_compat_test.pdb"
+  "observer_compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observer_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdq_tree_test.dir/pdq_tree_test.cc.o"
+  "CMakeFiles/pdq_tree_test.dir/pdq_tree_test.cc.o.d"
+  "pdq_tree_test"
+  "pdq_tree_test.pdb"
+  "pdq_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdq_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

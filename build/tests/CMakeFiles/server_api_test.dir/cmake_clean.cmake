@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_api_test.dir/server_api_test.cc.o"
+  "CMakeFiles/server_api_test.dir/server_api_test.cc.o.d"
+  "server_api_test"
+  "server_api_test.pdb"
+  "server_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treemap_test.dir/treemap_test.cc.o"
+  "CMakeFiles/treemap_test.dir/treemap_test.cc.o.d"
+  "treemap_test"
+  "treemap_test.pdb"
+  "treemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_manager_test.dir/txn_manager_test.cc.o"
+  "CMakeFiles/txn_manager_test.dir/txn_manager_test.cc.o.d"
+  "txn_manager_test"
+  "txn_manager_test.pdb"
+  "txn_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_property_test.dir/viz_property_test.cc.o"
+  "CMakeFiles/viz_property_test.dir/viz_property_test.cc.o.d"
+  "viz_property_test"
+  "viz_property_test.pdb"
+  "viz_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

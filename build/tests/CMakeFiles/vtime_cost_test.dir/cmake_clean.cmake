@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtime_cost_test.dir/vtime_cost_test.cc.o"
+  "CMakeFiles/vtime_cost_test.dir/vtime_cost_test.cc.o.d"
+  "vtime_cost_test"
+  "vtime_cost_test.pdb"
+  "vtime_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtime_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
