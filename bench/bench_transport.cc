@@ -1,0 +1,180 @@
+// Transport microbenchmarks: real cost of the TCP loopback wire path vs
+// the in-process function-call path, for the same logical operations. The
+// virtual cost model charges both identically (that is the point of the
+// meter); this measures the *wall-clock* overhead the wire adds — frame
+// encode/decode, syscalls, thread handoffs — which bounds how much real
+// concurrency an out-of-process experiment can drive.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/session.h"
+#include "net/remote_client.h"
+#include "net/tcp_server.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+NmsConfig SmallNms() {
+  NmsConfig config;
+  config.num_nodes = 16;
+  config.sites = 1;
+  config.buildings_per_site = 1;
+  config.racks_per_building = 1;
+  config.devices_per_rack = 1;
+  return config;
+}
+
+struct RemoteRig {
+  RemoteRig() : deployment(DeploymentOptions{}) {
+    db = PopulateNms(&deployment.server(), SmallNms()).value();
+    transport = std::make_unique<TransportServer>(
+        &deployment.server(), &deployment.dlm(), &deployment.bus(),
+        &deployment.meter());
+    if (!transport->Start().ok()) std::abort();
+    client = RemoteDatabaseClient::Connect("127.0.0.1", transport->port(), 100)
+                 .value();
+  }
+  ~RemoteRig() {
+    client.reset();
+    transport->Stop();
+  }
+  Deployment deployment;
+  NmsDatabase db;
+  std::unique_ptr<TransportServer> transport;
+  std::unique_ptr<RemoteDatabaseClient> client;
+};
+
+struct LocalRig {
+  LocalRig() : deployment(DeploymentOptions{}) {
+    db = PopulateNms(&deployment.server(), SmallNms()).value();
+    client = std::make_unique<DatabaseClient>(&deployment.server(), 100,
+                                              &deployment.meter(),
+                                              &deployment.bus());
+  }
+  Deployment deployment;
+  NmsDatabase db;
+  std::unique_ptr<DatabaseClient> client;
+};
+
+// --- Read round trip ------------------------------------------------------
+// One uncached object fetch per iteration (the cache is dropped each time
+// so every read crosses the boundary).
+
+void BM_ReadRoundTrip_Tcp(benchmark::State& state) {
+  RemoteRig rig;
+  Oid oid = rig.db.link_oids.front();
+  for (auto _ : state) {
+    rig.client->cache().Drop(oid);
+    auto obj = rig.client->ReadCurrent(oid);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadRoundTrip_Tcp)->UseRealTime();
+
+void BM_ReadRoundTrip_InProcess(benchmark::State& state) {
+  LocalRig rig;
+  Oid oid = rig.db.link_oids.front();
+  for (auto _ : state) {
+    rig.client->cache().Drop(oid);
+    auto obj = rig.client->ReadCurrent(oid);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadRoundTrip_InProcess)->UseRealTime();
+
+// --- Cached read ----------------------------------------------------------
+// Same call with a warm cache: the remote path answers locally too, so the
+// two should converge — this is the double-caching argument in wall time.
+
+void BM_CachedRead_Tcp(benchmark::State& state) {
+  RemoteRig rig;
+  Oid oid = rig.db.link_oids.front();
+  (void)rig.client->ReadCurrent(oid);
+  for (auto _ : state) {
+    auto obj = rig.client->ReadCurrent(oid);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedRead_Tcp)->UseRealTime();
+
+void BM_CachedRead_InProcess(benchmark::State& state) {
+  LocalRig rig;
+  Oid oid = rig.db.link_oids.front();
+  (void)rig.client->ReadCurrent(oid);
+  for (auto _ : state) {
+    auto obj = rig.client->ReadCurrent(oid);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedRead_InProcess)->UseRealTime();
+
+// --- Update transaction ---------------------------------------------------
+// Begin, read-modify-write one link, commit. The commit path exercises the
+// WAL + callback machinery on both backends.
+
+template <typename Rig>
+void RunUpdateTxn(Rig& rig, int* util) {
+  Oid oid = rig.db.link_oids.front();
+  TxnId txn = rig.client->Begin();
+  auto obj = rig.client->Read(txn, oid);
+  if (!obj.ok()) std::abort();
+  DatabaseObject link = std::move(obj).value();
+  if (!link.SetByName(rig.client->schema(), "Utilization",
+                      Value(0.01 * (++*util % 100)))
+           .ok()) {
+    std::abort();
+  }
+  if (!rig.client->Write(txn, std::move(link)).ok()) std::abort();
+  if (!rig.client->Commit(txn).ok()) std::abort();
+}
+
+void BM_UpdateTxn_Tcp(benchmark::State& state) {
+  RemoteRig rig;
+  int util = 0;
+  for (auto _ : state) RunUpdateTxn(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateTxn_Tcp)->UseRealTime();
+
+void BM_UpdateTxn_InProcess(benchmark::State& state) {
+  LocalRig rig;
+  int util = 0;
+  for (auto _ : state) RunUpdateTxn(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateTxn_InProcess)->UseRealTime();
+
+// --- Class scan -----------------------------------------------------------
+// Bulk result marshaling: 16 links per scan over the wire vs by value.
+
+void BM_ScanClass_Tcp(benchmark::State& state) {
+  RemoteRig rig;
+  for (auto _ : state) {
+    auto links = rig.client->ScanClass(rig.db.schema.link);
+    benchmark::DoNotOptimize(links);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanClass_Tcp)->UseRealTime();
+
+void BM_ScanClass_InProcess(benchmark::State& state) {
+  LocalRig rig;
+  for (auto _ : state) {
+    auto links = rig.client->ScanClass(rig.db.schema.link);
+    benchmark::DoNotOptimize(links);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanClass_InProcess)->UseRealTime();
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

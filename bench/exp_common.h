@@ -42,7 +42,7 @@ inline Testbed MakeTestbed(DeploymentOptions opts = {}, NmsConfig config = {}) {
 }
 
 /// Commits one utilization update through `writer`; returns commit status.
-inline Status UpdateUtilization(DatabaseClient* writer, Oid oid, double util) {
+inline Status UpdateUtilization(ClientApi* writer, Oid oid, double util) {
   const SchemaCatalog& cat = writer->schema();
   TxnId t = writer->Begin();
   auto obj = writer->Read(t, oid);

@@ -30,7 +30,7 @@ void RunRow(bool use_display_cache, size_t db_cache_bytes, Table* table) {
   DatabaseClientOptions copts;
   copts.cache.capacity_bytes = db_cache_bytes;
   auto session = tb.dep().NewSession(100, copts);
-  DatabaseClient& client = session->client();
+  ClientApi& client = session->client();
   const DisplayClassDef* dc = tb.Dc(tb.dcs.color_coded_link);
   const CostModel& cm = tb.dep().bus().cost_model();
 

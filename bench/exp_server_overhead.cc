@@ -20,7 +20,7 @@ namespace idba {
 namespace bench {
 namespace {
 
-double CommitsPerSecond(Testbed& tb, DatabaseClient* writer, int commits) {
+double CommitsPerSecond(Testbed& tb, ClientApi* writer, int commits) {
   Rng rng(3);
   auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < commits; ++i) {

@@ -136,7 +136,7 @@ struct Repl {
       double util = 0;
       in >> oid >> util;
       const SchemaCatalog& cat = deployment.server().schema();
-      DatabaseClient& client = session->client();
+      ClientApi& client = session->client();
       TxnId t = client.Begin();
       auto obj = client.Read(t, Oid(oid));
       if (!obj.ok()) {

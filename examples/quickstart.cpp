@@ -4,33 +4,97 @@
 // display classes over it, opens two client sessions (a viewer and an
 // operator), and shows a committed update propagating to the viewer's
 // display objects through display locks + post-commit notification.
+//
+// The scenario runs on either backend:
+//
+//   ./quickstart                          # in-process deployment
+//   ./idba_serve --port 7450 &            # then, in another process:
+//   ./quickstart --connect 127.0.0.1:7450 # same scenario over TCP
+//
+// Both paths drive the identical application code — only the backend
+// wiring in main() differs, which is the whole point of the ClientApi /
+// DisplayLockService abstraction.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
 
 #include "core/session.h"
+#include "net/remote_client.h"
 #include "viz/color.h"
 
 using namespace idba;
 
-int main() {
-  // --- 1. Deployment: server + DLM agent + notification bus -------------
-  Deployment deployment;
-  SchemaCatalog& catalog = deployment.server().schema();
+namespace {
 
-  // --- 2. Database schema: pure real-world modelling, zero GUI state ----
-  ClassId node_cls = catalog.DefineClass("NetworkNode").value();
-  (void)catalog.AddAttribute(node_cls, "Name", ValueType::kString);
-  ClassId link_cls = catalog.DefineClass("Link").value();
-  (void)catalog.AddAttribute(link_cls, "Name", ValueType::kString);
-  (void)catalog.AddAttribute(link_cls, "From", ValueType::kOid);
-  (void)catalog.AddAttribute(link_cls, "To", ValueType::kOid);
-  (void)catalog.AddAttribute(link_cls, "Utilization", ValueType::kDouble,
-                             Value(0.0));
-  (void)catalog.AddAttribute(link_cls, "CapacityMbps", ValueType::kDouble,
-                             Value(10.0));
+struct DbSchema {
+  ClassId node_cls = 0;
+  ClassId link_cls = 0;
+};
 
-  // --- 3. Display schema (external to the database!) — figure 1 ---------
-  DisplaySchema& dschema = deployment.display_schema();
+// --- Database schema: pure real-world modelling, zero GUI state -----------
+// Issued through the client API so it works identically against an
+// in-process server or a remote one (where DDL is an RPC, replayed into
+// the client's local catalog copy). A long-lived server may already hold
+// the classes from a previous run — reuse them.
+Result<ClassId> DefineOrFind(ClientApi& op, const std::string& name) {
+  Result<ClassId> r = op.DefineClass(name);
+  if (r.ok()) return r;
+  if (const ClassDef* def = op.schema().FindByName(name)) return def->id();
+  return r;
+}
+
+DbSchema DefineDbSchema(ClientApi& op) {
+  DbSchema s;
+  s.node_cls = DefineOrFind(op, "NetworkNode").value();
+  (void)op.AddAttribute(s.node_cls, "Name", ValueType::kString);
+  s.link_cls = DefineOrFind(op, "Link").value();
+  (void)op.AddAttribute(s.link_cls, "Name", ValueType::kString);
+  (void)op.AddAttribute(s.link_cls, "From", ValueType::kOid);
+  (void)op.AddAttribute(s.link_cls, "To", ValueType::kOid);
+  (void)op.AddAttribute(s.link_cls, "Utilization", ValueType::kDouble,
+                        Value(0.0));
+  (void)op.AddAttribute(s.link_cls, "CapacityMbps", ValueType::kDouble,
+                        Value(10.0));
+  return s;
+}
+
+// --- Populate a tiny database ---------------------------------------------
+Oid Populate(ClientApi& op, const DbSchema& s) {
+  TxnId setup = op.Begin();
+  Oid n1 = op.AllocateOid(), n2 = op.AllocateOid(), l1 = op.AllocateOid();
+  DatabaseObject node1(n1, s.node_cls, 1);
+  node1.Set(0, Value("gateway"));
+  DatabaseObject node2(n2, s.node_cls, 1);
+  node2.Set(0, Value("backbone"));
+  DatabaseObject link(l1, s.link_cls, 5);
+  link.Set(0, Value("uplink-1"));
+  link.Set(1, Value(n1));
+  link.Set(2, Value(n2));
+  link.Set(3, Value(0.12));
+  link.Set(4, Value(100.0));
+  (void)op.Insert(setup, node1);
+  (void)op.Insert(setup, node2);
+  (void)op.Insert(setup, link);
+  (void)op.Commit(setup);
+  return l1;
+}
+
+// --- Display schema (external to the database!) — figure 1 ----------------
+// `catalog` must outlive the schema: the derivation lambdas resolve
+// attributes through it on every refresh.
+struct DisplayIds {
+  DisplayClassId color_dc = 0;
+  DisplayClassId width_dc = 0;
+};
+
+DisplayIds DefineDisplaySchema(DisplaySchema* dschema,
+                               const SchemaCatalog& catalog,
+                               ClassId link_cls) {
+  DisplayIds ids;
   DisplayClassDef color_def("ColorCodedLink", link_cls);
   color_def.Project("From", "From")
       .Project("To", "To")
@@ -46,7 +110,7 @@ int main() {
       .Gui("Y1", Value(0.0))
       .Gui("X2", Value(0.0))
       .Gui("Y2", Value(0.0));
-  DisplayClassId color_dc = dschema.Define(std::move(color_def), catalog).value();
+  ids.color_dc = dschema->Define(std::move(color_def), catalog).value();
 
   DisplayClassDef width_def("WidthCodedLink", link_cls);
   width_def.Project("Utilization", "Utilization")
@@ -59,51 +123,39 @@ int main() {
               })
       .Gui("X1", Value(0.0))
       .Gui("Y1", Value(0.0));
-  DisplayClassId width_dc = dschema.Define(std::move(width_def), catalog).value();
+  ids.width_dc = dschema->Define(std::move(width_def), catalog).value();
+  return ids;
+}
 
-  // --- 4. Populate a tiny database --------------------------------------
-  auto op_session = deployment.NewSession(101);  // the updating operator
-  DatabaseClient& op = op_session->client();
-  TxnId setup = op.Begin();
-  Oid n1 = op.AllocateOid(), n2 = op.AllocateOid(), l1 = op.AllocateOid();
-  DatabaseObject node1(n1, node_cls, 1);
-  node1.Set(0, Value("gateway"));
-  DatabaseObject node2(n2, node_cls, 1);
-  node2.Set(0, Value("backbone"));
-  DatabaseObject link(l1, link_cls, 5);
-  link.Set(0, Value("uplink-1"));
-  link.Set(1, Value(n1));
-  link.Set(2, Value(n2));
-  link.Set(3, Value(0.12));
-  link.Set(4, Value(100.0));
-  (void)op.Insert(setup, node1);
-  (void)op.Insert(setup, node2);
-  (void)op.Insert(setup, link);
-  (void)op.Commit(setup);
-
-  // --- 5. Viewer session: an active view over the link ------------------
-  auto viewer = deployment.NewSession(100);
-  ActiveView* color_view = viewer->CreateView("color-coded");
-  ActiveView* width_view = viewer->CreateView("width-coded");
+// --- The figure-1 interaction, backend-agnostic ---------------------------
+void RunScenario(ClientApi& op, InteractiveSession& viewer,
+                 const DisplaySchema& dschema, const DisplayIds& ids,
+                 Oid l1) {
+  ActiveView* color_view = viewer.CreateView("color-coded");
+  ActiveView* width_view = viewer.CreateView("width-coded");
   DisplayObject* color_line =
-      color_view->Materialize(dschema.Find(color_dc), {l1}).value();
+      color_view->Materialize(dschema.Find(ids.color_dc), {l1}).value();
   DisplayObject* width_line =
-      width_view->Materialize(dschema.Find(width_dc), {l1}).value();
+      width_view->Materialize(dschema.Find(ids.width_dc), {l1}).value();
   (void)color_line->SetGui("X1", Value(3.0));  // user drags the element
   (void)color_line->SetGui("Y1", Value(7.0));
 
   std::printf("before update:\n  %s\n  %s\n",
               color_line->ToString().c_str(), width_line->ToString().c_str());
 
-  // --- 6. The operator commits an update --------------------------------
+  // The operator commits an update.
   TxnId txn = op.Begin();
   DatabaseObject fresh = op.Read(txn, l1).value();
-  (void)fresh.SetByName(catalog, "Utilization", Value(0.93));
+  (void)fresh.SetByName(op.schema(), "Utilization", Value(0.93));
   (void)op.Write(txn, std::move(fresh));
   (void)op.Commit(txn);
 
-  // --- 7. Notification propagates; the display refreshes ----------------
-  int handled = viewer->PumpOnce();
+  // Notification propagates; the display refreshes. Over TCP the NOTIFY
+  // frame arrives asynchronously, so give it a moment to land.
+  for (int i = 0; i < 500 && viewer.client().inbox().pending() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  int handled = viewer.PumpOnce();
   std::printf(
       "\nafter update (%d notification handled, both displays refreshed "
       "from ONE message thanks to the DLC):\n  %s\n  %s\n",
@@ -111,11 +163,88 @@ int main() {
 
   std::printf("\npropagation latency (calibrated 1996 virtual time): %.0f ms\n",
               color_view->propagation_ms().mean());
-  std::printf("display locks held at DLM: %zu object(s)\n",
-              deployment.dlm().locked_object_count());
   std::printf(
       "memory: db object %zu B in client DB cache vs display object %zu B in "
       "display cache\n",
       op.ReadCurrent(l1).value().MemoryBytes(), color_line->MemoryBytes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* connect = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (connect == nullptr) {
+    // --- In-process backend: server + DLM agent + bus in this process ----
+    Deployment deployment;
+    auto op_session = deployment.NewSession(101);  // the updating operator
+    ClientApi& op = op_session->client();
+
+    DbSchema schema = DefineDbSchema(op);
+    Oid l1 = Populate(op, schema);
+
+    auto viewer = deployment.NewSession(100);
+    DisplaySchema dschema;
+    DisplayIds ids =
+        DefineDisplaySchema(&dschema, op.schema(), schema.link_cls);
+    RunScenario(op, *viewer, dschema, ids, l1);
+    std::printf("display locks held at DLM: %zu object(s)\n",
+                deployment.dlm().locked_object_count());
+    return 0;
+  }
+
+  // --- TCP backend: clients connect to an idba_serve process -------------
+  const char* colon = std::strrchr(connect, ':');
+  if (colon == nullptr) {
+    std::fprintf(stderr, "--connect expects host:port\n");
+    return 2;
+  }
+  std::string host(connect, colon - connect);
+  uint16_t port = static_cast<uint16_t>(std::atoi(colon + 1));
+
+  auto op_or = RemoteDatabaseClient::Connect(host, port, 101);
+  if (!op_or.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 op_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<RemoteDatabaseClient> op = std::move(op_or).value();
+
+  DbSchema schema = DefineDbSchema(*op);
+  Oid l1 = Populate(*op, schema);
+
+  // The viewer connects after the DDL above: the schema catalog is
+  // snapshotted at Hello.
+  auto viewer_or = RemoteDatabaseClient::Connect(host, port, 100);
+  if (!viewer_or.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 viewer_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<RemoteDatabaseClient> viewer_client =
+      std::move(viewer_or).value();
+  RemoteDatabaseClient* raw = viewer_client.get();
+  // The remote client is both the ClientApi and the DisplayLockService;
+  // notifications arrive through its own inbox, so no bus is needed.
+  InteractiveSession viewer(std::move(viewer_client), raw, /*bus=*/nullptr);
+
+  DisplaySchema dschema;
+  DisplayIds ids = DefineDisplaySchema(
+      &dschema, viewer.client().schema(), schema.link_cls);
+  RunScenario(*op, viewer, dschema, ids, l1);
+  std::printf("wire traffic: operator %llu B out / %llu B in, viewer %llu B "
+              "out / %llu B in\n",
+              static_cast<unsigned long long>(op->bytes_sent()),
+              static_cast<unsigned long long>(op->bytes_received()),
+              static_cast<unsigned long long>(raw->bytes_sent()),
+              static_cast<unsigned long long>(raw->bytes_received()));
   return 0;
 }

@@ -103,7 +103,7 @@ TickerDb Setup(Deployment& deployment) {
 
   // Seed market data + a portfolio.
   auto loader = deployment.NewSession(99);
-  DatabaseClient& client = loader->client();
+  ClientApi& client = loader->client();
   Rng rng(5);
   TxnId t = client.Begin();
   for (const char* symbol : kSymbols) {
@@ -182,7 +182,7 @@ int main() {
   int handled = 0;
   for (int tick = 0; tick < 30; ++tick) {
     Oid quote = db.quotes[rng.NextBelow(db.quotes.size())];
-    auto result = RunTransaction(&feed->client(), [&](DatabaseClient& c, TxnId t) {
+    auto result = RunTransaction(&feed->client(), [&](ClientApi& c, TxnId t) {
       IDBA_ASSIGN_OR_RETURN(DatabaseObject q, c.Read(t, quote));
       double last = q.GetByName(cat, "Last").value().AsNumber();
       double px = std::max(1.0, last * (1 + (rng.NextDouble() - 0.5) * 0.04));

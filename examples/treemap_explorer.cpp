@@ -137,7 +137,7 @@ int main() {
   std::printf("tile before update: %s\n", tile->ToString().c_str());
 
   auto op_session = deployment.NewSession(101);
-  DatabaseClient& op = op_session->client();
+  ClientApi& op = op_session->client();
   TxnId txn = op.Begin();
   DatabaseObject dev = op.Read(txn, device).value();
   (void)dev.SetByName(catalog, "Utilization", Value(0.97));

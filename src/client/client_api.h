@@ -1,0 +1,99 @@
+// Backend-neutral client interfaces.
+//
+// ClientApi is the surface an interactive application programs against: the
+// transactional/query operations of DatabaseClient plus the client-local
+// runtime pieces (cache, inbox, virtual clock) that the display layer
+// (DLC, ActiveView) needs. Two implementations exist:
+//   - DatabaseClient        — direct in-process calls, metered virtual cost
+//   - RemoteDatabaseClient  — the same operations over the TCP wire protocol
+// Application code written against ClientApi runs unchanged over either.
+//
+// DisplayLockService is the corresponding abstraction of the Display Lock
+// Manager's request surface: in-process the DLC talks straight to the
+// DisplayLockManager; remotely, RemoteDatabaseClient forwards the requests
+// as wire frames to the server-hosted DLM.
+
+#pragma once
+
+#include <vector>
+
+#include "client/object_cache.h"
+#include "common/cost_model.h"
+#include "common/status.h"
+#include "common/vtime.h"
+#include "net/inbox.h"
+#include "objectmodel/object.h"
+#include "objectmodel/query.h"
+#include "objectmodel/schema.h"
+#include "server/callback_manager.h"
+#include "txn/txn_manager.h"
+
+namespace idba {
+
+/// Client cache consistency family (paper §3.3). Avoidance (the default,
+/// and the paper's choice for displays) guarantees cached copies are valid
+/// via server callbacks; detection allows stale copies and validates a
+/// transaction's optimistic reads at commit, aborting on staleness.
+enum class ConsistencyMode { kAvoidance, kDetection };
+
+/// The application-facing database handle, independent of transport.
+class ClientApi {
+ public:
+  virtual ~ClientApi() = default;
+
+  virtual ClientId id() const = 0;
+  virtual VirtualClock& clock() = 0;
+  virtual Inbox& inbox() = 0;
+  virtual ObjectCache& cache() = 0;
+  virtual const SchemaCatalog& schema() const = 0;
+  virtual const CostModel& cost_model() const = 0;
+  virtual ConsistencyMode consistency() const = 0;
+
+  // --- Schema administration (setup phase; DDL travels with the client
+  // connection, like any client-server DBMS) ----------------------------
+  virtual Result<ClassId> DefineClass(const std::string& name,
+                                      ClassId base = 0) = 0;
+  virtual Status AddAttribute(ClassId cls, const std::string& name,
+                              ValueType type, Value default_value = Value()) = 0;
+
+  // --- Transactions ----------------------------------------------------
+  virtual TxnId Begin() = 0;
+  virtual Result<DatabaseObject> Read(TxnId txn, Oid oid) = 0;
+  virtual Result<DatabaseObject> ReadCurrent(Oid oid) = 0;
+  virtual Status Write(TxnId txn, DatabaseObject obj) = 0;
+  virtual Status Insert(TxnId txn, DatabaseObject obj) = 0;
+  virtual Status EraseObject(TxnId txn, Oid oid) = 0;
+  virtual Result<CommitResult> Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+
+  // --- Bulk reads -------------------------------------------------------
+  virtual Result<std::vector<DatabaseObject>> ScanClass(
+      ClassId cls, bool include_subclasses = false) = 0;
+  virtual Result<std::vector<DatabaseObject>> RunQuery(
+      const ObjectQuery& query) = 0;
+
+  virtual Oid AllocateOid() = 0;
+
+  /// Latest committed version of `oid` (introspection used by staleness
+  /// accounting; not metered, not transactional).
+  virtual Result<uint64_t> LatestVersion(Oid oid) = 0;
+
+  virtual uint64_t rpcs_issued() const = 0;
+  /// Validation aborts suffered (detection mode only).
+  virtual uint64_t validation_aborts() const = 0;
+};
+
+/// The DLM request surface as seen from a client (paper §4.1: lock/unlock
+/// messages; batches are the one-message-per-view optimization).
+class DisplayLockService {
+ public:
+  virtual ~DisplayLockService() = default;
+  virtual Status Lock(ClientId holder, Oid oid, VTime sent_at) = 0;
+  virtual Status Unlock(ClientId holder, Oid oid, VTime sent_at) = 0;
+  virtual Status LockBatch(ClientId holder, const std::vector<Oid>& oids,
+                           VTime sent_at) = 0;
+  virtual Status UnlockBatch(ClientId holder, const std::vector<Oid>& oids,
+                             VTime sent_at) = 0;
+};
+
+}  // namespace idba

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "client/client_api.h"
 #include "client/object_cache.h"
 #include "net/inbox.h"
 #include "net/notification_bus.h"
@@ -21,12 +22,6 @@
 #include "server/database_server.h"
 
 namespace idba {
-
-/// Client cache consistency family (paper §3.3). Avoidance (the default,
-/// and the paper's choice for displays) guarantees cached copies are valid
-/// via server callbacks; detection allows stale copies and validates a
-/// transaction's optimistic reads at commit, aborting on staleness.
-enum class ConsistencyMode { kAvoidance, kDetection };
 
 struct DatabaseClientOptions {
   ObjectCacheOptions cache;
@@ -39,51 +34,68 @@ struct DatabaseClientOptions {
 /// One per application process. Thread-compatible: the application drives
 /// it from its user thread; the notification pump may concurrently touch
 /// the cache (which is internally synchronized).
-class DatabaseClient {
+class DatabaseClient : public ClientApi {
  public:
   DatabaseClient(DatabaseServer* server, ClientId id, RpcMeter* meter,
                  NotificationBus* bus, DatabaseClientOptions opts = {});
-  ~DatabaseClient();
+  ~DatabaseClient() override;
 
   DatabaseClient(const DatabaseClient&) = delete;
   DatabaseClient& operator=(const DatabaseClient&) = delete;
 
-  ClientId id() const { return id_; }
-  VirtualClock& clock() { return clock_; }
-  Inbox& inbox() { return inbox_; }
-  ObjectCache& cache() { return cache_; }
+  ClientId id() const override { return id_; }
+  VirtualClock& clock() override { return clock_; }
+  Inbox& inbox() override { return inbox_; }
+  ObjectCache& cache() override { return cache_; }
   DatabaseServer& server() { return *server_; }
-  const SchemaCatalog& schema() const { return server_->schema(); }
+  const SchemaCatalog& schema() const override { return server_->schema(); }
+  const CostModel& cost_model() const override { return meter_->cost_model(); }
+
+  // --- Schema administration (direct catalog access; setup phase) ------
+  Result<ClassId> DefineClass(const std::string& name,
+                              ClassId base = 0) override {
+    return server_->schema().DefineClass(name, base);
+  }
+  Status AddAttribute(ClassId cls, const std::string& name, ValueType type,
+                      Value default_value = Value()) override {
+    return server_->schema().AddAttribute(cls, name, type,
+                                          std::move(default_value));
+  }
 
   // --- Transactions ----------------------------------------------------
-  TxnId Begin();
+  TxnId Begin() override;
 
   /// Transactional read (S lock at the server on a miss; free on a hit).
-  Result<DatabaseObject> Read(TxnId txn, Oid oid);
+  Result<DatabaseObject> Read(TxnId txn, Oid oid) override;
 
   /// Degree-0 read of the latest committed image (display building).
-  Result<DatabaseObject> ReadCurrent(Oid oid);
+  Result<DatabaseObject> ReadCurrent(Oid oid) override;
 
-  Status Write(TxnId txn, DatabaseObject obj);
-  Status Insert(TxnId txn, DatabaseObject obj);
-  Status EraseObject(TxnId txn, Oid oid);
+  Status Write(TxnId txn, DatabaseObject obj) override;
+  Status Insert(TxnId txn, DatabaseObject obj) override;
+  Status EraseObject(TxnId txn, Oid oid) override;
 
-  Result<CommitResult> Commit(TxnId txn);
-  Status Abort(TxnId txn);
+  Result<CommitResult> Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
 
   /// Degree-0 scan used to populate displays.
-  Result<std::vector<DatabaseObject>> ScanClass(ClassId cls,
-                                                bool include_subclasses = false);
+  Result<std::vector<DatabaseObject>> ScanClass(
+      ClassId cls, bool include_subclasses = false) override;
 
   /// Degree-0 server-side predicate query; matches enter the cache.
-  Result<std::vector<DatabaseObject>> RunQuery(const ObjectQuery& query);
+  Result<std::vector<DatabaseObject>> RunQuery(const ObjectQuery& query) override;
 
-  Oid AllocateOid() { return server_->AllocateOid(); }
+  Oid AllocateOid() override { return server_->AllocateOid(); }
 
-  uint64_t rpcs_issued() const { return rpcs_.Get(); }
-  ConsistencyMode consistency() const { return opts_.consistency; }
+  Result<uint64_t> LatestVersion(Oid oid) override {
+    IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, server_->heap().Read(oid));
+    return obj.version();
+  }
+
+  uint64_t rpcs_issued() const override { return rpcs_.Get(); }
+  ConsistencyMode consistency() const override { return opts_.consistency; }
   /// Validation aborts suffered (detection mode only).
-  uint64_t validation_aborts() const { return validation_aborts_.Get(); }
+  uint64_t validation_aborts() const override { return validation_aborts_.Get(); }
 
  private:
   void PreObserve();

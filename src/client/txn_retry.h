@@ -6,7 +6,7 @@
 
 #include <functional>
 
-#include "client/database_client.h"
+#include "client/client_api.h"
 
 namespace idba {
 
@@ -25,8 +25,8 @@ struct TxnRetryResult {
 /// aborts (if still active) and retries up to `max_attempts`. Any other
 /// error aborts and returns immediately.
 inline TxnRetryResult RunTransaction(
-    DatabaseClient* client,
-    const std::function<Status(DatabaseClient&, TxnId)>& body,
+    ClientApi* client,
+    const std::function<Status(ClientApi&, TxnId)>& body,
     TxnRetryOptions opts = {}) {
   TxnRetryResult result;
   for (result.attempts = 1; result.attempts <= opts.max_attempts;

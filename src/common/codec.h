@@ -27,7 +27,7 @@ class Encoder {
   void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
 
   void PutDouble(double v) {
-    uint64_t bits;
+    uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
     PutU64(bits);
   }
@@ -76,7 +76,7 @@ class Decoder {
       : Decoder(buf.data(), buf.size()) {}
 
   Status GetU8(uint8_t* v) {
-    if (pos_ + 1 > size_) return Underflow("u8");
+    if (size_ - pos_ < 1) return Underflow("u8");
     *v = data_[pos_++];
     return Status::OK();
   }
@@ -84,14 +84,14 @@ class Decoder {
   Status GetU32(uint32_t* v) { return GetFixed(v); }
   Status GetU64(uint64_t* v) { return GetFixed(v); }
   Status GetI64(int64_t* v) {
-    uint64_t u;
+    uint64_t u = 0;
     IDBA_RETURN_NOT_OK(GetU64(&u));
     *v = static_cast<int64_t>(u);
     return Status::OK();
   }
 
   Status GetDouble(double* v) {
-    uint64_t bits;
+    uint64_t bits = 0;
     IDBA_RETURN_NOT_OK(GetU64(&bits));
     std::memcpy(v, &bits, sizeof(*v));
     return Status::OK();
@@ -102,6 +102,11 @@ class Decoder {
     for (int shift = 0; shift <= 63; shift += 7) {
       if (pos_ >= size_) return Underflow("varint");
       uint8_t byte = data_[pos_++];
+      // The 10th byte (shift 63) may only contribute its lowest bit; any
+      // higher payload bit would overflow uint64_t silently.
+      if (shift == 63 && (byte & 0x7E) != 0) {
+        return Status::Corruption("varint overflows 64 bits");
+      }
       result |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) {
         *v = result;
@@ -114,14 +119,16 @@ class Decoder {
   Status GetString(std::string* s) {
     uint64_t len;
     IDBA_RETURN_NOT_OK(GetVarint(&len));
-    if (pos_ + len > size_) return Underflow("string body");
+    // Compare via subtraction: `pos_ + len` could wrap around for a hostile
+    // length prefix and pass a naive bounds check.
+    if (len > size_ - pos_) return Underflow("string body");
     s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
-    pos_ += len;
+    pos_ += static_cast<size_t>(len);
     return Status::OK();
   }
 
   Status Skip(size_t n) {
-    if (pos_ + n > size_) return Underflow("skip");
+    if (n > size_ - pos_) return Underflow("skip");
     pos_ += n;
     return Status::OK();
   }
@@ -133,7 +140,7 @@ class Decoder {
  private:
   template <typename T>
   Status GetFixed(T* v) {
-    if (pos_ + sizeof(T) > size_) return Underflow("fixed int");
+    if (size_ - pos_ < sizeof(T)) return Underflow("fixed int");
     T out = 0;
     for (size_t i = 0; i < sizeof(T); ++i) {
       out |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));

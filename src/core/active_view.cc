@@ -4,7 +4,7 @@
 
 namespace idba {
 
-ActiveView::ActiveView(std::string name, DatabaseClient* client,
+ActiveView::ActiveView(std::string name, ClientApi* client,
                        DisplayLockClient* dlc, DisplayCache* cache,
                        ActiveViewOptions opts)
     : name_(std::move(name)), client_(client), dlc_(dlc), cache_(cache),
@@ -131,8 +131,8 @@ size_t ActiveView::CountStaleObjects() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t stale = 0;
   for (const auto& [oid, displayed_version] : displayed_versions_) {
-    auto current = client_->server().heap().Read(oid);
-    if (!current.ok() || current.value().version() != displayed_version) {
+    auto current = client_->LatestVersion(oid);
+    if (!current.ok() || current.value() != displayed_version) {
       ++stale;
     }
   }

@@ -30,7 +30,7 @@ struct ActiveViewOptions {
 /// One display (window). Register it on a DLC, then Materialize elements.
 class ActiveView : public DisplayNotificationSink {
  public:
-  ActiveView(std::string name, DatabaseClient* client, DisplayLockClient* dlc,
+  ActiveView(std::string name, ClientApi* client, DisplayLockClient* dlc,
              DisplayCache* cache, ActiveViewOptions opts = {});
   ~ActiveView() override;
 
@@ -94,7 +94,7 @@ class ActiveView : public DisplayNotificationSink {
   Status RefreshObject(DisplayObject* dob, const UpdateNotifyMessage& msg);
 
   std::string name_;
-  DatabaseClient* client_;
+  ClientApi* client_;
   DisplayLockClient* dlc_;
   DisplayCache* cache_;
   ActiveViewOptions opts_;

@@ -4,8 +4,8 @@
 
 namespace idba {
 
-DisplayLockClient::DisplayLockClient(DatabaseClient* client,
-                                     DisplayLockManager* dlm,
+DisplayLockClient::DisplayLockClient(ClientApi* client,
+                                     DisplayLockService* dlm,
                                      NotificationBus* bus, DlcOptions opts)
     : client_(client), dlm_(dlm), bus_(bus), opts_(opts) {}
 
@@ -135,7 +135,7 @@ void DisplayLockClient::Dispatch(const Envelope& env) {
   // The client observes the message arrival and pays dispatch CPU.
   client_->clock().Observe(env.arrives_at);
   client_->clock().Advance(
-      bus_->cost_model().NotificationDispatchCpu());
+      client_->cost_model().NotificationDispatchCpu());
 
   // Which local displays care? Hierarchical mode: every display holding a
   // local lock on any OID in the message (the DLC's fan-out role).

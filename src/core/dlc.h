@@ -42,9 +42,15 @@ struct DlcOptions {
 
 /// One per client application. Thread-compatible; Pump runs on the
 /// client's notification thread (or is called manually in tests).
+///
+/// Works over any ClientApi/DisplayLockService pair: in-process the service
+/// is the DisplayLockManager itself; over TCP it is the
+/// RemoteDatabaseClient, which forwards requests as wire frames. `bus` may
+/// be null for remote deployments (it is only used by the non-hierarchical
+/// E6 baseline to register per-display pseudo-endpoints).
 class DisplayLockClient {
  public:
-  DisplayLockClient(DatabaseClient* client, DisplayLockManager* dlm,
+  DisplayLockClient(ClientApi* client, DisplayLockService* dlm,
                     NotificationBus* bus, DlcOptions opts = {});
   ~DisplayLockClient();
 
@@ -72,8 +78,8 @@ class DisplayLockClient {
   /// elapses, then pumps. Returns envelopes handled.
   int PumpWait(int64_t timeout_ms);
 
-  DatabaseClient& client() { return *client_; }
-  const CostModel& cost_model() const { return bus_->cost_model(); }
+  ClientApi& client() { return *client_; }
+  const CostModel& cost_model() const { return client_->cost_model(); }
 
   uint64_t local_lock_requests() const { return local_requests_.Get(); }
   uint64_t remote_lock_requests() const { return remote_requests_.Get(); }
@@ -84,8 +90,8 @@ class DisplayLockClient {
   void Dispatch(const Envelope& env);
   ClientId RemoteIdFor(DisplayId display) const;
 
-  DatabaseClient* client_;
-  DisplayLockManager* dlm_;
+  ClientApi* client_;
+  DisplayLockService* dlm_;
   NotificationBus* bus_;
   DlcOptions opts_;
 

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "client/client_api.h"
 #include "common/metrics.h"
 #include "core/notification.h"
 #include "net/notification_bus.h"
@@ -39,21 +40,23 @@ struct DlmOptions {
 };
 
 /// Thread-safe display lock manager. One per deployment.
-class DisplayLockManager {
+class DisplayLockManager : public DisplayLockService {
  public:
   DisplayLockManager(DatabaseServer* server, NotificationBus* bus,
                      DlmOptions opts = {});
 
   /// Registers a display lock for `holder` on `oid`. `sent_at` is the
   /// holder's virtual clock when the (unacknowledged) request left.
-  Status Lock(ClientId holder, Oid oid, VTime sent_at);
-  Status Unlock(ClientId holder, Oid oid, VTime sent_at);
+  Status Lock(ClientId holder, Oid oid, VTime sent_at) override;
+  Status Unlock(ClientId holder, Oid oid, VTime sent_at) override;
 
   /// Registers display locks on many objects with ONE request message —
   /// the natural optimization when a view materializes (a display opening
   /// over N objects would otherwise send N messages).
-  Status LockBatch(ClientId holder, const std::vector<Oid>& oids, VTime sent_at);
-  Status UnlockBatch(ClientId holder, const std::vector<Oid>& oids, VTime sent_at);
+  Status LockBatch(ClientId holder, const std::vector<Oid>& oids,
+                   VTime sent_at) override;
+  Status UnlockBatch(ClientId holder, const std::vector<Oid>& oids,
+                     VTime sent_at) override;
 
   /// Releases everything a client holds (disconnect).
   void ReleaseClient(ClientId holder);

@@ -21,21 +21,34 @@ InteractiveSession::InteractiveSession(Deployment* deployment, ClientId id,
                                        DlcOptions dlc_opts,
                                        DisplayCacheOptions cache_opts)
     : deployment_(deployment),
-      client_(&deployment->server(), id, &deployment->meter(),
-              &deployment->bus(), client_opts),
-      dlc_(&client_, &deployment->dlm(), &deployment->bus(), dlc_opts),
+      client_(std::make_unique<DatabaseClient>(&deployment->server(), id,
+                                               &deployment->meter(),
+                                               &deployment->bus(), client_opts)),
+      dlc_(client_.get(), &deployment->dlm(), &deployment->bus(), dlc_opts),
+      display_cache_(cache_opts) {}
+
+InteractiveSession::InteractiveSession(std::unique_ptr<ClientApi> client,
+                                       DisplayLockService* locks,
+                                       NotificationBus* bus,
+                                       DlcOptions dlc_opts,
+                                       DisplayCacheOptions cache_opts)
+    : deployment_(nullptr),
+      client_(std::move(client)),
+      dlc_(client_.get(), locks, bus, dlc_opts),
       display_cache_(cache_opts) {}
 
 InteractiveSession::~InteractiveSession() {
   StopPump();
   for (auto& [name, view] : views_) view->Close();
   views_.clear();
-  deployment_->dlm().ReleaseClient(client_.id());
+  if (deployment_ != nullptr) {
+    deployment_->dlm().ReleaseClient(client_->id());
+  }
 }
 
 ActiveView* InteractiveSession::CreateView(const std::string& name,
                                            ActiveViewOptions opts) {
-  auto view = std::make_unique<ActiveView>(name, &client_, &dlc_,
+  auto view = std::make_unique<ActiveView>(name, client_.get(), &dlc_,
                                            &display_cache_, opts);
   ActiveView* raw = view.get();
   views_[name] = std::move(view);

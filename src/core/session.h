@@ -56,16 +56,30 @@ class Deployment {
 };
 
 /// One client application: DB client + DLC + display cache + views.
+///
+/// Two flavors: deployment-backed (in-process DatabaseClient wired to the
+/// deployment's server/DLM/bus) or backend-agnostic (owns any ClientApi —
+/// e.g. a RemoteDatabaseClient — plus the matching DisplayLockService).
 class InteractiveSession {
  public:
   InteractiveSession(Deployment* deployment, ClientId id,
                      DatabaseClientOptions client_opts, DlcOptions dlc_opts,
                      DisplayCacheOptions cache_opts);
+
+  /// Backend-agnostic session over an already-connected client. `locks` is
+  /// the display-lock request surface matching that client's backend;
+  /// `bus` may be null (remote backends deliver notifications through the
+  /// client's own inbox).
+  InteractiveSession(std::unique_ptr<ClientApi> client,
+                     DisplayLockService* locks, NotificationBus* bus,
+                     DlcOptions dlc_opts = {},
+                     DisplayCacheOptions cache_opts = {});
   ~InteractiveSession();
 
-  DatabaseClient& client() { return client_; }
+  ClientApi& client() { return *client_; }
   DisplayLockClient& dlc() { return dlc_; }
   DisplayCache& display_cache() { return display_cache_; }
+  /// Only valid for deployment-backed sessions.
   Deployment& deployment() { return *deployment_; }
 
   /// Creates a named display (window). Owned by the session.
@@ -83,7 +97,7 @@ class InteractiveSession {
 
  private:
   Deployment* deployment_;
-  DatabaseClient client_;
+  std::unique_ptr<ClientApi> client_;
   DisplayLockClient dlc_;
   DisplayCache display_cache_;
   std::unordered_map<std::string, std::unique_ptr<ActiveView>> views_;

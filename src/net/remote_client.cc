@@ -1,0 +1,512 @@
+#include "net/remote_client.h"
+
+#include "core/notification.h"
+
+namespace idba {
+
+RemoteDatabaseClient::RemoteDatabaseClient(ClientId id, RemoteClientOptions opts)
+    : id_(id), opts_(opts), cost_model_(opts.cost), cache_(opts.cache) {}
+
+Result<std::unique_ptr<RemoteDatabaseClient>> RemoteDatabaseClient::Connect(
+    const std::string& host, uint16_t port, ClientId id,
+    RemoteClientOptions opts) {
+  std::unique_ptr<RemoteDatabaseClient> client(
+      new RemoteDatabaseClient(id, opts));
+  IDBA_ASSIGN_OR_RETURN(client->sock_, Socket::ConnectTo(host, port));
+  client->connected_.store(true);
+  RemoteDatabaseClient* raw = client.get();
+  client->reader_ = std::thread([raw] { raw->ReaderLoop(); });
+  IDBA_RETURN_NOT_OK(client->Hello());
+  if (opts.report_evictions) {
+    client->cache_.set_eviction_callback([raw](Oid oid) {
+      std::vector<uint8_t> body;
+      Encoder enc(&body);
+      enc.PutU64(oid.value);
+      raw->SendOneWay(wire::Method::kNoteEvicted, body);
+    });
+  }
+  return client;
+}
+
+RemoteDatabaseClient::~RemoteDatabaseClient() {
+  shutting_down_.store(true);
+  cache_.set_eviction_callback(EvictionCallback());
+  sock_.ShutdownBoth();
+  if (reader_.joinable()) reader_.join();
+  inbox_.Close();
+  sock_.Close();
+}
+
+// ---------------------------------------------------------------------------
+// Transport plumbing
+// ---------------------------------------------------------------------------
+
+Status RemoteDatabaseClient::Hello() {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(id_);
+  enc.PutU8(static_cast<uint8_t>(opts_.consistency));
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(
+      Call(wire::Method::kHello, body, &reply, &at, /*count_rpc=*/false));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  return SchemaCatalog::DecodeFrom(&dec, &schema_);
+}
+
+Status RemoteDatabaseClient::Call(wire::Method method,
+                                  const std::vector<uint8_t>& body,
+                                  std::vector<uint8_t>* reply, size_t* body_at,
+                                  bool count_rpc) {
+  if (!connected_.load()) return Status::IOError("not connected");
+  std::vector<uint8_t> payload;
+  payload.reserve(body.size() + 16);
+  Encoder enc(&payload);
+  enc.PutU8(static_cast<uint8_t>(method));
+  enc.PutI64(clock_.Now());
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  PendingCall call;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    seq = next_seq_++;
+    pending_[seq] = &call;
+  }
+  Status sent = sock_.WriteFrame(write_mu_, wire::FrameType::kRequest, seq,
+                                 payload, &bytes_out_);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    pending_.erase(seq);
+    return sent;
+  }
+  {
+    std::unique_lock<std::mutex> lock(calls_mu_);
+    calls_cv_.wait(lock, [&] { return call.done; });
+  }
+  IDBA_RETURN_NOT_OK(call.transport);
+
+  Decoder dec(call.payload.data(), call.payload.size());
+  Status remote;
+  IDBA_RETURN_NOT_OK(wire::DecodeStatus(&dec, &remote));
+  VTime completion = 0;
+  IDBA_RETURN_NOT_OK(dec.GetI64(&completion));
+  clock_.Observe(completion);
+  if (count_rpc) rpcs_.Add();
+  *body_at = dec.position();
+  *reply = std::move(call.payload);
+  return remote;
+}
+
+void RemoteDatabaseClient::SendOneWay(wire::Method method,
+                                      const std::vector<uint8_t>& body) {
+  if (!connected_.load() || shutting_down_.load()) return;
+  std::vector<uint8_t> payload;
+  payload.reserve(body.size() + 16);
+  Encoder enc(&payload);
+  enc.PutU8(static_cast<uint8_t>(method));
+  enc.PutI64(clock_.Now());
+  payload.insert(payload.end(), body.begin(), body.end());
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    seq = next_seq_++;
+  }
+  (void)sock_.WriteFrame(write_mu_, wire::FrameType::kOneWay, seq, payload,
+                         &bytes_out_);
+}
+
+void RemoteDatabaseClient::FailAllPending(const Status& st) {
+  std::lock_guard<std::mutex> lock(calls_mu_);
+  for (auto& [seq, call] : pending_) {
+    call->transport = st.ok() ? Status::IOError("connection closed") : st;
+    call->done = true;
+  }
+  pending_.clear();
+  calls_cv_.notify_all();
+}
+
+void RemoteDatabaseClient::ReaderLoop() {
+  Status st;
+  for (;;) {
+    wire::FrameHeader header;
+    std::vector<uint8_t> payload;
+    st = sock_.ReadFrame(&header, &payload, &bytes_in_);
+    if (!st.ok()) break;
+    switch (header.type) {
+      case wire::FrameType::kResponse: {
+        std::lock_guard<std::mutex> lock(calls_mu_);
+        auto it = pending_.find(header.seq);
+        if (it != pending_.end()) {
+          it->second->payload = std::move(payload);
+          it->second->done = true;
+          pending_.erase(it);
+          calls_cv_.notify_all();
+        }
+        break;
+      }
+      case wire::FrameType::kNotify: {
+        Decoder dec(payload.data(), payload.size());
+        wire::NotifyFrame frame;
+        if (!wire::DecodeNotifyMeta(&dec, &frame).ok()) break;
+        Envelope env;
+        env.from = frame.from;
+        env.to = frame.to;
+        env.sent_at = frame.sent_at;
+        env.arrives_at = frame.arrives_at;
+        env.wire_bytes = frame.virtual_wire_bytes;
+        if (frame.kind == wire::NotifyKind::kUpdate) {
+          auto msg = std::make_shared<UpdateNotifyMessage>();
+          if (!UpdateNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
+          env.msg = std::move(msg);
+        } else {
+          auto msg = std::make_shared<IntentNotifyMessage>();
+          if (!IntentNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
+          env.msg = std::move(msg);
+        }
+        notify_frames_.Add();
+        inbox_.Deliver(std::move(env));
+        break;
+      }
+      case wire::FrameType::kCallback: {
+        // Synchronous cache invalidation: the server's committing client is
+        // blocked until our ack. Handled here on the reader thread — which
+        // never issues RPCs of its own — so the ack flows even while this
+        // client's user thread is blocked inside its own Commit().
+        Decoder dec(payload.data(), payload.size());
+        uint64_t oid = 0, version = 0;
+        if (dec.GetU64(&oid).ok() && dec.GetU64(&version).ok()) {
+          cache_.InvalidateCached(Oid(oid), version);
+          callback_frames_.Add();
+        }
+        (void)sock_.WriteFrame(write_mu_, wire::FrameType::kCallbackAck,
+                               header.seq, {}, &bytes_out_);
+        break;
+      }
+      default:
+        break;  // server never sends REQUEST/ONEWAY; ignore
+    }
+  }
+  connected_.store(false);
+  FailAllPending(shutting_down_.load() ? Status::IOError("client shut down")
+                                       : st);
+  inbox_.Close();
+}
+
+// ---------------------------------------------------------------------------
+// ClientApi
+// ---------------------------------------------------------------------------
+
+Result<ClassId> RemoteDatabaseClient::DefineClass(const std::string& name,
+                                                  ClassId base) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutString(name);
+  enc.PutU32(base);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kDefineClass, body, &reply, &at,
+                          /*count_rpc=*/false));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  ClassId remote_id = 0;
+  IDBA_RETURN_NOT_OK(dec.GetU32(&remote_id));
+  // Replay into the local catalog so class ids (and object layouts) match
+  // the server's exactly.
+  IDBA_ASSIGN_OR_RETURN(ClassId local_id, schema_.DefineClass(name, base));
+  if (local_id != remote_id) {
+    return Status::Internal("schema divergence: server assigned class " +
+                            std::to_string(remote_id) + ", local replay " +
+                            std::to_string(local_id));
+  }
+  return remote_id;
+}
+
+Status RemoteDatabaseClient::AddAttribute(ClassId cls, const std::string& name,
+                                          ValueType type,
+                                          Value default_value) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU32(cls);
+  enc.PutString(name);
+  enc.PutU8(static_cast<uint8_t>(type));
+  default_value.EncodeTo(&enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kAddAttribute, body, &reply, &at,
+                          /*count_rpc=*/false));
+  return schema_.AddAttribute(cls, name, type, std::move(default_value));
+}
+
+TxnId RemoteDatabaseClient::Begin() {
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  if (!Call(wire::Method::kBegin, {}, &reply, &at, /*count_rpc=*/false).ok()) {
+    return 0;
+  }
+  Decoder dec(reply.data() + at, reply.size() - at);
+  uint64_t txn = 0;
+  if (!dec.GetU64(&txn).ok()) return 0;
+  return txn;
+}
+
+void RemoteDatabaseClient::RecordRead(TxnId txn, const DatabaseObject& obj) {
+  std::lock_guard<std::mutex> lock(read_sets_mu_);
+  read_sets_[txn].emplace_back(obj.oid(), obj.version());
+}
+
+Result<DatabaseObject> RemoteDatabaseClient::Read(TxnId txn, Oid oid) {
+  if (auto cached = cache_.Get(oid)) {
+    if (opts_.consistency == ConsistencyMode::kDetection) {
+      RecordRead(txn, *cached);
+      return *cached;
+    }
+    // Avoidance: valid copy, but an update transaction needs the S lock —
+    // lock-only round trip, then re-check (the copy may have been called
+    // back while we waited; with S held a present copy is current).
+    std::vector<uint8_t> body;
+    Encoder enc(&body);
+    enc.PutU64(txn);
+    enc.PutU64(oid.value);
+    std::vector<uint8_t> reply;
+    size_t at = 0;
+    IDBA_RETURN_NOT_OK(
+        Call(wire::Method::kLockForRead, body, &reply, &at));
+    if (auto still = cache_.Get(oid)) return *still;
+  }
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  wire::Method method;
+  if (opts_.consistency == ConsistencyMode::kDetection) {
+    // Optimistic read: no S lock, copy untracked by the server.
+    method = wire::Method::kFetchCurrent;
+    enc.PutU64(oid.value);
+    enc.PutU8(0);
+  } else {
+    method = wire::Method::kFetch;
+    enc.PutU64(txn);
+    enc.PutU64(oid.value);
+  }
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(method, body, &reply, &at));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  DatabaseObject obj;
+  IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(&dec, &obj));
+  if (opts_.consistency == ConsistencyMode::kDetection) RecordRead(txn, obj);
+  cache_.Put(obj);
+  return obj;
+}
+
+Result<DatabaseObject> RemoteDatabaseClient::ReadCurrent(Oid oid) {
+  if (auto cached = cache_.Get(oid)) return *cached;
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(oid.value);
+  enc.PutU8(opts_.consistency == ConsistencyMode::kAvoidance ? 1 : 0);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kFetchCurrent, body, &reply, &at));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  DatabaseObject obj;
+  IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(&dec, &obj));
+  cache_.Put(obj);
+  return obj;
+}
+
+Status RemoteDatabaseClient::Write(TxnId txn, DatabaseObject obj) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(txn);
+  obj.EncodeTo(&enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kPut, body, &reply, &at);
+}
+
+Status RemoteDatabaseClient::Insert(TxnId txn, DatabaseObject obj) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(txn);
+  obj.EncodeTo(&enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kInsert, body, &reply, &at);
+}
+
+Status RemoteDatabaseClient::EraseObject(TxnId txn, Oid oid) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(txn);
+  enc.PutU64(oid.value);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kErase, body, &reply, &at);
+}
+
+Result<CommitResult> RemoteDatabaseClient::Commit(TxnId txn) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(txn);
+  wire::Method method = wire::Method::kCommit;
+  std::vector<std::pair<Oid, uint64_t>> read_set;
+  if (opts_.consistency == ConsistencyMode::kDetection) {
+    {
+      std::lock_guard<std::mutex> lock(read_sets_mu_);
+      auto it = read_sets_.find(txn);
+      if (it != read_sets_.end()) {
+        read_set = std::move(it->second);
+        read_sets_.erase(it);
+      }
+    }
+    wire::EncodeReadSet(read_set, &enc);
+    method = wire::Method::kCommitValidated;
+  }
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  Status st = Call(method, body, &reply, &at);
+  if (!st.ok()) {
+    if (st.IsAborted() && method == wire::Method::kCommitValidated) {
+      validation_aborts_.Add();
+      // Our optimistic copies proved stale; drop them so a retry
+      // re-fetches current images.
+      for (const auto& [oid, version] : read_set) cache_.Drop(oid);
+    }
+    return st;
+  }
+  Decoder dec(reply.data() + at, reply.size() - at);
+  CommitResult result;
+  IDBA_RETURN_NOT_OK(wire::DecodeCommitResult(&dec, &result));
+  for (const DatabaseObject& obj : result.updated) {
+    if (cache_.Contains(obj.oid())) cache_.Put(obj);
+  }
+  for (Oid oid : result.erased) cache_.Drop(oid);
+  return result;
+}
+
+Status RemoteDatabaseClient::Abort(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(read_sets_mu_);
+    read_sets_.erase(txn);
+  }
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(txn);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kAbort, body, &reply, &at);
+}
+
+Result<std::vector<DatabaseObject>> RemoteDatabaseClient::ScanClass(
+    ClassId cls, bool include_subclasses) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU32(cls);
+  enc.PutU8(include_subclasses ? 1 : 0);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kScanClass, body, &reply, &at));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  std::vector<DatabaseObject> objs;
+  IDBA_RETURN_NOT_OK(wire::DecodeObjectVector(&dec, &objs));
+  for (const DatabaseObject& obj : objs) cache_.Put(obj);
+  return objs;
+}
+
+Result<std::vector<DatabaseObject>> RemoteDatabaseClient::RunQuery(
+    const ObjectQuery& query) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  query.EncodeTo(&enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kQuery, body, &reply, &at));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  std::vector<DatabaseObject> objs;
+  IDBA_RETURN_NOT_OK(wire::DecodeObjectVector(&dec, &objs));
+  for (const DatabaseObject& obj : objs) cache_.Put(obj);
+  return objs;
+}
+
+Oid RemoteDatabaseClient::AllocateOid() {
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  if (!Call(wire::Method::kAllocateOid, {}, &reply, &at, /*count_rpc=*/false)
+           .ok()) {
+    return Oid();
+  }
+  Decoder dec(reply.data() + at, reply.size() - at);
+  uint64_t oid = 0;
+  if (!dec.GetU64(&oid).ok()) return Oid();
+  return Oid(oid);
+}
+
+Result<uint64_t> RemoteDatabaseClient::LatestVersion(Oid oid) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU64(oid.value);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  IDBA_RETURN_NOT_OK(Call(wire::Method::kGetVersion, body, &reply, &at,
+                          /*count_rpc=*/false));
+  Decoder dec(reply.data() + at, reply.size() - at);
+  uint64_t version = 0;
+  IDBA_RETURN_NOT_OK(dec.GetU64(&version));
+  return version;
+}
+
+// ---------------------------------------------------------------------------
+// DisplayLockService
+// ---------------------------------------------------------------------------
+
+Status RemoteDatabaseClient::Lock(ClientId holder, Oid oid, VTime sent_at) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutI64(sent_at);
+  enc.PutU64(holder);
+  enc.PutU64(oid.value);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kDlmLock, body, &reply, &at, /*count_rpc=*/false);
+}
+
+Status RemoteDatabaseClient::Unlock(ClientId holder, Oid oid, VTime sent_at) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutI64(sent_at);
+  enc.PutU64(holder);
+  enc.PutU64(oid.value);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kDlmUnlock, body, &reply, &at,
+              /*count_rpc=*/false);
+}
+
+Status RemoteDatabaseClient::LockBatch(ClientId holder,
+                                       const std::vector<Oid>& oids,
+                                       VTime sent_at) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutI64(sent_at);
+  enc.PutU64(holder);
+  wire::EncodeOidVector(oids, &enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kDlmLockBatch, body, &reply, &at,
+              /*count_rpc=*/false);
+}
+
+Status RemoteDatabaseClient::UnlockBatch(ClientId holder,
+                                         const std::vector<Oid>& oids,
+                                         VTime sent_at) {
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutI64(sent_at);
+  enc.PutU64(holder);
+  wire::EncodeOidVector(oids, &enc);
+  std::vector<uint8_t> reply;
+  size_t at = 0;
+  return Call(wire::Method::kDlmUnlockBatch, body, &reply, &at,
+              /*count_rpc=*/false);
+}
+
+}  // namespace idba

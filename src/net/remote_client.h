@@ -1,0 +1,159 @@
+// Out-of-process client: the full ClientApi surface over the TCP wire
+// protocol, plus the DisplayLockService surface forwarded to the
+// server-hosted DLM. Application code (InteractiveSession, DLC, NMS
+// workload, examples) written against ClientApi runs unchanged over this
+// or the in-process DatabaseClient.
+//
+// Threading: the application drives RPCs from its user thread(s); a
+// dedicated reader thread owns the receiving half of the socket and
+// demultiplexes
+//   RESPONSE  -> wakes the Call() waiting on that correlation id
+//   NOTIFY    -> decoded into an Envelope, delivered to inbox() (the DLC
+//                notification pump consumes it exactly like in-process)
+//   CALLBACK  -> invalidates the local ObjectCache, sends CALLBACK_ACK
+// The reader never blocks on an RPC of its own, so a server commit that
+// is waiting for this client's invalidation ack always gets it — even
+// while this client's user thread is itself blocked inside Commit().
+//
+// Virtual time: each request carries the client clock; each response
+// carries the virtual completion time the server's RpcMeter computed from
+// the *measured* frame sizes, which the client clock Observes. Locally
+// the client mirrors DatabaseClient exactly: avoidance cache hits inside
+// update transactions still take the lock-only round trip, detection mode
+// keeps optimistic read sets and validates at commit.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_api.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace idba {
+
+struct RemoteClientOptions {
+  ObjectCacheOptions cache;
+  ConsistencyMode consistency = ConsistencyMode::kAvoidance;
+  /// Send NoteEvicted one-way frames when the cache drops entries.
+  bool report_evictions = true;
+  /// Cost model for client-local virtual charges (DLC dispatch CPU); must
+  /// match the server's so virtual timelines agree.
+  CostModelOptions cost;
+};
+
+class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
+ public:
+  /// Connects, performs the Hello handshake (registering `id` with the
+  /// server) and snapshots the schema catalog.
+  static Result<std::unique_ptr<RemoteDatabaseClient>> Connect(
+      const std::string& host, uint16_t port, ClientId id,
+      RemoteClientOptions opts = {});
+
+  ~RemoteDatabaseClient() override;
+
+  RemoteDatabaseClient(const RemoteDatabaseClient&) = delete;
+  RemoteDatabaseClient& operator=(const RemoteDatabaseClient&) = delete;
+
+  // --- ClientApi --------------------------------------------------------
+  ClientId id() const override { return id_; }
+  VirtualClock& clock() override { return clock_; }
+  Inbox& inbox() override { return inbox_; }
+  ObjectCache& cache() override { return cache_; }
+  const SchemaCatalog& schema() const override { return schema_; }
+  const CostModel& cost_model() const override { return cost_model_; }
+  ConsistencyMode consistency() const override { return opts_.consistency; }
+
+  Result<ClassId> DefineClass(const std::string& name,
+                              ClassId base = 0) override;
+  Status AddAttribute(ClassId cls, const std::string& name, ValueType type,
+                      Value default_value = Value()) override;
+
+  TxnId Begin() override;
+  Result<DatabaseObject> Read(TxnId txn, Oid oid) override;
+  Result<DatabaseObject> ReadCurrent(Oid oid) override;
+  Status Write(TxnId txn, DatabaseObject obj) override;
+  Status Insert(TxnId txn, DatabaseObject obj) override;
+  Status EraseObject(TxnId txn, Oid oid) override;
+  Result<CommitResult> Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+  Result<std::vector<DatabaseObject>> ScanClass(
+      ClassId cls, bool include_subclasses = false) override;
+  Result<std::vector<DatabaseObject>> RunQuery(
+      const ObjectQuery& query) override;
+  Oid AllocateOid() override;
+  Result<uint64_t> LatestVersion(Oid oid) override;
+  uint64_t rpcs_issued() const override { return rpcs_.Get(); }
+  uint64_t validation_aborts() const override {
+    return validation_aborts_.Get();
+  }
+
+  // --- DisplayLockService (forwarded to the server-hosted DLM) ----------
+  Status Lock(ClientId holder, Oid oid, VTime sent_at) override;
+  Status Unlock(ClientId holder, Oid oid, VTime sent_at) override;
+  Status LockBatch(ClientId holder, const std::vector<Oid>& oids,
+                   VTime sent_at) override;
+  Status UnlockBatch(ClientId holder, const std::vector<Oid>& oids,
+                     VTime sent_at) override;
+
+  // --- Transport-level metrics ------------------------------------------
+  bool connected() const { return connected_.load(); }
+  uint64_t bytes_sent() const { return bytes_out_.Get(); }
+  uint64_t bytes_received() const { return bytes_in_.Get(); }
+  uint64_t notifications_received() const { return notify_frames_.Get(); }
+  uint64_t callbacks_served() const { return callback_frames_.Get(); }
+
+ private:
+  RemoteDatabaseClient(ClientId id, RemoteClientOptions opts);
+
+  struct PendingCall {
+    std::vector<uint8_t> payload;
+    Status transport = Status::OK();
+    bool done = false;
+  };
+
+  /// One correlated round trip: REQUEST out, RESPONSE in, remote status
+  /// decoded, completion vtime observed. On success `*reply` holds the
+  /// response payload and `*body_at` the offset of the method body.
+  Status Call(wire::Method method, const std::vector<uint8_t>& body,
+              std::vector<uint8_t>* reply, size_t* body_at,
+              bool count_rpc = true);
+  /// Fire-and-forget frame (eviction notices).
+  void SendOneWay(wire::Method method, const std::vector<uint8_t>& body);
+  Status Hello();
+  void ReaderLoop();
+  void FailAllPending(const Status& st);
+  void RecordRead(TxnId txn, const DatabaseObject& obj);
+
+  ClientId id_;
+  RemoteClientOptions opts_;
+  CostModel cost_model_;
+  Socket sock_;
+  std::mutex write_mu_;
+  std::thread reader_;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex calls_mu_;
+  std::condition_variable calls_cv_;
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, PendingCall*> pending_;
+
+  SchemaCatalog schema_;
+  ObjectCache cache_;
+  Inbox inbox_;
+  VirtualClock clock_;
+  Counter rpcs_, validation_aborts_;
+  Counter bytes_in_, bytes_out_, notify_frames_, callback_frames_;
+
+  std::mutex read_sets_mu_;
+  std::unordered_map<TxnId, std::vector<std::pair<Oid, uint64_t>>> read_sets_;
+};
+
+}  // namespace idba

@@ -1,0 +1,189 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace idba {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string service = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      SetNoDelay(fd);
+      freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last = Errno("connect " + host + ":" + service);
+    ::close(fd);
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+Status Socket::SendAll(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    if (rc == 0) return Status::IOError("send: connection closed");
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (rc == 0) return Status::IOError("recv: connection closed");
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
+                          uint64_t seq, const std::vector<uint8_t>& payload,
+                          Counter* bytes_out) {
+  wire::FrameHeader header;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.type = type;
+  header.seq = seq;
+  uint8_t raw[wire::kHeaderBytes];
+  wire::EncodeHeader(header, raw);
+  std::lock_guard<std::mutex> lock(write_mu);
+  IDBA_RETURN_NOT_OK(SendAll(raw, wire::kHeaderBytes));
+  if (!payload.empty()) {
+    IDBA_RETURN_NOT_OK(SendAll(payload.data(), payload.size()));
+  }
+  if (bytes_out != nullptr) {
+    bytes_out->Add(wire::kHeaderBytes + payload.size());
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadFrame(wire::FrameHeader* header,
+                         std::vector<uint8_t>* payload, Counter* bytes_in) {
+  uint8_t raw[wire::kHeaderBytes];
+  IDBA_RETURN_NOT_OK(RecvAll(raw, wire::kHeaderBytes));
+  IDBA_RETURN_NOT_OK(wire::DecodeHeader(raw, header));
+  payload->resize(header->payload_len);
+  if (header->payload_len > 0) {
+    IDBA_RETURN_NOT_OK(RecvAll(payload->data(), payload->size()));
+  }
+  if (bytes_in != nullptr) {
+    bytes_in->Add(wire::kHeaderBytes + payload->size());
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Listener::Listen(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  int one = 1;
+  (void)setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    Close();
+    return st;
+  }
+  if (::listen(fd_, 64) != 0) {
+    Status st = Errno("listen");
+    Close();
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Errno("getsockname");
+    Close();
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace idba

@@ -1,0 +1,91 @@
+// Minimal POSIX TCP plumbing for the transport: RAII sockets, exact-length
+// send/recv, and framed I/O (header + payload per net/wire.h).
+//
+// Blocking sockets only; concurrency comes from threads (one acceptor,
+// per-connection reader/worker, see net/tcp_server.h). Writers must
+// serialize frames externally (one mutex per connection) so a frame is
+// never interleaved with another.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace idba {
+
+/// RAII wrapper over a connected socket fd. Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name).
+  static Result<Socket> ConnectTo(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends exactly n bytes (loops over partial writes, retries EINTR).
+  Status SendAll(const void* data, size_t n);
+  /// Receives exactly n bytes; IOError("closed") on orderly peer shutdown.
+  Status RecvAll(void* data, size_t n);
+
+  /// Writes one frame (header + payload) atomically with respect to other
+  /// WriteFrame calls through `write_mu`.
+  Status WriteFrame(std::mutex& write_mu, wire::FrameType type, uint64_t seq,
+                    const std::vector<uint8_t>& payload,
+                    Counter* bytes_out = nullptr);
+
+  /// Reads one frame. Blocks until a full frame arrives or the peer closes.
+  Status ReadFrame(wire::FrameHeader* header, std::vector<uint8_t>* payload,
+                   Counter* bytes_in = nullptr);
+
+  /// Unblocks any thread inside RecvAll/SendAll (then Close()s later).
+  void ShutdownBoth();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 (loopback transport; remote
+/// deployments front this with their own ingress).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port; the bound port is
+  /// available from port() afterwards.
+  Status Listen(uint16_t port);
+
+  /// Accepts one connection. Fails after Close()/ShutdownBoth.
+  Result<Socket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Unblocks a pending Accept.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace idba

@@ -1,0 +1,544 @@
+#include "net/tcp_server.h"
+
+#include <chrono>
+
+#include "core/notification.h"
+
+namespace idba {
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+struct TransportServer::Connection : public CacheCallbackHandler {
+  Connection(TransportServer* owner_in, Socket sock_in)
+      : owner(owner_in), sock(std::move(sock_in)) {}
+
+  TransportServer* owner;
+  Socket sock;
+  std::mutex write_mu;
+
+  ClientId client_id = 0;
+  bool hello_done = false;
+
+  /// Registered on the bus under the client's endpoint id after Hello;
+  /// the notifier thread forwards its envelopes as NOTIFY frames.
+  Inbox notify_inbox;
+
+  std::thread reader, worker, notifier;
+  std::atomic<bool> closing{false};
+  /// Reader exited and Teardown ran; the connection can be reaped.
+  std::atomic<bool> finished{false};
+
+  // Requests queued by the reader for the worker.
+  std::mutex q_mu;
+  std::condition_variable q_cv;
+  std::deque<std::pair<wire::FrameHeader, std::vector<uint8_t>>> requests;
+
+  // Outstanding cache-invalidation callbacks awaiting CALLBACK_ACK frames.
+  std::mutex cb_mu;
+  std::condition_variable cb_cv;
+  uint64_t next_callback_seq = 1;
+  std::unordered_set<uint64_t> pending_acks;
+
+  // CacheCallbackHandler: invoked by the CallbackManager from the *writer's*
+  // worker thread during its commit. Sends a CALLBACK frame to this client
+  // and blocks until its reader routes back the ack (or the connection dies,
+  // or the timeout hits) — the invalidate-before-commit guarantee.
+  void InvalidateCached(Oid oid, uint64_t new_version) override {
+    if (closing.load()) return;
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(cb_mu);
+      seq = next_callback_seq++;
+      pending_acks.insert(seq);
+    }
+    std::vector<uint8_t> payload;
+    Encoder enc(&payload);
+    enc.PutU64(oid.value);
+    enc.PutU64(new_version);
+    Status st = sock.WriteFrame(write_mu, wire::FrameType::kCallback, seq,
+                                payload, &owner->bytes_out_);
+    std::unique_lock<std::mutex> lock(cb_mu);
+    if (st.ok()) {
+      cb_cv.wait_for(
+          lock,
+          std::chrono::milliseconds(owner->opts_.callback_ack_timeout_ms),
+          [&] { return pending_acks.count(seq) == 0 || closing.load(); });
+    }
+    pending_acks.erase(seq);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TransportServer
+// ---------------------------------------------------------------------------
+
+TransportServer::TransportServer(DatabaseServer* server,
+                                 DisplayLockManager* dlm, NotificationBus* bus,
+                                 RpcMeter* meter, TransportServerOptions opts)
+    : server_(server), dlm_(dlm), bus_(bus), meter_(meter), opts_(opts) {}
+
+TransportServer::~TransportServer() { Stop(); }
+
+Status TransportServer::Start() {
+  IDBA_RETURN_NOT_OK(listener_.Listen(opts_.port));
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TransportServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped); still reap anything left over.
+  }
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) Teardown(conn.get());
+  for (auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->worker.joinable()) conn->worker.join();
+    if (conn->notifier.joinable()) conn->notifier.join();
+  }
+}
+
+void TransportServer::AcceptLoop() {
+  while (running_.load()) {
+    Result<Socket> sock = listener_.Accept();
+    if (!sock.ok()) {
+      if (!running_.load()) return;
+      // Transient accept failure (e.g. fd pressure); back off briefly.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    ReapFinished();
+    auto conn = std::make_unique<Connection>(this, std::move(sock.value()));
+    Connection* c = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    accepts_.Add();
+    c->worker = std::thread([this, c] { WorkerLoop(c); });
+    c->notifier = std::thread([this, c] { NotifierLoop(c); });
+    c->reader = std::thread([this, c] { ReaderLoop(c); });
+  }
+}
+
+void TransportServer::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->finished.load()) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : dead) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->worker.joinable()) conn->worker.join();
+    if (conn->notifier.joinable()) conn->notifier.join();
+  }
+}
+
+void TransportServer::Teardown(Connection* conn) {
+  bool expected = false;
+  if (!conn->closing.compare_exchange_strong(expected, true)) {
+    conn->sock.ShutdownBoth();
+    return;
+  }
+  if (conn->hello_done) {
+    // Stop notification routing first, then drop the callback registration
+    // and release everything the client held.
+    bus_->Unregister(static_cast<EndpointId>(conn->client_id));
+    server_->DisconnectClient(conn->client_id);
+    dlm_->ReleaseClient(conn->client_id);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_clients_.erase(conn->client_id);
+  }
+  conn->notify_inbox.Close();
+  conn->q_cv.notify_all();
+  conn->cb_cv.notify_all();
+  conn->sock.ShutdownBoth();
+}
+
+void TransportServer::ReaderLoop(Connection* conn) {
+  for (;;) {
+    wire::FrameHeader header;
+    std::vector<uint8_t> payload;
+    Status st = conn->sock.ReadFrame(&header, &payload, &bytes_in_);
+    if (!st.ok()) break;
+    if (header.type == wire::FrameType::kRequest ||
+        header.type == wire::FrameType::kOneWay) {
+      {
+        std::lock_guard<std::mutex> lock(conn->q_mu);
+        conn->requests.emplace_back(header, std::move(payload));
+      }
+      conn->q_cv.notify_one();
+    } else if (header.type == wire::FrameType::kCallbackAck) {
+      {
+        std::lock_guard<std::mutex> lock(conn->cb_mu);
+        conn->pending_acks.erase(header.seq);
+      }
+      conn->cb_cv.notify_all();
+    } else {
+      // RESPONSE / NOTIFY / CALLBACK never flow client->server: protocol
+      // violation, drop the connection.
+      break;
+    }
+  }
+  Teardown(conn);
+  conn->finished.store(true);
+}
+
+void TransportServer::WorkerLoop(Connection* conn) {
+  for (;;) {
+    std::pair<wire::FrameHeader, std::vector<uint8_t>> item;
+    {
+      std::unique_lock<std::mutex> lock(conn->q_mu);
+      conn->q_cv.wait(lock, [&] {
+        return conn->closing.load() || !conn->requests.empty();
+      });
+      if (conn->closing.load()) return;
+      item = std::move(conn->requests.front());
+      conn->requests.pop_front();
+    }
+    HandleFrame(conn, item.first, item.second);
+  }
+}
+
+void TransportServer::NotifierLoop(Connection* conn) {
+  uint64_t seq = 1;
+  while (!conn->closing.load()) {
+    std::optional<Envelope> env = conn->notify_inbox.WaitNext(100);
+    if (!env) {
+      if (conn->notify_inbox.closed()) return;
+      continue;
+    }
+    wire::NotifyFrame frame;
+    frame.from = env->from;
+    frame.to = env->to;
+    frame.sent_at = env->sent_at;
+    frame.arrives_at = env->arrives_at;
+    frame.virtual_wire_bytes = env->wire_bytes;
+
+    std::vector<uint8_t> payload;
+    Encoder enc(&payload);
+    const Message* msg = env->msg.get();
+    if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(msg)) {
+      frame.kind = wire::NotifyKind::kUpdate;
+      wire::EncodeNotifyMeta(frame, &enc);
+      update->EncodeTo(&enc);
+    } else if (const auto* intent =
+                   dynamic_cast<const IntentNotifyMessage*>(msg)) {
+      frame.kind = wire::NotifyKind::kIntent;
+      wire::EncodeNotifyMeta(frame, &enc);
+      intent->EncodeTo(&enc);
+    } else {
+      continue;  // unknown message type; nothing else flows today
+    }
+    if (!conn->sock
+             .WriteFrame(conn->write_mu, wire::FrameType::kNotify, seq++,
+                         payload, &bytes_out_)
+             .ok()) {
+      return;
+    }
+    notifies_.Add();
+  }
+}
+
+void TransportServer::HandleFrame(Connection* conn,
+                                  const wire::FrameHeader& header,
+                                  const std::vector<uint8_t>& payload) {
+  Decoder dec(payload.data(), payload.size());
+  uint8_t method_raw = 0;
+  VTime client_now = 0;
+  Status st = dec.GetU8(&method_raw);
+  if (st.ok()) st = dec.GetI64(&client_now);
+  Status result;
+  std::vector<uint8_t> body;
+  Encoder body_enc(&body);
+  ServerCallInfo info;
+  bool metered = false;
+  if (!st.ok()) {
+    result = st;
+  } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
+             method_raw > static_cast<uint8_t>(wire::Method::kPing)) {
+    result = Status::Corruption("unknown method " + std::to_string(method_raw));
+  } else {
+    requests_.Add();
+    result = ExecuteMethod(conn, static_cast<wire::Method>(method_raw), &dec,
+                           client_now,
+                           static_cast<int64_t>(wire::kHeaderBytes +
+                                                payload.size()),
+                           &info, &body_enc, &metered);
+  }
+
+  if (header.type == wire::FrameType::kOneWay) return;
+
+  // The response payload is status | completion vtime | body. The virtual
+  // completion time depends on the measured response size, so encode the
+  // status first, size everything, then charge the meter.
+  std::vector<uint8_t> head;
+  Encoder head_enc(&head);
+  wire::EncodeStatus(result, &head_enc);
+
+  VTime completion = client_now;
+  if (metered) {
+    int64_t request_bytes =
+        static_cast<int64_t>(wire::kHeaderBytes + payload.size());
+    int64_t response_bytes = static_cast<int64_t>(
+        wire::kHeaderBytes + head.size() + sizeof(int64_t) + body.size());
+    completion =
+        meter_->ChargeRoundTrip(client_now, &server_->cpu_clock(),
+                                request_bytes, response_bytes,
+                                info.page_misses, info.callbacks);
+  }
+
+  std::vector<uint8_t> resp;
+  Encoder enc(&resp);
+  resp.insert(resp.end(), head.begin(), head.end());
+  enc.PutI64(completion);
+  resp.insert(resp.end(), body.begin(), body.end());
+  (void)conn->sock.WriteFrame(conn->write_mu, wire::FrameType::kResponse,
+                              header.seq, resp, &bytes_out_);
+}
+
+Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
+                                      Decoder* dec, VTime client_now,
+                                      int64_t request_bytes,
+                                      ServerCallInfo* info, Encoder* body,
+                                      bool* metered) {
+  using wire::Method;
+  if (!conn->hello_done && method != Method::kHello &&
+      method != Method::kPing) {
+    return Status::InvalidArgument("Hello handshake required before " +
+                                   std::string(wire::MethodName(method)));
+  }
+  const ClientId cid = conn->client_id;
+  // Metered calls push the request's arrival into the server clock before
+  // the call executes (mirrors DatabaseClient::PreObserve), so commit hooks
+  // observe a causally correct virtual time.
+  auto observe = [&] {
+    *metered = true;
+    meter_->ObserveRequest(client_now, &server_->cpu_clock(), request_bytes);
+  };
+
+  switch (method) {
+    case Method::kHello: {
+      uint64_t id = 0;
+      uint8_t consistency = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&id));
+      IDBA_RETURN_NOT_OK(dec->GetU8(&consistency));
+      if (conn->hello_done) return Status::InvalidArgument("duplicate Hello");
+      if (id == 0) {
+        return Status::InvalidArgument("client id must be nonzero");
+      }
+      if (consistency > static_cast<uint8_t>(ConsistencyMode::kDetection)) {
+        return Status::InvalidArgument("unknown consistency mode");
+      }
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        if (!active_clients_.insert(id).second) {
+          return Status::AlreadyExists("client " + std::to_string(id) +
+                                       " already connected");
+        }
+      }
+      conn->client_id = id;
+      conn->hello_done = true;
+      server_->ConnectClient(id, conn);
+      bus_->Register(static_cast<EndpointId>(id), &conn->notify_inbox);
+      {
+        std::lock_guard<std::mutex> lock(ddl_mu_);
+        server_->schema().EncodeTo(body);
+      }
+      return Status::OK();
+    }
+    case Method::kPing:
+      return Status::OK();
+    case Method::kBegin: {
+      body->PutU64(server_->Begin(cid));
+      return Status::OK();
+    }
+    case Method::kCommit: {
+      uint64_t txn = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      observe();
+      Result<CommitResult> result = server_->Commit(cid, txn, info);
+      IDBA_RETURN_NOT_OK(result.status());
+      wire::EncodeCommitResult(result.value(), body);
+      return Status::OK();
+    }
+    case Method::kCommitValidated: {
+      uint64_t txn = 0;
+      std::vector<std::pair<Oid, uint64_t>> read_set;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      IDBA_RETURN_NOT_OK(wire::DecodeReadSet(dec, &read_set));
+      observe();
+      Result<CommitResult> result =
+          server_->CommitValidated(cid, txn, read_set, info);
+      IDBA_RETURN_NOT_OK(result.status());
+      wire::EncodeCommitResult(result.value(), body);
+      return Status::OK();
+    }
+    case Method::kAbort: {
+      uint64_t txn = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      observe();
+      return server_->Abort(cid, txn, info);
+    }
+    case Method::kFetch: {
+      uint64_t txn = 0, oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      observe();
+      Result<DatabaseObject> obj = server_->Fetch(cid, txn, Oid(oid), info);
+      IDBA_RETURN_NOT_OK(obj.status());
+      obj.value().EncodeTo(body);
+      return Status::OK();
+    }
+    case Method::kFetchCurrent: {
+      uint64_t oid = 0;
+      uint8_t register_copy = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      IDBA_RETURN_NOT_OK(dec->GetU8(&register_copy));
+      observe();
+      Result<DatabaseObject> obj =
+          server_->FetchCurrent(cid, Oid(oid), info, register_copy != 0);
+      IDBA_RETURN_NOT_OK(obj.status());
+      obj.value().EncodeTo(body);
+      return Status::OK();
+    }
+    case Method::kLockForRead: {
+      uint64_t txn = 0, oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      observe();
+      return server_->LockForRead(cid, txn, Oid(oid), info);
+    }
+    case Method::kPut:
+    case Method::kInsert: {
+      uint64_t txn = 0;
+      DatabaseObject obj;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      IDBA_RETURN_NOT_OK(DatabaseObject::DecodeFrom(dec, &obj));
+      observe();
+      return method == Method::kPut
+                 ? server_->Put(cid, txn, std::move(obj), info)
+                 : server_->Insert(cid, txn, std::move(obj), info);
+    }
+    case Method::kErase: {
+      uint64_t txn = 0, oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&txn));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      observe();
+      return server_->Erase(cid, txn, Oid(oid), info);
+    }
+    case Method::kScanClass: {
+      uint32_t cls = 0;
+      uint8_t include_subclasses = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU32(&cls));
+      IDBA_RETURN_NOT_OK(dec->GetU8(&include_subclasses));
+      observe();
+      Result<std::vector<DatabaseObject>> objs =
+          server_->ScanClass(cid, cls, include_subclasses != 0, info);
+      IDBA_RETURN_NOT_OK(objs.status());
+      wire::EncodeObjectVector(objs.value(), body);
+      return Status::OK();
+    }
+    case Method::kQuery: {
+      ObjectQuery query;
+      IDBA_RETURN_NOT_OK(ObjectQuery::DecodeFrom(dec, &query));
+      observe();
+      Result<std::vector<DatabaseObject>> objs =
+          server_->ExecuteQuery(cid, query, info);
+      IDBA_RETURN_NOT_OK(objs.status());
+      wire::EncodeObjectVector(objs.value(), body);
+      return Status::OK();
+    }
+    case Method::kAllocateOid: {
+      body->PutU64(server_->AllocateOid().value);
+      return Status::OK();
+    }
+    case Method::kGetVersion: {
+      uint64_t oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      Result<DatabaseObject> obj = server_->heap().Read(Oid(oid));
+      IDBA_RETURN_NOT_OK(obj.status());
+      body->PutU64(obj.value().version());
+      return Status::OK();
+    }
+    case Method::kDefineClass: {
+      std::string name;
+      uint32_t base = 0;
+      IDBA_RETURN_NOT_OK(dec->GetString(&name));
+      IDBA_RETURN_NOT_OK(dec->GetU32(&base));
+      std::lock_guard<std::mutex> lock(ddl_mu_);
+      Result<ClassId> cls = server_->schema().DefineClass(name, base);
+      IDBA_RETURN_NOT_OK(cls.status());
+      body->PutU32(cls.value());
+      return Status::OK();
+    }
+    case Method::kAddAttribute: {
+      uint32_t cls = 0;
+      std::string name;
+      uint8_t type = 0;
+      Value default_value;
+      IDBA_RETURN_NOT_OK(dec->GetU32(&cls));
+      IDBA_RETURN_NOT_OK(dec->GetString(&name));
+      IDBA_RETURN_NOT_OK(dec->GetU8(&type));
+      IDBA_RETURN_NOT_OK(Value::DecodeFrom(dec, &default_value));
+      if (type > static_cast<uint8_t>(ValueType::kOidList)) {
+        return Status::Corruption("unknown value type " + std::to_string(type));
+      }
+      std::lock_guard<std::mutex> lock(ddl_mu_);
+      return server_->schema().AddAttribute(cls, name,
+                                            static_cast<ValueType>(type),
+                                            std::move(default_value));
+    }
+    case Method::kNoteEvicted: {
+      uint64_t oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      server_->NoteEvicted(cid, Oid(oid));
+      return Status::OK();
+    }
+    case Method::kDlmLock:
+    case Method::kDlmUnlock: {
+      // sent_at travels explicitly: the DLC stamps it from the client clock
+      // when the (virtually unacknowledged) request leaves.
+      VTime sent_at = 0;
+      uint64_t holder = 0, oid = 0;
+      IDBA_RETURN_NOT_OK(dec->GetI64(&sent_at));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&holder));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&oid));
+      return method == Method::kDlmLock
+                 ? dlm_->Lock(holder, Oid(oid), sent_at)
+                 : dlm_->Unlock(holder, Oid(oid), sent_at);
+    }
+    case Method::kDlmLockBatch:
+    case Method::kDlmUnlockBatch: {
+      VTime sent_at = 0;
+      uint64_t holder = 0;
+      std::vector<Oid> oids;
+      IDBA_RETURN_NOT_OK(dec->GetI64(&sent_at));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&holder));
+      IDBA_RETURN_NOT_OK(wire::DecodeOidVector(dec, &oids));
+      return method == Method::kDlmLockBatch
+                 ? dlm_->LockBatch(holder, oids, sent_at)
+                 : dlm_->UnlockBatch(holder, oids, sent_at);
+    }
+  }
+  return Status::Corruption("unhandled method");
+}
+
+}  // namespace idba

@@ -1,0 +1,120 @@
+// TCP transport host: serves a DatabaseServer + DisplayLockManager behind a
+// listening socket, speaking the framed protocol of net/wire.h.
+//
+// Threading model (per figure: one acceptor + three threads per connection):
+//
+//   acceptor ──► Connection
+//                  reader    reads frames; routes CALLBACK_ACKs to waiting
+//                            invalidation calls, queues REQUEST/ONEWAY
+//                  worker    executes queued requests serially against the
+//                            DatabaseServer/DLM (preserves the per-client
+//                            ordering the in-process path has), writes
+//                            RESPONSE frames
+//                  notifier  drains the connection's bus inbox and forwards
+//                            DLM notifications as NOTIFY frames
+//
+// The reader/worker split matters for correctness: a commit executing on
+// client A's worker blocks until every cached-copy holder acks its
+// invalidation CALLBACK. Those acks arrive on *other* connections and are
+// routed by their readers, which never execute blocking server work — so
+// two clients concurrently committing updates to each other's cached
+// objects cannot deadlock the transport.
+//
+// Virtual cost: each metered request charges the shared RpcMeter with the
+// *measured* frame byte counts (header + payload, both directions) against
+// the server's virtual CPU clock, and the response carries the virtual
+// completion time back to the client — the experiments' 1996-era message
+// economics keep working over the real wire, now fed by real sizes.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dlm.h"
+#include "net/rpc_meter.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "server/database_server.h"
+
+namespace idba {
+
+struct TransportServerOptions {
+  /// TCP port; 0 binds an ephemeral port (see port() after Start).
+  uint16_t port = 0;
+  /// How long a commit waits for a client to ack a cache-invalidation
+  /// callback before treating the client as dead and proceeding.
+  int64_t callback_ack_timeout_ms = 5000;
+};
+
+/// Hosts one deployment (server + DLM + bus + meter) behind a socket.
+class TransportServer {
+ public:
+  TransportServer(DatabaseServer* server, DisplayLockManager* dlm,
+                  NotificationBus* bus, RpcMeter* meter,
+                  TransportServerOptions opts = {});
+  ~TransportServer();
+
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Binds, listens and starts the acceptor thread.
+  Status Start();
+  /// Disconnects everything and joins all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(); }
+
+  // --- Transport-level metrics (real bytes, not virtual) ----------------
+  uint64_t bytes_received() const { return bytes_in_.Get(); }
+  uint64_t bytes_sent() const { return bytes_out_.Get(); }
+  uint64_t requests_served() const { return requests_.Get(); }
+  uint64_t notifications_forwarded() const { return notifies_.Get(); }
+  uint64_t connections_accepted() const { return accepts_.Get(); }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WorkerLoop(Connection* conn);
+  void NotifierLoop(Connection* conn);
+  /// Unregisters the connection from server/DLM/bus and unblocks its
+  /// threads. Safe to call from any thread, more than once.
+  void Teardown(Connection* conn);
+  void ReapFinished();
+
+  void HandleFrame(Connection* conn, const wire::FrameHeader& header,
+                   const std::vector<uint8_t>& payload);
+  Status ExecuteMethod(Connection* conn, wire::Method method, Decoder* dec,
+                       VTime client_now, int64_t request_bytes,
+                       ServerCallInfo* info, Encoder* body, bool* metered);
+
+  DatabaseServer* server_;
+  DisplayLockManager* dlm_;
+  NotificationBus* bus_;
+  RpcMeter* meter_;
+  TransportServerOptions opts_;
+
+  Listener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::unordered_set<ClientId> active_clients_;
+  /// Serializes DDL (DefineClass/AddAttribute) across connections; the
+  /// catalog itself is setup-phase and not internally synchronized.
+  std::mutex ddl_mu_;
+
+  Counter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
+};
+
+}  // namespace idba

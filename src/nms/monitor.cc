@@ -5,7 +5,7 @@
 
 namespace idba {
 
-MonitorProcess::MonitorProcess(DatabaseClient* client, const NmsDatabase* db,
+MonitorProcess::MonitorProcess(ClientApi* client, const NmsDatabase* db,
                                MonitorOptions opts)
     : client_(client), db_(db), opts_(opts), rng_(opts.seed),
       zipf_(std::max<size_t>(db->link_oids.size(), 1), opts.zipf_theta) {}

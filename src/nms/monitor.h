@@ -33,7 +33,7 @@ struct MonitorOptions {
 /// deterministic experiments or Start/Stop for the threaded mode.
 class MonitorProcess {
  public:
-  MonitorProcess(DatabaseClient* client, const NmsDatabase* db,
+  MonitorProcess(ClientApi* client, const NmsDatabase* db,
                  MonitorOptions opts = {});
   ~MonitorProcess();
 
@@ -48,7 +48,7 @@ class MonitorProcess {
   uint64_t aborts() const { return aborts_.Get(); }
 
  private:
-  DatabaseClient* client_;
+  ClientApi* client_;
   const NmsDatabase* db_;
   MonitorOptions opts_;
   Rng rng_;

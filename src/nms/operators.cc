@@ -48,7 +48,7 @@ Result<OperatorStepResult> OperatorSession::StepOnce() {
   // paper's listener would have handled them during think time).
   session_->PumpOnce();
 
-  DatabaseClient& client = session_->client();
+  ClientApi& client = session_->client();
   const SchemaCatalog& catalog = client.schema();
 
   if (!rng_.NextBool(opts_.update_probability)) {

@@ -63,4 +63,45 @@ size_t ObjectQuery::WireBytes() const {
   return bytes;
 }
 
+
+void AttrPredicate::EncodeTo(Encoder* enc) const {
+  enc->PutString(attr);
+  enc->PutU8(static_cast<uint8_t>(op));
+  value.EncodeTo(enc);
+}
+
+Status AttrPredicate::DecodeFrom(Decoder* dec, AttrPredicate* out) {
+  IDBA_RETURN_NOT_OK(dec->GetString(&out->attr));
+  uint8_t op = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU8(&op));
+  if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+    return Status::Corruption("unknown compare op " + std::to_string(op));
+  }
+  out->op = static_cast<CompareOp>(op);
+  return Value::DecodeFrom(dec, &out->value);
+}
+
+void ObjectQuery::EncodeTo(Encoder* enc) const {
+  enc->PutU32(cls);
+  enc->PutU8(include_subclasses ? 1 : 0);
+  enc->PutVarint(conjuncts.size());
+  for (const auto& p : conjuncts) p.EncodeTo(enc);
+}
+
+Status ObjectQuery::DecodeFrom(Decoder* dec, ObjectQuery* out) {
+  IDBA_RETURN_NOT_OK(dec->GetU32(&out->cls));
+  uint8_t incl = 0;
+  IDBA_RETURN_NOT_OK(dec->GetU8(&incl));
+  out->include_subclasses = incl != 0;
+  uint64_t n = 0;
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->conjuncts.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    AttrPredicate p;
+    IDBA_RETURN_NOT_OK(AttrPredicate::DecodeFrom(dec, &p));
+    out->conjuncts.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
 }  // namespace idba

@@ -28,6 +28,9 @@ struct AttrPredicate {
   /// Unknown attributes never match. Numeric comparisons widen int/double;
   /// strings compare lexicographically; other types support kEq/kNe only.
   bool Matches(const SchemaCatalog& catalog, const DatabaseObject& obj) const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, AttrPredicate* out);
 };
 
 /// A conjunctive query over one class (optionally with subclasses).
@@ -45,6 +48,9 @@ struct ObjectQuery {
 
   /// Approximate request wire size (for cost metering).
   size_t WireBytes() const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, ObjectQuery* out);
 };
 
 }  // namespace idba

@@ -70,4 +70,49 @@ bool SchemaCatalog::IsA(ClassId cls, ClassId ancestor) const {
   return false;
 }
 
+
+void SchemaCatalog::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(classes_.size());
+  for (const ClassDef& cls : classes_) {
+    enc->PutString(cls.name());
+    enc->PutU32(cls.base());
+    enc->PutVarint(cls.attributes().size());
+    for (const AttributeDef& attr : cls.attributes()) {
+      enc->PutString(attr.name);
+      enc->PutU8(static_cast<uint8_t>(attr.type));
+      attr.default_value.EncodeTo(enc);
+    }
+  }
+}
+
+Status SchemaCatalog::DecodeFrom(Decoder* dec, SchemaCatalog* out) {
+  uint64_t class_count = 0;
+  IDBA_RETURN_NOT_OK(dec->GetVarint(&class_count));
+  for (uint64_t c = 0; c < class_count; ++c) {
+    std::string name;
+    uint32_t base = 0;
+    IDBA_RETURN_NOT_OK(dec->GetString(&name));
+    IDBA_RETURN_NOT_OK(dec->GetU32(&base));
+    auto id = out->DefineClass(name, base);
+    IDBA_RETURN_NOT_OK(id.status());
+    uint64_t attr_count = 0;
+    IDBA_RETURN_NOT_OK(dec->GetVarint(&attr_count));
+    for (uint64_t a = 0; a < attr_count; ++a) {
+      std::string attr_name;
+      uint8_t type = 0;
+      Value default_value;
+      IDBA_RETURN_NOT_OK(dec->GetString(&attr_name));
+      IDBA_RETURN_NOT_OK(dec->GetU8(&type));
+      if (type > static_cast<uint8_t>(ValueType::kOidList)) {
+        return Status::Corruption("unknown value type " + std::to_string(type));
+      }
+      IDBA_RETURN_NOT_OK(Value::DecodeFrom(dec, &default_value));
+      IDBA_RETURN_NOT_OK(out->AddAttribute(id.value(), attr_name,
+                                           static_cast<ValueType>(type),
+                                           std::move(default_value)));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace idba

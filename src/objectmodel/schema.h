@@ -89,6 +89,12 @@ class SchemaCatalog {
 
   size_t class_count() const { return classes_.size(); }
 
+  /// Wire serialization of the whole catalog (remote clients receive a
+  /// snapshot at connect time). Decoding replays DefineClass/AddAttribute,
+  /// so class ids are reproduced exactly.
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, SchemaCatalog* out);
+
  private:
   std::vector<ClassDef> classes_;  // index = id - 1
   std::unordered_map<std::string, ClassId> by_name_;

@@ -138,5 +138,99 @@ TEST(CodecProperty, RandomSequencesRoundTrip) {
   }
 }
 
+// --- Hardening against truncated / malformed input ----------------------
+// The wire transport feeds network bytes straight into the Decoder, so a
+// corrupt or hostile peer must produce clean Status errors, never
+// out-of-bounds reads or integer-overflow bypasses.
+
+TEST(CodecHardening, OverlongVarintRejected) {
+  // 11 continuation bytes: more than a 64-bit varint can ever need.
+  std::vector<uint8_t> buf(11, 0x80);
+  buf.push_back(0x00);
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecHardening, VarintOverflowBitsRejected) {
+  // 10 bytes whose final byte sets bits beyond the 64th: the encoding is
+  // length-valid but the value overflows uint64.
+  std::vector<uint8_t> buf(9, 0xFF);
+  buf.push_back(0x02);  // 10th byte may only contribute bit 63 (0x01)
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecHardening, MaxVarintStillAccepted) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(~0ULL);
+  Decoder dec(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetVarint(&v).ok());
+  EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(CodecHardening, TruncatedVarintRejected) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation bits, no end
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetVarint(&v).ok());
+}
+
+TEST(CodecHardening, StringLengthBeyondRemainingRejected) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(1000);  // claims 1000 bytes of body...
+  enc.PutBytes("abc", 3);  // ...but only 3 follow
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s).ok());
+}
+
+TEST(CodecHardening, HugeStringLengthDoesNotOverflowBoundsCheck) {
+  // A length prefix near UINT64_MAX must not wrap the pos+len comparison
+  // into accepting the read.
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(~0ULL - 7);
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s).ok());
+}
+
+TEST(CodecHardening, TruncatedFixedRejected) {
+  std::vector<uint8_t> buf = {0x01, 0x02, 0x03};  // 3 of 8 bytes
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetU64(&v).ok());
+  // The failed read must not consume anything usable: a smaller read of
+  // what actually remains still works.
+  uint8_t b = 0;
+  EXPECT_TRUE(dec.GetU8(&b).ok());
+  EXPECT_EQ(b, 0x01);
+}
+
+TEST(CodecHardening, SkipPastEndRejected) {
+  std::vector<uint8_t> buf = {1, 2, 3, 4};
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.Skip(3).ok());
+  EXPECT_FALSE(dec.Skip(2).ok());
+  EXPECT_FALSE(dec.Skip(~size_t{0}).ok());  // overflow-sized skip
+}
+
+TEST(CodecHardening, EmptyBufferReads) {
+  Decoder dec(nullptr, 0);
+  uint8_t b;
+  uint64_t v;
+  std::string s;
+  EXPECT_FALSE(dec.GetU8(&b).ok());
+  EXPECT_FALSE(dec.GetVarint(&v).ok());
+  EXPECT_FALSE(dec.GetString(&s).ok());
+  EXPECT_TRUE(dec.exhausted());
+}
+
 }  // namespace
 }  // namespace idba
+

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <thread>
 
+#include "client/database_client.h"
 #include "client/txn_retry.h"
 #include "common/rng.h"
 
@@ -82,7 +83,7 @@ TEST_F(CoherencyPropertyTest, MonotonicReadsAndQuiescentExactness) {
           seen[idx] = std::max(seen[idx], obj.value().version());
         } else {
           // RMW increment via the retry helper.
-          auto result = RunTransaction(client, [&](DatabaseClient& cl, TxnId t) {
+          auto result = RunTransaction(client, [&](ClientApi& cl, TxnId t) {
             IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, cl.Read(t, oid));
             if (obj.version() < seen[idx]) violation = true;
             obj.Set(0, Value(obj.Get(0).AsInt() + 1));
@@ -153,7 +154,7 @@ TEST_F(CoherencyPropertyTest, CallbackStormKeepsEveryCacheExact) {
     });
   }
   for (int i = 0; i < 200; ++i) {
-    auto result = RunTransaction(&writer, [&](DatabaseClient& c, TxnId t) {
+    auto result = RunTransaction(&writer, [&](ClientApi& c, TxnId t) {
       IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
       obj.Set(0, Value(obj.Get(0).AsInt() + 1));
       return c.Write(t, std::move(obj));

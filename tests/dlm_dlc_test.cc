@@ -27,7 +27,7 @@ class DlmDlcTest : public ::testing::Test {
   }
 
   /// Updates a link's utilization through a writer client.
-  void UpdateLink(DatabaseClient* writer, Oid oid, double util) {
+  void UpdateLink(ClientApi* writer, Oid oid, double util) {
     const SchemaCatalog& cat = writer->schema();
     TxnId t = writer->Begin();
     DatabaseObject link = writer->Read(t, oid).value();

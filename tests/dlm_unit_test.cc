@@ -27,7 +27,7 @@ class DlmUnitTest : public ::testing::Test {
     db_ = PopulateNms(&deployment_->server(), config).value();
   }
 
-  void Update(DatabaseClient* writer, Oid oid, double util) {
+  void Update(ClientApi* writer, Oid oid, double util) {
     const SchemaCatalog& cat = writer->schema();
     TxnId t = writer->Begin();
     DatabaseObject link = writer->Read(t, oid).value();

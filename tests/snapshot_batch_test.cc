@@ -26,7 +26,7 @@ class SnapshotBatchTest : public ::testing::Test {
                .value();
   }
 
-  void UpdateLink(DatabaseClient* writer, Oid oid, double util) {
+  void UpdateLink(ClientApi* writer, Oid oid, double util) {
     const SchemaCatalog& cat = writer->schema();
     TxnId t = writer->Begin();
     DatabaseObject link = writer->Read(t, oid).value();

@@ -1,5 +1,7 @@
 #include "client/txn_retry.h"
 
+#include "client/database_client.h"
+
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -39,7 +41,7 @@ class TxnRetryTest : public ::testing::Test {
 
 TEST_F(TxnRetryTest, SucceedsFirstTry) {
   Oid oid = Seed();
-  auto result = RunTransaction(a_.get(), [&](DatabaseClient& c, TxnId t) {
+  auto result = RunTransaction(a_.get(), [&](ClientApi& c, TxnId t) {
     IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
     obj.Set(0, Value(int64_t(7)));
     return c.Write(t, std::move(obj));
@@ -51,7 +53,7 @@ TEST_F(TxnRetryTest, SucceedsFirstTry) {
 }
 
 TEST_F(TxnRetryTest, NonRetryableErrorReturnsImmediately) {
-  auto result = RunTransaction(a_.get(), [&](DatabaseClient& c, TxnId t) {
+  auto result = RunTransaction(a_.get(), [&](ClientApi& c, TxnId t) {
     return c.Read(t, Oid(424242)).status();  // NotFound
   });
   EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
@@ -75,7 +77,7 @@ TEST_F(TxnRetryTest, RetriesDetectionValidationAborts) {
     ASSERT_TRUE(a_->Commit(t).ok());
   }
   // Retry loop: first attempt validates stale and aborts, second succeeds.
-  auto result = RunTransaction(d_.get(), [&](DatabaseClient& c, TxnId t) {
+  auto result = RunTransaction(d_.get(), [&](ClientApi& c, TxnId t) {
     IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
     obj.Set(0, Value(obj.Get(0).AsInt() + 10));
     return c.Write(t, std::move(obj));
@@ -89,7 +91,7 @@ TEST_F(TxnRetryTest, GivesUpAfterMaxAttempts) {
   int calls = 0;
   auto result = RunTransaction(
       a_.get(),
-      [&](DatabaseClient&, TxnId) {
+      [&](ClientApi&, TxnId) {
         ++calls;
         return Status::Busy("always");
       },
@@ -104,7 +106,7 @@ TEST_F(TxnRetryTest, ConcurrentIncrementsAllLand) {
   auto b = std::make_unique<DatabaseClient>(&server_, 101, &meter_, &bus_);
   auto increment = [&](DatabaseClient* client) {
     for (int i = 0; i < 25; ++i) {
-      auto result = RunTransaction(client, [&](DatabaseClient& c, TxnId t) {
+      auto result = RunTransaction(client, [&](ClientApi& c, TxnId t) {
         IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, c.Read(t, oid));
         obj.Set(0, Value(obj.Get(0).AsInt() + 1));
         return c.Write(t, std::move(obj));
