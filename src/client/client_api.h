@@ -57,7 +57,16 @@ class ClientApi {
                               ValueType type, Value default_value = Value()) = 0;
 
   // --- Transactions ----------------------------------------------------
-  virtual TxnId Begin() = 0;
+  /// Starts a transaction. Fallible: over a remote backend the begin is an
+  /// RPC that can time out or lose its connection.
+  virtual Result<TxnId> BeginTxn() = 0;
+  /// Convenience wrapper for call sites that treat begin as infallible
+  /// (in-process it is). Returns 0 — never a valid TxnId — on transport
+  /// failure; prefer BeginTxn() anywhere the error must propagate.
+  TxnId Begin() {
+    Result<TxnId> txn = BeginTxn();
+    return txn.ok() ? txn.value() : 0;
+  }
   virtual Result<DatabaseObject> Read(TxnId txn, Oid oid) = 0;
   virtual Result<DatabaseObject> ReadCurrent(Oid oid) = 0;
   virtual Status Write(TxnId txn, DatabaseObject obj) = 0;
@@ -72,7 +81,14 @@ class ClientApi {
   virtual Result<std::vector<DatabaseObject>> RunQuery(
       const ObjectQuery& query) = 0;
 
-  virtual Oid AllocateOid() = 0;
+  /// Reserves a fresh object id. Fallible for the same reason as
+  /// BeginTxn().
+  virtual Result<Oid> NewOid() = 0;
+  /// Convenience wrapper; returns the null Oid on transport failure.
+  Oid AllocateOid() {
+    Result<Oid> oid = NewOid();
+    return oid.ok() ? oid.value() : Oid();
+  }
 
   /// Latest committed version of `oid` (introspection used by staleness
   /// accounting; not metered, not transactional).

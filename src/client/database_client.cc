@@ -35,8 +35,9 @@ void DatabaseClient::Charge(const ServerCallInfo& info) {
   clock_.Observe(done);
 }
 
-TxnId DatabaseClient::Begin() {
+Result<TxnId> DatabaseClient::BeginTxn() {
   // Begin is piggybacked on the first request in real systems; free here.
+  // In-process it cannot fail.
   return server_->Begin(id_);
 }
 

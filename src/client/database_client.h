@@ -63,7 +63,7 @@ class DatabaseClient : public ClientApi {
   }
 
   // --- Transactions ----------------------------------------------------
-  TxnId Begin() override;
+  Result<TxnId> BeginTxn() override;
 
   /// Transactional read (S lock at the server on a miss; free on a hit).
   Result<DatabaseObject> Read(TxnId txn, Oid oid) override;
@@ -85,7 +85,7 @@ class DatabaseClient : public ClientApi {
   /// Degree-0 server-side predicate query; matches enter the cache.
   Result<std::vector<DatabaseObject>> RunQuery(const ObjectQuery& query) override;
 
-  Oid AllocateOid() override { return server_->AllocateOid(); }
+  Result<Oid> NewOid() override { return server_->AllocateOid(); }
 
   Result<uint64_t> LatestVersion(Oid oid) override {
     IDBA_ASSIGN_OR_RETURN(DatabaseObject obj, server_->heap().Read(oid));

@@ -1,6 +1,16 @@
 // Transaction retry helper: runs a read-modify-write body with automatic
 // retry on deadlock / validation-abort / busy outcomes — the loop every
 // interactive application otherwise writes by hand.
+//
+// Failure semantics over a remote backend: an RPC that misses its deadline
+// returns TimedOut (the connection survives; a plain retry is fine), while
+// a connection lost with a commit in flight returns Status::Unknown — the
+// commit may or may not have applied. Retrying an Unknown outcome is safe
+// *because* the body is a read-modify-write run in a fresh transaction: it
+// re-reads current state (which reflects the first commit iff it applied)
+// and re-derives its writes, exactly like a user pressing "retry". Bodies
+// that blindly re-send absolute effects without reading (rare here) should
+// set retry_unknown = false and surface the outcome to the user.
 
 #pragma once
 
@@ -12,6 +22,16 @@ namespace idba {
 
 struct TxnRetryOptions {
   int max_attempts = 10;
+  /// Also retry commits whose outcome is Unknown (connection lost with the
+  /// commit in flight). See the header comment for why this is safe for
+  /// read-modify-write bodies.
+  bool retry_unknown = true;
+  /// Invoked before retrying after a transport-flavored failure (Unknown
+  /// outcome or IOError) — e.g. RemoteDatabaseClient::Reconnect. Without
+  /// it, IOError is terminal (an Unknown outcome still retries, in case
+  /// something else repaired the connection). A non-OK return stops the
+  /// loop and becomes the final status.
+  std::function<Status()> recover;
 };
 
 struct TxnRetryResult {
@@ -21,9 +41,10 @@ struct TxnRetryResult {
 };
 
 /// Runs `body(client, txn)` in a fresh transaction, committing afterwards.
-/// On Deadlock / Aborted / TimedOut / Busy from the body or the commit,
-/// aborts (if still active) and retries up to `max_attempts`. Any other
-/// error aborts and returns immediately.
+/// On Deadlock / Aborted / TimedOut / Busy — or Unknown when
+/// opts.retry_unknown — from the begin, the body, or the commit, aborts
+/// (if still active) and retries up to `max_attempts`. Any other error
+/// aborts and returns immediately.
 inline TxnRetryResult RunTransaction(
     ClientApi* client,
     const std::function<Status(ClientApi&, TxnId)>& body,
@@ -31,26 +52,44 @@ inline TxnRetryResult RunTransaction(
   TxnRetryResult result;
   for (result.attempts = 1; result.attempts <= opts.max_attempts;
        ++result.attempts) {
-    TxnId txn = client->Begin();
-    Status st = body(*client, txn);
-    if (st.ok()) {
-      auto commit = client->Commit(txn);
-      if (commit.ok()) {
-        result.status = Status::OK();
-        result.commit = std::move(commit).value();
-        return result;
+    Status st;
+    Result<TxnId> begun = client->BeginTxn();
+    if (begun.ok()) {
+      TxnId txn = begun.value();
+      st = body(*client, txn);
+      if (st.ok()) {
+        auto commit = client->Commit(txn);
+        if (commit.ok()) {
+          result.status = Status::OK();
+          result.commit = std::move(commit).value();
+          return result;
+        }
+        st = commit.status();
+        // CommitValidated already aborted server-side on validation
+        // failure; for other commit errors the txn is finished too.
+      } else {
+        (void)client->Abort(txn);
       }
-      st = commit.status();
-      // CommitValidated already aborted server-side on validation failure;
-      // for other commit errors the txn is finished too.
     } else {
-      (void)client->Abort(txn);
+      st = begun.status();
     }
+    const bool transport_failure =
+        st.IsUnknown() || st.code() == StatusCode::kIOError;
     const bool retryable =
-        st.IsDeadlock() || st.IsAborted() || st.IsTimedOut() || st.IsBusy();
+        st.IsDeadlock() || st.IsAborted() || st.IsTimedOut() || st.IsBusy() ||
+        (st.IsUnknown() && opts.retry_unknown) ||
+        (transport_failure && opts.recover != nullptr &&
+         (!st.IsUnknown() || opts.retry_unknown));
     if (!retryable) {
       result.status = st;
       return result;
+    }
+    if (transport_failure && opts.recover) {
+      Status recovered = opts.recover();
+      if (!recovered.ok()) {
+        result.status = recovered;
+        return result;
+      }
     }
     result.status = st;  // keep the latest failure in case we run out
   }

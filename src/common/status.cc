@@ -16,6 +16,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnknown: return "Unknown";
   }
   return "Unknown";
 }

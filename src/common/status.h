@@ -28,6 +28,8 @@ enum class StatusCode : uint8_t {
   kIOError = 9,         ///< simulated or real disk failure
   kNotSupported = 10,   ///< operation not implemented for this configuration
   kInternal = 11,       ///< invariant violation inside the library
+  kUnknown = 12,        ///< outcome indeterminate (e.g. connection lost with a
+                        ///< commit in flight: it may or may not have applied)
 };
 
 /// Human-readable name of a StatusCode (e.g. "NotFound").
@@ -79,6 +81,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +94,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsUnknown() const { return code_ == StatusCode::kUnknown; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

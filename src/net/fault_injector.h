@@ -1,0 +1,113 @@
+// Deterministic transport fault injection.
+//
+// A FaultInjector hangs off a Socket (Socket::set_fault_injector) and is
+// consulted once per *frame* in WriteFrame / ReadFrame. Rules select frames
+// by direction and 1-based frame index (or "every frame from now on") and
+// say what goes wrong:
+//
+//   kDelay     sleep delay_ms, then perform the I/O normally — a slow link
+//   kDrop      write: the frame silently vanishes (reported as sent);
+//              read: the frame is consumed off the wire and discarded, and
+//              the read moves on to the next frame — a lossy peer
+//   kTruncate  write: only the header and half the payload reach the wire
+//              (reported as sent), leaving the peer stalled mid-frame — a
+//              sender that died partway through;
+//              read: the header is consumed, then the read fails — a
+//              receiver that died partway through
+//   kError     write: the call fails immediately with IOError, nothing
+//              touches the wire; read: fails once the next frame arrives
+//              (like kTruncate, the stream is desynced)
+//
+// Read rules are matched when a frame *arrives*, not when the read call
+// starts — a rule installed while the reader is blocked waiting applies to
+// the next frame that lands.
+//
+// Rules fire a bounded number of times (`times`; < 0 = forever) and are
+// matched in insertion order. The injector is thread-safe: sockets are
+// driven concurrently by reader/writer threads.
+//
+// Driven from tests (tests/transport_fault_test.cc) and the
+// bench/exp_fault_tolerance.cc scenario; production sockets carry no
+// injector and pay one null pointer check per frame.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace idba {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kDelay,
+  kDrop,
+  kTruncate,
+  kError,
+};
+
+enum class FaultDirection : uint8_t { kRead, kWrite };
+
+struct FaultRule {
+  FaultDirection dir = FaultDirection::kWrite;
+  FaultKind kind = FaultKind::kNone;
+  /// 1-based frame index (per direction) the rule fires on; 0 = any frame.
+  uint64_t nth = 0;
+  /// How many frames the rule may hit; negative = unlimited.
+  int times = 1;
+  /// For kDelay: how long to stall the frame.
+  int delay_ms = 0;
+};
+
+class FaultInjector {
+ public:
+  void Inject(FaultRule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.push_back(rule);
+  }
+
+  /// Convenience: every frame in `dir` suffers `kind` until Reset().
+  void InjectAll(FaultDirection dir, FaultKind kind, int delay_ms = 0) {
+    Inject({dir, kind, /*nth=*/0, /*times=*/-1, delay_ms});
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.clear();
+  }
+
+  uint64_t frames_seen(FaultDirection dir) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dir == FaultDirection::kRead ? reads_seen_ : writes_seen_;
+  }
+
+  uint64_t faults_fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+
+  /// Called by Socket once per frame; returns the rule to apply (kind
+  /// kNone if the frame passes clean). Consumes one firing of the rule.
+  FaultRule OnFrame(FaultDirection dir) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index =
+        dir == FaultDirection::kRead ? ++reads_seen_ : ++writes_seen_;
+    for (FaultRule& rule : rules_) {
+      if (rule.dir != dir || rule.times == 0) continue;
+      if (rule.nth != 0 && rule.nth != index) continue;
+      if (rule.times > 0) --rule.times;
+      ++fired_;
+      return rule;
+    }
+    return FaultRule{dir, FaultKind::kNone, 0, 0, 0};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace idba

@@ -1,5 +1,8 @@
 #include "net/remote_client.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/notification.h"
 
 namespace idba {
@@ -12,29 +15,103 @@ Result<std::unique_ptr<RemoteDatabaseClient>> RemoteDatabaseClient::Connect(
     RemoteClientOptions opts) {
   std::unique_ptr<RemoteDatabaseClient> client(
       new RemoteDatabaseClient(id, opts));
-  IDBA_ASSIGN_OR_RETURN(client->sock_, Socket::ConnectTo(host, port));
+  client->host_ = host;
+  client->port_ = port;
+  IDBA_ASSIGN_OR_RETURN(client->sock_,
+                        Socket::ConnectTo(host, port, opts.connect_timeout_ms));
   client->connected_.store(true);
   RemoteDatabaseClient* raw = client.get();
   client->reader_ = std::thread([raw] { raw->ReaderLoop(); });
   IDBA_RETURN_NOT_OK(client->Hello());
-  if (opts.report_evictions) {
-    client->cache_.set_eviction_callback([raw](Oid oid) {
-      std::vector<uint8_t> body;
-      Encoder enc(&body);
-      enc.PutU64(oid.value);
-      raw->SendOneWay(wire::Method::kNoteEvicted, body);
-    });
+  if (opts.report_evictions) client->InstallEvictionCallback();
+  if (opts.heartbeat_interval_ms > 0) {
+    client->heartbeat_ = std::thread([raw] { raw->HeartbeatLoop(); });
   }
   return client;
 }
 
 RemoteDatabaseClient::~RemoteDatabaseClient() {
   shutting_down_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+  }
+  hb_cv_.notify_all();
   cache_.set_eviction_callback(EvictionCallback());
   sock_.ShutdownBoth();
   if (reader_.joinable()) reader_.join();
+  if (heartbeat_.joinable()) heartbeat_.join();
   inbox_.Close();
   sock_.Close();
+}
+
+void RemoteDatabaseClient::InstallEvictionCallback() {
+  cache_.set_eviction_callback([this](Oid oid) {
+    std::vector<uint8_t> body;
+    Encoder enc(&body);
+    enc.PutU64(oid.value);
+    SendOneWay(wire::Method::kNoteEvicted, body);
+  });
+}
+
+void RemoteDatabaseClient::set_fault_injector(
+    std::shared_ptr<FaultInjector> faults) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  faults_ = faults;
+  sock_.set_fault_injector(std::move(faults));
+}
+
+Status RemoteDatabaseClient::Reconnect(int max_attempts) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (shutting_down_.load()) return Status::IOError("client shutting down");
+  if (connected_.load()) {
+    return Status::InvalidArgument(
+        "Reconnect: connection is still up; it is for dead connections");
+  }
+  if (reader_.joinable()) reader_.join();
+  // The dead session's copy registrations died with it, so cached copies
+  // are no longer protected by callbacks: drop them all (silently — the
+  // new session never registered them, so no NoteEvicted).
+  cache_.set_eviction_callback(EvictionCallback());
+  cache_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(read_sets_mu_);
+    read_sets_.clear();
+  }
+  int64_t backoff = std::max<int64_t>(opts_.reconnect_backoff_ms, 1);
+  Status last = Status::IOError("reconnect: no attempts made");
+  for (int attempt = 0; attempt < std::max(max_attempts, 1); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min<int64_t>(backoff * 2, 2000);
+    }
+    Result<Socket> fresh =
+        Socket::ConnectTo(host_, port_, opts_.connect_timeout_ms);
+    if (!fresh.ok()) {
+      last = fresh.status();
+      continue;
+    }
+    {
+      // Exclude stragglers mid-WriteFrame on the dead socket.
+      std::lock_guard<std::mutex> lock(write_mu_);
+      sock_ = std::move(fresh).value();
+      if (faults_) sock_.set_fault_injector(faults_);
+    }
+    connected_.store(true);
+    reader_ = std::thread([this] { ReaderLoop(); });
+    last = Hello();
+    if (last.ok()) {
+      if (opts_.report_evictions) InstallEvictionCallback();
+      reconnects_.Add();
+      return Status::OK();
+    }
+    // Handshake refused — commonly the server has not torn down the dead
+    // session yet and still holds our client id. Drop this socket and
+    // retry after backoff.
+    connected_.store(false);
+    sock_.ShutdownBoth();
+    if (reader_.joinable()) reader_.join();
+  }
+  return last;
 }
 
 // ---------------------------------------------------------------------------
@@ -51,7 +128,13 @@ Status RemoteDatabaseClient::Hello() {
   IDBA_RETURN_NOT_OK(
       Call(wire::Method::kHello, body, &reply, &at, /*count_rpc=*/false));
   Decoder dec(reply.data() + at, reply.size() - at);
-  return SchemaCatalog::DecodeFrom(&dec, &schema_);
+  // Decode into a fresh catalog and swap: on Reconnect() the snapshot
+  // *replaces* the old one (the server's catalog may have grown while we
+  // were gone).
+  SchemaCatalog snapshot;
+  IDBA_RETURN_NOT_OK(SchemaCatalog::DecodeFrom(&dec, &snapshot));
+  schema_ = std::move(snapshot);
+  return Status::OK();
 }
 
 Status RemoteDatabaseClient::Call(wire::Method method,
@@ -67,6 +150,7 @@ Status RemoteDatabaseClient::Call(wire::Method method,
   payload.insert(payload.end(), body.begin(), body.end());
 
   PendingCall call;
+  call.method = method;
   uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(calls_mu_);
@@ -77,12 +161,34 @@ Status RemoteDatabaseClient::Call(wire::Method method,
                                  payload, &bytes_out_);
   if (!sent.ok()) {
     std::lock_guard<std::mutex> lock(calls_mu_);
+    // The reader may have failed the call (and erased it) concurrently;
+    // only report the send error if the call is still ours.
     pending_.erase(seq);
     return sent;
   }
+  // Pings answer within the heartbeat interval or the peer is considered
+  // half-open; everything else gets the configured RPC deadline.
+  int64_t deadline_ms = opts_.rpc_deadline_ms;
+  if (method == wire::Method::kPing && opts_.heartbeat_interval_ms > 0) {
+    deadline_ms = deadline_ms > 0
+                      ? std::min(deadline_ms, opts_.heartbeat_interval_ms)
+                      : opts_.heartbeat_interval_ms;
+  }
   {
     std::unique_lock<std::mutex> lock(calls_mu_);
-    calls_cv_.wait(lock, [&] { return call.done; });
+    if (deadline_ms > 0) {
+      if (!calls_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                              [&] { return call.done; })) {
+        // Deadline missed: disown the correlation id so the late response
+        // (if it ever arrives) is dropped by the reader.
+        pending_.erase(seq);
+        return Status::TimedOut(
+            "rpc " + std::string(wire::MethodName(method)) + " missed its " +
+            std::to_string(deadline_ms) + " ms deadline");
+      }
+    } else {
+      calls_cv_.wait(lock, [&] { return call.done; });
+    }
   }
   IDBA_RETURN_NOT_OK(call.transport);
 
@@ -117,13 +223,49 @@ void RemoteDatabaseClient::SendOneWay(wire::Method method,
 }
 
 void RemoteDatabaseClient::FailAllPending(const Status& st) {
+  const bool shutdown = shutting_down_.load();
   std::lock_guard<std::mutex> lock(calls_mu_);
   for (auto& [seq, call] : pending_) {
-    call->transport = st.ok() ? Status::IOError("connection closed") : st;
+    if (!shutdown && (call->method == wire::Method::kCommit ||
+                      call->method == wire::Method::kCommitValidated)) {
+      // The commit request may have reached the server and applied before
+      // the connection broke — its outcome is genuinely indeterminate.
+      // Surface that explicitly so retry layers re-run read-modify-write
+      // bodies instead of assuming the commit failed.
+      call->transport = Status::Unknown(
+          "connection lost with commit in flight; outcome unknown");
+    } else {
+      call->transport = st.ok() ? Status::IOError("connection closed") : st;
+    }
     call->done = true;
   }
   pending_.clear();
   calls_cv_.notify_all();
+}
+
+void RemoteDatabaseClient::HeartbeatLoop() {
+  const auto interval =
+      std::chrono::milliseconds(opts_.heartbeat_interval_ms);
+  std::unique_lock<std::mutex> lock(hb_mu_);
+  while (!shutting_down_.load()) {
+    hb_cv_.wait_for(lock, interval, [&] { return shutting_down_.load(); });
+    if (shutting_down_.load()) return;
+    if (!connected_.load()) continue;  // Reconnect() is the user's call
+    lock.unlock();
+    heartbeats_.Add();
+    std::vector<uint8_t> reply;
+    size_t at = 0;
+    Status st =
+        Call(wire::Method::kPing, {}, &reply, &at, /*count_rpc=*/false);
+    if (st.IsTimedOut()) {
+      // Half-open connection: the peer stopped answering but TCP has not
+      // noticed. Kill the socket so every blocked caller fails fast and
+      // connected() reads false.
+      connected_.store(false);
+      sock_.ShutdownBoth();
+    }
+    lock.lock();
+  }
 }
 
 void RemoteDatabaseClient::ReaderLoop() {
@@ -190,7 +332,10 @@ void RemoteDatabaseClient::ReaderLoop() {
   connected_.store(false);
   FailAllPending(shutting_down_.load() ? Status::IOError("client shut down")
                                        : st);
-  inbox_.Close();
+  // Keep the inbox open across a disconnect: a Reconnect()ed session keeps
+  // using it, and the DLC pump tolerates an idle one. It closes for good
+  // at destruction.
+  if (shutting_down_.load()) inbox_.Close();
 }
 
 // ---------------------------------------------------------------------------
@@ -237,15 +382,15 @@ Status RemoteDatabaseClient::AddAttribute(ClassId cls, const std::string& name,
   return schema_.AddAttribute(cls, name, type, std::move(default_value));
 }
 
-TxnId RemoteDatabaseClient::Begin() {
+Result<TxnId> RemoteDatabaseClient::BeginTxn() {
   std::vector<uint8_t> reply;
   size_t at = 0;
-  if (!Call(wire::Method::kBegin, {}, &reply, &at, /*count_rpc=*/false).ok()) {
-    return 0;
-  }
+  IDBA_RETURN_NOT_OK(
+      Call(wire::Method::kBegin, {}, &reply, &at, /*count_rpc=*/false));
   Decoder dec(reply.data() + at, reply.size() - at);
   uint64_t txn = 0;
-  if (!dec.GetU64(&txn).ok()) return 0;
+  IDBA_RETURN_NOT_OK(dec.GetU64(&txn));
+  if (txn == 0) return Status::Internal("server assigned txn id 0");
   return txn;
 }
 
@@ -427,16 +572,15 @@ Result<std::vector<DatabaseObject>> RemoteDatabaseClient::RunQuery(
   return objs;
 }
 
-Oid RemoteDatabaseClient::AllocateOid() {
+Result<Oid> RemoteDatabaseClient::NewOid() {
   std::vector<uint8_t> reply;
   size_t at = 0;
-  if (!Call(wire::Method::kAllocateOid, {}, &reply, &at, /*count_rpc=*/false)
-           .ok()) {
-    return Oid();
-  }
+  IDBA_RETURN_NOT_OK(
+      Call(wire::Method::kAllocateOid, {}, &reply, &at, /*count_rpc=*/false));
   Decoder dec(reply.data() + at, reply.size() - at);
   uint64_t oid = 0;
-  if (!dec.GetU64(&oid).ok()) return Oid();
+  IDBA_RETURN_NOT_OK(dec.GetU64(&oid));
+  if (oid == 0) return Status::Internal("server allocated the null oid");
   return Oid(oid);
 }
 

@@ -15,6 +15,19 @@
 // is waiting for this client's invalidation ack always gets it — even
 // while this client's user thread is itself blocked inside Commit().
 //
+// Failure handling: every RPC is bounded by rpc_deadline_ms (late
+// responses are dropped); connects are bounded by connect_timeout_ms; an
+// optional heartbeat thread PINGs the server every heartbeat_interval_ms
+// and declares the connection dead when pings stop answering (half-open
+// detection). When the connection dies, pending non-commit calls fail
+// with IOError, but a commit in flight fails with Status::Unknown — its
+// outcome is genuinely indeterminate (the server may have applied it
+// before the connection broke), and callers like RunTransaction must
+// decide whether re-applying is safe. Reconnect() re-dials with
+// exponential backoff, re-handshakes under the same client id, replaces
+// the schema snapshot, and drops the object cache (the dead session's
+// copy registrations are gone).
+//
 // Virtual time: each request carries the client clock; each response
 // carries the virtual completion time the server's RpcMeter computed from
 // the *measured* frame sizes, which the client clock Observes. Locally
@@ -33,6 +46,7 @@
 #include <vector>
 
 #include "client/client_api.h"
+#include "net/fault_injector.h"
 #include "net/socket.h"
 #include "net/wire.h"
 
@@ -46,6 +60,19 @@ struct RemoteClientOptions {
   /// Cost model for client-local virtual charges (DLC dispatch CPU); must
   /// match the server's so virtual timelines agree.
   CostModelOptions cost;
+  /// Upper bound on one RPC round trip (request out to response in). On
+  /// expiry the call returns Status::TimedOut and the (late) response is
+  /// dropped when it eventually arrives. 0 = wait forever.
+  int64_t rpc_deadline_ms = 30000;
+  /// Upper bound on establishing the TCP connection. 0 = blocking connect.
+  int64_t connect_timeout_ms = 5000;
+  /// When > 0, a heartbeat thread issues a PING every interval; a ping
+  /// that misses the RPC deadline (or the interval, whichever is smaller)
+  /// marks the connection dead, unblocking every pending call. 0 = off.
+  int64_t heartbeat_interval_ms = 0;
+  /// Initial backoff between Reconnect() attempts; doubles per attempt
+  /// (capped at 2 s).
+  int64_t reconnect_backoff_ms = 50;
 };
 
 class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
@@ -61,6 +88,20 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   RemoteDatabaseClient(const RemoteDatabaseClient&) = delete;
   RemoteDatabaseClient& operator=(const RemoteDatabaseClient&) = delete;
 
+  /// Re-establishes a dead connection: re-dials (with exponential
+  /// backoff across `max_attempts`), re-handshakes under the same client
+  /// id, replaces the schema snapshot with the server's current catalog,
+  /// and drops the local object cache — the old session's copy
+  /// registrations died with the old connection, so cached copies are no
+  /// longer protected by callbacks.
+  ///
+  /// Caller contract: quiesce RPC-issuing threads first (calls issued
+  /// while disconnected fail fast with IOError, but calls concurrent with
+  /// the reconnect itself are undefined), and treat any commit that ended
+  /// Status::Unknown as possibly-applied — re-run read-modify-write
+  /// bodies, never blind re-sends.
+  Status Reconnect(int max_attempts = 5);
+
   // --- ClientApi --------------------------------------------------------
   ClientId id() const override { return id_; }
   VirtualClock& clock() override { return clock_; }
@@ -75,7 +116,7 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   Status AddAttribute(ClassId cls, const std::string& name, ValueType type,
                       Value default_value = Value()) override;
 
-  TxnId Begin() override;
+  Result<TxnId> BeginTxn() override;
   Result<DatabaseObject> Read(TxnId txn, Oid oid) override;
   Result<DatabaseObject> ReadCurrent(Oid oid) override;
   Status Write(TxnId txn, DatabaseObject obj) override;
@@ -87,7 +128,7 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
       ClassId cls, bool include_subclasses = false) override;
   Result<std::vector<DatabaseObject>> RunQuery(
       const ObjectQuery& query) override;
-  Oid AllocateOid() override;
+  Result<Oid> NewOid() override;
   Result<uint64_t> LatestVersion(Oid oid) override;
   uint64_t rpcs_issued() const override { return rpcs_.Get(); }
   uint64_t validation_aborts() const override {
@@ -108,11 +149,18 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   uint64_t bytes_received() const { return bytes_in_.Get(); }
   uint64_t notifications_received() const { return notify_frames_.Get(); }
   uint64_t callbacks_served() const { return callback_frames_.Get(); }
+  uint64_t reconnects() const { return reconnects_.Get(); }
+  uint64_t heartbeats_sent() const { return heartbeats_.Get(); }
+
+  /// Attaches a fault injector to the transport socket (tests and the
+  /// fault-tolerance experiment). Survives Reconnect().
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults);
 
  private:
   RemoteDatabaseClient(ClientId id, RemoteClientOptions opts);
 
   struct PendingCall {
+    wire::Method method = wire::Method::kPing;
     std::vector<uint8_t> payload;
     Status transport = Status::OK();
     bool done = false;
@@ -121,6 +169,7 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   /// One correlated round trip: REQUEST out, RESPONSE in, remote status
   /// decoded, completion vtime observed. On success `*reply` holds the
   /// response payload and `*body_at` the offset of the method body.
+  /// Returns Status::TimedOut after rpc_deadline_ms without a response.
   Status Call(wire::Method method, const std::vector<uint8_t>& body,
               std::vector<uint8_t>* reply, size_t* body_at,
               bool count_rpc = true);
@@ -128,22 +177,34 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   void SendOneWay(wire::Method method, const std::vector<uint8_t>& body);
   Status Hello();
   void ReaderLoop();
+  void HeartbeatLoop();
   void FailAllPending(const Status& st);
   void RecordRead(TxnId txn, const DatabaseObject& obj);
+  void InstallEvictionCallback();
 
   ClientId id_;
   RemoteClientOptions opts_;
   CostModel cost_model_;
+  std::string host_;
+  uint16_t port_ = 0;
   Socket sock_;
   std::mutex write_mu_;
   std::thread reader_;
+  std::thread heartbeat_;
   std::atomic<bool> connected_{false};
   std::atomic<bool> shutting_down_{false};
+  /// Serializes Reconnect() against itself and the destructor.
+  std::mutex lifecycle_mu_;
+  std::shared_ptr<FaultInjector> faults_;
 
   std::mutex calls_mu_;
   std::condition_variable calls_cv_;
   uint64_t next_seq_ = 1;
   std::unordered_map<uint64_t, PendingCall*> pending_;
+
+  /// Wakes the heartbeat thread early (shutdown).
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
 
   SchemaCatalog schema_;
   ObjectCache cache_;
@@ -151,6 +212,7 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   VirtualClock clock_;
   Counter rpcs_, validation_aborts_;
   Counter bytes_in_, bytes_out_, notify_frames_, callback_frames_;
+  Counter reconnects_, heartbeats_;
 
   std::mutex read_sets_mu_;
   std::unordered_map<TxnId, std::vector<std::pair<Oid, uint64_t>>> read_sets_;

@@ -1,14 +1,18 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace idba {
 
@@ -23,6 +27,40 @@ void SetNoDelay(int fd) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+Status SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+/// Completes a non-blocking connect within `timeout_ms`: polls for
+/// writability, then checks SO_ERROR (the connect result).
+Status FinishConnect(int fd, int64_t timeout_ms, const std::string& where) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll " + where);
+  if (rc == 0) {
+    return Status::TimedOut("connect " + where + ": no response within " +
+                            std::to_string(timeout_ms) + " ms");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return Errno("getsockopt " + where);
+  }
+  if (err != 0) {
+    return Status::IOError("connect " + where + ": " + std::strerror(err));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -30,11 +68,19 @@ Socket& Socket::operator=(Socket&& other) noexcept {
     Close();
     fd_ = other.fd_;
     other.fd_ = -1;
+    std::shared_ptr<FaultInjector> faults;
+    {
+      std::lock_guard<std::mutex> lock(other.faults_mu_);
+      faults = std::move(other.faults_);
+    }
+    std::lock_guard<std::mutex> lock(faults_mu_);
+    faults_ = std::move(faults);
   }
   return *this;
 }
 
-Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port) {
+Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port,
+                                 int64_t connect_timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -44,6 +90,7 @@ Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port) {
   if (rc != 0) {
     return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
   }
+  const std::string where = host + ":" + service;
   Status last = Status::IOError("no addresses for " + host);
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
@@ -51,12 +98,28 @@ Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port) {
       last = Errno("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    if (connect_timeout_ms > 0) {
+      last = SetNonBlocking(fd, true);
+      if (last.ok()) {
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+          last = Status::OK();
+        } else if (errno == EINPROGRESS) {
+          last = FinishConnect(fd, connect_timeout_ms, where);
+        } else {
+          last = Errno("connect " + where);
+        }
+      }
+      if (last.ok()) last = SetNonBlocking(fd, false);
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      last = Status::OK();
+    } else {
+      last = Errno("connect " + where);
+    }
+    if (last.ok()) {
       SetNoDelay(fd);
       freeaddrinfo(res);
       return Socket(fd);
     }
-    last = Errno("connect " + host + ":" + service);
     ::close(fd);
   }
   freeaddrinfo(res);
@@ -85,10 +148,23 @@ Status Socket::RecvAll(void* data, size_t n) {
     ssize_t rc = ::recv(fd_, p + got, n - got, 0);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::TimedOut("recv: idle timeout expired");
+      }
       return Errno("recv");
     }
     if (rc == 0) return Status::IOError("recv: connection closed");
     got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeout(int64_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
   }
   return Status::OK();
 }
@@ -102,6 +178,35 @@ Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
   header.seq = seq;
   uint8_t raw[wire::kHeaderBytes];
   wire::EncodeHeader(header, raw);
+
+  FaultRule fault{FaultDirection::kWrite, FaultKind::kNone, 0, 0, 0};
+  if (std::shared_ptr<FaultInjector> faults = fault_injector()) {
+    fault = faults->OnFrame(FaultDirection::kWrite);
+  }
+  switch (fault.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDelay:
+      // Stall outside the write mutex so other frames still flow.
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+      break;
+    case FaultKind::kDrop:
+      // The frame vanishes; the sender believes it went out.
+      return Status::OK();
+    case FaultKind::kTruncate: {
+      // Header plus half the payload reach the wire, then "the sender
+      // dies": the peer stalls mid-frame. Reported as sent.
+      std::lock_guard<std::mutex> lock(write_mu);
+      IDBA_RETURN_NOT_OK(SendAll(raw, wire::kHeaderBytes));
+      if (!payload.empty()) {
+        IDBA_RETURN_NOT_OK(SendAll(payload.data(), payload.size() / 2));
+      }
+      return Status::OK();
+    }
+    case FaultKind::kError:
+      return Status::IOError("fault injection: write error");
+  }
+
   std::lock_guard<std::mutex> lock(write_mu);
   IDBA_RETURN_NOT_OK(SendAll(raw, wire::kHeaderBytes));
   if (!payload.empty()) {
@@ -115,17 +220,41 @@ Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
 
 Status Socket::ReadFrame(wire::FrameHeader* header,
                          std::vector<uint8_t>* payload, Counter* bytes_in) {
-  uint8_t raw[wire::kHeaderBytes];
-  IDBA_RETURN_NOT_OK(RecvAll(raw, wire::kHeaderBytes));
-  IDBA_RETURN_NOT_OK(wire::DecodeHeader(raw, header));
-  payload->resize(header->payload_len);
-  if (header->payload_len > 0) {
-    IDBA_RETURN_NOT_OK(RecvAll(payload->data(), payload->size()));
+  for (;;) {
+    uint8_t raw[wire::kHeaderBytes];
+    IDBA_RETURN_NOT_OK(RecvAll(raw, wire::kHeaderBytes));
+    IDBA_RETURN_NOT_OK(wire::DecodeHeader(raw, header));
+    // Consult the injector only once a frame has actually arrived: the
+    // reader thread sits blocked in RecvAll between frames, so a rule
+    // installed during that wait must hit the next frame that lands, not
+    // be decided before it exists.
+    FaultRule fault{FaultDirection::kRead, FaultKind::kNone, 0, 0, 0};
+    if (std::shared_ptr<FaultInjector> faults = fault_injector()) {
+      fault = faults->OnFrame(FaultDirection::kRead);
+    }
+    if (fault.kind == FaultKind::kError ||
+        fault.kind == FaultKind::kTruncate) {
+      // "The receiver dies" mid-frame; the stream is desynced and the
+      // connection must be dropped, which the caller does on error.
+      return Status::IOError(fault.kind == FaultKind::kError
+                                 ? "fault injection: read error"
+                                 : "fault injection: truncated read");
+    }
+    if (fault.kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    }
+    payload->resize(header->payload_len);
+    if (header->payload_len > 0) {
+      IDBA_RETURN_NOT_OK(RecvAll(payload->data(), payload->size()));
+    }
+    if (fault.kind == FaultKind::kDrop) {
+      continue;  // frame consumed and discarded; deliver the next one
+    }
+    if (bytes_in != nullptr) {
+      bytes_in->Add(wire::kHeaderBytes + payload->size());
+    }
+    return Status::OK();
   }
-  if (bytes_in != nullptr) {
-    bytes_in->Add(wire::kHeaderBytes + payload->size());
-  }
-  return Status::OK();
 }
 
 void Socket::ShutdownBoth() {
@@ -139,17 +268,20 @@ void Socket::Close() {
   }
 }
 
-Status Listener::Listen(uint16_t port) {
+Status Listener::Listen(uint16_t port, const std::string& bind_host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bind address '" + bind_host +
+                                   "' is not a numeric IPv4 address");
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
   int one = 1;
   (void)setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Errno("bind");
+    Status st = Errno("bind " + bind_host);
     Close();
     return st;
   }

@@ -1,6 +1,7 @@
 #include "net/tcp_server.h"
 
 #include <chrono>
+#include <future>
 
 #include "core/notification.h"
 
@@ -18,8 +19,12 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   Socket sock;
   std::mutex write_mu;
 
-  ClientId client_id = 0;
-  bool hello_done = false;
+  // Written once by the worker thread in the Hello handler, read by the
+  // reader thread (Teardown) and the acceptor: client_id is published
+  // before hello_done (release), and readers load hello_done first
+  // (acquire) — no mutex needed for this one-shot handoff.
+  std::atomic<ClientId> client_id{0};
+  std::atomic<bool> hello_done{false};
 
   /// Registered on the bus under the client's endpoint id after Hello;
   /// the notifier thread forwards its envelopes as NOTIFY frames.
@@ -82,7 +87,7 @@ TransportServer::TransportServer(DatabaseServer* server,
 TransportServer::~TransportServer() { Stop(); }
 
 Status TransportServer::Start() {
-  IDBA_RETURN_NOT_OK(listener_.Listen(opts_.port));
+  IDBA_RETURN_NOT_OK(listener_.Listen(opts_.port, opts_.bind_host));
   running_.store(true);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -120,14 +125,35 @@ void TransportServer::AcceptLoop() {
     ReapFinished();
     auto conn = std::make_unique<Connection>(this, std::move(sock.value()));
     Connection* c = conn.get();
+    if (opts_.idle_timeout_ms > 0) {
+      // A frame gap longer than this reads as a half-open client; the
+      // reader's RecvAll returns TimedOut and the connection is torn down.
+      (void)c->sock.SetRecvTimeout(opts_.idle_timeout_ms);
+    }
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(std::move(conn));
     }
     accepts_.Add();
-    c->worker = std::thread([this, c] { WorkerLoop(c); });
-    c->notifier = std::thread([this, c] { NotifierLoop(c); });
-    c->reader = std::thread([this, c] { ReaderLoop(c); });
+    // Start gate: the thread handles must be fully assigned before any of
+    // the three loops can run, so a connection that dies instantly cannot
+    // race its own `finished` flag (and a reap's join) against the
+    // still-in-progress handle assignment.
+    auto gate = std::make_shared<std::promise<void>>();
+    std::shared_future<void> started = gate->get_future().share();
+    c->worker = std::thread([this, c, started] {
+      started.wait();
+      WorkerLoop(c);
+    });
+    c->notifier = std::thread([this, c, started] {
+      started.wait();
+      NotifierLoop(c);
+    });
+    c->reader = std::thread([this, c, started] {
+      started.wait();
+      ReaderLoop(c);
+    });
+    gate->set_value();
   }
 }
 
@@ -157,14 +183,16 @@ void TransportServer::Teardown(Connection* conn) {
     conn->sock.ShutdownBoth();
     return;
   }
-  if (conn->hello_done) {
+  if (conn->hello_done.load(std::memory_order_acquire)) {
+    const ClientId cid = conn->client_id.load(std::memory_order_relaxed);
     // Stop notification routing first, then drop the callback registration
-    // and release everything the client held.
-    bus_->Unregister(static_cast<EndpointId>(conn->client_id));
-    server_->DisconnectClient(conn->client_id);
-    dlm_->ReleaseClient(conn->client_id);
+    // and release everything the client held (including aborting its
+    // in-flight transactions, so a reconnecting client can retry safely).
+    bus_->Unregister(static_cast<EndpointId>(cid));
+    server_->DisconnectClient(cid);
+    dlm_->ReleaseClient(cid);
     std::lock_guard<std::mutex> lock(conns_mu_);
-    active_clients_.erase(conn->client_id);
+    active_clients_.erase(cid);
   }
   conn->notify_inbox.Close();
   conn->q_cv.notify_all();
@@ -320,12 +348,12 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
                                       ServerCallInfo* info, Encoder* body,
                                       bool* metered) {
   using wire::Method;
-  if (!conn->hello_done && method != Method::kHello &&
-      method != Method::kPing) {
+  if (!conn->hello_done.load(std::memory_order_acquire) &&
+      method != Method::kHello && method != Method::kPing) {
     return Status::InvalidArgument("Hello handshake required before " +
                                    std::string(wire::MethodName(method)));
   }
-  const ClientId cid = conn->client_id;
+  const ClientId cid = conn->client_id.load(std::memory_order_relaxed);
   // Metered calls push the request's arrival into the server clock before
   // the call executes (mirrors DatabaseClient::PreObserve), so commit hooks
   // observe a causally correct virtual time.
@@ -340,7 +368,9 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
       uint8_t consistency = 0;
       IDBA_RETURN_NOT_OK(dec->GetU64(&id));
       IDBA_RETURN_NOT_OK(dec->GetU8(&consistency));
-      if (conn->hello_done) return Status::InvalidArgument("duplicate Hello");
+      if (conn->hello_done.load(std::memory_order_acquire)) {
+        return Status::InvalidArgument("duplicate Hello");
+      }
       if (id == 0) {
         return Status::InvalidArgument("client id must be nonzero");
       }
@@ -354,8 +384,8 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
                                        " already connected");
         }
       }
-      conn->client_id = id;
-      conn->hello_done = true;
+      conn->client_id.store(id, std::memory_order_relaxed);
+      conn->hello_done.store(true, std::memory_order_release);
       server_->ConnectClient(id, conn);
       bus_->Register(static_cast<EndpointId>(id), &conn->notify_inbox);
       {

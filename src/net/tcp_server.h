@@ -33,6 +33,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -48,9 +49,17 @@ namespace idba {
 struct TransportServerOptions {
   /// TCP port; 0 binds an ephemeral port (see port() after Start).
   uint16_t port = 0;
+  /// Numeric IPv4 address to bind; default loopback. "0.0.0.0" serves
+  /// non-local clients (front with your own ingress/auth).
+  std::string bind_host = "127.0.0.1";
   /// How long a commit waits for a client to ack a cache-invalidation
   /// callback before treating the client as dead and proceeding.
   int64_t callback_ack_timeout_ms = 5000;
+  /// Drop a connection that sends no frame (not even a heartbeat PING)
+  /// for this long — detects half-open clients. 0 = never. Only enable
+  /// when clients run heartbeats faster than this, or idle-but-healthy
+  /// clients get cut.
+  int64_t idle_timeout_ms = 0;
 };
 
 /// Hosts one deployment (server + DLM + bus + meter) behind a socket.

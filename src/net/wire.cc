@@ -71,7 +71,7 @@ Status DecodeStatus(Decoder* dec, Status* out) {
   std::string message;
   IDBA_RETURN_NOT_OK(dec->GetU8(&code));
   IDBA_RETURN_NOT_OK(dec->GetString(&message));
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
     return Status::Corruption("unknown status code " + std::to_string(code));
   }
   *out = Status(static_cast<StatusCode>(code), std::move(message));

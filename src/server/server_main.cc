@@ -10,6 +10,10 @@
 // Flags:
 //   --port N          listen port (default 0 = ephemeral; the bound port is
 //                     printed on stdout either way)
+//   --bind ADDR       numeric IPv4 address to bind (default 127.0.0.1;
+//                     "0.0.0.0" serves non-local clients)
+//   --idle-timeout N  drop connections silent for N ms (default 0 = never;
+//                     only safe when clients heartbeat faster than this)
 //   --eager           DLM ships new object images inside notifications
 //   --early-notify    DLM sends update-intention notices at X-lock time
 //   --integrated      integrated DLM deployment (server-side D locks)
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <semaphore.h>
 
 #include "core/session.h"
@@ -36,10 +41,16 @@ void HandleStop(int) { sem_post(&g_stop_sem); }
 
 int main(int argc, char** argv) {
   uint16_t port = 0;
+  std::string bind_host = "127.0.0.1";
+  long idle_timeout_ms = 0;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      bind_host = argv[++i];
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0 && i + 1 < argc) {
+      idle_timeout_ms = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--eager") == 0) {
       dep_opts.dlm.eager_shipping = true;
     } else if (std::strcmp(argv[i], "--early-notify") == 0) {
@@ -49,8 +60,8 @@ int main(int argc, char** argv) {
       dep_opts.server.integrated_display_locks = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--eager] [--early-notify] "
-                   "[--integrated]\n",
+                   "usage: %s [--port N] [--bind ADDR] [--idle-timeout MS] "
+                   "[--eager] [--early-notify] [--integrated]\n",
                    argv[0]);
       return 2;
     }
@@ -59,6 +70,8 @@ int main(int argc, char** argv) {
   idba::Deployment deployment(dep_opts);
   idba::TransportServerOptions transport_opts;
   transport_opts.port = port;
+  transport_opts.bind_host = bind_host;
+  transport_opts.idle_timeout_ms = idle_timeout_ms;
   idba::TransportServer transport(&deployment.server(), &deployment.dlm(),
                                   &deployment.bus(), &deployment.meter(),
                                   transport_opts);
@@ -67,7 +80,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "idba_serve: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("idba_serve listening on 127.0.0.1:%u\n", transport.port());
+  std::printf("idba_serve listening on %s:%u\n", bind_host.c_str(),
+              transport.port());
   std::fflush(stdout);
 
   sem_init(&g_stop_sem, 0, 0);

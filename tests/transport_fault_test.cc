@@ -1,0 +1,472 @@
+// Transport failure handling under injected faults: RPC deadlines against a
+// stalled server, indeterminate (Unknown) commit outcomes when the
+// connection dies mid-commit, heartbeat-based half-open detection,
+// callback-ack timeouts, Reconnect() resume parity, and the bind-address /
+// idle-timeout server options.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "client/txn_retry.h"
+#include "core/session.h"
+#include "net/fault_injector.h"
+#include "net/remote_client.h"
+#include "net/tcp_server.h"
+#include "nms/network_model.h"
+
+namespace idba {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spins (real time) until `pred` holds or ~5 s elapse.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return pred();
+}
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+class TransportFaultTest : public ::testing::Test {
+ protected:
+  void StartServer(TransportServerOptions transport_opts = {},
+                   DeploymentOptions opts = {}) {
+    deployment_ = std::make_unique<Deployment>(opts);
+    transport_ = std::make_unique<TransportServer>(
+        &deployment_->server(), &deployment_->dlm(), &deployment_->bus(),
+        &deployment_->meter(), transport_opts);
+    ASSERT_TRUE(transport_->Start().ok());
+    ASSERT_NE(transport_->port(), 0);
+  }
+
+  void SeedNms() {
+    NmsConfig config;
+    config.num_nodes = 8;
+    config.sites = 1;
+    config.buildings_per_site = 1;
+    config.racks_per_building = 1;
+    config.devices_per_rack = 1;
+    db_ = PopulateNms(&deployment_->server(), config).value();
+  }
+
+  std::unique_ptr<RemoteDatabaseClient> Connect(
+      ClientId id, RemoteClientOptions opts = {}) {
+    auto client =
+        RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), id,
+                                      opts);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+
+  /// Kills the transport (clients observe a dead connection) and brings a
+  /// fresh one up on the same port over the same deployment — a server
+  /// process restart from the client's point of view.
+  void RestartTransport() {
+    uint16_t port = transport_->port();
+    transport_->Stop();
+    TransportServerOptions opts;
+    opts.port = port;
+    transport_ = std::make_unique<TransportServer>(
+        &deployment_->server(), &deployment_->dlm(), &deployment_->bus(),
+        &deployment_->meter(), opts);
+    ASSERT_TRUE(transport_->Start().ok());
+  }
+
+  /// One read-modify-write commit of link `oid`'s Utilization.
+  static Status UpdateUtilization(ClientApi* client, Oid oid, double value) {
+    Result<TxnId> t = client->BeginTxn();
+    IDBA_RETURN_NOT_OK(t.status());
+    Result<DatabaseObject> obj = client->Read(t.value(), oid);
+    if (!obj.ok()) {
+      (void)client->Abort(t.value());
+      return obj.status();
+    }
+    DatabaseObject link = std::move(obj).value();
+    IDBA_RETURN_NOT_OK(
+        link.SetByName(client->schema(), "Utilization", Value(value)));
+    IDBA_RETURN_NOT_OK(client->Write(t.value(), std::move(link)));
+    return client->Commit(t.value()).status();
+  }
+
+  void TearDown() override {
+    transport_.reset();  // stops threads before the deployment dies
+    deployment_.reset();
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<TransportServer> transport_;
+  NmsDatabase db_;
+};
+
+TEST_F(TransportFaultTest, StalledServerRpcTimesOutWithinDeadline) {
+  StartServer();
+  RemoteClientOptions opts;
+  opts.rpc_deadline_ms = 200;
+  auto client = Connect(100, opts);
+  ASSERT_NE(client, nullptr);
+
+  // Every response from here on vanishes: the server is healthy but, as
+  // far as this client can tell, stalled.
+  auto faults = std::make_shared<FaultInjector>();
+  faults->InjectAll(FaultDirection::kRead, FaultKind::kDrop);
+  client->set_fault_injector(faults);
+
+  auto start = std::chrono::steady_clock::now();
+  Status st = client->BeginTxn().status();
+  int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
+  EXPECT_GE(elapsed, 150);   // the deadline was actually honored...
+  EXPECT_LT(elapsed, 2000);  // ...and the call did not hang.
+
+  // The connection itself survives a deadline miss: lift the fault and the
+  // next RPC goes through (the late responses were disowned, not crossed).
+  faults->Reset();
+  Result<TxnId> txn = client->BeginTxn();
+  EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_NE(txn.value(), 0u);
+  EXPECT_TRUE(client->connected());
+}
+
+TEST_F(TransportFaultTest, DelayedResponseIsDroppedNotCrossed) {
+  StartServer();
+  RemoteClientOptions opts;
+  opts.rpc_deadline_ms = 100;
+  auto client = Connect(100, opts);
+  ASSERT_NE(client, nullptr);
+
+  auto faults = std::make_shared<FaultInjector>();
+  faults->Inject({FaultDirection::kRead, FaultKind::kDelay, /*nth=*/0,
+                  /*times=*/1, /*delay_ms=*/400});
+  client->set_fault_injector(faults);
+
+  // The response exists but arrives after the deadline: TimedOut, and the
+  // late frame must not be matched to a *later* call.
+  uint64_t bytes_before = client->bytes_received();
+  EXPECT_TRUE(client->BeginTxn().status().IsTimedOut());
+  // Wait until the reader has finished consuming the late response (it is
+  // counted once fully read) so the next call's response is not stuck
+  // behind the injected stall.
+  ASSERT_TRUE(
+      WaitFor([&] { return client->bytes_received() > bytes_before; }));
+  Result<TxnId> txn = client->BeginTxn();
+  EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_NE(txn.value(), 0u);
+}
+
+TEST_F(TransportFaultTest, WriteDelayInjectionSlowsTheCall) {
+  StartServer();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+
+  auto faults = std::make_shared<FaultInjector>();
+  faults->Inject({FaultDirection::kWrite, FaultKind::kDelay, /*nth=*/0,
+                  /*times=*/1, /*delay_ms=*/150});
+  client->set_fault_injector(faults);
+
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client->BeginTxn().ok());
+  EXPECT_GE(ElapsedMs(start), 140);
+}
+
+TEST_F(TransportFaultTest, ConnectToClosedPortFailsNotHangs) {
+  StartServer();
+  uint16_t port = transport_->port();
+  transport_->Stop();
+  auto start = std::chrono::steady_clock::now();
+  auto client = RemoteDatabaseClient::Connect("127.0.0.1", port, 100);
+  EXPECT_FALSE(client.ok());
+  EXPECT_LT(ElapsedMs(start), 5000);
+}
+
+TEST_F(TransportFaultTest, MidCommitDisconnectIsUnknownAndRetrySafe) {
+  StartServer();
+  SeedNms();
+  RemoteClientOptions opts;
+  opts.rpc_deadline_ms = 10000;
+  auto client = Connect(100, opts);
+  ASSERT_NE(client, nullptr);
+  Oid oid = db_.link_oids[0];
+
+  Result<TxnId> t = client->BeginTxn();
+  ASSERT_TRUE(t.ok());
+  DatabaseObject link = client->Read(t.value(), oid).value();
+  uint64_t version_before = link.version();
+  ASSERT_TRUE(
+      link.SetByName(client->schema(), "Utilization", Value(0.66)).ok());
+  ASSERT_TRUE(client->Write(t.value(), std::move(link)).ok());
+
+  // Drop exactly the next inbound frame: the commit response. The server
+  // *does* execute the commit — only the answer is lost.
+  auto faults = std::make_shared<FaultInjector>();
+  faults->Inject({FaultDirection::kRead, FaultKind::kDrop, /*nth=*/0,
+                  /*times=*/1, /*delay_ms=*/0});
+  client->set_fault_injector(faults);
+
+  Status commit_st;
+  std::thread committer(
+      [&] { commit_st = client->Commit(t.value()).status(); });
+  // Once the response has been dropped the server has applied the commit;
+  // now the connection dies with the commit still pending client-side.
+  ASSERT_TRUE(WaitFor([&] { return faults->faults_fired() >= 1; }));
+  transport_->Stop();
+  committer.join();
+
+  // Not Aborted, not IOError: the outcome is explicitly indeterminate.
+  EXPECT_TRUE(commit_st.IsUnknown()) << commit_st.ToString();
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+
+  // "Retry" the way RunTransaction would: reconnect, re-read, re-derive.
+  faults->Reset();
+  RestartTransport();
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_EQ(client->reconnects(), 1u);
+
+  // The first commit did apply — the re-read proves why a blind re-send
+  // would be wrong and a read-modify-write retry is right.
+  DatabaseObject current = client->ReadCurrent(oid).value();
+  EXPECT_EQ(current.version(), version_before + 1);
+  EXPECT_EQ(current.GetByName(client->schema(), "Utilization").value(),
+            Value(0.66));
+
+  ASSERT_TRUE(UpdateUtilization(client.get(), oid, 0.25).ok());
+  DatabaseObject after = client->ReadCurrent(oid).value();
+  EXPECT_EQ(after.version(), version_before + 2);
+}
+
+TEST_F(TransportFaultTest, RunTransactionRecoversViaReconnectHook) {
+  StartServer();
+  SeedNms();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+  Oid oid = db_.link_oids[0];
+
+  // Kill the server out from under the client, then bring it back: the
+  // first attempt inside RunTransaction fails with a transport error, the
+  // recover hook re-dials, the second attempt commits.
+  RestartTransport();
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+
+  TxnRetryOptions retry;
+  retry.recover = [&] { return client->Reconnect(); };
+  TxnRetryResult result = RunTransaction(
+      client.get(),
+      [&](ClientApi& c, TxnId txn) {
+        Result<DatabaseObject> obj = c.Read(txn, oid);
+        IDBA_RETURN_NOT_OK(obj.status());
+        DatabaseObject link = std::move(obj).value();
+        IDBA_RETURN_NOT_OK(
+            link.SetByName(c.schema(), "Utilization", Value(0.31)));
+        return c.Write(txn, std::move(link));
+      },
+      retry);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GE(result.attempts, 2);
+  EXPECT_TRUE(client->connected());
+  EXPECT_EQ(client->ReadCurrent(oid)
+                .value()
+                .GetByName(client->schema(), "Utilization")
+                .value(),
+            Value(0.31));
+}
+
+TEST_F(TransportFaultTest, WithoutRecoverHookTransportErrorIsTerminal) {
+  StartServer();
+  SeedNms();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+  transport_->Stop();
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+
+  TxnRetryOptions retry;  // no recover hook
+  TxnRetryResult result = RunTransaction(
+      client.get(),
+      [&](ClientApi&, TxnId) { return Status::OK(); }, retry);
+  EXPECT_EQ(result.status.code(), StatusCode::kIOError)
+      << result.status.ToString();
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST_F(TransportFaultTest, CallbackAckTimeoutUnblocksCommit) {
+  TransportServerOptions server_opts;
+  server_opts.callback_ack_timeout_ms = 100;
+  StartServer(server_opts);
+  SeedNms();
+  auto viewer = Connect(100);
+  auto writer = Connect(101);
+  ASSERT_NE(viewer, nullptr);
+  ASSERT_NE(writer, nullptr);
+  Oid oid = db_.link_oids[0];
+
+  // Viewer registers a cached copy, then goes mute: every frame it writes
+  // (including the CALLBACK_ACK the writer's commit waits on) is dropped.
+  ASSERT_TRUE(viewer->ReadCurrent(oid).ok());
+  auto faults = std::make_shared<FaultInjector>();
+  faults->InjectAll(FaultDirection::kWrite, FaultKind::kDrop);
+  viewer->set_fault_injector(faults);
+
+  auto start = std::chrono::steady_clock::now();
+  Status st = UpdateUtilization(writer.get(), oid, 0.5);
+  int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(st.ok()) << st.ToString();  // dead viewer cannot wedge commits
+  EXPECT_LT(elapsed, 4000);
+}
+
+TEST_F(TransportFaultTest, HeartbeatDetectsHalfOpenConnection) {
+  StartServer();
+  RemoteClientOptions opts;
+  opts.heartbeat_interval_ms = 50;
+  auto client = Connect(100, opts);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->connected());
+
+  // Server responses stop arriving (the TCP connection stays up): only the
+  // heartbeat can notice.
+  auto faults = std::make_shared<FaultInjector>();
+  faults->InjectAll(FaultDirection::kRead, FaultKind::kDrop);
+  client->set_fault_injector(faults);
+
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+  EXPECT_GE(client->heartbeats_sent(), 1u);
+}
+
+TEST_F(TransportFaultTest, ReconnectResumesWorkloadWithParity) {
+  StartServer();
+  SeedNms();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+
+  // First half of the workload, then the server transport dies and comes
+  // back (same database), then the second half after Reconnect().
+  for (size_t i = 0; i < db_.link_oids.size(); ++i) {
+    ASSERT_TRUE(
+        UpdateUtilization(client.get(), db_.link_oids[i], 0.1 * (i + 1)).ok());
+  }
+  RestartTransport();
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_EQ(client->cache().entry_count(), 0u);  // dead session's copies gone
+  for (size_t i = 0; i < db_.link_oids.size(); ++i) {
+    ASSERT_TRUE(
+        UpdateUtilization(client.get(), db_.link_oids[i], 0.2 * (i + 1)).ok());
+  }
+
+  // Control: the same call sequence against a never-interrupted in-process
+  // deployment must land on identical versions and values.
+  Deployment control;
+  NmsDatabase control_db = PopulateNms(&control.server(), db_.config).value();
+  auto session = control.NewSession(100);
+  for (size_t i = 0; i < control_db.link_oids.size(); ++i) {
+    ASSERT_TRUE(UpdateUtilization(&session->client(),
+                                  control_db.link_oids[i], 0.1 * (i + 1))
+                    .ok());
+    ASSERT_TRUE(UpdateUtilization(&session->client(),
+                                  control_db.link_oids[i], 0.2 * (i + 1))
+                    .ok());
+  }
+  for (size_t i = 0; i < db_.link_oids.size(); ++i) {
+    DatabaseObject ours = client->ReadCurrent(db_.link_oids[i]).value();
+    DatabaseObject theirs =
+        session->client().ReadCurrent(control_db.link_oids[i]).value();
+    EXPECT_EQ(ours.version(), theirs.version());
+    EXPECT_EQ(ours.GetByName(client->schema(), "Utilization").value(),
+              theirs.GetByName(session->client().schema(), "Utilization")
+                  .value());
+  }
+}
+
+TEST_F(TransportFaultTest, ReconnectWhileConnectedIsRefused) {
+  StartServer();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->Reconnect().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TransportFaultTest, BeginAndAllocateOidPropagateTransportErrors) {
+  StartServer();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+  transport_->Stop();
+  ASSERT_TRUE(WaitFor([&] { return !client->connected(); }));
+
+  // The Result-returning API surfaces the transport failure...
+  EXPECT_EQ(client->BeginTxn().status().code(), StatusCode::kIOError);
+  EXPECT_EQ(client->NewOid().status().code(), StatusCode::kIOError);
+  // ...and the legacy value-returning wrappers degrade to sentinels
+  // instead of silently fabricating usable-looking ids.
+  EXPECT_EQ(client->Begin(), 0u);
+  EXPECT_TRUE(client->AllocateOid().IsNull());
+}
+
+TEST_F(TransportFaultTest, BindAddressIsConfigurable) {
+  TransportServerOptions opts;
+  opts.bind_host = "0.0.0.0";
+  StartServer(opts);
+  auto client = Connect(100);  // reachable via loopback
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->BeginTxn().ok());
+
+  TransportServer bad(&deployment_->server(), &deployment_->dlm(),
+                      &deployment_->bus(), &deployment_->meter(),
+                      TransportServerOptions{/*port=*/0,
+                                             /*bind_host=*/"not-an-address"});
+  EXPECT_FALSE(bad.Start().ok());
+}
+
+TEST_F(TransportFaultTest, ServerIdleTimeoutDropsSilentConnection) {
+  TransportServerOptions opts;
+  opts.idle_timeout_ms = 100;
+  StartServer(opts);
+
+  // A raw connection that never sends a frame (not even Hello) gets cut.
+  Result<Socket> raw = Socket::ConnectTo("127.0.0.1", transport_->port());
+  ASSERT_TRUE(raw.ok());
+  Socket sock = std::move(raw).value();
+  wire::FrameHeader header;
+  std::vector<uint8_t> payload;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(sock.ReadFrame(&header, &payload).ok());  // EOF from server
+  EXPECT_LT(ElapsedMs(start), 5000);
+}
+
+TEST_F(TransportFaultTest, TruncatedWriteLeavesPeerStalledUntilDeadline) {
+  StartServer();
+  RemoteClientOptions opts;
+  opts.rpc_deadline_ms = 200;
+  auto client = Connect(100, opts);
+  ASSERT_NE(client, nullptr);
+
+  // Half the request reaches the wire; the server reader sits on a partial
+  // frame, so no response ever comes — the deadline is the only way out.
+  auto faults = std::make_shared<FaultInjector>();
+  faults->Inject({FaultDirection::kWrite, FaultKind::kTruncate, /*nth=*/0,
+                  /*times=*/1, /*delay_ms=*/0});
+  client->set_fault_injector(faults);
+  EXPECT_TRUE(client->BeginTxn().status().IsTimedOut());
+}
+
+TEST_F(TransportFaultTest, WriteErrorInjectionFailsTheCallImmediately) {
+  StartServer();
+  auto client = Connect(100);
+  ASSERT_NE(client, nullptr);
+  auto faults = std::make_shared<FaultInjector>();
+  faults->Inject({FaultDirection::kWrite, FaultKind::kError, /*nth=*/0,
+                  /*times=*/1, /*delay_ms=*/0});
+  client->set_fault_injector(faults);
+  // Nothing was sent, so this is a definite IOError, not Unknown.
+  EXPECT_EQ(client->BeginTxn().status().code(), StatusCode::kIOError);
+  // The next call (fault exhausted) is healthy.
+  EXPECT_TRUE(client->BeginTxn().ok());
+}
+
+}  // namespace
+}  // namespace idba
