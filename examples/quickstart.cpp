@@ -11,6 +11,11 @@
 //   ./idba_serve --port 7450 &            # then, in another process:
 //   ./quickstart --connect 127.0.0.1:7450 # same scenario over TCP
 //
+// --trace FILE additionally records every client API call as a trace and
+// writes a Chrome trace_event JSON on exit (chrome://tracing / Perfetto):
+// each RPC decomposes into client serialize / network / server queue /
+// server execute / client deserialize child spans.
+//
 // Both paths drive the identical application code — only the backend
 // wiring in main() differs, which is the whole point of the ClientApi /
 // DisplayLockService abstraction.
@@ -24,6 +29,7 @@
 
 #include "core/session.h"
 #include "net/remote_client.h"
+#include "obs/trace.h"
 #include "viz/color.h"
 
 using namespace idba;
@@ -173,14 +179,35 @@ void RunScenario(ClientApi& op, InteractiveSession& viewer,
 
 int main(int argc, char** argv) {
   const char* connect = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--connect host:port] [--trace FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (trace_path != nullptr) {
+    obs::SetTraceSampleEvery(1);
+    obs::SetTraceSampling(true);
+  }
+  // Write the recorded spans however the scenario exits.
+  struct TraceDump {
+    const char* path;
+    ~TraceDump() {
+      if (path == nullptr) return;
+      std::FILE* f = std::fopen(path, "w");
+      if (f == nullptr) return;
+      std::string json = obs::GlobalRecorder().DumpChromeTrace();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %zu trace bytes to %s\n", json.size(), path);
+    }
+  } dump{trace_path};
 
   if (connect == nullptr) {
     // --- In-process backend: server + DLM agent + bus in this process ----

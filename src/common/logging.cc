@@ -1,28 +1,68 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <ctime>
+#include <sys/time.h>
 
 namespace idba {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
 std::mutex g_mu;
+
+const char* Tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kOff: break;
+  }
+  return "?";
+}
+
+/// "2026-08-06 12:00:00.123" in local time.
+void FormatNow(char out[32]) {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  std::tm tm{};
+  time_t secs = tv.tv_sec;
+  localtime_r(&secs, &tm);
+  size_t n = std::strftime(out, 24, "%Y-%m-%d %H:%M:%S", &tm);
+  std::snprintf(out + n, 32 - n, ".%03ld", static_cast<long>(tv.tv_usec / 1000));
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
 
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void LogLine(LogLevel level, const std::string& component, const std::string& msg) {
-  const char* tag = "?";
-  switch (level) {
-    case LogLevel::kError: tag = "E"; break;
-    case LogLevel::kInfo: tag = "I"; break;
-    case LogLevel::kDebug: tag = "D"; break;
-    case LogLevel::kOff: return;
+  LogLine(level, component, msg, {});
+}
+
+void LogLine(LogLevel level, const std::string& component, const std::string& msg,
+             std::initializer_list<LogField> fields) {
+  if (level == LogLevel::kOff) return;
+  char when[32];
+  FormatNow(when);
+  std::string line = msg;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line.append(key);
+    line += '=';
+    line += value;
   }
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s] %s: %s\n", tag, component.c_str(), msg.c_str());
+  std::fprintf(stderr, "[%s %s tid=%llu] %s: %s\n", when, Tag(level),
+               static_cast<unsigned long long>(ThisThreadId()),
+               component.c_str(), line.c_str());
 }
 
 }  // namespace idba

@@ -1,22 +1,51 @@
 // Minimal leveled logger. Off by default; experiments and examples can
 // raise the level. Not a hot-path facility.
+//
+// Every line carries a wall-clock timestamp and the small sequential id of
+// the emitting thread:
+//
+//   [2026-08-06 12:00:00.123 W tid=3] transport: slow rpc method=Commit ...
+//
+// Structured fields: LogLine's `fields` overload appends space-separated
+// `key=value` pairs after the message, so operators can grep a single line
+// for trace ids, durations, and peers without a parsing layer.
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <initializer_list>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace idba {
 
-enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
 
 /// Process-global log level (defaults to kError).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Small sequential id of the calling thread (1, 2, 3, ... in first-use
+/// order). Stable for the thread's lifetime; also used as the `tid` of
+/// trace spans so log lines and trace events correlate.
+uint64_t ThisThreadId();
+
+/// One structured field appended to a log line as ` key=value`.
+using LogField = std::pair<std::string_view, std::string>;
+
 /// Writes one line to stderr if `level` is enabled.
 void LogLine(LogLevel level, const std::string& component, const std::string& msg);
+void LogLine(LogLevel level, const std::string& component, const std::string& msg,
+             std::initializer_list<LogField> fields);
 
 }  // namespace idba
 
@@ -28,6 +57,15 @@ void LogLine(LogLevel level, const std::string& component, const std::string& ms
     }                                                            \
   } while (0)
 
+#define IDBA_LOG_FIELDS(level, component, msg, ...)              \
+  do {                                                           \
+    if (static_cast<int>(::idba::GetLogLevel()) >=               \
+        static_cast<int>(level)) {                               \
+      ::idba::LogLine(level, (component), (msg), __VA_ARGS__);   \
+    }                                                            \
+  } while (0)
+
 #define IDBA_LOG_INFO(component, msg) IDBA_LOG(::idba::LogLevel::kInfo, component, msg)
+#define IDBA_LOG_WARN(component, msg) IDBA_LOG(::idba::LogLevel::kWarn, component, msg)
 #define IDBA_LOG_DEBUG(component, msg) IDBA_LOG(::idba::LogLevel::kDebug, component, msg)
 #define IDBA_LOG_ERROR(component, msg) IDBA_LOG(::idba::LogLevel::kError, component, msg)

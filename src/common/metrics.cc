@@ -4,19 +4,22 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.h"
+
 namespace idba {
 
 void Histogram::Record(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (total_count_ == 0) {
-    min_ = max_ = value;
+  Shard& shard = shards_[ThisThreadId() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.total_count == 0) {
+    shard.min = shard.max = value;
   } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+    shard.min = std::min(shard.min, value);
+    shard.max = std::max(shard.max, value);
   }
-  ++total_count_;
-  total_sum_ += value;
-  ++counts_[BucketFor(value)];
+  ++shard.total_count;
+  shard.total_sum += value;
+  ++shard.counts[BucketFor(value)];
 }
 
 int Histogram::BucketFor(double v) {
@@ -31,63 +34,88 @@ double Histogram::BucketLowerBound(int b) {
   return std::pow(2.0, (b - 2) / 2.0);
 }
 
-uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_count_;
+Histogram::Merged Histogram::Merge() const {
+  Merged m;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.total_count == 0) continue;
+    if (m.total_count == 0) {
+      m.min = shard.min;
+      m.max = shard.max;
+    } else {
+      m.min = std::min(m.min, shard.min);
+      m.max = std::max(m.max, shard.max);
+    }
+    m.total_count += shard.total_count;
+    m.total_sum += shard.total_sum;
+    for (int b = 0; b < kBuckets; ++b) m.counts[b] += shard.counts[b];
+  }
+  return m;
 }
 
-double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_sum_;
-}
+uint64_t Histogram::count() const { return Merge().total_count; }
+
+double Histogram::sum() const { return Merge().total_sum; }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_count_ ? total_sum_ / static_cast<double>(total_count_) : 0;
+  Merged m = Merge();
+  return m.total_count ? m.total_sum / static_cast<double>(m.total_count) : 0;
 }
 
-double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return min_;
-}
+double Histogram::min() const { return Merge().min; }
 
-double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_;
-}
+double Histogram::max() const { return Merge().max; }
 
-double Histogram::Percentile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (total_count_ == 0) return 0;
-  const double target = q * static_cast<double>(total_count_);
+double Histogram::PercentileOf(const Merged& m, double q) {
+  if (m.total_count == 0) return 0;
+  const double target = q * static_cast<double>(m.total_count);
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += counts_[b];
+    seen += m.counts[b];
     if (static_cast<double>(seen) >= target) {
       // Interpolate between the bucket bounds, clamped to observed range.
       double lo = BucketLowerBound(b);
       double hi = BucketLowerBound(b + 1);
       double v = (lo + hi) / 2.0;
-      return std::clamp(v, min_, max_);
+      return std::clamp(v, m.min, m.max);
     }
   }
-  return max_;
+  return m.max;
 }
 
+double Histogram::Percentile(double q) const { return PercentileOf(Merge(), q); }
+
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& c : counts_) c = 0;
-  total_count_ = 0;
-  total_sum_ = 0;
-  min_ = max_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& c : shard.counts) c = 0;
+    shard.total_count = 0;
+    shard.total_sum = 0;
+    shard.min = shard.max = 0;
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  Merged m = Merge();
+  HistogramSnapshot s;
+  s.count = m.total_count;
+  s.sum = m.total_sum;
+  s.mean = m.total_count ? m.total_sum / static_cast<double>(m.total_count) : 0;
+  s.min = m.min;
+  s.max = m.max;
+  s.p50 = PercentileOf(m, 0.5);
+  s.p95 = PercentileOf(m, 0.95);
+  s.p99 = PercentileOf(m, 0.99);
+  return s;
 }
 
 std::string Histogram::Summary() const {
+  HistogramSnapshot s = Snapshot();
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
-                static_cast<unsigned long long>(count()), mean(), Percentile(0.5),
-                Percentile(0.95), Percentile(0.99), min(), max());
+                static_cast<unsigned long long>(s.count), s.mean, s.p50, s.p95,
+                s.p99, s.min, s.max);
   return buf;
 }
 
@@ -124,10 +152,42 @@ std::string MetricsRegistry::Dump() const {
   return out;
 }
 
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c->Get());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  char buf[256];
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = h->Snapshot();
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%llu,\"mean\":%.3f,\"p50\":%.3f,"
+                  "\"p95\":%.3f,\"p99\":%.3f,\"min\":%.3f,\"max\":%.3f}",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean, s.p50, s.p95, s.p99, s.min, s.max);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
 }
 
 }  // namespace idba

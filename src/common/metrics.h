@@ -1,5 +1,16 @@
 // Lightweight counters and histograms used by every subsystem, and a
 // registry that experiment harnesses snapshot and print.
+//
+// Histograms are lock-striped: Record() touches only the calling thread's
+// shard (threads map to shards by their small sequential id), so
+// instrumenting per-RPC hot paths does not serialize the server the way a
+// single global mutex would. Readers merge the shards, which is the rare
+// path. bench_micro_core's BM_HistogramRecordContended measures the
+// difference.
+//
+// Components cache Counter*/Histogram* pointers obtained from the registry
+// at construction; GetCounter/GetHistogram take the registry mutex and must
+// stay off hot paths (notification fan-out, per-RPC accounting).
 
 #pragma once
 
@@ -25,6 +36,18 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Point-in-time merged view of a histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
 /// Thread-safe histogram with power-of-two-ish buckets plus exact
 /// min/max/sum. Value unit is caller-defined (microseconds, bytes, ...).
 class Histogram {
@@ -40,20 +63,42 @@ class Histogram {
   double Percentile(double q) const;
   void Reset();
 
+  /// One consistent merged view (count/mean/percentiles from the same
+  /// merge, unlike calling the accessors separately).
+  HistogramSnapshot Snapshot() const;
+
   /// "count=N mean=X p50=... p99=... max=..."
   std::string Summary() const;
 
  private:
   static constexpr int kBuckets = 128;
+  static constexpr int kShards = 8;
   static int BucketFor(double v);
   static double BucketLowerBound(int b);
 
-  mutable std::mutex mu_;
-  uint64_t counts_[kBuckets] = {};
-  uint64_t total_count_ = 0;
-  double total_sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  /// One lock stripe. Padded to its own cache lines so concurrent writers
+  /// on different shards do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    uint64_t counts[kBuckets] = {};
+    uint64_t total_count = 0;
+    double total_sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  /// Merged totals; percentile needs the merged bucket array too.
+  struct Merged {
+    uint64_t counts[kBuckets] = {};
+    uint64_t total_count = 0;
+    double total_sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+  Merged Merge() const;
+  static double PercentileOf(const Merged& m, double q);
+
+  Shard shards_[kShards];
 };
 
 /// Named registry of counters and histograms. Components hold pointers
@@ -67,6 +112,9 @@ class MetricsRegistry {
   std::map<std::string, uint64_t> CounterSnapshot() const;
   /// Multi-line human-readable dump of all metrics.
   std::string Dump() const;
+  /// One JSON object: {"counters":{name:value,...},
+  /// "histograms":{name:{"count":..,"mean":..,"p50":..,...},...}}.
+  std::string DumpJson() const;
   void ResetAll();
 
  private:
@@ -74,5 +122,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// The process-wide registry. Instrumentation in the server, transport and
+/// display stack records here (metric names follow `subsystem.verb.unit`,
+/// see DESIGN.md "Observability"); idba_serve --metrics-interval and the
+/// STATS admin RPC export it.
+MetricsRegistry& GlobalMetrics();
 
 }  // namespace idba

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace idba {
 
 ActiveView::ActiveView(std::string name, ClientApi* client,
                        DisplayLockClient* dlc, DisplayCache* cache,
                        ActiveViewOptions opts)
     : name_(std::move(name)), client_(client), dlc_(dlc), cache_(cache),
-      opts_(opts) {
+      opts_(opts),
+      refresh_lag_(GlobalMetrics().GetHistogram("display.refresh_lag_vtime")) {
   display_id_ = dlc_->RegisterDisplay(this);
 }
 
@@ -244,6 +247,7 @@ void ActiveView::OnUpdateNotify(const UpdateNotifyMessage& msg, VTime /*local_no
   affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
   if (affected.empty()) return;
 
+  IDBA_TRACE_SPAN("view.refresh");
   if (!msg.erased.empty()) erased_seen_.Add(msg.erased.size());
   for (DoId id : affected) {
     DisplayObject* dob = cache_->Find(id);
@@ -263,6 +267,8 @@ void ActiveView::OnUpdateNotify(const UpdateNotifyMessage& msg, VTime /*local_no
   propagation_ms_.Record(
       static_cast<double>(client_->clock().Now() - msg.commit_vtime) /
       kVMillisecond);
+  refresh_lag_->Record(
+      static_cast<double>(client_->clock().Now() - msg.commit_vtime));
 }
 
 void ActiveView::OnIntentNotify(const IntentNotifyMessage& msg, VTime /*local_now*/) {

@@ -111,6 +111,9 @@ class ActiveView : public DisplayNotificationSink {
 
   Counter refreshes_, intent_marks_, erased_seen_;
   Histogram propagation_ms_;
+  // Process-global vtime lag from writer commit to this view's refresh
+  // (cached once; GetHistogram takes a registry lock).
+  Histogram* refresh_lag_ = nullptr;
 };
 
 }  // namespace idba

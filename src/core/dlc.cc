@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/trace.h"
+
 namespace idba {
 
 DisplayLockClient::DisplayLockClient(ClientApi* client,
@@ -132,6 +134,13 @@ Status DisplayLockClient::ReleaseDisplayLock(DisplayId display, Oid oid) {
 
 void DisplayLockClient::Dispatch(const Envelope& env) {
   notifications_.Add();
+  // Notification envelopes carry the committing writer's trace context;
+  // this span stitches the subscriber's dispatch into that trace.
+  obs::Span dispatch =
+      env.trace_id != 0
+          ? obs::Span::StartChildOf({env.trace_id, env.trace_span},
+                                    "dlc.dispatch")
+          : obs::Span::Start("dlc.dispatch");
   // The client observes the message arrival and pays dispatch CPU.
   client_->clock().Observe(env.arrives_at);
   client_->clock().Advance(

@@ -1,10 +1,15 @@
 #include "core/dlm.h"
 
+#include <algorithm>
+
+#include "obs/trace.h"
+
 namespace idba {
 
 DisplayLockManager::DisplayLockManager(DatabaseServer* server,
                                        NotificationBus* bus, DlmOptions opts)
-    : server_(server), bus_(bus), opts_(opts) {
+    : server_(server), bus_(bus), opts_(opts),
+      staleness_(GlobalMetrics().GetHistogram("display.staleness_vtime")) {
   server_->AddCommitObserver([this](ClientId writer, const CommitResult& result) {
     OnCommit(writer, result);
   });
@@ -169,6 +174,10 @@ void DisplayLockManager::OnCommit(ClientId writer, const CommitResult& result) {
                                                        result.erased.size());
   VTime arrival = EventArrival(commit_time, report_bytes);
   clock_.Observe(arrival);
+  // Runs on the committing writer's worker thread, so this span joins the
+  // writer's trace (and the bus stamps each envelope with it).
+  obs::Span fanout = obs::Span::Start("dlm.notify_fanout");
+  fanout.Note("subscribers=" + std::to_string(per_client.size()));
   for (auto& [client, msg] : per_client) {
     // The paper's key DLC property: ONE notification per client per commit,
     // regardless of how many of that client's displays are affected.
@@ -178,6 +187,12 @@ void DisplayLockManager::OnCommit(ClientId writer, const CommitResult& result) {
     (void)bus_->Send(kDlmEndpoint, static_cast<EndpointId>(client), msg,
                      clock_.Now());
     update_notifies_.Add();
+    // Staleness: virtual lag from the commit to this subscriber's display
+    // cache learning about it (notification arrival at the subscriber).
+    VTime notify_arrival =
+        clock_.Now() +
+        bus_->cost_model().MessageCost(static_cast<int64_t>(msg->WireBytes()));
+    staleness_->Record(static_cast<double>(notify_arrival - commit_time));
   }
 }
 
@@ -245,6 +260,26 @@ void DisplayLockManager::OnAbort(ClientId writer, TxnId txn) {
                      clock_.Now());
     update_notifies_.Add();
   }
+}
+
+std::vector<DisplayLockManager::LockEntry> DisplayLockManager::TableSnapshot()
+    const {
+  std::vector<LockEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(holders_.size());
+    for (const auto& [oid, clients] : holders_) {
+      LockEntry e;
+      e.oid = oid;
+      e.holders.assign(clients.begin(), clients.end());
+      std::sort(e.holders.begin(), e.holders.end());
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LockEntry& a, const LockEntry& b) {
+    return a.oid.value < b.oid.value;
+  });
+  return out;
 }
 
 size_t DisplayLockManager::locked_object_count() const {

@@ -64,6 +64,15 @@ class DisplayLockManager : public DisplayLockService {
   const DlmOptions& options() const { return opts_; }
   VirtualClock& clock() { return clock_; }
 
+  /// One row of the display-lock table, for introspection (STATS RPC,
+  /// idba_stat).
+  struct LockEntry {
+    Oid oid;
+    std::vector<ClientId> holders;
+  };
+  /// Point-in-time copy of the lock table, sorted by oid.
+  std::vector<LockEntry> TableSnapshot() const;
+
   size_t locked_object_count() const;
   size_t holder_count(Oid oid) const;
   uint64_t lock_requests() const { return lock_requests_.Get(); }
@@ -95,6 +104,10 @@ class DisplayLockManager : public DisplayLockService {
 
   Counter lock_requests_, unlock_requests_, update_notifies_, intent_notifies_,
       update_reports_;
+  /// Virtual-time lag from a committing writer to each subscriber's
+  /// notification arrival (display.staleness_vtime in GlobalMetrics);
+  /// cached at construction — registry lookups stay off the commit path.
+  Histogram* staleness_ = nullptr;
 };
 
 }  // namespace idba

@@ -43,6 +43,11 @@ struct Envelope {
   VTime sent_at = 0;     ///< sender's virtual clock at Send()
   VTime arrives_at = 0;  ///< sent_at + hop cost (receiver merges this)
   size_t wire_bytes = 0;
+  /// Trace context of the operation that triggered this message (0 = not
+  /// traced). Propagated into NOTIFY frames by the TCP transport so a
+  /// subscriber's display refresh joins the committing writer's trace.
+  uint64_t trace_id = 0;
+  uint64_t trace_span = 0;
 };
 
 }  // namespace idba

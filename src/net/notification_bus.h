@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "net/inbox.h"
 #include "net/message.h"
+#include "obs/trace.h"
 
 namespace idba {
 
@@ -52,6 +53,11 @@ class NotificationBus {
     env.msg = std::move(msg);
     env.sent_at = sent_at;
     env.arrives_at = sent_at + cost_.MessageCost(static_cast<int64_t>(env.wire_bytes));
+    // Stamp the sender's trace context (if any) so receivers — and the TCP
+    // transport forwarding this as a NOTIFY frame — can join the trace.
+    obs::TraceContext trace = obs::CurrentContext();
+    env.trace_id = trace.trace_id;
+    env.trace_span = trace.span_id;
     messages_.Add();
     bytes_.Add(env.wire_bytes);
     inbox->Deliver(std::move(env));

@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
 #include "core/notification.h"
+#include "obs/rpc_stats.h"
+#include "obs/trace.h"
 
 namespace idba {
+
+namespace {
+
+/// Records a span that already happened (retrospective child of `parent`).
+/// Returns its span id so further synthesized spans can nest under it.
+uint64_t EmitSpan(uint64_t trace_id, uint64_t parent, const char* name,
+                  int64_t start_us, int64_t dur_us) {
+  obs::SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = obs::NewSpanId();
+  rec.parent_id = parent;
+  rec.start_us = start_us;
+  rec.dur_us = dur_us;
+  rec.tid = ThisThreadId();
+  rec.name = name;
+  const uint64_t id = rec.span_id;
+  obs::GlobalRecorder().Record(std::move(rec));
+  return id;
+}
+
+}  // namespace
 
 RemoteDatabaseClient::RemoteDatabaseClient(ClientId id, RemoteClientOptions opts)
     : id_(id), opts_(opts), cost_model_(opts.cost), cache_(opts.cache) {}
@@ -88,6 +112,10 @@ Status RemoteDatabaseClient::Reconnect(int max_attempts) {
         Socket::ConnectTo(host_, port_, opts_.connect_timeout_ms);
     if (!fresh.ok()) {
       last = fresh.status();
+      IDBA_LOG_FIELDS(LogLevel::kWarn, "client", "reconnect attempt failed",
+                      {{"client", std::to_string(id_)},
+                       {"attempt", std::to_string(attempt + 1)},
+                       {"error", last.ToString()}});
       continue;
     }
     {
@@ -102,6 +130,9 @@ Status RemoteDatabaseClient::Reconnect(int max_attempts) {
     if (last.ok()) {
       if (opts_.report_evictions) InstallEvictionCallback();
       reconnects_.Add();
+      IDBA_LOG_FIELDS(LogLevel::kWarn, "client", "reconnected",
+                      {{"client", std::to_string(id_)},
+                       {"attempts", std::to_string(attempt + 1)}});
       return Status::OK();
     }
     // Handshake refused — commonly the server has not torn down the dead
@@ -123,6 +154,8 @@ Status RemoteDatabaseClient::Hello() {
   Encoder enc(&body);
   enc.PutU64(id_);
   enc.PutU8(static_cast<uint8_t>(opts_.consistency));
+  // Announce our wire version as a trailing byte; v1 servers ignore it.
+  enc.PutU8(wire::kWireVersion);
   std::vector<uint8_t> reply;
   size_t at = 0;
   IDBA_RETURN_NOT_OK(
@@ -134,6 +167,12 @@ Status RemoteDatabaseClient::Hello() {
   SchemaCatalog snapshot;
   IDBA_RETURN_NOT_OK(SchemaCatalog::DecodeFrom(&dec, &snapshot));
   schema_ = std::move(snapshot);
+  // A v2 server appends its version after the schema; absence means v1.
+  uint8_t server_version = 1;
+  if (dec.remaining() > 0) {
+    IDBA_RETURN_NOT_OK(dec.GetU8(&server_version));
+  }
+  server_version_.store(server_version, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -142,12 +181,38 @@ Status RemoteDatabaseClient::Call(wire::Method method,
                                   std::vector<uint8_t>* reply, size_t* body_at,
                                   bool count_rpc) {
   if (!connected_.load()) return Status::IOError("not connected");
+
+  // Root span for this API call (child span when already inside a trace,
+  // e.g. a session-level span). MethodName returns string literals, so
+  // .data() is NUL-terminated. Inactive when sampling is off — the span
+  // machinery then costs one thread-local load.
+  const char* method_name = wire::MethodName(method).data();
+  obs::Span rpc = obs::CurrentContext().valid()
+                      ? obs::Span::Start(method_name)
+                      : obs::Span::StartRoot(method_name);
+  const bool send_trace =
+      rpc.active() &&
+      server_version_.load(std::memory_order_relaxed) >= wire::kWireVersion;
+
+  // Latency decomposition is always recorded (a few steady_clock reads per
+  // call), independent of trace sampling.
+  obs::RpcPartHistograms& parts =
+      obs::GlobalRpcStats().HandleFor(static_cast<int>(method), method_name);
+  const int64_t t_start = obs::NowUs();
+
   std::vector<uint8_t> payload;
-  payload.reserve(body.size() + 16);
+  payload.reserve(body.size() + 40);
   Encoder enc(&payload);
+  if (send_trace) {
+    wire::TraceInfo trace;
+    trace.trace_id = rpc.context().trace_id;
+    trace.span_id = rpc.context().span_id;
+    wire::EncodeTraceInfo(trace, &enc);
+  }
   enc.PutU8(static_cast<uint8_t>(method));
   enc.PutI64(clock_.Now());
   payload.insert(payload.end(), body.begin(), body.end());
+  const int64_t t_serialized = obs::NowUs();
 
   PendingCall call;
   call.method = method;
@@ -158,7 +223,7 @@ Status RemoteDatabaseClient::Call(wire::Method method,
     pending_[seq] = &call;
   }
   Status sent = sock_.WriteFrame(write_mu_, wire::FrameType::kRequest, seq,
-                                 payload, &bytes_out_);
+                                 payload, &bytes_out_, send_trace);
   if (!sent.ok()) {
     std::lock_guard<std::mutex> lock(calls_mu_);
     // The reader may have failed the call (and erased it) concurrently;
@@ -191,8 +256,17 @@ Status RemoteDatabaseClient::Call(wire::Method method,
     }
   }
   IDBA_RETURN_NOT_OK(call.transport);
+  const int64_t t_response = obs::NowUs();
 
   Decoder dec(call.payload.data(), call.payload.size());
+  // A traced response opens with the server's TraceInfo echo, carrying the
+  // queue-wait/execute split of the server's time on this call.
+  wire::TraceInfo resp_trace;
+  bool have_server_split = false;
+  if (call.traced) {
+    have_server_split = wire::DecodeTraceInfo(&dec, &resp_trace).ok();
+    if (!have_server_split) resp_trace = wire::TraceInfo{};
+  }
   Status remote;
   IDBA_RETURN_NOT_OK(wire::DecodeStatus(&dec, &remote));
   VTime completion = 0;
@@ -201,6 +275,48 @@ Status RemoteDatabaseClient::Call(wire::Method method,
   if (count_rpc) rpcs_.Add();
   *body_at = dec.position();
   *reply = std::move(call.payload);
+  const int64_t t_decoded = obs::NowUs();
+
+  // Decomposition histograms: serialize / network / queue / execute /
+  // deserialize / total. Without a v2 server split, network absorbs the
+  // server-side time.
+  const int64_t wire_us = t_response - t_serialized;
+  int64_t network_us = wire_us;
+  if (have_server_split) {
+    network_us = std::max<int64_t>(
+        wire_us - resp_trace.queue_us - resp_trace.exec_us, 0);
+    parts.queue_us->Record(static_cast<double>(resp_trace.queue_us));
+    parts.execute_us->Record(static_cast<double>(resp_trace.exec_us));
+  }
+  parts.serialize_us->Record(static_cast<double>(t_serialized - t_start));
+  parts.network_us->Record(static_cast<double>(network_us));
+  parts.deserialize_us->Record(static_cast<double>(t_decoded - t_response));
+  parts.total_us->Record(static_cast<double>(t_decoded - t_start));
+
+  if (rpc.active()) {
+    // Child spans of the call, reconstructed now that the times are known.
+    const uint64_t trace_id = rpc.context().trace_id;
+    const uint64_t rpc_span = rpc.context().span_id;
+    EmitSpan(trace_id, rpc_span, "client.serialize", t_start,
+             t_serialized - t_start);
+    const uint64_t net_span = EmitSpan(trace_id, rpc_span, "client.network",
+                                       t_serialized, wire_us);
+    if (have_server_split) {
+      // Synthesized from the response's TraceInfo so a single client-side
+      // trace shows the full decomposition; the server's own recorder holds
+      // the authoritative server.queue/server.execute spans (TRACE_DUMP).
+      // Centered in the network window — their wall offsets are unknown.
+      const int64_t server_us = resp_trace.queue_us + resp_trace.exec_us;
+      const int64_t queue_start =
+          t_serialized + std::max<int64_t>((wire_us - server_us) / 2, 0);
+      EmitSpan(trace_id, net_span, "server.queue", queue_start,
+               resp_trace.queue_us);
+      EmitSpan(trace_id, net_span, "server.execute",
+               queue_start + resp_trace.queue_us, resp_trace.exec_us);
+    }
+    EmitSpan(trace_id, rpc_span, "client.deserialize", t_response,
+             t_decoded - t_response);
+  }
   return remote;
 }
 
@@ -261,6 +377,9 @@ void RemoteDatabaseClient::HeartbeatLoop() {
       // Half-open connection: the peer stopped answering but TCP has not
       // noticed. Kill the socket so every blocked caller fails fast and
       // connected() reads false.
+      IDBA_LOG_FIELDS(LogLevel::kWarn, "client",
+                      "heartbeat missed; marking connection dead",
+                      {{"client", std::to_string(id_)}});
       connected_.store(false);
       sock_.ShutdownBoth();
     }
@@ -281,6 +400,7 @@ void RemoteDatabaseClient::ReaderLoop() {
         auto it = pending_.find(header.seq);
         if (it != pending_.end()) {
           it->second->payload = std::move(payload);
+          it->second->traced = header.traced;
           it->second->done = true;
           pending_.erase(it);
           calls_cv_.notify_all();
@@ -289,6 +409,8 @@ void RemoteDatabaseClient::ReaderLoop() {
       }
       case wire::FrameType::kNotify: {
         Decoder dec(payload.data(), payload.size());
+        wire::TraceInfo trace;
+        if (header.traced && !wire::DecodeTraceInfo(&dec, &trace).ok()) break;
         wire::NotifyFrame frame;
         if (!wire::DecodeNotifyMeta(&dec, &frame).ok()) break;
         Envelope env;
@@ -297,6 +419,10 @@ void RemoteDatabaseClient::ReaderLoop() {
         env.sent_at = frame.sent_at;
         env.arrives_at = frame.arrives_at;
         env.wire_bytes = frame.virtual_wire_bytes;
+        // Carry the committing writer's context so the DLC dispatch and
+        // display refresh join the writer's trace.
+        env.trace_id = trace.trace_id;
+        env.trace_span = trace.span_id;
         if (frame.kind == wire::NotifyKind::kUpdate) {
           auto msg = std::make_shared<UpdateNotifyMessage>();
           if (!UpdateNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
@@ -316,8 +442,14 @@ void RemoteDatabaseClient::ReaderLoop() {
         // never issues RPCs of its own — so the ack flows even while this
         // client's user thread is blocked inside its own Commit().
         Decoder dec(payload.data(), payload.size());
+        wire::TraceInfo trace;
+        if (header.traced && !wire::DecodeTraceInfo(&dec, &trace).ok()) {
+          trace = wire::TraceInfo{};
+        }
         uint64_t oid = 0, version = 0;
         if (dec.GetU64(&oid).ok() && dec.GetU64(&version).ok()) {
+          obs::Span span = obs::Span::StartChildOf(
+              {trace.trace_id, trace.span_id}, "client.invalidate");
           cache_.InvalidateCached(Oid(oid), version);
           callback_frames_.Add();
         }

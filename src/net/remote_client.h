@@ -145,6 +145,11 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
 
   // --- Transport-level metrics ------------------------------------------
   bool connected() const { return connected_.load(); }
+  /// Wire protocol version the server announced in the Hello response
+  /// (1 = pre-trace server; trace headers are only exchanged at >= 2).
+  uint8_t server_wire_version() const {
+    return server_version_.load(std::memory_order_relaxed);
+  }
   uint64_t bytes_sent() const { return bytes_out_.Get(); }
   uint64_t bytes_received() const { return bytes_in_.Get(); }
   uint64_t notifications_received() const { return notify_frames_.Get(); }
@@ -164,6 +169,9 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
     std::vector<uint8_t> payload;
     Status transport = Status::OK();
     bool done = false;
+    /// Response frame carried the traced bit (payload opens with the
+    /// server's TraceInfo echo).
+    bool traced = false;
   };
 
   /// One correlated round trip: REQUEST out, RESPONSE in, remote status
@@ -193,6 +201,7 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   std::thread heartbeat_;
   std::atomic<bool> connected_{false};
   std::atomic<bool> shutting_down_{false};
+  std::atomic<uint8_t> server_version_{1};
   /// Serializes Reconnect() against itself and the destructor.
   std::mutex lifecycle_mu_;
   std::shared_ptr<FaultInjector> faults_;

@@ -171,11 +171,12 @@ Status Socket::SetRecvTimeout(int64_t ms) {
 
 Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
                           uint64_t seq, const std::vector<uint8_t>& payload,
-                          Counter* bytes_out) {
+                          Counter* bytes_out, bool traced) {
   wire::FrameHeader header;
   header.payload_len = static_cast<uint32_t>(payload.size());
   header.type = type;
   header.seq = seq;
+  header.traced = traced;
   uint8_t raw[wire::kHeaderBytes];
   wire::EncodeHeader(header, raw);
 

@@ -77,10 +77,12 @@ class Socket {
   }
 
   /// Writes one frame (header + payload) atomically with respect to other
-  /// WriteFrame calls through `write_mu`.
+  /// WriteFrame calls through `write_mu`. `traced` sets the wire-v2 traced
+  /// bit (the caller must already have prefixed the payload with an encoded
+  /// TraceInfo and verified the peer negotiated v2).
   Status WriteFrame(std::mutex& write_mu, wire::FrameType type, uint64_t seq,
                     const std::vector<uint8_t>& payload,
-                    Counter* bytes_out = nullptr);
+                    Counter* bytes_out = nullptr, bool traced = false);
 
   /// Reads one frame. Blocks until a full frame arrives, the peer closes,
   /// or an armed recv timeout expires.

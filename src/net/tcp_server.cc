@@ -3,7 +3,9 @@
 #include <chrono>
 #include <future>
 
+#include "common/logging.h"
 #include "core/notification.h"
+#include "obs/trace.h"
 
 namespace idba {
 
@@ -25,6 +27,10 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   // (acquire) — no mutex needed for this one-shot handoff.
   std::atomic<ClientId> client_id{0};
   std::atomic<bool> hello_done{false};
+  /// Wire protocol version the peer announced in Hello; 1 (no trace
+  /// support) until the optional version byte arrives. Trace headers are
+  /// only sent to peers >= 2.
+  std::atomic<uint8_t> peer_version{1};
 
   /// Registered on the bus under the client's endpoint id after Hello;
   /// the notifier thread forwards its envelopes as NOTIFY frames.
@@ -35,10 +41,18 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   /// Reader exited and Teardown ran; the connection can be reaped.
   std::atomic<bool> finished{false};
 
+  /// One request waiting for the worker, stamped with its arrival time so
+  /// the worker can attribute queue wait separately from execution.
+  struct QueuedRequest {
+    wire::FrameHeader header;
+    std::vector<uint8_t> payload;
+    int64_t enqueued_us = 0;
+  };
+
   // Requests queued by the reader for the worker.
   std::mutex q_mu;
   std::condition_variable q_cv;
-  std::deque<std::pair<wire::FrameHeader, std::vector<uint8_t>>> requests;
+  std::deque<QueuedRequest> requests;
 
   // Outstanding cache-invalidation callbacks awaiting CALLBACK_ACK frames.
   std::mutex cb_mu;
@@ -60,10 +74,23 @@ struct TransportServer::Connection : public CacheCallbackHandler {
     }
     std::vector<uint8_t> payload;
     Encoder enc(&payload);
+    // Runs on the committing writer's worker thread: the writer's trace
+    // context (if any) is installed there, so the invalidated client's
+    // callback handling joins the writer's trace (v2 peers only).
+    obs::TraceContext ctx = obs::CurrentContext();
+    const bool traced =
+        ctx.valid() &&
+        peer_version.load(std::memory_order_relaxed) >= wire::kWireVersion;
+    if (traced) {
+      wire::TraceInfo trace;
+      trace.trace_id = ctx.trace_id;
+      trace.span_id = ctx.span_id;
+      wire::EncodeTraceInfo(trace, &enc);
+    }
     enc.PutU64(oid.value);
     enc.PutU64(new_version);
     Status st = sock.WriteFrame(write_mu, wire::FrameType::kCallback, seq,
-                                payload, &owner->bytes_out_);
+                                payload, &owner->bytes_out_, traced);
     std::unique_lock<std::mutex> lock(cb_mu);
     if (st.ok()) {
       cb_cv.wait_for(
@@ -210,7 +237,8 @@ void TransportServer::ReaderLoop(Connection* conn) {
         header.type == wire::FrameType::kOneWay) {
       {
         std::lock_guard<std::mutex> lock(conn->q_mu);
-        conn->requests.emplace_back(header, std::move(payload));
+        conn->requests.push_back(
+            {header, std::move(payload), obs::NowUs()});
       }
       conn->q_cv.notify_one();
     } else if (header.type == wire::FrameType::kCallbackAck) {
@@ -231,7 +259,7 @@ void TransportServer::ReaderLoop(Connection* conn) {
 
 void TransportServer::WorkerLoop(Connection* conn) {
   for (;;) {
-    std::pair<wire::FrameHeader, std::vector<uint8_t>> item;
+    Connection::QueuedRequest item;
     {
       std::unique_lock<std::mutex> lock(conn->q_mu);
       conn->q_cv.wait(lock, [&] {
@@ -241,7 +269,7 @@ void TransportServer::WorkerLoop(Connection* conn) {
       item = std::move(conn->requests.front());
       conn->requests.pop_front();
     }
-    HandleFrame(conn, item.first, item.second);
+    HandleFrame(conn, item.header, item.payload, item.enqueued_us);
   }
 }
 
@@ -262,6 +290,18 @@ void TransportServer::NotifierLoop(Connection* conn) {
 
     std::vector<uint8_t> payload;
     Encoder enc(&payload);
+    // Propagate the committing writer's trace context into the NOTIFY
+    // frame (wire v2 peers only), so the subscriber's display refresh
+    // joins the writer's trace.
+    const bool traced = env->trace_id != 0 &&
+                        conn->peer_version.load(std::memory_order_relaxed) >=
+                            wire::kWireVersion;
+    if (traced) {
+      wire::TraceInfo trace;
+      trace.trace_id = env->trace_id;
+      trace.span_id = env->trace_span;
+      wire::EncodeTraceInfo(trace, &enc);
+    }
     const Message* msg = env->msg.get();
     if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(msg)) {
       frame.kind = wire::NotifyKind::kUpdate;
@@ -277,7 +317,7 @@ void TransportServer::NotifierLoop(Connection* conn) {
     }
     if (!conn->sock
              .WriteFrame(conn->write_mu, wire::FrameType::kNotify, seq++,
-                         payload, &bytes_out_)
+                         payload, &bytes_out_, traced)
              .ok()) {
       return;
     }
@@ -287,8 +327,38 @@ void TransportServer::NotifierLoop(Connection* conn) {
 
 void TransportServer::HandleFrame(Connection* conn,
                                   const wire::FrameHeader& header,
-                                  const std::vector<uint8_t>& payload) {
+                                  const std::vector<uint8_t>& payload,
+                                  int64_t enqueued_us) {
   Decoder dec(payload.data(), payload.size());
+
+  // Traced frame (wire v2): the payload opens with the client's context.
+  wire::TraceInfo req_trace;
+  if (header.traced) {
+    if (!wire::DecodeTraceInfo(&dec, &req_trace).ok()) {
+      req_trace = wire::TraceInfo{};
+    }
+  }
+  const obs::TraceContext rpc_ctx{req_trace.trace_id, req_trace.span_id};
+  const int64_t dequeued_us = obs::NowUs();
+  const uint32_t queue_us =
+      static_cast<uint32_t>(std::max<int64_t>(dequeued_us - enqueued_us, 0));
+  if (rpc_ctx.valid()) {
+    // The queue wait already happened; record it as an explicit span.
+    obs::SpanRecord wait;
+    wait.trace_id = rpc_ctx.trace_id;
+    wait.span_id = obs::NewSpanId();
+    wait.parent_id = rpc_ctx.span_id;
+    wait.start_us = enqueued_us;
+    wait.dur_us = dequeued_us - enqueued_us;
+    wait.tid = ThisThreadId();
+    wait.name = "server.queue";
+    obs::GlobalRecorder().Record(std::move(wait));
+  }
+  // Adopt the client's context for the execution, so every span opened
+  // inside the server stack (locks, storage, commit, callback fan-out,
+  // DLM notify) becomes part of the client's trace.
+  obs::ScopedContext adopt(rpc_ctx);
+
   uint8_t method_raw = 0;
   VTime client_now = 0;
   Status st = dec.GetU8(&method_raw);
@@ -298,18 +368,35 @@ void TransportServer::HandleFrame(Connection* conn,
   Encoder body_enc(&body);
   ServerCallInfo info;
   bool metered = false;
+  wire::Method method = wire::Method::kPing;
   if (!st.ok()) {
     result = st;
   } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
-             method_raw > static_cast<uint8_t>(wire::Method::kPing)) {
+             method_raw > static_cast<uint8_t>(wire::Method::kTraceDump)) {
     result = Status::Corruption("unknown method " + std::to_string(method_raw));
   } else {
     requests_.Add();
-    result = ExecuteMethod(conn, static_cast<wire::Method>(method_raw), &dec,
-                           client_now,
+    method = static_cast<wire::Method>(method_raw);
+    // Traced request: join the client's trace. Untraced request: start a
+    // server-local root (subject to this process's sampling), so a server
+    // run with --trace yields traces even from v1 / untraced clients.
+    obs::Span exec = rpc_ctx.valid()
+                         ? obs::Span::StartChildOf(rpc_ctx, "server.execute")
+                         : obs::Span::StartRoot("server.execute");
+    exec.Note(std::string(wire::MethodName(method)));
+    result = ExecuteMethod(conn, method, &dec, client_now,
                            static_cast<int64_t>(wire::kHeaderBytes +
                                                 payload.size()),
                            &info, &body_enc, &metered);
+  }
+  const uint32_t exec_us = static_cast<uint32_t>(
+      std::max<int64_t>(obs::NowUs() - dequeued_us, 0));
+
+  if (opts_.slow_rpc_threshold_ms > 0 && st.ok() &&
+      queue_us + exec_us >
+          static_cast<uint64_t>(opts_.slow_rpc_threshold_ms) * 1000) {
+    NoteSlowRpc(method, conn->client_id.load(std::memory_order_relaxed),
+                static_cast<int64_t>(queue_us) + exec_us, req_trace.trace_id);
   }
 
   if (header.type == wire::FrameType::kOneWay) return;
@@ -335,11 +422,20 @@ void TransportServer::HandleFrame(Connection* conn,
 
   std::vector<uint8_t> resp;
   Encoder enc(&resp);
+  if (header.traced) {
+    // Echo the request's context and report the server-side time split so
+    // the client can decompose its measured round-trip (and synthesize
+    // queue/execute child spans) without reading this server's recorder.
+    wire::TraceInfo resp_trace = req_trace;
+    resp_trace.queue_us = queue_us;
+    resp_trace.exec_us = exec_us;
+    wire::EncodeTraceInfo(resp_trace, &enc);
+  }
   resp.insert(resp.end(), head.begin(), head.end());
   enc.PutI64(completion);
   resp.insert(resp.end(), body.begin(), body.end());
   (void)conn->sock.WriteFrame(conn->write_mu, wire::FrameType::kResponse,
-                              header.seq, resp, &bytes_out_);
+                              header.seq, resp, &bytes_out_, header.traced);
 }
 
 Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
@@ -349,7 +445,8 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
                                       bool* metered) {
   using wire::Method;
   if (!conn->hello_done.load(std::memory_order_acquire) &&
-      method != Method::kHello && method != Method::kPing) {
+      method != Method::kHello && method != Method::kPing &&
+      method != Method::kStats && method != Method::kTraceDump) {
     return Status::InvalidArgument("Hello handshake required before " +
                                    std::string(wire::MethodName(method)));
   }
@@ -368,6 +465,14 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
       uint8_t consistency = 0;
       IDBA_RETURN_NOT_OK(dec->GetU64(&id));
       IDBA_RETURN_NOT_OK(dec->GetU8(&consistency));
+      // Wire v2 clients append their protocol version; v1 clients end the
+      // body here, which reads as v1 (trailing bytes were always ignored,
+      // so this is back-compatible in both directions).
+      if (dec->remaining() > 0) {
+        uint8_t version = 1;
+        IDBA_RETURN_NOT_OK(dec->GetU8(&version));
+        conn->peer_version.store(version, std::memory_order_relaxed);
+      }
       if (conn->hello_done.load(std::memory_order_acquire)) {
         return Status::InvalidArgument("duplicate Hello");
       }
@@ -392,10 +497,27 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
         std::lock_guard<std::mutex> lock(ddl_mu_);
         server_->schema().EncodeTo(body);
       }
+      // Announce our protocol version (trailing byte, ignored by v1).
+      body->PutU8(wire::kWireVersion);
       return Status::OK();
     }
     case Method::kPing:
       return Status::OK();
+    case Method::kStats: {
+      uint8_t format = 0;
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&format));
+      body->PutString(format == 1 ? StatsText() : StatsJson());
+      return Status::OK();
+    }
+    case Method::kTraceDump: {
+      uint8_t format = 0, clear = 0;
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&format));
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&clear));
+      obs::TraceRecorder& rec = obs::GlobalRecorder();
+      body->PutString(format == 1 ? rec.DumpJsonl() : rec.DumpChromeTrace());
+      if (clear != 0) rec.Clear();
+      return Status::OK();
+    }
     case Method::kBegin: {
       body->PutU64(server_->Begin(cid));
       return Status::OK();
@@ -569,6 +691,171 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
     }
   }
   return Status::Corruption("unhandled method");
+}
+
+void TransportServer::NoteSlowRpc(wire::Method method, ClientId client,
+                                  int64_t duration_us, uint64_t trace_id) {
+  char trace_hex[24];
+  std::snprintf(trace_hex, sizeof(trace_hex), "%llx",
+                static_cast<unsigned long long>(trace_id));
+  IDBA_LOG_FIELDS(LogLevel::kWarn, "transport", "slow rpc",
+                  {{"method", std::string(wire::MethodName(method))},
+                   {"client", std::to_string(client)},
+                   {"duration_us", std::to_string(duration_us)},
+                   {"trace_id", trace_hex}});
+  SlowRpc slow;
+  slow.method = std::string(wire::MethodName(method));
+  slow.client = client;
+  slow.duration_us = duration_us;
+  slow.trace_id = trace_id;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_rpcs_.push_back(std::move(slow));
+  while (slow_rpcs_.size() > kSlowRpcRing) slow_rpcs_.pop_front();
+}
+
+std::vector<TransportServer::SlowRpc> TransportServer::SlowRpcLog() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_rpcs_.begin(), slow_rpcs_.end()};
+}
+
+namespace {
+
+struct SessionRow {
+  ClientId client;
+  uint8_t wire_version;
+};
+
+void AppendSlowRpcJson(std::string& out,
+                       const std::vector<TransportServer::SlowRpc>& slow) {
+  out += "\"slow_rpcs\":[";
+  bool first = true;
+  for (const auto& s : slow) {
+    if (!first) out += ',';
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"method\":\"%s\",\"client\":%llu,\"duration_us\":%lld,"
+                  "\"trace_id\":\"%llx\"}",
+                  s.method.c_str(), static_cast<unsigned long long>(s.client),
+                  static_cast<long long>(s.duration_us),
+                  static_cast<unsigned long long>(s.trace_id));
+    out += buf;
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string TransportServer::StatsJson() const {
+  std::vector<SessionRow> sessions;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (!conn->hello_done.load(std::memory_order_acquire)) continue;
+      sessions.push_back(
+          {conn->client_id.load(std::memory_order_relaxed),
+           conn->peer_version.load(std::memory_order_relaxed)});
+    }
+  }
+  std::string out = "{\"transport\":{";
+  out += "\"connections_accepted\":" + std::to_string(accepts_.Get());
+  out += ",\"requests_served\":" + std::to_string(requests_.Get());
+  out += ",\"notifications_forwarded\":" + std::to_string(notifies_.Get());
+  out += ",\"bytes_in\":" + std::to_string(bytes_in_.Get());
+  out += ",\"bytes_out\":" + std::to_string(bytes_out_.Get());
+  out += "},\"sessions\":[";
+  bool first = true;
+  for (const SessionRow& s : sessions) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"client\":" + std::to_string(s.client) +
+           ",\"wire_version\":" + std::to_string(s.wire_version) + "}";
+  }
+  out += "],\"dlm\":{";
+  if (dlm_ != nullptr) {
+    out += "\"locked_objects\":" + std::to_string(dlm_->locked_object_count());
+    out += ",\"lock_requests\":" + std::to_string(dlm_->lock_requests());
+    out += ",\"unlock_requests\":" + std::to_string(dlm_->unlock_requests());
+    out += ",\"update_notifications\":" +
+           std::to_string(dlm_->update_notifications());
+    out += ",\"intent_notifications\":" +
+           std::to_string(dlm_->intent_notifications());
+    out += ",\"table\":[";
+    first = true;
+    for (const auto& entry : dlm_->TableSnapshot()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"oid\":" + std::to_string(entry.oid.value) + ",\"holders\":[";
+      for (size_t i = 0; i < entry.holders.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(entry.holders[i]);
+      }
+      out += "]}";
+    }
+    out += ']';
+  }
+  out += "},";
+  AppendSlowRpcJson(out, SlowRpcLog());
+  out += ",\"trace\":{\"retained_spans\":" +
+         std::to_string(obs::GlobalRecorder().Snapshot().size()) +
+         ",\"dropped_spans\":" + std::to_string(obs::GlobalRecorder().dropped()) +
+         "},";
+  out += "\"metrics\":" + GlobalMetrics().DumpJson();
+  out += '}';
+  return out;
+}
+
+std::string TransportServer::StatsText() const {
+  std::string out = "== transport ==\n";
+  out += "connections_accepted     " + std::to_string(accepts_.Get()) + "\n";
+  out += "requests_served          " + std::to_string(requests_.Get()) + "\n";
+  out += "notifications_forwarded  " + std::to_string(notifies_.Get()) + "\n";
+  out += "bytes_in                 " + std::to_string(bytes_in_.Get()) + "\n";
+  out += "bytes_out                " + std::to_string(bytes_out_.Get()) + "\n";
+  out += "\n== sessions ==\n";
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (!conn->hello_done.load(std::memory_order_acquire)) continue;
+      out += "client " +
+             std::to_string(conn->client_id.load(std::memory_order_relaxed)) +
+             "  wire_version " +
+             std::to_string(conn->peer_version.load(std::memory_order_relaxed)) +
+             "\n";
+    }
+  }
+  if (dlm_ != nullptr) {
+    out += "\n== display locks ==\n";
+    out += "locked_objects " + std::to_string(dlm_->locked_object_count()) +
+           "  lock_requests " + std::to_string(dlm_->lock_requests()) +
+           "  update_notifications " +
+           std::to_string(dlm_->update_notifications()) + "\n";
+    for (const auto& entry : dlm_->TableSnapshot()) {
+      out += "oid " + std::to_string(entry.oid.value) + " <-";
+      for (ClientId holder : entry.holders) {
+        out += ' ' + std::to_string(holder);
+      }
+      out += '\n';
+    }
+  }
+  out += "\n== slow rpcs (threshold " +
+         std::to_string(opts_.slow_rpc_threshold_ms) + " ms) ==\n";
+  for (const SlowRpc& s : SlowRpcLog()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-16s client=%llu duration_us=%lld trace=%llx\n",
+                  s.method.c_str(), static_cast<unsigned long long>(s.client),
+                  static_cast<long long>(s.duration_us),
+                  static_cast<unsigned long long>(s.trace_id));
+    out += buf;
+  }
+  out += "\n== trace ==\n";
+  out += "retained_spans " +
+         std::to_string(obs::GlobalRecorder().Snapshot().size()) +
+         "  dropped_spans " + std::to_string(obs::GlobalRecorder().dropped()) +
+         "\n";
+  out += "\n== metrics ==\n";
+  out += GlobalMetrics().Dump();
+  return out;
 }
 
 }  // namespace idba

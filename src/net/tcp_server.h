@@ -60,6 +60,10 @@ struct TransportServerOptions {
   /// when clients run heartbeats faster than this, or idle-but-healthy
   /// clients get cut.
   int64_t idle_timeout_ms = 0;
+  /// A request whose queue-wait + execution exceeds this logs one WARN line
+  /// (method, duration, client, trace id) and lands in the slow-RPC ring
+  /// reported by STATS/idba_stat. 0 disables.
+  int64_t slow_rpc_threshold_ms = 250;
 };
 
 /// Hosts one deployment (server + DLM + bus + meter) behind a socket.
@@ -88,8 +92,26 @@ class TransportServer {
   uint64_t notifications_forwarded() const { return notifies_.Get(); }
   uint64_t connections_accepted() const { return accepts_.Get(); }
 
+  // --- Introspection (STATS admin RPC, idba_stat, --metrics-interval) ---
+  /// One slow request, retained in a bounded ring (most recent last).
+  struct SlowRpc {
+    std::string method;
+    ClientId client = 0;
+    int64_t duration_us = 0;  ///< queue wait + execution
+    uint64_t trace_id = 0;    ///< 0 when the request was untraced
+  };
+  std::vector<SlowRpc> SlowRpcLog() const;
+
+  /// Full server state as one JSON object: transport counters, active
+  /// sessions, DLM lock table, slow RPCs, and every GlobalMetrics metric.
+  std::string StatsJson() const;
+  /// The same, pre-formatted for humans (idba_stat prints this verbatim,
+  /// so the CLI needs no JSON parser).
+  std::string StatsText() const;
+
  private:
   struct Connection;
+  static constexpr size_t kSlowRpcRing = 64;
 
   void AcceptLoop();
   void ReaderLoop(Connection* conn);
@@ -101,10 +123,12 @@ class TransportServer {
   void ReapFinished();
 
   void HandleFrame(Connection* conn, const wire::FrameHeader& header,
-                   const std::vector<uint8_t>& payload);
+                   const std::vector<uint8_t>& payload, int64_t enqueued_us);
   Status ExecuteMethod(Connection* conn, wire::Method method, Decoder* dec,
                        VTime client_now, int64_t request_bytes,
                        ServerCallInfo* info, Encoder* body, bool* metered);
+  void NoteSlowRpc(wire::Method method, ClientId client, int64_t duration_us,
+                   uint64_t trace_id);
 
   DatabaseServer* server_;
   DisplayLockManager* dlm_;
@@ -116,7 +140,7 @@ class TransportServer {
   std::thread acceptor_;
   std::atomic<bool> running_{false};
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
   std::unordered_set<ClientId> active_clients_;
   /// Serializes DDL (DefineClass/AddAttribute) across connections; the
@@ -124,6 +148,9 @@ class TransportServer {
   std::mutex ddl_mu_;
 
   Counter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowRpc> slow_rpcs_;  ///< bounded to kSlowRpcRing
 };
 
 }  // namespace idba

@@ -28,6 +28,8 @@ std::string_view MethodName(Method m) {
     case Method::kDlmLockBatch: return "DlmLockBatch";
     case Method::kDlmUnlockBatch: return "DlmUnlockBatch";
     case Method::kPing: return "Ping";
+    case Method::kStats: return "Stats";
+    case Method::kTraceDump: return "TraceDump";
   }
   return "Unknown";
 }
@@ -37,7 +39,7 @@ void EncodeHeader(const FrameHeader& h, uint8_t out[kHeaderBytes]) {
   buf.reserve(kHeaderBytes);
   Encoder enc(&buf);
   enc.PutU32(h.payload_len);
-  enc.PutU8(static_cast<uint8_t>(h.type));
+  enc.PutU8(static_cast<uint8_t>(h.type) | (h.traced ? kTracedBit : 0));
   enc.PutU64(h.seq);
   std::memcpy(out, buf.data(), kHeaderBytes);
 }
@@ -48,6 +50,8 @@ Status DecodeHeader(const uint8_t in[kHeaderBytes], FrameHeader* out) {
   IDBA_RETURN_NOT_OK(dec.GetU32(&out->payload_len));
   IDBA_RETURN_NOT_OK(dec.GetU8(&type));
   IDBA_RETURN_NOT_OK(dec.GetU64(&out->seq));
+  out->traced = (type & kTracedBit) != 0;
+  type &= static_cast<uint8_t>(~kTracedBit);
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
       type > static_cast<uint8_t>(FrameType::kOneWay)) {
     return Status::Corruption("unknown frame type " + std::to_string(type));
@@ -58,6 +62,21 @@ Status DecodeHeader(const uint8_t in[kHeaderBytes], FrameHeader* out) {
                               " exceeds limit");
   }
   out->type = static_cast<FrameType>(type);
+  return Status::OK();
+}
+
+void EncodeTraceInfo(const TraceInfo& t, Encoder* enc) {
+  enc->PutU64(t.trace_id);
+  enc->PutU64(t.span_id);
+  enc->PutU32(t.queue_us);
+  enc->PutU32(t.exec_us);
+}
+
+Status DecodeTraceInfo(Decoder* dec, TraceInfo* out) {
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->trace_id));
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->span_id));
+  IDBA_RETURN_NOT_OK(dec->GetU32(&out->queue_us));
+  IDBA_RETURN_NOT_OK(dec->GetU32(&out->exec_us));
   return Status::OK();
 }
 

@@ -53,6 +53,20 @@ constexpr size_t kHeaderBytes = 13;
 /// (or hostile) and gets disconnected.
 constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 
+/// Protocol revision this build speaks. Negotiated in Hello: each side
+/// appends its version as a trailing byte to the Hello request/response
+/// body; v1 peers neither send nor read it (their decoders ignore trailing
+/// bytes), so absence means v1. v2 adds the traced-frame bit and the
+/// TraceInfo payload prefix below, plus the kStats/kTraceDump admin
+/// methods. Traced frames are only sent to peers that negotiated >= 2.
+constexpr uint8_t kWireVersion = 2;
+
+/// High bit of the frame-type byte: when set, the payload begins with an
+/// encoded TraceInfo (trace header). The low 7 bits are the FrameType.
+/// v1 decoders reject the bit as an unknown frame type, which is why it is
+/// only set after v2 negotiation.
+constexpr uint8_t kTracedBit = 0x80;
+
 enum class FrameType : uint8_t {
   kRequest = 1,
   kResponse = 2,
@@ -87,6 +101,9 @@ enum class Method : uint8_t {
   kDlmLockBatch = 21,
   kDlmUnlockBatch = 22,
   kPing = 23,
+  // Admin/introspection (wire v2). Like kPing, callable before Hello.
+  kStats = 24,      ///< body: u8 format (0=json, 1=text); response: string
+  kTraceDump = 25,  ///< body: u8 format (0=chrome, 1=jsonl), u8 clear; response: string
 };
 
 std::string_view MethodName(Method m);
@@ -101,12 +118,30 @@ struct FrameHeader {
   uint32_t payload_len = 0;
   FrameType type = FrameType::kRequest;
   uint64_t seq = 0;
+  bool traced = false;  ///< payload starts with a TraceInfo (wire v2)
 };
 
 /// Encodes `h` into exactly kHeaderBytes at out[0..12].
 void EncodeHeader(const FrameHeader& h, uint8_t out[kHeaderBytes]);
 /// Decodes a header; rejects unknown frame types and oversized payloads.
+/// Accepts the traced bit (sets out->traced).
 Status DecodeHeader(const uint8_t in[kHeaderBytes], FrameHeader* out);
+
+/// Trace header carried at the front of a traced frame's payload (wire v2).
+/// On REQUEST/ONEWAY/NOTIFY/CALLBACK it propagates the sender's context;
+/// on RESPONSE it echoes the request's context and reports where the
+/// server spent the call's time, letting the client decompose its measured
+/// round-trip into network vs queue-wait vs execution without cross-process
+/// trace merging.
+struct TraceInfo {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;   ///< sender's span (the receiver's parent)
+  uint32_t queue_us = 0;  ///< RESPONSE only: server queue wait
+  uint32_t exec_us = 0;   ///< RESPONSE only: server execution time
+};
+
+void EncodeTraceInfo(const TraceInfo& t, Encoder* enc);
+Status DecodeTraceInfo(Decoder* dec, TraceInfo* out);
 
 // --- Status ------------------------------------------------------------
 void EncodeStatus(const Status& st, Encoder* enc);

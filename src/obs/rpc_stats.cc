@@ -1,0 +1,38 @@
+#include "obs/rpc_stats.h"
+
+#include <string>
+
+namespace idba {
+namespace obs {
+
+RpcPartHistograms& RpcStats::HandleFor(int method, const char* name) {
+  int slot = (method >= 0 && method < kMaxMethods) ? method : kMaxMethods;
+  RpcPartHistograms* h = slots_[slot].load(std::memory_order_acquire);
+  if (h) return *h;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  h = slots_[slot].load(std::memory_order_relaxed);
+  if (h) return *h;
+
+  auto* fresh = new RpcPartHistograms();  // leaked with the process, like the registry
+  MetricsRegistry& reg = GlobalMetrics();
+  std::string base = "rpc.";
+  base += (slot == kMaxMethods) ? "other" : name;
+  base += '.';
+  fresh->serialize_us = reg.GetHistogram(base + "serialize_us");
+  fresh->network_us = reg.GetHistogram(base + "network_us");
+  fresh->queue_us = reg.GetHistogram(base + "queue_us");
+  fresh->execute_us = reg.GetHistogram(base + "execute_us");
+  fresh->deserialize_us = reg.GetHistogram(base + "deserialize_us");
+  fresh->total_us = reg.GetHistogram(base + "total_us");
+  slots_[slot].store(fresh, std::memory_order_release);
+  return *fresh;
+}
+
+RpcStats& GlobalRpcStats() {
+  static RpcStats* stats = new RpcStats();
+  return *stats;
+}
+
+}  // namespace obs
+}  // namespace idba

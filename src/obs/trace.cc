@@ -1,0 +1,274 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Mixes the pid into ids so traces from a client process and a server
+// process on the same machine never collide.
+uint64_t IdSalt() {
+  static const uint64_t salt =
+      (static_cast<uint64_t>(::getpid()) << 40) ^ 0x9e3779b97f4a7c15ull;
+  return salt;
+}
+
+std::atomic<uint64_t> g_next_id{1};
+std::atomic<bool> g_sampling{false};
+std::atomic<uint32_t> g_sample_every{1};
+std::atomic<uint64_t> g_sample_tick{0};
+
+thread_local TraceContext t_current;
+
+// SplitMix64 finisher: spreads the sequential counter so ids do not look
+// consecutive across processes sharing a salt-free low range.
+uint64_t MixId(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x ? x : 1;  // 0 means "no trace"
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendChromeEvent(std::string& out, const SpanRecord& r, int pid) {
+  char buf[256];
+  out += "{\"name\":\"";
+  AppendJsonEscaped(out, r.name);
+  out += "\",\"ph\":\"X\",\"cat\":\"idba\"";
+  std::snprintf(buf, sizeof(buf),
+                ",\"ts\":%lld,\"dur\":%lld,\"pid\":%d,\"tid\":%llu",
+                static_cast<long long>(r.start_us),
+                static_cast<long long>(r.dur_us), pid,
+                static_cast<unsigned long long>(r.tid));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"args\":{\"trace_id\":\"%llx\",\"span_id\":\"%llx\","
+                "\"parent_id\":\"%llx\"",
+                static_cast<unsigned long long>(r.trace_id),
+                static_cast<unsigned long long>(r.span_id),
+                static_cast<unsigned long long>(r.parent_id));
+  out += buf;
+  if (!r.note.empty()) {
+    out += ",\"note\":\"";
+    AppendJsonEscaped(out, r.note);
+    out += '"';
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+uint64_t NewTraceId() {
+  return MixId(IdSalt() ^ g_next_id.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint64_t NewSpanId() {
+  return MixId(IdSalt() + (g_next_id.fetch_add(1, std::memory_order_relaxed) << 1));
+}
+
+void SetTraceSampling(bool enabled) {
+  g_sampling.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceSamplingEnabled() {
+  return g_sampling.load(std::memory_order_relaxed);
+}
+
+void SetTraceSampleEvery(uint32_t n) {
+  g_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+bool SampleRoot() {
+  if (!g_sampling.load(std::memory_order_relaxed)) return false;
+  uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 1) return true;
+  return g_sample_tick.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+TraceContext CurrentContext() { return t_current; }
+
+ScopedContext::ScopedContext(TraceContext ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ScopedContext::~ScopedContext() { t_current = prev_; }
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, kStripes)) {
+  const size_t per = capacity_ / kStripes;
+  for (Stripe& s : stripes_) s.ring.resize(per);
+}
+
+void TraceRecorder::Record(SpanRecord span) {
+  Stripe& s = stripes_[ThisThreadId() % kStripes];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.used == s.ring.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  s.ring[s.next] = std::move(span);
+  s.next = (s.next + 1) % s.ring.size();
+  s.used = std::min(s.used + 1, s.ring.size());
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const size_t n = s.ring.size();
+    // Oldest-first within the stripe: start at next-used (mod n).
+    for (size_t i = 0; i < s.used; ++i) {
+      out.push_back(s.ring[(s.next + n - s.used + i) % n]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+std::string TraceRecorder::DumpChromeTrace() const {
+  const int pid = static_cast<int>(::getpid());
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : Snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    AppendChromeEvent(out, r, pid);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::DumpJsonl() const {
+  const int pid = static_cast<int>(::getpid());
+  std::string out;
+  for (const SpanRecord& r : Snapshot()) {
+    AppendChromeEvent(out, r, pid);
+    out += '\n';
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.next = 0;
+    s.used = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceRecorder& GlobalRecorder() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+Span::Span(SpanRecord rec, TraceContext prev, bool restore)
+    : rec_(std::move(rec)), prev_(prev), restore_(restore) {}
+
+Span::Span(Span&& other) noexcept
+    : rec_(std::move(other.rec_)), prev_(other.prev_), restore_(other.restore_) {
+  other.rec_.trace_id = 0;
+  other.restore_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    rec_ = std::move(other.rec_);
+    prev_ = other.prev_;
+    restore_ = other.restore_;
+    other.rec_.trace_id = 0;
+    other.restore_ = false;
+  }
+  return *this;
+}
+
+Span Span::Start(const char* name) {
+  TraceContext cur = t_current;
+  if (!cur.valid()) return Span();
+  return StartChildOf(cur, name);
+}
+
+Span Span::StartChildOf(TraceContext parent, const char* name) {
+  if (!parent.valid()) return Span();
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.span_id = NewSpanId();
+  rec.parent_id = parent.span_id;
+  rec.start_us = NowUs();
+  rec.tid = ThisThreadId();
+  rec.name = name;
+  TraceContext prev = t_current;
+  t_current = {rec.trace_id, rec.span_id};
+  return Span(std::move(rec), prev, /*restore=*/true);
+}
+
+Span Span::StartRoot(const char* name, bool force) {
+  if (!force && !SampleRoot()) return Span();
+  SpanRecord rec;
+  rec.trace_id = NewTraceId();
+  rec.span_id = NewSpanId();
+  rec.parent_id = 0;
+  rec.start_us = NowUs();
+  rec.tid = ThisThreadId();
+  rec.name = name;
+  TraceContext prev = t_current;
+  t_current = {rec.trace_id, rec.span_id};
+  return Span(std::move(rec), prev, /*restore=*/true);
+}
+
+void Span::Note(const std::string& note) {
+  if (!active()) return;
+  if (!rec_.note.empty()) rec_.note += ' ';
+  rec_.note += note;
+}
+
+void Span::End() {
+  if (!active()) return;
+  rec_.dur_us = NowUs() - rec_.start_us;
+  if (restore_) t_current = prev_;
+  GlobalRecorder().Record(std::move(rec_));
+  rec_.trace_id = 0;
+  restore_ = false;
+}
+
+}  // namespace obs
+}  // namespace idba

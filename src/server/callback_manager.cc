@@ -1,5 +1,7 @@
 #include "server/callback_manager.h"
 
+#include "obs/trace.h"
+
 namespace idba {
 
 void CallbackManager::RegisterClient(ClientId client, CacheCallbackHandler* handler) {
@@ -63,9 +65,14 @@ int CallbackManager::OnCommittedUpdate(ClientId writer, Oid oid,
     }
     if (cit->second.empty()) copies_.erase(cit);
   }
-  for (const auto& [c, h] : targets) {
-    h->InvalidateCached(oid, new_version);
-    callbacks_.Add();
+  if (!targets.empty()) {
+    // Blocks until every holder acks (invalidate-before-commit), so this
+    // span is the commit's callback-wait time.
+    IDBA_TRACE_SPAN("server.callback_fanout");
+    for (const auto& [c, h] : targets) {
+      h->InvalidateCached(oid, new_version);
+      callbacks_.Add();
+    }
   }
   return static_cast<int>(targets.size());
 }

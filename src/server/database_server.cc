@@ -1,5 +1,7 @@
 #include "server/database_server.h"
 
+#include "obs/trace.h"
+
 namespace idba {
 
 namespace {
@@ -106,6 +108,9 @@ TxnId DatabaseServer::Begin(ClientId client) {
 Result<CommitResult> DatabaseServer::Commit(ClientId client, TxnId txn,
                                             ServerCallInfo* info) {
   (void)client;
+  // Covers WAL flush, heap apply, callback fan-out and commit observers
+  // (the hooks run inside TxnManager::Commit on this thread).
+  IDBA_TRACE_SPAN("server.commit");
   auto result = txn_mgr_->Commit(txn);
   int callbacks = 0;
   {

@@ -17,19 +17,30 @@
 //   --eager           DLM ships new object images inside notifications
 //   --early-notify    DLM sends update-intention notices at X-lock time
 //   --integrated      integrated DLM deployment (server-side D locks)
+//   --trace [N]       record server-side trace spans (sample 1-in-N roots,
+//                     default every root); dump via the TRACE_DUMP RPC
+//   --slow-rpc-ms N   log + ring-buffer RPCs slower than N ms (default 250,
+//                     0 disables)
+//   --metrics-interval SECS
+//                     print a STATS JSON document to stdout every SECS
+//                     seconds (one document per line)
 //
 // The process runs until SIGINT/SIGTERM, then checkpoints and exits.
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <semaphore.h>
 
 #include "core/session.h"
 #include "net/tcp_server.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -43,6 +54,10 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string bind_host = "127.0.0.1";
   long idle_timeout_ms = 0;
+  long metrics_interval_s = 0;
+  long slow_rpc_ms = 250;
+  bool trace = false;
+  long trace_every = 1;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -58,13 +73,28 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--integrated") == 0) {
       dep_opts.dlm.integrated = true;
       dep_opts.server.integrated_display_locks = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+      // Optional 1-in-N sample rate; bare --trace records every root.
+      if (i + 1 < argc && std::atol(argv[i + 1]) > 0) {
+        trace_every = std::atol(argv[++i]);
+      }
+    } else if (std::strcmp(argv[i], "--slow-rpc-ms") == 0 && i + 1 < argc) {
+      slow_rpc_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
+      metrics_interval_s = std::atol(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--bind ADDR] [--idle-timeout MS] "
-                   "[--eager] [--early-notify] [--integrated]\n",
+                   "[--eager] [--early-notify] [--integrated] [--trace [N]] "
+                   "[--slow-rpc-ms N] [--metrics-interval SECS]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (trace) {
+    idba::obs::SetTraceSampleEvery(static_cast<uint32_t>(trace_every));
+    idba::obs::SetTraceSampling(true);
   }
 
   idba::Deployment deployment(dep_opts);
@@ -72,6 +102,7 @@ int main(int argc, char** argv) {
   transport_opts.port = port;
   transport_opts.bind_host = bind_host;
   transport_opts.idle_timeout_ms = idle_timeout_ms;
+  transport_opts.slow_rpc_threshold_ms = slow_rpc_ms;
   idba::TransportServer transport(&deployment.server(), &deployment.dlm(),
                                   &deployment.bus(), &deployment.meter(),
                                   transport_opts);
@@ -84,10 +115,33 @@ int main(int argc, char** argv) {
               transport.port());
   std::fflush(stdout);
 
+  std::atomic<bool> dump_stop{false};
+  std::thread dump_thread;
+  if (metrics_interval_s > 0) {
+    dump_thread = std::thread([&] {
+      // Sleep in short slices so shutdown is not delayed a full interval.
+      int64_t elapsed_ms = 0;
+      while (!dump_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        elapsed_ms += 50;
+        if (elapsed_ms < metrics_interval_s * 1000) continue;
+        elapsed_ms = 0;
+        std::string json = transport.StatsJson();
+        std::printf("%s\n", json.c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   sem_init(&g_stop_sem, 0, 0);
   std::signal(SIGINT, HandleStop);
   std::signal(SIGTERM, HandleStop);
   while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
+  }
+
+  if (dump_thread.joinable()) {
+    dump_stop.store(true, std::memory_order_relaxed);
+    dump_thread.join();
   }
 
   std::printf("idba_serve: shutting down (%llu requests, %llu bytes in, "

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/trace.h"
+
 namespace idba {
 
 BufferPool::BufferPool(Disk* disk, BufferPoolOptions opts)
@@ -57,6 +59,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, bool* missed) {
   }
   misses_.Add();
   if (missed != nullptr) *missed = true;
+  IDBA_TRACE_SPAN("storage.read_page");
   IDBA_ASSIGN_OR_RETURN(size_t idx, GetVictimLocked());
   Frame& f = frames_[idx];
   Status st = disk_->ReadPage(id, &f.data);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace idba {
 
 namespace {
@@ -119,6 +121,7 @@ Status Wal::FlushLocked() {
 }
 
 Status Wal::Flush() {
+  IDBA_TRACE_SPAN("storage.wal_flush");
   std::lock_guard<std::mutex> lock(mu_);
   return FlushLocked();
 }

@@ -1,0 +1,147 @@
+// idba_stat: live introspection CLI for a running idba_serve.
+//
+// Speaks the raw wire protocol (no Hello handshake: STATS and TRACE_DUMP
+// are admin methods callable on a fresh connection), so it never perturbs
+// session state — it can be pointed at a production server mid-run.
+//
+//   ./idba_stat --connect 127.0.0.1:7450            # human-readable stats
+//   ./idba_stat --connect 127.0.0.1:7450 --json     # machine-readable JSON
+//   ./idba_stat --connect 127.0.0.1:7450 --trace trace.json
+//                                    # dump the server's span ring as a
+//                                    # Chrome trace (load in about://tracing)
+//   ./idba_stat --connect 127.0.0.1:7450 --trace-jsonl spans.jsonl --clear
+//
+// The text report covers transport counters, connected sessions (with
+// negotiated wire version), the display-lock table, the slow-RPC ring
+// (with trace ids), trace-recorder occupancy, and every registered
+// counter/histogram (rpc.* latency decompositions, display.staleness_vtime,
+// storage/txn counters, ...).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace {
+
+using idba::Decoder;
+using idba::Encoder;
+using idba::Socket;
+using idba::Status;
+
+// One admin RPC on `sock`: request payload is method | client_vtime |
+// method body; response is [TraceInfo] status | completion | body.
+Status AdminCall(Socket& sock, idba::wire::Method method,
+                 const std::vector<uint8_t>& method_body, std::string* out) {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU8(static_cast<uint8_t>(method));
+  enc.PutI64(0);  // client vtime: admin calls are unmetered
+  payload.insert(payload.end(), method_body.begin(), method_body.end());
+  std::mutex write_mu;
+  IDBA_RETURN_NOT_OK(sock.WriteFrame(write_mu, idba::wire::FrameType::kRequest,
+                                     /*seq=*/1, payload));
+  idba::wire::FrameHeader header;
+  std::vector<uint8_t> resp;
+  // Skip any NOTIFY/CALLBACK frames the server might interleave (none are
+  // expected pre-Hello, but be robust).
+  for (;;) {
+    IDBA_RETURN_NOT_OK(sock.ReadFrame(&header, &resp));
+    if (header.type == idba::wire::FrameType::kResponse) break;
+  }
+  Decoder dec(resp.data(), resp.size());
+  if (header.traced) {
+    idba::wire::TraceInfo ignored;
+    IDBA_RETURN_NOT_OK(idba::wire::DecodeTraceInfo(&dec, &ignored));
+  }
+  Status st;
+  IDBA_RETURN_NOT_OK(idba::wire::DecodeStatus(&dec, &st));
+  IDBA_RETURN_NOT_OK(st);
+  int64_t completion = 0;
+  IDBA_RETURN_NOT_OK(dec.GetI64(&completion));
+  return dec.GetString(out);
+}
+
+int Fail(const Status& st, const char* what) {
+  std::fprintf(stderr, "idba_stat: %s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  bool json = false;
+  bool clear = false;
+  std::string trace_path;
+  uint8_t trace_format = 0;  // 0 = chrome, 1 = jsonl
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      trace_format = 0;
+    } else if (std::strcmp(argv[i], "--trace-jsonl") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      trace_format = 1;
+    } else if (std::strcmp(argv[i], "--clear") == 0) {
+      clear = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --connect HOST:PORT [--json] "
+                   "[--trace FILE | --trace-jsonl FILE] [--clear]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  auto colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "idba_stat: --connect HOST:PORT is required\n");
+    return 2;
+  }
+  std::string host = connect.substr(0, colon);
+  uint16_t port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+
+  auto sock = Socket::ConnectTo(host, port, /*connect_timeout_ms=*/5000);
+  if (!sock.ok()) return Fail(sock.status(), "connect");
+  Status st = sock.value().SetRecvTimeout(5000);
+  if (!st.ok()) return Fail(st, "recv timeout");
+
+  if (trace_path.empty()) {
+    std::vector<uint8_t> body;
+    Encoder enc(&body);
+    enc.PutU8(json ? 0 : 1);  // STATS format flag: 0 = json, 1 = text
+    std::string stats;
+    st = AdminCall(sock.value(), idba::wire::Method::kStats, body, &stats);
+    if (!st.ok()) return Fail(st, "STATS");
+    std::fputs(stats.c_str(), stdout);
+    if (stats.empty() || stats.back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU8(trace_format);
+  enc.PutU8(clear ? 1 : 0);
+  std::string dump;
+  st = AdminCall(sock.value(), idba::wire::Method::kTraceDump, body, &dump);
+  if (!st.ok()) return Fail(st, "TRACE_DUMP");
+  std::FILE* f = trace_path == "-" ? stdout : std::fopen(trace_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "idba_stat: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::fputs(dump.c_str(), f);
+  if (f != stdout) {
+    std::fclose(f);
+    std::fprintf(stderr, "idba_stat: wrote %zu bytes to %s\n", dump.size(),
+                 trace_path.c_str());
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace idba {
 
 std::string_view LockModeName(LockMode m) {
@@ -202,6 +204,7 @@ Status LockManager::LockInternal(LockOwnerId owner, Oid oid, LockMode mode,
   }
 
   waits_.Add();
+  IDBA_TRACE_SPAN("txn.lock_wait");
   q.waiting.push_back(Waiter{owner, effective, held != LockMode::kNL, ticket});
   waiting_requests_[owner] = {oid, effective};
   const auto deadline = std::chrono::steady_clock::now() +

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Smoke test: idba_stat against a live idba_serve.
+#
+#   idba_stat_smoke.sh <idba_serve> <idba_stat>
+#
+# Starts the server on an ephemeral port with tracing on, hits it with the
+# text report, the JSON report, and a Chrome trace dump, and checks each
+# contains what an operator would look for.
+set -eu
+
+SERVE="$1"
+STAT="$2"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVE" --port 0 --trace --slow-rpc-ms 0 >"$WORKDIR/serve.out" 2>&1 &
+SERVER_PID=$!
+
+# The bound port is printed on the first stdout line.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\).*/\1/p' \
+         "$WORKDIR/serve.out" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORKDIR/serve.out"; \
+    echo "FAIL: idba_serve exited early"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: could not find bound port"; exit 1; }
+
+"$STAT" --connect "127.0.0.1:$PORT" >"$WORKDIR/stats.txt"
+for section in transport sessions trace metrics; do
+  grep -q "$section" "$WORKDIR/stats.txt" || {
+    echo "FAIL: text report missing '$section' section:"
+    cat "$WORKDIR/stats.txt"
+    exit 1
+  }
+done
+
+"$STAT" --connect "127.0.0.1:$PORT" --json >"$WORKDIR/stats.json"
+grep -q '"transport"' "$WORKDIR/stats.json" || {
+  echo "FAIL: JSON report missing transport object"; exit 1; }
+grep -q '"metrics"' "$WORKDIR/stats.json" || {
+  echo "FAIL: JSON report missing metrics object"; exit 1; }
+
+# The two STATS calls above were themselves traced (sampling on): the trace
+# dump must be a loadable Chrome trace containing server-side spans.
+"$STAT" --connect "127.0.0.1:$PORT" --trace "$WORKDIR/trace.json" 2>/dev/null
+grep -q '"traceEvents"' "$WORKDIR/trace.json" || {
+  echo "FAIL: trace dump is not a Chrome trace"; exit 1; }
+grep -q 'server.execute' "$WORKDIR/trace.json" || {
+  echo "FAIL: trace dump has no server.execute span"; exit 1; }
+
+echo "PASS"

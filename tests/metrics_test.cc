@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -74,6 +75,51 @@ TEST(HistogramTest, SummaryMentionsCount) {
   h.Record(1);
   h.Record(2);
   EXPECT_NE(h.Summary().find("count=2"), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  // Threads land on different shards (stripe = thread id), so this
+  // exercises the striped merge in Snapshot(): nothing lost, aggregates
+  // exact, extrema global across shards.
+  Histogram h;
+  const int kThreads = 8, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = h.Snapshot();
+  const uint64_t n = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.count, n);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(n) * (n + 1) / 2.0);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST(HistogramTest, RecordsDuringSnapshotDoNotTearAggregates) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) h.Record(1.0);
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto snap = h.Snapshot();
+    // Every observed value is 1.0: any torn read would show up as a
+    // sum/count mismatch or impossible extrema.
+    EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(snap.count));
+    if (snap.count > 0) {
+      EXPECT_DOUBLE_EQ(snap.min, 1.0);
+      EXPECT_DOUBLE_EQ(snap.max, 1.0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 TEST(MetricsRegistryTest, SameNameSameCounter) {
