@@ -1,0 +1,300 @@
+// O1 — Overload protection: goodput and tail latency vs offered load.
+//
+// Not a paper table: the 1996 design assumes subscribers keep up and the
+// request rate fits the server. This experiment measures the DESIGN.md §9
+// degradation ladder over real loopback TCP:
+//
+//   1. slow-subscriber isolation — with one subscriber's socket stalled via
+//      fault injection, other writers' commit p99 stays within noise of the
+//      unstalled run (one commit pays the bounded callback-ack timeout,
+//      every later one elides the dead client's callbacks);
+//   2. admission control — offered load is swept past the in-flight
+//      capacity with admission on vs off; with it on, excess requests are
+//      shed with Status::Overloaded while goodput holds and the server's
+//      resident queue state (in-flight requests) stays bounded near the cap.
+//
+// "Offered load" here is closed-loop concurrency relative to the admission
+// capacity: N synchronous clients against `max_inflight = C` offer N/C x
+// the load the server admits, so 2x saturation = 2C client threads.
+//
+// Usage: exp_overload [--json PATH]   (table to stdout; optional artifact)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "net/fault_injector.h"
+#include "net/remote_client.h"
+#include "net/tcp_server.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+double Percentile(std::vector<int64_t>* us, double p) {
+  if (us->empty()) return 0;
+  std::sort(us->begin(), us->end());
+  size_t idx = static_cast<size_t>(p * (us->size() - 1));
+  return static_cast<double>((*us)[idx]);
+}
+
+/// One JSON-serializable result row; both parts of the experiment append
+/// here so --json emits a single artifact.
+struct JsonRow {
+  std::string scenario;
+  double offered_x = 0;      ///< offered load as a multiple of capacity
+  double goodput_ops = 0;    ///< successful ops/s
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t rejections = 0;   ///< Overloaded rejections observed client-side
+  uint64_t peak_inflight = 0;
+};
+
+std::vector<JsonRow> g_rows;
+
+// --- Part 1: slow-subscriber isolation ------------------------------------
+
+/// Commits `n` utilization updates round-robin over `oids`, recording each
+/// commit's wall latency.
+std::vector<int64_t> CommitSeries(ClientApi* writer,
+                                  const std::vector<Oid>& oids, int n) {
+  std::vector<int64_t> us;
+  us.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto start = Clock::now();
+    Status st =
+        UpdateUtilization(writer, oids[i % oids.size()], (i % 9 + 1) / 10.0);
+    if (st.ok()) us.push_back(ElapsedUs(start));
+  }
+  return us;
+}
+
+void RunIsolation() {
+  std::printf("--- slow-subscriber isolation ---------------------------\n");
+  Table table({"scenario", "commits", "p50 us", "p99 us", "elided",
+               "forced resyncs"});
+
+  const int kCommits = 200;
+  for (bool stalled : {false, true}) {
+    Testbed tb = MakeTestbed({}, {});
+    TransportServerOptions topts;
+    topts.callback_ack_timeout_ms = 100;
+    TransportServer transport(&tb.dep().server(), &tb.dep().dlm(),
+                              &tb.dep().bus(), &tb.dep().meter(), topts);
+    if (!transport.Start().ok()) return;
+    auto viewer =
+        RemoteDatabaseClient::Connect("127.0.0.1", transport.port(), 1)
+            .value();
+    auto writer =
+        RemoteDatabaseClient::Connect("127.0.0.1", transport.port(), 2)
+            .value();
+
+    // The viewer registers cached copies of every link, so each commit
+    // would owe it an invalidation CALLBACK.
+    for (Oid oid : tb.db.link_oids) (void)viewer->ReadCurrent(oid);
+    auto faults = std::make_shared<FaultInjector>();
+    viewer->set_fault_injector(faults);
+    if (stalled) {
+      faults->InjectAll(FaultDirection::kRead, FaultKind::kDelay, 30000);
+      // The first commit pays the bounded ack timeout and marks the viewer
+      // stale; it is the escalation cost, not steady state, so it is kept
+      // out of the measured series.
+      (void)UpdateUtilization(writer.get(), tb.db.link_oids[0], 0.5);
+    }
+
+    std::vector<int64_t> us =
+        CommitSeries(writer.get(), tb.db.link_oids, kCommits);
+    double p50 = Percentile(&us, 0.50), p99 = Percentile(&us, 0.99);
+    table.AddRow({stalled ? "one subscriber stalled (30 s)" : "all healthy",
+                  FmtInt(us.size()), Fmt("%.0f", p50), Fmt("%.0f", p99),
+                  FmtInt(transport.callbacks_elided()),
+                  FmtInt(transport.forced_resyncs())});
+    g_rows.push_back({stalled ? "isolation/stalled" : "isolation/healthy", 0,
+                      0, p50, p99, 0, 0});
+    transport.Stop();
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the stalled row's p50/p99 within noise of healthy\n"
+      "(callbacks to the dead client are elided, not waited on); elided > 0\n"
+      "and exactly one forced resync queued for the stalled subscriber.\n\n");
+}
+
+// --- Part 2: admission control under offered-load sweep --------------------
+
+struct SweepResult {
+  double goodput_ops = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t client_rejections = 0;
+  uint64_t server_rejections = 0;
+  size_t peak_inflight = 0;
+};
+
+SweepResult RunSweep(bool admission, size_t capacity, int threads,
+                     int window_ms) {
+  Testbed tb = MakeTestbed({}, {});
+  TransportServerOptions topts;
+  topts.max_inflight = admission ? capacity : 0;
+  topts.max_request_queue = admission ? 64 : 0;
+  topts.overload_retry_after_ms = 2;
+  TransportServer transport(&tb.dep().server(), &tb.dep().dlm(),
+                            &tb.dep().bus(), &tb.dep().meter(), topts);
+  SweepResult res;
+  if (!transport.Start().ok()) return res;
+
+  std::vector<std::unique_ptr<RemoteDatabaseClient>> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.push_back(RemoteDatabaseClient::Connect("127.0.0.1",
+                                                    transport.port(),
+                                                    10 + t)
+                          .value());
+  }
+
+  std::mutex mu;
+  std::vector<int64_t> latencies;
+  uint64_t ok_ops = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> peak_inflight{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      RemoteDatabaseClient* client = clients[t].get();
+      Oid oid = tb.db.link_oids[t % tb.db.link_oids.size()];
+      std::vector<int64_t> local;
+      uint64_t local_ok = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto start = Clock::now();
+        Status st = UpdateUtilization(client, oid, (local_ok % 9 + 1) / 10.0);
+        if (st.ok()) {
+          local.push_back(ElapsedUs(start));
+          ++local_ok;
+        } else if (st.IsOverloaded()) {
+          // Cooperate: honor the server's retry-after hint.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(client->retry_after_hint_ms()));
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+      ok_ops += local_ok;
+    });
+  }
+
+  // Sample the server's resident request state while the load runs: with
+  // admission on it must never exceed the cap (bounded memory); without it
+  // it tracks the offered concurrency.
+  auto start = Clock::now();
+  while (ElapsedUs(start) < window_ms * 1000) {
+    size_t now = transport.inflight();
+    size_t prev = peak_inflight.load();
+    while (now > prev && !peak_inflight.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  double elapsed_s = ElapsedUs(start) / 1e6;
+
+  res.goodput_ops = ok_ops / elapsed_s;
+  res.p50_us = Percentile(&latencies, 0.50);
+  res.p99_us = Percentile(&latencies, 0.99);
+  for (auto& client : clients) {
+    res.client_rejections += client->overload_rejections();
+  }
+  res.server_rejections = transport.overload_rejections();
+  res.peak_inflight = peak_inflight.load();
+  transport.Stop();
+  return res;
+}
+
+void RunAdmissionSweep() {
+  std::printf("--- goodput and p99 vs offered load ---------------------\n");
+  const size_t kCapacity = 4;
+  const int kWindowMs = 400;
+  Table table({"admission", "offered", "threads", "goodput ops/s", "p50 us",
+               "p99 us", "rejections", "peak inflight"});
+
+  for (bool admission : {false, true}) {
+    for (int mult : {1, 2, 4}) {  // 0.5x, 1x, 2x capacity
+      int threads = static_cast<int>(kCapacity) * mult / 2;
+      SweepResult r = RunSweep(admission, kCapacity, threads, kWindowMs);
+      std::string offered = Fmt("%.1fx", mult / 2.0);
+      table.AddRow({admission ? "on (cap 4)" : "off", offered,
+                    FmtInt(threads), Fmt("%.0f", r.goodput_ops),
+                    Fmt("%.0f", r.p50_us), Fmt("%.0f", r.p99_us),
+                    FmtInt(r.server_rejections), FmtInt(r.peak_inflight)});
+      g_rows.push_back({admission ? "admission/on" : "admission/off",
+                        mult / 2.0, r.goodput_ops, r.p50_us, r.p99_us,
+                        r.server_rejections, r.peak_inflight});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: goodput comparable in both columns (shed requests\n"
+      "are cheap reader-thread rejections, not lost capacity); with\n"
+      "admission on, 2x load sheds with Overloaded and peak inflight stays\n"
+      "near the cap (completion ops of already-admitted transactions may\n"
+      "briefly exceed it; new work is turned away) — resident queue memory\n"
+      "is bounded; with it off, peak inflight tracks offered concurrency.\n");
+}
+
+void WriteJson(const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::printf("FAIL: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"exp_overload\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"offered_x\": %.2f, "
+                 "\"goodput_ops\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"rejections\": %llu, \"peak_inflight\": %llu}%s\n",
+                 r.scenario.c_str(), r.offered_x, r.goodput_ops, r.p50_us,
+                 r.p99_us, static_cast<unsigned long long>(r.rejections),
+                 static_cast<unsigned long long>(r.peak_inflight),
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", g_rows.size(), path);
+}
+
+void Run(const char* json_path) {
+  Banner("O1", "overload protection over loopback TCP",
+         "not in the paper — DESIGN.md §9: slow subscribers are isolated, "
+         "excess load is shed with Overloaded, queue memory stays bounded");
+  RunIsolation();
+  RunAdmissionSweep();
+  if (json_path) WriteJson(json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+  idba::bench::Run(json_path);
+  return 0;
+}

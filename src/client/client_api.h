@@ -97,6 +97,11 @@ class ClientApi {
   virtual uint64_t rpcs_issued() const = 0;
   /// Validation aborts suffered (detection mode only).
   virtual uint64_t validation_aborts() const = 0;
+  /// Retry-after hint (ms) from the most recent Status::Overloaded
+  /// rejection this client received; 0 when none. Retry loops
+  /// (RunTransaction) use it as a backoff floor. In-process backends never
+  /// shed, so the default stays 0.
+  virtual int64_t retry_after_hint_ms() const { return 0; }
 };
 
 /// The DLM request surface as seen from a client (paper §4.1: lock/unlock

@@ -5,7 +5,7 @@ namespace idba {
 DatabaseClient::DatabaseClient(DatabaseServer* server, ClientId id, RpcMeter* meter,
                                NotificationBus* bus, DatabaseClientOptions opts)
     : server_(server), id_(id), meter_(meter), bus_(bus), opts_(opts),
-      cache_(opts.cache) {
+      cache_(opts.cache), inbox_(opts.inbox) {
   if (opts_.report_evictions) {
     cache_.set_eviction_callback(
         [this](Oid oid) { server_->NoteEvicted(id_, oid); });

@@ -29,6 +29,10 @@ struct DatabaseClientOptions {
   /// tight; piggybacked on other traffic in real systems, so free here).
   bool report_evictions = true;
   ConsistencyMode consistency = ConsistencyMode::kAvoidance;
+  /// Bounds for the notification inbox (0 = unbounded, the default).
+  /// Bounding adds the coalesce/shed/overflow degradation ladder of
+  /// net/inbox.h; the DLC pump answers an overflow with a full resync.
+  InboxOptions inbox;
 };
 
 /// One per application process. Thread-compatible: the application drives

@@ -14,9 +14,14 @@
 
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
+#include <memory>
+#include <thread>
 
 #include "client/client_api.h"
+#include "common/rng.h"
 
 namespace idba {
 
@@ -32,7 +37,30 @@ struct TxnRetryOptions {
   /// something else repaired the connection). A non-OK return stops the
   /// loop and becomes the final status.
   std::function<Status()> recover;
+  /// Milliseconds to sleep before retry number `attempt` (1 = before the
+  /// second try) that failed with `st`. Return 0 for no sleep (the default
+  /// when unset, preserving the tight-loop behaviour). Regardless of the
+  /// hook, an Overloaded failure always waits at least the server's
+  /// retry-after hint (client->retry_after_hint_ms()) — cooperating with
+  /// admission control instead of hammering a shedding server.
+  std::function<int64_t(int attempt, const Status& st)> backoff;
 };
+
+/// Canned backoff hook: capped exponential with full jitter — sleep is
+/// uniform in [0, min(base * 2^(attempt-1), cap)]. Deterministic for a
+/// given seed; distinct clients should seed with their client id so their
+/// retries decorrelate.
+inline std::function<int64_t(int, const Status&)>
+ExponentialBackoffWithJitter(uint64_t seed, int64_t base_ms = 10,
+                             int64_t cap_ms = 1000) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng, base_ms, cap_ms](int attempt, const Status&) -> int64_t {
+    int64_t ceiling = std::max<int64_t>(base_ms, 1);
+    for (int i = 1; i < attempt && ceiling < cap_ms; ++i) ceiling *= 2;
+    ceiling = std::min(ceiling, std::max<int64_t>(cap_ms, 1));
+    return rng->NextInRange(0, ceiling);
+  };
+}
 
 struct TxnRetryResult {
   Status status;      ///< final outcome
@@ -77,7 +105,7 @@ inline TxnRetryResult RunTransaction(
         st.IsUnknown() || st.code() == StatusCode::kIOError;
     const bool retryable =
         st.IsDeadlock() || st.IsAborted() || st.IsTimedOut() || st.IsBusy() ||
-        (st.IsUnknown() && opts.retry_unknown) ||
+        st.IsOverloaded() || (st.IsUnknown() && opts.retry_unknown) ||
         (transport_failure && opts.recover != nullptr &&
          (!st.IsUnknown() || opts.retry_unknown));
     if (!retryable) {
@@ -90,6 +118,17 @@ inline TxnRetryResult RunTransaction(
         result.status = recovered;
         return result;
       }
+    }
+    // Back off before the next attempt: the hook's choice, floored by the
+    // server's retry-after hint when the server explicitly shed us.
+    int64_t sleep_ms =
+        opts.backoff ? std::max<int64_t>(opts.backoff(result.attempts, st), 0)
+                     : 0;
+    if (st.IsOverloaded()) {
+      sleep_ms = std::max(sleep_ms, client->retry_after_hint_ms());
+    }
+    if (sleep_ms > 0 && result.attempts < opts.max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     result.status = st;  // keep the latest failure in case we run out
   }

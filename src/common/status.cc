@@ -17,6 +17,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnknown: return "Unknown";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

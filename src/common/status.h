@@ -30,6 +30,8 @@ enum class StatusCode : uint8_t {
   kInternal = 11,       ///< invariant violation inside the library
   kUnknown = 12,        ///< outcome indeterminate (e.g. connection lost with a
                         ///< commit in flight: it may or may not have applied)
+  kOverloaded = 13,     ///< server shed the request under load; retry later
+                        ///< (an Overloaded response carries a retry-after hint)
 };
 
 /// Human-readable name of a StatusCode (e.g. "NotFound").
@@ -84,6 +86,9 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +100,7 @@ class Status {
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsUnknown() const { return code_ == StatusCode::kUnknown; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

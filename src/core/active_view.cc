@@ -285,6 +285,32 @@ void ActiveView::OnIntentNotify(const IntentNotifyMessage& msg, VTime /*local_no
   }
 }
 
+void ActiveView::OnResync(VTime /*local_now*/) {
+  IDBA_TRACE_SPAN("view.resync");
+  resyncs_.Add();
+  std::vector<Oid> marked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    marked.assign(marked_sources_.begin(), marked_sources_.end());
+    marked_sources_.clear();
+  }
+  for (Oid oid : marked) {
+    auto it_objects = [&] {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = by_source_.find(oid);
+      return it == by_source_.end() ? std::vector<DoId>{} : it->second;
+    }();
+    for (DoId id : it_objects) {
+      DisplayObject* dob = cache_->Find(id);
+      if (dob != nullptr) dob->SetMarkedInUpdate(false);
+    }
+  }
+  // RefreshAll bypasses the local object cache, so it observes current
+  // server state even when invalidation callbacks were elided while this
+  // client was marked stale.
+  (void)RefreshAll();
+}
+
 std::vector<DisplayObject*> ActiveView::display_objects() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<DisplayObject*> out;

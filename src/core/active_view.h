@@ -77,6 +77,10 @@ class ActiveView : public DisplayNotificationSink {
   // --- DisplayNotificationSink -----------------------------------------
   void OnUpdateNotify(const UpdateNotifyMessage& msg, VTime local_now) override;
   void OnIntentNotify(const IntentNotifyMessage& msg, VTime local_now) override;
+  /// Overload recovery: notifications were shed, so re-read everything
+  /// displayed (RefreshAll) and drop "being updated" markers — their
+  /// resolutions may have been among the shed messages.
+  void OnResync(VTime local_now) override;
 
   // --- Introspection -----------------------------------------------------
   std::vector<DisplayObject*> display_objects() const;
@@ -87,6 +91,8 @@ class ActiveView : public DisplayNotificationSink {
   uint64_t refreshes() const { return refreshes_.Get(); }
   uint64_t intent_marks() const { return intent_marks_.Get(); }
   uint64_t erased_sources_seen() const { return erased_seen_.Get(); }
+  /// Forced full refreshes after shed notifications (overload recovery).
+  uint64_t resyncs() const { return resyncs_.Get(); }
   /// Commit -> on-screen propagation latency in virtual milliseconds.
   const Histogram& propagation_ms() const { return propagation_ms_; }
 
@@ -109,7 +115,7 @@ class ActiveView : public DisplayNotificationSink {
   std::unordered_set<Oid> marked_sources_;
   bool closed_ = false;
 
-  Counter refreshes_, intent_marks_, erased_seen_;
+  Counter refreshes_, intent_marks_, erased_seen_, resyncs_;
   Histogram propagation_ms_;
   // Process-global vtime lag from writer commit to this view's refresh
   // (cached once; GetHistogram takes a registry lock).

@@ -167,7 +167,12 @@ void DisplayLockClient::Dispatch(const Envelope& env) {
     }
   };
 
-  if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(env.msg.get())) {
+  if (dynamic_cast<const ResyncNotifyMessage*>(env.msg.get()) != nullptr) {
+    // The server (or a bounded local inbox upstream of us) shed this
+    // client's notifications: every display is potentially stale.
+    ResyncAllDisplays();
+  } else if (const auto* update =
+                 dynamic_cast<const UpdateNotifyMessage*>(env.msg.get())) {
     std::unordered_set<DisplayId> targets;
     collect(update->updated, &targets);
     collect(update->erased, &targets);
@@ -202,8 +207,28 @@ void DisplayLockClient::Dispatch(const Envelope& env) {
   }
 }
 
+void DisplayLockClient::ResyncAllDisplays() {
+  resyncs_.Add();
+  std::vector<DisplayNotificationSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks.reserve(displays_.size());
+    for (const auto& [id, sink] : displays_) sinks.push_back(sink);
+  }
+  for (DisplayNotificationSink* sink : sinks) {
+    dispatches_.Add();
+    sink->OnResync(client_->clock().Now());
+  }
+}
+
 int DisplayLockClient::PumpOnce() {
   int handled = 0;
+  // A bounded inbox that overflowed shed its backlog; the pump owes every
+  // display a resync before processing whatever arrived after.
+  if (client_->inbox().TakeOverflow()) {
+    ResyncAllDisplays();
+    ++handled;
+  }
   while (auto env = client_->inbox().Poll()) {
     Dispatch(*env);
     ++handled;
@@ -212,9 +237,12 @@ int DisplayLockClient::PumpOnce() {
 }
 
 int DisplayLockClient::PumpWait(int64_t timeout_ms) {
-  auto env = client_->inbox().WaitNext(timeout_ms);
-  if (!env) return 0;
-  Dispatch(*env);
+  auto next = client_->inbox().WaitNext(timeout_ms);
+  if (!next.envelope) {
+    // Still honor an overflow flagged while the queue stayed empty.
+    return PumpOnce();
+  }
+  Dispatch(*next.envelope);
   return 1 + PumpOnce();
 }
 

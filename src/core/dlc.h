@@ -32,6 +32,12 @@ class DisplayNotificationSink {
   /// `local_now` is the client's virtual clock after dispatch overhead.
   virtual void OnUpdateNotify(const UpdateNotifyMessage& msg, VTime local_now) = 0;
   virtual void OnIntentNotify(const IntentNotifyMessage& msg, VTime local_now) = 0;
+  /// Notifications for this client were shed under overload: everything
+  /// displayed may be stale and any "being updated" markers may never see
+  /// their resolution. Implementations must refetch displayed state
+  /// (ActiveView does RefreshAll) and clear intent markers. Default no-op
+  /// keeps bespoke test sinks compiling.
+  virtual void OnResync(VTime local_now) { (void)local_now; }
 };
 
 struct DlcOptions {
@@ -85,9 +91,14 @@ class DisplayLockClient {
   uint64_t remote_lock_requests() const { return remote_requests_.Get(); }
   uint64_t notifications_received() const { return notifications_.Get(); }
   uint64_t local_dispatches() const { return dispatches_.Get(); }
+  /// Full-view resyncs driven through this DLC: inbox overflows (bounded
+  /// in-process inbox) plus server-forced RESYNC notifications.
+  uint64_t resyncs() const { return resyncs_.Get(); }
 
  private:
   void Dispatch(const Envelope& env);
+  /// Fans OnResync out to every registered display (overload recovery).
+  void ResyncAllDisplays();
   ClientId RemoteIdFor(DisplayId display) const;
 
   ClientApi* client_;
@@ -106,6 +117,7 @@ class DisplayLockClient {
   std::unordered_map<ClientId, std::vector<Oid>> pending_batch_;
 
   Counter local_requests_, remote_requests_, notifications_, dispatches_;
+  Counter resyncs_;
 };
 
 }  // namespace idba

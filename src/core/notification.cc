@@ -1,5 +1,9 @@
 #include "core/notification.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
 namespace idba {
 
 void UpdateNotifyMessage::EncodeTo(Encoder* enc) const {
@@ -45,6 +49,44 @@ Status UpdateNotifyMessage::DecodeFrom(Decoder* dec, UpdateNotifyMessage* out) {
   return Status::OK();
 }
 
+std::shared_ptr<const Message> UpdateNotifyMessage::CoalesceWith(
+    const Message& newer) const {
+  const auto* next = dynamic_cast<const UpdateNotifyMessage*>(&newer);
+  // Only committed-update pairs merge. An abort resolution must be seen
+  // individually (it unmarks "being updated" without changing versions),
+  // and merging across a resolution would reorder it.
+  if (next == nullptr || !committed || !next->committed) return nullptr;
+  auto merged = std::make_shared<UpdateNotifyMessage>(*this);
+  merged->txn = next->txn;
+  merged->commit_vtime = std::max(commit_vtime, next->commit_vtime);
+  // Apply the newer change set over the older one: an object updated after
+  // being erased is live again, and vice versa.
+  std::unordered_set<Oid> updated(merged->updated.begin(),
+                                  merged->updated.end());
+  std::unordered_set<Oid> erased(merged->erased.begin(),
+                                 merged->erased.end());
+  for (Oid oid : next->updated) {
+    updated.insert(oid);
+    erased.erase(oid);
+  }
+  for (Oid oid : next->erased) {
+    erased.insert(oid);
+    updated.erase(oid);
+  }
+  merged->updated.assign(updated.begin(), updated.end());
+  merged->erased.assign(erased.begin(), erased.end());
+  // Eager shipping: latest image per object wins; erased objects carry no
+  // image.
+  std::unordered_map<Oid, DatabaseObject> images;
+  for (const DatabaseObject& img : merged->images) images[img.oid()] = img;
+  for (const DatabaseObject& img : next->images) images[img.oid()] = img;
+  merged->images.clear();
+  for (auto& [oid, img] : images) {
+    if (updated.count(oid)) merged->images.push_back(std::move(img));
+  }
+  return merged;
+}
+
 void IntentNotifyMessage::EncodeTo(Encoder* enc) const {
   enc->PutU64(txn);
   enc->PutI64(intent_vtime);
@@ -64,6 +106,46 @@ Status IntentNotifyMessage::DecodeFrom(Decoder* dec, IntentNotifyMessage* out) {
     out->oids.emplace_back(oid);
   }
   return Status::OK();
+}
+
+std::shared_ptr<const Message> IntentNotifyMessage::CoalesceWith(
+    const Message& newer) const {
+  const auto* next = dynamic_cast<const IntentNotifyMessage*>(&newer);
+  if (next == nullptr) return nullptr;
+  auto merged = std::make_shared<IntentNotifyMessage>(*this);
+  merged->txn = next->txn;
+  merged->intent_vtime = std::max(intent_vtime, next->intent_vtime);
+  std::unordered_set<Oid> oids(merged->oids.begin(), merged->oids.end());
+  for (Oid oid : next->oids) {
+    if (oids.insert(oid).second) merged->oids.push_back(oid);
+  }
+  return merged;
+}
+
+void ResyncNotifyMessage::EncodeTo(Encoder* enc) const {
+  enc->PutI64(resync_vtime);
+  enc->PutU64(dropped);
+}
+
+Status ResyncNotifyMessage::DecodeFrom(Decoder* dec,
+                                       ResyncNotifyMessage* out) {
+  IDBA_RETURN_NOT_OK(dec->GetI64(&out->resync_vtime));
+  IDBA_RETURN_NOT_OK(dec->GetU64(&out->dropped));
+  return Status::OK();
+}
+
+std::shared_ptr<const Message> ResyncNotifyMessage::CoalesceWith(
+    const Message& newer) const {
+  auto merged = std::make_shared<ResyncNotifyMessage>(*this);
+  if (const auto* next = dynamic_cast<const ResyncNotifyMessage*>(&newer)) {
+    merged->resync_vtime = std::max(resync_vtime, next->resync_vtime);
+    merged->dropped += next->dropped;
+  } else {
+    // Any notification queued behind a pending resync is absorbed by it:
+    // the resync refetches current state at processing time.
+    merged->dropped += 1;
+  }
+  return merged;
 }
 
 }  // namespace idba

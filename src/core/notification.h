@@ -47,6 +47,13 @@ class UpdateNotifyMessage : public Message {
   /// to validate WireBytes and by any out-of-process transport).
   void EncodeTo(Encoder* enc) const;
   static Status DecodeFrom(Decoder* dec, UpdateNotifyMessage* out);
+
+  /// Two committed update notifications collapse into one carrying the
+  /// union of the changes with latest-version-wins images. Abort
+  /// resolutions (committed == false) never merge: an early-notify display
+  /// must see them to unmark "being updated".
+  std::shared_ptr<const Message> CoalesceWith(
+      const Message& newer) const override;
 };
 
 /// DLM -> client: a transaction intends to update these objects.
@@ -61,6 +68,38 @@ class IntentNotifyMessage : public Message {
 
   void EncodeTo(Encoder* enc) const;
   static Status DecodeFrom(Decoder* dec, IntentNotifyMessage* out);
+
+  /// Two intent notices collapse into the union of their object sets (a
+  /// display marks "being updated" per object; which transaction intends
+  /// the update is not display-visible).
+  std::shared_ptr<const Message> CoalesceWith(
+      const Message& newer) const override;
+};
+
+/// DLM/transport -> client: notifications for this client were shed under
+/// overload — whatever the client believes about its displayed objects is
+/// stale. Receivers must refetch every displayed object (ActiveView
+/// RefreshAll) and clear any "being updated" markers; clients with a
+/// callback-maintained object cache must also drop it, since invalidation
+/// CALLBACKs may have been elided while the client was marked stale.
+class ResyncNotifyMessage : public Message {
+ public:
+  /// Sender's virtual clock when the resync was issued.
+  VTime resync_vtime = 0;
+  /// How many queued notifications were shed since the last resync
+  /// (diagnostics only).
+  uint64_t dropped = 0;
+
+  std::string_view name() const override { return "ResyncNotify"; }
+  size_t WireBytes() const override { return 24; }
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, ResyncNotifyMessage* out);
+
+  /// A pending resync absorbs anything queued behind it: the refetch reads
+  /// current state at processing time, so later notifications add nothing.
+  std::shared_ptr<const Message> CoalesceWith(
+      const Message& newer) const override;
 };
 
 }  // namespace idba

@@ -33,6 +33,19 @@ class Message {
   virtual std::string_view name() const = 0;
   /// Serialized size in bytes, used for bandwidth cost accounting.
   virtual size_t WireBytes() const = 0;
+  /// Attempts to merge `newer` — a message queued *after* this one on the
+  /// same channel — into this one, returning the combined message, or
+  /// nullptr when the pair is not coalescible (the default). A bounded
+  /// Inbox uses this to collapse backlog for slow consumers; merging must
+  /// preserve receiver-visible semantics for a subscriber that only needs
+  /// latest-state information (display-lock notifications qualify: a
+  /// display only needs to learn "stale as of version v", so
+  /// latest-version-wins is sound — see DESIGN.md §9).
+  virtual std::shared_ptr<const Message> CoalesceWith(
+      const Message& newer) const {
+    (void)newer;
+    return nullptr;
+  }
 };
 
 /// One in-flight message.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "core/notification.h"
 #include "obs/rpc_stats.h"
 #include "obs/trace.h"
@@ -32,7 +33,8 @@ uint64_t EmitSpan(uint64_t trace_id, uint64_t parent, const char* name,
 }  // namespace
 
 RemoteDatabaseClient::RemoteDatabaseClient(ClientId id, RemoteClientOptions opts)
-    : id_(id), opts_(opts), cost_model_(opts.cost), cache_(opts.cache) {}
+    : id_(id), opts_(opts), cost_model_(opts.cost), cache_(opts.cache),
+      inbox_(opts.inbox) {}
 
 Result<std::unique_ptr<RemoteDatabaseClient>> RemoteDatabaseClient::Connect(
     const std::string& host, uint16_t port, ClientId id,
@@ -102,11 +104,25 @@ Status RemoteDatabaseClient::Reconnect(int max_attempts) {
     read_sets_.clear();
   }
   int64_t backoff = std::max<int64_t>(opts_.reconnect_backoff_ms, 1);
+  const int64_t backoff_cap = std::max<int64_t>(
+      opts_.reconnect_backoff_cap_ms, backoff);
+  // Deterministic per client and per reconnect episode, so tests replay
+  // exactly while distinct clients still spread their re-dials.
+  Rng jitter_rng(id_ * 0x9E3779B97F4A7C15ULL + reconnects_.Get() + 1);
+  // An Overloaded rejection's retry-after hint floors the first sleep: the
+  // server told us when it wants to hear from us again.
+  const int64_t hint = retry_after_hint_ms_.load(std::memory_order_relaxed);
+  if (hint > backoff) backoff = std::min(hint, backoff_cap);
   Status last = Status::IOError("reconnect: no attempts made");
   for (int attempt = 0; attempt < std::max(max_attempts, 1); ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
-      backoff = std::min<int64_t>(backoff * 2, 2000);
+      // Equal-jitter: uniform in [backoff/2, backoff] keeps the expected
+      // wait growing exponentially while decorrelating a thundering herd.
+      int64_t sleep_ms = opts_.reconnect_jitter && backoff > 1
+                             ? jitter_rng.NextInRange(backoff / 2, backoff)
+                             : backoff;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff = std::min<int64_t>(backoff * 2, backoff_cap);
     }
     Result<Socket> fresh =
         Socket::ConnectTo(host_, port_, opts_.connect_timeout_ms);
@@ -272,6 +288,18 @@ Status RemoteDatabaseClient::Call(wire::Method method,
   VTime completion = 0;
   IDBA_RETURN_NOT_OK(dec.GetI64(&completion));
   clock_.Observe(completion);
+  if (remote.IsOverloaded()) {
+    // Admission-control rejection: the body is a retry-after hint (varint
+    // ms). Stash it for retry loops (retry_after_hint_ms()).
+    overload_rejections_.Add();
+    uint64_t hint_ms = 0;
+    Decoder hint_dec(call.payload.data() + dec.position(),
+                     call.payload.size() - dec.position());
+    if (hint_dec.GetVarint(&hint_ms).ok()) {
+      retry_after_hint_ms_.store(static_cast<int64_t>(hint_ms),
+                                 std::memory_order_relaxed);
+    }
+  }
   if (count_rpc) rpcs_.Add();
   *body_at = dec.position();
   *reply = std::move(call.payload);
@@ -426,6 +454,22 @@ void RemoteDatabaseClient::ReaderLoop() {
         if (frame.kind == wire::NotifyKind::kUpdate) {
           auto msg = std::make_shared<UpdateNotifyMessage>();
           if (!UpdateNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
+          env.msg = std::move(msg);
+        } else if (frame.kind == wire::NotifyKind::kResync) {
+          // The server shed our notification stream: cached copies may
+          // have missed invalidations (elided callbacks), so drop the
+          // whole object cache *before* the DLC pump sees the resync —
+          // its display refetches then go to the server.
+          auto msg = std::make_shared<ResyncNotifyMessage>();
+          if (!ResyncNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
+          resyncs_received_.Add();
+          cache_.Clear();
+          // Confirm before the pump refetches anything: the ack goes out on
+          // this (reader) thread, so any refetch RPC a pump or user thread
+          // issues afterwards reaches the server behind it — copies those
+          // refetches register are protected by live callbacks again.
+          (void)sock_.WriteFrame(write_mu_, wire::FrameType::kResyncAck,
+                                 header.seq, {}, &bytes_out_);
           env.msg = std::move(msg);
         } else {
           auto msg = std::make_shared<IntentNotifyMessage>();

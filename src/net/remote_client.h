@@ -70,9 +70,18 @@ struct RemoteClientOptions {
   /// that misses the RPC deadline (or the interval, whichever is smaller)
   /// marks the connection dead, unblocking every pending call. 0 = off.
   int64_t heartbeat_interval_ms = 0;
-  /// Initial backoff between Reconnect() attempts; doubles per attempt
-  /// (capped at 2 s).
+  /// Initial backoff between Reconnect() attempts; doubles per attempt.
   int64_t reconnect_backoff_ms = 50;
+  /// Ceiling for the exponential reconnect backoff.
+  int64_t reconnect_backoff_cap_ms = 2000;
+  /// Jitter the reconnect sleeps (equal-jitter: uniform in
+  /// [backoff/2, backoff]) so a fleet of clients dropped by one server
+  /// restart does not re-dial in lockstep. Deterministic per client id.
+  bool reconnect_jitter = true;
+  /// Bounds for the notification inbox (0 = unbounded, the default).
+  /// Bounding it adds the coalesce/shed/resync degradation ladder for
+  /// clients whose pump cannot keep up (see net/inbox.h).
+  InboxOptions inbox;
 };
 
 class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
@@ -134,6 +143,12 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   uint64_t validation_aborts() const override {
     return validation_aborts_.Get();
   }
+  /// Retry-after hint from the most recent Overloaded rejection (0 when
+  /// the server never shed one of our requests). Retry loops use it as a
+  /// backoff floor.
+  int64_t retry_after_hint_ms() const override {
+    return retry_after_hint_ms_.load(std::memory_order_relaxed);
+  }
 
   // --- DisplayLockService (forwarded to the server-hosted DLM) ----------
   Status Lock(ClientId holder, Oid oid, VTime sent_at) override;
@@ -156,6 +171,11 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   uint64_t callbacks_served() const { return callback_frames_.Get(); }
   uint64_t reconnects() const { return reconnects_.Get(); }
   uint64_t heartbeats_sent() const { return heartbeats_.Get(); }
+  /// Calls the server rejected with Status::Overloaded (admission control).
+  uint64_t overload_rejections() const { return overload_rejections_.Get(); }
+  /// Server-forced RESYNC notifications received (our notify stream was
+  /// shed; the local cache was dropped and displays told to refetch).
+  uint64_t resyncs_received() const { return resyncs_received_.Get(); }
 
   /// Attaches a fault injector to the transport socket (tests and the
   /// fault-tolerance experiment). Survives Reconnect().
@@ -222,6 +242,8 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   Counter rpcs_, validation_aborts_;
   Counter bytes_in_, bytes_out_, notify_frames_, callback_frames_;
   Counter reconnects_, heartbeats_;
+  Counter overload_rejections_, resyncs_received_;
+  std::atomic<int64_t> retry_after_hint_ms_{0};
 
   std::mutex read_sets_mu_;
   std::unordered_map<TxnId, std::vector<std::pair<Oid, uint64_t>>> read_sets_;

@@ -1,5 +1,7 @@
 #include "net/tcp_server.h"
 
+#include <sys/socket.h>
+
 #include <chrono>
 #include <future>
 
@@ -15,7 +17,8 @@ namespace idba {
 
 struct TransportServer::Connection : public CacheCallbackHandler {
   Connection(TransportServer* owner_in, Socket sock_in)
-      : owner(owner_in), sock(std::move(sock_in)) {}
+      : owner(owner_in), sock(std::move(sock_in)),
+        notify_inbox(owner_in->NotifyInboxOptions(this)) {}
 
   TransportServer* owner;
   Socket sock;
@@ -33,8 +36,27 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   std::atomic<uint8_t> peer_version{1};
 
   /// Registered on the bus under the client's endpoint id after Hello;
-  /// the notifier thread forwards its envelopes as NOTIFY frames.
+  /// the notifier thread forwards its envelopes as NOTIFY frames. Bounded:
+  /// the delivering writer never blocks on this client's socket, and a
+  /// backlog beyond the bound escalates per the slow-subscriber policy.
   Inbox notify_inbox;
+
+  /// The client owes a full resync: its notify backlog overflowed, a
+  /// callback ack timed out, or its callback lane overflowed. While set,
+  /// invalidation callbacks are elided (the resync clears the whole client
+  /// cache anyway); the notifier clears it when it writes the RESYNC frame,
+  /// handing off to `resync_awaiting_ack` until the client confirms.
+  std::atomic<bool> stale{false};
+  /// Seq of a RESYNC frame on the wire whose RESYNC_ACK has not arrived
+  /// yet (0 = none). Callbacks stay elided while nonzero — a client that
+  /// has not processed the resync is still inconsistent — and no second
+  /// RESYNC is sent until the first is acknowledged; staleness events in
+  /// the interim re-set `stale`, queueing exactly one follow-up resync.
+  std::atomic<uint64_t> resync_awaiting_ack{0};
+  /// RESYNC frames sent to this client (per-session stat row).
+  std::atomic<uint64_t> forced_resyncs{0};
+  /// Inbox shed count already reported in a RESYNC frame (notifier only).
+  uint64_t shed_reported = 0;
 
   std::thread reader, worker, notifier;
   std::atomic<bool> closing{false};
@@ -60,45 +82,89 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   uint64_t next_callback_seq = 1;
   std::unordered_set<uint64_t> pending_acks;
 
+  /// One invalidation CALLBACK queued for the notifier to write. The trace
+  /// ids are captured on the committing writer's thread (its context is
+  /// thread-local) so the frame still joins the writer's trace even though
+  /// another thread performs the write.
+  struct PendingCallbackFrame {
+    uint64_t seq = 0;
+    uint64_t oid = 0;
+    uint64_t version = 0;
+    uint64_t trace_id = 0;
+    uint64_t trace_span = 0;
+  };
+  // Callback lane, drained by the notifier thread (guarded by cb_mu).
+  std::deque<PendingCallbackFrame> callback_queue;
+
+  /// Marks the client stale and pokes the notifier so the RESYNC frame
+  /// goes out promptly. Deliberately lock-free beyond the inbox's own
+  /// mutex: callable from the deliver path and from blocked writers.
+  void RequestResync() {
+    stale.store(true);
+    notify_inbox.Kick();
+  }
+
   // CacheCallbackHandler: invoked by the CallbackManager from the *writer's*
-  // worker thread during its commit. Sends a CALLBACK frame to this client
-  // and blocks until its reader routes back the ack (or the connection dies,
-  // or the timeout hits) — the invalidate-before-commit guarantee.
+  // worker thread during its commit. Queues a CALLBACK frame for this
+  // client's notifier (the writer never touches this client's socket) and
+  // blocks until the client's reader routes back the ack — the
+  // invalidate-before-commit guarantee. Degradations that keep the writer
+  // responsive to everyone else:
+  //   - client already stale: skip entirely (the owed resync clears its
+  //     whole cache, making this invalidation redundant);
+  //   - callback lane full: don't queue or wait; schedule a resync;
+  //   - ack timeout: proceed (as before), but now also schedule a resync —
+  //     an un-acked client is silently inconsistent, and marking it stale
+  //     means later commits skip the wait instead of re-paying the timeout.
   void InvalidateCached(Oid oid, uint64_t new_version) override {
     if (closing.load()) return;
+    if (stale.load() || resync_awaiting_ack.load() != 0) {
+      owner->callbacks_elided_.Add();
+      // Marks the elision in the committing writer's trace.
+      obs::Span elided = obs::Span::Start("server.callback_elided");
+      elided.Note("client " +
+                  std::to_string(client_id.load(std::memory_order_relaxed)) +
+                  " owes resync");
+      return;
+    }
+    // Capture the writer's trace context here, on its thread.
+    obs::TraceContext ctx = obs::CurrentContext();
     uint64_t seq;
     {
       std::lock_guard<std::mutex> lock(cb_mu);
-      seq = next_callback_seq++;
-      pending_acks.insert(seq);
+      if (owner->opts_.max_callback_queue > 0 &&
+          callback_queue.size() >= owner->opts_.max_callback_queue) {
+        owner->callback_overflows_.Add();
+        seq = 0;
+      } else {
+        seq = next_callback_seq++;
+        pending_acks.insert(seq);
+        callback_queue.push_back(
+            {seq, oid.value, new_version, ctx.trace_id, ctx.span_id});
+      }
     }
-    std::vector<uint8_t> payload;
-    Encoder enc(&payload);
-    // Runs on the committing writer's worker thread: the writer's trace
-    // context (if any) is installed there, so the invalidated client's
-    // callback handling joins the writer's trace (v2 peers only).
-    obs::TraceContext ctx = obs::CurrentContext();
-    const bool traced =
-        ctx.valid() &&
-        peer_version.load(std::memory_order_relaxed) >= wire::kWireVersion;
-    if (traced) {
-      wire::TraceInfo trace;
-      trace.trace_id = ctx.trace_id;
-      trace.span_id = ctx.span_id;
-      wire::EncodeTraceInfo(trace, &enc);
+    if (seq == 0) {
+      // Not even the callback lane drains: the client cannot be kept
+      // consistent synchronously. Escalate to a resync, writer proceeds.
+      RequestResync();
+      return;
     }
-    enc.PutU64(oid.value);
-    enc.PutU64(new_version);
-    Status st = sock.WriteFrame(write_mu, wire::FrameType::kCallback, seq,
-                                payload, &owner->bytes_out_, traced);
+    notify_inbox.Kick();  // wake the notifier to write the frame
     std::unique_lock<std::mutex> lock(cb_mu);
-    if (st.ok()) {
-      cb_cv.wait_for(
-          lock,
-          std::chrono::milliseconds(owner->opts_.callback_ack_timeout_ms),
-          [&] { return pending_acks.count(seq) == 0 || closing.load(); });
-    }
+    cb_cv.wait_for(
+        lock, std::chrono::milliseconds(owner->opts_.callback_ack_timeout_ms),
+        [&] { return pending_acks.count(seq) == 0 || closing.load(); });
+    const bool timed_out = pending_acks.count(seq) != 0 && !closing.load();
     pending_acks.erase(seq);
+    lock.unlock();
+    if (timed_out) {
+      owner->callback_timeouts_.Add();
+      obs::Span timeout = obs::Span::Start("server.callback_timeout");
+      timeout.Note("client " +
+                   std::to_string(client_id.load(std::memory_order_relaxed)) +
+                   " marked stale");
+      RequestResync();
+    }
   }
 };
 
@@ -152,6 +218,14 @@ void TransportServer::AcceptLoop() {
     ReapFinished();
     auto conn = std::make_unique<Connection>(this, std::move(sock.value()));
     Connection* c = conn.get();
+    if (opts_.so_sndbuf > 0) {
+      // Shrink the kernel send buffer so a stalled subscriber's
+      // backpressure surfaces in our bounded queues instead of hiding in
+      // kernel memory (ops/test knob).
+      int sz = opts_.so_sndbuf;
+      (void)::setsockopt(c->sock.fd(), SOL_SOCKET, SO_SNDBUF, &sz,
+                         sizeof(sz));
+    }
     if (opts_.idle_timeout_ms > 0) {
       // A frame gap longer than this reads as a half-open client; the
       // reader's RecvAll returns TimedOut and the connection is torn down.
@@ -222,6 +296,15 @@ void TransportServer::Teardown(Connection* conn) {
     active_clients_.erase(cid);
   }
   conn->notify_inbox.Close();
+  {
+    // Admitted-but-never-executed requests die with the connection; return
+    // their slots to the server-wide in-flight budget.
+    std::lock_guard<std::mutex> lock(conn->q_mu);
+    if (!conn->requests.empty()) {
+      inflight_.fetch_sub(conn->requests.size());
+      conn->requests.clear();
+    }
+  }
   conn->q_cv.notify_all();
   conn->cb_cv.notify_all();
   conn->sock.ShutdownBoth();
@@ -235,6 +318,20 @@ void TransportServer::ReaderLoop(Connection* conn) {
     if (!st.ok()) break;
     if (header.type == wire::FrameType::kRequest ||
         header.type == wire::FrameType::kOneWay) {
+      // Admission control runs here, on the reader: a saturated worker
+      // queue must not grow without bound, and the rejection response must
+      // not sit behind the very backlog that caused it.
+      VTime client_now = 0;
+      if (ShouldShed(conn, header, payload, &client_now)) {
+        if (header.type == wire::FrameType::kRequest) {
+          overload_rejections_.Add();
+          WriteOverloadedResponse(conn, header, client_now);
+        } else {
+          oneway_shed_.Add();  // no response channel; just count
+        }
+        continue;
+      }
+      inflight_.fetch_add(1);
       {
         std::lock_guard<std::mutex> lock(conn->q_mu);
         conn->requests.push_back(
@@ -247,6 +344,14 @@ void TransportServer::ReaderLoop(Connection* conn) {
         conn->pending_acks.erase(header.seq);
       }
       conn->cb_cv.notify_all();
+    } else if (header.type == wire::FrameType::kResyncAck) {
+      // The client processed the RESYNC and cleared its cache: callbacks
+      // go live again. Kick the notifier in case a staleness event during
+      // the ack round trip queued a follow-up resync.
+      if (conn->resync_awaiting_ack.load() == header.seq) {
+        conn->resync_awaiting_ack.store(0);
+        conn->notify_inbox.Kick();
+      }
     } else {
       // RESPONSE / NOTIFY / CALLBACK never flow client->server: protocol
       // violation, drop the connection.
@@ -270,39 +375,253 @@ void TransportServer::WorkerLoop(Connection* conn) {
       conn->requests.pop_front();
     }
     HandleFrame(conn, item.header, item.payload, item.enqueued_us);
+    inflight_.fetch_sub(1);
   }
+}
+
+namespace {
+
+/// True for methods that start new work the server has not yet agreed to:
+/// session entry, transaction begin, reads outside any transaction, lock
+/// acquisition, DDL. Only these are shed by the server-wide in-flight cap.
+/// Everything else either completes or releases already-admitted work
+/// (Commit/Abort finish a transaction admitted at Begin; Fetch/Put/etc.
+/// run inside one; unlocks and eviction notices free resources) — shedding
+/// those would pin locks and transaction state on an overloaded server,
+/// the opposite of shedding load.
+bool IsWorkStarting(uint8_t method_raw) {
+  switch (static_cast<wire::Method>(method_raw)) {
+    case wire::Method::kHello:
+    case wire::Method::kBegin:
+    case wire::Method::kFetchCurrent:
+    case wire::Method::kScanClass:
+    case wire::Method::kQuery:
+    case wire::Method::kAllocateOid:
+    case wire::Method::kGetVersion:
+    case wire::Method::kDefineClass:
+    case wire::Method::kAddAttribute:
+    case wire::Method::kDlmLock:
+    case wire::Method::kDlmLockBatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool TransportServer::ShouldShed(Connection* conn,
+                                 const wire::FrameHeader& header,
+                                 const std::vector<uint8_t>& payload,
+                                 VTime* client_now) {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->q_mu);
+    depth = conn->requests.size();
+  }
+  const bool queue_full =
+      opts_.max_request_queue > 0 && depth >= opts_.max_request_queue;
+  const bool inflight_full =
+      opts_.max_inflight > 0 && inflight_.load() >= opts_.max_inflight;
+  if (!queue_full && !inflight_full) return false;
+  // Peek at the method (skipping a traced frame's TraceInfo prefix):
+  // introspection calls stay admitted — an operator must be able to see an
+  // overloaded server — and the client's clock stamp rides back in the
+  // rejection so virtual time stays monotonic at the caller.
+  Decoder dec(payload.data(), payload.size());
+  wire::TraceInfo trace;
+  if (header.traced) {
+    if (!wire::DecodeTraceInfo(&dec, &trace).ok()) return true;
+  }
+  uint8_t method_raw = 0;
+  if (!dec.GetU8(&method_raw).ok()) return true;
+  (void)dec.GetI64(client_now);
+  if (method_raw == static_cast<uint8_t>(wire::Method::kStats) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kTraceDump)) {
+    return false;
+  }
+  // The per-connection queue bound is a hard memory limit: a pipelining
+  // client that outruns its worker is shed regardless of method. The
+  // server-wide in-flight cap is load shedding: it turns away new work
+  // only, never the completion of work already admitted.
+  const bool shed = queue_full || IsWorkStarting(method_raw);
+  if (shed && trace.trace_id != 0) {
+    // The rejection joins the caller's trace so an operator sees *why* an
+    // RPC came back Overloaded, not just that it did.
+    obs::Span reject = obs::Span::StartChildOf(
+        {trace.trace_id, trace.span_id}, "server.overload_reject");
+    reject.Note(queue_full ? "request queue full" : "inflight cap");
+  }
+  return shed;
+}
+
+void TransportServer::WriteOverloadedResponse(Connection* conn,
+                                              const wire::FrameHeader& header,
+                                              VTime client_now) {
+  // Untraced even for traced requests (the client keys its TraceInfo
+  // decode off the *response* frame's traced bit): status | completion
+  // vtime | retry-after hint (varint ms). The hint is the one piece of
+  // Overloaded-specific body; v1 clients stop at the status and simply
+  // fail the call, which is still safe (Overloaded maps to a non-OK code).
+  std::vector<uint8_t> resp;
+  Encoder enc(&resp);
+  wire::EncodeStatus(
+      Status::Overloaded("server overloaded; retry in ~" +
+                         std::to_string(opts_.overload_retry_after_ms) +
+                         " ms"),
+      &enc);
+  enc.PutI64(client_now);
+  enc.PutVarint(static_cast<uint64_t>(
+      std::max<int64_t>(opts_.overload_retry_after_ms, 0)));
+  (void)conn->sock.WriteFrame(conn->write_mu, wire::FrameType::kResponse,
+                              header.seq, resp, &bytes_out_);
+}
+
+InboxOptions TransportServer::NotifyInboxOptions(Connection* conn) {
+  InboxOptions in;
+  in.max_pending = opts_.max_notify_queue;
+  in.coalesce_watermark = opts_.notify_coalesce_watermark;
+  // kCoalesce never escalates: full + non-coalescible drops the oldest.
+  in.drop_oldest_on_full =
+      opts_.slow_subscriber_policy == SlowSubscriberPolicy::kCoalesce;
+  in.coalesced_metric = &notify_coalesced_;
+  in.shed_metric = &notify_shed_;
+  in.overflow_metric = &notify_overflows_;
+  // Runs on the *delivering* thread (a committing writer's worker, outside
+  // the inbox lock). It must never take connection-table locks or join
+  // threads: marking stale is a pair of atomic stores, and the disconnect
+  // escalation only shuts the socket down — the reader then exits and runs
+  // the full Teardown on its own thread.
+  in.overflow_hook = [this, conn](uint64_t overflow_count) {
+    conn->stale.store(true);
+    if (opts_.slow_subscriber_policy == SlowSubscriberPolicy::kDisconnect &&
+        overflow_count >=
+            static_cast<uint64_t>(
+                std::max(opts_.slow_subscriber_disconnect_after, 1))) {
+      slow_disconnects_.Add();
+      conn->sock.ShutdownBoth();
+    }
+  };
+  return in;
+}
+
+bool TransportServer::FlushOutbandLanes(Connection* conn,
+                                        uint64_t* notify_seq) {
+  // Lane 1: invalidation callbacks queued by committing writers. Written
+  // here so a writer never blocks on this client's (possibly stalled)
+  // socket; the writer is meanwhile waiting on cb_cv for the ack.
+  std::deque<Connection::PendingCallbackFrame> cbs;
+  {
+    std::lock_guard<std::mutex> lock(conn->cb_mu);
+    cbs.swap(conn->callback_queue);
+  }
+  for (const Connection::PendingCallbackFrame& cb : cbs) {
+    std::vector<uint8_t> payload;
+    Encoder enc(&payload);
+    const bool traced = cb.trace_id != 0 &&
+                        conn->peer_version.load(std::memory_order_relaxed) >=
+                            wire::kWireVersion;
+    if (traced) {
+      wire::TraceInfo trace;
+      trace.trace_id = cb.trace_id;
+      trace.span_id = cb.trace_span;
+      wire::EncodeTraceInfo(trace, &enc);
+    }
+    enc.PutU64(cb.oid);
+    enc.PutU64(cb.version);
+    if (!conn->sock
+             .WriteFrame(conn->write_mu, wire::FrameType::kCallback, cb.seq,
+                         payload, &bytes_out_, traced)
+             .ok()) {
+      return false;
+    }
+  }
+  // Lane 2: a forced resync owed to this client (notify overflow, callback
+  // timeout, or callback-lane overflow).
+  if (conn->notify_inbox.TakeOverflow()) conn->stale.store(true);
+  if (conn->stale.load() && conn->resync_awaiting_ack.load() == 0) {
+    if (conn->peer_version.load(std::memory_order_relaxed) <
+        wire::kWireVersion) {
+      // A v1 peer cannot decode the RESYNC kind, so the only escalation
+      // left for a slow v1 subscriber is to drop it.
+      slow_disconnects_.Add();
+      return false;
+    }
+    ResyncNotifyMessage msg;
+    msg.resync_vtime = server_->cpu_clock().Now();
+    msg.dropped = conn->notify_inbox.shed() - conn->shed_reported;
+    wire::NotifyFrame frame;
+    frame.from = 0;  // the server itself, not a committing peer
+    frame.to = conn->client_id.load(std::memory_order_relaxed);
+    frame.sent_at = msg.resync_vtime;
+    frame.arrives_at = msg.resync_vtime;
+    frame.kind = wire::NotifyKind::kResync;
+    frame.virtual_wire_bytes = msg.WireBytes();
+    std::vector<uint8_t> payload;
+    Encoder enc(&payload);
+    wire::EncodeNotifyMeta(frame, &enc);
+    msg.EncodeTo(&enc);
+    const uint64_t resync_seq = (*notify_seq)++;
+    // Mark the ack outstanding *before* the write: once the frame is on
+    // the wire the ack can race in on the reader thread.
+    conn->resync_awaiting_ack.store(resync_seq);
+    conn->stale.store(false);
+    if (!conn->sock
+             .WriteFrame(conn->write_mu, wire::FrameType::kNotify, resync_seq,
+                         payload, &bytes_out_)
+             .ok()) {
+      return false;
+    }
+    conn->shed_reported = conn->notify_inbox.shed();
+    forced_resyncs_.Add();
+    conn->forced_resyncs.fetch_add(1);
+    // The notifier thread has no ambient trace; record the escalation as
+    // its own (sampled) root so forced resyncs show up in trace dumps.
+    obs::Span escalate = obs::Span::StartRoot("server.forced_resync");
+    escalate.Note("client " + std::to_string(frame.to) + ", dropped " +
+                  std::to_string(msg.dropped));
+    // The client owes a RESYNC_ACK; until it arrives the connection keeps
+    // eliding invalidation callbacks (the client is still inconsistent)
+    // and a stalled subscriber costs committing writers nothing.
+  }
+  return true;
 }
 
 void TransportServer::NotifierLoop(Connection* conn) {
   uint64_t seq = 1;
   while (!conn->closing.load()) {
-    std::optional<Envelope> env = conn->notify_inbox.WaitNext(100);
-    if (!env) {
-      if (conn->notify_inbox.closed()) return;
-      continue;
+    if (!FlushOutbandLanes(conn, &seq)) {
+      Teardown(conn);
+      return;
     }
+    Inbox::Next next = conn->notify_inbox.WaitNext(100);
+    if (!next.envelope) {
+      if (next.closed) return;
+      continue;  // timeout or Kick(): loop re-flushes the outband lanes
+    }
+    const Envelope& env = *next.envelope;
     wire::NotifyFrame frame;
-    frame.from = env->from;
-    frame.to = env->to;
-    frame.sent_at = env->sent_at;
-    frame.arrives_at = env->arrives_at;
-    frame.virtual_wire_bytes = env->wire_bytes;
+    frame.from = env.from;
+    frame.to = env.to;
+    frame.sent_at = env.sent_at;
+    frame.arrives_at = env.arrives_at;
+    frame.virtual_wire_bytes = env.wire_bytes;
 
     std::vector<uint8_t> payload;
     Encoder enc(&payload);
     // Propagate the committing writer's trace context into the NOTIFY
     // frame (wire v2 peers only), so the subscriber's display refresh
     // joins the writer's trace.
-    const bool traced = env->trace_id != 0 &&
+    const bool traced = env.trace_id != 0 &&
                         conn->peer_version.load(std::memory_order_relaxed) >=
                             wire::kWireVersion;
     if (traced) {
       wire::TraceInfo trace;
-      trace.trace_id = env->trace_id;
-      trace.span_id = env->trace_span;
+      trace.trace_id = env.trace_id;
+      trace.span_id = env.trace_span;
       wire::EncodeTraceInfo(trace, &enc);
     }
-    const Message* msg = env->msg.get();
+    const Message* msg = env.msg.get();
     if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(msg)) {
       frame.kind = wire::NotifyKind::kUpdate;
       wire::EncodeNotifyMeta(frame, &enc);
@@ -319,6 +638,7 @@ void TransportServer::NotifierLoop(Connection* conn) {
              .WriteFrame(conn->write_mu, wire::FrameType::kNotify, seq++,
                          payload, &bytes_out_, traced)
              .ok()) {
+      Teardown(conn);
       return;
     }
     notifies_.Add();
@@ -723,6 +1043,13 @@ namespace {
 struct SessionRow {
   ClientId client;
   uint8_t wire_version;
+  size_t notify_pending;
+  uint64_t notify_coalesced;
+  uint64_t notify_shed;
+  uint64_t notify_overflows;
+  uint64_t forced_resyncs;
+  size_t callbacks_pending;
+  bool stale;
 };
 
 void AppendSlowRpcJson(std::string& out,
@@ -752,9 +1079,18 @@ std::string TransportServer::StatsJson() const {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& conn : conns_) {
       if (!conn->hello_done.load(std::memory_order_acquire)) continue;
+      size_t callbacks_pending = 0;
+      {
+        std::lock_guard<std::mutex> cb_lock(conn->cb_mu);
+        callbacks_pending = conn->pending_acks.size();
+      }
       sessions.push_back(
           {conn->client_id.load(std::memory_order_relaxed),
-           conn->peer_version.load(std::memory_order_relaxed)});
+           conn->peer_version.load(std::memory_order_relaxed),
+           conn->notify_inbox.pending(), conn->notify_inbox.coalesced(),
+           conn->notify_inbox.shed(), conn->notify_inbox.overflows(),
+           conn->forced_resyncs.load(), callbacks_pending,
+           conn->stale.load() || conn->resync_awaiting_ack.load() != 0});
     }
   }
   std::string out = "{\"transport\":{";
@@ -763,13 +1099,36 @@ std::string TransportServer::StatsJson() const {
   out += ",\"notifications_forwarded\":" + std::to_string(notifies_.Get());
   out += ",\"bytes_in\":" + std::to_string(bytes_in_.Get());
   out += ",\"bytes_out\":" + std::to_string(bytes_out_.Get());
+  out += "},\"overload\":{";
+  out += "\"inflight\":" + std::to_string(inflight_.load());
+  out += ",\"overload_rejections\":" +
+         std::to_string(overload_rejections_.Get());
+  out += ",\"oneway_shed\":" + std::to_string(oneway_shed_.Get());
+  out += ",\"notifications_coalesced\":" +
+         std::to_string(notify_coalesced_.Get());
+  out += ",\"notifications_shed\":" + std::to_string(notify_shed_.Get());
+  out += ",\"notify_overflows\":" + std::to_string(notify_overflows_.Get());
+  out += ",\"forced_resyncs\":" + std::to_string(forced_resyncs_.Get());
+  out += ",\"slow_disconnects\":" + std::to_string(slow_disconnects_.Get());
+  out += ",\"callbacks_elided\":" + std::to_string(callbacks_elided_.Get());
+  out += ",\"callback_ack_timeouts\":" +
+         std::to_string(callback_timeouts_.Get());
+  out += ",\"callback_overflows\":" +
+         std::to_string(callback_overflows_.Get());
   out += "},\"sessions\":[";
   bool first = true;
   for (const SessionRow& s : sessions) {
     if (!first) out += ',';
     first = false;
     out += "{\"client\":" + std::to_string(s.client) +
-           ",\"wire_version\":" + std::to_string(s.wire_version) + "}";
+           ",\"wire_version\":" + std::to_string(s.wire_version) +
+           ",\"notify_pending\":" + std::to_string(s.notify_pending) +
+           ",\"notify_coalesced\":" + std::to_string(s.notify_coalesced) +
+           ",\"notify_shed\":" + std::to_string(s.notify_shed) +
+           ",\"notify_overflows\":" + std::to_string(s.notify_overflows) +
+           ",\"forced_resyncs\":" + std::to_string(s.forced_resyncs) +
+           ",\"callbacks_pending\":" + std::to_string(s.callbacks_pending) +
+           ",\"stale\":" + (s.stale ? std::string("true") : "false") + "}";
   }
   out += "],\"dlm\":{";
   if (dlm_ != nullptr) {
@@ -812,6 +1171,28 @@ std::string TransportServer::StatsText() const {
   out += "notifications_forwarded  " + std::to_string(notifies_.Get()) + "\n";
   out += "bytes_in                 " + std::to_string(bytes_in_.Get()) + "\n";
   out += "bytes_out                " + std::to_string(bytes_out_.Get()) + "\n";
+  out += "\n== overload ==\n";
+  out += "inflight                 " + std::to_string(inflight_.load()) + "\n";
+  out += "overload_rejections      " +
+         std::to_string(overload_rejections_.Get()) + "\n";
+  out += "oneway_shed              " + std::to_string(oneway_shed_.Get()) +
+         "\n";
+  out += "notifications_coalesced  " +
+         std::to_string(notify_coalesced_.Get()) + "\n";
+  out += "notifications_shed       " + std::to_string(notify_shed_.Get()) +
+         "\n";
+  out += "notify_overflows         " +
+         std::to_string(notify_overflows_.Get()) + "\n";
+  out += "forced_resyncs           " + std::to_string(forced_resyncs_.Get()) +
+         "\n";
+  out += "slow_disconnects         " +
+         std::to_string(slow_disconnects_.Get()) + "\n";
+  out += "callbacks_elided         " +
+         std::to_string(callbacks_elided_.Get()) + "\n";
+  out += "callback_ack_timeouts    " +
+         std::to_string(callback_timeouts_.Get()) + "\n";
+  out += "callback_overflows       " +
+         std::to_string(callback_overflows_.Get()) + "\n";
   out += "\n== sessions ==\n";
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -821,6 +1202,13 @@ std::string TransportServer::StatsText() const {
              std::to_string(conn->client_id.load(std::memory_order_relaxed)) +
              "  wire_version " +
              std::to_string(conn->peer_version.load(std::memory_order_relaxed)) +
+             "  notify_pending " +
+             std::to_string(conn->notify_inbox.pending()) +
+             "  forced_resyncs " +
+             std::to_string(conn->forced_resyncs.load()) +
+             (conn->stale.load() || conn->resync_awaiting_ack.load() != 0
+                  ? "  STALE"
+                  : "") +
              "\n";
     }
   }

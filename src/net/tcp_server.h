@@ -46,6 +46,24 @@
 
 namespace idba {
 
+/// How far the server escalates against a subscriber that cannot keep up
+/// with its NOTIFY stream (DESIGN.md §9). Every policy starts by
+/// coalescing queued notifications (latest-version-wins).
+enum class SlowSubscriberPolicy {
+  /// Never force a resync: when the bounded queue is full and the backlog
+  /// will not coalesce, drop the *oldest* notification. Weakest guarantee
+  /// (a display whose dropped notification is never followed by another
+  /// update stays stale), but no client ever sees a forced refetch.
+  kCoalesce,
+  /// Default: on overflow, shed the whole backlog and send one RESYNC
+  /// notification; the client refetches displayed state (degraded but
+  /// eventually consistent, memory strictly bounded).
+  kResync,
+  /// Like kResync, but a client that forces more than
+  /// `slow_subscriber_disconnect_after` overflows is disconnected.
+  kDisconnect,
+};
+
 struct TransportServerOptions {
   /// TCP port; 0 binds an ephemeral port (see port() after Start).
   uint16_t port = 0;
@@ -64,6 +82,40 @@ struct TransportServerOptions {
   /// (method, duration, client, trace id) and lands in the slow-RPC ring
   /// reported by STATS/idba_stat. 0 disables.
   int64_t slow_rpc_threshold_ms = 250;
+
+  // --- Overload protection (DESIGN.md §9) -------------------------------
+  /// Per-connection bound on requests queued for the worker; the reader
+  /// rejects further REQUESTs with Status::Overloaded (+ retry-after hint)
+  /// instead of queueing without limit. 0 = unbounded (the old behaviour).
+  size_t max_request_queue = 256;
+  /// Server-wide cap on requests admitted but not yet executed, across all
+  /// connections. At the cap, only *work-starting* methods (Hello, Begin,
+  /// out-of-txn reads, lock acquisition, DDL) are shed — Commit/Abort and
+  /// in-transaction operations always run, so an admitted transaction can
+  /// finish and release its locks even on a saturated server. 0 = unlimited.
+  size_t max_inflight = 1024;
+  /// Retry-after hint carried in Overloaded responses.
+  int64_t overload_retry_after_ms = 50;
+  /// Per-connection bound on queued outbound notifications. When full and
+  /// the backlog will not coalesce, the slow-subscriber policy applies.
+  /// 0 = unbounded.
+  size_t max_notify_queue = 256;
+  /// Start coalescing queued notifications at this depth rather than only
+  /// when the queue is full (0 = only when full).
+  size_t notify_coalesce_watermark = 0;
+  /// Escalation ladder for subscribers that overflow their notify queue.
+  SlowSubscriberPolicy slow_subscriber_policy = SlowSubscriberPolicy::kResync;
+  /// kDisconnect only: overflow count after which the client is dropped.
+  int slow_subscriber_disconnect_after = 8;
+  /// Bound on invalidation CALLBACKs queued to one client. A client that
+  /// cannot drain even its callbacks is marked stale (forced resync) and
+  /// the committing writers proceed without waiting. 0 = unbounded.
+  size_t max_callback_queue = 64;
+  /// When > 0, shrink each accepted connection's SO_SNDBUF to this many
+  /// bytes — ops/test knob that makes a stalled subscriber's backpressure
+  /// reach the server-side queues quickly instead of hiding in kernel
+  /// buffers.
+  int so_sndbuf = 0;
 };
 
 /// Hosts one deployment (server + DLM + bus + meter) behind a socket.
@@ -91,6 +143,30 @@ class TransportServer {
   uint64_t requests_served() const { return requests_.Get(); }
   uint64_t notifications_forwarded() const { return notifies_.Get(); }
   uint64_t connections_accepted() const { return accepts_.Get(); }
+
+  // --- Overload / degradation telemetry (also in STATS and idba_stat) ---
+  /// REQUEST frames rejected with Status::Overloaded (admission control).
+  uint64_t overload_rejections() const { return overload_rejections_.Get(); }
+  /// ONEWAY frames dropped under admission control (no response to carry
+  /// a status, so they are simply counted).
+  uint64_t oneway_shed() const { return oneway_shed_.Get(); }
+  /// Requests admitted but not yet finished executing, server-wide.
+  size_t inflight() const { return inflight_.load(); }
+  /// Notifications merged into an already-queued one (latest-version-wins).
+  uint64_t notifications_coalesced() const { return notify_coalesced_.Get(); }
+  /// Notifications dropped for slow subscribers (overflow shed +
+  /// drop-oldest under kCoalesce policy).
+  uint64_t notifications_shed() const { return notify_shed_.Get(); }
+  /// RESYNC notifications sent to clients whose backlog was shed.
+  uint64_t forced_resyncs() const { return forced_resyncs_.Get(); }
+  /// Connections dropped by the kDisconnect escalation (or v1 peers that
+  /// cannot be resynced).
+  uint64_t slow_disconnects() const { return slow_disconnects_.Get(); }
+  /// Invalidation CALLBACKs skipped because the client was already marked
+  /// stale (a pending resync clears its whole cache anyway).
+  uint64_t callbacks_elided() const { return callbacks_elided_.Get(); }
+  /// Callback-ack waits that expired; each marks the client stale.
+  uint64_t callback_ack_timeouts() const { return callback_timeouts_.Get(); }
 
   // --- Introspection (STATS admin RPC, idba_stat, --metrics-interval) ---
   /// One slow request, retained in a bounded ring (most recent last).
@@ -124,6 +200,23 @@ class TransportServer {
 
   void HandleFrame(Connection* conn, const wire::FrameHeader& header,
                    const std::vector<uint8_t>& payload, int64_t enqueued_us);
+  /// Builds the bounded notify-inbox options for one connection (policy,
+  /// watermarks, escalation hook, metric mirrors).
+  InboxOptions NotifyInboxOptions(Connection* conn);
+  /// Admission control: true when `header`'s request must be shed instead
+  /// of queued (queue bound or in-flight cap hit, and the method is not an
+  /// exempt introspection call).
+  bool ShouldShed(Connection* conn, const wire::FrameHeader& header,
+                  const std::vector<uint8_t>& payload, VTime* client_now);
+  /// Writes the Overloaded RESPONSE (status + retry-after hint) directly
+  /// from the reader thread, bypassing the saturated worker queue.
+  void WriteOverloadedResponse(Connection* conn,
+                               const wire::FrameHeader& header,
+                               VTime client_now);
+  /// Flushes the connection's callback lane and any pending forced resync;
+  /// returns false when the connection must die (write failure or
+  /// escalation to disconnect).
+  bool FlushOutbandLanes(Connection* conn, uint64_t* notify_seq);
   Status ExecuteMethod(Connection* conn, wire::Method method, Decoder* dec,
                        VTime client_now, int64_t request_bytes,
                        ServerCallInfo* info, Encoder* body, bool* metered);
@@ -148,6 +241,11 @@ class TransportServer {
   std::mutex ddl_mu_;
 
   Counter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
+  Counter overload_rejections_, oneway_shed_;
+  Counter notify_coalesced_, notify_shed_, notify_overflows_;
+  Counter forced_resyncs_, slow_disconnects_;
+  Counter callbacks_elided_, callback_timeouts_, callback_overflows_;
+  std::atomic<size_t> inflight_{0};
 
   mutable std::mutex slow_mu_;
   std::deque<SlowRpc> slow_rpcs_;  ///< bounded to kSlowRpcRing

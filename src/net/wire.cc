@@ -53,7 +53,7 @@ Status DecodeHeader(const uint8_t in[kHeaderBytes], FrameHeader* out) {
   out->traced = (type & kTracedBit) != 0;
   type &= static_cast<uint8_t>(~kTracedBit);
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kOneWay)) {
+      type > static_cast<uint8_t>(FrameType::kResyncAck)) {
     return Status::Corruption("unknown frame type " + std::to_string(type));
   }
   if (out->payload_len > kMaxPayloadBytes) {
@@ -90,7 +90,11 @@ Status DecodeStatus(Decoder* dec, Status* out) {
   std::string message;
   IDBA_RETURN_NOT_OK(dec->GetU8(&code));
   IDBA_RETURN_NOT_OK(dec->GetString(&message));
-  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
+  // Accept every code this build knows, including kOverloaded (added in
+  // wire-era v2 servers). An *older* peer decoding an Overloaded response
+  // rejects just that call as Corruption — the connection survives, so the
+  // new code degrades per-call rather than per-session on v1 clients.
+  if (code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
     return Status::Corruption("unknown status code " + std::to_string(code));
   }
   *out = Status(static_cast<StatusCode>(code), std::move(message));
@@ -188,8 +192,8 @@ Status DecodeNotifyMeta(Decoder* dec, NotifyFrame* out) {
   IDBA_RETURN_NOT_OK(dec->GetVarint(&out->virtual_wire_bytes));
   uint8_t kind = 0;
   IDBA_RETURN_NOT_OK(dec->GetU8(&kind));
-  if (kind != static_cast<uint8_t>(NotifyKind::kUpdate) &&
-      kind != static_cast<uint8_t>(NotifyKind::kIntent)) {
+  if (kind < static_cast<uint8_t>(NotifyKind::kUpdate) ||
+      kind > static_cast<uint8_t>(NotifyKind::kResync)) {
     return Status::Corruption("unknown notify kind " + std::to_string(kind));
   }
   out->kind = static_cast<NotifyKind>(kind);

@@ -74,6 +74,11 @@ enum class FrameType : uint8_t {
   kCallback = 4,
   kCallbackAck = 5,
   kOneWay = 6,
+  /// Client -> server: "I processed the RESYNC notification with this seq
+  /// and cleared my cache" — the server keeps eliding the client's
+  /// invalidation callbacks until this arrives (wire v2+ only; v1 peers
+  /// never receive RESYNCs).
+  kResyncAck = 7,
 };
 
 /// RPC method selectors. Wire-stable: append only.
@@ -112,6 +117,12 @@ std::string_view MethodName(Method m);
 enum class NotifyKind : uint8_t {
   kUpdate = 1,
   kIntent = 2,
+  /// Server -> client: notifications for this client were shed under
+  /// overload; the client must treat its whole view state as stale and
+  /// refetch (ResyncNotifyMessage body). v1 peers reject the kind and drop
+  /// the frame, which is why slow v1 subscribers are escalated straight to
+  /// disconnect instead.
+  kResync = 3,
 };
 
 struct FrameHeader {

@@ -24,6 +24,14 @@
 //   --metrics-interval SECS
 //                     print a STATS JSON document to stdout every SECS
 //                     seconds (one document per line)
+//   --max-queue N     per-connection request-queue bound; beyond it the
+//                     reader rejects REQUESTs with Status::Overloaded and
+//                     a retry-after hint (default 256, 0 = unbounded)
+//   --max-inflight N  server-wide cap on admitted-but-unfinished requests
+//                     (default 1024, 0 = unlimited)
+//   --slow-subscriber-policy coalesce|resync|disconnect
+//                     escalation for clients that cannot drain their
+//                     NOTIFY stream (default resync; see DESIGN.md §9)
 //
 // The process runs until SIGINT/SIGTERM, then checkpoints and exits.
 
@@ -58,6 +66,9 @@ int main(int argc, char** argv) {
   long slow_rpc_ms = 250;
   bool trace = false;
   long trace_every = 1;
+  long max_queue = -1;     // -1 = keep the TransportServerOptions default
+  long max_inflight = -1;
+  std::string slow_subscriber_policy;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -83,11 +94,29 @@ int main(int argc, char** argv) {
       slow_rpc_ms = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
       metrics_interval_s = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
+      max_queue = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      max_inflight = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-subscriber-policy") == 0 &&
+               i + 1 < argc) {
+      slow_subscriber_policy = argv[++i];
+      if (slow_subscriber_policy != "coalesce" &&
+          slow_subscriber_policy != "resync" &&
+          slow_subscriber_policy != "disconnect") {
+        std::fprintf(stderr,
+                     "--slow-subscriber-policy must be coalesce, resync or "
+                     "disconnect (got \"%s\")\n",
+                     slow_subscriber_policy.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--bind ADDR] [--idle-timeout MS] "
                    "[--eager] [--early-notify] [--integrated] [--trace [N]] "
-                   "[--slow-rpc-ms N] [--metrics-interval SECS]\n",
+                   "[--slow-rpc-ms N] [--metrics-interval SECS] "
+                   "[--max-queue N] [--max-inflight N] "
+                   "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
     }
@@ -103,6 +132,19 @@ int main(int argc, char** argv) {
   transport_opts.bind_host = bind_host;
   transport_opts.idle_timeout_ms = idle_timeout_ms;
   transport_opts.slow_rpc_threshold_ms = slow_rpc_ms;
+  if (max_queue >= 0) {
+    transport_opts.max_request_queue = static_cast<size_t>(max_queue);
+  }
+  if (max_inflight >= 0) {
+    transport_opts.max_inflight = static_cast<size_t>(max_inflight);
+  }
+  if (slow_subscriber_policy == "coalesce") {
+    transport_opts.slow_subscriber_policy =
+        idba::SlowSubscriberPolicy::kCoalesce;
+  } else if (slow_subscriber_policy == "disconnect") {
+    transport_opts.slow_subscriber_policy =
+        idba::SlowSubscriberPolicy::kDisconnect;
+  }  // "resync" (and unset) keep the default
   idba::TransportServer transport(&deployment.server(), &deployment.dlm(),
                                   &deployment.bus(), &deployment.meter(),
                                   transport_opts);

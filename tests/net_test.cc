@@ -52,16 +52,18 @@ TEST(InboxTest, DrainAllEmpties) {
 
 TEST(InboxTest, WaitNextTimesOutEmpty) {
   Inbox inbox;
-  auto env = inbox.WaitNext(10);
-  EXPECT_FALSE(env.has_value());
+  auto next = inbox.WaitNext(10);
+  EXPECT_FALSE(next.envelope.has_value());
+  // A timeout is not a close: the tagged result disambiguates the two.
+  EXPECT_FALSE(next.closed);
 }
 
 TEST(InboxTest, WaitNextWakesOnDelivery) {
   Inbox inbox;
   std::atomic<bool> got{false};
   std::thread waiter([&] {
-    auto env = inbox.WaitNext(2000);
-    got = env.has_value();
+    auto next = inbox.WaitNext(2000);
+    got = next.envelope.has_value();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   inbox.Deliver(MakeEnvelope(1));
@@ -72,15 +74,42 @@ TEST(InboxTest, WaitNextWakesOnDelivery) {
 TEST(InboxTest, CloseWakesWaiters) {
   Inbox inbox;
   std::atomic<bool> returned{false};
+  std::atomic<bool> saw_closed{false};
   std::thread waiter([&] {
-    (void)inbox.WaitNext(10000);
+    auto next = inbox.WaitNext(10000);
+    saw_closed = next.closed && !next.envelope.has_value();
     returned = true;
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   inbox.Close();
   waiter.join();
   EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(saw_closed.load());
   EXPECT_TRUE(inbox.closed());
+}
+
+TEST(InboxTest, WaitNextDrainsQueueBeforeReportingClosed) {
+  Inbox inbox;
+  inbox.Deliver(MakeEnvelope(1));
+  inbox.Close();
+  auto next = inbox.WaitNext(10);
+  ASSERT_TRUE(next.envelope.has_value());
+  next = inbox.WaitNext(10);
+  EXPECT_FALSE(next.envelope.has_value());
+  EXPECT_TRUE(next.closed);
+}
+
+TEST(InboxTest, KickWakesWithoutEnvelopeOrClose) {
+  Inbox inbox;
+  std::atomic<bool> spurious{false};
+  std::thread waiter([&] {
+    auto next = inbox.WaitNext(10000);
+    spurious = !next.envelope.has_value() && !next.closed;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  inbox.Kick();
+  waiter.join();
+  EXPECT_TRUE(spurious.load());
 }
 
 TEST(InboxTest, ConcurrentProducersLoseNothing) {
