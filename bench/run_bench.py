@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Normalized micro-benchmark runner.
+
+Runs the google-benchmark binaries (micro benches + bench_transport),
+collects per-benchmark samples, and emits one normalized document:
+
+    BENCH_<ISO-date>.json
+    {
+      "schema": 1,
+      "date": "2026-08-07",
+      "machine": {"system": ..., "release": ..., "machine": ..., "cpus": N},
+      "benches": {
+        "bench_micro_core": {
+          "BM_SessionFetch": {"median_ns": ..., "p99_ns": ..., "samples": 5},
+          ...
+        }, ...
+      }
+    }
+
+CI runs this in the bench job, uploads the document as an artifact, and
+compares against the previous run's document (restored from the actions
+cache) with --compare, failing the job when any benchmark's median
+regresses by more than --threshold (default 20%).
+
+Usage:
+    bench/run_bench.py --build-dir build --out BENCH_2026-08-07.json
+    bench/run_bench.py --compare old.json --candidate new.json
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+
+DEFAULT_BENCHES = [
+    "bench_micro_core",
+    "bench_micro_lockmgr",
+    "bench_micro_codec",
+    "bench_micro_storage",
+    "bench_micro_query",
+    "bench_micro_viz",
+    "bench_transport",
+]
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        raise ValueError("unknown benchmark time unit %r" % unit)
+    return value * scale
+
+
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile; with few repetitions p99 is the max."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1)))))
+    return sorted_vals[rank]
+
+
+def run_binary(path, min_time, repetitions):
+    # Older google-benchmark rejects the "0.05s" suffix form; newer accepts
+    # the bare double too (with a deprecation warning). Use the bare form.
+    cmd = [
+        path,
+        "--benchmark_min_time=%s" % min_time.rstrip("s"),
+        "--benchmark_repetitions=%d" % repetitions,
+        "--benchmark_report_aggregates_only=false",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError("%s exited %d" % (path, proc.returncode))
+    doc = json.loads(proc.stdout)
+    samples = {}
+    for b in doc.get("benchmarks", []):
+        # Repetition rows only; skip google-benchmark's own mean/median/
+        # stddev aggregate rows (we compute our own from the raw samples).
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        name = b.get("run_name", b["name"])
+        samples.setdefault(name, []).append(to_ns(b["real_time"], b["time_unit"]))
+    out = {}
+    for name, vals in sorted(samples.items()):
+        vals.sort()
+        out[name] = {
+            "median_ns": statistics.median(vals),
+            "p99_ns": percentile(vals, 0.99),
+            "samples": len(vals),
+        }
+    return out
+
+
+def machine_info():
+    u = platform.uname()
+    return {
+        "system": u.system,
+        "release": u.release,
+        "machine": u.machine,
+        "cpus": os.cpu_count(),
+    }
+
+
+def compare(baseline_doc, candidate_doc, threshold):
+    """Returns a list of regression strings (empty = pass)."""
+    regressions = []
+    base = baseline_doc.get("benches", {})
+    cand = candidate_doc.get("benches", {})
+    for binary, benches in sorted(cand.items()):
+        for name, stats in sorted(benches.items()):
+            old = base.get(binary, {}).get(name)
+            if not old or old.get("median_ns", 0) <= 0:
+                continue  # new benchmark: nothing to regress against
+            ratio = stats["median_ns"] / old["median_ns"]
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    "%s/%s: %.0f ns -> %.0f ns (%.0f%% slower)"
+                    % (binary, name, old["median_ns"], stats["median_ns"],
+                       (ratio - 1.0) * 100.0))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default=None,
+                    help="output path (default BENCH_<ISO-date>.json)")
+    ap.add_argument("--benches", nargs="*", default=DEFAULT_BENCHES)
+    ap.add_argument("--min-time", default="0.05s")
+    ap.add_argument("--repetitions", type=int, default=3)
+    ap.add_argument("--compare", default=None,
+                    help="baseline BENCH_*.json to compare against")
+    ap.add_argument("--candidate", default=None,
+                    help="with --compare: compare this document instead of "
+                         "running the benchmarks")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative median regression that fails (0.20 = 20%%)")
+    args = ap.parse_args()
+
+    if args.compare and args.candidate:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+        regressions = compare(baseline, candidate, args.threshold)
+        for r in regressions:
+            print("REGRESSION: " + r)
+        if regressions:
+            return 1
+        print("no regressions beyond %.0f%%" % (args.threshold * 100.0))
+        return 0
+
+    today = datetime.date.today().isoformat()
+    out_path = args.out or ("BENCH_%s.json" % today)
+    doc = {
+        "schema": 1,
+        "date": today,
+        "machine": machine_info(),
+        "min_time": args.min_time,
+        "repetitions": args.repetitions,
+        "benches": {},
+    }
+    for bench in args.benches:
+        path = os.path.join(args.build_dir, "bench", bench)
+        if not os.path.exists(path):
+            sys.stderr.write("skip %s (not built)\n" % path)
+            continue
+        print("running %s ..." % bench, flush=True)
+        doc["benches"][bench] = run_binary(path, args.min_time,
+                                           args.repetitions)
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print("wrote %s (%d binaries)" % (out_path, len(doc["benches"])))
+
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        regressions = compare(baseline, doc, args.threshold)
+        for r in regressions:
+            print("REGRESSION: " + r)
+        if regressions:
+            return 1
+        print("no regressions beyond %.0f%%" % (args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

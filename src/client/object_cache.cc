@@ -2,7 +2,19 @@
 
 namespace idba {
 
-ObjectCache::ObjectCache(ObjectCacheOptions opts) : opts_(opts) {}
+ObjectCache::ObjectCache(ObjectCacheOptions opts) : opts_(opts) {
+  // Canonical "client database cache" level: the registry sums over every
+  // in-process client; per-instance accessors stay exact.
+  MetricsRegistry& reg = GlobalMetrics();
+  hits_.BindGlobal(reg.GetCounter("cache.object.hits"));
+  misses_.BindGlobal(reg.GetCounter("cache.object.misses"));
+  invalidations_.BindGlobal(reg.GetCounter("cache.object.invalidations"));
+  evictions_.BindGlobal(reg.GetCounter("cache.object.evictions"));
+  entries_gauge_ = ScopedGauge(&reg, "cache.object.entries",
+                               [this] { return double(entry_count()); });
+  bytes_gauge_ = ScopedGauge(&reg, "cache.object.bytes_used",
+                             [this] { return double(bytes_used()); });
+}
 
 std::optional<DatabaseObject> ObjectCache::Get(Oid oid) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -73,7 +73,9 @@ class ObjectCache : public CacheCallbackHandler {
   std::list<Oid> lru_;  // front = least recently used
   size_t bytes_used_ = 0;
   EvictionCallback on_evict_;
-  Counter hits_, misses_, invalidations_, evictions_;
+  MirroredCounter hits_, misses_, invalidations_, evictions_;
+  // Declared last so the gauges unregister before the cache state they read.
+  ScopedGauge entries_gauge_, bytes_gauge_;
 };
 
 }  // namespace idba

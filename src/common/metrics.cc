@@ -85,6 +85,13 @@ double Histogram::PercentileOf(const Merged& m, double q) {
 
 double Histogram::Percentile(double q) const { return PercentileOf(Merge(), q); }
 
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  Merged m = Merge();
+  return {m.counts, m.counts + kBuckets};
+}
+
+double Histogram::BucketUpperBound(int b) { return BucketLowerBound(b + 1); }
+
 void Histogram::Reset() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -133,10 +140,51 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+uint64_t MetricsRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_gauge_token_++;
+  gauges_[name][token] = std::move(fn);
+  return token;
+}
+
+void MetricsRegistry::UnregisterGauge(const std::string& name, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return;
+  it->second.erase(token);
+  if (it->second.empty()) gauges_.erase(it);
+}
+
 std::map<std::string, uint64_t> MetricsRegistry::CounterSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->Get();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, fns] : gauges_) {
+    double total = 0;
+    for (const auto& [token, fn] : fns) total += fn();
+    out[name] = total;
+  }
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->Snapshot();
+  return out;
+}
+
+std::map<std::string, Histogram*> MetricsRegistry::HistogramHandles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram*> out;
+  for (const auto& [name, h] : histograms_) out[name] = h.get();
   return out;
 }
 
@@ -145,6 +193,13 @@ std::string MetricsRegistry::Dump() const {
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += name + " = " + std::to_string(c->Get()) + "\n";
+  }
+  char buf[64];
+  for (const auto& [name, fns] : gauges_) {
+    double total = 0;
+    for (const auto& [token, fn] : fns) total += fn();
+    std::snprintf(buf, sizeof(buf), "%.3f", total);
+    out += name + " ~ " + buf + "\n";
   }
   for (const auto& [name, h] : histograms_) {
     out += name + " : " + h->Summary() + "\n";
@@ -161,9 +216,19 @@ std::string MetricsRegistry::DumpJson() const {
     first = false;
     out += '"' + name + "\":" + std::to_string(c->Get());
   }
-  out += "},\"histograms\":{";
+  out += "},\"gauges\":{";
   first = true;
   char buf[256];
+  for (const auto& [name, fns] : gauges_) {
+    double total = 0;
+    for (const auto& [token, fn] : fns) total += fn();
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", name.c_str(), total);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot s = h->Snapshot();
     if (!first) out += ',';

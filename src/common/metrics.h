@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,34 @@ class Counter {
  private:
   std::atomic<uint64_t> value_{0};
 };
+
+/// A per-instance counter that optionally feeds a shared registry counter.
+/// Components with many instances per process (buffer pools, object caches,
+/// transports) keep exact per-object counts for their accessors while the
+/// registry — and therefore STATS/METRICS/Prometheus — sees the canonical
+/// aggregate series across all instances.
+class MirroredCounter {
+ public:
+  void BindGlobal(Counter* global) { global_ = global; }
+  void Add(uint64_t delta = 1) {
+    local_.Add(delta);
+    if (global_ != nullptr) global_->Add(delta);
+  }
+  uint64_t Get() const { return local_.Get(); }
+  void Reset() { local_.Reset(); }
+
+ private:
+  Counter local_;
+  Counter* global_ = nullptr;
+};
+
+/// Point-in-time value computed on read (queue depth, bytes cached, dirty
+/// ratio). Multiple registrants may share one name — e.g. one ObjectCache
+/// per in-process client — and readers see the SUM of all live callbacks.
+/// Callbacks run under the registry mutex (so unregistration synchronizes
+/// with in-flight snapshots) and must therefore never call back into the
+/// registry.
+using GaugeFn = std::function<double()>;
 
 /// Point-in-time merged view of a histogram.
 struct HistogramSnapshot {
@@ -70,8 +99,18 @@ class Histogram {
   /// "count=N mean=X p50=... p99=... max=..."
   std::string Summary() const;
 
+  /// Fixed bucket layout, exposed for exporters that need per-bucket counts
+  /// (Prometheus `_bucket` series) and for per-window percentile trends
+  /// computed from bucket-count deltas (obs/timeseries).
+  static constexpr int kNumBuckets = 128;
+  /// Merged per-bucket (non-cumulative) counts; size kNumBuckets.
+  std::vector<uint64_t> BucketCounts() const;
+  /// Inclusive upper bound of bucket `b` (+inf style growth capped at the
+  /// last bucket, whose bound exporters should render as +Inf).
+  static double BucketUpperBound(int b);
+
  private:
-  static constexpr int kBuckets = 128;
+  static constexpr int kBuckets = kNumBuckets;
   static constexpr int kShards = 8;
   static int BucketFor(double v);
   static double BucketLowerBound(int b);
@@ -101,18 +140,32 @@ class Histogram {
   Shard shards_[kShards];
 };
 
-/// Named registry of counters and histograms. Components hold pointers
-/// obtained at construction; lookups are not on the hot path.
+/// Named registry of counters, gauges and histograms. Components hold
+/// pointers obtained at construction; lookups are not on the hot path.
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Registers a gauge callback under `name`; returns a token for
+  /// UnregisterGauge. Multiple live registrations of one name are summed on
+  /// read. Prefer the RAII ScopedGauge over calling these directly.
+  uint64_t RegisterGauge(const std::string& name, GaugeFn fn);
+  void UnregisterGauge(const std::string& name, uint64_t token);
+
   /// Snapshot of all counter values (name -> value).
   std::map<std::string, uint64_t> CounterSnapshot() const;
+  /// Snapshot of all gauges (name -> summed value of live registrants).
+  std::map<std::string, double> GaugeSnapshot() const;
+  /// One consistent snapshot per histogram (name -> merged view).
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+  /// The histogram objects themselves (stable pointers; histograms are
+  /// never removed), for exporters that need bucket-level access.
+  std::map<std::string, Histogram*> HistogramHandles() const;
+
   /// Multi-line human-readable dump of all metrics.
   std::string Dump() const;
-  /// One JSON object: {"counters":{name:value,...},
+  /// One JSON object: {"counters":{name:value,...},"gauges":{...},
   /// "histograms":{name:{"count":..,"mean":..,"p50":..,...},...}}.
   std::string DumpJson() const;
   void ResetAll();
@@ -121,6 +174,44 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::map<uint64_t, GaugeFn>> gauges_;
+  uint64_t next_gauge_token_ = 1;
+};
+
+/// RAII gauge registration: registers on construction, unregisters on
+/// destruction. Components embed one per exported gauge so an instance's
+/// contribution disappears exactly when the instance dies.
+class ScopedGauge {
+ public:
+  ScopedGauge() = default;
+  ScopedGauge(MetricsRegistry* reg, std::string name, GaugeFn fn)
+      : reg_(reg), name_(std::move(name)) {
+    token_ = reg_->RegisterGauge(name_, std::move(fn));
+  }
+  ~ScopedGauge() { Release(); }
+  ScopedGauge(ScopedGauge&& o) noexcept { *this = std::move(o); }
+  ScopedGauge& operator=(ScopedGauge&& o) noexcept {
+    Release();
+    reg_ = o.reg_;
+    name_ = std::move(o.name_);
+    token_ = o.token_;
+    o.reg_ = nullptr;
+    return *this;
+  }
+  ScopedGauge(const ScopedGauge&) = delete;
+  ScopedGauge& operator=(const ScopedGauge&) = delete;
+
+  void Release() {
+    if (reg_ != nullptr) {
+      reg_->UnregisterGauge(name_, token_);
+      reg_ = nullptr;
+    }
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::string name_;
+  uint64_t token_ = 0;
 };
 
 /// The process-wide registry. Instrumentation in the server, transport and

@@ -4,7 +4,19 @@
 
 namespace idba {
 
-DisplayCache::DisplayCache(DisplayCacheOptions opts) : opts_(opts) {}
+DisplayCache::DisplayCache(DisplayCacheOptions opts) : opts_(opts) {
+  MetricsRegistry& reg = GlobalMetrics();
+  hits_.BindGlobal(reg.GetCounter("cache.display.hits"));
+  misses_.BindGlobal(reg.GetCounter("cache.display.misses"));
+  rejections_.BindGlobal(reg.GetCounter("cache.display.rejections"));
+  // Registered so the series exists; it stays at zero by design — display
+  // cache entries are pinned and never evicted (paper §3.2).
+  (void)reg.GetCounter("cache.display.evictions");
+  objects_gauge_ = ScopedGauge(&reg, "cache.display.objects",
+                               [this] { return double(object_count()); });
+  bytes_gauge_ = ScopedGauge(&reg, "cache.display.bytes_used",
+                             [this] { return double(bytes_used()); });
+}
 
 Result<DisplayObject*> DisplayCache::Create(const DisplayClassDef* dclass,
                                             std::vector<Oid> sources) {
@@ -12,6 +24,7 @@ Result<DisplayObject*> DisplayCache::Create(const DisplayClassDef* dclass,
   auto obj = std::make_unique<DisplayObject>(next_id_, dclass, std::move(sources));
   size_t bytes = obj->MemoryBytes();
   if (opts_.capacity_bytes != 0 && bytes_used_ + bytes > opts_.capacity_bytes) {
+    rejections_.Add();
     return Status::Busy("display cache over budget: " +
                         std::to_string(bytes_used_ + bytes) + " > " +
                         std::to_string(opts_.capacity_bytes));
@@ -27,7 +40,12 @@ Result<DisplayObject*> DisplayCache::Create(const DisplayClassDef* dclass,
 DisplayObject* DisplayCache::Find(DoId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  if (it == objects_.end()) {
+    misses_.Add();
+    return nullptr;
+  }
+  hits_.Add();
+  return it->second.get();
 }
 
 Status DisplayCache::Remove(DoId id) {

@@ -47,6 +47,10 @@ class DisplayCache {
   size_t bytes_used() const;
   size_t capacity_bytes() const { return opts_.capacity_bytes; }
 
+  uint64_t hits() const { return hits_.Get(); }
+  uint64_t misses() const { return misses_.Get(); }
+  uint64_t rejections() const { return rejections_.Get(); }
+
   /// Recomputes the byte account (display objects mutate in place on
   /// refresh). Cheap enough to call per refresh batch.
   void ReaccountBytes();
@@ -58,6 +62,12 @@ class DisplayCache {
   std::unordered_map<Oid, std::vector<DoId>> by_source_;
   size_t bytes_used_ = 0;
   DoId next_id_ = 1;
+  // hit/miss on Find; rejection when Create fails the explicit budget.
+  // There is deliberately no eviction counter to mirror: entries are pinned
+  // by the application and never evicted (paper §3.2), so
+  // cache.display.evictions staying at zero is itself the signal.
+  MirroredCounter hits_, misses_, rejections_;
+  ScopedGauge objects_gauge_, bytes_gauge_;  // declared last, torn down first
 };
 
 }  // namespace idba

@@ -282,6 +282,13 @@ std::vector<DisplayLockManager::LockEntry> DisplayLockManager::TableSnapshot()
   return out;
 }
 
+std::map<ClientId, size_t> DisplayLockManager::HolderCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<ClientId, size_t> out;
+  for (const auto& [client, oids] : by_client_) out[client] = oids.size();
+  return out;
+}
+
 size_t DisplayLockManager::locked_object_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return holders_.size();

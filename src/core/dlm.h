@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -72,6 +73,10 @@ class DisplayLockManager : public DisplayLockService {
   };
   /// Point-in-time copy of the lock table, sorted by oid.
   std::vector<LockEntry> TableSnapshot() const;
+
+  /// D-lock count per client (each is a pinned view subscription), sorted
+  /// by client id. For the CACHES RPC's display-level section.
+  std::map<ClientId, size_t> HolderCounts() const;
 
   size_t locked_object_count() const;
   size_t holder_count(Oid oid) const;

@@ -50,9 +50,9 @@ struct InboxOptions {
   /// Optional metric mirrors, bumped on the corresponding events (cache
   /// the GlobalMetrics pointers at construction; lookups stay off the
   /// delivery path).
-  Counter* coalesced_metric = nullptr;
-  Counter* shed_metric = nullptr;
-  Counter* overflow_metric = nullptr;
+  MirroredCounter* coalesced_metric = nullptr;
+  MirroredCounter* shed_metric = nullptr;
+  MirroredCounter* overflow_metric = nullptr;
 };
 
 /// What a delivery did (observable by tests and by delivering transports).

@@ -240,7 +240,8 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   Inbox inbox_;
   VirtualClock clock_;
   Counter rpcs_, validation_aborts_;
-  Counter bytes_in_, bytes_out_, notify_frames_, callback_frames_;
+  MirroredCounter bytes_in_, bytes_out_;
+  Counter notify_frames_, callback_frames_;
   Counter reconnects_, heartbeats_;
   Counter overload_rejections_, resyncs_received_;
   std::atomic<int64_t> retry_after_hint_ms_{0};

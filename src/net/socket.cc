@@ -171,7 +171,7 @@ Status Socket::SetRecvTimeout(int64_t ms) {
 
 Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
                           uint64_t seq, const std::vector<uint8_t>& payload,
-                          Counter* bytes_out, bool traced) {
+                          MirroredCounter* bytes_out, bool traced) {
   wire::FrameHeader header;
   header.payload_len = static_cast<uint32_t>(payload.size());
   header.type = type;
@@ -220,7 +220,7 @@ Status Socket::WriteFrame(std::mutex& write_mu, wire::FrameType type,
 }
 
 Status Socket::ReadFrame(wire::FrameHeader* header,
-                         std::vector<uint8_t>* payload, Counter* bytes_in) {
+                         std::vector<uint8_t>* payload, MirroredCounter* bytes_in) {
   for (;;) {
     uint8_t raw[wire::kHeaderBytes];
     IDBA_RETURN_NOT_OK(RecvAll(raw, wire::kHeaderBytes));

@@ -82,12 +82,12 @@ class Socket {
   /// TraceInfo and verified the peer negotiated v2).
   Status WriteFrame(std::mutex& write_mu, wire::FrameType type, uint64_t seq,
                     const std::vector<uint8_t>& payload,
-                    Counter* bytes_out = nullptr, bool traced = false);
+                    MirroredCounter* bytes_out = nullptr, bool traced = false);
 
   /// Reads one frame. Blocks until a full frame arrives, the peer closes,
   /// or an armed recv timeout expires.
   Status ReadFrame(wire::FrameHeader* header, std::vector<uint8_t>* payload,
-                   Counter* bytes_in = nullptr);
+                   MirroredCounter* bytes_in = nullptr);
 
   /// Unblocks any thread inside RecvAll/SendAll (then Close()s later).
   void ShutdownBoth();

@@ -7,6 +7,9 @@
 
 #include "common/logging.h"
 #include "core/notification.h"
+#include "obs/prom_export.h"
+#include "obs/rpc_stats.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -175,7 +178,43 @@ struct TransportServer::Connection : public CacheCallbackHandler {
 TransportServer::TransportServer(DatabaseServer* server,
                                  DisplayLockManager* dlm, NotificationBus* bus,
                                  RpcMeter* meter, TransportServerOptions opts)
-    : server_(server), dlm_(dlm), bus_(bus), meter_(meter), opts_(opts) {}
+    : server_(server), dlm_(dlm), bus_(bus), meter_(meter), opts_(opts) {
+  // Mirror every transport/overload counter into the registry so STATS,
+  // METRICS and the Prometheus endpoint see canonical aggregate series;
+  // the per-instance accessors used by tests stay exact.
+  MetricsRegistry& reg = GlobalMetrics();
+  bytes_in_.BindGlobal(reg.GetCounter("transport.bytes_in"));
+  bytes_out_.BindGlobal(reg.GetCounter("transport.bytes_out"));
+  requests_.BindGlobal(reg.GetCounter("transport.requests"));
+  notifies_.BindGlobal(reg.GetCounter("transport.notifications"));
+  accepts_.BindGlobal(reg.GetCounter("transport.accepts"));
+  overload_rejections_.BindGlobal(reg.GetCounter("overload.rejections"));
+  oneway_shed_.BindGlobal(reg.GetCounter("overload.oneway_shed"));
+  notify_coalesced_.BindGlobal(reg.GetCounter("overload.notify_coalesced"));
+  notify_shed_.BindGlobal(reg.GetCounter("overload.notify_shed"));
+  notify_overflows_.BindGlobal(reg.GetCounter("overload.notify_overflows"));
+  forced_resyncs_.BindGlobal(reg.GetCounter("overload.forced_resyncs"));
+  slow_disconnects_.BindGlobal(reg.GetCounter("overload.slow_disconnects"));
+  callbacks_elided_.BindGlobal(reg.GetCounter("overload.callbacks_elided"));
+  callback_timeouts_.BindGlobal(
+      reg.GetCounter("overload.callback_ack_timeouts"));
+  callback_overflows_.BindGlobal(
+      reg.GetCounter("overload.callback_overflows"));
+  inflight_gauge_ = ScopedGauge(&reg, "transport.inflight",
+                                [this] { return double(inflight_.load()); });
+  // Pre-create the full canonical cache taxonomy. The server process has a
+  // BufferPool but object/display caches live in clients; a scraper of a
+  // pure server must still see every cache.* series (zero until an
+  // in-process client binds and bumps them), so dashboards never 404.
+  for (const char* name :
+       {"cache.page.hits", "cache.page.misses", "cache.page.evictions",
+        "cache.object.hits", "cache.object.misses",
+        "cache.object.invalidations", "cache.object.evictions",
+        "cache.display.hits", "cache.display.misses",
+        "cache.display.rejections", "cache.display.evictions"}) {
+    (void)reg.GetCounter(name);
+  }
+}
 
 TransportServer::~TransportServer() { Stop(); }
 
@@ -437,7 +476,10 @@ bool TransportServer::ShouldShed(Connection* conn,
   if (!dec.GetU8(&method_raw).ok()) return true;
   (void)dec.GetI64(client_now);
   if (method_raw == static_cast<uint8_t>(wire::Method::kStats) ||
-      method_raw == static_cast<uint8_t>(wire::Method::kTraceDump)) {
+      method_raw == static_cast<uint8_t>(wire::Method::kTraceDump) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kMetrics) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kLocks) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kCaches)) {
     return false;
   }
   // The per-connection queue bound is a hard memory limit: a pipelining
@@ -692,7 +734,7 @@ void TransportServer::HandleFrame(Connection* conn,
   if (!st.ok()) {
     result = st;
   } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
-             method_raw > static_cast<uint8_t>(wire::Method::kTraceDump)) {
+             method_raw > static_cast<uint8_t>(wire::Method::kCaches)) {
     result = Status::Corruption("unknown method " + std::to_string(method_raw));
   } else {
     requests_.Add();
@@ -711,6 +753,17 @@ void TransportServer::HandleFrame(Connection* conn,
   }
   const uint32_t exec_us = static_cast<uint32_t>(
       std::max<int64_t>(obs::NowUs() - dequeued_us, 0));
+
+  if (st.ok() && method_raw >= static_cast<uint8_t>(wire::Method::kHello) &&
+      method_raw <= static_cast<uint8_t>(wire::Method::kCaches)) {
+    // Server-side per-opcode decomposition (the client records its own
+    // rpc.* series; a server scraped over --prom-port needs its own view).
+    obs::RpcPartHistograms& rh = obs::GlobalRpcStats().HandleFor(
+        method_raw, wire::MethodName(method).data());
+    rh.queue_us->Record(static_cast<double>(queue_us));
+    rh.execute_us->Record(static_cast<double>(exec_us));
+    rh.total_us->Record(static_cast<double>(queue_us) + exec_us);
+  }
 
   if (opts_.slow_rpc_threshold_ms > 0 && st.ok() &&
       queue_us + exec_us >
@@ -766,7 +819,9 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
   using wire::Method;
   if (!conn->hello_done.load(std::memory_order_acquire) &&
       method != Method::kHello && method != Method::kPing &&
-      method != Method::kStats && method != Method::kTraceDump) {
+      method != Method::kStats && method != Method::kTraceDump &&
+      method != Method::kMetrics && method != Method::kLocks &&
+      method != Method::kCaches) {
     return Status::InvalidArgument("Hello handshake required before " +
                                    std::string(wire::MethodName(method)));
   }
@@ -836,6 +891,28 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
       obs::TraceRecorder& rec = obs::GlobalRecorder();
       body->PutString(format == 1 ? rec.DumpJsonl() : rec.DumpChromeTrace());
       if (clear != 0) rec.Clear();
+      return Status::OK();
+    }
+    case Method::kMetrics: {
+      uint8_t format = 0;
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&format));
+      if (format == 1) {
+        body->PutString(GlobalMetrics().DumpJson());
+      } else if (format == 2) {
+        body->PutString(obs::GlobalTimeSeries().DumpJson());
+      } else {
+        body->PutString(obs::PromExport(GlobalMetrics()));
+      }
+      return Status::OK();
+    }
+    case Method::kLocks: {
+      uint8_t top_k = 0;
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&top_k));
+      body->PutString(LocksJson(top_k == 0 ? 10 : top_k));
+      return Status::OK();
+    }
+    case Method::kCaches: {
+      body->PutString(CachesJson());
       return Status::OK();
     }
     case Method::kBegin: {
@@ -1015,22 +1092,42 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
 
 void TransportServer::NoteSlowRpc(wire::Method method, ClientId client,
                                   int64_t duration_us, uint64_t trace_id) {
-  char trace_hex[24];
-  std::snprintf(trace_hex, sizeof(trace_hex), "%llx",
-                static_cast<unsigned long long>(trace_id));
-  IDBA_LOG_FIELDS(LogLevel::kWarn, "transport", "slow rpc",
-                  {{"method", std::string(wire::MethodName(method))},
-                   {"client", std::to_string(client)},
-                   {"duration_us", std::to_string(duration_us)},
-                   {"trace_id", trace_hex}});
   SlowRpc slow;
   slow.method = std::string(wire::MethodName(method));
   slow.client = client;
   slow.duration_us = duration_us;
   slow.trace_id = trace_id;
-  std::lock_guard<std::mutex> lock(slow_mu_);
-  slow_rpcs_.push_back(std::move(slow));
-  while (slow_rpcs_.size() > kSlowRpcRing) slow_rpcs_.pop_front();
+  // The ring records every slow RPC; the WARN line is rate limited so a
+  // storm of them (the very condition that makes RPCs slow) cannot drown
+  // the log. Suppressed events are summed onto the next emitted line.
+  bool log_now = true;
+  uint64_t suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_rpcs_.push_back(slow);
+    while (slow_rpcs_.size() > kSlowRpcRing) slow_rpcs_.pop_front();
+    if (opts_.slow_rpc_log_interval_ms > 0) {
+      const int64_t now = obs::NowUs();
+      if (now - last_slow_log_us_ < opts_.slow_rpc_log_interval_ms * 1000) {
+        ++slow_suppressed_;
+        log_now = false;
+      } else {
+        last_slow_log_us_ = now;
+        suppressed = slow_suppressed_;
+        slow_suppressed_ = 0;
+      }
+    }
+  }
+  if (!log_now) return;
+  char trace_hex[24];
+  std::snprintf(trace_hex, sizeof(trace_hex), "%llx",
+                static_cast<unsigned long long>(trace_id));
+  IDBA_LOG_FIELDS(LogLevel::kWarn, "transport", "slow rpc",
+                  {{"method", slow.method},
+                   {"client", std::to_string(client)},
+                   {"duration_us", std::to_string(duration_us)},
+                   {"trace_id", trace_hex},
+                   {"suppressed_since_last", std::to_string(suppressed)}});
 }
 
 std::vector<TransportServer::SlowRpc> TransportServer::SlowRpcLog() const {
@@ -1243,6 +1340,138 @@ std::string TransportServer::StatsText() const {
          "\n";
   out += "\n== metrics ==\n";
   out += GlobalMetrics().Dump();
+  return out;
+}
+
+std::string TransportServer::LocksJson(size_t top_k) const {
+  const LockManager::TableDump dump =
+      server_->lock_manager().DumpTable(top_k);
+  std::string out = "{\"lock_table\":[";
+  bool first = true;
+  for (const auto& e : dump.entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"oid\":" + std::to_string(e.oid.value) + ",\"granted\":[";
+    for (size_t i = 0; i < e.granted.size(); ++i) {
+      if (i) out += ',';
+      out += "{\"owner\":" + std::to_string(e.granted[i].owner) +
+             ",\"mode\":\"" + std::string(LockModeName(e.granted[i].mode)) +
+             "\"}";
+    }
+    out += "],\"waiting\":[";
+    for (size_t i = 0; i < e.waiting.size(); ++i) {
+      if (i) out += ',';
+      out += "{\"owner\":" + std::to_string(e.waiting[i].owner) +
+             ",\"mode\":\"" + std::string(LockModeName(e.waiting[i].mode)) +
+             "\",\"upgrade\":" + (e.waiting[i].is_upgrade ? "true" : "false") +
+             ",\"waited_us\":" + std::to_string(e.waiting[i].waited_us) + "}";
+    }
+    out += "]}";
+  }
+  out += "],\"wait_edges\":[";
+  first = true;
+  for (const auto& edge : dump.wait_edges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"waiter\":" + std::to_string(edge.waiter) +
+           ",\"holder\":" + std::to_string(edge.holder) +
+           ",\"oid\":" + std::to_string(edge.oid.value) + "}";
+  }
+  out += "],\"top_contended\":[";
+  first = true;
+  for (const auto& hot : dump.top_contended) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"oid\":" + std::to_string(hot.oid.value) +
+           ",\"cumulative_wait_us\":" + std::to_string(hot.cumulative_wait_us) +
+           ",\"waits\":" + std::to_string(hot.waits) + "}";
+  }
+  out += "],\"counters\":{";
+  const LockManager& lm = server_->lock_manager();
+  out += "\"grants\":" + std::to_string(lm.grants());
+  out += ",\"waits\":" + std::to_string(lm.waits());
+  out += ",\"deadlocks\":" + std::to_string(lm.deadlocks());
+  out += ",\"timeouts\":" + std::to_string(lm.timeouts());
+  out += "},\"display_locks\":[";
+  first = true;
+  if (dlm_ != nullptr) {
+    for (const auto& entry : dlm_->TableSnapshot()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"oid\":" + std::to_string(entry.oid.value) + ",\"holders\":[";
+      for (size_t i = 0; i < entry.holders.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(entry.holders[i]);
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TransportServer::CachesJson() const {
+  char buf[64];
+  // Page level: the server's own buffer pool.
+  const BufferPool& pool = server_->buffer_pool();
+  const BufferPool::PoolStats ps = pool.Stats();
+  std::string out = "{\"page\":{";
+  out += "\"frame_count\":" + std::to_string(ps.frame_count);
+  out += ",\"resident\":" + std::to_string(ps.resident);
+  out += ",\"dirty\":" + std::to_string(ps.dirty);
+  out += ",\"pinned\":" + std::to_string(ps.pinned);
+  std::snprintf(buf, sizeof(buf), ",\"dirty_ratio\":%.4f",
+                ps.resident > 0 ? double(ps.dirty) / double(ps.resident) : 0.0);
+  out += buf;
+  out += ",\"hits\":" + std::to_string(pool.hits());
+  out += ",\"misses\":" + std::to_string(pool.misses());
+  out += ",\"evictions\":" + std::to_string(pool.evictions());
+  const uint64_t page_total = pool.hits() + pool.misses();
+  std::snprintf(buf, sizeof(buf), ",\"hit_rate\":%.4f",
+                page_total > 0 ? double(pool.hits()) / double(page_total) : 0.0);
+  out += buf;
+  // Object level: the server cannot see inside remote caches, but its
+  // callback registry is the authoritative map of who holds what.
+  out += "},\"object\":{\"copies_by_client\":{";
+  bool first = true;
+  for (const auto& [client, count] :
+       server_->callback_manager().CopyCountsByClient()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + std::to_string(client) + "\":" + std::to_string(count);
+  }
+  out += "},\"callbacks_issued\":" +
+         std::to_string(server_->callback_manager().callbacks_issued());
+  // Display level: per-client pinned-view subscriptions via D locks.
+  out += "},\"display\":{\"subscriptions_by_client\":{";
+  first = true;
+  if (dlm_ != nullptr) {
+    for (const auto& [client, count] : dlm_->HolderCounts()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + std::to_string(client) + "\":" + std::to_string(count);
+    }
+  }
+  out += "},\"locked_objects\":" +
+         std::to_string(dlm_ != nullptr ? dlm_->locked_object_count() : 0);
+  // Registry aggregates: every cache.* series (counters and gauges), which
+  // also covers in-process clients' object/display caches.
+  out += "},\"registry\":{";
+  first = true;
+  for (const auto& [name, value] : GlobalMetrics().CounterSnapshot()) {
+    if (name.rfind("cache.", 0) != 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(value);
+  }
+  for (const auto& [name, value] : GlobalMetrics().GaugeSnapshot()) {
+    if (name.rfind("cache.", 0) != 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    out += '"' + name + "\":" + buf;
+  }
+  out += "}}";
   return out;
 }
 

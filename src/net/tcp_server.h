@@ -82,6 +82,10 @@ struct TransportServerOptions {
   /// (method, duration, client, trace id) and lands in the slow-RPC ring
   /// reported by STATS/idba_stat. 0 disables.
   int64_t slow_rpc_threshold_ms = 250;
+  /// Rate limit on those WARN lines: at most one per this interval, with a
+  /// suppressed-count carried on the next emitted line. The slow-RPC ring
+  /// still records every event. 0 = log every slow RPC (old behaviour).
+  int64_t slow_rpc_log_interval_ms = 5000;
 
   // --- Overload protection (DESIGN.md §9) -------------------------------
   /// Per-connection bound on requests queued for the worker; the reader
@@ -185,6 +189,16 @@ class TransportServer {
   /// so the CLI needs no JSON parser).
   std::string StatsText() const;
 
+  /// Deep lock introspection for the LOCKS admin RPC: the server lock
+  /// manager's table (holders, waiters, wait-for edges, top-K contended
+  /// OIDs) plus the DLM display-lock table, as one JSON object.
+  std::string LocksJson(size_t top_k = 10) const;
+  /// Cache-hierarchy introspection for the CACHES admin RPC: buffer-pool
+  /// occupancy and dirty ratio, per-client registered-copy counts (the
+  /// server's view of the object-cache level), per-client display
+  /// subscriptions, and the canonical cache.* registry aggregates.
+  std::string CachesJson() const;
+
  private:
   struct Connection;
   static constexpr size_t kSlowRpcRing = 64;
@@ -240,15 +254,20 @@ class TransportServer {
   /// catalog itself is setup-phase and not internally synchronized.
   std::mutex ddl_mu_;
 
-  Counter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
-  Counter overload_rejections_, oneway_shed_;
-  Counter notify_coalesced_, notify_shed_, notify_overflows_;
-  Counter forced_resyncs_, slow_disconnects_;
-  Counter callbacks_elided_, callback_timeouts_, callback_overflows_;
+  MirroredCounter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
+  MirroredCounter overload_rejections_, oneway_shed_;
+  MirroredCounter notify_coalesced_, notify_shed_, notify_overflows_;
+  MirroredCounter forced_resyncs_, slow_disconnects_;
+  MirroredCounter callbacks_elided_, callback_timeouts_, callback_overflows_;
   std::atomic<size_t> inflight_{0};
 
   mutable std::mutex slow_mu_;
   std::deque<SlowRpc> slow_rpcs_;  ///< bounded to kSlowRpcRing
+  int64_t last_slow_log_us_ = 0;   ///< guarded by slow_mu_
+  uint64_t slow_suppressed_ = 0;   ///< WARNs withheld since the last one
+
+  // Declared last: unregisters before the state its callback reads.
+  ScopedGauge inflight_gauge_;
 };
 
 }  // namespace idba

@@ -30,6 +30,9 @@ std::string_view MethodName(Method m) {
     case Method::kPing: return "Ping";
     case Method::kStats: return "Stats";
     case Method::kTraceDump: return "TraceDump";
+    case Method::kMetrics: return "Metrics";
+    case Method::kLocks: return "Locks";
+    case Method::kCaches: return "Caches";
   }
   return "Unknown";
 }

@@ -109,6 +109,12 @@ enum class Method : uint8_t {
   // Admin/introspection (wire v2). Like kPing, callable before Hello.
   kStats = 24,      ///< body: u8 format (0=json, 1=text); response: string
   kTraceDump = 25,  ///< body: u8 format (0=chrome, 1=jsonl), u8 clear; response: string
+  // Observability (still wire v2: method additions are append-only and a
+  // v1/v2 peer that never sends them never sees them).
+  kMetrics = 26,  ///< body: u8 format (0=prometheus text, 1=registry json,
+                  ///< 2=timeseries json); response: string
+  kLocks = 27,    ///< body: u8 top_k (0 = default 10); response: json string
+  kCaches = 28,   ///< body: empty; response: json string
 };
 
 std::string_view MethodName(Method m);

@@ -1,0 +1,119 @@
+#include "obs/prom_export.h"
+
+#include <cstdio>
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+bool ValidPromChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// %g keeps integral bounds (1, 2, 1024) free of trailing zeros while still
+/// rendering the fractional sqrt(2) bounds distinctly.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PromSanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (ValidPromChar(c, out.empty())) {
+      out += c;
+    } else if (out.empty() && c >= '0' && c <= '9') {
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PromEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeLabel(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromExport(const MetricsRegistry& reg) {
+  std::string out;
+  for (const auto& [name, value] : reg.CounterSnapshot()) {
+    const std::string prom = "idba_" + PromSanitizeName(name) + "_total";
+    out += "# HELP " + prom + " counter " + PromEscapeHelp(name) + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : reg.GaugeSnapshot()) {
+    const std::string prom = "idba_" + PromSanitizeName(name);
+    out += "# HELP " + prom + " gauge " + PromEscapeHelp(name) + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : reg.HistogramHandles()) {
+    const std::string prom = "idba_" + PromSanitizeName(name);
+    out += "# HELP " + prom + " histogram " + PromEscapeHelp(name) + "\n";
+    out += "# TYPE " + prom + " histogram\n";
+    // One consistent merge: buckets, then count/sum derived from them, so
+    // the +Inf bucket always equals _count even under concurrent Record().
+    const std::vector<uint64_t> counts = hist->BucketCounts();
+    int last_nonzero = -1;
+    uint64_t total = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      total += counts[b];
+      if (counts[b] != 0) last_nonzero = b;
+    }
+    uint64_t cumulative = 0;
+    for (int b = 0; b <= last_nonzero; ++b) {
+      cumulative += counts[b];
+      out += prom + "_bucket{le=\"" +
+             FormatDouble(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+    out += prom + "_sum " + FormatDouble(hist->sum()) + "\n";
+    out += prom + "_count " + std::to_string(total) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace idba

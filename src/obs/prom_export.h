@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) of a MetricsRegistry.
+//
+// Every registered metric is rendered under the `idba_` namespace with its
+// dotted name sanitized to Prometheus rules (`cache.object.hits` becomes
+// `idba_cache_object_hits_total`):
+//
+//   counters    -> `# TYPE idba_x_total counter` + one sample, `_total` suffix
+//   gauges      -> `# TYPE idba_x gauge` + one sample
+//   histograms  -> `# TYPE idba_x histogram` + cumulative `_bucket{le="..."}`
+//                  series (trailing all-zero buckets elided, `+Inf` always
+//                  present and equal to `_count`), `_sum`, `_count`
+//
+// HELP lines carry the original dotted metric name so a dashboard can be
+// cross-referenced against DESIGN.md's metric taxonomy. Served by the
+// METRICS admin RPC and idba_serve's `--prom-port` HTTP endpoint; consumed
+// by idba_top and `idba_stat --watch`, which both parse this format rather
+// than scraping human output.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+
+namespace idba {
+namespace obs {
+
+/// Maps an arbitrary metric name onto the Prometheus name charset
+/// [a-zA-Z0-9_:] (invalid characters become '_'; a leading digit gets a
+/// '_' prefix). Does not add the `idba_` namespace.
+std::string PromSanitizeName(std::string_view name);
+
+/// Escapes a HELP line: backslash and newline.
+std::string PromEscapeHelp(std::string_view text);
+
+/// Escapes a label value: backslash, newline and double quote.
+std::string PromEscapeLabel(std::string_view text);
+
+/// Renders every counter, gauge and histogram in `reg`.
+std::string PromExport(const MetricsRegistry& reg);
+
+}  // namespace obs
+}  // namespace idba

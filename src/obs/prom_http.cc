@@ -1,0 +1,148 @@
+#include "obs/prom_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/prom_export.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+/// Writes all of `data`, tolerating short writes and EINTR.
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::string head = std::string("HTTP/1.1 ") + status_line + "\r\n" +
+                     "Content-Type: " + content_type + "\r\n" +
+                     "Content-Length: " + std::to_string(body.size()) + "\r\n" +
+                     "Connection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, body.data(), body.size());
+  }
+}
+
+}  // namespace
+
+PromHttpServer::PromHttpServer(MetricsRegistry* reg)
+    : reg_(reg != nullptr ? reg : &GlobalMetrics()) {}
+
+PromHttpServer::~PromHttpServer() { Stop(); }
+
+Status PromHttpServer::Start(uint16_t port, const std::string& bind_host) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("prom http socket: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("prom http bind address: " + bind_host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    Status st = Status::IOError("prom http bind/listen: " +
+                                std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  acceptor_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void PromHttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void PromHttpServer::Serve() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed underneath us
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void PromHttpServer::HandleConnection(int fd) {
+  // A scraper that dribbles its request cannot pin the acceptor.
+  timeval tv{};
+  tv.tv_sec = 5;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // Read until the end of the headers (or a sanity cap).
+  char buf[4096];
+  size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    ssize_t n = ::recv(fd, buf + used, sizeof(buf) - 1 - used, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    used += static_cast<size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[used] = '\0';
+  // Request line: METHOD SP PATH SP VERSION.
+  char method[8] = {0};
+  char path[1024] = {0};
+  if (std::sscanf(buf, "%7s %1023s", method, path) != 2) return;
+  if (std::strcmp(method, "GET") != 0) {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  if (std::strcmp(path, "/metrics") == 0 || std::strcmp(path, "/") == 0) {
+    scrapes_.Add();
+    SendResponse(fd, "200 OK",
+                 "text/plain; version=0.0.4; charset=utf-8",
+                 PromExport(*reg_));
+    return;
+  }
+  SendResponse(fd, "404 Not Found", "text/plain", "try /metrics\n");
+}
+
+}  // namespace obs
+}  // namespace idba

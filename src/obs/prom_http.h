@@ -1,0 +1,58 @@
+// Minimal HTTP/1.1 GET endpoint serving Prometheus text exposition.
+//
+// One acceptor thread, one request per connection, ~no parsing beyond the
+// request line: exactly what a scrape loop (or `curl :PORT/metrics`) needs
+// and nothing more. Deliberately independent of net/socket.h — obs sits
+// below the transport layer in the link graph, so this speaks raw POSIX
+// sockets. Not an application ingress: bind it to loopback (the default)
+// or front it with real infrastructure, same advice as the admin RPCs.
+//
+//   GET /metrics  -> 200 text/plain; version=0.0.4 with PromExport output
+//   anything else -> 404
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace idba {
+namespace obs {
+
+class PromHttpServer {
+ public:
+  /// Serves `reg` (defaults to GlobalMetrics()).
+  explicit PromHttpServer(MetricsRegistry* reg = nullptr);
+  ~PromHttpServer();
+
+  PromHttpServer(const PromHttpServer&) = delete;
+  PromHttpServer& operator=(const PromHttpServer&) = delete;
+
+  /// Binds and starts the acceptor thread. Port 0 picks an ephemeral port
+  /// (see port()).
+  Status Start(uint16_t port, const std::string& bind_host = "127.0.0.1");
+  /// Closes the listener and joins the acceptor. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  uint64_t scrapes_served() const { return scrapes_.Get(); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  MetricsRegistry* reg_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  Counter scrapes_;
+};
+
+}  // namespace obs
+}  // namespace idba

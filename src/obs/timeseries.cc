@@ -1,0 +1,181 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace idba {
+namespace obs {
+
+double PercentileOfDeltas(const std::vector<uint64_t>& cur,
+                          const std::vector<uint64_t>& prev, double q) {
+  const size_t n = cur.size();
+  uint64_t total = 0;
+  for (size_t b = 0; b < n; ++b) {
+    const uint64_t p = b < prev.size() ? prev[b] : 0;
+    total += cur[b] - p;
+  }
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < n; ++b) {
+    const uint64_t p = b < prev.size() ? prev[b] : 0;
+    seen += cur[b] - p;
+    if (static_cast<double>(seen) >= target) {
+      // Midpoint interpolation, mirroring Histogram::PercentileOf (without
+      // the observed min/max clamp — a window has no exact min/max).
+      const double lo = b == 0 ? 0 : Histogram::BucketUpperBound(b - 1);
+      const double hi = Histogram::BucketUpperBound(b);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return Histogram::BucketUpperBound(static_cast<int>(n) - 1);
+}
+
+MetricsTimeSeries::MetricsTimeSeries(MetricsRegistry* reg, size_t retain)
+    : reg_(reg), retain_(std::max<size_t>(retain, 1)) {}
+
+MetricsWindow MetricsTimeSeries::Tick() {
+  // Snapshot the registry outside our own lock (registry access has its own
+  // synchronization; concurrent Tick() calls serialize below).
+  MetricsWindow w;
+  w.at_us = NowUs();
+  w.counters = reg_->CounterSnapshot();
+  w.gauges = reg_->GaugeSnapshot();
+  std::map<std::string, std::vector<uint64_t>> buckets;
+  std::map<std::string, double> sums;
+  for (const auto& [name, hist] : reg_->HistogramHandles()) {
+    // One merge per histogram: snapshot and buckets from the same object,
+    // buckets first so count can only be >= the bucket total (never a
+    // negative delta next tick).
+    buckets[name] = hist->BucketCounts();
+    w.histograms[name] = hist->Snapshot();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (have_prev_) {
+    w.interval_us = w.at_us - prev_at_us_;
+    for (const auto& [name, value] : w.counters) {
+      auto it = prev_counters_.find(name);
+      const uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+      // A ResetAll() between ticks makes cumulative values go backwards;
+      // treat the new value as the whole delta rather than underflowing.
+      w.counter_deltas[name] = value >= prev ? value - prev : value;
+    }
+    for (const auto& [name, cur] : buckets) {
+      auto pit = prev_buckets_.find(name);
+      static const std::vector<uint64_t> kEmpty;
+      const std::vector<uint64_t>& prev =
+          pit == prev_buckets_.end() ? kEmpty : pit->second;
+      const HistogramSnapshot& snap = w.histograms[name];
+      auto hit = prev_hists_.find(name);
+      const HistogramSnapshot prev_snap =
+          hit == prev_hists_.end() ? HistogramSnapshot{} : hit->second;
+      MetricsWindow::HistDelta d;
+      d.count = snap.count >= prev_snap.count ? snap.count - prev_snap.count
+                                              : snap.count;
+      d.sum = snap.sum >= prev_snap.sum ? snap.sum - prev_snap.sum : snap.sum;
+      if (d.count > 0) {
+        d.p50 = PercentileOfDeltas(cur, prev, 0.5);
+        d.p99 = PercentileOfDeltas(cur, prev, 0.99);
+      }
+      w.histogram_deltas[name] = d;
+    }
+  } else {
+    // First tick: everything observed so far counts as the first window.
+    w.counter_deltas = w.counters;
+    for (const auto& [name, snap] : w.histograms) {
+      MetricsWindow::HistDelta d;
+      d.count = snap.count;
+      d.sum = snap.sum;
+      d.p50 = snap.p50;
+      d.p99 = snap.p99;
+      w.histogram_deltas[name] = d;
+    }
+  }
+  prev_counters_ = w.counters;
+  prev_buckets_ = std::move(buckets);
+  prev_hists_ = w.histograms;
+  prev_at_us_ = w.at_us;
+  have_prev_ = true;
+
+  windows_.push_back(w);
+  while (windows_.size() > retain_) windows_.pop_front();
+  return w;
+}
+
+std::vector<MetricsWindow> MetricsTimeSeries::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {windows_.begin(), windows_.end()};
+}
+
+size_t MetricsTimeSeries::window_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_.size();
+}
+
+void MetricsTimeSeries::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+  prev_counters_.clear();
+  prev_buckets_.clear();
+  prev_hists_.clear();
+  have_prev_ = false;
+  prev_at_us_ = 0;
+}
+
+std::string MetricsTimeSeries::DumpJson(size_t last_n) const {
+  std::vector<MetricsWindow> windows = Windows();
+  size_t begin = 0;
+  if (last_n > 0 && windows.size() > last_n) begin = windows.size() - last_n;
+  std::string out = "{\"retain\":" + std::to_string(retain_) + ",\"windows\":[";
+  char buf[192];
+  for (size_t i = begin; i < windows.size(); ++i) {
+    const MetricsWindow& w = windows[i];
+    if (i != begin) out += ',';
+    out += "{\"at_us\":" + std::to_string(w.at_us) +
+           ",\"interval_us\":" + std::to_string(w.interval_us);
+    out += ",\"counter_deltas\":{";
+    bool first = true;
+    for (const auto& [name, d] : w.counter_deltas) {
+      if (d == 0) continue;  // absolute state is one STATS call away
+      if (!first) out += ',';
+      first = false;
+      out += '"' + name + "\":" + std::to_string(d);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : w.gauges) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", name.c_str(), v);
+      out += buf;
+    }
+    out += "},\"histogram_deltas\":{";
+    first = true;
+    for (const auto& [name, d] : w.histogram_deltas) {
+      if (d.count == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "\"%s\":{\"count\":%llu,\"sum\":%.3f,\"p50\":%.3f,"
+                    "\"p99\":%.3f}",
+                    name.c_str(), static_cast<unsigned long long>(d.count),
+                    d.sum, d.p50, d.p99);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsTimeSeries& GlobalTimeSeries() {
+  static MetricsTimeSeries* series =
+      new MetricsTimeSeries(&GlobalMetrics(), /*retain=*/120);
+  return *series;
+}
+
+}  // namespace obs
+}  // namespace idba

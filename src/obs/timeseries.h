@@ -1,0 +1,94 @@
+// Time-series view of a MetricsRegistry: periodic whole-registry snapshots
+// with per-window deltas and rates.
+//
+// Cumulative counters and histograms answer "how much since the process
+// started"; operators and dashboards need "how much per second, right now,
+// and which way is it trending". A MetricsTimeSeries snapshots the whole
+// registry on each Tick() (driven by idba_serve's --metrics-interval
+// thread), computes counter deltas, per-window histogram count/sum deltas
+// and per-window percentiles (from bucket-count deltas — the only way to
+// get a p99 of *this* window out of a cumulative histogram), and retains
+// the last `retain` windows in a ring. The METRICS admin RPC (format 2)
+// serves the ring as JSON; idba_top computes the same deltas client-side
+// from successive Prometheus scrapes, so the two always agree on method.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace idba {
+namespace obs {
+
+/// One retained window: absolute values plus deltas vs the previous tick.
+struct MetricsWindow {
+  int64_t at_us = 0;        ///< obs::NowUs() at the tick
+  int64_t interval_us = 0;  ///< gap to the previous tick (0 on the first)
+  std::map<std::string, uint64_t> counters;        ///< absolute
+  std::map<std::string, uint64_t> counter_deltas;  ///< this window only
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;  ///< cumulative
+
+  /// Per-window histogram activity, reconstructed from bucket deltas.
+  struct HistDelta {
+    uint64_t count = 0;  ///< records in this window
+    double sum = 0;
+    double p50 = 0;  ///< of this window's records (bucket-interpolated)
+    double p99 = 0;
+  };
+  std::map<std::string, HistDelta> histogram_deltas;
+};
+
+/// Per-window percentile from two cumulative bucket-count arrays (current
+/// minus previous). Exposed for idba_top, which performs the identical
+/// computation on parsed Prometheus buckets.
+double PercentileOfDeltas(const std::vector<uint64_t>& cur,
+                          const std::vector<uint64_t>& prev, double q);
+
+/// Thread-safe ring of MetricsWindow snapshots over one registry.
+class MetricsTimeSeries {
+ public:
+  explicit MetricsTimeSeries(MetricsRegistry* reg, size_t retain = 120);
+
+  /// Snapshots the registry now and appends a window (dropping the oldest
+  /// beyond the retention bound). Returns a copy of the new window.
+  MetricsWindow Tick();
+
+  /// Retained windows, oldest first.
+  std::vector<MetricsWindow> Windows() const;
+  size_t window_count() const;
+  size_t retain() const { return retain_; }
+  void Clear();
+
+  /// {"retain":N,"windows":[{"at_us":..,"interval_us":..,
+  ///   "counter_deltas":{..},"gauges":{..},"histogram_deltas":{..}},...]}
+  /// Only metrics active in a window appear in its delta maps (the absolute
+  /// state is one STATS call away); `last_n` = 0 dumps the whole ring.
+  std::string DumpJson(size_t last_n = 0) const;
+
+ private:
+  MetricsRegistry* reg_;
+  size_t retain_;
+
+  mutable std::mutex mu_;
+  std::deque<MetricsWindow> windows_;
+  // Previous-tick state the deltas are computed against.
+  std::map<std::string, uint64_t> prev_counters_;
+  std::map<std::string, std::vector<uint64_t>> prev_buckets_;
+  std::map<std::string, HistogramSnapshot> prev_hists_;
+  int64_t prev_at_us_ = 0;
+  bool have_prev_ = false;
+};
+
+/// The process-wide series over GlobalMetrics, ticked by idba_serve's
+/// metrics thread and served by the METRICS admin RPC.
+MetricsTimeSeries& GlobalTimeSeries();
+
+}  // namespace obs
+}  // namespace idba

@@ -86,4 +86,11 @@ std::vector<ClientId> CallbackManager::CopyHolders(Oid oid) const {
   return out;
 }
 
+std::map<ClientId, size_t> CallbackManager::CopyCountsByClient() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<ClientId, size_t> out;
+  for (const auto& [client, oids] : by_client_) out[client] = oids.size();
+  return out;
+}
+
 }  // namespace idba

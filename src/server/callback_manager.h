@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,6 +56,10 @@ class CallbackManager {
 
   /// Clients currently holding a copy of `oid`.
   std::vector<ClientId> CopyHolders(Oid oid) const;
+
+  /// Registered-copy count per client (the server's view of each client's
+  /// object-cache population), sorted by client id. For the CACHES RPC.
+  std::map<ClientId, size_t> CopyCountsByClient() const;
 
   uint64_t callbacks_issued() const { return callbacks_.Get(); }
 

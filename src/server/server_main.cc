@@ -23,7 +23,11 @@
 //                     0 disables)
 //   --metrics-interval SECS
 //                     print a STATS JSON document to stdout every SECS
-//                     seconds (one document per line)
+//                     seconds (one document per line); also sets the
+//                     time-series snapshot cadence (default 5 s without it)
+//   --prom-port N     serve Prometheus text exposition on
+//                     http://<bind>:N/metrics (0 = ephemeral, printed on
+//                     stdout; omit the flag for no HTTP endpoint)
 //   --max-queue N     per-connection request-queue bound; beyond it the
 //                     reader rejects REQUESTs with Status::Overloaded and
 //                     a retry-after hint (default 256, 0 = unbounded)
@@ -48,6 +52,8 @@
 
 #include "core/session.h"
 #include "net/tcp_server.h"
+#include "obs/prom_http.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace {
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   std::string bind_host = "127.0.0.1";
   long idle_timeout_ms = 0;
   long metrics_interval_s = 0;
+  long prom_port = -1;  // -1 = no HTTP endpoint
   long slow_rpc_ms = 250;
   bool trace = false;
   long trace_every = 1;
@@ -94,6 +101,8 @@ int main(int argc, char** argv) {
       slow_rpc_ms = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
       metrics_interval_s = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--prom-port") == 0 && i + 1 < argc) {
+      prom_port = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
       max_queue = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
@@ -115,7 +124,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--port N] [--bind ADDR] [--idle-timeout MS] "
                    "[--eager] [--early-notify] [--integrated] [--trace [N]] "
                    "[--slow-rpc-ms N] [--metrics-interval SECS] "
-                   "[--max-queue N] [--max-inflight N] "
+                   "[--prom-port N] [--max-queue N] [--max-inflight N] "
                    "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
@@ -157,23 +166,40 @@ int main(int argc, char** argv) {
               transport.port());
   std::fflush(stdout);
 
+  idba::obs::PromHttpServer prom_server;
+  if (prom_port >= 0) {
+    st = prom_server.Start(static_cast<uint16_t>(prom_port), bind_host);
+    if (!st.ok()) {
+      std::fprintf(stderr, "idba_serve: %s\n", st.ToString().c_str());
+      transport.Stop();
+      return 1;
+    }
+    std::printf("idba_serve prometheus on http://%s:%u/metrics\n",
+                bind_host.c_str(), prom_server.port());
+    std::fflush(stdout);
+  }
+
+  // One thread drives both periodic jobs: the time-series ring always ticks
+  // (METRICS format 2 and idba_top trends need windows even when nothing is
+  // printed), and the STATS JSON line prints only when asked.
+  const long tick_interval_s = metrics_interval_s > 0 ? metrics_interval_s : 5;
   std::atomic<bool> dump_stop{false};
-  std::thread dump_thread;
-  if (metrics_interval_s > 0) {
-    dump_thread = std::thread([&] {
-      // Sleep in short slices so shutdown is not delayed a full interval.
-      int64_t elapsed_ms = 0;
-      while (!dump_stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        elapsed_ms += 50;
-        if (elapsed_ms < metrics_interval_s * 1000) continue;
-        elapsed_ms = 0;
+  std::thread dump_thread([&] {
+    // Sleep in short slices so shutdown is not delayed a full interval.
+    int64_t elapsed_ms = 0;
+    while (!dump_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      elapsed_ms += 50;
+      if (elapsed_ms < tick_interval_s * 1000) continue;
+      elapsed_ms = 0;
+      idba::obs::GlobalTimeSeries().Tick();
+      if (metrics_interval_s > 0) {
         std::string json = transport.StatsJson();
         std::printf("%s\n", json.c_str());
         std::fflush(stdout);
       }
-    });
-  }
+    }
+  });
 
   sem_init(&g_stop_sem, 0, 0);
   std::signal(SIGINT, HandleStop);
@@ -185,6 +211,7 @@ int main(int argc, char** argv) {
     dump_stop.store(true, std::memory_order_relaxed);
     dump_thread.join();
   }
+  prom_server.Stop();
 
   std::printf("idba_serve: shutting down (%llu requests, %llu bytes in, "
               "%llu bytes out)\n",

@@ -8,6 +8,18 @@ BufferPool::BufferPool(Disk* disk, BufferPoolOptions opts)
     : disk_(disk), opts_(opts), frames_(opts.frame_count) {
   free_list_.reserve(opts.frame_count);
   for (size_t i = opts.frame_count; i > 0; --i) free_list_.push_back(i - 1);
+  // Canonical "page cache" level of the paper's memory hierarchy; the
+  // registry aggregates across pools, per-instance accessors stay exact.
+  MetricsRegistry& reg = GlobalMetrics();
+  hits_.BindGlobal(reg.GetCounter("cache.page.hits"));
+  misses_.BindGlobal(reg.GetCounter("cache.page.misses"));
+  evictions_.BindGlobal(reg.GetCounter("cache.page.evictions"));
+  resident_gauge_ = ScopedGauge(&reg, "cache.page.resident_frames",
+                                [this] { return double(Stats().resident); });
+  dirty_gauge_ = ScopedGauge(&reg, "cache.page.dirty_frames",
+                             [this] { return double(Stats().dirty); });
+  pinned_gauge_ = ScopedGauge(&reg, "cache.page.pinned_frames",
+                              [this] { return double(Stats().pinned); });
 }
 
 BufferPool::~BufferPool() { (void)FlushAll(); }
@@ -113,6 +125,19 @@ Status BufferPool::FlushAll() {
     }
   }
   return disk_->Sync();
+}
+
+BufferPool::PoolStats BufferPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats s;
+  s.frame_count = opts_.frame_count;
+  for (const Frame& f : frames_) {
+    if (!f.valid) continue;
+    ++s.resident;
+    if (f.dirty) ++s.dirty;
+    if (f.pin_count > 0) ++s.pinned;
+  }
+  return s;
 }
 
 void BufferPool::DropAllNoFlush() {

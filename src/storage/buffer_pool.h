@@ -50,6 +50,16 @@ class BufferPool {
   uint64_t evictions() const { return evictions_.Get(); }
   size_t frame_count() const { return opts_.frame_count; }
 
+  /// Occupancy view for the CACHES admin RPC: how many frames hold a valid
+  /// page, how many of those are dirty (unwritten), how many are pinned.
+  struct PoolStats {
+    size_t frame_count = 0;
+    size_t resident = 0;
+    size_t dirty = 0;
+    size_t pinned = 0;
+  };
+  PoolStats Stats() const;
+
  private:
   friend class PageGuard;
 
@@ -73,7 +83,10 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;        // front = least recently used
   std::vector<size_t> free_list_;
-  Counter hits_, misses_, evictions_;
+  MirroredCounter hits_, misses_, evictions_;
+  // Declared last: gauges unregister (and stop touching frames_) before any
+  // other member is torn down.
+  ScopedGauge resident_gauge_, dirty_gauge_, pinned_gauge_;
 };
 
 class PageGuard {

@@ -4,11 +4,15 @@
 
 namespace idba {
 
-namespace {
-void CountMiss(IoStats* io, bool missed) {
-  if (io != nullptr && missed) ++io->page_misses;
+HeapStore::HeapStore(BufferPool* pool) : pool_(pool) {
+  page_misses_.BindGlobal(GlobalMetrics().GetCounter("storage.heap.page_misses"));
 }
-}  // namespace
+
+void HeapStore::CountMiss(IoStats* io, bool missed) const {
+  if (!missed) return;
+  if (io != nullptr) ++io->page_misses;
+  page_misses_.Add();
+}
 
 Result<std::unique_ptr<HeapStore>> HeapStore::Open(BufferPool* pool,
                                                    PageId data_page_count) {

@@ -24,6 +24,9 @@ struct ObjectLocation {
 };
 
 /// Per-operation physical I/O accounting, fed into the virtual cost chain.
+/// The same misses also accumulate in the registered counter
+/// storage.heap.page_misses (and per-store HeapStore::page_misses()), so
+/// exporters see them without threading IoStats through every call site.
 struct IoStats {
   int page_misses = 0;  ///< pages that required a physical read
 };
@@ -60,9 +63,13 @@ class HeapStore {
   /// Every OID in the heap.
   std::vector<Oid> AllOids() const;
 
+  uint64_t page_misses() const { return page_misses_.Get(); }
+
  private:
-  explicit HeapStore(BufferPool* pool) : pool_(pool) {}
+  explicit HeapStore(BufferPool* pool);
   Status InsertLocked(const DatabaseObject& obj, IoStats* io);
+  /// Charges a miss to the per-op IoStats (if any) and the counters.
+  void CountMiss(IoStats* io, bool missed) const;
 
   BufferPool* pool_;
   mutable std::mutex mu_;
@@ -70,6 +77,7 @@ class HeapStore {
   // Pages with at least ~25% free space, candidates for inserts.
   std::vector<PageId> pages_with_space_;
   PageId next_page_ = 0;
+  mutable MirroredCounter page_misses_;  ///< mirrors storage.heap.page_misses
 };
 
 }  // namespace idba

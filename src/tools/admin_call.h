@@ -1,0 +1,68 @@
+// Shared admin-RPC helper for the operator CLIs (idba_stat, idba_top).
+//
+// Admin methods (STATS, METRICS, LOCKS, CACHES, TRACE_DUMP) are callable
+// on a fresh connection without a Hello handshake and are exempt from
+// admission-control shedding, so these tools can be pointed at a loaded
+// production server without perturbing session state.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace idba {
+namespace tools {
+
+/// One admin RPC on `sock`: request payload is method | client_vtime |
+/// method body; response is [TraceInfo] status | completion | body.
+/// `seq` must be unique per in-flight request on the connection; callers
+/// issuing repeated calls (watch loops) should increment it.
+inline Status AdminCall(Socket& sock, wire::Method method,
+                        const std::vector<uint8_t>& method_body,
+                        std::string* out, uint64_t seq = 1) {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU8(static_cast<uint8_t>(method));
+  enc.PutI64(0);  // client vtime: admin calls are unmetered
+  payload.insert(payload.end(), method_body.begin(), method_body.end());
+  std::mutex write_mu;
+  IDBA_RETURN_NOT_OK(
+      sock.WriteFrame(write_mu, wire::FrameType::kRequest, seq, payload));
+  wire::FrameHeader header;
+  std::vector<uint8_t> resp;
+  // Skip any NOTIFY/CALLBACK frames the server might interleave (none are
+  // expected pre-Hello, but be robust).
+  for (;;) {
+    IDBA_RETURN_NOT_OK(sock.ReadFrame(&header, &resp));
+    if (header.type == wire::FrameType::kResponse) break;
+  }
+  Decoder dec(resp.data(), resp.size());
+  if (header.traced) {
+    wire::TraceInfo ignored;
+    IDBA_RETURN_NOT_OK(wire::DecodeTraceInfo(&dec, &ignored));
+  }
+  Status st;
+  IDBA_RETURN_NOT_OK(wire::DecodeStatus(&dec, &st));
+  IDBA_RETURN_NOT_OK(st);
+  int64_t completion = 0;
+  IDBA_RETURN_NOT_OK(dec.GetI64(&completion));
+  return dec.GetString(out);
+}
+
+/// Splits "host:port" (port mandatory). Returns false on malformed input.
+inline bool SplitHostPort(const std::string& connect, std::string* host,
+                          uint16_t* port) {
+  auto colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos) return false;
+  *host = connect.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+  return true;
+}
+
+}  // namespace tools
+}  // namespace idba

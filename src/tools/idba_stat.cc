@@ -1,11 +1,20 @@
 // idba_stat: live introspection CLI for a running idba_serve.
 //
-// Speaks the raw wire protocol (no Hello handshake: STATS and TRACE_DUMP
-// are admin methods callable on a fresh connection), so it never perturbs
-// session state — it can be pointed at a production server mid-run.
+// Speaks the raw wire protocol (no Hello handshake: STATS, METRICS, LOCKS,
+// CACHES and TRACE_DUMP are admin methods callable on a fresh connection),
+// so it never perturbs session state — it can be pointed at a production
+// server mid-run.
 //
 //   ./idba_stat --connect 127.0.0.1:7450            # human-readable stats
-//   ./idba_stat --connect 127.0.0.1:7450 --json     # machine-readable JSON
+//   ./idba_stat --connect 127.0.0.1:7450 --json     # raw MetricsRegistry
+//                                    # DumpJson (counters/gauges/histograms)
+//   ./idba_stat --connect 127.0.0.1:7450 --stats-json
+//                                    # transport/session STATS document
+//   ./idba_stat --connect 127.0.0.1:7450 --locks    # lock-table dump (JSON)
+//   ./idba_stat --connect 127.0.0.1:7450 --caches   # cache-hierarchy dump
+//   ./idba_stat --connect 127.0.0.1:7450 --prom     # Prometheus exposition
+//   ./idba_stat --connect 127.0.0.1:7450 --watch 2  # repeat every 2 s,
+//                                    # printing per-interval deltas/rates
 //   ./idba_stat --connect 127.0.0.1:7450 --trace trace.json
 //                                    # dump the server's span ring as a
 //                                    # Chrome trace (load in about://tracing)
@@ -16,59 +25,88 @@
 // (with trace ids), trace-recorder occupancy, and every registered
 // counter/histogram (rpc.* latency decompositions, display.staleness_vtime,
 // storage/txn counters, ...).
+//
+// --watch computes deltas from the Prometheus exposition (the same bytes a
+// scraper sees): counters print as rates, gauges as current values, and
+// histograms as per-window p50/p99.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "net/socket.h"
-#include "net/wire.h"
+#include "tools/admin_call.h"
+#include "tools/prom_text.h"
 
 namespace {
 
-using idba::Decoder;
 using idba::Encoder;
 using idba::Socket;
 using idba::Status;
-
-// One admin RPC on `sock`: request payload is method | client_vtime |
-// method body; response is [TraceInfo] status | completion | body.
-Status AdminCall(Socket& sock, idba::wire::Method method,
-                 const std::vector<uint8_t>& method_body, std::string* out) {
-  std::vector<uint8_t> payload;
-  Encoder enc(&payload);
-  enc.PutU8(static_cast<uint8_t>(method));
-  enc.PutI64(0);  // client vtime: admin calls are unmetered
-  payload.insert(payload.end(), method_body.begin(), method_body.end());
-  std::mutex write_mu;
-  IDBA_RETURN_NOT_OK(sock.WriteFrame(write_mu, idba::wire::FrameType::kRequest,
-                                     /*seq=*/1, payload));
-  idba::wire::FrameHeader header;
-  std::vector<uint8_t> resp;
-  // Skip any NOTIFY/CALLBACK frames the server might interleave (none are
-  // expected pre-Hello, but be robust).
-  for (;;) {
-    IDBA_RETURN_NOT_OK(sock.ReadFrame(&header, &resp));
-    if (header.type == idba::wire::FrameType::kResponse) break;
-  }
-  Decoder dec(resp.data(), resp.size());
-  if (header.traced) {
-    idba::wire::TraceInfo ignored;
-    IDBA_RETURN_NOT_OK(idba::wire::DecodeTraceInfo(&dec, &ignored));
-  }
-  Status st;
-  IDBA_RETURN_NOT_OK(idba::wire::DecodeStatus(&dec, &st));
-  IDBA_RETURN_NOT_OK(st);
-  int64_t completion = 0;
-  IDBA_RETURN_NOT_OK(dec.GetI64(&completion));
-  return dec.GetString(out);
-}
+using idba::tools::AdminCall;
+using idba::tools::ExtractHistogram;
+using idba::tools::ParsePromText;
+using idba::tools::PromHistogram;
+using idba::tools::PromSamples;
+using idba::tools::QuantileOfDelta;
 
 int Fail(const Status& st, const char* what) {
   std::fprintf(stderr, "idba_stat: %s: %s\n", what, st.ToString().c_str());
   return 1;
+}
+
+/// One --watch report: counters as rates over the interval, gauges as
+/// levels, histograms as per-window p50/p99. Series idle this interval are
+/// suppressed so the output tracks what the server is actually doing.
+void PrintWatchReport(const PromSamples& cur, const PromSamples& prev,
+                      double interval_s) {
+  std::printf("--- %.0fs window ---\n", interval_s);
+  bool any = false;
+  for (const auto& [key, value] : cur) {
+    // Counters: exporter suffixes them _total. Histogram _bucket/_count/_sum
+    // series are folded into the histogram report below.
+    if (key.size() > 6 && key.compare(key.size() - 6, 6, "_total") == 0 &&
+        key.find("_bucket{") == std::string::npos) {
+      auto it = prev.find(key);
+      const double before = it == prev.end() ? 0 : it->second;
+      const double delta = value - before;
+      if (delta <= 0) continue;
+      std::printf("%-56s %12.0f  (%.1f/s)\n", key.c_str(), delta,
+                  delta / interval_s);
+      any = true;
+    }
+  }
+  // Histograms: find each base via its _count series.
+  for (const auto& [key, value] : cur) {
+    if (key.size() <= 6 || key.compare(key.size() - 6, 6, "_count") != 0 ||
+        key.find('{') != std::string::npos) {
+      continue;
+    }
+    const std::string base = key.substr(0, key.size() - 6);
+    const PromHistogram ch = ExtractHistogram(cur, base);
+    const PromHistogram ph = ExtractHistogram(prev, base);
+    if (ch.count <= ph.count) continue;  // idle this window
+    const double p50 = QuantileOfDelta(ch, ph, 0.50);
+    const double p99 = QuantileOfDelta(ch, ph, 0.99);
+    std::printf("%-56s %12llu  p50=%.0f p99=%.0f\n", base.c_str(),
+                static_cast<unsigned long long>(ch.count - ph.count), p50, p99);
+    any = true;
+  }
+  // Gauges: no _total suffix, no histogram suffix, no labels.
+  for (const auto& [key, value] : cur) {
+    if (key.find('{') != std::string::npos) continue;
+    if (key.size() > 6 && key.compare(key.size() - 6, 6, "_total") == 0) continue;
+    if (key.size() > 6 && key.compare(key.size() - 6, 6, "_count") == 0) continue;
+    if (key.size() > 4 && key.compare(key.size() - 4, 4, "_sum") == 0) continue;
+    if (value == 0) continue;
+    std::printf("%-56s %12.9g  (gauge)\n", key.c_str(), value);
+    any = true;
+  }
+  if (!any) std::printf("(idle)\n");
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -76,7 +114,13 @@ int Fail(const Status& st, const char* what) {
 int main(int argc, char** argv) {
   std::string connect;
   bool json = false;
+  bool stats_json = false;
+  bool locks = false;
+  bool caches = false;
+  bool prom = false;
   bool clear = false;
+  long watch_s = 0;
+  long watch_count = 0;  // 0 = until interrupted
   std::string trace_path;
   uint8_t trace_format = 0;  // 0 = chrome, 1 = jsonl
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +128,22 @@ int main(int argc, char** argv) {
       connect = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      stats_json = true;
+    } else if (std::strcmp(argv[i], "--locks") == 0) {
+      locks = true;
+    } else if (std::strcmp(argv[i], "--caches") == 0) {
+      caches = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch_s = std::atol(argv[++i]);
+      if (watch_s <= 0) {
+        std::fprintf(stderr, "idba_stat: --watch needs a positive interval\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--watch-count") == 0 && i + 1 < argc) {
+      watch_count = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
       trace_format = 0;
@@ -94,34 +154,76 @@ int main(int argc, char** argv) {
       clear = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s --connect HOST:PORT [--json] "
-                   "[--trace FILE | --trace-jsonl FILE] [--clear]\n",
+                   "usage: %s --connect HOST:PORT [--json | --stats-json | "
+                   "--locks | --caches | --prom] [--watch SECS "
+                   "[--watch-count N]] [--trace FILE | --trace-jsonl FILE] "
+                   "[--clear]\n",
                    argv[0]);
       return 2;
     }
   }
-  auto colon = connect.rfind(':');
-  if (connect.empty() || colon == std::string::npos) {
+  std::string host;
+  uint16_t port = 0;
+  if (!idba::tools::SplitHostPort(connect, &host, &port)) {
     std::fprintf(stderr, "idba_stat: --connect HOST:PORT is required\n");
     return 2;
   }
-  std::string host = connect.substr(0, colon);
-  uint16_t port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
 
   auto sock = Socket::ConnectTo(host, port, /*connect_timeout_ms=*/5000);
   if (!sock.ok()) return Fail(sock.status(), "connect");
   Status st = sock.value().SetRecvTimeout(5000);
   if (!st.ok()) return Fail(st, "recv timeout");
 
+  if (watch_s > 0) {
+    PromSamples prev;
+    uint64_t seq = 1;
+    for (long iter = 0; watch_count == 0 || iter <= watch_count; ++iter) {
+      std::vector<uint8_t> body;
+      Encoder enc(&body);
+      enc.PutU8(0);  // METRICS format 0: Prometheus text
+      std::string text;
+      st = AdminCall(sock.value(), idba::wire::Method::kMetrics, body, &text,
+                     seq++);
+      if (!st.ok()) return Fail(st, "METRICS");
+      PromSamples cur = ParsePromText(text);
+      if (iter > 0) {
+        PrintWatchReport(cur, prev, static_cast<double>(watch_s));
+      }
+      prev = std::move(cur);
+      if (watch_count != 0 && iter == watch_count) break;
+      std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+    }
+    return 0;
+  }
+
   if (trace_path.empty()) {
+    idba::wire::Method method = idba::wire::Method::kStats;
     std::vector<uint8_t> body;
     Encoder enc(&body);
-    enc.PutU8(json ? 0 : 1);  // STATS format flag: 0 = json, 1 = text
-    std::string stats;
-    st = AdminCall(sock.value(), idba::wire::Method::kStats, body, &stats);
-    if (!st.ok()) return Fail(st, "STATS");
-    std::fputs(stats.c_str(), stdout);
-    if (stats.empty() || stats.back() != '\n') std::fputc('\n', stdout);
+    const char* what = "STATS";
+    if (json) {
+      method = idba::wire::Method::kMetrics;
+      enc.PutU8(1);  // registry DumpJson passthrough
+      what = "METRICS";
+    } else if (prom) {
+      method = idba::wire::Method::kMetrics;
+      enc.PutU8(0);  // Prometheus text exposition
+      what = "METRICS";
+    } else if (locks) {
+      method = idba::wire::Method::kLocks;
+      enc.PutU8(0);  // default top-K contended OIDs
+      what = "LOCKS";
+    } else if (caches) {
+      method = idba::wire::Method::kCaches;
+      what = "CACHES";
+    } else {
+      enc.PutU8(stats_json ? 0 : 1);  // STATS format flag: 0 = json, 1 = text
+    }
+    std::string out;
+    st = AdminCall(sock.value(), method, body, &out);
+    if (!st.ok()) return Fail(st, what);
+    std::fputs(out.c_str(), stdout);
+    if (out.empty() || out.back() != '\n') std::fputc('\n', stdout);
     return 0;
   }
 

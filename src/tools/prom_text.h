@@ -1,0 +1,150 @@
+// Minimal parser for the Prometheus text exposition format, used by the
+// operator CLIs (idba_stat --watch, idba_top) to consume the METRICS admin
+// RPC. The CLIs deliberately dogfood the same bytes a scraper sees over
+// --prom-port, so any exposition bug is visible interactively too.
+//
+// Only what the exporter emits is supported: `name value` and
+// `name{le="bound"} value` sample lines plus `#`-prefixed comment lines.
+// Histograms are reassembled from their `_bucket`/`_sum`/`_count` series.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace idba {
+namespace tools {
+
+/// Flat sample map keyed by the full series name including its label set,
+/// verbatim as exposed (e.g. `idba_rpc_Fetch_total_us_bucket{le="512"}`).
+using PromSamples = std::map<std::string, double>;
+
+inline PromSamples ParsePromText(const std::string& text) {
+  PromSamples out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol > pos && text[pos] != '#') {
+      const std::string line = text.substr(pos, eol - pos);
+      // The value is everything after the last space; labels may contain
+      // escaped quotes but never a raw space in this exporter's output.
+      size_t sp = line.rfind(' ');
+      if (sp != std::string::npos && sp > 0) {
+        const std::string key = line.substr(0, sp);
+        char* end = nullptr;
+        const std::string val = line.substr(sp + 1);
+        double v = std::strtod(val.c_str(), &end);
+        if (val == "+Inf") v = HUGE_VAL;
+        if (end != val.c_str()) out[key] = v;
+      }
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+/// One histogram reassembled from its exposition series. Bucket counts are
+/// cumulative (as exposed); `bounds[i]` is the `le` upper bound, with the
+/// final +Inf bucket always last when present.
+struct PromHistogram {
+  std::vector<double> bounds;
+  std::vector<uint64_t> cumulative;
+  uint64_t count = 0;
+  double sum = 0;
+  bool found = false;
+};
+
+/// Extracts histogram `base` (e.g. "idba_rpc_Fetch_total_us") from a parsed
+/// sample map. Buckets arrive in ascending `le` order because the exporter
+/// writes them that way and std::map orders keys; `le` values are compared
+/// numerically below to be safe.
+inline PromHistogram ExtractHistogram(const PromSamples& samples,
+                                      const std::string& base) {
+  PromHistogram h;
+  const std::string bucket_prefix = base + "_bucket{le=\"";
+  std::vector<std::pair<double, uint64_t>> buckets;
+  for (auto it = samples.lower_bound(bucket_prefix);
+       it != samples.end() && it->first.compare(0, bucket_prefix.size(),
+                                                bucket_prefix) == 0;
+       ++it) {
+    const std::string le =
+        it->first.substr(bucket_prefix.size(),
+                         it->first.size() - bucket_prefix.size() - 2);
+    const double bound = le == "+Inf" ? HUGE_VAL : std::atof(le.c_str());
+    buckets.emplace_back(bound, static_cast<uint64_t>(it->second));
+  }
+  std::sort(buckets.begin(), buckets.end());
+  for (const auto& [bound, cum] : buckets) {
+    h.bounds.push_back(bound);
+    h.cumulative.push_back(cum);
+  }
+  auto cnt = samples.find(base + "_count");
+  auto sum = samples.find(base + "_sum");
+  if (cnt != samples.end()) h.count = static_cast<uint64_t>(cnt->second);
+  if (sum != samples.end()) h.sum = sum->second;
+  h.found = !h.bounds.empty() || cnt != samples.end();
+  return h;
+}
+
+/// Quantile (q in [0,1]) of the events recorded *between* two scrapes of
+/// the same histogram: subtracts cumulative bucket counts and walks the
+/// per-window distribution. Interpolates linearly inside the winning
+/// bucket; the open-ended +Inf bucket reports its lower bound. Pass an
+/// empty `prev` (default PromHistogram) for an all-time quantile. Returns
+/// 0 when the window recorded nothing.
+inline double QuantileOfDelta(const PromHistogram& cur,
+                              const PromHistogram& prev, double q) {
+  if (cur.bounds.empty()) return 0;
+  std::vector<uint64_t> delta(cur.bounds.size(), 0);
+  uint64_t total = 0;
+  uint64_t prev_cum_cur = 0;
+  for (size_t i = 0; i < cur.bounds.size(); ++i) {
+    uint64_t cur_in_bucket = cur.cumulative[i] - prev_cum_cur;
+    prev_cum_cur = cur.cumulative[i];
+    uint64_t prev_in_bucket = 0;
+    // Match prev's bucket by bound (the exporter omits all-zero tail
+    // buckets, so the two scrapes may expose different bucket lists).
+    for (size_t j = 0; j < prev.bounds.size(); ++j) {
+      if (prev.bounds[j] == cur.bounds[i]) {
+        prev_in_bucket = prev.cumulative[j] - (j == 0 ? 0 : prev.cumulative[j - 1]);
+        break;
+      }
+    }
+    delta[i] = cur_in_bucket >= prev_in_bucket ? cur_in_bucket - prev_in_bucket
+                                               : 0;
+    total += delta[i];
+  }
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i] == 0) continue;
+    if (static_cast<double>(seen + delta[i]) >= target) {
+      const double lo = i == 0 ? 0 : cur.bounds[i - 1];
+      const double hi = cur.bounds[i];
+      if (hi == HUGE_VAL) return lo;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(delta[i]);
+      return lo + (hi - lo) * (frac < 0 ? 0 : frac > 1 ? 1 : frac);
+    }
+    seen += delta[i];
+  }
+  return cur.bounds.back() == HUGE_VAL && cur.bounds.size() > 1
+             ? cur.bounds[cur.bounds.size() - 2]
+             : cur.bounds.back();
+}
+
+/// Sample value or 0 when absent.
+inline double SampleOr0(const PromSamples& s, const std::string& key) {
+  auto it = s.find(key);
+  return it == s.end() ? 0 : it->second;
+}
+
+}  // namespace tools
+}  // namespace idba

@@ -72,7 +72,16 @@ LockMode LockSupremum(LockMode a, LockMode b) {
   return rank(a) >= rank(b) ? a : b;
 }
 
-LockManager::LockManager(LockManagerOptions opts) : opts_(opts) {}
+LockManager::LockManager(LockManagerOptions opts) : opts_(opts) {
+  // Per-instance accessors (grants() etc.) stay exact; the registry sees
+  // the canonical aggregate across all lock managers in the process.
+  MetricsRegistry& reg = GlobalMetrics();
+  grants_.BindGlobal(reg.GetCounter("txn.lock.grants"));
+  waits_.BindGlobal(reg.GetCounter("txn.lock.waits"));
+  deadlocks_.BindGlobal(reg.GetCounter("txn.lock.deadlocks"));
+  timeouts_.BindGlobal(reg.GetCounter("txn.lock.timeouts"));
+  wait_hist_ = reg.GetHistogram("txn.lock.wait_us");
+}
 
 Status LockManager::Lock(LockOwnerId owner, Oid oid, LockMode mode) {
   return LockInternal(owner, oid, mode, /*blocking=*/true);
@@ -205,7 +214,9 @@ Status LockManager::LockInternal(LockOwnerId owner, Oid oid, LockMode mode,
 
   waits_.Add();
   IDBA_TRACE_SPAN("txn.lock_wait");
-  q.waiting.push_back(Waiter{owner, effective, held != LockMode::kNL, ticket});
+  const int64_t wait_start_us = obs::NowUs();
+  q.waiting.push_back(
+      Waiter{owner, effective, held != LockMode::kNL, ticket, wait_start_us});
   waiting_requests_[owner] = {oid, effective};
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(opts_.wait_timeout_ms);
@@ -215,6 +226,7 @@ Status LockManager::LockInternal(LockOwnerId owner, Oid oid, LockMode mode,
     if (CanGrantLocked(cur, owner, effective, ticket)) {
       RemoveWaiterLocked(cur, owner, ticket);
       waiting_requests_.erase(owner);
+      NoteWaitEndLocked(oid, wait_start_us);
       GrantLocked(cur, owner, effective);
       owner_locks_[owner].insert(oid);
       cv_.notify_all();
@@ -224,11 +236,21 @@ Status LockManager::LockInternal(LockOwnerId owner, Oid oid, LockMode mode,
       Queue& cur2 = table_[oid];
       RemoveWaiterLocked(cur2, owner, ticket);
       waiting_requests_.erase(owner);
+      NoteWaitEndLocked(oid, wait_start_us);
       timeouts_.Add();
       cv_.notify_all();
       return Status::TimedOut("lock wait on " + oid.ToString());
     }
   }
+}
+
+void LockManager::NoteWaitEndLocked(const Oid& oid, int64_t wait_start_us) {
+  const int64_t waited = std::max<int64_t>(obs::NowUs() - wait_start_us, 0);
+  auto& [cum_us, count] = contention_[oid];
+  cum_us += static_cast<uint64_t>(waited);
+  count += 1;
+  // Histogram shard locks nest inside mu_ and never call back out.
+  if (wait_hist_ != nullptr) wait_hist_->Record(static_cast<double>(waited));
 }
 
 Status LockManager::Unlock(LockOwnerId owner, Oid oid) {
@@ -301,6 +323,49 @@ std::vector<LockOwnerId> LockManager::Holders(Oid oid) const {
 size_t LockManager::LockedObjectCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return table_.size();
+}
+
+LockManager::TableDump LockManager::DumpTable(size_t top_k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableDump dump;
+  const int64_t now = obs::NowUs();
+  dump.entries.reserve(table_.size());
+  for (const auto& [oid, q] : table_) {
+    TableDump::Entry e;
+    e.oid = oid;
+    e.granted.reserve(q.granted.size());
+    for (const Held& h : q.granted) {
+      e.granted.push_back(TableDump::HeldEntry{h.owner, h.mode});
+    }
+    for (const Waiter& w : q.waiting) {
+      e.waiting.push_back(TableDump::WaiterEntry{
+          w.owner, w.mode, w.is_upgrade,
+          std::max<int64_t>(now - w.wait_start_us, 0)});
+      // Direct blockers only — the same edges WouldDeadlockLocked expands.
+      for (const Held& h : q.granted) {
+        if (h.owner != w.owner && !LockCompatible(h.mode, w.mode)) {
+          dump.wait_edges.push_back(TableDump::Edge{w.owner, h.owner, oid});
+        }
+      }
+    }
+    dump.entries.push_back(std::move(e));
+  }
+  std::sort(dump.entries.begin(), dump.entries.end(),
+            [](const TableDump::Entry& a, const TableDump::Entry& b) {
+              return a.oid < b.oid;
+            });
+  dump.top_contended.reserve(contention_.size());
+  for (const auto& [oid, cw] : contention_) {
+    dump.top_contended.push_back(TableDump::HotOid{oid, cw.first, cw.second});
+  }
+  std::sort(dump.top_contended.begin(), dump.top_contended.end(),
+            [](const TableDump::HotOid& a, const TableDump::HotOid& b) {
+              return a.cumulative_wait_us != b.cumulative_wait_us
+                         ? a.cumulative_wait_us > b.cumulative_wait_us
+                         : a.oid < b.oid;
+            });
+  if (dump.top_contended.size() > top_k) dump.top_contended.resize(top_k);
+  return dump;
 }
 
 }  // namespace idba

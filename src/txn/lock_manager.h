@@ -95,6 +95,44 @@ class LockManager {
   uint64_t deadlocks() const { return deadlocks_.Get(); }
   uint64_t timeouts() const { return timeouts_.Get(); }
 
+  /// Deep point-in-time view of the lock table for the LOCKS admin RPC and
+  /// idba_stat: per-OID holders and waiters (with how long each has waited
+  /// so far), the waits-for edges among them, and the all-time top-K OIDs
+  /// by cumulative wall-clock wait (contention survives entry removal, so
+  /// the hot list reflects history, not just the current instant).
+  struct TableDump {
+    struct HeldEntry {
+      LockOwnerId owner = 0;
+      LockMode mode = LockMode::kNL;
+    };
+    struct WaiterEntry {
+      LockOwnerId owner = 0;
+      LockMode mode = LockMode::kNL;
+      bool is_upgrade = false;
+      int64_t waited_us = 0;  ///< so far, at dump time
+    };
+    struct Entry {
+      Oid oid;
+      std::vector<HeldEntry> granted;
+      std::vector<WaiterEntry> waiting;
+    };
+    /// `waiter` is blocked (directly) behind `holder`'s grant on `oid`.
+    struct Edge {
+      LockOwnerId waiter = 0;
+      LockOwnerId holder = 0;
+      Oid oid;
+    };
+    struct HotOid {
+      Oid oid;
+      uint64_t cumulative_wait_us = 0;
+      uint64_t waits = 0;
+    };
+    std::vector<Entry> entries;       ///< sorted by oid
+    std::vector<Edge> wait_edges;
+    std::vector<HotOid> top_contended;  ///< by cumulative wait, descending
+  };
+  TableDump DumpTable(size_t top_k = 10) const;
+
  private:
   struct Held {
     LockOwnerId owner;
@@ -105,6 +143,7 @@ class LockManager {
     LockMode mode;
     bool is_upgrade;
     uint64_t ticket;  // FIFO ordering
+    int64_t wait_start_us;
   };
   struct Queue {
     std::vector<Held> granted;
@@ -118,6 +157,7 @@ class LockManager {
   void GrantLocked(Queue& q, LockOwnerId owner, LockMode mode);
   bool WouldDeadlockLocked(LockOwnerId requester, const Oid& oid, LockMode mode) const;
   void RemoveWaiterLocked(Queue& q, LockOwnerId owner, uint64_t ticket);
+  void NoteWaitEndLocked(const Oid& oid, int64_t wait_start_us);
 
   LockManagerOptions opts_;
   mutable std::mutex mu_;
@@ -127,8 +167,13 @@ class LockManager {
   // Each owner thread blocks on at most one request at a time; this map
   // backs the waits-for-graph expansion in WouldDeadlockLocked.
   std::unordered_map<LockOwnerId, std::pair<Oid, LockMode>> waiting_requests_;
+  // Per-OID {cumulative wait us, wait count}, kept after entries vanish so
+  // DumpTable's hot list is historical. One entry per ever-contended OID —
+  // contention is rare enough that this does not need eviction.
+  std::unordered_map<Oid, std::pair<uint64_t, uint64_t>> contention_;
   uint64_t next_ticket_ = 1;
-  Counter grants_, waits_, deadlocks_, timeouts_;
+  MirroredCounter grants_, waits_, deadlocks_, timeouts_;
+  Histogram* wait_hist_ = nullptr;  ///< txn.lock.wait_us in GlobalMetrics
 };
 
 }  // namespace idba

@@ -1,0 +1,245 @@
+// Admin introspection RPCs (METRICS / LOCKS / CACHES) over a real TCP
+// transport: callable pre-Hello on a fresh connection, readable by wire-v1
+// peers (whose decoders never saw TraceInfo or the traced bit), and
+// returning documents that reflect actual server state.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "net/remote_client.h"
+#include "nms/network_model.h"
+#include "net/socket.h"
+#include "net/tcp_server.h"
+#include "net/wire.h"
+#include "tools/prom_text.h"
+
+namespace idba {
+namespace {
+
+class AdminIntrospectTest : public ::testing::Test {
+ protected:
+  void StartServer(DeploymentOptions opts = {}) {
+    deployment_ = std::make_unique<Deployment>(opts);
+    transport_ = std::make_unique<TransportServer>(
+        &deployment_->server(), &deployment_->dlm(), &deployment_->bus(),
+        &deployment_->meter());
+    ASSERT_TRUE(transport_->Start().ok());
+    ASSERT_NE(transport_->port(), 0);
+  }
+
+  void TearDown() override {
+    transport_.reset();
+    deployment_.reset();
+  }
+
+  /// Raw admin call exactly as a v1 peer would issue it: no Hello first,
+  /// no trace bit, body = method | vtime | args. Returns the response
+  /// string payload.
+  std::string RawAdminCall(Socket& sock, wire::Method method,
+                           const std::vector<uint8_t>& args, uint64_t seq) {
+    std::vector<uint8_t> payload;
+    Encoder enc(&payload);
+    enc.PutU8(static_cast<uint8_t>(method));
+    enc.PutI64(0);
+    payload.insert(payload.end(), args.begin(), args.end());
+    std::mutex mu;
+    EXPECT_TRUE(
+        sock.WriteFrame(mu, wire::FrameType::kRequest, seq, payload).ok());
+    wire::FrameHeader header;
+    std::vector<uint8_t> resp;
+    for (;;) {
+      if (!sock.ReadFrame(&header, &resp).ok()) {
+        ADD_FAILURE() << "connection dropped awaiting admin response";
+        return "";
+      }
+      if (header.type == wire::FrameType::kResponse) break;
+    }
+    Decoder dec(resp.data(), resp.size());
+    if (header.traced) {
+      wire::TraceInfo ignored;
+      EXPECT_TRUE(wire::DecodeTraceInfo(&dec, &ignored).ok());
+    }
+    Status st;
+    EXPECT_TRUE(wire::DecodeStatus(&dec, &st).ok());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    int64_t completion = 0;
+    EXPECT_TRUE(dec.GetI64(&completion).ok());
+    std::string out;
+    EXPECT_TRUE(dec.GetString(&out).ok());
+    return out;
+  }
+
+  Socket RawConnect() {
+    Result<Socket> raw = Socket::ConnectTo("127.0.0.1", transport_->port());
+    EXPECT_TRUE(raw.ok());
+    return std::move(raw).value();
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<TransportServer> transport_;
+};
+
+TEST_F(AdminIntrospectTest, MetricsPromTextPreHello) {
+  StartServer();
+  Socket sock = RawConnect();
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(0);  // format 0: Prometheus text
+  const std::string text = RawAdminCall(sock, wire::Method::kMetrics, args, 1);
+  ASSERT_FALSE(text.empty());
+  tools::PromSamples samples = tools::ParsePromText(text);
+  // The canonical cache hierarchy and lock counters registered by the
+  // deployment's component constructors are all present.
+  EXPECT_TRUE(samples.count("idba_cache_page_hits_total"));
+  EXPECT_TRUE(samples.count("idba_cache_display_hits_total"));
+  EXPECT_TRUE(samples.count("idba_cache_display_evictions_total"));
+  EXPECT_TRUE(samples.count("idba_txn_lock_grants_total"));
+  EXPECT_TRUE(samples.count("idba_storage_heap_page_misses_total"));
+  EXPECT_TRUE(samples.count("idba_transport_requests_total"));
+}
+
+TEST_F(AdminIntrospectTest, MetricsJsonFormats) {
+  StartServer();
+  Socket sock = RawConnect();
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(1);  // format 1: registry DumpJson
+  const std::string reg_json =
+      RawAdminCall(sock, wire::Method::kMetrics, args, 1);
+  EXPECT_NE(reg_json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(reg_json.find("\"histograms\""), std::string::npos);
+
+  args.clear();
+  Encoder enc2(&args);
+  enc2.PutU8(2);  // format 2: time-series ring
+  const std::string ts_json =
+      RawAdminCall(sock, wire::Method::kMetrics, args, 2);
+  EXPECT_NE(ts_json.find("\"windows\""), std::string::npos);
+}
+
+TEST_F(AdminIntrospectTest, LocksReflectsHeldAndContendedLocks) {
+  StartServer();
+  // Drive real lock traffic through a remote client so the LOCKS document
+  // reflects genuine LockManager state rather than empty tables.
+  auto client =
+      RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), 100);
+  ASSERT_TRUE(client.ok());
+  ClassId cls = client.value()->DefineClass("Row").value();
+  Oid oid = client.value()->AllocateOid();
+  TxnId t = client.value()->Begin();
+  DatabaseObject obj = NewObject(client.value()->schema(), cls, oid);
+  ASSERT_TRUE(client.value()->Insert(t, obj).ok());
+  // Transaction t holds its insert locks while we snapshot the table.
+  Socket sock = RawConnect();
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(5);  // top_k
+  const std::string locks = RawAdminCall(sock, wire::Method::kLocks, args, 1);
+  EXPECT_NE(locks.find("\"lock_table\""), std::string::npos);
+  EXPECT_NE(locks.find("\"wait_edges\""), std::string::npos);
+  EXPECT_NE(locks.find("\"top_contended\""), std::string::npos);
+  EXPECT_NE(locks.find("\"counters\""), std::string::npos);
+  EXPECT_NE(locks.find("\"granted\""), std::string::npos);
+  ASSERT_TRUE(client.value()->Commit(t).ok());
+}
+
+TEST_F(AdminIntrospectTest, CachesReportsHierarchyAndRegistry) {
+  StartServer();
+  auto client =
+      RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), 100);
+  ASSERT_TRUE(client.ok());
+  ClassId cls = client.value()->DefineClass("Row").value();
+  Oid oid = client.value()->AllocateOid();
+  TxnId t = client.value()->Begin();
+  DatabaseObject obj = NewObject(client.value()->schema(), cls, oid);
+  ASSERT_TRUE(client.value()->Insert(t, obj).ok());
+  ASSERT_TRUE(client.value()->Commit(t).ok());
+
+  Socket sock = RawConnect();
+  const std::string caches =
+      RawAdminCall(sock, wire::Method::kCaches, {}, 1);
+  EXPECT_NE(caches.find("\"page\""), std::string::npos);
+  EXPECT_NE(caches.find("\"dirty_ratio\""), std::string::npos);
+  EXPECT_NE(caches.find("\"object\""), std::string::npos);
+  EXPECT_NE(caches.find("\"display\""), std::string::npos);
+  EXPECT_NE(caches.find("\"registry\""), std::string::npos);
+  EXPECT_NE(caches.find("cache.page.hits"), std::string::npos);
+}
+
+TEST_F(AdminIntrospectTest, WireV1PeerAfterHelloCanIntrospect) {
+  StartServer();
+  Socket sock = RawConnect();
+  // Hello body WITHOUT the trailing version byte — exactly what a wire-v1
+  // client sends. The server must keep serving it, untraced, and admin
+  // methods must still work on the now-identified session.
+  std::vector<uint8_t> hello;
+  Encoder henc(&hello);
+  henc.PutU8(static_cast<uint8_t>(wire::Method::kHello));
+  henc.PutI64(0);
+  henc.PutU64(7);  // client id
+  henc.PutU8(0);   // consistency mode
+  std::mutex mu;
+  ASSERT_TRUE(
+      sock.WriteFrame(mu, wire::FrameType::kRequest, 1, hello).ok());
+  wire::FrameHeader header;
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(sock.ReadFrame(&header, &resp).ok());
+  ASSERT_EQ(header.type, wire::FrameType::kResponse);
+  EXPECT_FALSE(header.traced);  // v1 peers must never see the traced bit
+
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(0);
+  const std::string text = RawAdminCall(sock, wire::Method::kMetrics, args, 2);
+  EXPECT_NE(text.find("idba_transport_requests_total"), std::string::npos);
+  const std::string locks = RawAdminCall(sock, wire::Method::kLocks, {}, 3);
+  EXPECT_NE(locks.find("\"lock_table\""), std::string::npos);
+  const std::string caches = RawAdminCall(sock, wire::Method::kCaches, {}, 4);
+  EXPECT_NE(caches.find("\"page\""), std::string::npos);
+}
+
+TEST_F(AdminIntrospectTest, AdminMethodsExemptFromAdmission) {
+  // A server with max_inflight=0-but-queue-bound still answers admin calls:
+  // they are exempt from shedding so operators can see INTO an overloaded
+  // server. (Exemption list covers kMetrics/kLocks/kCaches.)
+  deployment_ = std::make_unique<Deployment>(DeploymentOptions{});
+  TransportServerOptions opts;
+  opts.max_request_queue = 1;
+  opts.max_inflight = 1;
+  transport_ = std::make_unique<TransportServer>(
+      &deployment_->server(), &deployment_->dlm(), &deployment_->bus(),
+      &deployment_->meter(), opts);
+  ASSERT_TRUE(transport_->Start().ok());
+  Socket sock = RawConnect();
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(0);
+  const std::string text = RawAdminCall(sock, wire::Method::kMetrics, args, 1);
+  EXPECT_NE(text.find("idba_"), std::string::npos);
+}
+
+TEST_F(AdminIntrospectTest, ServerSideRpcHistogramsAppearAfterTraffic) {
+  StartServer();
+  auto client =
+      RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), 100);
+  ASSERT_TRUE(client.ok());
+  (void)client.value()->Begin();
+
+  Socket sock = RawConnect();
+  std::vector<uint8_t> args;
+  Encoder enc(&args);
+  enc.PutU8(0);
+  const std::string text = RawAdminCall(sock, wire::Method::kMetrics, args, 1);
+  tools::PromSamples samples = tools::ParsePromText(text);
+  // The Hello and Begin the client just issued must have recorded
+  // server-side per-opcode histograms.
+  EXPECT_GE(tools::SampleOr0(samples, "idba_rpc_Hello_total_us_count"), 1.0);
+  EXPECT_GE(tools::SampleOr0(samples, "idba_rpc_Begin_total_us_count"), 1.0);
+}
+
+}  // namespace
+}  // namespace idba

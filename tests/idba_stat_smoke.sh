@@ -44,11 +44,49 @@ for section in transport sessions trace metrics; do
   }
 done
 
-"$STAT" --connect "127.0.0.1:$PORT" --json >"$WORKDIR/stats.json"
+# --json is a raw MetricsRegistry::DumpJson passthrough.
+"$STAT" --connect "127.0.0.1:$PORT" --json >"$WORKDIR/metrics.json"
+grep -q '"counters"' "$WORKDIR/metrics.json" || {
+  echo "FAIL: --json missing counters object"; exit 1; }
+grep -q '"histograms"' "$WORKDIR/metrics.json" || {
+  echo "FAIL: --json missing histograms object"; exit 1; }
+
+# --stats-json keeps the transport/session STATS document.
+"$STAT" --connect "127.0.0.1:$PORT" --stats-json >"$WORKDIR/stats.json"
 grep -q '"transport"' "$WORKDIR/stats.json" || {
-  echo "FAIL: JSON report missing transport object"; exit 1; }
+  echo "FAIL: STATS JSON missing transport object"; exit 1; }
 grep -q '"metrics"' "$WORKDIR/stats.json" || {
-  echo "FAIL: JSON report missing metrics object"; exit 1; }
+  echo "FAIL: STATS JSON missing metrics object"; exit 1; }
+
+# --prom serves the Prometheus exposition; cache.* series must be present.
+"$STAT" --connect "127.0.0.1:$PORT" --prom >"$WORKDIR/metrics.prom"
+for series in idba_cache_page_hits_total idba_cache_object_hits_total \
+              idba_cache_display_hits_total idba_txn_lock_grants_total; do
+  grep -q "^$series " "$WORKDIR/metrics.prom" || {
+    echo "FAIL: exposition missing $series"; cat "$WORKDIR/metrics.prom"
+    exit 1
+  }
+done
+
+# --locks / --caches introspection round-trips.
+"$STAT" --connect "127.0.0.1:$PORT" --locks >"$WORKDIR/locks.json"
+grep -q '"lock_table"' "$WORKDIR/locks.json" || {
+  echo "FAIL: --locks missing lock_table"; exit 1; }
+grep -q '"top_contended"' "$WORKDIR/locks.json" || {
+  echo "FAIL: --locks missing top_contended"; exit 1; }
+"$STAT" --connect "127.0.0.1:$PORT" --caches >"$WORKDIR/caches.json"
+grep -q '"page"' "$WORKDIR/caches.json" || {
+  echo "FAIL: --caches missing page tier"; exit 1; }
+grep -q '"dirty_ratio"' "$WORKDIR/caches.json" || {
+  echo "FAIL: --caches missing dirty_ratio"; exit 1; }
+
+# --watch prints one windowed report then exits with --watch-count.
+"$STAT" --connect "127.0.0.1:$PORT" --watch 1 --watch-count 1 \
+  >"$WORKDIR/watch.txt"
+grep -q 'window' "$WORKDIR/watch.txt" || {
+  echo "FAIL: --watch produced no windowed report"; cat "$WORKDIR/watch.txt"
+  exit 1
+}
 
 # The two STATS calls above were themselves traced (sampling on): the trace
 # dump must be a loadable Chrome trace containing server-side spans.

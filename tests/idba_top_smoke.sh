@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke test: idba_top against a live idba_serve.
+#
+#   idba_top_smoke.sh <idba_serve> <idba_top>
+#
+# Starts the server on an ephemeral port, renders one --once frame (totals)
+# and one two-frame --count run (deltas), and checks every dashboard
+# section is present. The METRICS scrapes idba_top issues are themselves
+# RPCs, so the second frame always has at least the Metrics opcode active.
+set -eu
+
+SERVE="$1"
+TOP="$2"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVE" --port 0 >"$WORKDIR/serve.out" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\).*/\1/p' \
+         "$WORKDIR/serve.out" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORKDIR/serve.out"; \
+    echo "FAIL: idba_serve exited early"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: could not find bound port"; exit 1; }
+
+"$TOP" --connect "127.0.0.1:$PORT" --once >"$WORKDIR/once.txt"
+for section in RPC TRANSPORT CACHE LOCKS OVERLOAD; do
+  grep -q "$section" "$WORKDIR/once.txt" || {
+    echo "FAIL: --once frame missing '$section' section:"
+    cat "$WORKDIR/once.txt"
+    exit 1
+  }
+done
+grep -q 'since boot' "$WORKDIR/once.txt" || {
+  echo "FAIL: --once frame is not a totals frame"; exit 1; }
+
+# Two frames, 1 s apart: the second is windowed and must show the Metrics
+# RPC issued by the first frame's own scrape (live deltas, acceptance item).
+"$TOP" --connect "127.0.0.1:$PORT" --interval 1 --count 2 >"$WORKDIR/live.txt"
+grep -q 'window 1s' "$WORKDIR/live.txt" || {
+  echo "FAIL: second frame is not windowed:"; cat "$WORKDIR/live.txt"; exit 1; }
+grep -q 'Metrics' "$WORKDIR/live.txt" || {
+  echo "FAIL: windowed frame shows no Metrics RPC activity:"
+  cat "$WORKDIR/live.txt"
+  exit 1
+}
+
+echo "PASS"

@@ -1,0 +1,141 @@
+// Conformance tests for the Prometheus text exposition (obs/prom_export).
+//
+// The format contract (text format 0.0.4) that scrapers depend on:
+//   - metric names restricted to [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - counters suffixed `_total`, preceded by HELP and TYPE lines
+//   - histogram `_bucket` series cumulative and monotone in `le`, with the
+//     final `+Inf` bucket equal to `_count`
+//   - label values escaped (backslash, newline, double quote)
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "obs/prom_export.h"
+#include "tools/prom_text.h"
+
+namespace idba {
+namespace obs {
+namespace {
+
+TEST(PromSanitize, MapsInvalidCharsToUnderscore) {
+  EXPECT_EQ(PromSanitizeName("cache.object.hits"), "cache_object_hits");
+  EXPECT_EQ(PromSanitizeName("rpc.Fetch.total_us"), "rpc_Fetch_total_us");
+  EXPECT_EQ(PromSanitizeName("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(PromSanitizeName("colons:ok"), "colons:ok");
+}
+
+TEST(PromSanitize, LeadingDigitGetsPrefix) {
+  EXPECT_EQ(PromSanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(PromSanitizeName(""), "_");
+}
+
+TEST(PromEscape, HelpAndLabel) {
+  EXPECT_EQ(PromEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(PromEscapeLabel("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+}
+
+TEST(PromExport, CounterRendersTotalWithHelpAndType) {
+  MetricsRegistry reg;
+  reg.GetCounter("txn.commits")->Add(7);
+  const std::string out = PromExport(reg);
+  EXPECT_NE(out.find("# HELP idba_txn_commits_total counter txn.commits\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE idba_txn_commits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\nidba_txn_commits_total 7\n"), std::string::npos);
+}
+
+TEST(PromExport, GaugeRendersCurrentValue) {
+  MetricsRegistry reg;
+  double level = 3.5;
+  ScopedGauge g(&reg, "pool.depth", [&] { return level; });
+  std::string out = PromExport(reg);
+  EXPECT_NE(out.find("# TYPE idba_pool_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("idba_pool_depth 3.5\n"), std::string::npos);
+  level = 4.0;
+  out = PromExport(reg);
+  EXPECT_NE(out.find("idba_pool_depth 4\n"), std::string::npos);
+}
+
+TEST(PromExport, HistogramBucketsCumulativeAndInfEqualsCount) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("rpc.Fetch.total_us");
+  for (int i = 1; i <= 1000; ++i) h->Record(static_cast<double>(i));
+  const std::string out = PromExport(reg);
+
+  // Reuse the tools-side parser: the exporter and its consumers must agree.
+  tools::PromSamples samples = tools::ParsePromText(out);
+  tools::PromHistogram parsed =
+      tools::ExtractHistogram(samples, "idba_rpc_Fetch_total_us");
+  ASSERT_TRUE(parsed.found);
+  ASSERT_FALSE(parsed.bounds.empty());
+
+  // Cumulative counts never decrease; bounds strictly increase; the last
+  // bucket is +Inf and equals _count.
+  for (size_t i = 1; i < parsed.bounds.size(); ++i) {
+    EXPECT_LT(parsed.bounds[i - 1], parsed.bounds[i]);
+    EXPECT_LE(parsed.cumulative[i - 1], parsed.cumulative[i]);
+  }
+  EXPECT_TRUE(std::isinf(parsed.bounds.back()));
+  EXPECT_EQ(parsed.cumulative.back(), parsed.count);
+  EXPECT_EQ(parsed.count, 1000u);
+  EXPECT_DOUBLE_EQ(parsed.sum, 1000.0 * 1001.0 / 2.0);
+}
+
+TEST(PromExport, EmptyHistogramStillExposesInfBucket) {
+  MetricsRegistry reg;
+  (void)reg.GetHistogram("quiet.hist");
+  const std::string out = PromExport(reg);
+  EXPECT_NE(out.find("idba_quiet_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("idba_quiet_hist_count 0\n"), std::string::npos);
+}
+
+TEST(PromExport, EveryNonCommentLineParses) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.b")->Add(1);
+  reg.GetHistogram("c.d")->Record(42);
+  ScopedGauge g(&reg, "e.f", [] { return 1.25; });
+  const std::string out = PromExport(reg);
+  size_t lines = 0, parsed = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    const std::string line = out.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') ++lines;
+    pos = eol + 1;
+  }
+  parsed = tools::ParsePromText(out).size();
+  EXPECT_EQ(lines, parsed);
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST(PromExport, QuantileOfDeltaIgnoresPriorWindow) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("w.hist");
+  // Window 1: small values.
+  for (int i = 0; i < 100; ++i) h->Record(1.0);
+  tools::PromSamples s1 = tools::ParsePromText(PromExport(reg));
+  // Window 2: large values only.
+  for (int i = 0; i < 100; ++i) h->Record(5000.0);
+  tools::PromSamples s2 = tools::ParsePromText(PromExport(reg));
+
+  tools::PromHistogram h1 = tools::ExtractHistogram(s1, "idba_w_hist");
+  tools::PromHistogram h2 = tools::ExtractHistogram(s2, "idba_w_hist");
+  // The all-time p50 mixes both populations; the windowed p50 must reflect
+  // only the second window's 5000s.
+  const double windowed_p50 = tools::QuantileOfDelta(h2, h1, 0.50);
+  EXPECT_GT(windowed_p50, 1000.0);
+  const double alltime_p50 =
+      tools::QuantileOfDelta(h2, tools::PromHistogram{}, 0.50);
+  EXPECT_LT(alltime_p50, windowed_p50);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace idba

@@ -1,0 +1,147 @@
+// MetricsTimeSeries: ring retention/wraparound, per-window delta
+// correctness (including under concurrent recording), and the per-window
+// percentile reconstruction from cumulative bucket counts.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "obs/timeseries.h"
+
+namespace idba {
+namespace obs {
+namespace {
+
+TEST(TimeSeries, RingWrapsAtRetention) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  MetricsTimeSeries ts(&reg, /*retain=*/3);
+  for (int i = 1; i <= 5; ++i) {
+    c->Add(static_cast<uint64_t>(i));
+    ts.Tick();
+  }
+  EXPECT_EQ(ts.window_count(), 3u);
+  std::vector<MetricsWindow> w = ts.Windows();
+  ASSERT_EQ(w.size(), 3u);
+  // Ticks 3, 4, 5 survive: absolute values 1+2+3=6, 10, 15.
+  EXPECT_EQ(w[0].counters.at("x"), 6u);
+  EXPECT_EQ(w[1].counters.at("x"), 10u);
+  EXPECT_EQ(w[2].counters.at("x"), 15u);
+  // Deltas stay correct across the wrap (computed vs the previous tick,
+  // not vs the oldest retained window).
+  EXPECT_EQ(w[1].counter_deltas.at("x"), 4u);
+  EXPECT_EQ(w[2].counter_deltas.at("x"), 5u);
+  // Ticks are time-ordered.
+  EXPECT_LE(w[0].at_us, w[1].at_us);
+  EXPECT_LE(w[1].at_us, w[2].at_us);
+}
+
+TEST(TimeSeries, FirstWindowDeltaIsAbsolute) {
+  MetricsRegistry reg;
+  reg.GetCounter("boot")->Add(42);
+  MetricsTimeSeries ts(&reg, 8);
+  MetricsWindow w = ts.Tick();
+  EXPECT_EQ(w.counter_deltas.at("boot"), 42u);
+  EXPECT_EQ(w.interval_us, 0);
+}
+
+TEST(TimeSeries, DeltasSumToAbsoluteUnderConcurrentRecording) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot");
+  Histogram* h = reg.GetHistogram("lat");
+  MetricsTimeSeries ts(&reg, /*retain=*/64);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Add();
+        h->Record(17.0);
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    ts.Tick();
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  ts.Tick();  // capture the tail
+
+  uint64_t delta_sum = 0, hist_delta_sum = 0;
+  for (const MetricsWindow& w : ts.Windows()) {
+    auto it = w.counter_deltas.find("hot");
+    if (it != w.counter_deltas.end()) delta_sum += it->second;
+    auto ht = w.histogram_deltas.find("lat");
+    if (ht != w.histogram_deltas.end()) hist_delta_sum += ht->second.count;
+  }
+  // No window dropped (retain 64 > 21 ticks), so per-window deltas must
+  // partition the cumulative totals exactly — no double count, no loss.
+  EXPECT_EQ(delta_sum, c->Get());
+  EXPECT_EQ(hist_delta_sum, h->count());
+}
+
+TEST(TimeSeries, WindowPercentilesTrackTheWindow) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat");
+  MetricsTimeSeries ts(&reg, 8);
+  for (int i = 0; i < 200; ++i) h->Record(2.0);
+  ts.Tick();
+  for (int i = 0; i < 200; ++i) h->Record(8000.0);
+  MetricsWindow w = ts.Tick();
+  const auto& d = w.histogram_deltas.at("lat");
+  EXPECT_EQ(d.count, 200u);
+  // Only the second window's 8000s count: its p50 must be far above the
+  // all-time median (which mixes the 2s).
+  EXPECT_GT(d.p50, 1000.0);
+  EXPECT_GE(d.p99, d.p50);
+}
+
+TEST(TimeSeries, PercentileOfDeltasHandlesEqualAndEmpty) {
+  std::vector<uint64_t> prev(static_cast<size_t>(Histogram::kNumBuckets), 0);
+  std::vector<uint64_t> cur = prev;
+  EXPECT_EQ(PercentileOfDeltas(cur, prev, 0.5), 0.0);
+  cur[10] = 100;  // all mass in one bucket
+  const double p50 = PercentileOfDeltas(cur, prev, 0.5);
+  EXPECT_GT(p50, Histogram::BucketUpperBound(9));
+  EXPECT_LE(p50, Histogram::BucketUpperBound(10));
+}
+
+TEST(TimeSeries, ClearEmptiesRingButKeepsTicking) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  MetricsTimeSeries ts(&reg, 4);
+  c->Add(5);
+  ts.Tick();
+  ts.Clear();
+  EXPECT_EQ(ts.window_count(), 0u);
+  c->Add(3);
+  MetricsWindow w = ts.Tick();
+  EXPECT_EQ(w.counters.at("x"), 8u);
+}
+
+TEST(TimeSeries, DumpJsonShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.b")->Add(2);
+  reg.GetHistogram("h")->Record(5);
+  MetricsTimeSeries ts(&reg, 4);
+  ts.Tick();
+  ts.Tick();
+  const std::string json = ts.DumpJson();
+  EXPECT_NE(json.find("\"retain\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"counter_deltas\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\":2"), std::string::npos);
+  // last_n limits the dump.
+  const std::string last1 = ts.DumpJson(1);
+  EXPECT_LT(last1.size(), json.size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace idba
