@@ -174,6 +174,73 @@ void BM_ScanClass_InProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanClass_InProcess)->UseRealTime();
 
+// --- NOTIFY fan-out -------------------------------------------------------
+// One committed update fanned out to Arg(0) display-lock subscribers over
+// real sockets; a frame is read back from every subscriber before the
+// iteration ends. The per-update body is serialized once and shared across
+// all connections (SharedBuf + writev), so cost per subscriber is a head
+// encode + queue append, not a payload encode.
+
+void BM_NotifyFanout_Tcp(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  RemoteRig rig;
+  Oid hot = rig.db.link_oids.front();
+  std::mutex write_mu;
+  std::vector<Socket> subs;
+  subs.reserve(subscribers);
+  for (int i = 0; i < subscribers; ++i) {
+    Socket sock =
+        Socket::ConnectTo("127.0.0.1", rig.transport->port()).value();
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kHello));
+      enc.PutI64(0);
+      enc.PutU64(10000 + i);
+      enc.PutU8(0);
+      enc.PutU8(wire::kWireVersion);
+      if (!sock.WriteFrame(write_mu, wire::FrameType::kRequest, 1, payload)
+               .ok()) {
+        std::abort();
+      }
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      if (!sock.ReadFrame(&header, &reply).ok()) std::abort();
+    }
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kDlmLock));
+      enc.PutI64(0);
+      enc.PutI64(0);
+      enc.PutU64(10000 + i);
+      enc.PutU64(hot.value);
+      if (!sock.WriteFrame(write_mu, wire::FrameType::kRequest, 2, payload)
+               .ok()) {
+        std::abort();
+      }
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      if (!sock.ReadFrame(&header, &reply).ok()) std::abort();
+    }
+    if (!subs.emplace_back(std::move(sock)).SetRecvTimeout(10000).ok()) {
+      std::abort();
+    }
+  }
+  int util = 0;
+  for (auto _ : state) {
+    RunUpdateTxn(rig, &util);
+    for (Socket& sock : subs) {
+      wire::FrameHeader header;
+      std::vector<uint8_t> frame;
+      if (!sock.ReadFrame(&header, &frame).ok()) std::abort();
+    }
+  }
+  // Notifications delivered, not commits: this is a fan-out benchmark.
+  state.SetItemsProcessed(state.iterations() * subscribers);
+}
+BENCHMARK(BM_NotifyFanout_Tcp)->Arg(8)->Arg(64)->Arg(256)->UseRealTime();
+
 }  // namespace
 }  // namespace idba
 

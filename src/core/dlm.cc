@@ -137,6 +137,40 @@ VTime DisplayLockManager::EventArrival(VTime server_time, int64_t report_bytes) 
   return server_time + cm.MessageCost(64) + cm.MessageCost(report_bytes);
 }
 
+namespace {
+
+/// Collapses per-client notification messages with identical content onto
+/// one shared instance. In the common fan-out case — many subscribers
+/// displaying the same hot objects — every holder's message lists the same
+/// updated/erased sets, so after this pass the whole fan-out shares ONE
+/// immutable message: the transport serializes it once
+/// (Message::SharedWireBody) and the same bytes reach every subscriber.
+/// Content is keyed on the oid sequences; txn/vtime/committed and the
+/// eager-shipped images are functions of the same commit, so equal oid
+/// sequences imply equal messages. The `add` loop visits objects in commit
+/// order for every client, making the sequences canonical.
+void ShareIdenticalMessages(
+    std::unordered_map<ClientId, std::shared_ptr<UpdateNotifyMessage>>*
+        per_client) {
+  if (per_client->size() < 2) return;
+  std::unordered_map<std::string, std::shared_ptr<UpdateNotifyMessage>>
+      by_content;
+  for (auto& [client, msg] : *per_client) {
+    std::string key;
+    key.reserve(8 * (msg->updated.size() + msg->erased.size()) + 1);
+    auto append = [&key](uint64_t v) {
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    for (Oid oid : msg->updated) append(oid.value);
+    key.push_back('|');
+    for (Oid oid : msg->erased) append(oid.value);
+    auto [it, inserted] = by_content.emplace(std::move(key), msg);
+    if (!inserted) msg = it->second;
+  }
+}
+
+}  // namespace
+
 void DisplayLockManager::OnCommit(ClientId writer, const CommitResult& result) {
   const VTime commit_time = server_->cpu_clock().Now();
   // Which display-lock holders are affected, and by which objects?
@@ -169,6 +203,7 @@ void DisplayLockManager::OnCommit(ClientId writer, const CommitResult& result) {
     pending_intents_.erase(result.txn);
   }
   if (per_client.empty()) return;
+  ShareIdenticalMessages(&per_client);
 
   int64_t report_bytes = 32 + 8 * static_cast<int64_t>(result.updated.size() +
                                                        result.erased.size());
@@ -211,11 +246,13 @@ void DisplayLockManager::OnIntent(ClientId writer, TxnId txn, Oid oid) {
   if (targets.empty()) return;
   VTime arrival = EventArrival(intent_time, 40);
   clock_.Observe(arrival);
+  // Every target receives identical content; share one immutable message so
+  // the transport serializes the intent notice once for the whole fan-out.
+  auto msg = std::make_shared<IntentNotifyMessage>();
+  msg->txn = txn;
+  msg->intent_vtime = intent_time;
+  msg->oids = {oid};
   for (ClientId c : targets) {
-    auto msg = std::make_shared<IntentNotifyMessage>();
-    msg->txn = txn;
-    msg->intent_vtime = intent_time;
-    msg->oids = {oid};
     clock_.Advance(bus_->cost_model().NotificationDispatchCpu());
     (void)bus_->Send(kDlmEndpoint, static_cast<EndpointId>(c), msg, clock_.Now());
     intent_notifies_.Add();
@@ -252,6 +289,7 @@ void DisplayLockManager::OnAbort(ClientId writer, TxnId txn) {
       }
     }
   }
+  ShareIdenticalMessages(&per_client);
   VTime arrival = EventArrival(abort_time, 40);
   clock_.Observe(arrival);
   for (auto& [client, msg] : per_client) {

@@ -148,4 +148,33 @@ std::shared_ptr<const Message> ResyncNotifyMessage::CoalesceWith(
   return merged;
 }
 
+// --- Shared wire bodies (Message::SharedWireBody) -------------------------
+// The kind constants mirror wire::NotifyKind (1=update, 2=intent, 3=resync);
+// net/tcp_server.cc static_asserts the correspondence so the values cannot
+// drift apart silently.
+
+bool UpdateNotifyMessage::EncodeWireBody(std::vector<uint8_t>* out,
+                                         uint8_t* kind) const {
+  Encoder enc(out);
+  EncodeTo(&enc);
+  *kind = 1;
+  return true;
+}
+
+bool IntentNotifyMessage::EncodeWireBody(std::vector<uint8_t>* out,
+                                         uint8_t* kind) const {
+  Encoder enc(out);
+  EncodeTo(&enc);
+  *kind = 2;
+  return true;
+}
+
+bool ResyncNotifyMessage::EncodeWireBody(std::vector<uint8_t>* out,
+                                         uint8_t* kind) const {
+  Encoder enc(out);
+  EncodeTo(&enc);
+  *kind = 3;
+  return true;
+}
+
 }  // namespace idba

@@ -54,6 +54,9 @@ class UpdateNotifyMessage : public Message {
   /// must see them to unmark "being updated".
   std::shared_ptr<const Message> CoalesceWith(
       const Message& newer) const override;
+
+ protected:
+  bool EncodeWireBody(std::vector<uint8_t>* out, uint8_t* kind) const override;
 };
 
 /// DLM -> client: a transaction intends to update these objects.
@@ -74,6 +77,9 @@ class IntentNotifyMessage : public Message {
   /// the update is not display-visible).
   std::shared_ptr<const Message> CoalesceWith(
       const Message& newer) const override;
+
+ protected:
+  bool EncodeWireBody(std::vector<uint8_t>* out, uint8_t* kind) const override;
 };
 
 /// DLM/transport -> client: notifications for this client were shed under
@@ -100,6 +106,9 @@ class ResyncNotifyMessage : public Message {
   /// current state at processing time, so later notifications add nothing.
   std::shared_ptr<const Message> CoalesceWith(
       const Message& newer) const override;
+
+ protected:
+  bool EncodeWireBody(std::vector<uint8_t>* out, uint8_t* kind) const override;
 };
 
 }  // namespace idba

@@ -47,6 +47,11 @@ struct InboxOptions {
   /// overflow count — the transport uses it to escalate a persistently
   /// slow subscriber to disconnect.
   std::function<void(uint64_t overflow_count)> overflow_hook;
+  /// Called (outside the inbox lock) after every delivery, including shed
+  /// ones. The event-driven transport installs a hook that posts a flush to
+  /// the owning event loop — its notifier is a loop task, not a thread
+  /// blocked in WaitNext, so the cv notify alone would not reach it.
+  std::function<void()> wakeup_hook;
   /// Optional metric mirrors, bumped on the corresponding events (cache
   /// the GlobalMetrics pointers at construction; lookups stay off the
   /// delivery path).
@@ -88,6 +93,7 @@ class Inbox {
       outcome = DeliverLocked(std::move(e), &overflow_count);
     }
     cv_.notify_all();
+    if (opts_.wakeup_hook) opts_.wakeup_hook();
     if (opts_.overflow_hook && outcome == DeliverOutcome::kOverflow) {
       opts_.overflow_hook(overflow_count);
     }

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
+#include <vector>
 
 #include "common/vtime.h"
+#include "net/shared_buf.h"
 
 namespace idba {
 
@@ -28,6 +31,12 @@ constexpr EndpointId kFirstClientEndpoint = 100;
 /// once sent (shared by sender and receivers).
 class Message {
  public:
+  Message() = default;
+  // Copies (made by CoalesceWith to produce a merged message) do not carry
+  // the memoized wire body: the copy is about to be mutated, so its bytes
+  // must be re-encoded on first fan-out.
+  Message(const Message&) {}
+  Message& operator=(const Message&) { return *this; }
   virtual ~Message() = default;
   /// Short type name for tracing/metrics (e.g. "UpdateNotify").
   virtual std::string_view name() const = 0;
@@ -46,6 +55,45 @@ class Message {
     (void)newer;
     return nullptr;
   }
+
+  /// Wire-encoded notify body, produced at most once per message instance
+  /// and shared by every caller thereafter: when one message fans out to N
+  /// subscribers, the first connection to serialize it pays the encode and
+  /// the other N-1 reuse the same bytes. `kind` receives the message's
+  /// NOTIFY body kind (numeric value of wire::NotifyKind; plain uint8_t so
+  /// this header stays free of the wire protocol). `encoded_now` (optional)
+  /// reports whether this call performed the encode — the transport's
+  /// fanout encode/reuse counters key off it. Returns an empty SharedBuf
+  /// for message types with no wire form. Thread-safe.
+  SharedBuf SharedWireBody(uint8_t* kind, bool* encoded_now = nullptr) const {
+    bool first = false;
+    std::call_once(body_once_, [&] {
+      std::vector<uint8_t> out;
+      uint8_t k = 0;
+      if (EncodeWireBody(&out, &k)) {
+        body_ = SharedBuf(std::move(out));
+        body_kind_ = k;
+      }
+      first = true;
+    });
+    if (encoded_now != nullptr) *encoded_now = first;
+    *kind = body_kind_;
+    return body_;
+  }
+
+ protected:
+  /// Serializes the NOTIFY body into `out` and sets `kind`; returns false
+  /// when the message type has no wire encoding (the default).
+  virtual bool EncodeWireBody(std::vector<uint8_t>* out, uint8_t* kind) const {
+    (void)out;
+    (void)kind;
+    return false;
+  }
+
+ private:
+  mutable std::once_flag body_once_;
+  mutable SharedBuf body_;
+  mutable uint8_t body_kind_ = 0;
 };
 
 /// One in-flight message.

@@ -1,0 +1,41 @@
+// Refcounted immutable byte buffer for single-serialization fan-out.
+//
+// A NOTIFY payload is encoded once into a SharedBuf and the same bytes are
+// queued to every subscriber's connection; each outbound frame pairs a
+// small per-connection head (frame header + trace/envelope metadata, which
+// differ per subscriber) with the shared body, and the write path stitches
+// the two together with vectored writev — no per-subscriber copy of the
+// body ever exists. Message::SharedWireBody() memoizes the encoding on the
+// message instance, so the encode-vs-reuse ratio is directly observable
+// (transport.fanout.* counters).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace idba {
+
+/// Immutable shared byte buffer. Copying a SharedBuf copies a pointer, not
+/// the bytes. An empty/default SharedBuf holds no buffer at all.
+class SharedBuf {
+ public:
+  SharedBuf() = default;
+  explicit SharedBuf(std::vector<uint8_t> bytes)
+      : bytes_(std::make_shared<const std::vector<uint8_t>>(
+            std::move(bytes))) {}
+
+  explicit operator bool() const { return bytes_ != nullptr; }
+  size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  const uint8_t* data() const { return bytes_ ? bytes_->data() : nullptr; }
+
+  /// Number of SharedBuf copies alive for this buffer (diagnostics/tests).
+  long use_count() const { return bytes_.use_count(); }
+
+ private:
+  std::shared_ptr<const std::vector<uint8_t>> bytes_;
+};
+
+}  // namespace idba

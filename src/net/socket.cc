@@ -27,7 +27,7 @@ void SetNoDelay(int fd) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-Status SetNonBlocking(int fd, bool enable) {
+Status SetNonBlockingFd(int fd, bool enable) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return Errno("fcntl(F_GETFL)");
   flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
@@ -99,7 +99,7 @@ Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port,
       continue;
     }
     if (connect_timeout_ms > 0) {
-      last = SetNonBlocking(fd, true);
+      last = SetNonBlockingFd(fd, true);
       if (last.ok()) {
         if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
           last = Status::OK();
@@ -109,7 +109,7 @@ Result<Socket> Socket::ConnectTo(const std::string& host, uint16_t port,
           last = Errno("connect " + where);
         }
       }
-      if (last.ok()) last = SetNonBlocking(fd, false);
+      if (last.ok()) last = SetNonBlockingFd(fd, false);
     } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       last = Status::OK();
     } else {
@@ -157,6 +157,10 @@ Status Socket::RecvAll(void* data, size_t n) {
     got += static_cast<size_t>(rc);
   }
   return Status::OK();
+}
+
+Status Socket::SetNonBlocking(bool enable) {
+  return SetNonBlockingFd(fd_, enable);
 }
 
 Status Socket::SetRecvTimeout(int64_t ms) {
@@ -302,10 +306,23 @@ Status Listener::Listen(uint16_t port, const std::string& bind_host) {
 }
 
 Result<Socket> Listener::Accept() {
-  int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) return Errno("accept");
-  SetNoDelay(fd);
-  return Socket(fd);
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EMFILE || errno == ENFILE) {
+      // Fd exhaustion is transient under a connection flood: back off
+      // briefly instead of tearing down the accept loop. The caller's
+      // rate-limited logging reports the pressure.
+      Status st = Errno("accept");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return st;
+    }
+    return Errno("accept");
+  }
 }
 
 void Listener::Shutdown() {

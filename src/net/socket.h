@@ -63,6 +63,10 @@ class Socket {
   /// Status::TimedOut. 0 disarms (block forever, the default).
   Status SetRecvTimeout(int64_t ms);
 
+  /// Toggles O_NONBLOCK. The event-driven server path (net/event_loop.h)
+  /// requires nonblocking fds; the blocking client path leaves this off.
+  Status SetNonBlocking(bool enable);
+
   /// Attaches a fault injector consulted once per frame by
   /// WriteFrame/ReadFrame; nullptr detaches. Safe to call while other
   /// threads are inside ReadFrame/WriteFrame (tests install rules against
@@ -115,7 +119,10 @@ class Listener {
   /// address (default loopback).
   Status Listen(uint16_t port, const std::string& bind_host = "127.0.0.1");
 
-  /// Accepts one connection. Fails after Close()/ShutdownBoth.
+  /// Accepts one connection, retrying transient per-connection failures
+  /// (EINTR, ECONNABORTED, and under load EMFILE/ENFILE after a brief
+  /// pause) so one misbehaving client cannot kill the accept loop. Fails
+  /// after Close()/ShutdownBoth. Accepted sockets get TCP_NODELAY.
   Result<Socket> Accept();
 
   uint16_t port() const { return port_; }

@@ -2,8 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
-#include <future>
 
 #include "common/logging.h"
 #include "core/notification.h"
@@ -14,23 +14,37 @@
 
 namespace idba {
 
+// Message::SharedWireBody reports the notify kind as a raw byte (core/
+// cannot depend on net/); pin the correspondence so the values can never
+// drift apart silently.
+static_assert(static_cast<uint8_t>(wire::NotifyKind::kUpdate) == 1 &&
+                  static_cast<uint8_t>(wire::NotifyKind::kIntent) == 2 &&
+                  static_cast<uint8_t>(wire::NotifyKind::kResync) == 3,
+              "wire::NotifyKind must match the kinds reported by "
+              "notification.cc EncodeWireBody");
+
 // ---------------------------------------------------------------------------
 // Connection
 // ---------------------------------------------------------------------------
 
-struct TransportServer::Connection : public CacheCallbackHandler {
-  Connection(TransportServer* owner_in, Socket sock_in)
-      : owner(owner_in), sock(std::move(sock_in)),
-        notify_inbox(owner_in->NotifyInboxOptions(this)) {}
+struct TransportServer::Connection
+    : public CacheCallbackHandler,
+      public Conn::Handler,
+      public std::enable_shared_from_this<Connection> {
+  explicit Connection(TransportServer* owner_in)
+      : owner(owner_in), notify_inbox(owner_in->NotifyInboxOptions(this)) {}
 
   TransportServer* owner;
-  Socket sock;
-  std::mutex write_mu;
+  /// I/O loop this connection is pinned to (round-robin at accept).
+  EventLoop* loop = nullptr;
+  /// Socket state machine (read decode + bounded write queue), owned here;
+  /// its Handler callbacks land on `loop`'s thread.
+  std::shared_ptr<Conn> conn;
 
-  // Written once by the worker thread in the Hello handler, read by the
-  // reader thread (Teardown) and the acceptor: client_id is published
-  // before hello_done (release), and readers load hello_done first
-  // (acquire) — no mutex needed for this one-shot handoff.
+  // Written once by a worker thread in the Hello handler, read by other
+  // threads: client_id is published before hello_done (release), and
+  // readers load hello_done first (acquire) — no mutex needed for this
+  // one-shot handoff.
   std::atomic<ClientId> client_id{0};
   std::atomic<bool> hello_done{false};
   /// Wire protocol version the peer announced in Hello; 1 (no trace
@@ -39,15 +53,16 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   std::atomic<uint8_t> peer_version{1};
 
   /// Registered on the bus under the client's endpoint id after Hello;
-  /// the notifier thread forwards its envelopes as NOTIFY frames. Bounded:
-  /// the delivering writer never blocks on this client's socket, and a
-  /// backlog beyond the bound escalates per the slow-subscriber policy.
+  /// FlushNotifies (on the loop thread) forwards its envelopes as NOTIFY
+  /// frames. Bounded: the delivering writer never blocks on this client's
+  /// socket, and a backlog beyond the bound escalates per the
+  /// slow-subscriber policy.
   Inbox notify_inbox;
 
   /// The client owes a full resync: its notify backlog overflowed, a
   /// callback ack timed out, or its callback lane overflowed. While set,
   /// invalidation callbacks are elided (the resync clears the whole client
-  /// cache anyway); the notifier clears it when it writes the RESYNC frame,
+  /// cache anyway); FlushNotifies clears it when it queues the RESYNC frame,
   /// handing off to `resync_awaiting_ack` until the client confirms.
   std::atomic<bool> stale{false};
   /// Seq of a RESYNC frame on the wire whose RESYNC_ACK has not arrived
@@ -58,25 +73,31 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   std::atomic<uint64_t> resync_awaiting_ack{0};
   /// RESYNC frames sent to this client (per-session stat row).
   std::atomic<uint64_t> forced_resyncs{0};
-  /// Inbox shed count already reported in a RESYNC frame (notifier only).
+  /// Inbox shed count already reported in a RESYNC frame (loop thread).
   uint64_t shed_reported = 0;
+  /// NOTIFY/CALLBACK-lane frame sequence (loop thread only).
+  uint64_t notify_seq = 1;
 
-  std::thread reader, worker, notifier;
   std::atomic<bool> closing{false};
-  /// Reader exited and Teardown ran; the connection can be reaped.
+  /// Teardown ran and the socket's close path completed; reapable.
   std::atomic<bool> finished{false};
+  /// Strand flag: true while this connection is queued for (or executing
+  /// on) the worker pool. At most one worker runs a connection at a time,
+  /// preserving per-client request order on a shared pool.
+  std::atomic<bool> scheduled{false};
+  /// Deduplicates posted FlushNotifies tasks.
+  std::atomic<bool> notify_flush_pending{false};
 
-  /// One request waiting for the worker, stamped with its arrival time so
-  /// the worker can attribute queue wait separately from execution.
+  /// One request waiting for the worker pool, stamped with its arrival time
+  /// so the worker can attribute queue wait separately from execution.
   struct QueuedRequest {
     wire::FrameHeader header;
     std::vector<uint8_t> payload;
     int64_t enqueued_us = 0;
   };
 
-  // Requests queued by the reader for the worker.
+  // Requests queued by the I/O loop for the worker pool.
   std::mutex q_mu;
-  std::condition_variable q_cv;
   std::deque<QueuedRequest> requests;
 
   // Outstanding cache-invalidation callbacks awaiting CALLBACK_ACK frames.
@@ -85,10 +106,10 @@ struct TransportServer::Connection : public CacheCallbackHandler {
   uint64_t next_callback_seq = 1;
   std::unordered_set<uint64_t> pending_acks;
 
-  /// One invalidation CALLBACK queued for the notifier to write. The trace
-  /// ids are captured on the committing writer's thread (its context is
-  /// thread-local) so the frame still joins the writer's trace even though
-  /// another thread performs the write.
+  /// One invalidation CALLBACK queued for the loop thread to write. The
+  /// trace ids are captured on the committing writer's thread (its context
+  /// is thread-local) so the frame still joins the writer's trace even
+  /// though another thread performs the write.
   struct PendingCallbackFrame {
     uint64_t seq = 0;
     uint64_t oid = 0;
@@ -96,23 +117,47 @@ struct TransportServer::Connection : public CacheCallbackHandler {
     uint64_t trace_id = 0;
     uint64_t trace_span = 0;
   };
-  // Callback lane, drained by the notifier thread (guarded by cb_mu).
+  // Callback lane, drained by FlushNotifies (guarded by cb_mu).
   std::deque<PendingCallbackFrame> callback_queue;
 
-  /// Marks the client stale and pokes the notifier so the RESYNC frame
-  /// goes out promptly. Deliberately lock-free beyond the inbox's own
-  /// mutex: callable from the deliver path and from blocked writers.
+  /// Posts one FlushNotifies onto the loop (deduplicated). Callable from
+  /// any thread — the deliver path, blocked writers, ack routing.
+  void WakeNotify() {
+    if (closing.load(std::memory_order_relaxed)) return;
+    if (loop == nullptr) return;
+    if (notify_flush_pending.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    auto self = shared_from_this();
+    loop->Post([self] { self->owner->FlushNotifies(self.get()); });
+  }
+
+  /// Marks the client stale and wakes its flush so the RESYNC frame goes
+  /// out promptly.
   void RequestResync() {
     stale.store(true);
-    notify_inbox.Kick();
+    WakeNotify();
+  }
+
+  // Conn::Handler — all on the loop thread.
+  void OnFrame(Conn*, const wire::FrameHeader& header,
+               std::vector<uint8_t> payload) override {
+    owner->OnConnFrame(this, header, std::move(payload));
+  }
+  void OnWriteDrained(Conn*) override { owner->FlushNotifies(this); }
+  void OnClosed(Conn*) override {
+    owner->Teardown(this);
+    finished.store(true, std::memory_order_release);
   }
 
   // CacheCallbackHandler: invoked by the CallbackManager from the *writer's*
   // worker thread during its commit. Queues a CALLBACK frame for this
-  // client's notifier (the writer never touches this client's socket) and
-  // blocks until the client's reader routes back the ack — the
-  // invalidate-before-commit guarantee. Degradations that keep the writer
-  // responsive to everyone else:
+  // client's loop (the writer never touches this client's socket) and
+  // blocks until the client's I/O loop routes back the ack — the
+  // invalidate-before-commit guarantee. Acks are routed by loops, never
+  // workers, so the wait cannot deadlock the pool even with every worker
+  // blocked in a commit. Degradations that keep the writer responsive to
+  // everyone else:
   //   - client already stale: skip entirely (the owed resync clears its
   //     whole cache, making this invalidation redundant);
   //   - callback lane full: don't queue or wait; schedule a resync;
@@ -152,7 +197,7 @@ struct TransportServer::Connection : public CacheCallbackHandler {
       RequestResync();
       return;
     }
-    notify_inbox.Kick();  // wake the notifier to write the frame
+    WakeNotify();  // wake the loop to write the frame
     std::unique_lock<std::mutex> lock(cb_mu);
     cb_cv.wait_for(
         lock, std::chrono::milliseconds(owner->opts_.callback_ack_timeout_ms),
@@ -188,6 +233,8 @@ TransportServer::TransportServer(DatabaseServer* server,
   requests_.BindGlobal(reg.GetCounter("transport.requests"));
   notifies_.BindGlobal(reg.GetCounter("transport.notifications"));
   accepts_.BindGlobal(reg.GetCounter("transport.accepts"));
+  fanout_encodes_.BindGlobal(reg.GetCounter("transport.fanout.encodes"));
+  fanout_reuses_.BindGlobal(reg.GetCounter("transport.fanout.reuses"));
   overload_rejections_.BindGlobal(reg.GetCounter("overload.rejections"));
   oneway_shed_.BindGlobal(reg.GetCounter("overload.oneway_shed"));
   notify_coalesced_.BindGlobal(reg.GetCounter("overload.notify_coalesced"));
@@ -220,29 +267,76 @@ TransportServer::~TransportServer() { Stop(); }
 
 Status TransportServer::Start() {
   IDBA_RETURN_NOT_OK(listener_.Listen(opts_.port, opts_.bind_host));
+  int cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores <= 0) cores = 1;
+  resolved_io_threads_ =
+      opts_.io_threads > 0 ? opts_.io_threads
+                           : std::min(std::max(cores / 2, 1), 8);
+  resolved_worker_threads_ = opts_.worker_threads > 0 ? opts_.worker_threads
+                                                      : std::max(cores, 4);
+  loops_.clear();
+  for (int i = 0; i < resolved_io_threads_; ++i) {
+    EventLoop::Options lopts;
+    if (i == 0 && opts_.idle_timeout_ms > 0) {
+      // One loop carries the idle scan; Conn::Kill is thread-safe, so a
+      // single ticker covers connections on every loop.
+      lopts.tick_interval_ms = std::min<int64_t>(
+          std::max<int64_t>(opts_.idle_timeout_ms / 2, 50), 1000);
+      lopts.on_tick = [this] { ScanIdle(); };
+    }
+    auto loop = std::make_unique<EventLoop>(lopts);
+    Status st = loop->Start();
+    if (!st.ok()) {
+      for (auto& started : loops_) started->Stop();
+      loops_.clear();
+      listener_.Close();
+      return st;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  {
+    std::lock_guard<std::mutex> lock(runq_mu_);
+    workers_stop_ = false;
+  }
+  for (int i = 0; i < resolved_worker_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
   running_.store(true);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void TransportServer::Stop() {
-  if (!running_.exchange(false)) {
-    // Never started (or already stopped); still reap anything left over.
-  }
+  running_.store(false);
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
-  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) Teardown(conn.get());
   for (auto& conn : conns) {
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->worker.joinable()) conn->worker.join();
-    if (conn->notifier.joinable()) conn->notifier.join();
+    if (conn->conn) conn->conn->Close();
   }
+  // Stopping a loop drains its posted tasks, so every pending close path
+  // (and its OnClosed -> Teardown) runs before the loop is destroyed.
+  for (auto& loop : loops_) loop->Stop();
+  {
+    std::lock_guard<std::mutex> lock(runq_mu_);
+    workers_stop_ = true;
+  }
+  runq_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(runq_mu_);
+    runq_.clear();
+  }
+  loops_.clear();
 }
 
 void TransportServer::AcceptLoop() {
@@ -250,77 +344,96 @@ void TransportServer::AcceptLoop() {
     Result<Socket> sock = listener_.Accept();
     if (!sock.ok()) {
       if (!running_.load()) return;
-      // Transient accept failure (e.g. fd pressure); back off briefly.
+      // Transient accept failure (e.g. fd pressure); log rate-limited and
+      // back off briefly.
+      NoteAcceptError(sock.status());
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
     ReapFinished();
-    auto conn = std::make_unique<Connection>(this, std::move(sock.value()));
+    auto conn = std::make_shared<Connection>(this);
     Connection* c = conn.get();
+    c->loop = loops_[next_loop_.fetch_add(1) % loops_.size()].get();
     if (opts_.so_sndbuf > 0) {
       // Shrink the kernel send buffer so a stalled subscriber's
       // backpressure surfaces in our bounded queues instead of hiding in
       // kernel memory (ops/test knob).
       int sz = opts_.so_sndbuf;
-      (void)::setsockopt(c->sock.fd(), SOL_SOCKET, SO_SNDBUF, &sz,
+      (void)::setsockopt(sock.value().fd(), SOL_SOCKET, SO_SNDBUF, &sz,
                          sizeof(sz));
     }
-    if (opts_.idle_timeout_ms > 0) {
-      // A frame gap longer than this reads as a half-open client; the
-      // reader's RecvAll returns TimedOut and the connection is torn down.
-      (void)c->sock.SetRecvTimeout(opts_.idle_timeout_ms);
-    }
+    Conn::Options copts;
+    copts.write_watermark_bytes = opts_.write_watermark_bytes;
+    copts.bytes_in = &bytes_in_;
+    copts.bytes_out = &bytes_out_;
+    c->conn = std::make_shared<Conn>(c->loop, std::move(sock.value()), c,
+                                     copts);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
+      conns_.push_back(conn);
     }
     accepts_.Add();
-    // Start gate: the thread handles must be fully assigned before any of
-    // the three loops can run, so a connection that dies instantly cannot
-    // race its own `finished` flag (and a reap's join) against the
-    // still-in-progress handle assignment.
-    auto gate = std::make_shared<std::promise<void>>();
-    std::shared_future<void> started = gate->get_future().share();
-    c->worker = std::thread([this, c, started] {
-      started.wait();
-      WorkerLoop(c);
-    });
-    c->notifier = std::thread([this, c, started] {
-      started.wait();
-      NotifierLoop(c);
-    });
-    c->reader = std::thread([this, c, started] {
-      started.wait();
-      ReaderLoop(c);
-    });
-    gate->set_value();
+    Status st = c->conn->Register();
+    if (!st.ok()) {
+      NoteAcceptError(st);
+      Teardown(c);
+      c->conn->Close();  // runs OnClosed on the loop -> finished
+    }
   }
 }
 
 void TransportServer::ReapFinished() {
-  std::vector<std::unique_ptr<Connection>> dead;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TransportServer::ScanIdle() {
+  if (opts_.idle_timeout_ms <= 0) return;
+  const int64_t cutoff = obs::NowUs() - opts_.idle_timeout_ms * 1000;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& conn : conns_) {
+    if (conn->conn && !conn->closing.load() &&
+        conn->conn->last_read_us() < cutoff) {
+      // A frame gap longer than the timeout reads as a half-open client;
+      // the shutdown surfaces as EOF on its loop, which tears it down.
+      conn->conn->Kill();
+    }
+  }
+}
+
+void TransportServer::NoteAcceptError(const Status& st) {
+  bool log_now = true;
+  uint64_t suppressed = 0;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->finished.load()) {
-        dead.push_back(std::move(*it));
-        it = conns_.erase(it);
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (opts_.slow_rpc_log_interval_ms > 0) {
+      const int64_t now = obs::NowUs();
+      if (now - last_accept_log_us_ < opts_.slow_rpc_log_interval_ms * 1000) {
+        ++accept_err_suppressed_;
+        log_now = false;
       } else {
-        ++it;
+        last_accept_log_us_ = now;
+        suppressed = accept_err_suppressed_;
+        accept_err_suppressed_ = 0;
       }
     }
   }
-  for (auto& conn : dead) {
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->worker.joinable()) conn->worker.join();
-    if (conn->notifier.joinable()) conn->notifier.join();
-  }
+  if (!log_now) return;
+  IDBA_LOG_FIELDS(LogLevel::kWarn, "transport", "accept failed",
+                  {{"error", st.ToString()},
+                   {"suppressed_since_last", std::to_string(suppressed)}});
 }
 
 void TransportServer::Teardown(Connection* conn) {
   bool expected = false;
   if (!conn->closing.compare_exchange_strong(expected, true)) {
-    conn->sock.ShutdownBoth();
+    if (conn->conn) conn->conn->Kill();
     return;
   }
   if (conn->hello_done.load(std::memory_order_acquire)) {
@@ -337,84 +450,121 @@ void TransportServer::Teardown(Connection* conn) {
   conn->notify_inbox.Close();
   {
     // Admitted-but-never-executed requests die with the connection; return
-    // their slots to the server-wide in-flight budget.
+    // their slots to the server-wide in-flight budget. (A request already
+    // popped by a worker is not in this queue; the worker returns its slot
+    // itself.)
     std::lock_guard<std::mutex> lock(conn->q_mu);
     if (!conn->requests.empty()) {
       inflight_.fetch_sub(conn->requests.size());
       conn->requests.clear();
     }
   }
-  conn->q_cv.notify_all();
   conn->cb_cv.notify_all();
-  conn->sock.ShutdownBoth();
+  if (conn->conn) conn->conn->Kill();
 }
 
-void TransportServer::ReaderLoop(Connection* conn) {
-  for (;;) {
-    wire::FrameHeader header;
-    std::vector<uint8_t> payload;
-    Status st = conn->sock.ReadFrame(&header, &payload, &bytes_in_);
-    if (!st.ok()) break;
-    if (header.type == wire::FrameType::kRequest ||
-        header.type == wire::FrameType::kOneWay) {
-      // Admission control runs here, on the reader: a saturated worker
-      // queue must not grow without bound, and the rejection response must
-      // not sit behind the very backlog that caused it.
-      VTime client_now = 0;
-      if (ShouldShed(conn, header, payload, &client_now)) {
-        if (header.type == wire::FrameType::kRequest) {
-          overload_rejections_.Add();
-          WriteOverloadedResponse(conn, header, client_now);
-        } else {
-          oneway_shed_.Add();  // no response channel; just count
-        }
-        continue;
+// ---------------------------------------------------------------------------
+// I/O-loop frame dispatch and the worker pool
+// ---------------------------------------------------------------------------
+
+void TransportServer::OnConnFrame(Connection* conn,
+                                  const wire::FrameHeader& header,
+                                  std::vector<uint8_t> payload) {
+  if (conn->closing.load()) return;
+  if (header.type == wire::FrameType::kRequest ||
+      header.type == wire::FrameType::kOneWay) {
+    // Admission control runs here, on the I/O loop: a saturated worker
+    // pool must not grow queues without bound, and the rejection response
+    // must not sit behind the very backlog that caused it.
+    VTime client_now = 0;
+    if (ShouldShed(conn, header, payload, &client_now)) {
+      if (header.type == wire::FrameType::kRequest) {
+        overload_rejections_.Add();
+        WriteOverloadedResponse(conn, header, client_now);
+      } else {
+        oneway_shed_.Add();  // no response channel; just count
       }
-      inflight_.fetch_add(1);
-      {
-        std::lock_guard<std::mutex> lock(conn->q_mu);
-        conn->requests.push_back(
-            {header, std::move(payload), obs::NowUs()});
-      }
-      conn->q_cv.notify_one();
-    } else if (header.type == wire::FrameType::kCallbackAck) {
-      {
-        std::lock_guard<std::mutex> lock(conn->cb_mu);
-        conn->pending_acks.erase(header.seq);
-      }
-      conn->cb_cv.notify_all();
-    } else if (header.type == wire::FrameType::kResyncAck) {
-      // The client processed the RESYNC and cleared its cache: callbacks
-      // go live again. Kick the notifier in case a staleness event during
-      // the ack round trip queued a follow-up resync.
-      if (conn->resync_awaiting_ack.load() == header.seq) {
-        conn->resync_awaiting_ack.store(0);
-        conn->notify_inbox.Kick();
-      }
-    } else {
-      // RESPONSE / NOTIFY / CALLBACK never flow client->server: protocol
-      // violation, drop the connection.
-      break;
+      return;
     }
-  }
-  Teardown(conn);
-  conn->finished.store(true);
-}
-
-void TransportServer::WorkerLoop(Connection* conn) {
-  for (;;) {
-    Connection::QueuedRequest item;
+    inflight_.fetch_add(1);
     {
-      std::unique_lock<std::mutex> lock(conn->q_mu);
-      conn->q_cv.wait(lock, [&] {
-        return conn->closing.load() || !conn->requests.empty();
-      });
-      if (conn->closing.load()) return;
-      item = std::move(conn->requests.front());
-      conn->requests.pop_front();
+      std::lock_guard<std::mutex> lock(conn->q_mu);
+      conn->requests.push_back({header, std::move(payload), obs::NowUs()});
     }
-    HandleFrame(conn, item.header, item.payload, item.enqueued_us);
-    inflight_.fetch_sub(1);
+    ScheduleWork(conn);
+  } else if (header.type == wire::FrameType::kCallbackAck) {
+    // Routed inline on the loop — never needs a worker, so a commit
+    // blocked on this ack cannot deadlock a saturated pool.
+    {
+      std::lock_guard<std::mutex> lock(conn->cb_mu);
+      conn->pending_acks.erase(header.seq);
+    }
+    conn->cb_cv.notify_all();
+  } else if (header.type == wire::FrameType::kResyncAck) {
+    // The client processed the RESYNC and cleared its cache: callbacks
+    // go live again. Wake the flush in case a staleness event during the
+    // ack round trip queued a follow-up resync.
+    if (conn->resync_awaiting_ack.load() == header.seq) {
+      conn->resync_awaiting_ack.store(0);
+      conn->WakeNotify();
+    }
+  } else {
+    // RESPONSE / NOTIFY / CALLBACK never flow client->server: protocol
+    // violation, drop the connection.
+    if (conn->conn) conn->conn->Kill();
+  }
+}
+
+void TransportServer::ScheduleWork(Connection* conn) {
+  bool expected = false;
+  if (!conn->scheduled.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+    return;  // already queued or executing; that pass reschedules
+  }
+  {
+    std::lock_guard<std::mutex> lock(runq_mu_);
+    runq_.push_back(conn->shared_from_this());
+  }
+  runq_cv_.notify_one();
+}
+
+void TransportServer::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(runq_mu_);
+      runq_cv_.wait(lock, [&] { return workers_stop_ || !runq_.empty(); });
+      if (runq_.empty()) return;  // workers_stop_ and fully drained
+      conn = std::move(runq_.front());
+      runq_.pop_front();
+    }
+    // Execute exactly one request, then clear the strand flag and recheck:
+    // per-client order is preserved (no second worker can run this
+    // connection until the flag clears), and no connection can monopolize
+    // a worker while others wait.
+    Connection::QueuedRequest item;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->q_mu);
+      if (!conn->requests.empty()) {
+        item = std::move(conn->requests.front());
+        conn->requests.pop_front();
+        have = true;
+      }
+    }
+    if (have) {
+      if (!conn->closing.load()) {
+        HandleFrame(conn.get(), item.header, item.payload, item.enqueued_us);
+      }
+      inflight_.fetch_sub(1);
+    }
+    conn->scheduled.store(false, std::memory_order_release);
+    bool more = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->q_mu);
+      more = !conn->requests.empty();
+    }
+    if (more) ScheduleWork(conn.get());
   }
 }
 
@@ -515,8 +665,10 @@ void TransportServer::WriteOverloadedResponse(Connection* conn,
   enc.PutI64(client_now);
   enc.PutVarint(static_cast<uint64_t>(
       std::max<int64_t>(opts_.overload_retry_after_ms, 0)));
-  (void)conn->sock.WriteFrame(conn->write_mu, wire::FrameType::kResponse,
-                              header.seq, resp, &bytes_out_);
+  if (conn->conn) {
+    (void)conn->conn->EnqueueWireFrame(wire::FrameType::kResponse, header.seq,
+                                       resp);
+  }
 }
 
 InboxOptions TransportServer::NotifyInboxOptions(Connection* conn) {
@@ -529,11 +681,14 @@ InboxOptions TransportServer::NotifyInboxOptions(Connection* conn) {
   in.coalesced_metric = &notify_coalesced_;
   in.shed_metric = &notify_shed_;
   in.overflow_metric = &notify_overflows_;
+  // The flush that forwards this inbox is a loop task, not a thread blocked
+  // in WaitNext — every delivery posts one (deduplicated) flush.
+  in.wakeup_hook = [conn] { conn->WakeNotify(); };
   // Runs on the *delivering* thread (a committing writer's worker, outside
   // the inbox lock). It must never take connection-table locks or join
   // threads: marking stale is a pair of atomic stores, and the disconnect
-  // escalation only shuts the socket down — the reader then exits and runs
-  // the full Teardown on its own thread.
+  // escalation only shuts the socket down — the I/O loop then observes the
+  // EOF and runs the full Teardown.
   in.overflow_hook = [this, conn](uint64_t overflow_count) {
     conn->stale.store(true);
     if (opts_.slow_subscriber_policy == SlowSubscriberPolicy::kDisconnect &&
@@ -541,17 +696,27 @@ InboxOptions TransportServer::NotifyInboxOptions(Connection* conn) {
             static_cast<uint64_t>(
                 std::max(opts_.slow_subscriber_disconnect_after, 1))) {
       slow_disconnects_.Add();
-      conn->sock.ShutdownBoth();
+      if (conn->conn) conn->conn->Kill();
     }
   };
   return in;
 }
 
-bool TransportServer::FlushOutbandLanes(Connection* conn,
-                                        uint64_t* notify_seq) {
-  // Lane 1: invalidation callbacks queued by committing writers. Written
+void TransportServer::FlushNotifies(Connection* conn) {
+  // Clear the dedup flag first: a delivery racing this flush posts a new
+  // task rather than being lost.
+  conn->notify_flush_pending.store(false, std::memory_order_release);
+  if (conn->closing.load()) return;
+  Conn* c = conn->conn.get();
+  if (c == nullptr || c->closed()) return;
+  const uint8_t peer_version =
+      conn->peer_version.load(std::memory_order_relaxed);
+
+  // Lane 1: invalidation callbacks queued by committing writers. Queued
   // here so a writer never blocks on this client's (possibly stalled)
-  // socket; the writer is meanwhile waiting on cb_cv for the ack.
+  // socket; the writer is meanwhile waiting on cb_cv for the ack. Always
+  // flushed (never gated on backpressure): the lane is small and bounded,
+  // and a blocked writer must not wait behind a notify backlog.
   std::deque<Connection::PendingCallbackFrame> cbs;
   {
     std::lock_guard<std::mutex> lock(conn->cb_mu);
@@ -560,9 +725,8 @@ bool TransportServer::FlushOutbandLanes(Connection* conn,
   for (const Connection::PendingCallbackFrame& cb : cbs) {
     std::vector<uint8_t> payload;
     Encoder enc(&payload);
-    const bool traced = cb.trace_id != 0 &&
-                        conn->peer_version.load(std::memory_order_relaxed) >=
-                            wire::kWireVersion;
+    const bool traced =
+        cb.trace_id != 0 && peer_version >= wire::kWireVersion;
     if (traced) {
       wire::TraceInfo trace;
       trace.trace_id = cb.trace_id;
@@ -571,23 +735,20 @@ bool TransportServer::FlushOutbandLanes(Connection* conn,
     }
     enc.PutU64(cb.oid);
     enc.PutU64(cb.version);
-    if (!conn->sock
-             .WriteFrame(conn->write_mu, wire::FrameType::kCallback, cb.seq,
-                         payload, &bytes_out_, traced)
-             .ok()) {
-      return false;
-    }
+    (void)c->EnqueueWireFrame(wire::FrameType::kCallback, cb.seq, payload,
+                              traced);
   }
+
   // Lane 2: a forced resync owed to this client (notify overflow, callback
   // timeout, or callback-lane overflow).
   if (conn->notify_inbox.TakeOverflow()) conn->stale.store(true);
   if (conn->stale.load() && conn->resync_awaiting_ack.load() == 0) {
-    if (conn->peer_version.load(std::memory_order_relaxed) <
-        wire::kWireVersion) {
+    if (peer_version < wire::kWireVersion) {
       // A v1 peer cannot decode the RESYNC kind, so the only escalation
       // left for a slow v1 subscriber is to drop it.
       slow_disconnects_.Add();
-      return false;
+      c->Kill();
+      return;
     }
     ResyncNotifyMessage msg;
     msg.resync_vtime = server_->cpu_clock().Now();
@@ -603,22 +764,17 @@ bool TransportServer::FlushOutbandLanes(Connection* conn,
     Encoder enc(&payload);
     wire::EncodeNotifyMeta(frame, &enc);
     msg.EncodeTo(&enc);
-    const uint64_t resync_seq = (*notify_seq)++;
-    // Mark the ack outstanding *before* the write: once the frame is on
-    // the wire the ack can race in on the reader thread.
+    const uint64_t resync_seq = conn->notify_seq++;
+    // Mark the ack outstanding *before* the frame is queued: once it is on
+    // the wire the ack can race in on this same loop thread's next batch.
     conn->resync_awaiting_ack.store(resync_seq);
     conn->stale.store(false);
-    if (!conn->sock
-             .WriteFrame(conn->write_mu, wire::FrameType::kNotify, resync_seq,
-                         payload, &bytes_out_)
-             .ok()) {
-      return false;
-    }
+    (void)c->EnqueueWireFrame(wire::FrameType::kNotify, resync_seq, payload);
     conn->shed_reported = conn->notify_inbox.shed();
     forced_resyncs_.Add();
     conn->forced_resyncs.fetch_add(1);
-    // The notifier thread has no ambient trace; record the escalation as
-    // its own (sampled) root so forced resyncs show up in trace dumps.
+    // The loop thread has no ambient trace; record the escalation as its
+    // own (sampled) root so forced resyncs show up in trace dumps.
     obs::Span escalate = obs::Span::StartRoot("server.forced_resync");
     escalate.Note("client " + std::to_string(frame.to) + ", dropped " +
                   std::to_string(msg.dropped));
@@ -626,63 +782,49 @@ bool TransportServer::FlushOutbandLanes(Connection* conn,
     // eliding invalidation callbacks (the client is still inconsistent)
     // and a stalled subscriber costs committing writers nothing.
   }
-  return true;
-}
 
-void TransportServer::NotifierLoop(Connection* conn) {
-  uint64_t seq = 1;
-  while (!conn->closing.load()) {
-    if (!FlushOutbandLanes(conn, &seq)) {
-      Teardown(conn);
-      return;
-    }
-    Inbox::Next next = conn->notify_inbox.WaitNext(100);
-    if (!next.envelope) {
-      if (next.closed) return;
-      continue;  // timeout or Kick(): loop re-flushes the outband lanes
-    }
-    const Envelope& env = *next.envelope;
+  // Lane 3: the notify inbox, gated on write-queue backpressure. While the
+  // socket's outbound queue sits above the watermark the backlog stays in
+  // the *bounded* inbox — where coalescing and the overload ladder apply —
+  // instead of ballooning the write queue; OnWriteDrained resumes this
+  // drain when the queue empties.
+  while (!c->write_backlogged()) {
+    std::optional<Envelope> env = conn->notify_inbox.Poll();
+    if (!env) break;
+    uint8_t kind_raw = 0;
+    bool encoded_now = false;
+    SharedBuf body = env->msg
+                         ? env->msg->SharedWireBody(&kind_raw, &encoded_now)
+                         : SharedBuf();
+    if (!body) continue;  // message kind with no wire form; none flow today
     wire::NotifyFrame frame;
-    frame.from = env.from;
-    frame.to = env.to;
-    frame.sent_at = env.sent_at;
-    frame.arrives_at = env.arrives_at;
-    frame.virtual_wire_bytes = env.wire_bytes;
-
-    std::vector<uint8_t> payload;
-    Encoder enc(&payload);
-    // Propagate the committing writer's trace context into the NOTIFY
-    // frame (wire v2 peers only), so the subscriber's display refresh
-    // joins the writer's trace.
-    const bool traced = env.trace_id != 0 &&
-                        conn->peer_version.load(std::memory_order_relaxed) >=
-                            wire::kWireVersion;
+    frame.from = env->from;
+    frame.to = env->to;
+    frame.sent_at = env->sent_at;
+    frame.arrives_at = env->arrives_at;
+    frame.virtual_wire_bytes = env->wire_bytes;
+    frame.kind = static_cast<wire::NotifyKind>(kind_raw);
+    // The head is per-connection (trace bit and context differ per peer);
+    // the body is the SharedBuf every subscriber of this message shares —
+    // serialized once, stitched to each head by writev.
+    std::vector<uint8_t> meta;
+    Encoder enc(&meta);
+    const bool traced =
+        env->trace_id != 0 && peer_version >= wire::kWireVersion;
     if (traced) {
       wire::TraceInfo trace;
-      trace.trace_id = env.trace_id;
-      trace.span_id = env.trace_span;
+      trace.trace_id = env->trace_id;
+      trace.span_id = env->trace_span;
       wire::EncodeTraceInfo(trace, &enc);
     }
-    const Message* msg = env.msg.get();
-    if (const auto* update = dynamic_cast<const UpdateNotifyMessage*>(msg)) {
-      frame.kind = wire::NotifyKind::kUpdate;
-      wire::EncodeNotifyMeta(frame, &enc);
-      update->EncodeTo(&enc);
-    } else if (const auto* intent =
-                   dynamic_cast<const IntentNotifyMessage*>(msg)) {
-      frame.kind = wire::NotifyKind::kIntent;
-      wire::EncodeNotifyMeta(frame, &enc);
-      intent->EncodeTo(&enc);
+    wire::EncodeNotifyMeta(frame, &enc);
+    if (encoded_now) {
+      fanout_encodes_.Add();
     } else {
-      continue;  // unknown message type; nothing else flows today
+      fanout_reuses_.Add();
     }
-    if (!conn->sock
-             .WriteFrame(conn->write_mu, wire::FrameType::kNotify, seq++,
-                         payload, &bytes_out_, traced)
-             .ok()) {
-      Teardown(conn);
-      return;
-    }
+    (void)c->EnqueueWireFrame(wire::FrameType::kNotify, conn->notify_seq++,
+                              meta, body, traced);
     notifies_.Add();
   }
 }
@@ -807,8 +949,10 @@ void TransportServer::HandleFrame(Connection* conn,
   resp.insert(resp.end(), head.begin(), head.end());
   enc.PutI64(completion);
   resp.insert(resp.end(), body.begin(), body.end());
-  (void)conn->sock.WriteFrame(conn->write_mu, wire::FrameType::kResponse,
-                              header.seq, resp, &bytes_out_, header.traced);
+  if (conn->conn) {
+    (void)conn->conn->EnqueueWireFrame(wire::FrameType::kResponse, header.seq,
+                                       resp, header.traced);
+  }
 }
 
 Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
@@ -1196,6 +1340,10 @@ std::string TransportServer::StatsJson() const {
   out += ",\"notifications_forwarded\":" + std::to_string(notifies_.Get());
   out += ",\"bytes_in\":" + std::to_string(bytes_in_.Get());
   out += ",\"bytes_out\":" + std::to_string(bytes_out_.Get());
+  out += ",\"io_threads\":" + std::to_string(resolved_io_threads_);
+  out += ",\"worker_threads\":" + std::to_string(resolved_worker_threads_);
+  out += ",\"fanout_encodes\":" + std::to_string(fanout_encodes_.Get());
+  out += ",\"fanout_reuses\":" + std::to_string(fanout_reuses_.Get());
   out += "},\"overload\":{";
   out += "\"inflight\":" + std::to_string(inflight_.load());
   out += ",\"overload_rejections\":" +
@@ -1268,6 +1416,15 @@ std::string TransportServer::StatsText() const {
   out += "notifications_forwarded  " + std::to_string(notifies_.Get()) + "\n";
   out += "bytes_in                 " + std::to_string(bytes_in_.Get()) + "\n";
   out += "bytes_out                " + std::to_string(bytes_out_.Get()) + "\n";
+  out += "\n== threading ==\n";
+  out += "io_threads               " + std::to_string(resolved_io_threads_) +
+         "\n";
+  out += "worker_threads           " +
+         std::to_string(resolved_worker_threads_) + "\n";
+  out += "fanout_encodes           " + std::to_string(fanout_encodes_.Get()) +
+         "\n";
+  out += "fanout_reuses            " + std::to_string(fanout_reuses_.Get()) +
+         "\n";
   out += "\n== overload ==\n";
   out += "inflight                 " + std::to_string(inflight_.load()) + "\n";
   out += "overload_rejections      " +

@@ -1,24 +1,35 @@
 // TCP transport host: serves a DatabaseServer + DisplayLockManager behind a
 // listening socket, speaking the framed protocol of net/wire.h.
 //
-// Threading model (per figure: one acceptor + three threads per connection):
+// Threading model (event-driven; DESIGN.md §11):
 //
-//   acceptor ──► Connection
-//                  reader    reads frames; routes CALLBACK_ACKs to waiting
-//                            invalidation calls, queues REQUEST/ONEWAY
-//                  worker    executes queued requests serially against the
-//                            DatabaseServer/DLM (preserves the per-client
-//                            ordering the in-process path has), writes
-//                            RESPONSE frames
-//                  notifier  drains the connection's bus inbox and forwards
-//                            DLM notifications as NOTIFY frames
+//   acceptor ──► assigns each connection to one of N I/O event loops
+//   I/O loops    epoll reactors (net/event_loop.h) owning every socket:
+//                nonblocking reads decode frames incrementally (net/conn.h),
+//                CALLBACK_ACK / RESYNC_ACK frames are routed inline, REQUEST
+//                frames pass admission control and queue for the worker
+//                pool, and all outbound traffic (responses, callbacks,
+//                NOTIFY fan-out) drains through per-connection bounded
+//                write queues flushed with vectored writev.
+//   worker pool  M threads execute queued requests against the
+//                DatabaseServer/DLM. A per-connection strand (one scheduled
+//                slot, one request per dispatch) preserves the per-client
+//                ordering the old thread-per-connection model had, while
+//                thousands of connections share a handful of threads.
 //
-// The reader/worker split matters for correctness: a commit executing on
-// client A's worker blocks until every cached-copy holder acks its
-// invalidation CALLBACK. Those acks arrive on *other* connections and are
-// routed by their readers, which never execute blocking server work — so
-// two clients concurrently committing updates to each other's cached
-// objects cannot deadlock the transport.
+// The loop/worker split matters for correctness exactly like the old
+// reader/worker split did: a commit executing on a worker blocks until
+// every cached-copy holder acks its invalidation CALLBACK. Those acks
+// arrive on *other* connections and are routed by their I/O loops, which
+// never execute blocking server work — so concurrent committers cannot
+// deadlock the transport even with every worker busy.
+//
+// NOTIFY fan-out serializes each notification body exactly once: the DLM
+// shares one message instance across subscribers with identical content,
+// Message::SharedWireBody memoizes the encoded body in a refcounted
+// SharedBuf, and each connection's frame is a small per-connection head
+// (trace context + envelope metadata) stitched to the shared body by
+// writev. transport.fanout.{encodes,reuses} count the effect.
 //
 // Virtual cost: each metered request charges the shared RpcMeter with the
 // *measured* frame byte counts (header + payload, both directions) against
@@ -39,6 +50,8 @@
 #include <vector>
 
 #include "core/dlm.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
 #include "net/rpc_meter.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -84,12 +97,27 @@ struct TransportServerOptions {
   int64_t slow_rpc_threshold_ms = 250;
   /// Rate limit on those WARN lines: at most one per this interval, with a
   /// suppressed-count carried on the next emitted line. The slow-RPC ring
-  /// still records every event. 0 = log every slow RPC (old behaviour).
+  /// still records every event. Accept-error WARNs share the limiter
+  /// policy. 0 = log every event (old behaviour).
   int64_t slow_rpc_log_interval_ms = 5000;
 
+  // --- Threading (DESIGN.md §11) ----------------------------------------
+  /// I/O event loops (epoll reactors). Each owns a share of the accepted
+  /// sockets. 0 = auto: half the cores, clamped to [1, 8].
+  int io_threads = 0;
+  /// Worker threads executing requests. 0 = auto: one per core, at least 4
+  /// (workers block on callback acks, so a few spares keep commits moving
+  /// on small machines).
+  int worker_threads = 0;
+  /// Per-connection outbound write-queue watermark: while more than this
+  /// many bytes are queued for a socket, its NOTIFY lane stops refilling
+  /// and the backlog accumulates in the *bounded* notify inbox where the
+  /// overload ladder applies. Responses and callbacks always enqueue.
+  size_t write_watermark_bytes = 256 * 1024;
+
   // --- Overload protection (DESIGN.md §9) -------------------------------
-  /// Per-connection bound on requests queued for the worker; the reader
-  /// rejects further REQUESTs with Status::Overloaded (+ retry-after hint)
+  /// Per-connection bound on requests queued for the worker pool; further
+  /// REQUESTs are rejected with Status::Overloaded (+ retry-after hint)
   /// instead of queueing without limit. 0 = unbounded (the old behaviour).
   size_t max_request_queue = 256;
   /// Server-wide cap on requests admitted but not yet executed, across all
@@ -133,13 +161,16 @@ class TransportServer {
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
 
-  /// Binds, listens and starts the acceptor thread.
+  /// Binds, listens and starts the I/O loops, worker pool, and acceptor.
   Status Start();
   /// Disconnects everything and joins all threads. Idempotent.
   void Stop();
 
   uint16_t port() const { return listener_.port(); }
   bool running() const { return running_.load(); }
+  /// Resolved thread counts (after the 0 = auto defaults applied).
+  int io_threads() const { return resolved_io_threads_; }
+  int worker_threads() const { return resolved_worker_threads_; }
 
   // --- Transport-level metrics (real bytes, not virtual) ----------------
   uint64_t bytes_received() const { return bytes_in_.Get(); }
@@ -147,6 +178,12 @@ class TransportServer {
   uint64_t requests_served() const { return requests_.Get(); }
   uint64_t notifications_forwarded() const { return notifies_.Get(); }
   uint64_t connections_accepted() const { return accepts_.Get(); }
+  /// NOTIFY bodies actually serialized (once per distinct message)...
+  uint64_t fanout_encodes() const { return fanout_encodes_.Get(); }
+  /// ...vs NOTIFY frames that reused an already-encoded shared body. For a
+  /// fan-out of one update to K identical subscribers: 1 encode, K-1
+  /// reuses — the single-serialization invariant, asserted by tests.
+  uint64_t fanout_reuses() const { return fanout_reuses_.Get(); }
 
   // --- Overload / degradation telemetry (also in STATS and idba_stat) ---
   /// REQUEST frames rejected with Status::Overloaded (admission control).
@@ -204,13 +241,30 @@ class TransportServer {
   static constexpr size_t kSlowRpcRing = 64;
 
   void AcceptLoop();
-  void ReaderLoop(Connection* conn);
-  void WorkerLoop(Connection* conn);
-  void NotifierLoop(Connection* conn);
-  /// Unregisters the connection from server/DLM/bus and unblocks its
-  /// threads. Safe to call from any thread, more than once.
+  /// Worker-pool thread: pops one connection strand, executes exactly one
+  /// of its queued requests, reschedules the strand if more are queued.
+  void WorkerMain();
+  /// Enqueues the connection's strand for the worker pool (deduplicated:
+  /// at most one queue entry / executing worker per connection at a time,
+  /// which preserves per-client request ordering).
+  void ScheduleWork(Connection* conn);
+  /// Frame dispatch on the connection's I/O loop thread.
+  void OnConnFrame(Connection* conn, const wire::FrameHeader& header,
+                   std::vector<uint8_t> payload);
+  /// Drains the connection's outbound lanes on its loop thread: pending
+  /// invalidation callbacks, an owed forced RESYNC, then the notify inbox —
+  /// the last gated on write-queue backpressure.
+  void FlushNotifies(Connection* conn);
+  /// Unregisters the connection from server/DLM/bus and unblocks waiters.
+  /// Safe to call from any thread, more than once.
   void Teardown(Connection* conn);
   void ReapFinished();
+  /// Periodic idle scan (loop-0 tick): kills connections whose last read
+  /// is older than idle_timeout_ms.
+  void ScanIdle();
+  /// Rate-limited WARN for accept failures (same limiter policy as slow
+  /// RPCs: at most one line per interval, suppressed count carried over).
+  void NoteAcceptError(const Status& st);
 
   void HandleFrame(Connection* conn, const wire::FrameHeader& header,
                    const std::vector<uint8_t>& payload, int64_t enqueued_us);
@@ -222,15 +276,11 @@ class TransportServer {
   /// exempt introspection call).
   bool ShouldShed(Connection* conn, const wire::FrameHeader& header,
                   const std::vector<uint8_t>& payload, VTime* client_now);
-  /// Writes the Overloaded RESPONSE (status + retry-after hint) directly
-  /// from the reader thread, bypassing the saturated worker queue.
+  /// Queues the Overloaded RESPONSE (status + retry-after hint) directly
+  /// from the I/O loop, bypassing the saturated worker pool.
   void WriteOverloadedResponse(Connection* conn,
                                const wire::FrameHeader& header,
                                VTime client_now);
-  /// Flushes the connection's callback lane and any pending forced resync;
-  /// returns false when the connection must die (write failure or
-  /// escalation to disconnect).
-  bool FlushOutbandLanes(Connection* conn, uint64_t* notify_seq);
   Status ExecuteMethod(Connection* conn, wire::Method method, Decoder* dec,
                        VTime client_now, int64_t request_bytes,
                        ServerCallInfo* info, Encoder* body, bool* metered);
@@ -242,19 +292,33 @@ class TransportServer {
   NotificationBus* bus_;
   RpcMeter* meter_;
   TransportServerOptions opts_;
+  int resolved_io_threads_ = 0;
+  int resolved_worker_threads_ = 0;
 
   Listener listener_;
   std::thread acceptor_;
   std::atomic<bool> running_{false};
 
+  /// I/O reactors; connections are assigned round-robin at accept.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+
+  /// Worker pool and its run queue of connection strands.
+  std::vector<std::thread> workers_;
+  std::mutex runq_mu_;
+  std::condition_variable runq_cv_;
+  std::deque<std::shared_ptr<Connection>> runq_;
+  bool workers_stop_ = false;  ///< guarded by runq_mu_
+
   mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> conns_;
   std::unordered_set<ClientId> active_clients_;
   /// Serializes DDL (DefineClass/AddAttribute) across connections; the
   /// catalog itself is setup-phase and not internally synchronized.
   std::mutex ddl_mu_;
 
   MirroredCounter bytes_in_, bytes_out_, requests_, notifies_, accepts_;
+  MirroredCounter fanout_encodes_, fanout_reuses_;
   MirroredCounter overload_rejections_, oneway_shed_;
   MirroredCounter notify_coalesced_, notify_shed_, notify_overflows_;
   MirroredCounter forced_resyncs_, slow_disconnects_;
@@ -265,6 +329,8 @@ class TransportServer {
   std::deque<SlowRpc> slow_rpcs_;  ///< bounded to kSlowRpcRing
   int64_t last_slow_log_us_ = 0;   ///< guarded by slow_mu_
   uint64_t slow_suppressed_ = 0;   ///< WARNs withheld since the last one
+  int64_t last_accept_log_us_ = 0;     ///< guarded by slow_mu_
+  uint64_t accept_err_suppressed_ = 0; ///< guarded by slow_mu_
 
   // Declared last: unregisters before the state its callback reads.
   ScopedGauge inflight_gauge_;

@@ -33,6 +33,11 @@
 //                     a retry-after hint (default 256, 0 = unbounded)
 //   --max-inflight N  server-wide cap on admitted-but-unfinished requests
 //                     (default 1024, 0 = unlimited)
+//   --io-threads N    epoll reactor threads (default 0 = auto: half the
+//                     cores, clamped to [1, 8]); echoed in STATS
+//   --worker-threads N
+//                     request-execution pool size (default 0 = auto:
+//                     max(cores, 4)); echoed in STATS
 //   --slow-subscriber-policy coalesce|resync|disconnect
 //                     escalation for clients that cannot drain their
 //                     NOTIFY stream (default resync; see DESIGN.md §9)
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   long trace_every = 1;
   long max_queue = -1;     // -1 = keep the TransportServerOptions default
   long max_inflight = -1;
+  long io_threads = 0;      // 0 = auto-size from hardware_concurrency
+  long worker_threads = 0;
   std::string slow_subscriber_policy;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +114,10 @@ int main(int argc, char** argv) {
       max_queue = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       max_inflight = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--io-threads") == 0 && i + 1 < argc) {
+      io_threads = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--worker-threads") == 0 && i + 1 < argc) {
+      worker_threads = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-subscriber-policy") == 0 &&
                i + 1 < argc) {
       slow_subscriber_policy = argv[++i];
@@ -125,6 +136,7 @@ int main(int argc, char** argv) {
                    "[--eager] [--early-notify] [--integrated] [--trace [N]] "
                    "[--slow-rpc-ms N] [--metrics-interval SECS] "
                    "[--prom-port N] [--max-queue N] [--max-inflight N] "
+                   "[--io-threads N] [--worker-threads N] "
                    "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
@@ -147,6 +159,12 @@ int main(int argc, char** argv) {
   if (max_inflight >= 0) {
     transport_opts.max_inflight = static_cast<size_t>(max_inflight);
   }
+  if (io_threads > 0) {
+    transport_opts.io_threads = static_cast<int>(io_threads);
+  }
+  if (worker_threads > 0) {
+    transport_opts.worker_threads = static_cast<int>(worker_threads);
+  }
   if (slow_subscriber_policy == "coalesce") {
     transport_opts.slow_subscriber_policy =
         idba::SlowSubscriberPolicy::kCoalesce;
@@ -162,8 +180,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "idba_serve: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("idba_serve listening on %s:%u\n", bind_host.c_str(),
-              transport.port());
+  std::printf("idba_serve listening on %s:%u (io_threads=%d worker_threads=%d)\n",
+              bind_host.c_str(), transport.port(), transport.io_threads(),
+              transport.worker_threads());
   std::fflush(stdout);
 
   idba::obs::PromHttpServer prom_server;

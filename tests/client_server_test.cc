@@ -107,6 +107,56 @@ TEST_F(ClientServerTest, WriterOwnCacheRefreshedByCommitReply) {
   EXPECT_EQ(cached->version(), 2u);
 }
 
+
+// --- Callback fan-out soak -------------------------------------------------
+//
+// Avoidance-based coherency at population scale: a crowd of clients all
+// cache the same hot object, a writer commits a stream of updates, and not
+// one cached copy is ever stale — every commit called back every holder
+// before completing. (The TCP analogue, with the single-serialization
+// NOTIFY fan-out assertion, lives in transport_fault_test.)
+TEST_F(ClientServerTest, ManyClientCallbackFanoutKeepsAllCachesCoherent) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr int kReaders = 64;
+#else
+  constexpr int kReaders = 256;
+#endif
+  constexpr int kCommits = 4;
+  Oid oid = SeedLink(0.1);
+
+  std::vector<std::unique_ptr<DatabaseClient>> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.push_back(
+        std::make_unique<DatabaseClient>(&server_, 1000 + i, &meter_, &bus_));
+    ASSERT_TRUE(readers.back()->ReadCurrent(oid).ok());
+    ASSERT_TRUE(readers.back()->cache().Contains(oid));
+  }
+
+  for (int c = 0; c < kCommits; ++c) {
+    const double value = 0.2 + 0.1 * c;
+    TxnId t = a_->Begin();
+    auto obj = a_->Read(t, oid);
+    ASSERT_TRUE(obj.ok());
+    DatabaseObject updated = std::move(obj).value();
+    ASSERT_TRUE(
+        updated.SetByName(server_.schema(), "Utilization", Value(value)).ok());
+    ASSERT_TRUE(a_->Write(t, std::move(updated)).ok());
+    ASSERT_TRUE(a_->Commit(t).ok());
+
+    // The commit invalidated every holder; each refetch observes the new
+    // value and re-registers for the next round.
+    for (auto& reader : readers) {
+      EXPECT_FALSE(reader->cache().Contains(oid));
+      auto fresh = reader->ReadCurrent(oid);
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_EQ(
+          fresh.value().GetByName(server_.schema(), "Utilization").value(),
+          Value(value));
+    }
+  }
+}
+
 TEST_F(ClientServerTest, CommitChargesCallbackRoundTrips) {
   Oid oid = SeedLink(0.1);
   ASSERT_TRUE(b_->ReadCurrent(oid).ok());

@@ -468,5 +468,96 @@ TEST_F(TransportFaultTest, WriteErrorInjectionFailsTheCallImmediately) {
   EXPECT_TRUE(client->BeginTxn().ok());
 }
 
+// --- NOTIFY fan-out soak ---------------------------------------------------
+//
+// A big population of raw wire-v2 subscriber sockets (one D lock each on a
+// hot object) all receive every committed update, and the transport
+// serializes each update's NOTIFY body exactly once: the fanout counters
+// show one encode per distinct message and a reuse for every other
+// subscriber. Under sanitizers the population shrinks (same code paths,
+// smaller constants).
+TEST_F(TransportFaultTest, ThousandSubscriberFanoutSerializesOnce) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr int kSubscribers = 128;
+#else
+  constexpr int kSubscribers = 1000;
+#endif
+  constexpr int kCommits = 3;
+  StartServer();
+  SeedNms();
+  Oid hot = db_.link_oids[0];
+
+  // Raw v2 subscribers: Hello (with the trailing version byte), then one
+  // display lock on the hot object. No reader thread per socket — frames
+  // accumulate in each socket's kernel buffer until the test drains them.
+  std::vector<Socket> subs;
+  subs.reserve(kSubscribers);
+  std::mutex write_mu;
+  for (int i = 0; i < kSubscribers; ++i) {
+    Result<Socket> raw = Socket::ConnectTo("127.0.0.1", transport_->port());
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    Socket sock = std::move(raw).value();
+    const uint64_t id = 10000 + i;
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kHello));
+      enc.PutI64(0);  // client_now
+      enc.PutU64(id);
+      enc.PutU8(0);  // kAvoidance
+      enc.PutU8(wire::kWireVersion);
+      ASSERT_TRUE(
+          sock.WriteFrame(write_mu, wire::FrameType::kRequest, 1, payload)
+              .ok());
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      ASSERT_TRUE(sock.ReadFrame(&header, &reply).ok());
+    }
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kDlmLock));
+      enc.PutI64(0);           // client_now
+      enc.PutI64(0);           // sent_at
+      enc.PutU64(id);          // holder
+      enc.PutU64(hot.value);   // oid
+      ASSERT_TRUE(
+          sock.WriteFrame(write_mu, wire::FrameType::kRequest, 2, payload)
+              .ok());
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      ASSERT_TRUE(sock.ReadFrame(&header, &reply).ok());
+    }
+    subs.push_back(std::move(sock));
+  }
+
+  const uint64_t encodes_before = transport_->fanout_encodes();
+  const uint64_t reuses_before = transport_->fanout_reuses();
+
+  auto writer = Connect(999);
+  ASSERT_NE(writer, nullptr);
+  for (int c = 0; c < kCommits; ++c) {
+    ASSERT_TRUE(UpdateUtilization(writer.get(), hot, 0.10 + 0.01 * c).ok());
+  }
+
+  // Every subscriber sees every commit, in order.
+  for (Socket& sock : subs) {
+    ASSERT_TRUE(sock.SetRecvTimeout(10000).ok());
+    for (int c = 0; c < kCommits; ++c) {
+      wire::FrameHeader header;
+      std::vector<uint8_t> frame;
+      ASSERT_TRUE(sock.ReadFrame(&header, &frame).ok());
+      EXPECT_EQ(header.type, wire::FrameType::kNotify);
+    }
+  }
+
+  // Single-serialization invariant: each commit's notification body was
+  // encoded once and reused for the other kSubscribers-1 connections.
+  const uint64_t encodes = transport_->fanout_encodes() - encodes_before;
+  const uint64_t reuses = transport_->fanout_reuses() - reuses_before;
+  EXPECT_EQ(encodes, static_cast<uint64_t>(kCommits));
+  EXPECT_EQ(reuses, static_cast<uint64_t>(kCommits) * (kSubscribers - 1));
+}
+
 }  // namespace
 }  // namespace idba
