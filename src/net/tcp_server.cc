@@ -1398,6 +1398,17 @@ std::string TransportServer::StatsJson() const {
     }
     out += ']';
   }
+  out += "},\"wal\":{";
+  {
+    Wal& wal = server_->wal();
+    out += "\"durable_lsn\":" + std::to_string(wal.durable_lsn());
+    out += ",\"next_lsn\":" + std::to_string(wal.next_lsn());
+    out += ",\"appended_bytes\":" + std::to_string(wal.appended_bytes());
+    out += ",\"fsyncs\":" + std::to_string(wal.fsyncs());
+    out += ",\"recovered_records\":" + std::to_string(wal.recovered_records());
+    out += ",\"group_commit_window_us\":" +
+           std::to_string(wal.group_commit_window_us());
+  }
   out += "},";
   AppendSlowRpcJson(out, SlowRpcLog());
   out += ",\"trace\":{\"retained_spans\":" +
@@ -1447,6 +1458,20 @@ std::string TransportServer::StatsText() const {
          std::to_string(callback_timeouts_.Get()) + "\n";
   out += "callback_overflows       " +
          std::to_string(callback_overflows_.Get()) + "\n";
+  out += "\n== wal ==\n";
+  {
+    Wal& wal = server_->wal();
+    out += "durable_lsn              " + std::to_string(wal.durable_lsn()) +
+           "\n";
+    out += "next_lsn                 " + std::to_string(wal.next_lsn()) + "\n";
+    out += "appended_bytes           " + std::to_string(wal.appended_bytes()) +
+           "\n";
+    out += "fsyncs                   " + std::to_string(wal.fsyncs()) + "\n";
+    out += "recovered_records        " +
+           std::to_string(wal.recovered_records()) + "\n";
+    out += "group_commit_window_us   " +
+           std::to_string(wal.group_commit_window_us()) + "\n";
+  }
   out += "\n== sessions ==\n";
   {
     std::lock_guard<std::mutex> lock(conns_mu_);

@@ -41,6 +41,13 @@
 //   --slow-subscriber-policy coalesce|resync|disconnect
 //                     escalation for clients that cannot drain their
 //                     NOTIFY stream (default resync; see DESIGN.md §9)
+//   --wal-group-commit-us N
+//                     group-commit window: the WAL flush leader lingers up
+//                     to N microseconds for more committers before paying
+//                     the fsync (default 0 = sync immediately; batching
+//                     then comes only from fsync backpressure). Trades a
+//                     bounded bump in commit latency for fewer fsyncs —
+//                     see DESIGN.md §12
 //
 // The process runs until SIGINT/SIGTERM, then checkpoints and exits.
 
@@ -118,6 +125,9 @@ int main(int argc, char** argv) {
       io_threads = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--worker-threads") == 0 && i + 1 < argc) {
       worker_threads = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wal-group-commit-us") == 0 &&
+               i + 1 < argc) {
+      dep_opts.server.txn.group_commit_window_us = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-subscriber-policy") == 0 &&
                i + 1 < argc) {
       slow_subscriber_policy = argv[++i];
@@ -137,6 +147,7 @@ int main(int argc, char** argv) {
                    "[--slow-rpc-ms N] [--metrics-interval SECS] "
                    "[--prom-port N] [--max-queue N] [--max-inflight N] "
                    "[--io-threads N] [--worker-threads N] "
+                   "[--wal-group-commit-us N] "
                    "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
@@ -180,9 +191,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "idba_serve: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("idba_serve listening on %s:%u (io_threads=%d worker_threads=%d)\n",
-              bind_host.c_str(), transport.port(), transport.io_threads(),
-              transport.worker_threads());
+  std::printf(
+      "idba_serve listening on %s:%u (io_threads=%d worker_threads=%d "
+      "wal_group_commit_us=%lld)\n",
+      bind_host.c_str(), transport.port(), transport.io_threads(),
+      transport.worker_threads(),
+      static_cast<long long>(dep_opts.server.txn.group_commit_window_us));
   std::fflush(stdout);
 
   idba::obs::PromHttpServer prom_server;

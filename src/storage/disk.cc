@@ -36,6 +36,16 @@ Status MemDisk::WritePage(PageId id, const PageData& data) {
   return Status::OK();
 }
 
+Status MemDisk::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failing_syncs_ > 0) {
+    --failing_syncs_;
+    return Status::IOError("injected sync failure");
+  }
+  syncs_.Add();
+  return Status::OK();
+}
+
 Status MemDisk::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
   pages_.clear();
@@ -55,6 +65,11 @@ void MemDisk::InjectReadFailures(int n) {
 void MemDisk::InjectWriteFailures(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   failing_writes_ = n;
+}
+
+void MemDisk::InjectSyncFailures(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failing_syncs_ = n;
 }
 
 std::unique_ptr<MemDisk> MemDisk::Clone() const {
@@ -118,6 +133,7 @@ Status FileDisk::Sync() {
   if (::fsync(fd_) != 0) {
     return Status::IOError("fsync: " + std::string(std::strerror(errno)));
   }
+  syncs_.Add();
   return Status::OK();
 }
 

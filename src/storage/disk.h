@@ -46,13 +46,15 @@ class Disk {
   /// Number of pages ever written + 1 (i.e. one past the highest id).
   virtual PageId PageCount() const = 0;
 
-  /// Total physical reads / writes since construction.
+  /// Total physical reads / writes / sync barriers since construction.
   uint64_t reads() const { return reads_.Get(); }
   uint64_t writes() const { return writes_.Get(); }
+  uint64_t syncs() const { return syncs_.Get(); }
 
  protected:
   Counter reads_;
   Counter writes_;
+  Counter syncs_;
 };
 
 /// In-memory disk. Optionally injects read/write failures for tests.
@@ -62,7 +64,7 @@ class MemDisk : public Disk {
 
   Status ReadPage(PageId id, PageData* out) override;
   Status WritePage(PageId id, const PageData& data) override;
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override;
   Status Truncate() override;
   PageId PageCount() const override;
 
@@ -70,6 +72,8 @@ class MemDisk : public Disk {
   void InjectReadFailures(int n);
   /// When set, the next `n` writes fail with IOError (test hook).
   void InjectWriteFailures(int n);
+  /// When set, the next `n` syncs fail with IOError (test hook).
+  void InjectSyncFailures(int n);
 
   /// Deep copy of the current disk image (crash-point snapshots in
   /// recovery property tests).
@@ -80,6 +84,7 @@ class MemDisk : public Disk {
   std::vector<std::unique_ptr<PageData>> pages_;
   int failing_reads_ = 0;
   int failing_writes_ = 0;
+  int failing_syncs_ = 0;
 };
 
 /// File-backed disk (single flat file of 4 KiB pages).

@@ -1,6 +1,8 @@
 #include "storage/wal.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/trace.h"
 
@@ -41,6 +43,13 @@ Status ParsePage(const PageData& page, std::vector<WalRecord>* out) {
   }
   return Status::OK();
 }
+
+size_t EncodedEntrySize(const WalRecord& rec) {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  rec.EncodeTo(&enc);
+  return 4 + payload.size();
+}
 }  // namespace
 
 void WalRecord::EncodeTo(Encoder* enc) const {
@@ -72,19 +81,32 @@ Status WalRecord::DecodeFrom(Decoder* dec, WalRecord* out) {
 }
 
 Wal::Wal(Disk* disk) : disk_(disk) {
-  // Resume after an existing log: position past the last durable record.
+  // Resume after an existing log: position past the last durable record and
+  // restore the byte counter from the recovered log (post-restart metrics
+  // would otherwise under-report everything ever appended).
   auto existing = ReadAllFromDisk(disk_);
   if (existing.ok() && !existing.value().empty()) {
     next_lsn_ = existing.value().back().lsn + 1;
     // Continue appending on a fresh page (simpler than refilling a partial
     // tail page; wastes at most one page per restart).
     next_page_ = disk_->PageCount();
+    recovered_records_ = existing.value().size();
+    for (const WalRecord& rec : existing.value()) {
+      appended_bytes_ += EncodedEntrySize(rec);
+    }
+  }
+  durable_lsn_ = next_lsn_ - 1;  // everything on disk is durable
+  fsyncs_total_ = GlobalMetrics().GetCounter("wal.fsyncs_total");
+  batch_size_ = GlobalMetrics().GetHistogram("wal.group.batch_size");
+  wait_us_ = GlobalMetrics().GetHistogram("wal.group.wait_us");
+  if (recovered_records_ > 0) {
+    GlobalMetrics().GetCounter("wal.recovered_records")->Add(recovered_records_);
   }
 }
 
 Result<Lsn> Wal::Append(WalRecord rec) {
   std::lock_guard<std::mutex> lock(mu_);
-  rec.lsn = next_lsn_++;
+  rec.lsn = next_lsn_;
   std::vector<uint8_t> payload;
   Encoder enc(&payload);
   rec.EncodeTo(&enc);
@@ -92,6 +114,7 @@ Result<Lsn> Wal::Append(WalRecord rec) {
     return Status::InvalidArgument("WAL record exceeds page capacity: " +
                                    std::to_string(payload.size()) + " bytes");
   }
+  ++next_lsn_;
   std::vector<uint8_t> entry(4 + payload.size());
   uint32_t len = static_cast<uint32_t>(payload.size());
   std::memcpy(entry.data(), &len, 4);
@@ -101,11 +124,23 @@ Result<Lsn> Wal::Append(WalRecord rec) {
   return rec.lsn;
 }
 
-Status Wal::FlushLocked() {
-  for (auto& entry : pending_) {
+Status Wal::PackAndSync(const std::vector<std::vector<uint8_t>>& batch) {
+  // Snapshot the pack state: a failed batch's entries are dropped (their
+  // committers see the error and abort), so the tail must revert to its
+  // pre-batch image for the next batch to pack from. Pages the failed batch
+  // already wrote beyond the restored tail are garbage; ReadAllFromDisk's
+  // monotonic-LSN cutoff ignores them and the next successful batch
+  // overwrites them.
+  const PageId saved_next_page = next_page_;
+  const size_t saved_used = cur_used_;
+  const PageData saved_page = cur_page_;
+
+  Status st = Status::OK();
+  for (const auto& entry : batch) {
     if (cur_used_ + entry.size() > kWalPageCapacity) {
       SetPageUsed(&cur_page_, static_cast<uint16_t>(cur_used_));
-      IDBA_RETURN_NOT_OK(disk_->WritePage(next_page_, cur_page_));
+      st = disk_->WritePage(next_page_, cur_page_);
+      if (!st.ok()) break;
       ++next_page_;
       cur_page_ = PageData{};
       cur_used_ = 0;
@@ -114,22 +149,96 @@ Status Wal::FlushLocked() {
                 entry.size());
     cur_used_ += entry.size();
   }
+  if (st.ok()) {
+    SetPageUsed(&cur_page_, static_cast<uint16_t>(cur_used_));
+    st = disk_->WritePage(next_page_, cur_page_);
+    if (st.ok()) st = disk_->Sync();
+  }
+  if (!st.ok()) {
+    next_page_ = saved_next_page;
+    cur_used_ = saved_used;
+    cur_page_ = saved_page;
+    tail_dirty_ = true;  // on-disk tail may hold failed-batch bytes
+    return st;
+  }
+  tail_dirty_ = false;
+  fsyncs_local_.Add();
+  fsyncs_total_->Add();
+  batch_size_->Record(static_cast<double>(batch.size()));
+  return Status::OK();
+}
+
+Status Wal::WaitDurable(Lsn lsn) {
+  const int64_t t0 = obs::NowUs();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // A failed batch drops its records; waiters for those LSNs must see the
+    // batch's error, never a later batch's success (the durable horizon
+    // keeps advancing past the hole).
+    for (const DroppedRange& r : dropped_) {
+      if (lsn >= r.from && lsn <= r.upto) {
+        Status st = r.error;
+        wait_us_->Record(static_cast<double>(obs::NowUs() - t0));
+        return st;
+      }
+    }
+    if (durable_lsn_ >= lsn) {
+      wait_us_->Record(static_cast<double>(obs::NowUs() - t0));
+      return Status::OK();
+    }
+    if (!flush_in_progress_) break;
+    cv_.wait(lk);
+  }
+
+  // Leader: claim the flush, optionally linger so concurrent committers
+  // join this batch, then pack + sync everything appended so far. Appenders
+  // are never blocked on the I/O: mu_ is dropped while it runs.
+  flush_in_progress_ = true;
+  const int64_t window = group_window_us_.load(std::memory_order_relaxed);
+  if (window > 0) {
+    lk.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(window));
+    lk.lock();
+  }
+  const Lsn target = next_lsn_ - 1;
+  std::vector<std::vector<uint8_t>> batch = std::move(pending_);
   pending_.clear();
-  SetPageUsed(&cur_page_, static_cast<uint16_t>(cur_used_));
-  IDBA_RETURN_NOT_OK(disk_->WritePage(next_page_, cur_page_));
-  return disk_->Sync();
+  const bool dirty = tail_dirty_ || !batch.empty();
+  lk.unlock();
+
+  Status st = Status::OK();
+  if (dirty) st = PackAndSync(batch);
+
+  lk.lock();
+  flush_in_progress_ = false;
+  if (st.ok()) {
+    durable_lsn_ = target;
+  } else if (target > durable_lsn_) {
+    dropped_.push_back(DroppedRange{durable_lsn_ + 1, target, st});
+  }
+  cv_.notify_all();
+  wait_us_->Record(static_cast<double>(obs::NowUs() - t0));
+  return st;
 }
 
 Status Wal::Flush() {
   IDBA_TRACE_SPAN("storage.wal_flush");
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  Lsn last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = next_lsn_ - 1;
+  }
+  return WaitDurable(last);
 }
 
 Result<std::vector<WalRecord>> Wal::ReadAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Wait out any in-flight batch: while one runs, the pack state belongs to
+  // the leader. Holding mu_ afterwards blocks new leaders from starting.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !flush_in_progress_; });
   std::vector<WalRecord> out;
-  // Full pages already shipped to disk.
+  // Full pages already shipped to disk (pages at >= next_page_ can only be
+  // failed-batch leftovers, excluded by the bound).
   for (PageId p = 0; p < next_page_; ++p) {
     PageData page;
     IDBA_RETURN_NOT_OK(disk_->ReadPage(p, &page));
@@ -152,24 +261,50 @@ Result<std::vector<WalRecord>> Wal::ReadAllFromDisk(Disk* disk) {
   for (PageId p = 0; p < disk->PageCount(); ++p) {
     PageData page;
     IDBA_RETURN_NOT_OK(disk->ReadPage(p, &page));
-    IDBA_RETURN_NOT_OK(ParsePage(page, &out));
+    std::vector<WalRecord> page_recs;
+    Status st = ParsePage(page, &page_recs);
+    // A torn or stale tail page (crash mid-batch) ends the log: everything
+    // before it is the durable prefix, which is exactly what recovery
+    // should replay.
+    if (!st.ok()) return out;
+    for (WalRecord& rec : page_recs) {
+      // LSNs are strictly increasing in a well-formed log. A regression
+      // means this page is a leftover from a failed batch that newer
+      // flushes never overwrote — cut the scan there.
+      if (!out.empty() && rec.lsn <= out.back().lsn) return out;
+      out.push_back(std::move(rec));
+    }
   }
   return out;
 }
 
 Status Wal::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !flush_in_progress_; });
   IDBA_RETURN_NOT_OK(disk_->Truncate());
   next_page_ = 0;
   cur_page_ = PageData{};
   cur_used_ = 0;
+  tail_dirty_ = false;
   pending_.clear();
+  durable_lsn_ = next_lsn_ - 1;
+  dropped_.clear();
   return Status::OK();
 }
 
 Lsn Wal::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;
+}
+
+Lsn Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint64_t Wal::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_bytes_;
 }
 
 PageId Wal::DiskPages() const {

@@ -1,10 +1,20 @@
-// Write-ahead log.
+// Write-ahead log with group commit.
 //
 // The transaction manager uses deferred updates (no-steal): a transaction's
 // writes are buffered in an intention list and applied to the heap store
 // only after the commit record is durable. The WAL therefore carries
 // redo-only full object images; recovery replays committed transactions'
 // images in log order (idempotent, since images are complete).
+//
+// Durability is a two-phase protocol: Append() assigns an LSN and buffers
+// the record (lock-light — one short mutex hold, no I/O), WaitDurable(lsn)
+// blocks until that LSN is covered by a sync barrier. Concurrent committers
+// elect a leader: the first waiter whose LSN is not yet durable packs every
+// buffered record into pages, writes them, and issues ONE disk sync for the
+// whole batch, while followers sleep on a condition variable. K concurrent
+// commits therefore cost ~1 fsync per batch instead of K — the group commit
+// of the ROADMAP "storage engine raw speed" item, keeping WAL force time
+// off the interaction-latency critical path the display cache protects.
 //
 // On-disk format: the WAL owns its own Disk. Records are packed
 // back-to-back into pages as [u32 length][payload]; a zero length
@@ -14,12 +24,14 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/codec.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "objectmodel/object.h"
 #include "storage/disk.h"
@@ -50,15 +62,24 @@ struct WalRecord {
   static Status DecodeFrom(Decoder* dec, WalRecord* out);
 };
 
-/// Append-only durable log. Thread-safe.
+/// Append-only durable log with group commit. Thread-safe.
 class Wal {
  public:
   explicit Wal(Disk* disk);
 
-  /// Appends a record, assigning it the next LSN (returned).
+  /// Appends a record, assigning it the next LSN (returned). Buffers only;
+  /// call WaitDurable (or Flush) to force it to disk.
   Result<Lsn> Append(WalRecord rec);
 
-  /// Makes everything appended so far durable.
+  /// Blocks until every record with LSN <= `lsn` is durable. Waiters
+  /// coalesce: one leader packs and syncs the whole pending batch, the
+  /// rest wait for the durable horizon to cover them. Returns the flush
+  /// error if the batch covering `lsn` failed to reach disk.
+  Status WaitDurable(Lsn lsn);
+
+  /// Makes everything appended so far durable (== WaitDurable on the last
+  /// assigned LSN). A no-op — zero writes, zero syncs — when nothing
+  /// changed since the last successful flush.
   Status Flush();
 
   /// Reads every record currently durable *plus* buffered ones, in order.
@@ -73,22 +94,73 @@ class Wal {
   /// no-op, which is exactly what recovery will do.
   Status Reset();
 
+  /// Maximum time a group-commit leader waits, after claiming the flush,
+  /// for more committers to append before paying the sync (0 = flush
+  /// immediately; batching then comes only from sync backpressure).
+  void set_group_commit_window_us(int64_t us) { group_window_us_.store(us); }
+  int64_t group_commit_window_us() const { return group_window_us_.load(); }
+
   Lsn next_lsn() const;
-  uint64_t appended_bytes() const { return appended_bytes_; }
+  /// Highest LSN known durable on disk.
+  Lsn durable_lsn() const;
+  uint64_t appended_bytes() const;
   /// Pages the log currently occupies on its disk.
   PageId DiskPages() const;
 
+  // --- Group-commit telemetry (per-instance; also mirrored into the
+  // process-global registry as wal.* for STATS/METRICS/Prometheus) -------
+  /// Disk sync barriers issued by this log.
+  uint64_t fsyncs() const { return fsyncs_local_.Get(); }
+  /// Flush batches that actually did I/O (fsyncs() == flush_batches()).
+  uint64_t flush_batches() const { return fsyncs_local_.Get(); }
+  /// Records recovered from disk when this Wal resumed an existing log.
+  uint64_t recovered_records() const { return recovered_records_; }
+
  private:
-  Status FlushLocked();
+  /// Packs `batch` (entries already length-prefixed) into pages after the
+  /// current tail and syncs. Runs WITHOUT mu_ held — exclusivity comes from
+  /// flush_in_progress_; only the elected leader touches the pack state.
+  Status PackAndSync(const std::vector<std::vector<uint8_t>>& batch);
 
   Disk* disk_;
+
+  // mu_ guards everything below plus, when flush_in_progress_ is false,
+  // the pack state. While flush_in_progress_ is true the pack state is
+  // owned exclusively by the leader (which holds no mutex during I/O, so
+  // appenders keep running while the batch is written and synced).
   mutable std::mutex mu_;
+  mutable std::condition_variable cv_;  // durable_lsn_ advanced / flush done
+  bool flush_in_progress_ = false;
   Lsn next_lsn_ = 1;
+  Lsn durable_lsn_ = 0;
+  std::vector<std::vector<uint8_t>> pending_;  // entries not yet paged
+  uint64_t appended_bytes_ = 0;
+  /// LSN ranges lost to failed batches (entries are dropped on failure so
+  /// later batches never silently make them durable). One entry per failed
+  /// batch; waiters inside a range get that batch's error forever.
+  struct DroppedRange {
+    Lsn from;
+    Lsn upto;
+    Status error;
+  };
+  std::vector<DroppedRange> dropped_;
+
+  // Pack state (see mu_ comment for the ownership protocol).
   PageId next_page_ = 0;            // page the in-memory tail will land on
   PageData cur_page_;               // partially filled tail page
   size_t cur_used_ = 0;             // payload bytes used in cur_page_
-  std::vector<std::vector<uint8_t>> pending_;  // entries not yet paged
-  uint64_t appended_bytes_ = 0;
+  /// True when the on-disk tail page may differ from cur_page_ (set after
+  /// a failed batch so the next flush rewrites it; never set by a clean
+  /// flush, which is what makes empty Flush() calls free).
+  bool tail_dirty_ = false;
+
+  std::atomic<int64_t> group_window_us_{0};
+  uint64_t recovered_records_ = 0;
+
+  Counter fsyncs_local_;
+  Counter* fsyncs_total_;       // wal.fsyncs_total
+  Histogram* batch_size_;       // wal.group.batch_size (records per batch)
+  Histogram* wait_us_;          // wal.group.wait_us (WaitDurable latency)
 };
 
 }  // namespace idba

@@ -10,10 +10,19 @@ Result<RecoveryStats> RecoverFromWal(Disk* wal_disk, HeapStore* heap) {
                         Wal::ReadAllFromDisk(wal_disk));
   stats.records_scanned = records.size();
 
-  // Pass 1: winners.
+  // Pass 1: winners, in log order — an abort record appended after a commit
+  // record cancels it. The commit path emits exactly that sequence when the
+  // sync covering a commit record fails: the record may still have reached
+  // disk, so the transaction appends a best-effort abort record and reports
+  // failure to the client. Replaying such a txn would resurrect a commit
+  // the client was told did not happen.
   std::unordered_set<TxnId> committed;
   for (const WalRecord& rec : records) {
-    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+    if (rec.type == WalRecordType::kCommit) {
+      committed.insert(rec.txn);
+    } else if (rec.type == WalRecordType::kAbort) {
+      committed.erase(rec.txn);
+    }
   }
   stats.committed_txns = committed.size();
 

@@ -1,5 +1,7 @@
 #include "txn/txn_manager.h"
 
+#include "obs/trace.h"
+
 namespace idba {
 
 TxnManager::TxnManager(HeapStore* heap, Wal* wal, TxnManagerOptions opts)
@@ -8,6 +10,7 @@ TxnManager::TxnManager(HeapStore* heap, Wal* wal, TxnManagerOptions opts)
   uint64_t max_oid = 0;
   for (Oid oid : heap_->AllOids()) max_oid = std::max(max_oid, oid.value);
   next_oid_.store(max_oid + 1);
+  wal_->set_group_commit_window_us(opts_.group_commit_window_us);
 }
 
 TxnId TxnManager::Begin() {
@@ -105,6 +108,25 @@ Status TxnManager::Erase(TxnId txn, Oid oid) {
   return Status::OK();
 }
 
+Status TxnManager::FailCommit(TxnId txn, Txn* t, Status cause) {
+  // Best-effort abort record: if it reaches disk it durably cancels any
+  // commit record from the failed batch that might otherwise survive
+  // (recovery processes commit/abort in LSN order, last wins). The log may
+  // be the broken component, so ignore the append's own outcome.
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = txn;
+  (void)wal_->Append(std::move(rec));
+  if (abort_hook_) abort_hook_(txn);
+  locks_.ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->state = TxnState::kAborted;
+  }
+  aborts_.Add();
+  return cause;
+}
+
 Result<CommitResult> TxnManager::Commit(TxnId txn) {
   IDBA_ASSIGN_OR_RETURN(Txn * t, FindActive(txn));
   CommitResult result;
@@ -119,7 +141,9 @@ Result<CommitResult> TxnManager::Commit(TxnId txn) {
       uint64_t old_version = 0;
       if (w.kind == WriteKind::kUpdate) {
         auto cur = heap_->Read(oid, &io);
-        if (!cur.ok()) return cur.status();  // update of a vanished object
+        if (!cur.ok()) {
+          return FailCommit(txn, t, cur.status());  // update of a vanished object
+        }
         old_version = cur.value().version();
       }
       w.obj.set_version(old_version + 1);
@@ -127,7 +151,8 @@ Result<CommitResult> TxnManager::Commit(TxnId txn) {
     finals.push_back(std::move(w));
   }
 
-  // 2. Write-ahead log: redo images + commit record, then force.
+  // 2a. Append phase (lock-light): buffer redo images + the commit record
+  //     into the WAL. No I/O happens here.
   for (const PendingWrite& w : finals) {
     WalRecord rec;
     rec.txn = txn;
@@ -145,31 +170,56 @@ Result<CommitResult> TxnManager::Commit(TxnId txn) {
         rec.type = WalRecordType::kErase;
         break;
     }
-    IDBA_RETURN_NOT_OK(wal_->Append(std::move(rec)).status());
+    auto lsn = wal_->Append(std::move(rec));
+    if (!lsn.ok()) return FailCommit(txn, t, lsn.status());
   }
   WalRecord commit_rec;
   commit_rec.type = WalRecordType::kCommit;
   commit_rec.txn = txn;
-  IDBA_RETURN_NOT_OK(wal_->Append(std::move(commit_rec)).status());
-  if (opts_.durable_commit) IDBA_RETURN_NOT_OK(wal_->Flush());
+  auto commit_lsn = wal_->Append(std::move(commit_rec));
+  if (!commit_lsn.ok()) return FailCommit(txn, t, commit_lsn.status());
+
+  // 2b. Durability barrier: block until the commit LSN is covered by a
+  //     sync. Concurrent committers coalesce into one batched fsync inside
+  //     the Wal (group commit); on failure the transaction never became
+  //     durable, so abort it cleanly — releasing the X locks, which the
+  //     pre-group-commit code leaked, hanging every later reader.
+  if (opts_.durable_commit) {
+    IDBA_TRACE_SPAN("storage.wal_flush");
+    Status st = wal_->WaitDurable(commit_lsn.value());
+    if (!st.ok()) return FailCommit(txn, t, st);
+  }
 
   // 3. Apply to the heap (we still hold X locks, so this is race-free).
+  //    Failures here are past the durability point: the transaction IS
+  //    committed on disk (recovery will redo it), so release locks and
+  //    report the storage error without marking it aborted.
   for (const PendingWrite& w : finals) {
+    Status apply = Status::OK();
     switch (w.kind) {
       case WriteKind::kInsert:
-        IDBA_RETURN_NOT_OK(heap_->Insert(w.obj, &io));
-        result.updated.push_back(w.obj);
+        apply = heap_->Insert(w.obj, &io);
+        if (apply.ok()) result.updated.push_back(w.obj);
         break;
       case WriteKind::kUpdate:
-        IDBA_RETURN_NOT_OK(heap_->Update(w.obj, &io));
-        result.updated.push_back(w.obj);
+        apply = heap_->Update(w.obj, &io);
+        if (apply.ok()) result.updated.push_back(w.obj);
         break;
       case WriteKind::kErase: {
-        Status st = heap_->Erase(w.oid, &io);
-        if (!st.ok() && !st.IsNotFound()) return st;
-        result.erased.push_back(w.oid);
+        apply = heap_->Erase(w.oid, &io);
+        if (apply.IsNotFound()) apply = Status::OK();
+        if (apply.ok()) result.erased.push_back(w.oid);
         break;
       }
+    }
+    if (!apply.ok()) {
+      locks_.ReleaseAll(txn);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        t->state = TxnState::kCommitted;  // durably committed; heap diverged
+      }
+      commits_.Add();
+      return apply;
     }
   }
   result.page_misses = io.page_misses;

@@ -52,6 +52,10 @@ struct TxnManagerOptions {
   LockManagerOptions lock_options;
   /// Force the WAL at commit (disable only in throughput microbenches).
   bool durable_commit = true;
+  /// Group-commit window: how long the WAL flush leader lingers for more
+  /// committers before paying the sync (applied to the Wal at construction;
+  /// 0 = flush immediately, batching then comes from sync backpressure).
+  int64_t group_commit_window_us = 0;
 };
 
 /// Thread-safe transaction manager over a heap store and WAL.
@@ -100,6 +104,7 @@ class TxnManager {
 
   TxnState GetState(TxnId txn) const;
   LockManager& lock_manager() { return locks_; }
+  const TxnManagerOptions& options() const { return opts_; }
 
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
   void set_xlock_hook(XLockHook hook) { xlock_hook_ = std::move(hook); }
@@ -122,6 +127,12 @@ class TxnManager {
   };
 
   Result<Txn*> FindActive(TxnId txn);
+
+  /// Commit failed before the transaction became durable: release its
+  /// locks, mark it aborted and surface `cause`. Leaving the X locks held
+  /// here (the pre-group-commit behaviour) hung every later reader of the
+  /// transaction's OIDs forever.
+  Status FailCommit(TxnId txn, Txn* t, Status cause);
 
   HeapStore* heap_;
   Wal* wal_;

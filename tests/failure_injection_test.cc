@@ -7,6 +7,7 @@
 #include "core/session.h"
 #include "nms/display_classes.h"
 #include "nms/network_model.h"
+#include "txn/recovery.h"
 #include "txn/txn_manager.h"
 
 namespace idba {
@@ -34,6 +35,52 @@ TEST(FailureInjectionTest, WalWriteFailureFailsCommitCleanly) {
   EXPECT_EQ(commit.status().code(), StatusCode::kIOError);
   // The write never reached the heap (commit applies only after the force).
   EXPECT_FALSE(heap->Contains(oid));
+  // The failed transaction is aborted, not left dangling.
+  EXPECT_EQ(mgr.GetState(t), TxnState::kAborted);
+  // Regression: the failed commit used to leak its X locks, hanging every
+  // later transaction touching the same OIDs forever. The OID must be
+  // immediately lockable — and committable — by someone else.
+  TxnId t2 = mgr.Begin();
+  ASSERT_TRUE(mgr.Insert(t2, MakeObj(oid, 2)).ok());
+  ASSERT_TRUE(mgr.Commit(t2).ok());
+  EXPECT_TRUE(heap->Contains(oid));
+}
+
+TEST(FailureInjectionTest, WalSyncFailureFailsCommitCleanlyAndReleasesLocks) {
+  MemDisk data_disk, wal_disk;
+  BufferPool pool(&data_disk, {.frame_count = 16});
+  auto heap = std::move(HeapStore::Open(&pool, 0).value());
+  Wal wal(&wal_disk);
+  TxnManager mgr(heap.get(), &wal);
+
+  TxnId t = mgr.Begin();
+  Oid oid = mgr.AllocateOid();
+  ASSERT_TRUE(mgr.Insert(t, MakeObj(oid, 1)).ok());
+  wal_disk.InjectSyncFailures(1);  // pages land, the sync barrier fails
+  auto commit = mgr.Commit(t);
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(heap->Contains(oid));
+  EXPECT_EQ(mgr.GetState(t), TxnState::kAborted);
+
+  // A second transaction can lock the same OID and commit durably.
+  TxnId t2 = mgr.Begin();
+  Oid oid2 = mgr.AllocateOid();
+  ASSERT_TRUE(mgr.Insert(t2, MakeObj(oid, 2)).ok());
+  ASSERT_TRUE(mgr.Insert(t2, MakeObj(oid2, 3)).ok());
+  ASSERT_TRUE(mgr.Commit(t2).ok());
+
+  // Recovery never resurrects the failed transaction: its commit record may
+  // have hit the disk (only the sync failed), but the abort record appended
+  // by the failure path cancels it. Only t2's effects replay.
+  auto disk_copy = wal_disk.Clone();
+  MemDisk data2;
+  BufferPool pool2(&data2, {.frame_count = 16});
+  auto heap2 = std::move(HeapStore::Open(&pool2, 0).value());
+  ASSERT_TRUE(RecoverFromWal(disk_copy.get(), heap2.get()).ok());
+  ASSERT_TRUE(heap2->Contains(oid));
+  EXPECT_EQ(heap2->Read(oid).value().Get(0), Value(int64_t(2)));
+  EXPECT_TRUE(heap2->Contains(oid2));
 }
 
 TEST(FailureInjectionTest, BufferPoolEvictionWriteFailureSurfaces) {

@@ -2,8 +2,37 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+#include <vector>
+
 namespace idba {
 namespace {
+
+/// Disk whose Sync takes ~1 ms: while one leader pays it, concurrent
+/// committers pile up behind flush_in_progress_, so batching is guaranteed
+/// (a MemDisk sync is instant, which would make coalescing assertions racy).
+class SlowSyncDisk : public Disk {
+ public:
+  explicit SlowSyncDisk(Disk* base) : base_(base) {}
+  Status ReadPage(PageId id, PageData* out) override {
+    return base_->ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const PageData& data) override {
+    return base_->WritePage(id, data);
+  }
+  Status Sync() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Status st = base_->Sync();
+    if (st.ok()) syncs_.Add();
+    return st;
+  }
+  Status Truncate() override { return base_->Truncate(); }
+  PageId PageCount() const override { return base_->PageCount(); }
+
+ private:
+  Disk* base_;
+};
 
 DatabaseObject MakeObj(uint64_t oid, int64_t v) {
   DatabaseObject obj(Oid(oid), 1, 1);
@@ -147,6 +176,118 @@ TEST(WalTest, ResetTruncatesButKeepsLsnSequence) {
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.value().size(), 1u);
   EXPECT_EQ(records.value()[0].lsn, 3u);
+}
+
+TEST(WalTest, CleanFlushDoesNoIo) {
+  MemDisk disk;
+  Wal wal(&disk);
+  ASSERT_TRUE(wal.Append(Update(1, 1, 1)).ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  const uint64_t writes = disk.writes();
+  const uint64_t syncs = disk.syncs();
+  EXPECT_EQ(syncs, 1u);
+  // Nothing appended since the last flush: flushing again (the Checkpoint
+  // path does this on every call) must be free — zero writes, zero syncs.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(disk.writes(), writes);
+  EXPECT_EQ(disk.syncs(), syncs);
+  // And WaitDurable on an already-durable LSN is equally free.
+  ASSERT_TRUE(wal.WaitDurable(wal.durable_lsn()).ok());
+  EXPECT_EQ(disk.syncs(), syncs);
+}
+
+TEST(WalTest, WaitDurableAdvancesTheDurableHorizon) {
+  MemDisk disk;
+  Wal wal(&disk);
+  EXPECT_EQ(wal.durable_lsn(), 0u);
+  Lsn a = wal.Append(Update(1, 1, 1)).value();
+  Lsn b = wal.Append(Update(1, 2, 2)).value();
+  Lsn c = wal.Append(Update(1, 3, 3)).value();
+  // Waiting on the middle LSN makes the whole pending batch durable (the
+  // leader packs everything appended so far).
+  ASSERT_TRUE(wal.WaitDurable(b).ok());
+  EXPECT_GE(wal.durable_lsn(), c);
+  EXPECT_EQ(disk.syncs(), 1u);
+  ASSERT_TRUE(wal.WaitDurable(a).ok());
+  ASSERT_TRUE(wal.WaitDurable(c).ok());
+  EXPECT_EQ(disk.syncs(), 1u);  // both were already covered
+}
+
+TEST(WalTest, RestartRestoresAppendedBytes) {
+  MemDisk disk;
+  uint64_t bytes_before = 0;
+  {
+    Wal wal(&disk);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(wal.Append(Update(1, i, i)).ok());
+    }
+    ASSERT_TRUE(wal.Flush().ok());
+    bytes_before = wal.appended_bytes();
+    ASSERT_GT(bytes_before, 0u);
+  }
+  Wal wal2(&disk);
+  EXPECT_EQ(wal2.appended_bytes(), bytes_before);
+  EXPECT_EQ(wal2.recovered_records(), 20u);
+  EXPECT_EQ(wal2.durable_lsn(), 20u);
+}
+
+TEST(WalTest, FailedSyncDropsBatchAndPinsTheError) {
+  MemDisk disk;
+  Wal wal(&disk);
+  Lsn lost = wal.Append(Update(1, 1, 1)).value();
+  disk.InjectSyncFailures(1);
+  Status st = wal.WaitDurable(lost);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // The batch's LSNs were dropped: later waiters for them must keep seeing
+  // the error even after other batches succeed — never a silent OK.
+  EXPECT_EQ(wal.WaitDurable(lost).code(), StatusCode::kIOError);
+  Lsn fresh = wal.Append(Update(2, 2, 2)).value();
+  ASSERT_TRUE(wal.WaitDurable(fresh).ok());
+  EXPECT_EQ(wal.WaitDurable(lost).code(), StatusCode::kIOError);
+  // Only the fresh record is durable; the dropped one never reaches disk.
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].lsn, fresh);
+}
+
+TEST(WalTest, ConcurrentCommittersCoalesceIntoFewFsyncs) {
+  MemDisk base;
+  SlowSyncDisk disk(&base);
+  Wal wal(&disk);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        auto lsn = wal.Append(Update(t + 1, t * kRounds + i, i));
+        if (!lsn.ok() || !wal.WaitDurable(lsn.value()).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every record made it to disk...
+  auto records = Wal::ReadAllFromDisk(&base);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(),
+            static_cast<size_t>(kThreads * kRounds));
+  // ...with far fewer sync barriers than commits: while a leader pays the
+  // slow sync, the other 7 threads append and ride the next batch.
+  EXPECT_LT(wal.fsyncs(), static_cast<uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(wal.fsyncs(), disk.syncs());
+}
+
+TEST(WalTest, GroupCommitWindowStillCommitsSingleWriters) {
+  MemDisk disk;
+  Wal wal(&disk);
+  wal.set_group_commit_window_us(200);
+  EXPECT_EQ(wal.group_commit_window_us(), 200);
+  Lsn lsn = wal.Append(Update(1, 1, 1)).value();
+  ASSERT_TRUE(wal.WaitDurable(lsn).ok());
+  EXPECT_EQ(Wal::ReadAllFromDisk(&disk).value().size(), 1u);
 }
 
 TEST(WalTest, CommitAndAbortRecordsCarryNoImage) {
