@@ -9,10 +9,12 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "core/session.h"
 #include "net/remote_client.h"
 #include "net/tcp_server.h"
 #include "nms/network_model.h"
+#include "obs/profiler.h"
 
 namespace idba {
 namespace {
@@ -59,12 +61,63 @@ struct LocalRig {
   std::unique_ptr<DatabaseClient> client;
 };
 
+// --- Reactor-lag reporting ------------------------------------------------
+// TCP benchmarks attach the p99 of net.loop.lag_us (Post()-to-run latency
+// on the reactor, in µs) accumulated over the measurement as a counter, so
+// run_bench.py can track reactor responsiveness alongside throughput.
+
+double LoopLagP99Delta(const std::vector<uint64_t>& before,
+                       const std::vector<uint64_t>& after) {
+  uint64_t total = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) total += after[b] - before[b];
+  if (total == 0) return 0;
+  const uint64_t target = (total * 99 + 99) / 100;  // ceil(total * 0.99)
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += after[b] - before[b];
+    if (cumulative >= target) return Histogram::BucketUpperBound(b);
+  }
+  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+}
+
+class ScopedLoopLagCounter {
+ public:
+  explicit ScopedLoopLagCounter(benchmark::State& state)
+      : state_(state),
+        hist_(GlobalMetrics().GetHistogram("net.loop.lag_us")),
+        before_(hist_->BucketCounts()) {}
+  ~ScopedLoopLagCounter() {
+    state_.counters["loop_lag_p99_us"] =
+        LoopLagP99Delta(before_, hist_->BucketCounts());
+  }
+
+ private:
+  benchmark::State& state_;
+  Histogram* hist_;
+  std::vector<uint64_t> before_;
+};
+
+/// RAII profiler-on window for the _Profiled benchmark variants, which
+/// exist to measure the sampling overhead itself (run_bench.py gates the
+/// profiled/unprofiled delta at 2%).
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(int hz) { ok_ = obs::GlobalProfiler().Start(hz); }
+  ~ScopedProfiler() {
+    if (ok_) obs::GlobalProfiler().Stop();
+  }
+
+ private:
+  bool ok_ = false;
+};
+
 // --- Read round trip ------------------------------------------------------
 // One uncached object fetch per iteration (the cache is dropped each time
 // so every read crosses the boundary).
 
 void BM_ReadRoundTrip_Tcp(benchmark::State& state) {
   RemoteRig rig;
+  ScopedLoopLagCounter lag(state);
   Oid oid = rig.db.link_oids.front();
   for (auto _ : state) {
     rig.client->cache().Drop(oid);
@@ -74,6 +127,20 @@ void BM_ReadRoundTrip_Tcp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ReadRoundTrip_Tcp)->UseRealTime();
+
+void BM_ReadRoundTrip_Tcp_Profiled(benchmark::State& state) {
+  RemoteRig rig;
+  ScopedProfiler prof(99);
+  ScopedLoopLagCounter lag(state);
+  Oid oid = rig.db.link_oids.front();
+  for (auto _ : state) {
+    rig.client->cache().Drop(oid);
+    auto obj = rig.client->ReadCurrent(oid);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadRoundTrip_Tcp_Profiled)->UseRealTime();
 
 void BM_ReadRoundTrip_InProcess(benchmark::State& state) {
   LocalRig rig;
@@ -137,11 +204,22 @@ void RunUpdateTxn(Rig& rig, int* util) {
 
 void BM_UpdateTxn_Tcp(benchmark::State& state) {
   RemoteRig rig;
+  ScopedLoopLagCounter lag(state);
   int util = 0;
   for (auto _ : state) RunUpdateTxn(rig, &util);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UpdateTxn_Tcp)->UseRealTime();
+
+void BM_UpdateTxn_Tcp_Profiled(benchmark::State& state) {
+  RemoteRig rig;
+  ScopedProfiler prof(99);
+  ScopedLoopLagCounter lag(state);
+  int util = 0;
+  for (auto _ : state) RunUpdateTxn(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateTxn_Tcp_Profiled)->UseRealTime();
 
 void BM_UpdateTxn_InProcess(benchmark::State& state) {
   LocalRig rig;

@@ -11,11 +11,19 @@ collects per-benchmark samples, and emits one normalized document:
       "machine": {"system": ..., "release": ..., "machine": ..., "cpus": N},
       "benches": {
         "bench_micro_core": {
-          "BM_SessionFetch": {"median_ns": ..., "p99_ns": ..., "samples": 5},
+          "BM_SessionFetch": {"median_ns": ..., "p99_ns": ..., "samples": 5,
+                              "counters": {"loop_lag_p99_us": ...}},
           ...
         }, ...
       }
     }
+
+User counters attached by a benchmark (state.counters[...] — e.g.
+bench_transport's reactor-lag p99) are recorded per benchmark under
+"counters" as the median across repetitions. Benchmarks named
+X_Profiled are the same workload as X with the 99 Hz sampling profiler
+running; after a run the script gates the pair-wise overhead at
+--profiler-threshold (default 2%) and fails when exceeded.
 
 CI runs this in the bench job, uploads the document as an artifact, and
 compares against the previous run's document (restored from the actions
@@ -77,7 +85,17 @@ def run_binary(path, min_time, repetitions):
         sys.stderr.write(proc.stderr)
         raise RuntimeError("%s exited %d" % (path, proc.returncode))
     doc = json.loads(proc.stdout)
+    # Standard google-benchmark row keys; anything else in a repetition row
+    # is a user counter (e.g. bench_transport's loop_lag_p99_us).
+    ROW_KEYS = {
+        "name", "run_name", "run_type", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time", "time_unit",
+        "items_per_second", "bytes_per_second", "label", "family_index",
+        "per_family_instance_index", "aggregate_name", "aggregate_unit",
+        "error_occurred", "error_message",
+    }
     samples = {}
+    counters = {}
     for b in doc.get("benchmarks", []):
         # Repetition rows only; skip google-benchmark's own mean/median/
         # stddev aggregate rows (we compute our own from the raw samples).
@@ -85,6 +103,10 @@ def run_binary(path, min_time, repetitions):
             continue
         name = b.get("run_name", b["name"])
         samples.setdefault(name, []).append(to_ns(b["real_time"], b["time_unit"]))
+        for key, value in b.items():
+            if key in ROW_KEYS or not isinstance(value, (int, float)):
+                continue
+            counters.setdefault(name, {}).setdefault(key, []).append(value)
     out = {}
     for name, vals in sorted(samples.items()):
         vals.sort()
@@ -93,6 +115,8 @@ def run_binary(path, min_time, repetitions):
             "p99_ns": percentile(vals, 0.99),
             "samples": len(vals),
         }
+        for key, cvals in sorted(counters.get(name, {}).items()):
+            out[name].setdefault("counters", {})[key] = statistics.median(cvals)
     return out
 
 
@@ -125,6 +149,31 @@ def compare(baseline_doc, candidate_doc, threshold):
     return regressions
 
 
+def profiler_overhead(doc, ratio_limit, floor_ns):
+    """Gates the sampling profiler's overhead: for every X / X_Profiled
+    benchmark pair, the profiled median may not exceed the unprofiled one
+    by more than `ratio_limit` (default 2%). A absolute floor keeps noise
+    on very fast benchmarks from tripping the relative gate."""
+    failures = []
+    for binary, benches in sorted(doc.get("benches", {}).items()):
+        for name, stats in sorted(benches.items()):
+            if not name.endswith("_Profiled"):
+                continue
+            base = benches.get(name[: -len("_Profiled")])
+            if not base or base.get("median_ns", 0) <= 0:
+                continue
+            delta = stats["median_ns"] - base["median_ns"]
+            ratio = stats["median_ns"] / base["median_ns"]
+            if ratio > 1.0 + ratio_limit and delta > floor_ns:
+                failures.append(
+                    "%s/%s: %.0f ns -> %.0f ns with profiler on "
+                    "(%.1f%% > %.0f%% budget)"
+                    % (binary, name[: -len("_Profiled")], base["median_ns"],
+                       stats["median_ns"], (ratio - 1.0) * 100.0,
+                       ratio_limit * 100.0))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -140,6 +189,12 @@ def main():
                          "running the benchmarks")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="relative median regression that fails (0.20 = 20%%)")
+    ap.add_argument("--profiler-threshold", type=float, default=0.02,
+                    help="allowed profiled/unprofiled median overhead "
+                         "(0.02 = 2%%)")
+    ap.add_argument("--profiler-floor-ns", type=float, default=2000.0,
+                    help="absolute overhead below which the profiler gate "
+                         "never fails (noise floor)")
     args = ap.parse_args()
 
     if args.compare and args.candidate:
@@ -177,6 +232,13 @@ def main():
         json.dump(doc, f, indent=1, sort_keys=True)
         f.write("\n")
     print("wrote %s (%d binaries)" % (out_path, len(doc["benches"])))
+
+    overhead = profiler_overhead(doc, args.profiler_threshold,
+                                 args.profiler_floor_ns)
+    for o in overhead:
+        print("PROFILER OVERHEAD: " + o)
+    if overhead:
+        return 1
 
     if args.compare:
         with open(args.compare) as f:

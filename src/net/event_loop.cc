@@ -2,11 +2,13 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "obs/health.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -28,8 +30,13 @@ EventLoop::EventLoop(Options opts) : opts_(std::move(opts)) {
   wait_us_ = reg.GetHistogram("net.loop.wait_us");
   dispatch_us_ = reg.GetHistogram("net.loop.dispatch_us");
   ready_ = reg.GetHistogram("net.loop.ready");
+  lag_us_ = reg.GetHistogram("net.loop.lag_us");
   polls_ = reg.GetCounter("net.loop.polls");
   wakeups_ = reg.GetCounter("net.loop.wakeups");
+  if (!opts_.metric_prefix.empty()) {
+    loop_lag_us_ = reg.GetHistogram(opts_.metric_prefix + ".lag_us");
+    loop_wakeups_ = reg.GetCounter(opts_.metric_prefix + ".wakeups");
+  }
 }
 
 EventLoop::~EventLoop() { Stop(); }
@@ -120,9 +127,22 @@ void EventLoop::Post(std::function<void()> fn) {
   }
   {
     std::lock_guard<std::mutex> lock(tasks_mu_);
-    tasks_.push_back(std::move(fn));
+    tasks_.push_back(PostedTask{std::move(fn), obs::NowUs()});
   }
   Wakeup();
+}
+
+void EventLoop::InjectStallForTest(int64_t ms) {
+  Post([ms] {
+    const int64_t deadline = obs::NowUs() + ms * 1000;
+    // Deliberately no HealthEpochBump: from the watchdog's view this is a
+    // dispatch that never finishes. nanosleep may be cut short by capture
+    // signals; the loop re-checks the deadline.
+    while (obs::NowUs() < deadline) {
+      timespec ts{0, 1'000'000};
+      ::nanosleep(&ts, nullptr);
+    }
+  });
 }
 
 void EventLoop::Wakeup() {
@@ -137,18 +157,25 @@ void EventLoop::Wakeup() {
 
 void EventLoop::DrainTasks() {
   for (;;) {
-    std::vector<std::function<void()>> tasks;
+    std::vector<PostedTask> tasks;
     {
       std::lock_guard<std::mutex> lock(tasks_mu_);
       if (tasks_.empty()) return;
       tasks.swap(tasks_);
     }
-    for (auto& fn : tasks) fn();
+    const int64_t now = obs::NowUs();
+    for (auto& task : tasks) {
+      const double lag = static_cast<double>(now - task.posted_us);
+      lag_us_->Record(lag);
+      if (loop_lag_us_ != nullptr) loop_lag_us_->Record(lag);
+      task.fn();
+    }
   }
 }
 
 void EventLoop::Run() {
   thread_id_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  obs::RegisterThisThread(opts_.role);
   epoll_event events[kMaxEvents];
   int64_t last_tick_us = obs::NowUs();
   const int timeout_ms =
@@ -156,7 +183,10 @@ void EventLoop::Run() {
                                  : -1;
   while (running_.load(std::memory_order_relaxed)) {
     const int64_t wait_start = obs::NowUs();
+    obs::SetThreadWorking(false);  // blocked in epoll is idle, not stalled
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    obs::SetThreadWorking(true);
+    obs::HealthEpochBump();
     const int64_t dispatch_start = obs::NowUs();
     wait_us_->Record(static_cast<double>(dispatch_start - wait_start));
     polls_->Add();
@@ -171,6 +201,7 @@ void EventLoop::Run() {
         while (::read(event_fd_, &drain, sizeof(drain)) > 0) {
         }
         wakeups_->Add();
+        if (loop_wakeups_ != nullptr) loop_wakeups_->Add();
         continue;
       }
       static_cast<Handler*>(events[i].data.ptr)->OnEvents(events[i].events);
@@ -187,6 +218,8 @@ void EventLoop::Run() {
     }
     dispatch_us_->Record(static_cast<double>(obs::NowUs() - dispatch_start));
   }
+  obs::SetThreadWorking(false);
+  obs::UnregisterThisThread();
   thread_id_.store(std::thread::id(), std::memory_order_relaxed);
 }
 

@@ -20,6 +20,15 @@
 //   net.loop.ready        histogram of ready-set sizes (fds per poll)
 //   net.loop.polls        epoll_wait returns
 //   net.loop.wakeups      eventfd wakeups (Post/Wakeup calls delivered)
+//   net.loop.lag_us       histogram of Post()-to-run latency of posted tasks
+// With Options::metric_prefix set (e.g. "net.loop.0"), the loop also feeds
+// <prefix>.lag_us / <prefix>.wakeups so idba_top can show per-loop skew.
+//
+// Health integration (PR-8, obs/health.h): the loop thread registers under
+// Options::role, stamps its epoch every iteration, and flips `working` off
+// around the epoll_wait block — so the watchdog distinguishes "idle in
+// epoll" from "stuck dispatching" and the profiler can sample loop threads
+// by role.
 
 #pragma once
 
@@ -55,6 +64,11 @@ class EventLoop {
     /// capped accordingly). 0 = block indefinitely between events.
     int64_t tick_interval_ms = 0;
     std::function<void()> on_tick;
+    /// Thread role registered with the health registry ("io-loop-0", ...).
+    std::string role = "io-loop";
+    /// When non-empty, per-loop <prefix>.lag_us / <prefix>.wakeups series
+    /// are fed alongside the shared net.loop.* ones.
+    std::string metric_prefix;
   };
 
   EventLoop();
@@ -87,6 +101,11 @@ class EventLoop {
   /// Wakes a blocked epoll_wait without queueing work.
   void Wakeup();
 
+  /// Test-only: posts a task that busy-waits `ms` on the loop thread
+  /// without stamping the health epoch, so the watchdog sees a genuine
+  /// stall (the loop is `working` with a frozen epoch).
+  void InjectStallForTest(int64_t ms);
+
   bool InLoopThread() const {
     return std::this_thread::get_id() ==
            thread_id_.load(std::memory_order_relaxed);
@@ -104,14 +123,24 @@ class EventLoop {
   std::atomic<bool> running_{false};
   std::atomic<std::thread::id> thread_id_{};
 
+  /// A posted task plus its enqueue time, so DrainTasks can histogram the
+  /// Post()-to-run lag the watchdog/idba_top reason about.
+  struct PostedTask {
+    std::function<void()> fn;
+    int64_t posted_us = 0;
+  };
+
   std::mutex tasks_mu_;
-  std::vector<std::function<void()>> tasks_;
+  std::vector<PostedTask> tasks_;
 
   Histogram* wait_us_ = nullptr;
   Histogram* dispatch_us_ = nullptr;
   Histogram* ready_ = nullptr;
+  Histogram* lag_us_ = nullptr;
   Counter* polls_ = nullptr;
   Counter* wakeups_ = nullptr;
+  Histogram* loop_lag_us_ = nullptr;  ///< per-loop, only with metric_prefix
+  Counter* loop_wakeups_ = nullptr;   ///< per-loop, only with metric_prefix
 };
 
 }  // namespace idba

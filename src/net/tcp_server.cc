@@ -1,5 +1,6 @@
 #include "net/tcp_server.h"
 
+#include <signal.h>
 #include <sys/socket.h>
 
 #include <algorithm>
@@ -7,6 +8,9 @@
 
 #include "common/logging.h"
 #include "core/notification.h"
+#include "obs/flight.h"
+#include "obs/health.h"
+#include "obs/profiler.h"
 #include "obs/prom_export.h"
 #include "obs/rpc_stats.h"
 #include "obs/timeseries.h"
@@ -249,6 +253,7 @@ TransportServer::TransportServer(DatabaseServer* server,
       reg.GetCounter("overload.callback_overflows"));
   inflight_gauge_ = ScopedGauge(&reg, "transport.inflight",
                                 [this] { return double(inflight_.load()); });
+  dispatch_lag_ = reg.GetHistogram("worker.dispatch_lag_us");
   // Pre-create the full canonical cache taxonomy. The server process has a
   // BufferPool but object/display caches live in clients; a scraper of a
   // pure server must still see every cache.* series (zero until an
@@ -266,6 +271,10 @@ TransportServer::TransportServer(DatabaseServer* server,
 TransportServer::~TransportServer() { Stop(); }
 
 Status TransportServer::Start() {
+  // A peer closing mid-writev must surface as EPIPE on that socket, never
+  // as a process-killing SIGPIPE on the loop thread that happened to be
+  // writing (Conn's writev cannot pass MSG_NOSIGNAL).
+  ::signal(SIGPIPE, SIG_IGN);
   IDBA_RETURN_NOT_OK(listener_.Listen(opts_.port, opts_.bind_host));
   int cores = static_cast<int>(std::thread::hardware_concurrency());
   if (cores <= 0) cores = 1;
@@ -277,6 +286,8 @@ Status TransportServer::Start() {
   loops_.clear();
   for (int i = 0; i < resolved_io_threads_; ++i) {
     EventLoop::Options lopts;
+    lopts.role = "io-loop-" + std::to_string(i);
+    lopts.metric_prefix = "net.loop." + std::to_string(i);
     if (i == 0 && opts_.idle_timeout_ms > 0) {
       // One loop carries the idle scan; Conn::Kill is thread-safe, so a
       // single ticker covers connections on every loop.
@@ -294,12 +305,26 @@ Status TransportServer::Start() {
     }
     loops_.push_back(std::move(loop));
   }
+  loop_conn_gauges_.clear();
+  for (int i = 0; i < resolved_io_threads_; ++i) {
+    EventLoop* loop = loops_[i].get();
+    loop_conn_gauges_.emplace_back(
+        &GlobalMetrics(), "net.loop." + std::to_string(i) + ".conns",
+        [this, loop] {
+          std::lock_guard<std::mutex> lock(conns_mu_);
+          size_t n = 0;
+          for (const auto& conn : conns_) {
+            if (conn->loop == loop) ++n;
+          }
+          return static_cast<double>(n);
+        });
+  }
   {
     std::lock_guard<std::mutex> lock(runq_mu_);
     workers_stop_ = false;
   }
   for (int i = 0; i < resolved_worker_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, i] { WorkerMain(i); });
   }
   running_.store(true);
   acceptor_ = std::thread([this] { AcceptLoop(); });
@@ -308,6 +333,7 @@ Status TransportServer::Start() {
 
 void TransportServer::Stop() {
   running_.store(false);
+  loop_conn_gauges_.clear();  // before conns_/loops_ go away
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
@@ -340,6 +366,7 @@ void TransportServer::Stop() {
 }
 
 void TransportServer::AcceptLoop() {
+  obs::RegisterThisThread("acceptor");
   while (running_.load()) {
     Result<Socket> sock = listener_.Accept();
     if (!sock.ok()) {
@@ -478,14 +505,20 @@ void TransportServer::OnConnFrame(Connection* conn,
     // must not sit behind the very backlog that caused it.
     VTime client_now = 0;
     if (ShouldShed(conn, header, payload, &client_now)) {
+      const uint64_t cid = conn->client_id.load(std::memory_order_relaxed);
       if (header.type == wire::FrameType::kRequest) {
         overload_rejections_.Add();
+        obs::FlightRecord(obs::FlightType::kOverload, cid, 1);
         WriteOverloadedResponse(conn, header, client_now);
       } else {
         oneway_shed_.Add();  // no response channel; just count
+        obs::FlightRecord(obs::FlightType::kOverload, cid, 2);
       }
       return;
     }
+    obs::FlightRecord(obs::FlightType::kFrameIn,
+                      conn->client_id.load(std::memory_order_relaxed),
+                      static_cast<uint64_t>(header.type));
     inflight_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(conn->q_mu);
@@ -521,6 +554,8 @@ void TransportServer::ScheduleWork(Connection* conn) {
                                                std::memory_order_acq_rel)) {
     return;  // already queued or executing; that pass reschedules
   }
+  obs::FlightRecord(obs::FlightType::kStrandSchedule,
+                    conn->client_id.load(std::memory_order_relaxed));
   {
     std::lock_guard<std::mutex> lock(runq_mu_);
     runq_.push_back(conn->shared_from_this());
@@ -528,16 +563,20 @@ void TransportServer::ScheduleWork(Connection* conn) {
   runq_cv_.notify_one();
 }
 
-void TransportServer::WorkerMain() {
+void TransportServer::WorkerMain(int index) {
+  obs::RegisterThisThread("worker-" + std::to_string(index));
   for (;;) {
     std::shared_ptr<Connection> conn;
     {
       std::unique_lock<std::mutex> lock(runq_mu_);
+      obs::SetThreadWorking(false);  // run-queue wait is idle, not stalled
       runq_cv_.wait(lock, [&] { return workers_stop_ || !runq_.empty(); });
       if (runq_.empty()) return;  // workers_stop_ and fully drained
       conn = std::move(runq_.front());
       runq_.pop_front();
     }
+    obs::SetThreadWorking(true);
+    obs::HealthEpochBump();
     // Execute exactly one request, then clear the strand flag and recheck:
     // per-client order is preserved (no second worker can run this
     // connection until the flag clears), and no connection can monopolize
@@ -553,6 +592,12 @@ void TransportServer::WorkerMain() {
       }
     }
     if (have) {
+      const int64_t lag_us =
+          std::max<int64_t>(obs::NowUs() - item.enqueued_us, 0);
+      dispatch_lag_->Record(static_cast<double>(lag_us));
+      obs::FlightRecord(obs::FlightType::kStrandRun,
+                        conn->client_id.load(std::memory_order_relaxed),
+                        static_cast<uint64_t>(lag_us));
       if (!conn->closing.load()) {
         HandleFrame(conn.get(), item.header, item.payload, item.enqueued_us);
       }
@@ -629,7 +674,9 @@ bool TransportServer::ShouldShed(Connection* conn,
       method_raw == static_cast<uint8_t>(wire::Method::kTraceDump) ||
       method_raw == static_cast<uint8_t>(wire::Method::kMetrics) ||
       method_raw == static_cast<uint8_t>(wire::Method::kLocks) ||
-      method_raw == static_cast<uint8_t>(wire::Method::kCaches)) {
+      method_raw == static_cast<uint8_t>(wire::Method::kCaches) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kFlight) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kProfile)) {
     return false;
   }
   // The per-connection queue bound is a hard memory limit: a pipelining
@@ -741,7 +788,11 @@ void TransportServer::FlushNotifies(Connection* conn) {
 
   // Lane 2: a forced resync owed to this client (notify overflow, callback
   // timeout, or callback-lane overflow).
-  if (conn->notify_inbox.TakeOverflow()) conn->stale.store(true);
+  if (conn->notify_inbox.TakeOverflow()) {
+    obs::FlightRecord(obs::FlightType::kOverload,
+                      conn->client_id.load(std::memory_order_relaxed), 3);
+    conn->stale.store(true);
+  }
   if (conn->stale.load() && conn->resync_awaiting_ack.load() == 0) {
     if (peer_version < wire::kWireVersion) {
       // A v1 peer cannot decode the RESYNC kind, so the only escalation
@@ -773,6 +824,7 @@ void TransportServer::FlushNotifies(Connection* conn) {
     conn->shed_reported = conn->notify_inbox.shed();
     forced_resyncs_.Add();
     conn->forced_resyncs.fetch_add(1);
+    obs::FlightRecord(obs::FlightType::kResync, frame.to, msg.dropped);
     // The loop thread has no ambient trace; record the escalation as its
     // own (sampled) root so forced resyncs show up in trace dumps.
     obs::Span escalate = obs::Span::StartRoot("server.forced_resync");
@@ -876,7 +928,7 @@ void TransportServer::HandleFrame(Connection* conn,
   if (!st.ok()) {
     result = st;
   } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
-             method_raw > static_cast<uint8_t>(wire::Method::kCaches)) {
+             method_raw > static_cast<uint8_t>(wire::Method::kProfile)) {
     result = Status::Corruption("unknown method " + std::to_string(method_raw));
   } else {
     requests_.Add();
@@ -897,7 +949,7 @@ void TransportServer::HandleFrame(Connection* conn,
       std::max<int64_t>(obs::NowUs() - dequeued_us, 0));
 
   if (st.ok() && method_raw >= static_cast<uint8_t>(wire::Method::kHello) &&
-      method_raw <= static_cast<uint8_t>(wire::Method::kCaches)) {
+      method_raw <= static_cast<uint8_t>(wire::Method::kProfile)) {
     // Server-side per-opcode decomposition (the client records its own
     // rpc.* series; a server scraped over --prom-port needs its own view).
     obs::RpcPartHistograms& rh = obs::GlobalRpcStats().HandleFor(
@@ -950,6 +1002,10 @@ void TransportServer::HandleFrame(Connection* conn,
   enc.PutI64(completion);
   resp.insert(resp.end(), body.begin(), body.end());
   if (conn->conn) {
+    obs::FlightRecord(
+        obs::FlightType::kFrameOut,
+        conn->client_id.load(std::memory_order_relaxed),
+        static_cast<uint64_t>(wire::FrameType::kResponse));
     (void)conn->conn->EnqueueWireFrame(wire::FrameType::kResponse, header.seq,
                                        resp, header.traced);
   }
@@ -965,7 +1021,8 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
       method != Method::kHello && method != Method::kPing &&
       method != Method::kStats && method != Method::kTraceDump &&
       method != Method::kMetrics && method != Method::kLocks &&
-      method != Method::kCaches) {
+      method != Method::kCaches && method != Method::kFlight &&
+      method != Method::kProfile) {
     return Status::InvalidArgument("Hello handshake required before " +
                                    std::string(wire::MethodName(method)));
   }
@@ -1058,6 +1115,37 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
     case Method::kCaches: {
       body->PutString(CachesJson());
       return Status::OK();
+    }
+    case Method::kFlight: {
+      body->PutString(obs::FlightDumpString());
+      return Status::OK();
+    }
+    case Method::kProfile: {
+      uint8_t action = 0;
+      if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU8(&action));
+      obs::Profiler& prof = obs::GlobalProfiler();
+      switch (action) {
+        case 1: {  // start
+          uint32_t hz = 0;
+          if (dec->remaining() > 0) IDBA_RETURN_NOT_OK(dec->GetU32(&hz));
+          if (hz == 0) hz = 99;
+          if (!prof.Start(static_cast<int>(hz))) {
+            return Status::InvalidArgument("profiler already running");
+          }
+          body->PutString(prof.StatusLine());
+          return Status::OK();
+        }
+        case 2:  // stop
+          prof.Stop();
+          body->PutString(prof.StatusLine());
+          return Status::OK();
+        case 3:  // dump folded stacks
+          body->PutString(prof.DumpFolded());
+          return Status::OK();
+        default:  // status
+          body->PutString(prof.StatusLine());
+          return Status::OK();
+      }
     }
     case Method::kBegin: {
       body->PutU64(server_->Begin(cid));

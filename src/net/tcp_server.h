@@ -243,7 +243,8 @@ class TransportServer {
   void AcceptLoop();
   /// Worker-pool thread: pops one connection strand, executes exactly one
   /// of its queued requests, reschedules the strand if more are queued.
-  void WorkerMain();
+  /// `index` names the thread for the health registry ("worker-<index>").
+  void WorkerMain(int index);
   /// Enqueues the connection's strand for the worker pool (deduplicated:
   /// at most one queue entry / executing worker per connection at a time,
   /// which preserves per-client request ordering).
@@ -324,6 +325,8 @@ class TransportServer {
   MirroredCounter forced_resyncs_, slow_disconnects_;
   MirroredCounter callbacks_elided_, callback_timeouts_, callback_overflows_;
   std::atomic<size_t> inflight_{0};
+  /// Enqueue-to-run latency of worker dispatches (worker.dispatch_lag_us).
+  Histogram* dispatch_lag_ = nullptr;
 
   mutable std::mutex slow_mu_;
   std::deque<SlowRpc> slow_rpcs_;  ///< bounded to kSlowRpcRing
@@ -334,6 +337,9 @@ class TransportServer {
 
   // Declared last: unregisters before the state its callback reads.
   ScopedGauge inflight_gauge_;
+  /// Per-loop connection-count gauges (net.loop.<i>.conns), registered in
+  /// Start and released in Stop before the loops are destroyed.
+  std::vector<ScopedGauge> loop_conn_gauges_;
 };
 
 }  // namespace idba

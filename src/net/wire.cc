@@ -33,6 +33,8 @@ std::string_view MethodName(Method m) {
     case Method::kMetrics: return "Metrics";
     case Method::kLocks: return "Locks";
     case Method::kCaches: return "Caches";
+    case Method::kFlight: return "Flight";
+    case Method::kProfile: return "Profile";
   }
   return "Unknown";
 }

@@ -115,6 +115,10 @@ enum class Method : uint8_t {
                   ///< 2=timeseries json); response: string
   kLocks = 27,    ///< body: u8 top_k (0 = default 10); response: json string
   kCaches = 28,   ///< body: empty; response: json string
+  // Runtime health (PR-8, still append-only wire v2).
+  kFlight = 29,   ///< body: empty; response: flight-recorder dump string
+  kProfile = 30,  ///< body: u8 action (0=status, 1=start + u32 hz, 2=stop,
+                  ///< 3=dump folded stacks); response: string
 };
 
 std::string_view MethodName(Method m);

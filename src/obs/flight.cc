@@ -1,0 +1,246 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/health.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+/// All-atomic event slot: dumps may read concurrently with the owning
+/// thread's writes (relaxed atomics are data-race-free and, being lock-free
+/// on every supported target, async-signal-safe).
+struct FlightSlot {
+  std::atomic<int64_t> t_us{0};
+  std::atomic<uint64_t> a{0};
+  std::atomic<uint64_t> b{0};
+  std::atomic<uint8_t> type{0};
+};
+
+struct FlightRing {
+  std::atomic<uint64_t> owner_tid{0};  ///< resets the ring on slot reuse
+  std::atomic<uint32_t> next{0};
+  FlightSlot ev[kFlightRingEvents];
+};
+
+/// Statically allocated (the crash handler must not touch the heap).
+FlightRing g_rings[kMaxThreadSlots];
+
+char g_crash_path[512] = {0};
+std::atomic<bool> g_crash_installed{false};
+
+// --- async-signal-safe formatting ---------------------------------------
+
+void WriteAll(int fd, const char* s, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, s, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    s += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WStr(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void WU64(int fd, uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+void WI64(int fd, int64_t v) {
+  if (v < 0) {
+    WStr(fd, "-");
+    WU64(fd, static_cast<uint64_t>(-v));
+  } else {
+    WU64(fd, static_cast<uint64_t>(v));
+  }
+}
+
+void CrashHandler(int sig, siginfo_t*, void*) {
+  // Re-arm the default disposition first: a fault inside this handler then
+  // terminates instead of recursing.
+  ::signal(sig, SIG_DFL);
+  int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    WStr(fd, "flightdump v1 signal=");
+    WU64(fd, static_cast<uint64_t>(sig));
+    WStr(fd, " now_us=");
+    WI64(fd, NowUs());
+    WStr(fd, "\n");
+    FlightDumpToFd(fd);
+    ProfilerDumpRawToFd(fd);
+    WStr(fd, "end\n");
+    ::close(fd);
+    WStr(2, "idba: fatal signal, flight dump written to ");
+    WStr(2, g_crash_path);
+    WStr(2, "\n");
+  }
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* FlightTypeName(FlightType type) {
+  switch (type) {
+    case FlightType::kNone: return "?";
+    case FlightType::kFrameIn: return "frame.in";
+    case FlightType::kFrameOut: return "frame.out";
+    case FlightType::kStrandSchedule: return "strand.sched";
+    case FlightType::kStrandRun: return "strand.run";
+    case FlightType::kOverload: return "overload";
+    case FlightType::kResync: return "resync";
+    case FlightType::kWalAppend: return "wal.append";
+    case FlightType::kWalFlushBegin: return "wal.flush_begin";
+    case FlightType::kWalFlushEnd: return "wal.flush_end";
+    case FlightType::kWalFlushFail: return "wal.flush_fail";
+    case FlightType::kLockWait: return "lock.wait";
+    case FlightType::kStall: return "stall";
+  }
+  return "?";
+}
+
+void FlightRecord(FlightType type, uint64_t a, uint64_t b) {
+  const int slot = EnsureThisThreadSlot();
+  if (slot < 0) return;
+  FlightRing& ring = g_rings[slot];
+  const uint64_t tid = ThisThreadId();
+  if (ring.owner_tid.load(std::memory_order_relaxed) != tid) {
+    // Slot reuse: events of the previous owner would be misattributed.
+    ring.next.store(0, std::memory_order_relaxed);
+    for (FlightSlot& e : ring.ev) {
+      e.type.store(0, std::memory_order_relaxed);
+    }
+    ring.owner_tid.store(tid, std::memory_order_relaxed);
+  }
+  const uint32_t idx =
+      ring.next.fetch_add(1, std::memory_order_relaxed) % kFlightRingEvents;
+  FlightSlot& e = ring.ev[idx];
+  e.type.store(0, std::memory_order_relaxed);  // mark torn while writing
+  e.t_us.store(NowUs(), std::memory_order_relaxed);
+  e.a.store(a, std::memory_order_relaxed);
+  e.b.store(b, std::memory_order_relaxed);
+  e.type.store(static_cast<uint8_t>(type), std::memory_order_release);
+}
+
+void InstallCrashHandler(const std::string& path) {
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", path.c_str());
+  struct sigaction sa{};
+  sa.sa_sigaction = &CrashHandler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGSEGV, SIGBUS, SIGABRT}) {
+    (void)::sigaction(sig, &sa, nullptr);
+  }
+  g_crash_installed.store(true, std::memory_order_release);
+}
+
+void FlightDumpToFd(int fd) {
+  for (int i = 0; i < kMaxThreadSlots; ++i) {
+    FlightRing& ring = g_rings[i];
+    const uint32_t next = ring.next.load(std::memory_order_acquire);
+    if (ring.owner_tid.load(std::memory_order_relaxed) == 0 || next == 0) {
+      continue;
+    }
+    WStr(fd, "thread slot=");
+    WU64(fd, static_cast<uint64_t>(i));
+    ThreadSlot* s = SlotAt(i);
+    if (s != nullptr) {
+      WStr(fd, " role=");
+      // Signal context: the role buffer is read without the registry lock.
+      // It is NUL-terminated at all times; a concurrent re-claim can at
+      // worst garble the label of this one header line.
+      WStr(fd, s->role[0] != '\0' ? s->role : "unnamed");
+      WStr(fd, " tid=");
+      WU64(fd, ring.owner_tid.load(std::memory_order_relaxed));
+      WStr(fd, " epoch=");
+      WU64(fd, s->epoch.load(std::memory_order_relaxed));
+      WStr(fd, " working=");
+      WU64(fd, s->working.load(std::memory_order_relaxed) ? 1 : 0);
+    }
+    WStr(fd, "\n");
+    // Oldest-first: the ring wraps at kFlightRingEvents.
+    const uint32_t count =
+        next < kFlightRingEvents ? next : kFlightRingEvents;
+    const uint32_t start = next - count;
+    for (uint32_t k = 0; k < count; ++k) {
+      const FlightSlot& e = ring.ev[(start + k) % kFlightRingEvents];
+      const uint8_t type = e.type.load(std::memory_order_acquire);
+      if (type == 0) continue;  // unwritten or torn mid-write
+      WStr(fd, "event t_us=");
+      WI64(fd, e.t_us.load(std::memory_order_relaxed));
+      WStr(fd, " type=");
+      WStr(fd, FlightTypeName(static_cast<FlightType>(type)));
+      WStr(fd, " a=");
+      WU64(fd, e.a.load(std::memory_order_relaxed));
+      WStr(fd, " b=");
+      WU64(fd, e.b.load(std::memory_order_relaxed));
+      WStr(fd, "\n");
+    }
+  }
+}
+
+std::string FlightDumpString() {
+  // Ordinary context: source live roles through the registry lock (the
+  // direct role reads in FlightDumpToFd are reserved for signal context).
+  std::string role_by_slot[kMaxThreadSlots];
+  for (const ThreadSnapshot& snap : SnapshotThreads()) {
+    role_by_slot[snap.slot] = snap.role;
+  }
+  std::string out = "flightdump v1 now_us=" + std::to_string(NowUs()) + "\n";
+  for (int i = 0; i < kMaxThreadSlots; ++i) {
+    FlightRing& ring = g_rings[i];
+    const uint32_t next = ring.next.load(std::memory_order_acquire);
+    const uint64_t tid = ring.owner_tid.load(std::memory_order_relaxed);
+    if (tid == 0 || next == 0) continue;
+    const std::string& role = role_by_slot[i];
+    out += "thread slot=" + std::to_string(i) + " role=" +
+           (role.empty() ? "exited" : role) + " tid=" + std::to_string(tid) +
+           "\n";
+    const uint32_t count =
+        next < kFlightRingEvents ? next : kFlightRingEvents;
+    const uint32_t start = next - count;
+    for (uint32_t k = 0; k < count; ++k) {
+      const FlightSlot& e = ring.ev[(start + k) % kFlightRingEvents];
+      const uint8_t type = e.type.load(std::memory_order_acquire);
+      if (type == 0) continue;
+      out += "event t_us=" +
+             std::to_string(e.t_us.load(std::memory_order_relaxed)) +
+             " type=" + FlightTypeName(static_cast<FlightType>(type)) +
+             " a=" + std::to_string(e.a.load(std::memory_order_relaxed)) +
+             " b=" + std::to_string(e.b.load(std::memory_order_relaxed)) +
+             "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+bool FlightDumpToFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string dump = FlightDumpString();
+  const bool ok = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace idba

@@ -1,0 +1,82 @@
+// Flight recorder: per-thread lock-free rings of recent structured events,
+// dumped on demand (FLIGHT admin RPC), on a watchdog stall, or — the reason
+// it exists — async-signal-safely from a SIGSEGV/SIGABRT handler, so a
+// crashed idba_serve leaves the last ~hundred events of every thread plus
+// the profiler's raw samples behind as evidence (DESIGN.md §13).
+//
+// Event taxonomy (a/b are type-specific small integers, never pointers):
+//   frame.in          a=client id (0 pre-Hello)  b=frame type
+//   frame.out         a=client id               b=frame type
+//   strand.sched      a=client id               b=queue depth
+//   strand.run        a=client id               b=dispatch lag (µs)
+//   overload          a=client id               b=1 request shed / 2 oneway
+//                                                 shed / 3 inbox overflow
+//   resync            a=client id               b=notifications dropped
+//   wal.append        a=lsn                     b=entry bytes
+//   wal.flush_begin   a=batch records           b=target lsn
+//   wal.flush_end     a=target lsn              b=flush µs
+//   wal.flush_fail    a=target lsn              b=flush µs
+//   lock.wait         a=oid                     b=waited µs
+//   stall             a=stalled slot id         b=stalled ms
+//
+// Recording is wait-free for the owning thread: one relaxed index bump and
+// four relaxed atomic stores into a statically allocated ring (no
+// allocation anywhere on the path, which is also what makes the crash-time
+// dump safe). Rings are single-writer (the owning thread) / multi-reader
+// (dumps), and a dump may catch an event mid-write — the parser treats an
+// implausible type byte as a torn slot, never as corruption.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idba {
+namespace obs {
+
+enum class FlightType : uint8_t {
+  kNone = 0,  ///< unwritten / torn slot
+  kFrameIn = 1,
+  kFrameOut = 2,
+  kStrandSchedule = 3,
+  kStrandRun = 4,
+  kOverload = 5,
+  kResync = 6,
+  kWalAppend = 7,
+  kWalFlushBegin = 8,
+  kWalFlushEnd = 9,
+  kWalFlushFail = 10,
+  kLockWait = 11,
+  kStall = 12,
+};
+
+/// Stable text name ("frame.in", "wal.flush_end", ...); "?" for torn slots.
+const char* FlightTypeName(FlightType type);
+
+/// Events retained per thread before the ring wraps.
+inline constexpr int kFlightRingEvents = 128;
+
+/// Appends one event to the calling thread's ring (lazily claiming a
+/// health slot for unnamed threads; silently dropped if the table is full).
+void FlightRecord(FlightType type, uint64_t a = 0, uint64_t b = 0);
+
+/// Installs SIGSEGV / SIGBUS / SIGABRT handlers that write the flight dump
+/// (plus the profiler's raw samples, if it holds any) to `path` and then
+/// re-raise with the default disposition. The path is copied into static
+/// storage; call once at process startup.
+void InstallCrashHandler(const std::string& path);
+
+/// Async-signal-safe: writes the dump of every thread's ring to `fd` using
+/// only write(2) and stack formatting. Used by the crash handler; callable
+/// from tests.
+void FlightDumpToFd(int fd);
+
+/// The same dump as a string (FLIGHT admin RPC / watchdog stall reports).
+std::string FlightDumpString();
+
+/// Ordinary-context convenience: FlightDumpString() to a file. Returns
+/// false when the file cannot be written.
+bool FlightDumpToFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace idba

@@ -1,0 +1,289 @@
+#include "obs/health.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+/// The signal both remote-capture users (profiler tick, watchdog stall
+/// stack) ride on. SIGPROF keeps the classic profiling semantics and is
+/// otherwise unused in the process.
+constexpr int kCaptureSignal = SIGPROF;
+
+struct Registry {
+  std::mutex mu;  ///< guards slot claim/release and capture signalling
+  ThreadSlot slots[kMaxThreadSlots];
+};
+
+// Leaked on purpose: threads may unregister (TLS destructors) after static
+// destruction has begun in the main thread.
+Registry& G() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+thread_local int t_slot = -1;
+
+/// Thread-exit hook: destroying this releases the slot while the thread is
+/// still alive, which is what keeps pthread_kill on live slots safe.
+struct SlotReleaser {
+  ~SlotReleaser() { UnregisterThisThread(); }
+};
+thread_local SlotReleaser t_releaser;
+
+int ClaimSlot(const std::string& role, bool samplable) {
+  // Force the releaser's construction so its destructor runs at exit.
+  (void)&t_releaser;
+  Registry& reg = G();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (t_slot >= 0) {
+    // Re-register: rename in place (role updates are rare and racy reads of
+    // a half-written role are cosmetic only — readers get a valid string
+    // either way because the buffer stays NUL-terminated).
+    ThreadSlot& s = reg.slots[t_slot];
+    std::snprintf(s.role, sizeof(s.role), "%s", role.c_str());
+    s.samplable.store(samplable, std::memory_order_relaxed);
+    return t_slot;
+  }
+  for (int i = 0; i < kMaxThreadSlots; ++i) {
+    ThreadSlot& s = reg.slots[i];
+    if (s.used.load(std::memory_order_relaxed)) continue;
+    s.used.store(true, std::memory_order_relaxed);
+    std::snprintf(s.role, sizeof(s.role), "%s", role.c_str());
+    s.pthread = pthread_self();
+    s.tid = ThisThreadId();
+    s.epoch.store(0, std::memory_order_relaxed);
+    s.working.store(false, std::memory_order_relaxed);
+    s.phase.store(nullptr, std::memory_order_relaxed);
+    s.samplable.store(samplable, std::memory_order_relaxed);
+    s.live.store(true, std::memory_order_release);
+    t_slot = i;
+    return i;
+  }
+  return -1;  // table full: this thread just goes unobserved
+}
+
+// --- Remote stack capture ------------------------------------------------
+//
+// Protocol: the requester (under g_capture.mu) publishes a request token,
+// pthread_kill()s the target while holding the registry lock (so the target
+// cannot exit first), then spin-waits for the handler's ack. The handler
+// runs on the target thread: backtrace() into the static frame buffer, then
+// store the token as the ack. A handler that fires after the requester
+// timed out acks a stale token and is ignored; the worst case of that race
+// is one garbled sample, never a crash.
+
+struct CaptureState {
+  std::mutex mu;  ///< one capture at a time
+  std::atomic<uint64_t> token{0};
+  std::atomic<uint64_t> done{0};
+  std::atomic<int> nframes{0};
+  void* frames[kMaxStackFrames];
+  uint64_t next_token = 0;  ///< guarded by mu
+};
+
+CaptureState& Cap() {
+  static CaptureState* c = new CaptureState();
+  return *c;
+}
+
+void CaptureSignalHandler(int, siginfo_t*, void*) {
+  CaptureState& cap = Cap();
+  const uint64_t token = cap.token.load(std::memory_order_acquire);
+  if (token == 0) return;  // spurious / stale signal
+  // backtrace() is not formally async-signal-safe, but after the warm-up
+  // call in EnsureCaptureHandler (which forces libgcc's lazy init outside
+  // signal context) it performs no allocation — the same contract every
+  // in-process sampling profiler relies on.
+  int n = ::backtrace(cap.frames, kMaxStackFrames);
+  cap.nframes.store(n, std::memory_order_relaxed);
+  cap.done.store(token, std::memory_order_release);
+}
+
+void EnsureCaptureHandler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Warm up backtrace's lazy unwinder initialization in normal context.
+    void* warm[4];
+    (void)::backtrace(warm, 4);
+    struct sigaction sa{};
+    sa.sa_sigaction = &CaptureSignalHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    (void)::sigaction(kCaptureSignal, &sa, nullptr);
+  });
+}
+
+}  // namespace
+
+int RegisterThisThread(const std::string& role, bool samplable) {
+  return ClaimSlot(role, samplable);
+}
+
+void UnregisterThisThread() {
+  if (t_slot < 0) return;
+  Registry& reg = G();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ThreadSlot& s = reg.slots[t_slot];
+  s.live.store(false, std::memory_order_release);
+  s.samplable.store(false, std::memory_order_relaxed);
+  s.working.store(false, std::memory_order_relaxed);
+  s.phase.store(nullptr, std::memory_order_relaxed);
+  s.used.store(false, std::memory_order_release);
+  t_slot = -1;
+}
+
+int ThisThreadSlotId() { return t_slot; }
+
+int EnsureThisThreadSlot() {
+  if (t_slot >= 0) return t_slot;
+  return ClaimSlot("thread-" + std::to_string(ThisThreadId()),
+                   /*samplable=*/false);
+}
+
+ThreadSlot* SlotAt(int id) {
+  if (id < 0 || id >= kMaxThreadSlots) return nullptr;
+  return &G().slots[id];
+}
+
+void HealthEpochBump() {
+  if (t_slot < 0) return;
+  G().slots[t_slot].epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SetThreadWorking(bool working) {
+  if (t_slot < 0) return;
+  G().slots[t_slot].working.store(working, std::memory_order_relaxed);
+}
+
+ScopedThreadPhase::ScopedThreadPhase(const char* phase) {
+  if (t_slot < 0) return;
+  slot_ = &G().slots[t_slot];
+  prev_ = slot_->phase.exchange(phase, std::memory_order_relaxed);
+}
+
+ScopedThreadPhase::~ScopedThreadPhase() {
+  if (slot_ != nullptr) slot_->phase.store(prev_, std::memory_order_relaxed);
+}
+
+std::vector<ThreadSnapshot> SnapshotThreads() {
+  std::vector<ThreadSnapshot> out;
+  Registry& reg = G();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (int i = 0; i < kMaxThreadSlots; ++i) {
+    ThreadSlot& s = reg.slots[i];
+    if (!s.live.load(std::memory_order_acquire)) continue;
+    ThreadSnapshot snap;
+    snap.slot = i;
+    snap.role = s.role;
+    const char* phase = s.phase.load(std::memory_order_relaxed);
+    if (phase != nullptr) snap.role += std::string("/") + phase;
+    snap.tid = s.tid;
+    snap.epoch = s.epoch.load(std::memory_order_relaxed);
+    snap.working = s.working.load(std::memory_order_relaxed);
+    snap.samplable = s.samplable.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+int CaptureRawStack(int slot, void** frames, int max_frames,
+                    int64_t timeout_us) {
+  EnsureCaptureHandler();
+  CaptureState& cap = Cap();
+  std::lock_guard<std::mutex> capture_lock(cap.mu);
+  const uint64_t token = ++cap.next_token;
+  cap.done.store(0, std::memory_order_relaxed);
+  cap.token.store(token, std::memory_order_release);
+  {
+    Registry& reg = G();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    ThreadSlot* s = SlotAt(slot);
+    if (s == nullptr || !s->live.load(std::memory_order_acquire) ||
+        !s->samplable.load(std::memory_order_relaxed)) {
+      cap.token.store(0, std::memory_order_release);
+      return 0;
+    }
+    if (pthread_kill(s->pthread, kCaptureSignal) != 0) {
+      cap.token.store(0, std::memory_order_release);
+      return 0;
+    }
+  }
+  const int64_t deadline = NowUs() + timeout_us;
+  while (cap.done.load(std::memory_order_acquire) != token) {
+    if (NowUs() > deadline) {
+      cap.token.store(0, std::memory_order_release);
+      return 0;  // missed sample; a late handler acks a stale token
+    }
+    timespec ts{0, 20'000};  // 20 µs
+    ::nanosleep(&ts, nullptr);
+  }
+  cap.token.store(0, std::memory_order_release);
+  int n = cap.nframes.load(std::memory_order_relaxed);
+  if (n > max_frames) n = max_frames;
+  std::memcpy(frames, cap.frames, static_cast<size_t>(n) * sizeof(void*));
+  return n;
+}
+
+std::string SymbolizeAddr(void* addr) {
+  Dl_info info{};
+  if (::dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    std::string name = info.dli_sname;
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) name = demangled;
+    std::free(demangled);
+    char off[32];
+    std::snprintf(off, sizeof(off), "+0x%zx",
+                  reinterpret_cast<uintptr_t>(addr) -
+                      reinterpret_cast<uintptr_t>(info.dli_saddr));
+    return name + off;
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "0x%zx", reinterpret_cast<uintptr_t>(addr));
+  return hex;
+}
+
+std::string CaptureSymbolizedStack(int slot) {
+  void* frames[kMaxStackFrames];
+  // Generous timeout: under TSan, async signal delivery is deferred to the
+  // target's next interception point.
+  const int n = CaptureRawStack(slot, frames, kMaxStackFrames,
+                                /*timeout_us=*/250'000);
+  if (n <= 0) return "<no stack>";
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    std::string sym = SymbolizeAddr(frames[i]);
+    // Drop the capture machinery's own frames (handler + trampoline).
+    if (sym.find("CaptureSignalHandler") != std::string::npos ||
+        sym.find("__restore_rt") != std::string::npos ||
+        sym.compare(0, 9, "backtrace") == 0) {
+      continue;
+    }
+    char head[16];
+    std::snprintf(head, sizeof(head), "  #%d ", i);
+    out += head;
+    out += sym;
+    out += "\n";
+  }
+  if (out.empty()) out = "<no stack>";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace idba

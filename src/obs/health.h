@@ -1,0 +1,127 @@
+// Thread-health registry: the shared substrate of the runtime-health layer
+// (DESIGN.md §13). Long-lived threads register themselves under a role
+// ("io-loop-0", "worker-3", "acceptor", ...) into a fixed table of slots;
+// the profiler round-robins the registered threads for SIGPROF stack
+// samples, the watchdog checks that each working thread's epoch keeps
+// advancing, and the flight recorder keys its per-thread event rings off
+// the same slot ids.
+//
+// Registration contract:
+//   - RegisterThisThread(role) claims a slot for the calling thread and is
+//     what makes it *samplable*: the profiler/watchdog may pthread_kill it
+//     a capture signal. The slot is released automatically at thread exit
+//     (thread_local destructor) or explicitly via UnregisterThisThread —
+//     both happen while the thread is still joinable, so a pthread_kill
+//     under the registry lock can never hit a dead thread.
+//   - EnsureThisThreadSlot() lazily claims a non-samplable slot (role
+//     "thread-<tid>") so short-lived threads can still record flight
+//     events without ever being a signal target.
+//   - Epoch/working stamps are single relaxed atomics: cheap enough for
+//     every reactor iteration and worker dispatch.
+//
+// Everything here sits below net/ in the link graph: no net/ includes, the
+// transport integrates by calling these hooks.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <pthread.h>
+#include <string>
+#include <vector>
+
+namespace idba {
+namespace obs {
+
+inline constexpr int kMaxThreadSlots = 128;
+inline constexpr int kThreadRoleLen = 32;
+inline constexpr int kMaxStackFrames = 48;
+
+struct ThreadSlot {
+  /// Slot lifecycle: `used` claims the storage (under the registry lock),
+  /// `live` publishes it to scanners. Cleared in the reverse order.
+  std::atomic<bool> used{false};
+  std::atomic<bool> live{false};
+  /// True when the thread registered with an explicit role and may be
+  /// signal-sampled (profiler ticks, watchdog stack capture).
+  std::atomic<bool> samplable{false};
+  char role[kThreadRoleLen] = {0};  ///< written before `live`, stable after
+  pthread_t pthread{};              ///< valid while `live`
+  uint64_t tid = 0;                 ///< small sequential id (== log/trace tid)
+  /// Bumped once per reactor iteration / worker dispatch. Frozen epoch +
+  /// working == stall.
+  std::atomic<uint64_t> epoch{0};
+  /// True while the thread is executing dispatched work (not blocked in
+  /// epoll_wait / the run-queue wait, which are legitimate idle states).
+  std::atomic<bool> working{false};
+  /// Transient role overlay ("flush-leader" while a committer runs the WAL
+  /// group-commit I/O). MUST point at a string literal: the profiler's
+  /// signal handler reads it with no lifetime protection.
+  std::atomic<const char*> phase{nullptr};
+};
+
+/// Claims a slot for the calling thread (re-registering just renames it).
+/// Returns the slot id, or -1 when the table is full (health features then
+/// silently skip this thread). `samplable` threads may receive capture
+/// signals — every long-lived subsystem thread wants true.
+int RegisterThisThread(const std::string& role, bool samplable = true);
+/// Releases the calling thread's slot (idempotent; also runs automatically
+/// at thread exit).
+void UnregisterThisThread();
+/// Slot id of the calling thread, -1 when unregistered.
+int ThisThreadSlotId();
+/// Like ThisThreadSlotId but lazily registers a non-samplable
+/// "thread-<tid>" slot, for flight events from unnamed threads.
+int EnsureThisThreadSlot();
+/// Direct slot access (id from the functions above; never out of range
+/// checks are the caller's problem — returns nullptr when out of range).
+ThreadSlot* SlotAt(int id);
+
+/// Health heartbeat: bump the calling thread's epoch (no-op unregistered).
+void HealthEpochBump();
+/// Marks the calling thread busy/idle for the watchdog (no-op unregistered).
+void SetThreadWorking(bool working);
+
+/// RAII role overlay for transient duties (e.g. the WAL flush leader).
+/// `phase` must be a string literal (see ThreadSlot::phase).
+class ScopedThreadPhase {
+ public:
+  explicit ScopedThreadPhase(const char* phase);
+  ~ScopedThreadPhase();
+  ScopedThreadPhase(const ScopedThreadPhase&) = delete;
+  ScopedThreadPhase& operator=(const ScopedThreadPhase&) = delete;
+
+ private:
+  ThreadSlot* slot_ = nullptr;
+  const char* prev_ = nullptr;
+};
+
+/// Point-in-time view of one live slot, for watchdog/profiler scans.
+struct ThreadSnapshot {
+  int slot = -1;
+  std::string role;
+  uint64_t tid = 0;
+  uint64_t epoch = 0;
+  bool working = false;
+  bool samplable = false;
+};
+std::vector<ThreadSnapshot> SnapshotThreads();
+
+/// One-shot remote stack capture: signals the (samplable, live) thread in
+/// `slot` and copies its raw backtrace into `frames`. Returns the frame
+/// count, or 0 on a dead slot / timeout (the sample is simply missed).
+/// Serialized internally; the target cannot unregister mid-signal (the
+/// registry lock covers the liveness check + pthread_kill).
+int CaptureRawStack(int slot, void** frames, int max_frames,
+                    int64_t timeout_us);
+
+/// Best-effort symbolization of one return address: "Sym+0x1f" when the
+/// dynamic symbol table resolves it (link with ENABLE_EXPORTS for that),
+/// else the raw hex address.
+std::string SymbolizeAddr(void* addr);
+/// Multi-line symbolized stack of the thread in `slot` ("  #0 ...\n"...).
+/// Returns "<no stack>" when the capture fails.
+std::string CaptureSymbolizedStack(int slot);
+
+}  // namespace obs
+}  // namespace idba

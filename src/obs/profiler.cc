@@ -1,0 +1,270 @@
+#include "obs/profiler.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/trace.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+constexpr int kProfMaxFrames = 32;
+constexpr int kMaxRawSamples = 8192;
+
+/// One captured stack. Plain fields are written by the single sampler
+/// thread under g_ring_mu (which DumpFolded also takes); `seq` additionally
+/// guards the lock-free crash-time reader — 0 while unwritten or mid-write,
+/// then the 1-based capture ordinal.
+struct RawSample {
+  std::atomic<uint32_t> seq{0};
+  int slot = -1;
+  uint64_t tid = 0;
+  char role[kThreadRoleLen] = {0};
+  int n = 0;
+  int64_t t_us = 0;
+  void* frames[kProfMaxFrames];
+};
+
+/// Static so the crash handler can dump raw samples without the heap.
+RawSample g_samples[kMaxRawSamples];
+
+std::mutex g_ctl_mu;   ///< Start/Stop and the sampler thread object
+std::mutex g_ring_mu;  ///< sample writes vs DumpFolded reads
+std::thread g_thread;
+std::atomic<bool> g_running{false};
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_hz{0};
+std::atomic<uint64_t> g_count{0};    ///< total captures (ring wraps)
+std::atomic<uint64_t> g_dropped{0};  ///< ticks whose capture failed
+
+// Async-signal-safe writers for ProfilerDumpRawToFd (the crash path cannot
+// share the locked std::string renderers).
+
+void WriteAll(int fd, const char* s, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, s, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    s += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WStr(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void WU64(int fd, uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+void WHex(int fd, uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof(buf);
+  do {
+    const int d = static_cast<int>(v & 0xf);
+    *--p = static_cast<char>(d < 10 ? '0' + d : 'a' + d - 10);
+    v >>= 4;
+  } while (v != 0);
+  *--p = 'x';
+  *--p = '0';
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+/// True for frames of the capture machinery itself, which every sample
+/// would otherwise lead with.
+bool IsMachineryFrame(const std::string& sym) {
+  return sym.find("CaptureSignalHandler") != std::string::npos ||
+         sym.find("__restore_rt") != std::string::npos ||
+         sym.compare(0, 9, "backtrace") == 0;
+}
+
+}  // namespace
+
+bool Profiler::Start(int hz) {
+  hz = std::clamp(hz, 1, 1000);
+  std::lock_guard<std::mutex> ctl(g_ctl_mu);
+  if (g_running.load(std::memory_order_relaxed)) return false;
+  {
+    std::lock_guard<std::mutex> ring(g_ring_mu);
+    for (RawSample& s : g_samples) {
+      s.seq.store(0, std::memory_order_relaxed);
+    }
+    g_count.store(0, std::memory_order_relaxed);
+    g_dropped.store(0, std::memory_order_relaxed);
+  }
+  g_stop.store(false, std::memory_order_relaxed);
+  g_hz.store(hz, std::memory_order_relaxed);
+  g_running.store(true, std::memory_order_release);
+  g_thread = std::thread([this, hz] { SamplerMain(hz); });
+  return true;
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> ctl(g_ctl_mu);
+  if (!g_running.load(std::memory_order_relaxed)) return;
+  g_stop.store(true, std::memory_order_release);
+  g_thread.join();
+  g_running.store(false, std::memory_order_release);
+}
+
+bool Profiler::running() const {
+  return g_running.load(std::memory_order_acquire);
+}
+
+int Profiler::hz() const { return g_hz.load(std::memory_order_relaxed); }
+
+uint64_t Profiler::samples() const {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void Profiler::SamplerMain(int hz) {
+  RegisterThisThread("profiler", /*samplable=*/false);
+  const int64_t interval_ns = 1'000'000'000LL / hz;
+  // Capture timeout well under one tick; generous lower bound because
+  // sanitizer builds deliver the signal only at interception points.
+  const int64_t capture_timeout_us =
+      std::max<int64_t>(2'000, std::min<int64_t>(interval_ns / 2'000, 5'000));
+  timespec next{};
+  ::clock_gettime(CLOCK_MONOTONIC, &next);
+  size_t rr = 0;
+  while (!g_stop.load(std::memory_order_acquire)) {
+    next.tv_nsec += interval_ns;
+    while (next.tv_nsec >= 1'000'000'000LL) {
+      next.tv_nsec -= 1'000'000'000LL;
+      next.tv_sec += 1;
+    }
+    while (::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &next, nullptr) ==
+           EINTR) {
+    }
+    if (g_stop.load(std::memory_order_acquire)) break;
+
+    // One directed sample per tick, round-robin over the samplable threads:
+    // total signal rate == hz regardless of thread count.
+    std::vector<ThreadSnapshot> threads = SnapshotThreads();
+    threads.erase(std::remove_if(threads.begin(), threads.end(),
+                                 [](const ThreadSnapshot& t) {
+                                   return !t.samplable;
+                                 }),
+                  threads.end());
+    if (threads.empty()) continue;
+    const ThreadSnapshot& target = threads[rr++ % threads.size()];
+
+    void* frames[kProfMaxFrames];
+    const int n =
+        CaptureRawStack(target.slot, frames, kProfMaxFrames, capture_timeout_us);
+    if (n <= 0) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::lock_guard<std::mutex> ring(g_ring_mu);
+    const uint64_t count = g_count.load(std::memory_order_relaxed);
+    RawSample& s = g_samples[count % kMaxRawSamples];
+    s.seq.store(0, std::memory_order_release);  // mark torn for crash reader
+    s.slot = target.slot;
+    s.tid = target.tid;
+    std::snprintf(s.role, sizeof(s.role), "%s", target.role.c_str());
+    s.n = n;
+    s.t_us = NowUs();
+    std::memcpy(s.frames, frames, static_cast<size_t>(n) * sizeof(void*));
+    s.seq.store(static_cast<uint32_t>(count % kMaxRawSamples) + 1,
+                std::memory_order_release);
+    g_count.store(count + 1, std::memory_order_relaxed);
+  }
+  UnregisterThisThread();
+}
+
+std::string Profiler::DumpFolded() {
+  std::lock_guard<std::mutex> ring(g_ring_mu);
+  const uint64_t total = g_count.load(std::memory_order_relaxed);
+  const uint64_t have =
+      std::min<uint64_t>(total, static_cast<uint64_t>(kMaxRawSamples));
+  std::map<std::string, uint64_t> folded;
+  std::map<void*, std::string> symcache;
+  for (uint64_t i = total - have; i < total; ++i) {
+    const RawSample& s = g_samples[i % kMaxRawSamples];
+    if (s.seq.load(std::memory_order_acquire) == 0 || s.n <= 0) continue;
+    std::string key = s.role;
+    // backtrace() is leaf-first; folded stacks are outer-first.
+    for (int f = s.n - 1; f >= 0; --f) {
+      auto it = symcache.find(s.frames[f]);
+      if (it == symcache.end()) {
+        it = symcache.emplace(s.frames[f], SymbolizeAddr(s.frames[f])).first;
+      }
+      if (IsMachineryFrame(it->second)) continue;
+      key += ';';
+      key += it->second;
+    }
+    folded[key]++;
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::StatusLine() {
+  std::string out = "profiler ";
+  out += running() ? "running hz=" + std::to_string(hz()) : "stopped";
+  out += " samples=" + std::to_string(samples());
+  out += " dropped=" + std::to_string(dropped());
+  return out;
+}
+
+Profiler& GlobalProfiler() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+void ProfilerDumpRawToFd(int fd) {
+  for (int i = 0; i < kMaxRawSamples; ++i) {
+    const RawSample& s = g_samples[i];
+    // seq is the only synchronization here (crash context): skip slots a
+    // dying sampler left mid-write.
+    if (s.seq.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(i) + 1) {
+      continue;
+    }
+    WStr(fd, "sample slot=");
+    WU64(fd, static_cast<uint64_t>(s.slot));
+    WStr(fd, " role=");
+    WStr(fd, s.role[0] != '\0' ? s.role : "unnamed");
+    WStr(fd, " t_us=");
+    WU64(fd, static_cast<uint64_t>(s.t_us < 0 ? 0 : s.t_us));
+    WStr(fd, " frames=");
+    const int n = s.n < kProfMaxFrames ? s.n : kProfMaxFrames;
+    for (int f = 0; f < n; ++f) {
+      if (f > 0) WStr(fd, ",");
+      WHex(fd, reinterpret_cast<uint64_t>(s.frames[f]));
+    }
+    WStr(fd, "\n");
+  }
+}
+
+}  // namespace obs
+}  // namespace idba

@@ -1,0 +1,60 @@
+// In-process sampling profiler (DESIGN.md §13). A dedicated sampler thread
+// wakes `hz` times a second and directs a SIGPROF capture at one registered
+// samplable thread per tick, round-robin — wall-clock sampling, so threads
+// blocked in epoll_wait, fsync, or a lock wait are profiled too, and the
+// total signal rate stays `hz` no matter how many threads exist (which is
+// how the ≤2% overhead budget holds). The capture signal handler records
+// raw return addresses only; symbolization happens at dump time, in the
+// requesting thread, in normal context.
+//
+// Samples land in a statically allocated ring so the crash handler can dump
+// the raw addresses without touching the heap (ProfilerDumpRawToFd).
+// DumpFolded() renders flamegraph-compatible folded stacks, each line
+// prefixed with the sampled thread's role:
+//   io-loop-0;epoll_wait+0x5a 41
+//   worker-2;ExecuteMethod+0x1f2;Wal::Append+0x88 7
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idba {
+namespace obs {
+
+class Profiler {
+ public:
+  /// Starts sampling at `hz` (clamped to [1, 1000]), clearing any previous
+  /// samples. Returns false if already running.
+  bool Start(int hz);
+  /// Stops the sampler thread and joins it. Idempotent.
+  void Stop();
+  bool running() const;
+  int hz() const;
+
+  /// Folded-stacks text of everything sampled so far ("role;outer;...;leaf
+  /// count\n"). Callable while running; aggregates a consistent prefix of
+  /// the ring.
+  std::string DumpFolded();
+
+  /// One-line status for the PROFILE admin RPC / idba_stat:
+  /// "profiler running hz=99 samples=412 dropped=3".
+  std::string StatusLine();
+
+  uint64_t samples() const;  ///< captures that returned >= 1 frame
+  uint64_t dropped() const;  ///< ticks whose capture timed out or overflowed
+
+ private:
+  void SamplerMain(int hz);
+};
+
+/// Process-wide instance (all control surfaces share it).
+Profiler& GlobalProfiler();
+
+/// Async-signal-safe: writes the raw (unsymbolized) sample ring to `fd` as
+/// "sample slot=N role=R t_us=T frames=0x...,0x..." lines. Used by the
+/// crash handler to preserve profiler evidence alongside the flight dump.
+void ProfilerDumpRawToFd(int fd);
+
+}  // namespace obs
+}  // namespace idba

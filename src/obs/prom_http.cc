@@ -89,9 +89,16 @@ void PromHttpServer::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  // Detached handlers hold reg_; wait them out before the caller can
+  // destroy us.
+  std::unique_lock<std::mutex> lk(handlers_mu_);
+  handlers_cv_.wait(lk, [this] { return active_handlers_ == 0; });
 }
 
 void PromHttpServer::Serve() {
+  // Bounds concurrent detached handlers; beyond this the acceptor handles
+  // the connection inline, trading scrape latency for a thread-count cap.
+  constexpr int kMaxHandlers = 32;
   while (running_.load()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -99,16 +106,40 @@ void PromHttpServer::Serve() {
       if (errno == EINTR) continue;
       return;  // listener closed underneath us
     }
-    HandleConnection(fd);
-    ::close(fd);
+    bool spawn = false;
+    {
+      std::lock_guard<std::mutex> lk(handlers_mu_);
+      if (active_handlers_ < kMaxHandlers) {
+        ++active_handlers_;
+        spawn = true;
+      }
+    }
+    if (!spawn) {
+      HandleConnection(fd);
+      ::close(fd);
+      continue;
+    }
+    std::thread([this, fd] { Dispatch(fd); }).detach();
   }
 }
 
+void PromHttpServer::Dispatch(int fd) {
+  HandleConnection(fd);
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    --active_handlers_;
+  }
+  handlers_cv_.notify_all();
+}
+
 void PromHttpServer::HandleConnection(int fd) {
-  // A scraper that dribbles its request cannot pin the acceptor.
+  // A scraper that dribbles its request or refuses to read the response
+  // cannot pin a handler (or, in the inline fallback, the acceptor).
   timeval tv{};
   tv.tv_sec = 5;
   (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   // Read until the end of the headers (or a sanity cap).
   char buf[4096];
   size_t used = 0;

@@ -2,7 +2,12 @@
 //
 // One acceptor thread, one request per connection, ~no parsing beyond the
 // request line: exactly what a scrape loop (or `curl :PORT/metrics`) needs
-// and nothing more. Deliberately independent of net/socket.h — obs sits
+// and nothing more. Each accepted connection is handled on a short-lived
+// detached thread so a slow or stalled reader cannot block the acceptor
+// (and thus other scrapers); when too many handlers are already in flight
+// the acceptor falls back to handling the connection inline, which bounds
+// thread creation under a connect flood. Stop() waits for in-flight
+// handlers to drain. Deliberately independent of net/socket.h — obs sits
 // below the transport layer in the link graph, so this speaks raw POSIX
 // sockets. Not an application ingress: bind it to loopback (the default)
 // or front it with real infrastructure, same advice as the admin RPCs.
@@ -13,7 +18,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -45,6 +52,7 @@ class PromHttpServer {
  private:
   void Serve();
   void HandleConnection(int fd);
+  void Dispatch(int fd);
 
   MetricsRegistry* reg_;
   int listen_fd_ = -1;
@@ -52,6 +60,12 @@ class PromHttpServer {
   std::thread acceptor_;
   std::atomic<bool> running_{false};
   Counter scrapes_;
+
+  // Detached-handler accounting: Stop() blocks until active_handlers_ == 0
+  // so handler threads never outlive the server (they touch reg_).
+  std::mutex handlers_mu_;
+  std::condition_variable handlers_cv_;
+  int active_handlers_ = 0;
 };
 
 }  // namespace obs

@@ -48,8 +48,20 @@
 //                     then comes only from fsync backpressure). Trades a
 //                     bounded bump in commit latency for fewer fsyncs —
 //                     see DESIGN.md §12
+//   --profile-hz N    start the sampling profiler at N Hz on boot (it can
+//                     also be started per-run via `idba_stat --profile` /
+//                     the PROFILE admin RPC); dump folded stacks the same
+//                     way (DESIGN.md §13)
+//   --watchdog-ms N   stall-watchdog threshold: a loop/worker thread stuck
+//                     in one dispatch longer than N ms is reported with its
+//                     stack and a flight dump (default 1000, 0 disables)
+//   --flight-dump PATH
+//                     where crash/stall flight-recorder dumps are written
+//                     (default idba_flight.<pid>.dump in the cwd)
 //
 // The process runs until SIGINT/SIGTERM, then checkpoints and exits.
+// SIGPIPE is ignored process-wide (peers closing mid-write surface as
+// EPIPE); SIGSEGV/SIGBUS/SIGABRT write a flight dump before re-raising.
 
 #include <atomic>
 #include <cerrno>
@@ -61,12 +73,16 @@
 #include <string>
 #include <thread>
 #include <semaphore.h>
+#include <unistd.h>
 
 #include "core/session.h"
 #include "net/tcp_server.h"
+#include "obs/flight.h"
+#include "obs/profiler.h"
 #include "obs/prom_http.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace {
 
@@ -89,6 +105,9 @@ int main(int argc, char** argv) {
   long max_inflight = -1;
   long io_threads = 0;      // 0 = auto-size from hardware_concurrency
   long worker_threads = 0;
+  long profile_hz = 0;      // 0 = profiler idle until the PROFILE RPC
+  long watchdog_ms = 1000;  // 0 = watchdog off
+  std::string flight_dump_path;
   std::string slow_subscriber_policy;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +144,12 @@ int main(int argc, char** argv) {
       io_threads = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--worker-threads") == 0 && i + 1 < argc) {
       worker_threads = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      watchdog_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      flight_dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--wal-group-commit-us") == 0 &&
                i + 1 < argc) {
       dep_opts.server.txn.group_commit_window_us = std::atol(argv[++i]);
@@ -147,7 +172,8 @@ int main(int argc, char** argv) {
                    "[--slow-rpc-ms N] [--metrics-interval SECS] "
                    "[--prom-port N] [--max-queue N] [--max-inflight N] "
                    "[--io-threads N] [--worker-threads N] "
-                   "[--wal-group-commit-us N] "
+                   "[--wal-group-commit-us N] [--profile-hz N] "
+                   "[--watchdog-ms N] [--flight-dump PATH] "
                    "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
@@ -157,6 +183,16 @@ int main(int argc, char** argv) {
     idba::obs::SetTraceSampleEvery(static_cast<uint32_t>(trace_every));
     idba::obs::SetTraceSampling(true);
   }
+
+  // Crash evidence: fatal signals dump the flight rings + raw profiler
+  // samples before re-raising. SIGPIPE is ignored here as well as in
+  // TransportServer::Start so even pre-Start writes can't kill the process.
+  if (flight_dump_path.empty()) {
+    flight_dump_path =
+        "idba_flight." + std::to_string(::getpid()) + ".dump";
+  }
+  idba::obs::InstallCrashHandler(flight_dump_path);
+  std::signal(SIGPIPE, SIG_IGN);
 
   idba::Deployment deployment(dep_opts);
   idba::TransportServerOptions transport_opts;
@@ -198,6 +234,15 @@ int main(int argc, char** argv) {
       transport.worker_threads(),
       static_cast<long long>(dep_opts.server.txn.group_commit_window_us));
   std::fflush(stdout);
+
+  idba::obs::Watchdog watchdog(idba::obs::WatchdogOptions{
+      .threshold_ms = watchdog_ms, .flight_dump_path = flight_dump_path});
+  if (watchdog_ms > 0) watchdog.Start();
+  if (profile_hz > 0) {
+    idba::obs::GlobalProfiler().Start(static_cast<int>(profile_hz));
+    std::printf("idba_serve profiler sampling at %ld Hz\n", profile_hz);
+    std::fflush(stdout);
+  }
 
   idba::obs::PromHttpServer prom_server;
   if (prom_port >= 0) {
@@ -244,6 +289,8 @@ int main(int argc, char** argv) {
     dump_stop.store(true, std::memory_order_relaxed);
     dump_thread.join();
   }
+  idba::obs::GlobalProfiler().Stop();
+  watchdog.Stop();
   prom_server.Stop();
 
   std::printf("idba_serve: shutting down (%llu requests, %llu bytes in, "

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -120,6 +122,7 @@ Result<Lsn> Wal::Append(WalRecord rec) {
   std::memcpy(entry.data(), &len, 4);
   std::memcpy(entry.data() + 4, payload.data(), payload.size());
   appended_bytes_ += entry.size();
+  obs::FlightRecord(obs::FlightType::kWalAppend, rec.lsn, entry.size());
   pending_.push_back(std::move(entry));
   return rec.lsn;
 }
@@ -207,7 +210,20 @@ Status Wal::WaitDurable(Lsn lsn) {
   lk.unlock();
 
   Status st = Status::OK();
-  if (dirty) st = PackAndSync(batch);
+  const int64_t flush_start = obs::NowUs();
+  if (dirty) {
+    // The leader wears the flush for observers: profiler samples during the
+    // group-commit I/O carry the flush-leader tag, and the flight ring
+    // brackets the batch so a crash dump shows how far the last flush got.
+    obs::ScopedThreadPhase phase("flush-leader");
+    obs::FlightRecord(obs::FlightType::kWalFlushBegin, batch.size(), target);
+    st = PackAndSync(batch);
+    const uint64_t flush_us =
+        static_cast<uint64_t>(obs::NowUs() - flush_start);
+    obs::FlightRecord(st.ok() ? obs::FlightType::kWalFlushEnd
+                              : obs::FlightType::kWalFlushFail,
+                      target, flush_us);
+  }
 
   lk.lock();
   flush_in_progress_ = false;

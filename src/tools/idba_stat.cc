@@ -19,6 +19,13 @@
 //                                    # dump the server's span ring as a
 //                                    # Chrome trace (load in about://tracing)
 //   ./idba_stat --connect 127.0.0.1:7450 --trace-jsonl spans.jsonl --clear
+//   ./idba_stat --connect 127.0.0.1:7450 --profile 2
+//                                    # sample the server for 2 s at
+//                                    # --profile-hz (default 99) and print
+//                                    # folded stacks (flamegraph.pl input)
+//   ./idba_stat --connect 127.0.0.1:7450 --flight flight.dump
+//                                    # fetch the flight recorder's
+//                                    # per-thread recent-event rings
 //
 // The text report covers transport counters, connected sessions (with
 // negotiated wire version), the display-lock table, the slow-RPC ring
@@ -123,6 +130,10 @@ int main(int argc, char** argv) {
   long watch_count = 0;  // 0 = until interrupted
   std::string trace_path;
   uint8_t trace_format = 0;  // 0 = chrome, 1 = jsonl
+  long profile_s = 0;
+  long profile_hz = 99;
+  bool flight = false;
+  std::string flight_path = "-";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect = argv[++i];
@@ -152,12 +163,34 @@ int main(int argc, char** argv) {
       trace_format = 1;
     } else if (std::strcmp(argv[i], "--clear") == 0) {
       clear = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      // Optional duration argument, --trace-style: "--profile 2" or bare
+      // "--profile" (default 2 s).
+      profile_s = 2;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        profile_s = std::atol(argv[++i]);
+        if (profile_s <= 0) {
+          std::fprintf(stderr,
+                       "idba_stat: --profile needs a positive duration\n");
+          return 2;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atol(argv[++i]);
+      if (profile_hz <= 0 || profile_hz > 1000) {
+        std::fprintf(stderr, "idba_stat: --profile-hz must be in [1,1000]\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') flight_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s --connect HOST:PORT [--json | --stats-json | "
                    "--locks | --caches | --prom] [--watch SECS "
                    "[--watch-count N]] [--trace FILE | --trace-jsonl FILE] "
-                   "[--clear]\n",
+                   "[--clear] [--profile [SECS] [--profile-hz HZ]] "
+                   "[--flight [FILE]]\n",
                    argv[0]);
       return 2;
     }
@@ -173,6 +206,66 @@ int main(int argc, char** argv) {
   if (!sock.ok()) return Fail(sock.status(), "connect");
   Status st = sock.value().SetRecvTimeout(5000);
   if (!st.ok()) return Fail(st, "recv timeout");
+
+  if (profile_s > 0) {
+    // start -> sleep -> dump folded -> stop; the folded stacks go to stdout
+    // so they pipe straight into flamegraph.pl.
+    uint64_t seq = 1;
+    {
+      std::vector<uint8_t> body;
+      Encoder enc(&body);
+      enc.PutU8(1);  // action: start
+      enc.PutU32(static_cast<uint32_t>(profile_hz));
+      std::string status;
+      st = AdminCall(sock.value(), idba::wire::Method::kProfile, body, &status,
+                     seq++);
+      if (!st.ok()) return Fail(st, "PROFILE start");
+      std::fprintf(stderr, "idba_stat: %s, sampling %lds...\n", status.c_str(),
+                   profile_s);
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(profile_s));
+    std::string folded;
+    {
+      std::vector<uint8_t> body;
+      Encoder enc(&body);
+      enc.PutU8(3);  // action: dump folded stacks
+      st = AdminCall(sock.value(), idba::wire::Method::kProfile, body, &folded,
+                     seq++);
+      if (!st.ok()) return Fail(st, "PROFILE dump");
+    }
+    {
+      std::vector<uint8_t> body;
+      Encoder enc(&body);
+      enc.PutU8(2);  // action: stop
+      std::string status;
+      st = AdminCall(sock.value(), idba::wire::Method::kProfile, body, &status,
+                     seq++);
+      if (!st.ok()) return Fail(st, "PROFILE stop");
+      std::fprintf(stderr, "idba_stat: %s\n", status.c_str());
+    }
+    std::fputs(folded.c_str(), stdout);
+    return 0;
+  }
+
+  if (flight) {
+    std::vector<uint8_t> body;
+    std::string dump;
+    st = AdminCall(sock.value(), idba::wire::Method::kFlight, body, &dump);
+    if (!st.ok()) return Fail(st, "FLIGHT");
+    std::FILE* f =
+        flight_path == "-" ? stdout : std::fopen(flight_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "idba_stat: cannot open %s\n", flight_path.c_str());
+      return 1;
+    }
+    std::fputs(dump.c_str(), f);
+    if (f != stdout) {
+      std::fclose(f);
+      std::fprintf(stderr, "idba_stat: wrote %zu bytes to %s\n", dump.size(),
+                   flight_path.c_str());
+    }
+    return 0;
+  }
 
   if (watch_s > 0) {
     PromSamples prev;

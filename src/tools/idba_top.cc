@@ -7,8 +7,9 @@
 //
 // Each frame scrapes the METRICS admin RPC (Prometheus text — the same
 // bytes a scraper sees over --prom-port) and renders per-interval deltas:
-// RPC rates with per-opcode p50/p99, transport throughput, cache hit
-// rates, lock-manager activity and overload-shedding counters. The first
+// RPC rates with per-opcode p50/p99, transport throughput, per-I/O-loop
+// reactor health (wakeups/s, task-dispatch lag p99, connection count),
+// cache hit rates, lock-manager activity and overload-shedding counters. The first
 // frame after connect shows since-boot totals; every later frame shows the
 // interval window. --once prints the totals frame and exits (used by the
 // smoke test and handy for cron snapshots).
@@ -109,6 +110,43 @@ void RenderFrame(const std::string& target, const PromSamples& cur,
               windowed ? "/s" : "", DeltaOf(cur, prev, "idba_transport_bytes_in_total") / div / 1024.0,
               windowed ? "/s" : "", DeltaOf(cur, prev, "idba_transport_bytes_out_total") / div / 1024.0,
               SampleOr0(cur, "idba_transport_inflight"));
+
+  // --- I/O loops ---------------------------------------------------------
+  // One row per reactor loop, keyed off the per-loop series the EventLoop
+  // registers when given a metric prefix (net.loop.<i>.*). Loop indices are
+  // dense from 0, so stop at the first missing wakeups counter.
+  {
+    bool header = false;
+    for (int loop = 0;; ++loop) {
+      const std::string base = "idba_net_loop_" + std::to_string(loop);
+      const std::string wakeups_key = base + "_wakeups_total";
+      if (cur.find(wakeups_key) == cur.end()) break;
+      if (!header) {
+        std::printf("\nLOOPS %-6s %12s %12s %12s %8s\n", "loop",
+                    windowed ? "wakeups/s" : "wakeups", "lag p50 us",
+                    "lag p99 us", "conns");
+        header = true;
+      }
+      const PromHistogram ch = ExtractHistogram(cur, base + "_lag_us");
+      const PromHistogram ph = prev.empty()
+                                   ? PromHistogram{}
+                                   : ExtractHistogram(prev, base + "_lag_us");
+      std::printf("    io-%-4d %12.1f %12.0f %12.0f %8.0f\n", loop,
+                  DeltaOf(cur, prev, wakeups_key) / div,
+                  QuantileOfDelta(ch, ph, 0.50), QuantileOfDelta(ch, ph, 0.99),
+                  SampleOr0(cur, base + "_conns"));
+    }
+    if (header) {
+      const PromHistogram ch = ExtractHistogram(cur, "idba_net_loop_lag_us");
+      const PromHistogram ph =
+          prev.empty() ? PromHistogram{}
+                       : ExtractHistogram(prev, "idba_net_loop_lag_us");
+      std::printf("    all task lag p50 %.0f us   p99 %.0f us   "
+                  "health stalls %.0f\n",
+                  QuantileOfDelta(ch, ph, 0.50), QuantileOfDelta(ch, ph, 0.99),
+                  SampleOr0(cur, "idba_health_stalls_total"));
+    }
+  }
 
   // --- caches ------------------------------------------------------------
   std::printf("\nCACHE %-10s %10s %10s %8s   gauges\n", "tier",

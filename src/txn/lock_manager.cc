@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -251,6 +252,8 @@ void LockManager::NoteWaitEndLocked(const Oid& oid, int64_t wait_start_us) {
   count += 1;
   // Histogram shard locks nest inside mu_ and never call back out.
   if (wait_hist_ != nullptr) wait_hist_->Record(static_cast<double>(waited));
+  obs::FlightRecord(obs::FlightType::kLockWait, oid.value,
+                    static_cast<uint64_t>(waited));
 }
 
 Status LockManager::Unlock(LockOwnerId owner, Oid oid) {

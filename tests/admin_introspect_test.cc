@@ -222,6 +222,67 @@ TEST_F(AdminIntrospectTest, AdminMethodsExemptFromAdmission) {
   EXPECT_NE(text.find("idba_"), std::string::npos);
 }
 
+TEST_F(AdminIntrospectTest, FlightDumpPreHelloShowsTransportThreads) {
+  StartServer();
+  // Generate a little traffic so the reactor rings hold frame events.
+  auto client =
+      RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), 100);
+  ASSERT_TRUE(client.ok());
+  (void)client.value()->Begin();
+
+  Socket sock = RawConnect();
+  const std::string dump = RawAdminCall(sock, wire::Method::kFlight, {}, 1);
+  EXPECT_NE(dump.find("flightdump v1"), std::string::npos);
+  EXPECT_NE(dump.find("role=io-loop"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=frame.in"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("end"), std::string::npos);
+}
+
+TEST_F(AdminIntrospectTest, ProfileStartDumpStopRoundTrip) {
+  StartServer();
+  Socket sock = RawConnect();
+
+  // action 0: status while stopped.
+  std::vector<uint8_t> args;
+  Encoder status_enc(&args);
+  status_enc.PutU8(0);
+  std::string status = RawAdminCall(sock, wire::Method::kProfile, args, 1);
+  EXPECT_NE(status.find("stopped"), std::string::npos) << status;
+
+  // action 1 + hz: start.
+  args.clear();
+  Encoder start_enc(&args);
+  start_enc.PutU8(1);
+  start_enc.PutU32(200);
+  status = RawAdminCall(sock, wire::Method::kProfile, args, 2);
+  EXPECT_NE(status.find("running hz=200"), std::string::npos) << status;
+
+  // Traffic while sampling, so worker/io-loop threads are on-CPU at times.
+  auto client =
+      RemoteDatabaseClient::Connect("127.0.0.1", transport_->port(), 100);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 200; ++i) (void)client.value()->Begin();
+
+  // action 3: folded dump (may legitimately be empty if every tick landed
+  // while all threads slept, so only check it parses as folded lines).
+  args.clear();
+  Encoder dump_enc(&args);
+  dump_enc.PutU8(3);
+  const std::string folded = RawAdminCall(sock, wire::Method::kProfile, args, 3);
+  if (!folded.empty()) {
+    EXPECT_NE(folded.find_first_of('\n'), std::string::npos);
+  }
+
+  // action 2: stop, idempotently.
+  args.clear();
+  Encoder stop_enc(&args);
+  stop_enc.PutU8(2);
+  status = RawAdminCall(sock, wire::Method::kProfile, args, 4);
+  EXPECT_NE(status.find("stopped"), std::string::npos) << status;
+  status = RawAdminCall(sock, wire::Method::kProfile, args, 5);
+  EXPECT_NE(status.find("stopped"), std::string::npos) << status;
+}
+
 TEST_F(AdminIntrospectTest, ServerSideRpcHistogramsAppearAfterTraffic) {
   StartServer();
   auto client =

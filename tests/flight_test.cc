@@ -1,0 +1,182 @@
+// Flight-recorder tests (obs/flight.h): event recording and wrap, dump
+// parseability, concurrent record-vs-dump safety, WAL instrumentation
+// feeding the ring, and the crash handler end-to-end — a forked child
+// SIGABRTs and the parent reads its last WAL flush and frame events back
+// out of the dump file.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/health.h"
+#include "storage/disk.h"
+#include "storage/wal.h"
+
+namespace idba {
+namespace {
+
+std::string TempPath(const char* tag) {
+  const char* dir = ::getenv("TMPDIR");
+  if (dir == nullptr || dir[0] == '\0') dir = "/tmp";
+  return std::string(dir) + "/idba_flight_test_" + tag + "_" +
+         std::to_string(::getpid()) + ".dump";
+}
+
+TEST(FlightRecorderTest, RecordedEventsAppearInDump) {
+  obs::EnsureThisThreadSlot();
+  obs::FlightRecord(obs::FlightType::kFrameIn, 7, 1);
+  obs::FlightRecord(obs::FlightType::kLockWait, 4242, 1500);
+  const std::string dump = obs::FlightDumpString();
+  EXPECT_NE(dump.find("flightdump v1"), std::string::npos);
+  EXPECT_NE(dump.find("type=frame.in a=7 b=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=lock.wait a=4242 b=1500"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("end"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsNewestEvents) {
+  obs::EnsureThisThreadSlot();
+  for (uint64_t i = 0; i < 2 * obs::kFlightRingEvents; ++i) {
+    obs::FlightRecord(obs::FlightType::kStrandRun, /*a=*/i, /*b=*/0);
+  }
+  const std::string dump = obs::FlightDumpString();
+  // The newest event survives; the oldest was overwritten by the wrap.
+  const uint64_t newest = 2 * obs::kFlightRingEvents - 1;
+  EXPECT_NE(dump.find("type=strand.run a=" + std::to_string(newest)),
+            std::string::npos);
+  EXPECT_EQ(dump.find("type=strand.run a=0 "), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpIsLineParseable) {
+  obs::EnsureThisThreadSlot();
+  obs::FlightRecord(obs::FlightType::kOverload, 3, 2);
+  std::istringstream in(obs::FlightDumpString());
+  std::string line;
+  bool saw_thread = false;
+  bool saw_event = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("thread ", 0) == 0) {
+      saw_thread = true;
+      EXPECT_NE(line.find("slot="), std::string::npos) << line;
+      EXPECT_NE(line.find("role="), std::string::npos) << line;
+      EXPECT_NE(line.find("tid="), std::string::npos) << line;
+    } else if (line.rfind("event ", 0) == 0) {
+      saw_event = true;
+      EXPECT_NE(line.find("t_us="), std::string::npos) << line;
+      EXPECT_NE(line.find("type="), std::string::npos) << line;
+      EXPECT_NE(line.find("a="), std::string::npos) << line;
+      EXPECT_NE(line.find("b="), std::string::npos) << line;
+    } else {
+      EXPECT_TRUE(line.rfind("flightdump v1", 0) == 0 || line == "end")
+          << "unexpected line: " << line;
+    }
+  }
+  EXPECT_TRUE(saw_thread);
+  EXPECT_TRUE(saw_event);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndDump) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&stop, w] {
+      obs::RegisterThisThread(("flight-writer-" + std::to_string(w)).c_str());
+      uint64_t i = 0;
+      while (!stop.load()) {
+        obs::FlightRecord(obs::FlightType::kFrameOut, static_cast<uint64_t>(w),
+                          i++);
+      }
+      obs::UnregisterThisThread();
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string dump = obs::FlightDumpString();
+    EXPECT_NE(dump.find("flightdump v1"), std::string::npos);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(FlightRecorderTest, WalFlushFeedsRing) {
+  obs::EnsureThisThreadSlot();
+  MemDisk disk;
+  Wal wal(&disk);
+  WalRecord rec;
+  rec.type = WalRecordType::kBegin;
+  rec.txn = 1;
+  auto lsn = wal.Append(rec);
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(wal.WaitDurable(lsn.value()).ok());
+  const std::string dump = obs::FlightDumpString();
+  EXPECT_NE(dump.find("type=wal.append"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=wal.flush_begin"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=wal.flush_end"), std::string::npos) << dump;
+}
+
+// The headline acceptance test: a child process records traffic-shaped
+// events, does a real WAL append+flush, installs the crash handler, and
+// dies on SIGABRT. The parent then parses the dump file the handler wrote.
+// Fork keeps the child single-threaded (async-signal-safe territory) and
+// keeps the abort out of this process, where sanitizers would intercept it.
+TEST(FlightRecorderTest, CrashHandlerWritesParseableDump) {
+  const std::string path = TempPath("crash");
+  ::unlink(path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child. _exit on any failure path; only abort() should end us.
+    obs::InstallCrashHandler(path);
+    obs::RegisterThisThread("crash-child");
+    obs::FlightRecord(obs::FlightType::kFrameIn, 11, 1);
+    MemDisk disk;
+    Wal wal(&disk);
+    WalRecord rec;
+    rec.type = WalRecordType::kCommit;
+    rec.txn = 9;
+    auto lsn = wal.Append(rec);
+    if (!lsn.ok() || !wal.WaitDurable(lsn.value()).ok()) ::_exit(97);
+    obs::FlightRecord(obs::FlightType::kFrameOut, 11, 2);
+    std::abort();
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with "
+                                   << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler wrote no dump at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+
+  EXPECT_NE(dump.find("flightdump v1"), std::string::npos);
+  EXPECT_NE(dump.find("signal=" + std::to_string(SIGABRT)), std::string::npos)
+      << dump.substr(0, 200);
+  EXPECT_NE(dump.find("role=crash-child"), std::string::npos);
+  // The last WAL flush and the frame traffic around it survived the crash.
+  EXPECT_NE(dump.find("type=wal.flush_end"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=frame.in a=11 b=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("type=frame.out a=11 b=2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("end"), std::string::npos);
+
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace idba

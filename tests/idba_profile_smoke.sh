@@ -1,0 +1,85 @@
+#!/bin/sh
+# Smoke test: the runtime-health layer against a live idba_serve.
+#
+#   idba_profile_smoke.sh <idba_serve> <idba_stat>
+#
+# Starts the server on an ephemeral port, takes a short profile through
+# `idba_stat --profile`, checks the folded stacks carry thread-role tags,
+# and fetches a flight dump through `idba_stat --flight`.
+set -eu
+
+SERVE="$1"
+STAT="$2"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVE" --port 0 --slow-rpc-ms 0 >"$WORKDIR/serve.out" 2>&1 &
+SERVER_PID=$!
+
+# The bound port is printed on the first stdout line.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\).*/\1/p' \
+         "$WORKDIR/serve.out" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORKDIR/serve.out"; \
+    echo "FAIL: idba_serve exited early"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: could not find bound port"; exit 1; }
+
+# Background load while the profiler runs, so io-loop threads have frames
+# to show: a watch loop hammers the METRICS RPC for the whole window.
+"$STAT" --connect "127.0.0.1:$PORT" --watch 1 --watch-count 4 \
+  >/dev/null 2>&1 &
+LOAD_PID=$!
+
+"$STAT" --connect "127.0.0.1:$PORT" --profile 2 --profile-hz 200 \
+  >"$WORKDIR/profile.folded" 2>"$WORKDIR/profile.err" || {
+  cat "$WORKDIR/profile.err"
+  echo "FAIL: idba_stat --profile failed"
+  exit 1
+}
+wait "$LOAD_PID" 2>/dev/null || true
+
+[ -s "$WORKDIR/profile.folded" ] || {
+  echo "FAIL: profile window produced no folded stacks"; exit 1; }
+# Wall-clock sampling covers blocked threads too, so both thread families
+# must appear as folded-stack role tags.
+grep -q '^io-loop' "$WORKDIR/profile.folded" || {
+  echo "FAIL: no io-loop samples in folded output:"
+  cat "$WORKDIR/profile.folded"
+  exit 1
+}
+grep -q '^worker' "$WORKDIR/profile.folded" || {
+  echo "FAIL: no worker samples in folded output:"
+  cat "$WORKDIR/profile.folded"
+  exit 1
+}
+# Folded lines are "role;frames... count".
+grep -Eq '^[^ ]+ [0-9]+$' "$WORKDIR/profile.folded" || {
+  echo "FAIL: folded output is not 'stack count' lines:"
+  cat "$WORKDIR/profile.folded"
+  exit 1
+}
+
+# Flight dump over the admin RPC: header, thread sections, trailer.
+"$STAT" --connect "127.0.0.1:$PORT" --flight "$WORKDIR/flight.dump" \
+  2>/dev/null
+grep -q '^flightdump v1' "$WORKDIR/flight.dump" || {
+  echo "FAIL: flight dump missing header"; cat "$WORKDIR/flight.dump"
+  exit 1
+}
+grep -q 'role=io-loop' "$WORKDIR/flight.dump" || {
+  echo "FAIL: flight dump lists no io-loop thread"; exit 1; }
+grep -q '^end$' "$WORKDIR/flight.dump" || {
+  echo "FAIL: flight dump missing trailer"; exit 1; }
+
+echo "PASS"

@@ -36,7 +36,7 @@ done
 [ -n "$PORT" ] || { echo "FAIL: could not find bound port"; exit 1; }
 
 "$TOP" --connect "127.0.0.1:$PORT" --once >"$WORKDIR/once.txt"
-for section in RPC TRANSPORT CACHE LOCKS OVERLOAD; do
+for section in RPC TRANSPORT LOOPS CACHE LOCKS OVERLOAD; do
   grep -q "$section" "$WORKDIR/once.txt" || {
     echo "FAIL: --once frame missing '$section' section:"
     cat "$WORKDIR/once.txt"
@@ -45,6 +45,10 @@ for section in RPC TRANSPORT CACHE LOCKS OVERLOAD; do
 done
 grep -q 'since boot' "$WORKDIR/once.txt" || {
   echo "FAIL: --once frame is not a totals frame"; exit 1; }
+grep -q 'io-0' "$WORKDIR/once.txt" || {
+  echo "FAIL: LOOPS pane has no per-loop row:"; cat "$WORKDIR/once.txt"
+  exit 1
+}
 
 # Two frames, 1 s apart: the second is windowed and must show the Metrics
 # RPC issued by the first frame's own scrape (live deltas, acceptance item).

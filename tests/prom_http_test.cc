@@ -1,0 +1,155 @@
+// PromHttpServer tests: basic scrape correctness, 404/405 handling,
+// concurrent scrapers (served on detached handler threads), a malformed
+// request line, and a slow reader that must neither wedge the acceptor nor
+// block Stop() forever.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/prom_http.h"
+
+namespace idba {
+namespace {
+
+using namespace std::chrono_literals;
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One HTTP exchange: send `request` verbatim, read until EOF.
+std::string Exchange(uint16_t port, const std::string& request) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+TEST(PromHttpTest, ServesMetricsAndRejectsOthers) {
+  MetricsRegistry reg;
+  reg.GetCounter("unit.scrape_me")->Add(42);
+  obs::PromHttpServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok =
+      Exchange(server.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("idba_unit_scrape_me_total 42"), std::string::npos);
+
+  const std::string missing =
+      Exchange(server.port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post =
+      Exchange(server.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  EXPECT_EQ(server.scrapes_served(), 1u);
+  server.Stop();
+}
+
+TEST(PromHttpTest, ConcurrentScrapesAllSucceed) {
+  MetricsRegistry reg;
+  reg.GetCounter("unit.concurrent")->Add(7);
+  obs::PromHttpServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kThreads; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string resp =
+            Exchange(server.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+        if (resp.find("200 OK") != std::string::npos &&
+            resp.find("idba_unit_concurrent_total 7") != std::string::npos) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  EXPECT_EQ(server.scrapes_served(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  server.Stop();
+}
+
+TEST(PromHttpTest, MalformedRequestLineClosesCleanly) {
+  MetricsRegistry reg;
+  obs::PromHttpServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // No parseable METHOD/PATH: the handler just closes. Either an empty
+  // response or a clean EOF is acceptable — the server must not crash and
+  // must keep serving afterwards.
+  (void)Exchange(server.port(), "\r\n\r\n");
+  (void)Exchange(server.port(), "GARBAGE\r\n\r\n");
+  // An over-long request line (no terminator inside the 4 KiB cap).
+  (void)Exchange(server.port(), std::string(8192, 'A'));
+
+  const std::string ok =
+      Exchange(server.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(PromHttpTest, SlowReaderDoesNotWedgeOtherScrapers) {
+  MetricsRegistry reg;
+  reg.GetCounter("unit.slow")->Add(1);
+  obs::PromHttpServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // A client that connects, dribbles half a request line, and then goes
+  // silent. It holds its handler thread until the 5 s socket timeout —
+  // meanwhile normal scrapers must be served promptly on other handlers.
+  const int slow_fd = ConnectLoopback(server.port());
+  ASSERT_GE(slow_fd, 0);
+  (void)::send(slow_fd, "GET /met", 8, MSG_NOSIGNAL);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string ok =
+      Exchange(server.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_LT(elapsed, 2s) << "scrape was serialized behind the slow reader";
+
+  ::close(slow_fd);
+  // Stop() must drain the (possibly still timing-out) slow handler without
+  // hanging; closing the fd above makes its recv fail fast.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace idba

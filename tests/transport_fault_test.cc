@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <chrono>
+#include <csignal>
 #include <thread>
 
 #include "client/txn_retry.h"
@@ -557,6 +560,91 @@ TEST_F(TransportFaultTest, ThousandSubscriberFanoutSerializesOnce) {
   const uint64_t reuses = transport_->fanout_reuses() - reuses_before;
   EXPECT_EQ(encodes, static_cast<uint64_t>(kCommits));
   EXPECT_EQ(reuses, static_cast<uint64_t>(kCommits) * (kSubscribers - 1));
+}
+
+// SIGPIPE regression: subscribers vanish (RST, not FIN) while the server
+// still owes them a large NOTIFY backlog. A bare writev on such a socket
+// raises SIGPIPE, whose default disposition kills the process — the
+// transport must ignore it (TransportServer::Start installs SIG_IGN; this
+// test restores SIG_DFL first so the ignore demonstrably comes from the
+// server, not from the test harness or gtest).
+TEST_F(TransportFaultTest, ClientDisconnectDuringNotifyBacklogSurvivesSigpipe) {
+  std::signal(SIGPIPE, SIG_DFL);
+  StartServer();
+  SeedNms();
+  Oid hot = db_.link_oids[0];
+
+  // Raw v2 subscribers take a display lock on the hot object and then
+  // never read: every commit below queues a NOTIFY for each of them.
+  constexpr int kSubscribers = 4;
+  std::vector<Socket> subs;
+  std::mutex write_mu;
+  for (int i = 0; i < kSubscribers; ++i) {
+    Result<Socket> raw = Socket::ConnectTo("127.0.0.1", transport_->port());
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    Socket sock = std::move(raw).value();
+    const uint64_t id = 20000 + i;
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kHello));
+      enc.PutI64(0);  // client_now
+      enc.PutU64(id);
+      enc.PutU8(0);  // kAvoidance
+      enc.PutU8(wire::kWireVersion);
+      ASSERT_TRUE(
+          sock.WriteFrame(write_mu, wire::FrameType::kRequest, 1, payload)
+              .ok());
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      ASSERT_TRUE(sock.ReadFrame(&header, &reply).ok());
+    }
+    {
+      std::vector<uint8_t> payload;
+      Encoder enc(&payload);
+      enc.PutU8(static_cast<uint8_t>(wire::Method::kDlmLock));
+      enc.PutI64(0);          // client_now
+      enc.PutI64(0);          // sent_at
+      enc.PutU64(id);         // holder
+      enc.PutU64(hot.value);  // oid
+      ASSERT_TRUE(
+          sock.WriteFrame(write_mu, wire::FrameType::kRequest, 2, payload)
+              .ok());
+      wire::FrameHeader header;
+      std::vector<uint8_t> reply;
+      ASSERT_TRUE(sock.ReadFrame(&header, &reply).ok());
+    }
+    subs.push_back(std::move(sock));
+  }
+
+  auto writer = Connect(300);
+  ASSERT_NE(writer, nullptr);
+  // Build the backlog while the subscribers are alive but not reading.
+  for (int c = 0; c < 10; ++c) {
+    ASSERT_TRUE(UpdateUtilization(writer.get(), hot, 0.10 + 0.01 * c).ok());
+  }
+
+  // Abrupt death: SO_LINGER(0) turns close() into an immediate RST, and
+  // the unread NOTIFY frames in each receive queue guarantee the reset is
+  // sent. The server learns of it only when its next flush writes.
+  for (Socket& sock : subs) {
+    struct linger lg {1, 0};
+    (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+  subs.clear();  // closes the fds
+
+  // Keep committing: each commit makes the server flush NOTIFYs into the
+  // reset sockets until it notices and reaps them. With SIGPIPE at
+  // SIG_DFL and no SIG_IGN in the transport, this loop kills the process.
+  for (int c = 0; c < 10; ++c) {
+    ASSERT_TRUE(UpdateUtilization(writer.get(), hot, 0.20 + 0.01 * c).ok());
+  }
+
+  // The server is still healthy: fresh connections work end-to-end.
+  auto bystander = Connect(301);
+  ASSERT_NE(bystander, nullptr);
+  Result<DatabaseObject> fresh = bystander->ReadCurrent(hot);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
 }
 
 }  // namespace
