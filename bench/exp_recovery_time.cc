@@ -1,0 +1,90 @@
+// Recovery-time benchmark: how long a restart's WAL replay takes as
+// committed history grows, with and without online fuzzy checkpointing.
+//
+// Without checkpoints the WAL holds every record since the database was
+// created, so replay cost grows linearly with history. With the
+// checkpointer sweeping dirty pages and truncating the log, replay is
+// bounded by WAL-since-last-checkpoint and the restart-time curve goes
+// flat — the headline claim of DESIGN.md §14.
+//
+// Each iteration re-runs recovery against a byte-identical crash image
+// (the replayed pool is dropped without flushing), so the measurement is
+// the pure scan+redo cost over MemDisks — deterministic and fsync-free,
+// which keeps it stable enough for run_bench.py's regression gate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+
+#include "server/database_server.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/heap_store.h"
+#include "txn/recovery.h"
+
+namespace idba {
+namespace {
+
+struct CrashImage {
+  MemDisk data;
+  MemDisk wal;
+};
+
+/// Commits `commits` single-insert transactions (checkpointing every
+/// `checkpoint_every` when > 0), then crashes: unswept pool frames are
+/// dropped so only checkpointed pages reach the data disk.
+void BuildHistory(CrashImage* img, int commits, int checkpoint_every) {
+  DatabaseServer server(&img->data, &img->wal, 0, {});
+  ClassId cls = server.schema().DefineClass("Item").value();
+  (void)server.schema().AddAttribute(cls, "Value", ValueType::kInt);
+  for (int i = 1; i <= commits; ++i) {
+    TxnId t = server.Begin(0);
+    Oid oid = server.AllocateOid();
+    DatabaseObject obj(oid, cls, 1);
+    obj.Set(0, Value(static_cast<int64_t>(i)));
+    (void)server.Insert(0, t, std::move(obj), nullptr);
+    (void)server.Commit(0, t, nullptr);
+    if (checkpoint_every > 0 && i % checkpoint_every == 0) {
+      (void)server.FuzzyCheckpoint();
+    }
+  }
+  server.buffer_pool().DropAllNoFlush();
+}
+
+void BM_Recovery(benchmark::State& state, int checkpoint_every) {
+  const int commits = static_cast<int>(state.range(0));
+  CrashImage img;
+  BuildHistory(&img, commits, checkpoint_every);
+  RecoveryStats last{};
+  for (auto _ : state) {
+    BufferPool pool(&img.data, {.frame_count = 4096});
+    auto heap = std::move(HeapStore::Open(&pool, img.data.PageCount()).value());
+    Result<RecoveryStats> st = RecoverFromWal(&img.wal, heap.get());
+    if (!st.ok()) {
+      state.SkipWithError(st.status().ToString().c_str());
+      break;
+    }
+    last = st.value();
+    benchmark::DoNotOptimize(heap);
+    pool.DropAllNoFlush();  // keep the crash image identical across iterations
+  }
+  state.counters["records_scanned"] = static_cast<double>(last.records_scanned);
+  state.counters["redone_writes"] = static_cast<double>(last.redone_writes);
+}
+
+BENCHMARK_CAPTURE(BM_Recovery, no_checkpoint, 0)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Recovery, checkpoint_every_500, 500)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idba
+
+BENCHMARK_MAIN();

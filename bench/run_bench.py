@@ -52,6 +52,7 @@ DEFAULT_BENCHES = [
     "bench_micro_query",
     "bench_micro_viz",
     "bench_transport",
+    "exp_recovery_time",
 ]
 
 

@@ -95,6 +95,7 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }

@@ -104,6 +104,24 @@ Status DisplayLockManager::UnlockBatch(ClientId holder,
   return Status::OK();
 }
 
+Status DisplayLockManager::Reregister(ClientId holder,
+                                      const std::vector<Oid>& oids) {
+  reregister_requests_.Add();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Oid oid : oids) {
+      holders_[oid].insert(holder);
+      by_client_[holder].insert(oid);
+    }
+  }
+  if (opts_.integrated) {
+    for (Oid oid : oids) {
+      IDBA_RETURN_NOT_OK(server_->DisplayLock(holder, oid));
+    }
+  }
+  return Status::OK();
+}
+
 void DisplayLockManager::ReleaseClient(ClientId holder) {
   std::vector<Oid> oids;
   {

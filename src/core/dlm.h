@@ -59,6 +59,13 @@ class DisplayLockManager : public DisplayLockService {
   Status UnlockBatch(ClientId holder, const std::vector<Oid>& oids,
                      VTime sent_at) override;
 
+  /// Idempotent bulk re-registration: a client reconnecting to a restarted
+  /// server replays the display locks it already holds, rebuilding the
+  /// OID -> {clients} table the crash wiped out. Recovery traffic, not
+  /// workload — no virtual-clock cost is observed and re-registering an
+  /// already-held lock is a no-op.
+  Status Reregister(ClientId holder, const std::vector<Oid>& oids);
+
   /// Releases everything a client holds (disconnect).
   void ReleaseClient(ClientId holder);
 
@@ -82,6 +89,7 @@ class DisplayLockManager : public DisplayLockService {
   size_t holder_count(Oid oid) const;
   uint64_t lock_requests() const { return lock_requests_.Get(); }
   uint64_t unlock_requests() const { return unlock_requests_.Get(); }
+  uint64_t reregister_requests() const { return reregister_requests_.Get(); }
   uint64_t update_notifications() const { return update_notifies_.Get(); }
   uint64_t intent_notifications() const { return intent_notifies_.Get(); }
   uint64_t update_reports() const { return update_reports_.Get(); }
@@ -107,8 +115,8 @@ class DisplayLockManager : public DisplayLockService {
   // abort can be resolved to the same audience.
   std::unordered_map<TxnId, std::vector<Oid>> pending_intents_;
 
-  Counter lock_requests_, unlock_requests_, update_notifies_, intent_notifies_,
-      update_reports_;
+  Counter lock_requests_, unlock_requests_, reregister_requests_,
+      update_notifies_, intent_notifies_, update_reports_;
   /// Virtual-time lag from a committing writer to each subscriber's
   /// notification arrival (display.staleness_vtime in GlobalMetrics);
   /// cached at construction — registry lookups stay off the commit path.

@@ -143,6 +143,7 @@ Status RemoteDatabaseClient::Reconnect(int max_attempts) {
     connected_.store(true);
     reader_ = std::thread([this] { ReaderLoop(); });
     last = Hello();
+    if (last.ok()) last = ReplayDisplayLocks();
     if (last.ok()) {
       if (opts_.report_evictions) InstallEvictionCallback();
       reconnects_.Add();
@@ -786,7 +787,13 @@ Status RemoteDatabaseClient::Lock(ClientId holder, Oid oid, VTime sent_at) {
   enc.PutU64(oid.value);
   std::vector<uint8_t> reply;
   size_t at = 0;
-  return Call(wire::Method::kDlmLock, body, &reply, &at, /*count_rpc=*/false);
+  Status st =
+      Call(wire::Method::kDlmLock, body, &reply, &at, /*count_rpc=*/false);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held_display_locks_.insert(oid);
+  }
+  return st;
 }
 
 Status RemoteDatabaseClient::Unlock(ClientId holder, Oid oid, VTime sent_at) {
@@ -795,6 +802,13 @@ Status RemoteDatabaseClient::Unlock(ClientId holder, Oid oid, VTime sent_at) {
   enc.PutI64(sent_at);
   enc.PutU64(holder);
   enc.PutU64(oid.value);
+  // Dropped from the held set even if the RPC fails: the caller no longer
+  // wants notifications for this object, so a failed unlock must not be
+  // resurrected by a later Reconnect() replay.
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held_display_locks_.erase(oid);
+  }
   std::vector<uint8_t> reply;
   size_t at = 0;
   return Call(wire::Method::kDlmUnlock, body, &reply, &at,
@@ -811,8 +825,13 @@ Status RemoteDatabaseClient::LockBatch(ClientId holder,
   wire::EncodeOidVector(oids, &enc);
   std::vector<uint8_t> reply;
   size_t at = 0;
-  return Call(wire::Method::kDlmLockBatch, body, &reply, &at,
-              /*count_rpc=*/false);
+  Status st = Call(wire::Method::kDlmLockBatch, body, &reply, &at,
+                   /*count_rpc=*/false);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held_display_locks_.insert(oids.begin(), oids.end());
+  }
+  return st;
 }
 
 Status RemoteDatabaseClient::UnlockBatch(ClientId holder,
@@ -823,10 +842,52 @@ Status RemoteDatabaseClient::UnlockBatch(ClientId holder,
   enc.PutI64(sent_at);
   enc.PutU64(holder);
   wire::EncodeOidVector(oids, &enc);
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    for (Oid oid : oids) held_display_locks_.erase(oid);
+  }
   std::vector<uint8_t> reply;
   size_t at = 0;
   return Call(wire::Method::kDlmUnlockBatch, body, &reply, &at,
               /*count_rpc=*/false);
+}
+
+size_t RemoteDatabaseClient::held_display_locks() const {
+  std::lock_guard<std::mutex> lock(held_mu_);
+  return held_display_locks_.size();
+}
+
+Status RemoteDatabaseClient::ReplayDisplayLocks() {
+  std::vector<Oid> held;
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held.assign(held_display_locks_.begin(), held_display_locks_.end());
+  }
+  if (!held.empty()) {
+    std::vector<uint8_t> body;
+    Encoder enc(&body);
+    enc.PutI64(clock_.Now());
+    enc.PutU64(id_);
+    wire::EncodeOidVector(held, &enc);
+    std::vector<uint8_t> reply;
+    size_t at = 0;
+    IDBA_RETURN_NOT_OK(Call(wire::Method::kDlmReregister, body, &reply, &at,
+                            /*count_rpc=*/false));
+  }
+  // Updates committed while we were disconnected produced no notifications
+  // for us: force every display through the resync path (full refetch),
+  // exactly as if the server had shed our stream.
+  auto msg = std::make_shared<ResyncNotifyMessage>();
+  msg->resync_vtime = clock_.Now();
+  Envelope env;
+  env.from = 0;
+  env.to = id_;
+  env.sent_at = msg->resync_vtime;
+  env.arrives_at = msg->resync_vtime;
+  env.wire_bytes = msg->WireBytes();
+  env.msg = std::move(msg);
+  inbox_.Deliver(std::move(env));
+  return Status::OK();
 }
 
 }  // namespace idba

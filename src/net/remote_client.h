@@ -43,6 +43,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "client/client_api.h"
@@ -109,6 +110,14 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   /// the reconnect itself are undefined), and treat any commit that ended
   /// Status::Unknown as possibly-applied — re-run read-modify-write
   /// bodies, never blind re-sends.
+  ///
+  /// Session recovery: if this client holds display locks, they are
+  /// replayed to the server's DLM (one idempotent DlmReregister) right
+  /// after the handshake — a *restarted* server has an empty lock table
+  /// and would otherwise silently stop notifying our views. A synthetic
+  /// RESYNC is then delivered to inbox() so the DLC refetches every
+  /// display: updates committed while we were disconnected produced no
+  /// notifications for us.
   Status Reconnect(int max_attempts = 5);
 
   // --- ClientApi --------------------------------------------------------
@@ -176,6 +185,9 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   /// Server-forced RESYNC notifications received (our notify stream was
   /// shed; the local cache was dropped and displays told to refetch).
   uint64_t resyncs_received() const { return resyncs_received_.Get(); }
+  /// Display locks this client currently believes it holds (the set
+  /// Reconnect() replays to a restarted server).
+  size_t held_display_locks() const;
 
   /// Attaches a fault injector to the transport socket (tests and the
   /// fault-tolerance experiment). Survives Reconnect().
@@ -204,6 +216,9 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
   /// Fire-and-forget frame (eviction notices).
   void SendOneWay(wire::Method method, const std::vector<uint8_t>& body);
   Status Hello();
+  /// Replays held_display_locks_ to a freshly handshaken server and queues
+  /// the synthetic RESYNC. Part of Reconnect().
+  Status ReplayDisplayLocks();
   void ReaderLoop();
   void HeartbeatLoop();
   void FailAllPending(const Status& st);
@@ -248,6 +263,12 @@ class RemoteDatabaseClient : public ClientApi, public DisplayLockService {
 
   std::mutex read_sets_mu_;
   std::unordered_map<TxnId, std::vector<std::pair<Oid, uint64_t>>> read_sets_;
+
+  /// Display locks successfully granted to this client and not yet
+  /// released — the server-side state Reconnect() must rebuild after a
+  /// server restart.
+  mutable std::mutex held_mu_;
+  std::unordered_set<Oid> held_display_locks_;
 };
 
 }  // namespace idba

@@ -928,7 +928,7 @@ void TransportServer::HandleFrame(Connection* conn,
   if (!st.ok()) {
     result = st;
   } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
-             method_raw > static_cast<uint8_t>(wire::Method::kProfile)) {
+             method_raw > static_cast<uint8_t>(wire::Method::kDlmReregister)) {
     result = Status::Corruption("unknown method " + std::to_string(method_raw));
   } else {
     requests_.Add();
@@ -949,7 +949,7 @@ void TransportServer::HandleFrame(Connection* conn,
       std::max<int64_t>(obs::NowUs() - dequeued_us, 0));
 
   if (st.ok() && method_raw >= static_cast<uint8_t>(wire::Method::kHello) &&
-      method_raw <= static_cast<uint8_t>(wire::Method::kProfile)) {
+      method_raw <= static_cast<uint8_t>(wire::Method::kDlmReregister)) {
     // Server-side per-opcode decomposition (the client records its own
     // rpc.* series; a server scraped over --prom-port needs its own view).
     obs::RpcPartHistograms& rh = obs::GlobalRpcStats().HandleFor(
@@ -1318,6 +1318,19 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
                  ? dlm_->LockBatch(holder, oids, sent_at)
                  : dlm_->UnlockBatch(holder, oids, sent_at);
     }
+    case Method::kDlmReregister: {
+      // Recovery traffic, not workload: a reconnecting client replaying the
+      // display locks it already held before the server restarted. sent_at
+      // travels for wire uniformity with the other DLM methods but is not
+      // charged against the virtual clock.
+      VTime sent_at = 0;
+      uint64_t holder = 0;
+      std::vector<Oid> oids;
+      IDBA_RETURN_NOT_OK(dec->GetI64(&sent_at));
+      IDBA_RETURN_NOT_OK(dec->GetU64(&holder));
+      IDBA_RETURN_NOT_OK(wire::DecodeOidVector(dec, &oids));
+      return dlm_->Reregister(holder, oids);
+    }
   }
   return Status::Corruption("unhandled method");
 }
@@ -1496,6 +1509,29 @@ std::string TransportServer::StatsJson() const {
     out += ",\"recovered_records\":" + std::to_string(wal.recovered_records());
     out += ",\"group_commit_window_us\":" +
            std::to_string(wal.group_commit_window_us());
+    out += ",\"truncate_below_lsn\":" +
+           std::to_string(wal.truncate_below_lsn());
+    out += ",\"bytes_since_checkpoint\":" +
+           std::to_string(wal.bytes_since_truncate());
+    out += ",\"checksum_failures\":" +
+           std::to_string(
+               GlobalMetrics()
+                   .GetCounter("storage.page.checksum_failures_total")
+                   ->Get());
+    if (checkpointer_ != nullptr) {
+      Checkpointer::Stats cs = checkpointer_->stats();
+      out += ",\"checkpoints\":" + std::to_string(cs.checkpoints);
+      out += ",\"checkpoint_failures\":" + std::to_string(cs.failures);
+      out += ",\"last_checkpoint_lsn\":" + std::to_string(cs.last_fence_lsn);
+      out += ",\"last_checkpoint_age_us\":" +
+             std::to_string(cs.last_checkpoint_us > 0
+                                ? obs::NowUs() - cs.last_checkpoint_us
+                                : -1);
+      out += ",\"last_checkpoint_pages\":" +
+             std::to_string(cs.last_pages_written);
+      out += ",\"last_checkpoint_bytes_truncated\":" +
+             std::to_string(cs.last_bytes_truncated);
+    }
   }
   out += "},";
   AppendSlowRpcJson(out, SlowRpcLog());
@@ -1559,6 +1595,34 @@ std::string TransportServer::StatsText() const {
            std::to_string(wal.recovered_records()) + "\n";
     out += "group_commit_window_us   " +
            std::to_string(wal.group_commit_window_us()) + "\n";
+    out += "truncate_below_lsn       " +
+           std::to_string(wal.truncate_below_lsn()) + "\n";
+    out += "bytes_since_checkpoint   " +
+           std::to_string(wal.bytes_since_truncate()) + "\n";
+    out += "checksum_failures        " +
+           std::to_string(
+               GlobalMetrics()
+                   .GetCounter("storage.page.checksum_failures_total")
+                   ->Get()) +
+           "\n";
+    if (checkpointer_ != nullptr) {
+      Checkpointer::Stats cs = checkpointer_->stats();
+      out += "checkpoints              " + std::to_string(cs.checkpoints) +
+             (cs.failures > 0
+                  ? "  (" + std::to_string(cs.failures) + " FAILED)"
+                  : "") +
+             "\n";
+      out += "last_checkpoint_lsn      " +
+             std::to_string(cs.last_fence_lsn) + "\n";
+      out += "last_checkpoint_age_ms   " +
+             (cs.last_checkpoint_us > 0
+                  ? std::to_string((obs::NowUs() - cs.last_checkpoint_us) /
+                                   1000)
+                  : std::string("never")) +
+             "\n";
+      out += "last_checkpoint_pages    " +
+             std::to_string(cs.last_pages_written) + "\n";
+    }
   }
   out += "\n== sessions ==\n";
   {

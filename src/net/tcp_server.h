@@ -51,6 +51,7 @@
 
 #include "core/dlm.h"
 #include "net/conn.h"
+#include "server/checkpointer.h"
 #include "net/event_loop.h"
 #include "net/rpc_meter.h"
 #include "net/socket.h"
@@ -160,6 +161,11 @@ class TransportServer {
 
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Attaches the deployment's background checkpointer so STATS reports
+  /// checkpoint progress (last fence LSN, age, pages swept). Optional;
+  /// call before Start().
+  void set_checkpointer(Checkpointer* cp) { checkpointer_ = cp; }
 
   /// Binds, listens and starts the I/O loops, worker pool, and acceptor.
   Status Start();
@@ -290,6 +296,7 @@ class TransportServer {
 
   DatabaseServer* server_;
   DisplayLockManager* dlm_;
+  Checkpointer* checkpointer_ = nullptr;
   NotificationBus* bus_;
   RpcMeter* meter_;
   TransportServerOptions opts_;

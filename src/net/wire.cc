@@ -35,6 +35,7 @@ std::string_view MethodName(Method m) {
     case Method::kCaches: return "Caches";
     case Method::kFlight: return "Flight";
     case Method::kProfile: return "Profile";
+    case Method::kDlmReregister: return "DlmReregister";
   }
   return "Unknown";
 }

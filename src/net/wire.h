@@ -119,6 +119,10 @@ enum class Method : uint8_t {
   kFlight = 29,   ///< body: empty; response: flight-recorder dump string
   kProfile = 30,  ///< body: u8 action (0=status, 1=start + u32 hz, 2=stop,
                   ///< 3=dump folded stacks); response: string
+  // Session recovery (PR-9, append-only wire v2).
+  kDlmReregister = 31,  ///< body: i64 sent_at, u64 holder, oid vector —
+                        ///< idempotent bulk replay of held display locks
+                        ///< after a reconnect to a restarted server
 };
 
 std::string_view MethodName(Method m);

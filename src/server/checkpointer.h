@@ -1,0 +1,75 @@
+// Background checkpointer: periodically runs DatabaseServer::FuzzyCheckpoint
+// so recovery replay stays bounded by WAL-since-last-checkpoint while
+// transactions keep committing. Two triggers, either optional: a time
+// interval and a WAL-bytes-appended threshold (whichever fires first).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "server/database_server.h"
+
+namespace idba {
+
+struct CheckpointerOptions {
+  /// Checkpoint every this many milliseconds (0 = no time trigger).
+  int64_t interval_ms = 0;
+  /// Checkpoint when the WAL has grown this many bytes since the last one
+  /// (0 = no byte trigger; checked every ~100 ms while enabled).
+  uint64_t wal_bytes = 0;
+};
+
+/// Owns the checkpoint thread. Thread-safe.
+class Checkpointer {
+ public:
+  Checkpointer(DatabaseServer* server, CheckpointerOptions opts);
+  ~Checkpointer();
+
+  /// Starts the background thread (no-op when both triggers are 0).
+  void Start();
+  void Stop();
+
+  /// Runs one checkpoint synchronously (tests, orderly shutdown).
+  /// Serialized against the background thread.
+  Status TriggerNow();
+
+  struct Stats {
+    uint64_t checkpoints = 0;
+    uint64_t failures = 0;
+    Lsn last_fence_lsn = 0;
+    int64_t last_checkpoint_us = 0;  ///< obs::NowUs() at last success (0 = never)
+    uint64_t last_pages_written = 0;
+    uint64_t last_bytes_truncated = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void Run();
+  Status RunOnce();
+
+  DatabaseServer* server_;
+  CheckpointerOptions opts_;
+
+  std::mutex run_mu_;  ///< serializes RunOnce between thread and TriggerNow
+
+  mutable std::mutex mu_;  ///< guards stats_ + stop signaling
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  Stats stats_;
+  std::thread thread_;
+
+  Histogram* duration_us_;      // wal.checkpoint.duration_us
+  Histogram* pages_written_;    // wal.checkpoint.pages_written
+  Counter* bytes_truncated_;    // wal.checkpoint.bytes_truncated
+  Counter* checkpoints_total_;  // wal.checkpoints_total
+  Counter* failures_total_;     // wal.checkpoint.failures_total
+};
+
+}  // namespace idba

@@ -354,4 +354,44 @@ Status DatabaseServer::Checkpoint() {
   return wal_->Reset();
 }
 
+Status DatabaseServer::FuzzyCheckpoint(CheckpointStats* stats) {
+  // 1. Fence: B separates fully-applied commits (LSN <= B, whose effects
+  //    the sweep below will capture) from commits whose records survive
+  //    the truncation. Appends only — commits stall for microseconds.
+  IDBA_ASSIGN_OR_RETURN(Lsn fence, txn_mgr_->AppendCheckpointBegin());
+  if (stats != nullptr) stats->fence_lsn = fence;
+
+  // 2. The fence record (and with it every commit <= B) must be durable
+  //    before any page carrying those commits' effects is written — the
+  //    WAL rule, and it also keeps the truncation below the durable
+  //    horizon.
+  IDBA_RETURN_NOT_OK(wal_->WaitDurable(fence));
+
+  // 3. Sweep dirty pages while transactions keep running. Pages dirtied
+  //    after the snapshot belong to post-fence commits: their records
+  //    survive the truncation, so losing or keeping those page writes is
+  //    equally correct (redo is version-idempotent).
+  uint64_t pages = 0;
+  IDBA_RETURN_NOT_OK(pool_->FlushDirtyForCheckpoint(&pages));
+  if (stats != nullptr) stats->pages_written = pages;
+
+  // 4. Durable end marker carrying the begin LSN: recovery can tell a
+  //    completed checkpoint from an interrupted one (informational — the
+  //    truncation horizon in the WAL header is what recovery trusts).
+  WalRecord end;
+  end.type = WalRecordType::kCheckpointEnd;
+  end.txn = fence;
+  IDBA_ASSIGN_OR_RETURN(Lsn end_lsn, wal_->Append(std::move(end)));
+  IDBA_RETURN_NOT_OK(wal_->WaitDurable(end_lsn));
+
+  // 5. Drop everything at or below the fence.
+  Wal::TruncateStats tstats;
+  IDBA_RETURN_NOT_OK(wal_->TruncateUpTo(fence, &tstats));
+  if (stats != nullptr) {
+    stats->wal_pages_written = tstats.pages_written;
+    stats->bytes_truncated = tstats.bytes_truncated;
+  }
+  return Status::OK();
+}
+
 }  // namespace idba

@@ -149,6 +149,21 @@ class DatabaseServer {
   /// Flushes everything to its disks (orderly shutdown).
   Status Checkpoint();
 
+  /// What one online checkpoint did (for STATS and the checkpointer log).
+  struct CheckpointStats {
+    Lsn fence_lsn = 0;            ///< checkpoint-begin LSN (truncation bound)
+    uint64_t pages_written = 0;   ///< dirty data pages swept to disk
+    uint64_t wal_pages_written = 0;
+    uint64_t bytes_truncated = 0;  ///< WAL bytes dropped
+  };
+
+  /// Online fuzzy checkpoint: transactions keep committing throughout.
+  /// Fences via TxnManager::AppendCheckpointBegin (LSN B), waits for B to
+  /// be durable, sweeps dirty pages to the data disk, appends+forces a
+  /// checkpoint-end record, then truncates the WAL up to B — bounding
+  /// recovery replay by WAL-since-last-checkpoint.
+  Status FuzzyCheckpoint(CheckpointStats* stats = nullptr);
+
   uint64_t commits() const { return txn_mgr_->commits(); }
   uint64_t aborts() const { return txn_mgr_->aborts(); }
 

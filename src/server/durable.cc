@@ -16,6 +16,10 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
       db->data_disk_.get(), db->wal_disk_.get(), data_pages, opts);
   IDBA_ASSIGN_OR_RETURN(db->recovery_stats_,
                         RecoverFromWal(db->wal_disk_.get(), &db->server_->heap()));
+  // Replay may have materialised objects the TxnManager constructor could
+  // not see (it scans the heap before recovery runs); without this, fresh
+  // allocations would collide with recovered oids.
+  db->server_->txn_manager().ReseedOidCounter();
   return db;
 }
 

@@ -58,6 +58,19 @@
 //   --flight-dump PATH
 //                     where crash/stall flight-recorder dumps are written
 //                     (default idba_flight.<pid>.dump in the cwd)
+//   --data-dir PATH   durable mode: heap pages and WAL live in PATH
+//                     (data.idb / wal.idb, created on first boot). Boot
+//                     replays the WAL — committed transactions survive a
+//                     crash, replay is bounded by WAL-since-last-checkpoint.
+//                     Without the flag everything is in-memory (default)
+//   --checkpoint-interval-ms N
+//                     run an online fuzzy checkpoint every N ms (0 =
+//                     no time trigger). Transactions keep committing
+//                     throughout; each checkpoint truncates the WAL up to
+//                     its fence so recovery stays bounded — DESIGN.md §14
+//   --checkpoint-wal-bytes N
+//                     also checkpoint whenever the WAL has grown N bytes
+//                     since the last one (0 = no byte trigger)
 //
 // The process runs until SIGINT/SIGTERM, then checkpoints and exits.
 // SIGPIPE is ignored process-wide (peers closing mid-write surface as
@@ -77,6 +90,8 @@
 
 #include "core/session.h"
 #include "net/tcp_server.h"
+#include "server/checkpointer.h"
+#include "server/durable.h"
 #include "obs/flight.h"
 #include "obs/profiler.h"
 #include "obs/prom_http.h"
@@ -109,6 +124,9 @@ int main(int argc, char** argv) {
   long watchdog_ms = 1000;  // 0 = watchdog off
   std::string flight_dump_path;
   std::string slow_subscriber_policy;
+  std::string data_dir;
+  long checkpoint_interval_ms = 0;
+  long long checkpoint_wal_bytes = 0;
   idba::DeploymentOptions dep_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -150,6 +168,14 @@ int main(int argc, char** argv) {
       watchdog_ms = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
       flight_dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-interval-ms") == 0 &&
+               i + 1 < argc) {
+      checkpoint_interval_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint-wal-bytes") == 0 &&
+               i + 1 < argc) {
+      checkpoint_wal_bytes = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--wal-group-commit-us") == 0 &&
                i + 1 < argc) {
       dep_opts.server.txn.group_commit_window_us = std::atol(argv[++i]);
@@ -174,6 +200,8 @@ int main(int argc, char** argv) {
                    "[--io-threads N] [--worker-threads N] "
                    "[--wal-group-commit-us N] [--profile-hz N] "
                    "[--watchdog-ms N] [--flight-dump PATH] "
+                   "[--data-dir PATH] [--checkpoint-interval-ms N] "
+                   "[--checkpoint-wal-bytes N] "
                    "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
                    argv[0]);
       return 2;
@@ -194,7 +222,58 @@ int main(int argc, char** argv) {
   idba::obs::InstallCrashHandler(flight_dump_path);
   std::signal(SIGPIPE, SIG_IGN);
 
-  idba::Deployment deployment(dep_opts);
+  // Durable mode builds the deployment pieces around a file-backed
+  // DurableDatabase (Deployment owns its server by value over MemDisks, so
+  // it cannot host one); in-memory mode keeps using Deployment.
+  std::unique_ptr<idba::Deployment> deployment;
+  std::unique_ptr<idba::DurableDatabase> durable;
+  std::unique_ptr<idba::NotificationBus> durable_bus;
+  std::unique_ptr<idba::RpcMeter> durable_meter;
+  std::unique_ptr<idba::DisplayLockManager> durable_dlm;
+  idba::DatabaseServer* server = nullptr;
+  idba::NotificationBus* bus = nullptr;
+  idba::RpcMeter* meter = nullptr;
+  idba::DisplayLockManager* dlm = nullptr;
+  if (!data_dir.empty()) {
+    auto opened = idba::DurableDatabase::Open(data_dir, dep_opts.server);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "idba_serve: open %s: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    server = &durable->server();
+    durable_bus =
+        std::make_unique<idba::NotificationBus>(idba::CostModel(dep_opts.cost));
+    durable_meter =
+        std::make_unique<idba::RpcMeter>(idba::CostModel(dep_opts.cost));
+    durable_dlm = std::make_unique<idba::DisplayLockManager>(
+        server, durable_bus.get(), dep_opts.dlm);
+    bus = durable_bus.get();
+    meter = durable_meter.get();
+    dlm = durable_dlm.get();
+    const idba::RecoveryStats& rs = durable->recovery_stats();
+    std::printf(
+        "idba_serve recovered %s (records_scanned=%zu committed_txns=%zu "
+        "redone_writes=%zu)\n",
+        data_dir.c_str(), rs.records_scanned, rs.committed_txns,
+        rs.redone_writes);
+    std::fflush(stdout);
+  } else {
+    deployment = std::make_unique<idba::Deployment>(dep_opts);
+    server = &deployment->server();
+    bus = &deployment->bus();
+    meter = &deployment->meter();
+    dlm = &deployment->dlm();
+  }
+
+  idba::Checkpointer checkpointer(
+      server,
+      idba::CheckpointerOptions{
+          .interval_ms = checkpoint_interval_ms,
+          .wal_bytes = static_cast<uint64_t>(
+              checkpoint_wal_bytes > 0 ? checkpoint_wal_bytes : 0)});
+
   idba::TransportServerOptions transport_opts;
   transport_opts.port = port;
   transport_opts.bind_host = bind_host;
@@ -219,9 +298,9 @@ int main(int argc, char** argv) {
     transport_opts.slow_subscriber_policy =
         idba::SlowSubscriberPolicy::kDisconnect;
   }  // "resync" (and unset) keep the default
-  idba::TransportServer transport(&deployment.server(), &deployment.dlm(),
-                                  &deployment.bus(), &deployment.meter(),
-                                  transport_opts);
+  idba::TransportServer transport(server, dlm, bus, meter, transport_opts);
+  transport.set_checkpointer(&checkpointer);
+  checkpointer.Start();
   idba::Status st = transport.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "idba_serve: %s\n", st.ToString().c_str());
@@ -299,7 +378,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(transport.bytes_received()),
               static_cast<unsigned long long>(transport.bytes_sent()));
   transport.Stop();
-  st = deployment.server().Checkpoint();
+  checkpointer.Stop();
+  st = server->Checkpoint();
   if (!st.ok()) {
     std::fprintf(stderr, "idba_serve: checkpoint failed: %s\n",
                  st.ToString().c_str());

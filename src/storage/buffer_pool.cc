@@ -113,7 +113,35 @@ void BufferPool::Unpin(size_t frame_index, bool dirty) {
     lru_.push_back(frame_index);
     f.lru_pos = std::prev(lru_.end());
     f.in_lru = true;
+    if (checkpoint_waiters_ > 0) unpin_cv_.notify_all();
   }
+}
+
+Status BufferPool::FlushDirtyForCheckpoint(uint64_t* pages_written) {
+  std::vector<std::pair<size_t, PageId>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      const Frame& f = frames_[i];
+      if (f.valid && f.dirty) targets.emplace_back(i, f.page_id);
+    }
+  }
+  for (const auto& [idx, pid] : targets) {
+    std::unique_lock<std::mutex> lk(mu_);
+    Frame& f = frames_[idx];
+    ++checkpoint_waiters_;
+    unpin_cv_.wait(lk, [&] {
+      return !f.valid || f.page_id != pid || f.pin_count == 0;
+    });
+    --checkpoint_waiters_;
+    // Evicted (its eviction already wrote it) or repurposed since the
+    // snapshot, or cleaned by a concurrent FlushAll: nothing to do.
+    if (!f.valid || f.page_id != pid || !f.dirty) continue;
+    IDBA_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data));
+    f.dirty = false;
+    if (pages_written != nullptr) ++*pages_written;
+  }
+  return disk_->Sync();
 }
 
 Status BufferPool::FlushAll() {

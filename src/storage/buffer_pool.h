@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -41,6 +42,14 @@ class BufferPool {
 
   /// Writes all dirty unpinned+pinned frames back to disk.
   Status FlushAll();
+
+  /// Fuzzy-checkpoint sweep: snapshots the dirty set, then writes each
+  /// frame once it is unpinned (a pinned frame may be mid-mutation through
+  /// its PageGuard; writing it would checkpoint a torn image). Frames
+  /// dirtied after the snapshot belong to post-fence commits, which the
+  /// surviving WAL covers. Transactions keep fetching and pinning pages
+  /// throughout — the pool mutex is only held per-frame.
+  Status FlushDirtyForCheckpoint(uint64_t* pages_written = nullptr);
 
   /// Drops every frame without writing (crash simulation for recovery tests).
   void DropAllNoFlush();
@@ -79,6 +88,10 @@ class BufferPool {
   Disk* disk_;
   BufferPoolOptions opts_;
   mutable std::mutex mu_;
+  /// Signaled by Unpin when a pin count reaches zero and a checkpoint
+  /// sweep is waiting to write that frame.
+  std::condition_variable unpin_cv_;
+  int checkpoint_waiters_ = 0;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;        // front = least recently used

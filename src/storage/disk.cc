@@ -6,7 +6,92 @@
 
 #include <cstring>
 
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
 namespace idba {
+
+namespace {
+
+/// Byte-at-a-time CRC32C table (Castagnoli polynomial, reflected).
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Counter* ChecksumFailures() {
+  static Counter* c =
+      GlobalMetrics().GetCounter("storage.page.checksum_failures_total");
+  return c;
+}
+
+bool AllZero(const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+#if defined(__SSE4_2__)
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    data += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = _mm_crc32_u8(crc, *data++);
+    --len;
+  }
+#else
+  const uint32_t* table = Crc32cTable();
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
+  }
+#endif
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Disk::StampPageCrc(PageData* page) {
+  uint32_t crc =
+      Crc32c(page->bytes + kPageCrcSize, kPageSize - kPageCrcSize);
+  page->bytes[0] = static_cast<uint8_t>(crc);
+  page->bytes[1] = static_cast<uint8_t>(crc >> 8);
+  page->bytes[2] = static_cast<uint8_t>(crc >> 16);
+  page->bytes[3] = static_cast<uint8_t>(crc >> 24);
+}
+
+Status Disk::VerifyPageCrc(PageId id, const PageData& page) {
+  uint32_t stored = static_cast<uint32_t>(page.bytes[0]) |
+                    (static_cast<uint32_t>(page.bytes[1]) << 8) |
+                    (static_cast<uint32_t>(page.bytes[2]) << 16) |
+                    (static_cast<uint32_t>(page.bytes[3]) << 24);
+  uint32_t actual =
+      Crc32c(page.bytes + kPageCrcSize, kPageSize - kPageCrcSize);
+  if (stored == actual) return Status::OK();
+  // A page of pure zeros was never stamped: a fresh page or the zero-padded
+  // tail of a file. Anything else is a torn or bit-flipped page.
+  if (AllZero(page.bytes, kPageSize)) return Status::OK();
+  ChecksumFailures()->Add();
+  return Status::Corruption("page " + std::to_string(id) +
+                            " checksum mismatch");
+}
 
 Status MemDisk::ReadPage(PageId id, PageData* out) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,7 +105,7 @@ Status MemDisk::ReadPage(PageId id, PageData* out) {
     return Status::OK();
   }
   *out = *pages_[id];
-  return Status::OK();
+  return VerifyPageCrc(id, *out);
 }
 
 Status MemDisk::WritePage(PageId id, const PageData& data) {
@@ -33,6 +118,7 @@ Status MemDisk::WritePage(PageId id, const PageData& data) {
   if (id >= pages_.size()) pages_.resize(id + 1);
   if (pages_[id] == nullptr) pages_[id] = std::make_unique<PageData>();
   *pages_[id] = data;
+  StampPageCrc(pages_[id].get());
   return Status::OK();
 }
 
@@ -70,6 +156,28 @@ void MemDisk::InjectWriteFailures(int n) {
 void MemDisk::InjectSyncFailures(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   failing_syncs_ = n;
+}
+
+void MemDisk::CorruptPage(PageId id, size_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= pages_.size() || pages_[id] == nullptr || offset >= kPageSize) {
+    return;
+  }
+  pages_[id]->bytes[offset] ^= mask;
+}
+
+void MemDisk::TornWrite(PageId id, size_t keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= pages_.size() || pages_[id] == nullptr || keep >= kPageSize) {
+    return;
+  }
+  std::memset(pages_[id]->bytes + keep, 0, kPageSize - keep);
+}
+
+Status MemDisk::TruncateTo(PageId pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pages < pages_.size()) pages_.resize(pages);
+  return Status::OK();
 }
 
 std::unique_ptr<MemDisk> MemDisk::Clone() const {
@@ -113,13 +221,15 @@ Status FileDisk::ReadPage(PageId id, PageData* out) {
   if (static_cast<size_t>(n) < kPageSize) {
     std::memset(out->bytes + n, 0, kPageSize - n);
   }
-  return Status::OK();
+  return VerifyPageCrc(id, *out);
 }
 
 Status FileDisk::WritePage(PageId id, const PageData& data) {
   std::lock_guard<std::mutex> lock(mu_);
   writes_.Add();
-  ssize_t n = ::pwrite(fd_, data.bytes, kPageSize,
+  PageData stamped = data;
+  StampPageCrc(&stamped);
+  ssize_t n = ::pwrite(fd_, stamped.bytes, kPageSize,
                        static_cast<off_t>(id * kPageSize));
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
@@ -143,6 +253,16 @@ Status FileDisk::Truncate() {
     return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
   }
   page_count_ = 0;
+  return Status::OK();
+}
+
+Status FileDisk::TruncateTo(PageId pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pages >= page_count_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(pages * kPageSize)) != 0) {
+    return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  page_count_ = pages;
   return Status::OK();
 }
 

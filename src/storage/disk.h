@@ -21,6 +21,16 @@ namespace idba {
 using PageId = uint64_t;
 constexpr size_t kPageSize = 4096;
 
+/// Bytes [0, kPageCrcSize) of every page are reserved for a CRC32C of the
+/// remaining kPageSize - kPageCrcSize bytes. Disk implementations stamp it
+/// on WritePage and verify it on ReadPage; page/WAL layouts above the disk
+/// treat the region as opaque. An all-zero page (never written, or the
+/// zero-padded tail of a file) is always accepted as valid.
+constexpr size_t kPageCrcSize = 4;
+
+/// CRC32C (Castagnoli) over `len` bytes.
+uint32_t Crc32c(const uint8_t* data, size_t len);
+
 /// Fixed-size page image.
 struct PageData {
   uint8_t bytes[kPageSize] = {};
@@ -32,9 +42,11 @@ class Disk {
   virtual ~Disk() = default;
 
   /// Reads page `id` into `*out`. Reading a never-written page yields zeros.
+  /// A page whose checksum does not match returns Status::Corruption and
+  /// bumps storage.page.checksum_failures_total.
   virtual Status ReadPage(PageId id, PageData* out) = 0;
 
-  /// Writes page `id`. Grows the disk as needed.
+  /// Writes page `id`, stamping the checksum. Grows the disk as needed.
   virtual Status WritePage(PageId id, const PageData& data) = 0;
 
   /// Forces all buffered writes to stable storage.
@@ -42,6 +54,15 @@ class Disk {
 
   /// Discards every page (log truncation after a checkpoint).
   virtual Status Truncate() = 0;
+
+  /// Shrinks the disk to `pages` pages (space reclamation after a WAL
+  /// copy-forward truncation). Correctness never depends on the physical
+  /// shrink — the WAL header/terminator govern the recovery scan — so the
+  /// default is a no-op, which also keeps thin test wrappers compiling.
+  virtual Status TruncateTo(PageId pages) {
+    (void)pages;
+    return Status::OK();
+  }
 
   /// Number of pages ever written + 1 (i.e. one past the highest id).
   virtual PageId PageCount() const = 0;
@@ -52,6 +73,13 @@ class Disk {
   uint64_t syncs() const { return syncs_.Get(); }
 
  protected:
+  /// Writes the CRC32C of bytes [kPageCrcSize, kPageSize) into bytes
+  /// [0, kPageCrcSize) of `page`.
+  static void StampPageCrc(PageData* page);
+  /// OK if the stamped checksum matches (or the page is entirely zero);
+  /// Status::Corruption otherwise (counted).
+  static Status VerifyPageCrc(PageId id, const PageData& page);
+
   Counter reads_;
   Counter writes_;
   Counter syncs_;
@@ -66,6 +94,7 @@ class MemDisk : public Disk {
   Status WritePage(PageId id, const PageData& data) override;
   Status Sync() override;
   Status Truncate() override;
+  Status TruncateTo(PageId pages) override;
   PageId PageCount() const override;
 
   /// When set, the next `n` reads fail with IOError (test hook).
@@ -74,6 +103,13 @@ class MemDisk : public Disk {
   void InjectWriteFailures(int n);
   /// When set, the next `n` syncs fail with IOError (test hook).
   void InjectSyncFailures(int n);
+
+  /// XORs `mask` into byte `offset` of a stored page (bit-flip corruption;
+  /// subsequent reads of the page fail checksum verification).
+  void CorruptPage(PageId id, size_t offset, uint8_t mask);
+  /// Zeroes bytes [keep, kPageSize) of a stored page, simulating a torn
+  /// write that persisted only a prefix of the sector.
+  void TornWrite(PageId id, size_t keep);
 
   /// Deep copy of the current disk image (crash-point snapshots in
   /// recovery property tests).
@@ -98,6 +134,7 @@ class FileDisk : public Disk {
   Status WritePage(PageId id, const PageData& data) override;
   Status Sync() override;
   Status Truncate() override;
+  Status TruncateTo(PageId pages) override;
   PageId PageCount() const override;
 
  private:

@@ -11,15 +11,19 @@ void SlottedPage::Init() {
 
 uint64_t SlottedPage::lsn() const {
   uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_->bytes[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_->bytes[kPageCrcSize + i]) << (8 * i);
+  }
   return v;
 }
 
 void SlottedPage::set_lsn(uint64_t lsn) {
-  for (int i = 0; i < 8; ++i) data_->bytes[i] = static_cast<uint8_t>(lsn >> (8 * i));
+  for (int i = 0; i < 8; ++i) {
+    data_->bytes[kPageCrcSize + i] = static_cast<uint8_t>(lsn >> (8 * i));
+  }
 }
 
-uint16_t SlottedPage::slot_count() const { return GetU16At(8); }
+uint16_t SlottedPage::slot_count() const { return GetU16At(12); }
 
 uint16_t SlottedPage::GetU16At(size_t pos) const {
   return static_cast<uint16_t>(data_->bytes[pos] |

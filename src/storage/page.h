@@ -1,10 +1,11 @@
 // Slotted-page layout for variable-length records.
 //
 // Layout (little-endian):
-//   [0..7]   page LSN
-//   [8..9]   slot count (including tombstoned slots)
-//   [10..11] free-space offset (start of the record heap, growing downward)
-//   [12..]   slot directory: per slot {uint16 offset, uint16 length};
+//   [0..3]   reserved for the disk-layer CRC32C (see kPageCrcSize)
+//   [4..11]  page LSN
+//   [12..13] slot count (including tombstoned slots)
+//   [14..15] free-space offset (start of the record heap, growing downward)
+//   [16..]   slot directory: per slot {uint16 offset, uint16 length};
 //            offset == 0xFFFF marks a tombstone
 //   records grow from the end of the page toward the directory.
 
@@ -63,7 +64,7 @@ class SlottedPage {
   void Compact();
 
  private:
-  static constexpr size_t kHeaderSize = 12;
+  static constexpr size_t kHeaderSize = 16;
   static constexpr uint16_t kTombstone = 0xFFFF;
 
   uint16_t GetU16At(size_t pos) const;
@@ -71,9 +72,9 @@ class SlottedPage {
   uint16_t SlotOffset(SlotId s) const { return GetU16At(kHeaderSize + 4 * s); }
   uint16_t SlotLength(SlotId s) const { return GetU16At(kHeaderSize + 4 * s + 2); }
   void SetSlot(SlotId s, uint16_t off, uint16_t len);
-  uint16_t free_offset() const { return GetU16At(10); }
-  void set_free_offset(uint16_t v) { SetU16At(10, v); }
-  void set_slot_count(uint16_t v) { SetU16At(8, v); }
+  uint16_t free_offset() const { return GetU16At(14); }
+  void set_free_offset(uint16_t v) { SetU16At(14, v); }
+  void set_slot_count(uint16_t v) { SetU16At(12, v); }
 
   PageData* data_;
 };

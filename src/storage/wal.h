@@ -16,11 +16,20 @@
 // of the ROADMAP "storage engine raw speed" item, keeping WAL force time
 // off the interaction-latency critical path the display cache protects.
 //
-// On-disk format: the WAL owns its own Disk. Records are packed
-// back-to-back into pages as [u32 length][payload]; a zero length
-// terminates a page (the tail continues on the next page only when a
-// record is split, which we avoid by starting oversized records on a fresh
-// page — records larger than a page are rejected).
+// On-disk format: the WAL owns its own Disk. Page 0 is a header page
+// ({magic "IWAL", version, start_page, truncate_below_lsn}); record pages
+// follow from start_page. Records are packed back-to-back into pages as
+// [u32 length][payload]; a zero length terminates a page (the tail
+// continues on the next page only when a record is split, which we avoid
+// by starting oversized records on a fresh page — records larger than a
+// page are rejected). Bytes [0, kPageCrcSize) of every page belong to the
+// disk-layer checksum.
+//
+// TruncateUpTo(B) bounds recovery by WAL-since-last-checkpoint: survivors
+// (records with LSN > B) are copied forward to a fresh region, a
+// deliberately invalid terminator page fences the scan, and the header is
+// flipped to the new region in one page write — a crash at any point
+// recovers either the old complete log or the new truncated one.
 
 #pragma once
 
@@ -48,7 +57,8 @@ enum class WalRecordType : uint8_t {
   kErase = 4,    ///< erased oid
   kCommit = 5,
   kAbort = 6,
-  kCheckpoint = 7,
+  kCheckpoint = 7,     ///< fuzzy-checkpoint begin fence (txn = 0)
+  kCheckpointEnd = 8,  ///< fuzzy-checkpoint end; txn carries the begin LSN
 };
 
 struct WalRecord {
@@ -86,13 +96,42 @@ class Wal {
   Result<std::vector<WalRecord>> ReadAll() const;
 
   /// Scans the log from disk only — what recovery would see after a crash.
-  static Result<std::vector<WalRecord>> ReadAllFromDisk(Disk* disk);
+  /// A checksum-failed or torn record page cuts the scan (the durable
+  /// prefix before it is returned); header-page corruption propagates.
+  /// `truncate_below` (optional) receives the header's truncation horizon:
+  /// every record with LSN <= it was already checkpointed into the data
+  /// pages before the log was truncated. `resume_page` (optional) receives
+  /// the page a resumed Wal should append from: one past the last cleanly
+  /// parsed record page — NOT PageCount(), which can lie past a truncation
+  /// terminator where appended records would be invisible to recovery.
+  static Result<std::vector<WalRecord>> ReadAllFromDisk(
+      Disk* disk, Lsn* truncate_below = nullptr,
+      PageId* resume_page = nullptr);
 
   /// Discards the entire log (LSNs keep counting). Call ONLY after every
   /// effect of logged transactions has been forced to the data disk (a
   /// checkpoint) — replaying an empty log over those pages is then a
   /// no-op, which is exactly what recovery will do.
   Status Reset();
+
+  struct TruncateStats {
+    uint64_t pages_written = 0;    ///< survivor + terminator + header writes
+    uint64_t bytes_truncated = 0;  ///< log bytes dropped (records <= upto)
+  };
+
+  /// Drops every record with LSN <= `upto` after a fuzzy checkpoint made
+  /// their effects durable in the data pages. Survivors are copied forward
+  /// (two-hop: first past the live tail, then — when it fits — back to the
+  /// front so the disk can physically shrink); appends keep running
+  /// throughout. No-op on logs predating the header-page layout.
+  Status TruncateUpTo(Lsn upto, TruncateStats* stats = nullptr);
+
+  /// Truncation horizon: every record with LSN <= this has been dropped
+  /// from the log (its effects live in the data pages).
+  Lsn truncate_below_lsn() const;
+  /// Bytes appended since the last TruncateUpTo (0 if never truncated —
+  /// then it counts from construction).
+  uint64_t bytes_since_truncate() const;
 
   /// Maximum time a group-commit leader waits, after claiming the flush,
   /// for more committers to append before paying the sync (0 = flush
@@ -146,13 +185,22 @@ class Wal {
   std::vector<DroppedRange> dropped_;
 
   // Pack state (see mu_ comment for the ownership protocol).
-  PageId next_page_ = 0;            // page the in-memory tail will land on
+  PageId start_page_ = 1;           // first record page (from the header)
+  PageId next_page_ = 1;            // page the in-memory tail will land on
   PageData cur_page_;               // partially filled tail page
   size_t cur_used_ = 0;             // payload bytes used in cur_page_
   /// True when the on-disk tail page may differ from cur_page_ (set after
   /// a failed batch so the next flush rewrites it; never set by a clean
   /// flush, which is what makes empty Flush() calls free).
   bool tail_dirty_ = false;
+  /// True until the header page has been written (fresh or Reset logs);
+  /// the next PackAndSync writes it before the record pages.
+  bool header_dirty_ = true;
+  /// Disk predates the header-page layout (records start at page 0);
+  /// TruncateUpTo is a no-op for such logs.
+  bool legacy_layout_ = false;
+  Lsn truncate_below_lsn_ = 0;
+  uint64_t bytes_at_truncate_ = 0;  // appended_bytes_ at last TruncateUpTo
 
   std::atomic<int64_t> group_window_us_{0};
   uint64_t recovered_records_ = 0;

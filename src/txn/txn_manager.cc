@@ -22,6 +22,22 @@ TxnId TxnManager::Begin() {
 
 Oid TxnManager::AllocateOid() { return Oid(next_oid_.fetch_add(1)); }
 
+void TxnManager::ReseedOidCounter() {
+  uint64_t max_oid = 0;
+  for (Oid oid : heap_->AllOids()) max_oid = std::max(max_oid, oid.value);
+  uint64_t floor = max_oid + 1;
+  uint64_t cur = next_oid_.load();
+  while (cur < floor && !next_oid_.compare_exchange_weak(cur, floor)) {
+  }
+}
+
+Result<Lsn> TxnManager::AppendCheckpointBegin() {
+  std::unique_lock<std::shared_mutex> fence(commit_fence_);
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  return wal_->Append(std::move(rec));
+}
+
 Result<TxnManager::Txn*> TxnManager::FindActive(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
@@ -151,6 +167,14 @@ Result<CommitResult> TxnManager::Commit(TxnId txn) {
     finals.push_back(std::move(w));
   }
 
+  // Commit fence: held shared from the first WAL append until the heap
+  // apply completes, so a checkpoint-begin record (appended under the
+  // exclusive side) never lands between a commit record and its heap
+  // effects. WaitDurable under a shared fence cannot deadlock: the flush
+  // leader is itself a committer holding shared, and the checkpointer
+  // never holds the fence while waiting on the WAL.
+  std::shared_lock<std::shared_mutex> fence(commit_fence_);
+
   // 2a. Append phase (lock-light): buffer redo images + the commit record
   //     into the WAL. No I/O happens here.
   for (const PendingWrite& w : finals) {
@@ -223,6 +247,7 @@ Result<CommitResult> TxnManager::Commit(TxnId txn) {
     }
   }
   result.page_misses = io.page_misses;
+  fence.unlock();  // WAL + heap agree; the checkpointer may fence here
 
   // 4. Fire hooks while locks are still held (strictness: nobody can read
   //    a newer uncommitted state between the hook and the release).

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,21 @@ class TxnManager {
   /// Allocates a fresh OID (monotonic, never reused).
   Oid AllocateOid();
 
+  /// Re-derives the allocator floor from the heap's current contents.
+  /// The constructor scans the heap once, but WAL replay (which runs after
+  /// server construction) can add objects with higher oids; callers that
+  /// replay must reseed or later allocations would collide. Never lowers
+  /// the counter.
+  void ReseedOidCounter();
+
+  /// Appends a fuzzy-checkpoint begin record and returns its LSN, holding
+  /// the commit fence exclusively so no transaction is between its WAL
+  /// append and its heap apply at that instant. After this returns, every
+  /// commit with LSN <= the returned fence has fully reached the heap, and
+  /// every later commit's records survive the WAL truncation that follows
+  /// the checkpoint. Appends only — no I/O under the fence.
+  Result<Lsn> AppendCheckpointBegin();
+
   TxnState GetState(TxnId txn) const;
   LockManager& lock_manager() { return locks_; }
   const TxnManagerOptions& options() const { return opts_; }
@@ -141,6 +157,12 @@ class TxnManager {
   CommitHook commit_hook_;
   XLockHook xlock_hook_;
   AbortHook abort_hook_;
+
+  /// Commits hold this shared from WAL append through heap apply; the
+  /// checkpointer takes it exclusively (only to append its begin record)
+  /// so the begin LSN cleanly separates fully-applied transactions from
+  /// ones whose records will survive truncation.
+  mutable std::shared_mutex commit_fence_;
 
   mutable std::mutex mu_;
   std::unordered_map<TxnId, std::unique_ptr<Txn>> txns_;

@@ -80,13 +80,13 @@ TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
   {
     auto g = pool.NewPage(5);
     ASSERT_TRUE(g.ok());
-    g.value().data()->bytes[0] = 0x77;
+    g.value().data()->bytes[kPageCrcSize] = 0x77;
     g.value().MarkDirty();
   }
   ASSERT_TRUE(pool.FlushAll().ok());
   PageData out;
   ASSERT_TRUE(disk.ReadPage(5, &out).ok());
-  EXPECT_EQ(out.bytes[0], 0x77);
+  EXPECT_EQ(out.bytes[kPageCrcSize], 0x77);
 }
 
 TEST(BufferPoolTest, DropAllNoFlushLosesUnflushedWrites) {
@@ -95,7 +95,7 @@ TEST(BufferPoolTest, DropAllNoFlushLosesUnflushedWrites) {
   {
     auto g = pool.NewPage(0);
     ASSERT_TRUE(g.ok());
-    g.value().data()->bytes[0] = 0x99;
+    g.value().data()->bytes[kPageCrcSize] = 0x99;
     g.value().MarkDirty();
   }
   pool.DropAllNoFlush();  // crash simulation
@@ -103,7 +103,8 @@ TEST(BufferPoolTest, DropAllNoFlushLosesUnflushedWrites) {
   auto g = pool.FetchPage(0, &missed);
   ASSERT_TRUE(g.ok());
   EXPECT_TRUE(missed);
-  EXPECT_EQ(g.value().data()->bytes[0], 0);  // write lost, as a crash would
+  // write lost, as a crash would
+  EXPECT_EQ(g.value().data()->bytes[kPageCrcSize], 0);
 }
 
 TEST(BufferPoolTest, NewPageOnBufferedPageRejected) {

@@ -1,0 +1,215 @@
+// Online fuzzy checkpointing: dirty-page sweeps + WAL truncation while
+// transactions keep committing, and the background Checkpointer driving it.
+// Recovery after a crash must stay bounded by WAL-since-last-checkpoint.
+
+#include "server/checkpointer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "server/durable.h"
+#include "txn/recovery.h"
+
+namespace idba {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idba_ckpt_" + std::to_string(::getpid()) +
+           "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ClassId EnsureSchema(DatabaseServer& server) {
+    if (const ClassDef* cls = server.schema().FindByName("Item")) {
+      return cls->id();
+    }
+    ClassId cls = server.schema().DefineClass("Item").value();
+    EXPECT_TRUE(
+        server.schema().AddAttribute(cls, "Value", ValueType::kInt).ok());
+    return cls;
+  }
+
+  Oid CommitInsert(DatabaseServer& server, ClassId cls, int64_t v,
+                   ClientId client = 0) {
+    TxnId t = server.Begin(client);
+    Oid oid = server.AllocateOid();
+    DatabaseObject obj(oid, cls, 1);
+    obj.Set(0, Value(v));
+    EXPECT_TRUE(server.Insert(client, t, std::move(obj), nullptr).ok());
+    EXPECT_TRUE(server.Commit(client, t, nullptr).ok());
+    return oid;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, FuzzyCheckpointBoundsRecovery) {
+  std::vector<Oid> oids;
+  {
+    auto db = DurableDatabase::Open(dir_).value();
+    ClassId cls = EnsureSchema(db->server());
+    for (int i = 0; i < 50; ++i) {
+      oids.push_back(CommitInsert(db->server(), cls, i));
+    }
+    DatabaseServer::CheckpointStats cs;
+    ASSERT_TRUE(db->server().FuzzyCheckpoint(&cs).ok());
+    EXPECT_GT(cs.fence_lsn, 0u);
+    EXPECT_GT(cs.pages_written, 0u);
+    EXPECT_GT(cs.bytes_truncated, 0u);
+    EXPECT_EQ(db->server().wal().truncate_below_lsn(), cs.fence_lsn);
+    for (int i = 50; i < 53; ++i) {
+      oids.push_back(CommitInsert(db->server(), cls, i));
+    }
+    // crash: no orderly Checkpoint()
+  }
+  auto db = DurableDatabase::Open(dir_).value();
+  EXPECT_EQ(db->server().heap().object_count(), oids.size());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    EXPECT_EQ(db->server().heap().Read(oids[i]).value().Get(0),
+              Value(static_cast<int64_t>(i)));
+  }
+  // Replay covered only the post-checkpoint suffix (checkpoint-end plus
+  // three short transactions), not the 50 checkpointed ones.
+  EXPECT_LE(db->recovery_stats().records_scanned, 10u);
+  EXPECT_LE(db->recovery_stats().committed_txns, 3u);
+}
+
+TEST_F(CheckpointTest, RepeatedCheckpointsKeepRecoveryFlat) {
+  size_t total = 0;
+  {
+    auto db = DurableDatabase::Open(dir_).value();
+    ClassId cls = EnsureSchema(db->server());
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 20; ++i) {
+        CommitInsert(db->server(), cls, round * 100 + i);
+        ++total;
+      }
+      ASSERT_TRUE(db->server().FuzzyCheckpoint().ok());
+    }
+  }
+  auto db = DurableDatabase::Open(dir_).value();
+  EXPECT_EQ(db->server().heap().object_count(), total);
+  // History grew 5x, but replay sees only what follows the last checkpoint.
+  EXPECT_LE(db->recovery_stats().records_scanned, 3u);
+}
+
+TEST_F(CheckpointTest, CheckpointOnIdleServerIsHarmlessAndRepeatable) {
+  DatabaseServer server;
+  ASSERT_TRUE(server.FuzzyCheckpoint().ok());
+  ASSERT_TRUE(server.FuzzyCheckpoint().ok());
+  ClassId cls = EnsureSchema(server);
+  Oid a = CommitInsert(server, cls, 42);
+  ASSERT_TRUE(server.FuzzyCheckpoint().ok());
+  EXPECT_EQ(server.heap().Read(a).value().Get(0), Value(int64_t(42)));
+}
+
+TEST_F(CheckpointTest, ConcurrentCommitsSurviveCrashAcrossCheckpoints) {
+  MemDisk data_disk, wal_disk;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<std::pair<Oid, int64_t>>> written(kThreads);
+  PageId data_pages = 0;
+  {
+    auto server = std::make_unique<DatabaseServer>(&data_disk, &wal_disk,
+                                                   0, DatabaseServerOptions{});
+    ClassId cls = EnsureSchema(*server);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        for (int i = 0; i < kPerThread; ++i) {
+          int64_t v = w * 1000 + i;
+          Oid oid = CommitInsert(*server, cls, v, static_cast<ClientId>(w));
+          written[w].emplace_back(oid, v);
+        }
+      });
+    }
+    // Checkpoint aggressively while the workers commit.
+    std::thread checkpointer([&] {
+      while (!done.load()) {
+        EXPECT_TRUE(server->FuzzyCheckpoint().ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (auto& t : workers) t.join();
+    done.store(true);
+    checkpointer.join();
+    EXPECT_EQ(server->commits(), uint64_t(kThreads * kPerThread));
+    data_pages = server->heap().data_page_count();
+    // Simulate the crash: all buffered-but-unflushed data pages vanish.
+    server->buffer_pool().DropAllNoFlush();
+  }
+  // Recover from the disks alone, exactly as a restarted process would.
+  BufferPool pool(&data_disk, {.frame_count = 64});
+  auto heap = HeapStore::Open(&pool, data_pages);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto stats = RecoverFromWal(&wal_disk, heap.value().get());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  size_t present = 0;
+  for (const auto& per_thread : written) {
+    for (const auto& [oid, v] : per_thread) {
+      auto obj = heap.value()->Read(oid);
+      ASSERT_TRUE(obj.ok()) << "lost a committed object: "
+                            << obj.status().ToString();
+      EXPECT_EQ(obj.value().Get(0), Value(v));
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, size_t(kThreads * kPerThread));
+}
+
+TEST_F(CheckpointTest, BackgroundIntervalTriggerCheckpoints) {
+  DatabaseServer server;
+  ClassId cls = EnsureSchema(server);
+  Checkpointer cp(&server, {.interval_ms = 5});
+  cp.Start();
+  for (int i = 0; i < 20; ++i) {
+    CommitInsert(server, cls, i);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Wait (bounded) for at least one checkpoint to land.
+  for (int i = 0; i < 200 && cp.stats().checkpoints == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cp.Stop();
+  Checkpointer::Stats stats = cp.stats();
+  EXPECT_GE(stats.checkpoints, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.last_fence_lsn, 0u);
+  EXPECT_GT(server.wal().truncate_below_lsn(), 0u);
+}
+
+TEST_F(CheckpointTest, ByteThresholdTriggerCheckpoints) {
+  DatabaseServer server;
+  ClassId cls = EnsureSchema(server);
+  Checkpointer cp(&server, {.wal_bytes = 1});
+  cp.Start();
+  CommitInsert(server, cls, 7);
+  for (int i = 0; i < 300 && cp.stats().checkpoints == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cp.Stop();
+  EXPECT_GE(cp.stats().checkpoints, 1u);
+}
+
+TEST_F(CheckpointTest, StartIsNoOpWithoutTriggers) {
+  DatabaseServer server;
+  Checkpointer cp(&server, {});
+  cp.Start();  // both triggers 0: nothing to do
+  cp.Stop();
+  EXPECT_EQ(cp.stats().checkpoints, 0u);
+  // Manual triggering still works.
+  ASSERT_TRUE(cp.TriggerNow().ok());
+  EXPECT_EQ(cp.stats().checkpoints, 1u);
+}
+
+}  // namespace
+}  // namespace idba

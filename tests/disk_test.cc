@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace idba {
 namespace {
 
@@ -19,7 +21,8 @@ TEST(MemDiskTest, ReadBackWhatWasWritten) {
   ASSERT_TRUE(disk.WritePage(3, MakePage(0xAA)).ok());
   PageData out;
   ASSERT_TRUE(disk.ReadPage(3, &out).ok());
-  EXPECT_EQ(out.bytes[0], 0xAA);
+  // Bytes [0, kPageCrcSize) hold the page checksum; payload starts after.
+  EXPECT_EQ(out.bytes[kPageCrcSize], 0xAA);
   EXPECT_EQ(out.bytes[kPageSize - 1], 0xAA);
 }
 
@@ -57,6 +60,38 @@ TEST(MemDiskTest, InjectedFailuresFireThenClear) {
   EXPECT_TRUE(disk.ReadPage(0, &p).ok());
 }
 
+TEST(MemDiskTest, BitFlipDetectedOnRead) {
+  MemDisk disk;
+  ASSERT_TRUE(disk.WritePage(2, MakePage(0x5A)).ok());
+  Counter* failures =
+      GlobalMetrics().GetCounter("storage.page.checksum_failures_total");
+  const uint64_t before = failures->Get();
+  disk.CorruptPage(2, 1000, 0x01);
+  PageData out;
+  Status st = disk.ReadPage(2, &out);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(failures->Get(), before + 1);
+  // Other pages stay readable.
+  ASSERT_TRUE(disk.WritePage(3, MakePage(0x11)).ok());
+  EXPECT_TRUE(disk.ReadPage(3, &out).ok());
+}
+
+TEST(MemDiskTest, TornWriteDetectedOnRead) {
+  MemDisk disk;
+  ASSERT_TRUE(disk.WritePage(0, MakePage(0xC3)).ok());
+  disk.TornWrite(0, kPageSize / 2);  // tail lost mid-write
+  PageData out;
+  EXPECT_EQ(disk.ReadPage(0, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(MemDiskTest, CorruptingTheCrcItselfIsDetected) {
+  MemDisk disk;
+  ASSERT_TRUE(disk.WritePage(1, MakePage(0x42)).ok());
+  disk.CorruptPage(1, 0, 0x80);  // flip a bit inside the stored checksum
+  PageData out;
+  EXPECT_EQ(disk.ReadPage(1, &out).code(), StatusCode::kCorruption);
+}
+
 class FileDiskTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -90,6 +125,32 @@ TEST_F(FileDiskTest, ReadPastEndIsZeros) {
   PageData out = MakePage(0xEE);
   ASSERT_TRUE(disk.value()->ReadPage(50, &out).ok());
   EXPECT_EQ(out.bytes[0], 0);
+}
+
+TEST_F(FileDiskTest, OnDiskBitFlipDetectedAfterReopen) {
+  {
+    auto disk = FileDisk::Open(path_);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE(disk.value()->WritePage(1, MakePage(0x3D)).ok());
+    ASSERT_TRUE(disk.value()->Sync().ok());
+  }
+  // Flip one payload bit directly in the file, as silent media corruption
+  // would.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(kPageSize + 512), SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  ASSERT_NE(std::fputc(c ^ 0x04, f), EOF);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  auto disk = FileDisk::Open(path_);
+  ASSERT_TRUE(disk.ok());
+  PageData out;
+  EXPECT_EQ(disk.value()->ReadPage(1, &out).code(), StatusCode::kCorruption);
+  // Page 0 was never written: reads back as zeros, which is always valid.
+  EXPECT_TRUE(disk.value()->ReadPage(0, &out).ok());
 }
 
 TEST_F(FileDiskTest, OpenFailsOnBadPath) {

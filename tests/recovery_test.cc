@@ -141,5 +141,57 @@ TEST_F(RecoveryTest, EmptyLogRecoversCleanly) {
   EXPECT_EQ(heap->object_count(), 0u);
 }
 
+TEST_F(RecoveryTest, CorruptedWalPageCutsReplayAtCleanPrefix) {
+  // Enough single-insert transactions that the log spans several pages.
+  std::vector<Oid> oids;
+  for (int i = 0; i < 200; ++i) {
+    TxnId t = mgr_->Begin();
+    Oid oid = mgr_->AllocateOid();
+    ASSERT_TRUE(mgr_->Insert(t, MakeObj(oid, i)).ok());
+    ASSERT_TRUE(mgr_->Commit(t).ok());
+    oids.push_back(oid);
+  }
+  ASSERT_GE(wal_disk_.PageCount(), 4u);
+
+  // Bit-flip a record page in the middle of the log (page 0 is the WAL
+  // header). Recovery must cut the scan there — not crash, not replay past
+  // the damage.
+  PageId victim = 1 + (wal_disk_.PageCount() - 1) / 2;
+  wal_disk_.CorruptPage(victim, 300, 0x20);
+
+  RecoveryStats stats;
+  auto heap = CrashAndRecover(&stats);
+  EXPECT_GT(heap->object_count(), 0u);
+  EXPECT_LT(heap->object_count(), oids.size());
+  // Whatever survived is a prefix of commit order: no transaction after the
+  // cut resurrected, none before it lost.
+  size_t present = 0;
+  while (present < oids.size() && heap->Contains(oids[present])) ++present;
+  EXPECT_EQ(present, heap->object_count());
+  for (size_t i = present; i < oids.size(); ++i) {
+    EXPECT_FALSE(heap->Contains(oids[i]));
+  }
+}
+
+TEST_F(RecoveryTest, CorruptedDataPageSurfacesCorruptionNotGarbage) {
+  TxnId t = mgr_->Begin();
+  Oid a = mgr_->AllocateOid();
+  ASSERT_TRUE(mgr_->Insert(t, MakeObj(a, 11)).ok());
+  ASSERT_TRUE(mgr_->Commit(t).ok());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  PageId pages = heap_->data_page_count();
+  ASSERT_GT(pages, 0u);
+
+  pool_.DropAllNoFlush();
+  for (PageId p = 0; p < pages; ++p) data_disk_.CorruptPage(p, 900, 0x01);
+
+  // Reopening the heap reads every data page; the damage must surface as
+  // Corruption, never as silently decoded garbage.
+  BufferPool pool(&data_disk_, {.frame_count = 32});
+  auto heap = HeapStore::Open(&pool, pages);
+  ASSERT_FALSE(heap.ok());
+  EXPECT_EQ(heap.status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace idba

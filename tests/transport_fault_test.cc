@@ -85,6 +85,26 @@ class TransportFaultTest : public ::testing::Test {
     ASSERT_TRUE(transport_->Start().ok());
   }
 
+  /// A full server-process restart: the deployment (database, DLM lock
+  /// table, notification bus) is rebuilt from scratch and re-seeded, then a
+  /// fresh transport comes up on the same port. Unlike RestartTransport(),
+  /// nothing server-side survives — in particular the DLM's OID -> holders
+  /// table starts empty, exactly like a crashed-and-recovered process.
+  void RestartDeployment(DeploymentOptions opts = {}) {
+    uint16_t port = transport_->port();
+    NmsConfig config = db_.config;
+    transport_->Stop();
+    transport_.reset();
+    deployment_ = std::make_unique<Deployment>(opts);
+    db_ = PopulateNms(&deployment_->server(), config).value();
+    TransportServerOptions topts;
+    topts.port = port;
+    transport_ = std::make_unique<TransportServer>(
+        &deployment_->server(), &deployment_->dlm(), &deployment_->bus(),
+        &deployment_->meter(), topts);
+    ASSERT_TRUE(transport_->Start().ok());
+  }
+
   /// One read-modify-write commit of link `oid`'s Utilization.
   static Status UpdateUtilization(ClientApi* client, Oid oid, double value) {
     Result<TxnId> t = client->BeginTxn();
@@ -385,6 +405,45 @@ TEST_F(TransportFaultTest, ReconnectResumesWorkloadWithParity) {
               theirs.GetByName(session->client().schema(), "Utilization")
                   .value());
   }
+}
+
+TEST_F(TransportFaultTest, ReconnectReplaysDisplayLocksToRestartedServer) {
+  StartServer();
+  SeedNms();
+  auto viewer = Connect(100);
+  ASSERT_NE(viewer, nullptr);
+
+  // A viewer pins two links into its display, then the whole server process
+  // dies and comes back with an empty DLM table.
+  Oid watched = db_.link_oids[0];
+  ASSERT_TRUE(viewer->Lock(100, watched, viewer->clock().Now()).ok());
+  ASSERT_TRUE(
+      viewer->LockBatch(100, {db_.link_oids[1]}, viewer->clock().Now()).ok());
+  EXPECT_EQ(viewer->held_display_locks(), 2u);
+
+  RestartDeployment();
+  ASSERT_TRUE(WaitFor([&] { return !viewer->connected(); }));
+  ASSERT_TRUE(viewer->Reconnect().ok());
+  // The replay re-registered both locks with the restarted DLM...
+  EXPECT_EQ(viewer->held_display_locks(), 2u);
+  EXPECT_EQ(deployment_->dlm().holder_count(watched), 1u);
+  EXPECT_EQ(deployment_->dlm().holder_count(db_.link_oids[1]), 1u);
+  EXPECT_EQ(deployment_->dlm().reregister_requests(), 1u);  // one bulk RPC
+  // ...and a synthetic RESYNC told the view layer to refetch everything
+  // that changed while we were gone.
+  EXPECT_GE(viewer->inbox().DrainAll().size(), 1u);
+
+  // The proof of life: a commit by another client on a watched object must
+  // reach the reconnected viewer as a NOTIFY again.
+  auto writer = Connect(101);
+  ASSERT_NE(writer, nullptr);
+  ASSERT_TRUE(UpdateUtilization(writer.get(), watched, 0.5).ok());
+  EXPECT_TRUE(WaitFor([&] { return viewer->notifications_received() >= 1; }));
+
+  // Unlocked objects are not replayed by a later reconnect.
+  ASSERT_TRUE(
+      viewer->Unlock(100, db_.link_oids[1], viewer->clock().Now()).ok());
+  EXPECT_EQ(viewer->held_display_locks(), 1u);
 }
 
 TEST_F(TransportFaultTest, ReconnectWhileConnectedIsRefused) {

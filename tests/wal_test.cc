@@ -304,5 +304,133 @@ TEST(WalTest, CommitAndAbortRecordsCarryNoImage) {
   EXPECT_EQ(records.value()[0].txn, 9u);
 }
 
+TEST(WalTruncateTest, DropsPrefixKeepsSurvivors) {
+  MemDisk disk;
+  Wal wal(&disk);
+  Lsn last = 0;
+  for (int i = 1; i <= 10; ++i) last = wal.Append(Update(1, i, i)).value();
+  ASSERT_TRUE(wal.WaitDurable(last).ok());
+  ASSERT_TRUE(wal.TruncateUpTo(5).ok());
+  EXPECT_EQ(wal.truncate_below_lsn(), 5u);
+
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 5u);
+  EXPECT_EQ(records.value().front().lsn, 6u);
+  EXPECT_EQ(records.value().back().lsn, 10u);
+  // The in-memory view agrees with the disk view.
+  EXPECT_EQ(wal.ReadAll().value().size(), 5u);
+}
+
+TEST(WalTruncateTest, RestartAfterTruncationAppendsRecoverably) {
+  MemDisk disk;
+  {
+    Wal wal(&disk);
+    Lsn last = 0;
+    for (int i = 1; i <= 8; ++i) last = wal.Append(Update(1, i, i)).value();
+    ASSERT_TRUE(wal.WaitDurable(last).ok());
+    ASSERT_TRUE(wal.TruncateUpTo(6).ok());
+  }
+  {
+    // Restart on the truncated disk: LSNs continue, new appends must land
+    // where the recovery scan can see them (not past the terminator page).
+    Wal wal(&disk);
+    EXPECT_EQ(wal.next_lsn(), 9u);
+    Lsn lsn = wal.Append(Update(2, 100, 100)).value();
+    EXPECT_EQ(lsn, 9u);
+    ASSERT_TRUE(wal.WaitDurable(lsn).ok());
+  }
+  auto records = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[0].lsn, 7u);
+  EXPECT_EQ(records.value()[1].lsn, 8u);
+  EXPECT_EQ(records.value()[2].lsn, 9u);
+}
+
+TEST(WalTruncateTest, TruncatingEverythingPreservesLsnSequence) {
+  MemDisk disk;
+  {
+    Wal wal(&disk);
+    Lsn last = 0;
+    for (int i = 1; i <= 4; ++i) last = wal.Append(Update(1, i, i)).value();
+    ASSERT_TRUE(wal.WaitDurable(last).ok());
+    ASSERT_TRUE(wal.TruncateUpTo(last).ok());
+    EXPECT_TRUE(Wal::ReadAllFromDisk(&disk).value().empty());
+  }
+  Wal wal(&disk);
+  EXPECT_EQ(wal.next_lsn(), 5u);  // no reuse of truncated LSNs
+}
+
+TEST(WalTruncateTest, RejectsNonDurableBoundAndResetsByteCounter) {
+  MemDisk disk;
+  Wal wal(&disk);
+  Lsn l1 = wal.Append(Update(1, 1, 1)).value();
+  Lsn l2 = wal.Append(Update(1, 2, 2)).value();
+  EXPECT_EQ(wal.TruncateUpTo(l2 + 1).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(wal.WaitDurable(l2).ok());
+  EXPECT_GT(wal.bytes_since_truncate(), 0u);
+  Wal::TruncateStats stats;
+  ASSERT_TRUE(wal.TruncateUpTo(l1, &stats).ok());
+  EXPECT_GT(stats.bytes_truncated, 0u);
+  EXPECT_GT(stats.pages_written, 0u);
+  // Byte-trigger accounting restarts from the truncation point.
+  EXPECT_LT(wal.bytes_since_truncate(), stats.bytes_truncated + 1);
+}
+
+TEST(WalTruncateTest, RepeatedTruncationsKeepLogScannable) {
+  MemDisk disk;
+  Wal wal(&disk);
+  Lsn last = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      last = wal.Append(Update(1, round * 100 + i, i)).value();
+    }
+    ASSERT_TRUE(wal.WaitDurable(last).ok());
+    ASSERT_TRUE(wal.TruncateUpTo(last - 3).ok());
+    auto records = Wal::ReadAllFromDisk(&disk);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records.value().size(), 3u);
+    EXPECT_EQ(records.value().back().lsn, last);
+  }
+}
+
+TEST(WalCorruptionTest, BitFlippedPageCutsScanWithoutCrashing) {
+  MemDisk disk;
+  Wal wal(&disk);
+  Lsn last = 0;
+  for (int i = 1; i <= 400; ++i) last = wal.Append(Update(1, i, i)).value();
+  ASSERT_TRUE(wal.WaitDurable(last).ok());
+  auto all = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 400u);
+  ASSERT_GE(disk.PageCount(), 4u) << "need several record pages to corrupt one";
+
+  // Flip a payload bit in the middle of the record region (page 0 is the
+  // header; records start at page 1).
+  PageId victim = 1 + (disk.PageCount() - 1) / 2;
+  disk.CorruptPage(victim, 200, 0x10);
+
+  auto cut = Wal::ReadAllFromDisk(&disk);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_LT(cut.value().size(), 400u);
+  // Everything before the corrupted page survives, in order.
+  for (size_t i = 0; i < cut.value().size(); ++i) {
+    EXPECT_EQ(cut.value()[i].lsn, i + 1);
+  }
+}
+
+TEST(WalCorruptionTest, CorruptHeaderPageIsAnError) {
+  MemDisk disk;
+  {
+    Wal wal(&disk);
+    Lsn lsn = wal.Append(Update(1, 1, 1)).value();
+    ASSERT_TRUE(wal.WaitDurable(lsn).ok());
+  }
+  disk.CorruptPage(0, 100, 0x01);
+  EXPECT_EQ(Wal::ReadAllFromDisk(&disk).status().code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace idba
