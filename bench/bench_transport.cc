@@ -13,7 +13,9 @@
 #include "core/session.h"
 #include "net/remote_client.h"
 #include "net/tcp_server.h"
+#include "nms/display_classes.h"
 #include "nms/network_model.h"
+#include "obs/audit.h"
 #include "obs/profiler.h"
 
 namespace idba {
@@ -109,6 +111,19 @@ class ScopedProfiler {
 
  private:
   bool ok_ = false;
+};
+
+/// RAII consistency-auditor window for the _Audited benchmark variants:
+/// track mode with the default staleness SLO, reset on exit so the other
+/// benchmarks in the binary run with the hooks at their one-relaxed-load
+/// cost. run_bench.py gates the audited/unaudited delta at 2%.
+class ScopedAudit {
+ public:
+  ScopedAudit() {
+    obs::GlobalAuditor().set_staleness_slo_us(100 * kVMillisecond);
+    obs::GlobalAuditor().SetMode(obs::AuditMode::kTrack);
+  }
+  ~ScopedAudit() { obs::GlobalAuditor().ResetForTest(); }
 };
 
 // --- Read round trip ------------------------------------------------------
@@ -221,6 +236,16 @@ void BM_UpdateTxn_Tcp_Profiled(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateTxn_Tcp_Profiled)->UseRealTime();
 
+void BM_UpdateTxn_Tcp_Audited(benchmark::State& state) {
+  RemoteRig rig;
+  ScopedAudit audit;
+  ScopedLoopLagCounter lag(state);
+  int util = 0;
+  for (auto _ : state) RunUpdateTxn(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateTxn_Tcp_Audited)->UseRealTime();
+
 void BM_UpdateTxn_InProcess(benchmark::State& state) {
   LocalRig rig;
   int util = 0;
@@ -228,6 +253,69 @@ void BM_UpdateTxn_InProcess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UpdateTxn_InProcess)->UseRealTime();
+
+// --- Notify -> refresh pump -----------------------------------------------
+// One commit against a display-locked object followed by one display pump:
+// the full DLM fan-out -> DLC dispatch -> view refresh chain, which is the
+// path every consistency-auditor hook sits on. The _Audited variant runs
+// with the auditor in track mode; run_bench.py gates the delta at 2%,
+// which is the ISSUE's audit-overhead budget on its hottest path.
+
+struct ViewRig {
+  ViewRig() : deployment(DeploymentOptions{}) {
+    db = PopulateNms(&deployment.server(), SmallNms()).value();
+    dcs = RegisterNmsDisplayClasses(&deployment.display_schema(),
+                                    deployment.server().schema(), db.schema)
+              .value();
+    viewer = deployment.NewSession(100);
+    writer = deployment.NewSession(101);
+    view = viewer->CreateView("links");
+    const DisplayClassDef* dc =
+        deployment.display_schema().Find(dcs.color_coded_link);
+    if (dc == nullptr) std::abort();
+    if (!view->Materialize(dc, {db.link_oids.front()}).ok()) std::abort();
+  }
+  Deployment deployment;
+  NmsDatabase db;
+  NmsDisplayClasses dcs;
+  std::unique_ptr<InteractiveSession> viewer;
+  std::unique_ptr<InteractiveSession> writer;
+  ActiveView* view = nullptr;
+};
+
+void RunNotifyRefresh(ViewRig& rig, int* util) {
+  ClientApi* client = &rig.writer->client();
+  Oid oid = rig.db.link_oids.front();
+  TxnId txn = client->BeginTxn().value();
+  auto obj = client->Read(txn, oid);
+  if (!obj.ok()) std::abort();
+  DatabaseObject link = std::move(obj).value();
+  if (!link.SetByName(client->schema(), "Utilization",
+                      Value(0.01 * (++*util % 100)))
+           .ok()) {
+    std::abort();
+  }
+  if (!client->Write(txn, std::move(link)).ok()) std::abort();
+  if (!client->Commit(txn).ok()) std::abort();
+  if (rig.viewer->PumpOnce() != 1) std::abort();
+}
+
+void BM_NotifyRefresh_InProcess(benchmark::State& state) {
+  ViewRig rig;
+  int util = 0;
+  for (auto _ : state) RunNotifyRefresh(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyRefresh_InProcess)->UseRealTime();
+
+void BM_NotifyRefresh_InProcess_Audited(benchmark::State& state) {
+  ViewRig rig;
+  ScopedAudit audit;
+  int util = 0;
+  for (auto _ : state) RunNotifyRefresh(rig, &util);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyRefresh_InProcess_Audited)->UseRealTime();
 
 // --- Class scan -----------------------------------------------------------
 // Bulk result marshaling: 16 links per scan over the wire vs by value.

@@ -61,9 +61,12 @@ class ServerProcess {
       ::close(fds[0]);
       ::close(fds[1]);
       std::string port_arg = std::to_string(port);
+      // Strict consistency auditing: a coherence regression anywhere in
+      // the kill/restart loop aborts the server instead of skewing the
+      // measurement silently.
       ::execl(bin.c_str(), bin.c_str(), "--port", port_arg.c_str(),
               "--data-dir", data_dir.c_str(), "--checkpoint-interval-ms",
-              "50", static_cast<char*>(nullptr));
+              "50", "--audit", "strict", static_cast<char*>(nullptr));
       ::_exit(127);
     }
     ::close(fds[1]);

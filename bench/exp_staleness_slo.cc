@@ -1,0 +1,183 @@
+// A1 — Per-view staleness SLO sweep: consistency-auditor visibility
+// obligations under SLO windows of 1 / 10 / 100 virtual ms crossed with
+// commit rate (commits landing between display pumps).
+//
+// Not a paper table: the 1996 design reports mean update propagation time;
+// this experiment recasts it as a bounded-staleness contract the online
+// auditor enforces (DESIGN.md §15). Two numbers per cell:
+//
+//   - SLO hit rate: fraction of visibility obligations settled before the
+//     deadline (the rest count into consistency.slo.violations; they are
+//     misses, not correctness violations — the violations column stays 0).
+//     The deadline is anchored at notification DISPATCH, but the settling
+//     refresh still pays a refetch round trip (~420 vms: 2 x message_base
+//     + server CPU) when the object is not cache-fresh, and the FIRST
+//     refresh after the viewer idled merges the server's Lamport clock —
+//     a catch-up that dwarfs any SLO. So pumping per commit misses ~100%
+//     at every SLO <= 100 vms, while batching (4/16 commits per pump)
+//     pays the catch-up once per drain round and settles the rest from
+//     the warm display cache.
+//   - End-to-end staleness (commit -> displayed, virtual us) from the
+//     display.staleness_slo_us histogram. This includes the commit ->
+//     notify leg (message_base = 200 vms floor) plus inbox queueing, so it
+//     grows with commits-per-pump even while the dispatch-anchored hit
+//     rate stays flat — the reason the deadline is not commit-anchored.
+//
+// Usage: exp_staleness_slo [--json PATH]   (table to stdout; optional artifact)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "common/metrics.h"
+#include "obs/audit.h"
+
+namespace idba {
+namespace bench {
+namespace {
+
+struct Row {
+  int64_t slo_vms = 0;
+  int commits_per_pump = 0;
+  uint64_t commits = 0;
+  uint64_t settled = 0;
+  uint64_t slo_misses = 0;
+  uint64_t violations = 0;
+  double hit_pct = 0;
+  double e2e_p50_vus = 0;
+  double e2e_p95_vus = 0;
+  double e2e_max_vus = 0;
+};
+
+std::vector<Row> g_rows;
+
+Row RunCell(int64_t slo_vms, int commits_per_pump) {
+  obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+  auditor.ResetForTest();
+  auditor.set_staleness_slo_us(slo_vms * kVMillisecond);
+  auditor.SetMode(obs::AuditMode::kTrack);
+
+  Testbed tb = MakeTestbed({}, {});
+  auto viewer = tb.dep().NewSession(100);
+  auto writer = tb.dep().NewSession(101);
+  ActiveView* view = viewer->CreateView("links");
+  const DisplayClassDef* dc = tb.Dc(tb.dcs.color_coded_link);
+  Row r;
+  r.slo_vms = slo_vms;
+  r.commits_per_pump = commits_per_pump;
+  if (dc == nullptr || !view->Materialize(dc, tb.db.link_oids).ok()) {
+    std::printf("FAIL: cannot materialize the link view\n");
+    auditor.ResetForTest();
+    return r;
+  }
+
+  const int kCommits = 48;
+  for (int i = 0; i < kCommits; ++i) {
+    Oid oid = tb.db.link_oids[i % tb.db.link_oids.size()];
+    if (!UpdateUtilization(&writer->client(), oid, (i % 9 + 1) / 10.0).ok()) {
+      std::printf("FAIL: commit %d\n", i);
+      break;
+    }
+    ++r.commits;
+    if ((i + 1) % commits_per_pump == 0) {
+      while (viewer->PumpOnce() > 0) {
+      }
+    }
+  }
+  while (viewer->PumpOnce() > 0) {
+  }
+  // Expire anything a refresh never settled (there should be nothing: the
+  // pump drained fully above).
+  auditor.CheckNow(viewer->client().clock().Now());
+
+  MetricsRegistry& reg = GlobalMetrics();
+  r.settled = reg.GetCounter("consistency.obligations.settled")->Get();
+  r.slo_misses = reg.GetCounter("consistency.slo.violations")->Get();
+  r.violations = auditor.violations_total();
+  const uint64_t obligations = r.settled + auditor.pending_obligations();
+  r.hit_pct = obligations == 0
+                  ? 0.0
+                  : 100.0 * (1.0 - static_cast<double>(r.slo_misses) /
+                                       static_cast<double>(obligations));
+  HistogramSnapshot snap =
+      reg.GetHistogram("display.staleness_slo_us")->Snapshot();
+  r.e2e_p50_vus = snap.p50;
+  r.e2e_p95_vus = snap.p95;
+  r.e2e_max_vus = snap.max;
+
+  auditor.ResetForTest();
+  return r;
+}
+
+void Run(const char* json_path) {
+  Banner("A1", "per-view staleness SLO sweep (consistency auditor)",
+         "not in the paper — DESIGN.md §15: visibility obligations audited "
+         "against a bounded-staleness window, deadline anchored at dispatch");
+
+  Table table({"slo vms", "commits/pump", "commits", "settled", "slo misses",
+               "hit %", "e2e p50 vus", "e2e p95 vus", "e2e max vus"});
+  for (int64_t slo_vms : {1, 10, 100}) {
+    for (int per_pump : {1, 4, 16}) {
+      Row r = RunCell(slo_vms, per_pump);
+      table.AddRow({FmtInt(static_cast<uint64_t>(r.slo_vms)),
+                    FmtInt(static_cast<uint64_t>(r.commits_per_pump)),
+                    FmtInt(r.commits), FmtInt(r.settled), FmtInt(r.slo_misses),
+                    Fmt("%.1f", r.hit_pct), Fmt("%.0f", r.e2e_p50_vus),
+                    Fmt("%.0f", r.e2e_p95_vus), Fmt("%.0f", r.e2e_max_vus)});
+      g_rows.push_back(r);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: pumping per commit misses ~100%% at every SLO (each\n"
+      "refresh pays a ~420 vms refetch round trip, above even the 100 vms\n"
+      "window); batching 4/16 commits per pump leaves ~one miss per drain\n"
+      "round — the first refresh merges the server's Lamport catch-up, the\n"
+      "rest settle from the warm display cache. Misses are SLO signal only:\n"
+      "the violations count stays 0 because every obligation settles — the\n"
+      "commit was reflected, just late.\n");
+
+  if (json_path) {
+    FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::printf("FAIL: cannot open %s\n", json_path);
+      return;
+    }
+    std::fprintf(f,
+                 "{\n  \"experiment\": \"exp_staleness_slo\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < g_rows.size(); ++i) {
+      const Row& r = g_rows[i];
+      std::fprintf(
+          f,
+          "    {\"slo_vms\": %lld, \"commits_per_pump\": %d, "
+          "\"commits\": %llu, \"settled\": %llu, \"slo_misses\": %llu, "
+          "\"violations\": %llu, \"hit_pct\": %.1f, \"e2e_p50_vus\": %.1f, "
+          "\"e2e_p95_vus\": %.1f, \"e2e_max_vus\": %.1f}%s\n",
+          static_cast<long long>(r.slo_vms), r.commits_per_pump,
+          static_cast<unsigned long long>(r.commits),
+          static_cast<unsigned long long>(r.settled),
+          static_cast<unsigned long long>(r.slo_misses),
+          static_cast<unsigned long long>(r.violations), r.hit_pct,
+          r.e2e_p50_vus, r.e2e_p95_vus, r.e2e_max_vus,
+          i + 1 < g_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu rows to %s\n", g_rows.size(), json_path);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace idba
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  idba::bench::Run(json_path);
+  return 0;
+}

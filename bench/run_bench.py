@@ -23,7 +23,10 @@ bench_transport's reactor-lag p99) are recorded per benchmark under
 "counters" as the median across repetitions. Benchmarks named
 X_Profiled are the same workload as X with the 99 Hz sampling profiler
 running; after a run the script gates the pair-wise overhead at
---profiler-threshold (default 2%) and fails when exceeded.
+--profiler-threshold (default 2%) and fails when exceeded. Benchmarks
+named X_Audited are the same workload as X with the consistency
+auditor in track mode; their pair-wise overhead is gated the same way
+at --audit-threshold (default 2%).
 
 CI runs this in the bench job, uploads the document as an artifact, and
 compares against the previous run's document (restored from the actions
@@ -150,29 +153,37 @@ def compare(baseline_doc, candidate_doc, threshold):
     return regressions
 
 
-def profiler_overhead(doc, ratio_limit, floor_ns):
-    """Gates the sampling profiler's overhead: for every X / X_Profiled
-    benchmark pair, the profiled median may not exceed the unprofiled one
-    by more than `ratio_limit` (default 2%). A absolute floor keeps noise
+def paired_overhead(doc, suffix, what, ratio_limit, floor_ns):
+    """Gates an instrumentation feature's overhead: for every X / X<suffix>
+    benchmark pair, the instrumented median may not exceed the plain one
+    by more than `ratio_limit` (default 2%). An absolute floor keeps noise
     on very fast benchmarks from tripping the relative gate."""
     failures = []
     for binary, benches in sorted(doc.get("benches", {}).items()):
         for name, stats in sorted(benches.items()):
-            if not name.endswith("_Profiled"):
+            if not name.endswith(suffix):
                 continue
-            base = benches.get(name[: -len("_Profiled")])
+            base = benches.get(name[: -len(suffix)])
             if not base or base.get("median_ns", 0) <= 0:
                 continue
             delta = stats["median_ns"] - base["median_ns"]
             ratio = stats["median_ns"] / base["median_ns"]
             if ratio > 1.0 + ratio_limit and delta > floor_ns:
                 failures.append(
-                    "%s/%s: %.0f ns -> %.0f ns with profiler on "
+                    "%s/%s: %.0f ns -> %.0f ns with %s on "
                     "(%.1f%% > %.0f%% budget)"
-                    % (binary, name[: -len("_Profiled")], base["median_ns"],
-                       stats["median_ns"], (ratio - 1.0) * 100.0,
+                    % (binary, name[: -len(suffix)], base["median_ns"],
+                       stats["median_ns"], what, (ratio - 1.0) * 100.0,
                        ratio_limit * 100.0))
     return failures
+
+
+def profiler_overhead(doc, ratio_limit, floor_ns):
+    return paired_overhead(doc, "_Profiled", "profiler", ratio_limit, floor_ns)
+
+
+def audit_overhead(doc, ratio_limit, floor_ns):
+    return paired_overhead(doc, "_Audited", "auditor", ratio_limit, floor_ns)
 
 
 def main():
@@ -195,6 +206,12 @@ def main():
                          "(0.02 = 2%%)")
     ap.add_argument("--profiler-floor-ns", type=float, default=2000.0,
                     help="absolute overhead below which the profiler gate "
+                         "never fails (noise floor)")
+    ap.add_argument("--audit-threshold", type=float, default=0.02,
+                    help="allowed audited/unaudited median overhead "
+                         "(0.02 = 2%%)")
+    ap.add_argument("--audit-floor-ns", type=float, default=2000.0,
+                    help="absolute overhead below which the audit gate "
                          "never fails (noise floor)")
     args = ap.parse_args()
 
@@ -238,6 +255,12 @@ def main():
                                  args.profiler_floor_ns)
     for o in overhead:
         print("PROFILER OVERHEAD: " + o)
+    if overhead:
+        return 1
+
+    overhead = audit_overhead(doc, args.audit_threshold, args.audit_floor_ns)
+    for o in overhead:
+        print("AUDIT OVERHEAD: " + o)
     if overhead:
         return 1
 

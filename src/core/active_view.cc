@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/audit.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -124,6 +125,13 @@ Result<size_t> ActiveView::RefreshAll() {
       }
     }
     client_->clock().Advance(dlc_->cost_model().DisplayRefreshCpu());
+    obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+    if (auditor.enabled()) {
+      for (const DatabaseObject& img : images) {
+        auditor.OnViewRefresh(client_->id(), img.oid().value, img.version(),
+                              client_->clock().Now());
+      }
+    }
     refreshes_.Add();
     ++refreshed;
   }
@@ -215,6 +223,15 @@ Status ActiveView::RefreshObject(DisplayObject* dob,
     std::lock_guard<std::mutex> lock(mu_);
     for (const DatabaseObject& img : images) {
       displayed_versions_[img.oid()] = img.version();
+    }
+  }
+  obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+  if (auditor.enabled()) {
+    // Settles the per-OID visibility obligation the DLC dispatch opened and
+    // checks the displayed versions against the coherence floor.
+    for (const DatabaseObject& img : images) {
+      auditor.OnViewRefresh(client_->id(), img.oid().value, img.version(),
+                            client_->clock().Now());
     }
   }
   return Status::OK();

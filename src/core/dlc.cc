@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/audit.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -170,12 +171,55 @@ void DisplayLockClient::Dispatch(const Envelope& env) {
   if (dynamic_cast<const ResyncNotifyMessage*>(env.msg.get()) != nullptr) {
     // The server (or a bounded local inbox upstream of us) shed this
     // client's notifications: every display is potentially stale.
+    obs::GlobalAuditor().OnResync(client_->id());
     ResyncAllDisplays();
   } else if (const auto* update =
                  dynamic_cast<const UpdateNotifyMessage*>(env.msg.get())) {
     std::unordered_set<DisplayId> targets;
     collect(update->updated, &targets);
     collect(update->erased, &targets);
+    obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+    if (auditor.enabled() && update->committed) {
+      // Audit exactly the display-locked objects the views will refresh:
+      // watermark the whole change set, but open visibility obligations
+      // only for surviving (non-erased) objects — an erased object has no
+      // image left to refresh into view.
+      std::vector<uint64_t> watched, refreshable;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Oid oid : update->updated) {
+          if (local_locks_.count(oid) != 0) {
+            watched.push_back(oid.value);
+            refreshable.push_back(oid.value);
+          }
+        }
+        for (Oid oid : update->erased) {
+          if (local_locks_.count(oid) != 0) watched.push_back(oid.value);
+        }
+      }
+      if (!watched.empty()) {
+        for (const DatabaseObject& img : update->images) {
+          auditor.OnVersionCommitted(client_->id(), img.oid().value,
+                                     img.version());
+        }
+        auditor.OnNotifyDispatched(client_->id(), refreshable.data(),
+                                   refreshable.size(), update->commit_vtime,
+                                   client_->clock().Now(), env.trace_id);
+        if (watched.size() > refreshable.size()) {
+          auditor.OnNotifyReceived(
+              client_->id(), watched.data() + refreshable.size(),
+              watched.size() - refreshable.size(), update->commit_vtime,
+              env.trace_id);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (suppress_dispatches_ > 0) {
+        --suppress_dispatches_;
+        return;
+      }
+    }
     for (DisplayId d : targets) {
       DisplayNotificationSink* sink = nullptr;
       {

@@ -95,6 +95,15 @@ class DisplayLockClient {
   /// in-process inbox) plus server-forced RESYNC notifications.
   uint64_t resyncs() const { return resyncs_.Get(); }
 
+  /// Test-only fault injection for the consistency auditor: swallow the
+  /// next `n` committed update dispatches *after* the auditor has observed
+  /// them — the displays never refresh, so the auditor's visibility
+  /// obligation must expire into a violation. Never used outside tests.
+  void TestSuppressUpdateDispatches(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    suppress_dispatches_ = n;
+  }
+
  private:
   void Dispatch(const Envelope& env);
   /// Fans OnResync out to every registered display (overload recovery).
@@ -115,6 +124,8 @@ class DisplayLockClient {
   bool batching_ = false;
   // Remote lock requests deferred until EndLockBatch, per remote id.
   std::unordered_map<ClientId, std::vector<Oid>> pending_batch_;
+  // Remaining update dispatches to swallow (see TestSuppressUpdateDispatches).
+  int suppress_dispatches_ = 0;
 
   Counter local_requests_, remote_requests_, notifications_, dispatches_;
   Counter resyncs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/audit.h"
 #include "obs/trace.h"
 
 namespace idba {
@@ -237,6 +238,19 @@ void DisplayLockManager::OnCommit(ClientId writer, const CommitResult& result) {
     clock_.Advance(bus_->cost_model().NotificationDispatchCpu());
     (void)writer;  // writers holding display locks are notified too; their
                    // DLC dedups against the local commit if desired
+    obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+    if (auditor.enabled()) {
+      // Sender-side monotonicity: per (subscriber, OID) the fan-out must
+      // emit non-decreasing commit vtimes (commit hooks run under the
+      // writer's X-locks, so same-OID sends are serialized by commit
+      // order — a regression here means the fan-out itself reordered).
+      std::vector<uint64_t> oids;
+      oids.reserve(msg->updated.size() + msg->erased.size());
+      for (Oid oid : msg->updated) oids.push_back(oid.value);
+      for (Oid oid : msg->erased) oids.push_back(oid.value);
+      auditor.OnNotifySent(client, oids.data(), oids.size(),
+                           msg->commit_vtime, obs::CurrentContext().trace_id);
+    }
     (void)bus_->Send(kDlmEndpoint, static_cast<EndpointId>(client), msg,
                      clock_.Now());
     update_notifies_.Add();

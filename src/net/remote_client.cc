@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/notification.h"
+#include "obs/audit.h"
 #include "obs/rpc_stats.h"
 #include "obs/trace.h"
 
@@ -455,6 +456,18 @@ void RemoteDatabaseClient::ReaderLoop() {
         if (frame.kind == wire::NotifyKind::kUpdate) {
           auto msg = std::make_shared<UpdateNotifyMessage>();
           if (!UpdateNotifyMessage::DecodeFrom(&dec, msg.get()).ok()) break;
+          obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+          if (auditor.enabled() && msg->committed) {
+            // Transport-level monotonicity: commit vtimes for one OID must
+            // arrive in commit order even before any display pump runs
+            // (obligations are only opened at DLC dispatch).
+            std::vector<uint64_t> oids;
+            oids.reserve(msg->updated.size() + msg->erased.size());
+            for (Oid oid : msg->updated) oids.push_back(oid.value);
+            for (Oid oid : msg->erased) oids.push_back(oid.value);
+            auditor.OnNotifyReceived(id_, oids.data(), oids.size(),
+                                     msg->commit_vtime, env.trace_id);
+          }
           env.msg = std::move(msg);
         } else if (frame.kind == wire::NotifyKind::kResync) {
           // The server shed our notification stream: cached copies may
@@ -495,6 +508,11 @@ void RemoteDatabaseClient::ReaderLoop() {
         if (dec.GetU64(&oid).ok() && dec.GetU64(&version).ok()) {
           obs::Span span = obs::Span::StartChildOf(
               {trace.trace_id, trace.span_id}, "client.invalidate");
+          // An invalidation proves `version` committed: raise the
+          // auditor's coherence floor (~0 marks an erase — no floor).
+          if (version != ~0ULL) {
+            obs::GlobalAuditor().OnVersionCommitted(id_, oid, version);
+          }
           cache_.InvalidateCached(Oid(oid), version);
           callback_frames_.Add();
         }
@@ -858,6 +876,12 @@ size_t RemoteDatabaseClient::held_display_locks() const {
 }
 
 Status RemoteDatabaseClient::ReplayDisplayLocks() {
+  // A reconnected session may face a *restarted* server whose virtual
+  // clocks (and re-seeded object versions) start over below our old
+  // watermarks. Forget everything audited about this subscriber BEFORE the
+  // replayed registrations let new notifications flow — watermarks are
+  // reset, not replayed, so post-restart vtimes are not false regressions.
+  obs::GlobalAuditor().OnSessionReset(id_);
   std::vector<Oid> held;
   {
     std::lock_guard<std::mutex> lock(held_mu_);

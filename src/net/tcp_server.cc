@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "core/notification.h"
+#include "obs/audit.h"
 #include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/profiler.h"
@@ -676,7 +677,8 @@ bool TransportServer::ShouldShed(Connection* conn,
       method_raw == static_cast<uint8_t>(wire::Method::kLocks) ||
       method_raw == static_cast<uint8_t>(wire::Method::kCaches) ||
       method_raw == static_cast<uint8_t>(wire::Method::kFlight) ||
-      method_raw == static_cast<uint8_t>(wire::Method::kProfile)) {
+      method_raw == static_cast<uint8_t>(wire::Method::kProfile) ||
+      method_raw == static_cast<uint8_t>(wire::Method::kAudit)) {
     return false;
   }
   // The per-connection queue bound is a hard memory limit: a pipelining
@@ -928,7 +930,7 @@ void TransportServer::HandleFrame(Connection* conn,
   if (!st.ok()) {
     result = st;
   } else if (method_raw < static_cast<uint8_t>(wire::Method::kHello) ||
-             method_raw > static_cast<uint8_t>(wire::Method::kDlmReregister)) {
+             method_raw > static_cast<uint8_t>(wire::Method::kAudit)) {
     result = Status::Corruption("unknown method " + std::to_string(method_raw));
   } else {
     requests_.Add();
@@ -949,7 +951,7 @@ void TransportServer::HandleFrame(Connection* conn,
       std::max<int64_t>(obs::NowUs() - dequeued_us, 0));
 
   if (st.ok() && method_raw >= static_cast<uint8_t>(wire::Method::kHello) &&
-      method_raw <= static_cast<uint8_t>(wire::Method::kDlmReregister)) {
+      method_raw <= static_cast<uint8_t>(wire::Method::kAudit)) {
     // Server-side per-opcode decomposition (the client records its own
     // rpc.* series; a server scraped over --prom-port needs its own view).
     obs::RpcPartHistograms& rh = obs::GlobalRpcStats().HandleFor(
@@ -1022,7 +1024,7 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
       method != Method::kStats && method != Method::kTraceDump &&
       method != Method::kMetrics && method != Method::kLocks &&
       method != Method::kCaches && method != Method::kFlight &&
-      method != Method::kProfile) {
+      method != Method::kProfile && method != Method::kAudit) {
     return Status::InvalidArgument("Hello handshake required before " +
                                    std::string(wire::MethodName(method)));
   }
@@ -1118,6 +1120,10 @@ Status TransportServer::ExecuteMethod(Connection* conn, wire::Method method,
     }
     case Method::kFlight: {
       body->PutString(obs::FlightDumpString());
+      return Status::OK();
+    }
+    case Method::kAudit: {
+      body->PutString(obs::GlobalAuditor().ReportJson());
       return Status::OK();
     }
     case Method::kProfile: {

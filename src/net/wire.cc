@@ -36,6 +36,7 @@ std::string_view MethodName(Method m) {
     case Method::kFlight: return "Flight";
     case Method::kProfile: return "Profile";
     case Method::kDlmReregister: return "DlmReregister";
+    case Method::kAudit: return "Audit";
   }
   return "Unknown";
 }

@@ -123,6 +123,9 @@ enum class Method : uint8_t {
   kDlmReregister = 31,  ///< body: i64 sent_at, u64 holder, oid vector —
                         ///< idempotent bulk replay of held display locks
                         ///< after a reconnect to a restarted server
+  // Consistency auditing (PR-10, append-only wire v2). Pre-Hello callable
+  // and shed-exempt like kMetrics.
+  kAudit = 32,  ///< body: empty; response: auditor report json string
 };
 
 std::string_view MethodName(Method m);

@@ -1,0 +1,395 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/flight.h"
+
+namespace idba {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* AuditModeName(AuditMode mode) {
+  switch (mode) {
+    case AuditMode::kOff: return "off";
+    case AuditMode::kTrack: return "track";
+    case AuditMode::kStrict: return "strict";
+  }
+  return "off";
+}
+
+bool ParseAuditMode(std::string_view text, AuditMode* out) {
+  if (text == "off") {
+    *out = AuditMode::kOff;
+  } else if (text == "track") {
+    *out = AuditMode::kTrack;
+  } else if (text == "strict") {
+    *out = AuditMode::kStrict;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* AuditInvariantName(AuditInvariant inv) {
+  switch (inv) {
+    case AuditInvariant::kMonotonicity: return "monotonicity";
+    case AuditInvariant::kVisibility: return "visibility";
+    case AuditInvariant::kCoherence: return "coherence";
+  }
+  return "?";
+}
+
+ConsistencyAuditor::ConsistencyAuditor() {
+  MetricsRegistry& reg = GlobalMetrics();
+  checks_ = reg.GetCounter("consistency.checks");
+  violations_ = reg.GetCounter("consistency.violations");
+  monotonicity_violations_ =
+      reg.GetCounter("consistency.monotonicity.violations");
+  visibility_violations_ = reg.GetCounter("consistency.visibility.violations");
+  coherence_violations_ = reg.GetCounter("consistency.coherence.violations");
+  slo_violations_ = reg.GetCounter("consistency.slo.violations");
+  obligations_settled_ = reg.GetCounter("consistency.obligations.settled");
+  staleness_ = reg.GetHistogram("display.staleness_slo_us");
+}
+
+void ConsistencyAuditor::SetMode(AuditMode mode) {
+  mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ConsistencyAuditor::Report(AuditViolation v) {
+  violations_->Add();
+  switch (v.invariant) {
+    case AuditInvariant::kMonotonicity: monotonicity_violations_->Add(); break;
+    case AuditInvariant::kVisibility: visibility_violations_->Add(); break;
+    case AuditInvariant::kCoherence: coherence_violations_->Add(); break;
+  }
+  FlightRecord(FlightType::kAuditViolation, v.oid,
+               static_cast<uint64_t>(v.invariant));
+  IDBA_LOG_FIELDS(LogLevel::kError, "audit", "consistency violation",
+                  {{"invariant", AuditInvariantName(v.invariant)},
+                   {"subscriber", std::to_string(v.subscriber)},
+                   {"oid", std::to_string(v.oid)},
+                   {"observed", std::to_string(v.observed)},
+                   {"expected", std::to_string(v.expected)},
+                   {"trace", std::to_string(v.trace_id)},
+                   {"detail", v.detail}});
+  const bool strict = mode() == AuditMode::kStrict;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (ring_.size() >= kViolationRing) {
+      ring_.erase(ring_.begin());
+      ++ring_dropped_;
+    }
+    ring_.push_back(std::move(v));
+  }
+  if (strict) {
+    // The installed crash handler (idba_serve --flight-dump, chaos harness)
+    // turns this abort into a flight dump whose last event is the
+    // audit.violation recorded above.
+    std::fflush(nullptr);
+    std::abort();
+  }
+}
+
+void ConsistencyAuditor::CheckWatermark(
+    std::unordered_map<uint64_t, int64_t>* map, uint64_t subscriber,
+    uint64_t oid, int64_t commit_vtime, uint64_t trace_id, const char* stream,
+    std::vector<AuditViolation>* out) {
+  auto [it, inserted] = map->emplace(oid, commit_vtime);
+  if (inserted) return;
+  if (commit_vtime < it->second) {
+    AuditViolation v;
+    v.invariant = AuditInvariant::kMonotonicity;
+    v.subscriber = subscriber;
+    v.oid = oid;
+    v.observed = commit_vtime;
+    v.expected = it->second;
+    v.trace_id = trace_id;
+    v.detail = std::string(stream) + " commit vtime regressed";
+    out->push_back(std::move(v));
+    return;  // keep the high watermark
+  }
+  it->second = commit_vtime;
+}
+
+void ConsistencyAuditor::SweepLocked(uint64_t subscriber, SubscriberState* st,
+                                     int64_t local_vtime,
+                                     std::vector<AuditViolation>* out) {
+  for (auto it = st->pending.begin(); it != st->pending.end();) {
+    if (it->second.deadline < local_vtime) {
+      AuditViolation v;
+      v.invariant = AuditInvariant::kVisibility;
+      v.subscriber = subscriber;
+      v.oid = it->first;
+      v.observed = local_vtime;
+      v.expected = it->second.deadline;
+      v.trace_id = it->second.trace_id;
+      v.detail = "commit not reflected within staleness SLO";
+      out->push_back(std::move(v));
+      slo_violations_->Add();
+      it = st->pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConsistencyAuditor::OnNotifyReceived(uint64_t subscriber,
+                                          const uint64_t* oids, size_t n,
+                                          int64_t commit_vtime,
+                                          uint64_t trace_id) {
+  if (!enabled()) return;
+  checks_->Add();
+  std::vector<AuditViolation> found;
+  {
+    Stripe& stripe = StripeFor(subscriber);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SubscriberState& st = stripe.subs[subscriber];
+    for (size_t i = 0; i < n; ++i) {
+      CheckWatermark(&st.observed_watermark, subscriber, oids[i], commit_vtime,
+                     trace_id, "observed", &found);
+    }
+  }
+  for (auto& v : found) Report(std::move(v));
+}
+
+void ConsistencyAuditor::OnNotifyDispatched(uint64_t subscriber,
+                                            const uint64_t* oids, size_t n,
+                                            int64_t commit_vtime,
+                                            int64_t local_vtime,
+                                            uint64_t trace_id) {
+  if (!enabled()) return;
+  checks_->Add();
+  const int64_t slo = staleness_slo_us();
+  std::vector<AuditViolation> found;
+  {
+    Stripe& stripe = StripeFor(subscriber);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SubscriberState& st = stripe.subs[subscriber];
+    SweepLocked(subscriber, &st, local_vtime, &found);
+    for (size_t i = 0; i < n; ++i) {
+      CheckWatermark(&st.observed_watermark, subscriber, oids[i], commit_vtime,
+                     trace_id, "dispatched", &found);
+      if (slo > 0) {
+        auto [it, inserted] = st.pending.emplace(
+            oids[i], Obligation{commit_vtime, local_vtime + slo, trace_id});
+        if (!inserted) {
+          // Earlier commit already pending: keep its (earlier) deadline and
+          // commit vtime — the refresh that settles it shows current state,
+          // which covers this newer commit too.
+          (void)it;
+        }
+      }
+    }
+  }
+  for (auto& v : found) Report(std::move(v));
+}
+
+void ConsistencyAuditor::OnVersionCommitted(uint64_t subscriber, uint64_t oid,
+                                            uint64_t version) {
+  if (!enabled()) return;
+  checks_->Add();
+  Stripe& stripe = StripeFor(subscriber);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  uint64_t& floor = stripe.subs[subscriber].version_floor[oid];
+  if (version > floor) floor = version;
+}
+
+void ConsistencyAuditor::OnViewRefresh(uint64_t subscriber, uint64_t oid,
+                                       uint64_t version, int64_t local_vtime) {
+  if (!enabled()) return;
+  checks_->Add();
+  const int64_t slo = staleness_slo_us();
+  std::vector<AuditViolation> found;
+  {
+    Stripe& stripe = StripeFor(subscriber);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SubscriberState& st = stripe.subs[subscriber];
+    auto ob = st.pending.find(oid);
+    if (ob != st.pending.end()) {
+      // Histogram: end-to-end staleness (commit vtime -> displayed), the
+      // paper-level metric. It includes the virtual wire and queueing
+      // delay, so it has a cost-model floor (~message_base) no client can
+      // beat — which is why the SLO *deadline* is anchored at dispatch
+      // (when this client learned of the commit), not at the commit.
+      staleness_->Record(
+          static_cast<double>(local_vtime - ob->second.commit_vtime));
+      obligations_settled_->Add();
+      if (slo > 0 && local_vtime > ob->second.deadline) {
+        // A late settle is an SLO *miss*, not a correctness violation: the
+        // refresh that settles may merge the server's clock (a refetch
+        // round trip, a Lamport catch-up after the subscriber idled), so
+        // blaming it would abort strict mode on healthy-but-slow paths.
+        // Only an obligation that EXPIRES unsettled — the commit was never
+        // reflected — is a visibility violation (SweepLocked).
+        slo_violations_->Add();
+      }
+      st.pending.erase(ob);
+    }
+    uint64_t& floor = st.version_floor[oid];
+    if (version < floor) {
+      AuditViolation v;
+      v.invariant = AuditInvariant::kCoherence;
+      v.subscriber = subscriber;
+      v.oid = oid;
+      v.observed = static_cast<int64_t>(version);
+      v.expected = static_cast<int64_t>(floor);
+      v.detail = "refresh displayed a version older than a known commit";
+      found.push_back(std::move(v));
+    } else {
+      floor = version;
+    }
+  }
+  for (auto& v : found) Report(std::move(v));
+}
+
+void ConsistencyAuditor::OnResync(uint64_t subscriber) {
+  if (!enabled()) return;
+  Stripe& stripe = StripeFor(subscriber);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.subs.find(subscriber);
+  if (it == stripe.subs.end()) return;
+  // Shed notifications void their obligations; the resync refetch shows
+  // current state. Watermarks and floors stay: same server, same clocks.
+  it->second.pending.clear();
+}
+
+void ConsistencyAuditor::OnSessionReset(uint64_t subscriber) {
+  if (!enabled()) return;
+  Stripe& stripe = StripeFor(subscriber);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.subs.erase(subscriber);
+}
+
+void ConsistencyAuditor::OnNotifySent(uint64_t subscriber,
+                                      const uint64_t* oids, size_t n,
+                                      int64_t commit_vtime,
+                                      uint64_t trace_id) {
+  if (!enabled()) return;
+  checks_->Add();
+  std::vector<AuditViolation> found;
+  {
+    Stripe& stripe = StripeFor(subscriber);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SubscriberState& st = stripe.subs[subscriber];
+    for (size_t i = 0; i < n; ++i) {
+      CheckWatermark(&st.sent_watermark, subscriber, oids[i], commit_vtime,
+                     trace_id, "sent", &found);
+    }
+  }
+  for (auto& v : found) Report(std::move(v));
+}
+
+void ConsistencyAuditor::CheckNow(int64_t local_vtime) {
+  if (!enabled()) return;
+  std::vector<AuditViolation> found;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& [sub, st] : stripe.subs) {
+      SweepLocked(sub, &st, local_vtime, &found);
+    }
+  }
+  for (auto& v : found) Report(std::move(v));
+}
+
+std::vector<AuditViolation> ConsistencyAuditor::Violations() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_;
+}
+
+size_t ConsistencyAuditor::pending_obligations() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [sub, st] : stripe.subs) total += st.pending.size();
+  }
+  return total;
+}
+
+std::string ConsistencyAuditor::ReportJson() const {
+  std::string out = "{";
+  out += "\"mode\":\"" + std::string(AuditModeName(mode())) + "\"";
+  out += ",\"staleness_slo_us\":" + std::to_string(staleness_slo_us());
+  out += ",\"checks_total\":" + std::to_string(checks_->Get());
+  out += ",\"violations_total\":" + std::to_string(violations_->Get());
+  out += ",\"monotonicity_violations\":" +
+         std::to_string(monotonicity_violations_->Get());
+  out += ",\"visibility_violations\":" +
+         std::to_string(visibility_violations_->Get());
+  out += ",\"coherence_violations\":" +
+         std::to_string(coherence_violations_->Get());
+  out += ",\"slo_violations\":" + std::to_string(slo_violations_->Get());
+  out += ",\"obligations_settled\":" +
+         std::to_string(obligations_settled_->Get());
+  out += ",\"pending_obligations\":" + std::to_string(pending_obligations());
+  HistogramSnapshot lag = staleness_->Snapshot();
+  out += ",\"staleness_us\":{\"count\":" + std::to_string(lag.count);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"mean\":%.1f,\"p95\":%.1f,\"max\":%.1f}",
+                lag.mean, lag.p95, lag.max);
+  out += buf;
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  out += ",\"violations_dropped\":" + std::to_string(ring_dropped_);
+  out += ",\"violations\":[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const AuditViolation& v = ring_[i];
+    if (i > 0) out += ",";
+    out += "{\"invariant\":\"" +
+           std::string(AuditInvariantName(v.invariant)) + "\"";
+    out += ",\"subscriber\":" + std::to_string(v.subscriber);
+    out += ",\"oid\":" + std::to_string(v.oid);
+    out += ",\"observed\":" + std::to_string(v.observed);
+    out += ",\"expected\":" + std::to_string(v.expected);
+    out += ",\"trace_id\":" + std::to_string(v.trace_id);
+    out += ",\"detail\":\"" + JsonEscape(v.detail) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ConsistencyAuditor::ResetForTest() {
+  SetMode(AuditMode::kOff);
+  set_staleness_slo_us(0);
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.subs.clear();
+  }
+  checks_->Reset();
+  violations_->Reset();
+  monotonicity_violations_->Reset();
+  visibility_violations_->Reset();
+  coherence_violations_->Reset();
+  slo_violations_->Reset();
+  obligations_settled_->Reset();
+  staleness_->Reset();
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.clear();
+  ring_dropped_ = 0;
+}
+
+ConsistencyAuditor& GlobalAuditor() {
+  static ConsistencyAuditor* auditor = new ConsistencyAuditor();
+  return *auditor;
+}
+
+}  // namespace obs
+}  // namespace idba

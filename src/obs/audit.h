@@ -1,0 +1,265 @@
+// Online consistency auditor: a shadow verifier that rides the virtual-time
+// envelopes the display stack already carries and continuously asserts the
+// cache-coherence contract the paper claims (and Transactional Panorama
+// names): per subscriber and per OID,
+//
+//   monotonicity  observed commit virtual times never regress. Sound
+//                 because commit hooks fire while X-locks are held, so
+//                 per-OID notify order equals commit order, and inbox
+//                 coalescing max-merges commit_vtime. A regression means a
+//                 reordered / replayed / stale notification reached a
+//                 display.
+//   visibility    every committed update to a display-locked object is
+//                 reflected by a view refresh within the configured
+//                 bounded-staleness window (the per-view staleness SLO,
+//                 measured in *virtual* microseconds so results are
+//                 host-speed independent like every other paper metric).
+//                 The SLO deadline is anchored at notification DISPATCH —
+//                 the moment this client learned of the commit — because
+//                 the commit -> arrival leg has a cost-model floor
+//                 (message_base plus wire bytes) no client can influence.
+//                 The display.staleness_slo_us histogram still records the
+//                 full commit -> displayed virtual lag, wire leg included.
+//                 A refresh that settles AFTER its deadline is an SLO miss
+//                 (consistency.slo.violations), not a correctness
+//                 violation: settling proves the commit was reflected, and
+//                 the settle time can include a Lamport catch-up merged
+//                 from the server clock that no client controls. Only an
+//                 obligation that EXPIRES unsettled — the commit was never
+//                 reflected at all — is recorded (and aborts strict mode)
+//                 as a visibility violation.
+//   coherence     a view refresh never shows an object version older than
+//                 one this subscriber already learned was committed (via a
+//                 CALLBACK invalidation or an eagerly shipped image) — the
+//                 observable symptom of mixing two committed snapshots in
+//                 one refresh.
+//
+// The auditor is process-wide (GlobalAuditor()): a client process audits
+// the notify/refresh stream its own views observe; a server process audits
+// the DLM fan-out it sends. Hooks take plain integers (client id, raw oid,
+// vtime, version, trace id) so this layer depends only on idba_common and
+// stays usable from net/core/server without a dependency cycle.
+//
+// Modes: kOff (hooks cost one relaxed load), kTrack (count + record
+// violations, export consistency.* metrics), kStrict (additionally
+// abort() on the first violation — the crash handler then writes the
+// flight dump, which carries the audit.violation event; chaos harness and
+// CI smoke run this mode).
+//
+// Two distinct reset semantics, easy to conflate and wrong if swapped:
+//  - OnResync(subscriber): the server (or a bounded inbox) shed this
+//    subscriber's stream and a full refetch is coming. Same server, same
+//    virtual clocks: watermarks and version floors REMAIN (monotonicity
+//    must hold across the coalesce -> resync ladder); only pending
+//    visibility obligations are dropped (their notifications were shed).
+//  - OnSessionReset(subscriber): the client reconnected; the server may
+//    have restarted with fresh (lower) virtual clocks and re-seeded
+//    versions. Everything known about the subscriber is discarded —
+//    watermarks must be reset, not replayed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace idba {
+namespace obs {
+
+enum class AuditMode : int {
+  kOff = 0,    ///< hooks disabled (one relaxed atomic load)
+  kTrack = 1,  ///< record + count violations, keep serving
+  kStrict = 2, ///< abort() on first violation (flight dump via crash handler)
+};
+
+/// "off" / "track" / "strict".
+const char* AuditModeName(AuditMode mode);
+/// Parses the --audit flag value; false on unknown text.
+bool ParseAuditMode(std::string_view text, AuditMode* out);
+
+enum class AuditInvariant : int {
+  kMonotonicity = 0,
+  kVisibility = 1,
+  kCoherence = 2,
+};
+
+const char* AuditInvariantName(AuditInvariant inv);
+
+/// One detected violation. `observed`/`expected` are invariant-specific:
+/// vtimes for monotonicity/visibility, versions for coherence.
+struct AuditViolation {
+  AuditInvariant invariant = AuditInvariant::kMonotonicity;
+  uint64_t subscriber = 0;
+  uint64_t oid = 0;
+  int64_t observed = 0;
+  int64_t expected = 0;
+  /// Trace id of the offending notification's commit (0 = untraced), so a
+  /// violation joins the writer's spans in TRACE_DUMP output.
+  uint64_t trace_id = 0;
+  std::string detail;
+};
+
+class ConsistencyAuditor {
+ public:
+  ConsistencyAuditor();
+
+  void SetMode(AuditMode mode);
+  AuditMode mode() const {
+    return static_cast<AuditMode>(mode_.load(std::memory_order_relaxed));
+  }
+  bool enabled() const {
+    return mode_.load(std::memory_order_relaxed) !=
+           static_cast<int>(AuditMode::kOff);
+  }
+
+  /// Bounded-staleness window in VIRTUAL microseconds (<= 0 disables the
+  /// visibility deadline; monotonicity/coherence still checked).
+  void set_staleness_slo_us(int64_t slo_us) {
+    slo_us_.store(slo_us, std::memory_order_relaxed);
+  }
+  int64_t staleness_slo_us() const {
+    return slo_us_.load(std::memory_order_relaxed);
+  }
+
+  // --- Hooks (all no-ops when mode == kOff) -------------------------------
+
+  /// A committed update notification reached the subscriber's transport
+  /// (reader thread / in-process inbox). Checks per-OID commit-vtime
+  /// monotonicity only; creates no visibility obligation (a raw client
+  /// with no display pump never refreshes).
+  void OnNotifyReceived(uint64_t subscriber, const uint64_t* oids, size_t n,
+                        int64_t commit_vtime, uint64_t trace_id);
+
+  /// The DLC dispatched a committed update notification to local displays.
+  /// `oids` are the display-locked objects the views will refresh: checks
+  /// monotonicity and opens a visibility obligation per OID (deadline =
+  /// local_vtime + SLO window).
+  void OnNotifyDispatched(uint64_t subscriber, const uint64_t* oids, size_t n,
+                          int64_t commit_vtime, int64_t local_vtime,
+                          uint64_t trace_id);
+
+  /// Subscriber learned `version` of `oid` is committed (CALLBACK
+  /// invalidation or eagerly shipped image): raises the coherence floor.
+  void OnVersionCommitted(uint64_t subscriber, uint64_t oid, uint64_t version);
+
+  /// A view refresh displayed `version` of `oid` at `local_vtime`: settles
+  /// the OID's visibility obligation (recording display.staleness_slo_us;
+  /// a settle past the deadline only bumps consistency.slo.violations) and
+  /// checks the displayed version against the coherence floor.
+  void OnViewRefresh(uint64_t subscriber, uint64_t oid, uint64_t version,
+                     int64_t local_vtime);
+
+  /// Overload resync (same server): drop pending obligations, KEEP
+  /// watermarks and floors — vtimes stay monotonic across the ladder.
+  void OnResync(uint64_t subscriber);
+
+  /// Reconnect (server may have restarted): forget everything about the
+  /// subscriber — watermarks, floors, obligations.
+  void OnSessionReset(uint64_t subscriber);
+
+  /// Server-side (DLM fan-out): a committed update notification was sent
+  /// to `subscriber`. Same per-OID monotonicity contract on the sender.
+  void OnNotifySent(uint64_t subscriber, const uint64_t* oids, size_t n,
+                    int64_t commit_vtime, uint64_t trace_id);
+
+  /// Sweeps all pending visibility obligations against `local_vtime`,
+  /// flagging any whose deadline passed without a settling refresh. The
+  /// hooks sweep lazily per subscriber; call this for a full check (tests,
+  /// AUDIT RPC, shutdown).
+  void CheckNow(int64_t local_vtime);
+
+  // --- Introspection ------------------------------------------------------
+
+  uint64_t violations_total() const { return violations_->Get(); }
+  uint64_t checks_total() const { return checks_->Get(); }
+  /// Copy of the retained violation ring (most recent kViolationRing).
+  std::vector<AuditViolation> Violations() const;
+  size_t pending_obligations() const;
+  /// One JSON object: mode, SLO, counters, pending obligations, and the
+  /// violation ring. Served by the AUDIT admin RPC.
+  std::string ReportJson() const;
+
+  /// Drops all per-subscriber state and the violation ring, resets mode to
+  /// kOff and the SLO to 0, and zeroes the consistency.* counters. Tests
+  /// only.
+  void ResetForTest();
+
+  static constexpr size_t kViolationRing = 64;
+
+ private:
+  struct Obligation {
+    int64_t commit_vtime = 0;  ///< earliest unsettled commit
+    int64_t deadline = 0;      ///< local vtime by which a refresh must land
+    uint64_t trace_id = 0;
+  };
+
+  struct SubscriberState {
+    /// Max committed vtime observed (notify receive/dispatch) per OID.
+    std::unordered_map<uint64_t, int64_t> observed_watermark;
+    /// Max committed vtime sent (DLM fan-out) per OID.
+    std::unordered_map<uint64_t, int64_t> sent_watermark;
+    /// Highest version known committed per OID (coherence floor).
+    std::unordered_map<uint64_t, uint64_t> version_floor;
+    /// Open visibility obligations per OID.
+    std::unordered_map<uint64_t, Obligation> pending;
+  };
+
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, SubscriberState> subs;
+  };
+  static constexpr int kStripes = 8;
+
+  Stripe& StripeFor(uint64_t subscriber) {
+    return stripes_[subscriber % kStripes];
+  }
+
+  /// Records (and in strict mode, dies on) one violation. Called with the
+  /// subscriber's stripe mutex NOT held (it takes ring_mu_).
+  void Report(AuditViolation v);
+
+  /// Checks `commit_vtime` against `(*map)[oid]` and advances it;
+  /// appends a violation to `out` on regression.
+  void CheckWatermark(std::unordered_map<uint64_t, int64_t>* map,
+                      uint64_t subscriber, uint64_t oid, int64_t commit_vtime,
+                      uint64_t trace_id, const char* stream,
+                      std::vector<AuditViolation>* out);
+
+  /// Expires obligations with deadline < local_vtime (stripe mu held).
+  void SweepLocked(uint64_t subscriber, SubscriberState* st,
+                   int64_t local_vtime, std::vector<AuditViolation>* out);
+
+  std::atomic<int> mode_{static_cast<int>(AuditMode::kOff)};
+  std::atomic<int64_t> slo_us_{0};
+
+  Stripe stripes_[kStripes];
+
+  mutable std::mutex ring_mu_;
+  std::vector<AuditViolation> ring_;  ///< bounded at kViolationRing
+  uint64_t ring_dropped_ = 0;
+
+  // Registry counters, cached at construction (constructing the auditor
+  // eagerly registers the consistency.* series, so Prometheus exports them
+  // even before the first check runs).
+  Counter* checks_;
+  Counter* violations_;
+  Counter* monotonicity_violations_;
+  Counter* visibility_violations_;
+  Counter* coherence_violations_;
+  Counter* slo_violations_;
+  Counter* obligations_settled_;
+  Histogram* staleness_;
+};
+
+/// The process-wide auditor every hook records into. idba_serve --audit and
+/// test fixtures set its mode; the AUDIT admin RPC serves its report.
+ConsistencyAuditor& GlobalAuditor();
+
+}  // namespace obs
+}  // namespace idba

@@ -113,6 +113,7 @@ const char* FlightTypeName(FlightType type) {
     case FlightType::kWalFlushFail: return "wal.flush_fail";
     case FlightType::kLockWait: return "lock.wait";
     case FlightType::kStall: return "stall";
+    case FlightType::kAuditViolation: return "audit.violation";
   }
   return "?";
 }

@@ -18,6 +18,9 @@
 //   wal.flush_fail    a=target lsn              b=flush µs
 //   lock.wait         a=oid                     b=waited µs
 //   stall             a=stalled slot id         b=stalled ms
+//   audit.violation   a=oid                     b=invariant (0 monotonicity
+//                                                 / 1 visibility
+//                                                 / 2 coherence)
 //
 // Recording is wait-free for the owning thread: one relaxed index bump and
 // four relaxed atomic stores into a statically allocated ring (no
@@ -48,6 +51,7 @@ enum class FlightType : uint8_t {
   kWalFlushFail = 10,
   kLockWait = 11,
   kStall = 12,
+  kAuditViolation = 13,
 };
 
 /// Stable text name ("frame.in", "wal.flush_end", ...); "?" for torn slots.

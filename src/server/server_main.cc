@@ -58,6 +58,18 @@
 //   --flight-dump PATH
 //                     where crash/stall flight-recorder dumps are written
 //                     (default idba_flight.<pid>.dump in the cwd)
+//   --audit off|track|strict
+//                     online consistency auditor (DESIGN.md §15): track
+//                     records violations of the monotonicity / visibility
+//                     / coherence invariants into consistency.* metrics
+//                     and the AUDIT admin RPC; strict additionally aborts
+//                     with a flight dump on the first violation (chaos
+//                     harness / CI smoke). Default off
+//   --staleness-slo-ms N
+//                     per-view staleness SLO: a commit touching a
+//                     display-locked object must be reflected by the
+//                     subscriber's view within N virtual milliseconds
+//                     (default 100; 0 disables the visibility deadline)
 //   --data-dir PATH   durable mode: heap pages and WAL live in PATH
 //                     (data.idb / wal.idb, created on first boot). Boot
 //                     replays the WAL — committed transactions survive a
@@ -92,6 +104,7 @@
 #include "net/tcp_server.h"
 #include "server/checkpointer.h"
 #include "server/durable.h"
+#include "obs/audit.h"
 #include "obs/flight.h"
 #include "obs/profiler.h"
 #include "obs/prom_http.h"
@@ -122,6 +135,8 @@ int main(int argc, char** argv) {
   long worker_threads = 0;
   long profile_hz = 0;      // 0 = profiler idle until the PROFILE RPC
   long watchdog_ms = 1000;  // 0 = watchdog off
+  std::string audit_mode_text = "off";
+  long staleness_slo_ms = 100;  // visibility SLO window (virtual ms)
   std::string flight_dump_path;
   std::string slow_subscriber_policy;
   std::string data_dir;
@@ -191,6 +206,15 @@ int main(int argc, char** argv) {
                      slow_subscriber_policy.c_str());
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--audit") == 0 && i + 1 < argc) {
+      audit_mode_text = argv[++i];
+    } else if (std::strncmp(argv[i], "--audit=", 8) == 0) {
+      audit_mode_text = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--staleness-slo-ms") == 0 &&
+               i + 1 < argc) {
+      staleness_slo_ms = std::atol(argv[++i]);
+    } else if (std::strncmp(argv[i], "--staleness-slo-ms=", 19) == 0) {
+      staleness_slo_ms = std::atol(argv[i] + 19);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--bind ADDR] [--idle-timeout MS] "
@@ -202,7 +226,8 @@ int main(int argc, char** argv) {
                    "[--watchdog-ms N] [--flight-dump PATH] "
                    "[--data-dir PATH] [--checkpoint-interval-ms N] "
                    "[--checkpoint-wal-bytes N] "
-                   "[--slow-subscriber-policy coalesce|resync|disconnect]\n",
+                   "[--slow-subscriber-policy coalesce|resync|disconnect] "
+                   "[--audit off|track|strict] [--staleness-slo-ms N]\n",
                    argv[0]);
       return 2;
     }
@@ -211,6 +236,17 @@ int main(int argc, char** argv) {
     idba::obs::SetTraceSampleEvery(static_cast<uint32_t>(trace_every));
     idba::obs::SetTraceSampling(true);
   }
+  // Touch the auditor unconditionally so its consistency.* series exist in
+  // the registry (and therefore in Prometheus output) even in off mode.
+  idba::obs::ConsistencyAuditor& auditor = idba::obs::GlobalAuditor();
+  idba::obs::AuditMode audit_mode = idba::obs::AuditMode::kOff;
+  if (!idba::obs::ParseAuditMode(audit_mode_text, &audit_mode)) {
+    std::fprintf(stderr, "--audit must be off, track or strict (got \"%s\")\n",
+                 audit_mode_text.c_str());
+    return 2;
+  }
+  auditor.set_staleness_slo_us(staleness_slo_ms * idba::kVMillisecond);
+  auditor.SetMode(audit_mode);
 
   // Crash evidence: fatal signals dump the flight rings + raw profiler
   // samples before re-raising. SIGPIPE is ignored here as well as in

@@ -26,6 +26,9 @@
 //   ./idba_stat --connect 127.0.0.1:7450 --flight flight.dump
 //                                    # fetch the flight recorder's
 //                                    # per-thread recent-event rings
+//   ./idba_stat --connect 127.0.0.1:7450 --audit
+//                                    # fetch the consistency auditor's
+//                                    # report (mode, SLO, violation ring)
 //
 // The text report covers transport counters, connected sessions (with
 // negotiated wire version), the display-lock table, the slow-RPC ring
@@ -134,6 +137,7 @@ int main(int argc, char** argv) {
   long profile_hz = 99;
   bool flight = false;
   std::string flight_path = "-";
+  bool audit = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect = argv[++i];
@@ -184,13 +188,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--flight") == 0) {
       flight = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      audit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --connect HOST:PORT [--json | --stats-json | "
                    "--locks | --caches | --prom] [--watch SECS "
                    "[--watch-count N]] [--trace FILE | --trace-jsonl FILE] "
                    "[--clear] [--profile [SECS] [--profile-hz HZ]] "
-                   "[--flight [FILE]]\n",
+                   "[--flight [FILE]] [--audit]\n",
                    argv[0]);
       return 2;
     }
@@ -244,6 +250,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "idba_stat: %s\n", status.c_str());
     }
     std::fputs(folded.c_str(), stdout);
+    return 0;
+  }
+
+  if (audit) {
+    std::vector<uint8_t> body;
+    std::string report;
+    st = AdminCall(sock.value(), idba::wire::Method::kAudit, body, &report);
+    if (!st.ok()) return Fail(st, "AUDIT");
+    std::fputs(report.c_str(), stdout);
+    if (report.empty() || report.back() != '\n') std::fputc('\n', stdout);
     return 0;
   }
 

@@ -222,6 +222,28 @@ void RenderFrame(const std::string& target, const PromSamples& cur,
               DeltaOf(cur, prev, "idba_overload_notify_overflows_total"),
               DeltaOf(cur, prev, "idba_overload_forced_resyncs_total"),
               DeltaOf(cur, prev, "idba_overload_slow_disconnects_total"));
+
+  // --- consistency auditor ----------------------------------------------
+  {
+    const PromHistogram ch = ExtractHistogram(cur, "idba_display_staleness_slo_us");
+    const PromHistogram ph =
+        prev.empty() ? PromHistogram{}
+                     : ExtractHistogram(prev, "idba_display_staleness_slo_us");
+    std::printf("\nAUDIT      checks%s %.1f   violations %.0f (mono %.0f "
+                "vis %.0f coh %.0f)   slo misses %.0f   settled%s %.1f   "
+                "staleness p50 %.0f vus   p99 %.0f vus\n",
+                windowed ? "/s" : "",
+                DeltaOf(cur, prev, "idba_consistency_checks_total") / div,
+                SampleOr0(cur, "idba_consistency_violations_total"),
+                SampleOr0(cur, "idba_consistency_monotonicity_violations_total"),
+                SampleOr0(cur, "idba_consistency_visibility_violations_total"),
+                SampleOr0(cur, "idba_consistency_coherence_violations_total"),
+                SampleOr0(cur, "idba_consistency_slo_violations_total"),
+                windowed ? "/s" : "",
+                DeltaOf(cur, prev, "idba_consistency_obligations_settled_total") /
+                    div,
+                QuantileOfDelta(ch, ph, 0.50), QuantileOfDelta(ch, ph, 0.99));
+  }
   std::fflush(stdout);
 }
 

@@ -1,0 +1,337 @@
+// Unit and integration tests for the online consistency auditor
+// (obs/audit.h): watermark monotonicity across the two reset semantics
+// (overload resync vs session reset), the coherence version floor,
+// visibility obligations against the per-view staleness SLO, strict-mode
+// abort, the bounded violation ring / JSON report, and — end to end — an
+// injected stale-view fault (a suppressed update dispatch) detected as a
+// visibility violation carrying the offending commit's trace id.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/vtime.h"
+#include "core/session.h"
+#include "nms/display_classes.h"
+#include "nms/network_model.h"
+#include "obs/audit.h"
+#include "obs/trace.h"
+
+namespace idba {
+namespace {
+
+using obs::AuditInvariant;
+using obs::AuditMode;
+using obs::AuditViolation;
+using obs::ConsistencyAuditor;
+using obs::GlobalAuditor;
+
+/// Every test drives the process-global auditor (the hooks in dlc/dlm/net
+/// record into it); the fixture brackets each test with a full reset.
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalAuditor().ResetForTest();
+    GlobalAuditor().SetMode(AuditMode::kTrack);
+  }
+  void TearDown() override { GlobalAuditor().ResetForTest(); }
+};
+
+TEST_F(AuditTest, ParseAuditModeRoundTrips) {
+  AuditMode mode = AuditMode::kTrack;
+  EXPECT_TRUE(obs::ParseAuditMode("off", &mode));
+  EXPECT_EQ(mode, AuditMode::kOff);
+  EXPECT_TRUE(obs::ParseAuditMode("track", &mode));
+  EXPECT_EQ(mode, AuditMode::kTrack);
+  EXPECT_TRUE(obs::ParseAuditMode("strict", &mode));
+  EXPECT_EQ(mode, AuditMode::kStrict);
+  EXPECT_FALSE(obs::ParseAuditMode("paranoid", &mode));
+  EXPECT_STREQ(obs::AuditModeName(AuditMode::kStrict), "strict");
+}
+
+TEST_F(AuditTest, HooksAreInertWhenOff) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.SetMode(AuditMode::kOff);
+  const uint64_t oid = 7;
+  auditor.OnNotifyReceived(1, &oid, 1, 100, 0);
+  auditor.OnNotifyReceived(1, &oid, 1, 50, 0);  // regression, but off
+  EXPECT_EQ(auditor.checks_total(), 0u);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+}
+
+TEST_F(AuditTest, MonotonicityRegressionIsDetected) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  const uint64_t oid = 7;
+  auditor.OnNotifyReceived(1, &oid, 1, 100, /*trace_id=*/42);
+  auditor.OnNotifyReceived(1, &oid, 1, 100, 43);  // equal vtime: coalesce ok
+  EXPECT_EQ(auditor.violations_total(), 0u);
+
+  auditor.OnNotifyReceived(1, &oid, 1, 50, 44);  // regression
+  EXPECT_EQ(auditor.violations_total(), 1u);
+  auto violations = auditor.Violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, AuditInvariant::kMonotonicity);
+  EXPECT_EQ(violations[0].subscriber, 1u);
+  EXPECT_EQ(violations[0].oid, oid);
+  EXPECT_EQ(violations[0].observed, 50);
+  EXPECT_EQ(violations[0].expected, 100);
+  EXPECT_EQ(violations[0].trace_id, 44u);
+
+  // The high watermark survives the regression: vtime 60 is still stale.
+  auditor.OnNotifyReceived(1, &oid, 1, 60, 45);
+  EXPECT_EQ(auditor.violations_total(), 2u);
+}
+
+TEST_F(AuditTest, SentAndObservedStreamsAreIndependent) {
+  // DLM (sender) and DLC (receiver) can share a process — and therefore
+  // the global auditor. The server-side send watermark must not poison
+  // the client-side observe watermark for the same subscriber/OID.
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  const uint64_t oid = 9;
+  auditor.OnNotifySent(1, &oid, 1, 100, 0);
+  auditor.OnNotifyReceived(1, &oid, 1, 50, 0);  // arrives later, lower: fine
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  auditor.OnNotifySent(1, &oid, 1, 90, 0);  // sender-side regression
+  EXPECT_EQ(auditor.violations_total(), 1u);
+}
+
+TEST_F(AuditTest, SessionResetForgetsWatermarksResyncKeepsThem) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(10 * kVMillisecond);
+  const uint64_t oid = 7;
+
+  // Overload resync: obligations are dropped (their notifications were
+  // shed), but the watermark REMAINS — same server, same virtual clocks.
+  auditor.OnNotifyDispatched(1, &oid, 1, /*commit_vtime=*/100,
+                             /*local_vtime=*/100, 0);
+  EXPECT_EQ(auditor.pending_obligations(), 1u);
+  auditor.OnResync(1);
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+  auditor.OnNotifyReceived(1, &oid, 1, 50, 0);  // regression past a resync
+  EXPECT_EQ(auditor.violations_total(), 1u);
+
+  // Session reset: the server may have restarted with fresh clocks —
+  // everything about the subscriber is forgotten, so vtime 10 is clean.
+  auditor.OnSessionReset(1);
+  auditor.OnNotifyReceived(1, &oid, 1, 10, 0);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+}
+
+TEST_F(AuditTest, CoherenceFloorFlagsStaleDisplayedVersion) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  const uint64_t oid = 7;
+  auditor.OnVersionCommitted(1, oid, 5);  // invalidation callback: v5 exists
+  auditor.OnViewRefresh(1, oid, /*version=*/4, /*local_vtime=*/0);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+  auto violations = auditor.Violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, AuditInvariant::kCoherence);
+  EXPECT_EQ(violations[0].observed, 4);
+  EXPECT_EQ(violations[0].expected, 5);
+
+  // Displaying v5 is fine and v6 raises the floor; v5 afterwards is stale.
+  auditor.OnViewRefresh(1, oid, 5, 0);
+  auditor.OnViewRefresh(1, oid, 6, 0);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+  auditor.OnViewRefresh(1, oid, 5, 0);
+  EXPECT_EQ(auditor.violations_total(), 2u);
+}
+
+TEST_F(AuditTest, ObligationSettledWithinSloRecordsStaleness) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(50 * kVMillisecond);
+  const uint64_t oid = 7;
+  auditor.OnNotifyDispatched(1, &oid, 1, /*commit_vtime=*/1000,
+                             /*local_vtime=*/2000, 0);
+  EXPECT_EQ(auditor.pending_obligations(), 1u);
+  auditor.OnViewRefresh(1, oid, 1, /*local_vtime=*/3000);  // within deadline
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  // The report carries the settle and the end-to-end staleness sample
+  // (3000 - 1000 virtual us, commit -> displayed).
+  std::string report = auditor.ReportJson();
+  EXPECT_NE(report.find("\"obligations_settled\":1"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"staleness_us\":{\"count\":1"), std::string::npos)
+      << report;
+}
+
+TEST_F(AuditTest, LateSettleCountsAnSloMissWithoutViolation) {
+  // A refresh that lands after the deadline is an SLO *miss*
+  // (consistency.slo.violations), not a correctness violation: settling
+  // proves the commit WAS reflected, and the settle time may include a
+  // Lamport clock catch-up the client cannot control. Only an obligation
+  // that expires unsettled becomes a visibility violation.
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(50 * kVMillisecond);
+  const uint64_t oid = 7;
+  auditor.OnNotifyDispatched(1, &oid, 1, 1000, /*local_vtime=*/2000,
+                             /*trace_id=*/77);
+  // Refresh lands, but only after the dispatch-anchored deadline passed.
+  auditor.OnViewRefresh(1, oid, 1,
+                        /*local_vtime=*/2000 + 60 * kVMillisecond);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+  std::string report = auditor.ReportJson();
+  EXPECT_NE(report.find("\"slo_violations\":1"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"obligations_settled\":1"), std::string::npos)
+      << report;
+}
+
+TEST_F(AuditTest, UnsettledObligationExpiresOnSweep) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(10 * kVMillisecond);
+  const uint64_t oid = 7;
+  auditor.OnNotifyDispatched(1, &oid, 1, 1000, /*local_vtime=*/1000,
+                             /*trace_id=*/88);
+  auditor.CheckNow(/*local_vtime=*/1000 + 5 * kVMillisecond);  // not yet due
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  auditor.CheckNow(1000 + 20 * kVMillisecond);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+  EXPECT_EQ(auditor.pending_obligations(), 0u);  // expired, not leaked
+  auto violations = auditor.Violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, AuditInvariant::kVisibility);
+  EXPECT_EQ(violations[0].trace_id, 88u);
+  // A second sweep finds nothing new.
+  auditor.CheckNow(1000 + 40 * kVMillisecond);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+}
+
+TEST_F(AuditTest, DuplicateDispatchKeepsTheEarliestObligation) {
+  // Two commits dispatched before any refresh: the obligation keeps the
+  // FIRST commit's deadline — the view owes the user the older update
+  // first, and the refresh that settles it shows current state anyway.
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(10 * kVMillisecond);
+  const uint64_t oid = 7;
+  auditor.OnNotifyDispatched(1, &oid, 1, 1000, /*local_vtime=*/1000, 0);
+  auditor.OnNotifyDispatched(1, &oid, 1, 2000, /*local_vtime=*/2000, 0);
+  EXPECT_EQ(auditor.pending_obligations(), 1u);
+  // Past the first deadline (11 vms) but not the second (12 vms): the
+  // first commit's obligation governs, so this is already a violation.
+  auditor.CheckNow(1000 + 11 * kVMillisecond + 500);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+}
+
+TEST_F(AuditTest, ViolationRingIsBoundedAndReportedAsJson) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  const uint64_t oid = 7;
+  auditor.OnNotifyReceived(1, &oid, 1, 1000000, 0);
+  const size_t excess = 6;
+  for (size_t i = 0; i < ConsistencyAuditor::kViolationRing + excess; ++i) {
+    auditor.OnNotifyReceived(1, &oid, 1, static_cast<int64_t>(i), 0);
+  }
+  EXPECT_EQ(auditor.violations_total(),
+            ConsistencyAuditor::kViolationRing + excess);
+  EXPECT_EQ(auditor.Violations().size(), ConsistencyAuditor::kViolationRing);
+  std::string report = auditor.ReportJson();
+  EXPECT_NE(report.find("\"mode\":\"track\""), std::string::npos);
+  EXPECT_NE(report.find("\"violations_dropped\":6"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"invariant\":\"monotonicity\""), std::string::npos);
+  EXPECT_NE(report.find("commit vtime regressed"), std::string::npos);
+}
+
+TEST_F(AuditTest, StrictModeAbortsOnViolation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  const uint64_t oid = 7;
+  auditor.OnNotifyReceived(1, &oid, 1, 100, 0);
+  EXPECT_DEATH(
+      {
+        auditor.SetMode(AuditMode::kStrict);
+        auditor.OnNotifyReceived(1, &oid, 1, 50, 0);
+      },
+      "");
+  // The parent process (fork-based death test) is untouched.
+  EXPECT_EQ(auditor.violations_total(), 0u);
+}
+
+// --- End to end: an injected stale-view fault is caught, with trace id ----
+//
+// A real in-process deployment with an NMS view. The fault: the DLC
+// swallows one committed update dispatch AFTER the auditor has observed it
+// (TestSuppressUpdateDispatches), so the display keeps showing the old
+// value — exactly the class of silent staleness bug the auditor exists to
+// catch. The resulting violation must identify the subscriber and OID and
+// carry the offending commit's trace id (the commit runs under a forced
+// root span, which the notification bus stamps into the envelope).
+TEST_F(AuditTest, InjectedStaleViewFaultIsDetectedWithTraceId) {
+  ConsistencyAuditor& auditor = GlobalAuditor();
+  auditor.set_staleness_slo_us(50 * kVMillisecond);
+
+  Deployment dep;
+  NmsConfig config;
+  config.num_nodes = 8;
+  config.sites = 1;
+  config.buildings_per_site = 1;
+  config.racks_per_building = 1;
+  config.devices_per_rack = 1;
+  NmsDatabase db = PopulateNms(&dep.server(), config).value();
+  NmsDisplayClasses dcs =
+      RegisterNmsDisplayClasses(&dep.display_schema(), dep.server().schema(),
+                                db.schema)
+          .value();
+
+  auto viewer = dep.NewSession(100);
+  auto writer = dep.NewSession(101);
+  ActiveView* view = viewer->CreateView("links");
+  const DisplayClassDef* dc = dep.display_schema().Find(dcs.color_coded_link);
+  ASSERT_NE(dc, nullptr);
+  Oid oid = db.link_oids[0];
+  ASSERT_TRUE(view->Materialize(dc, {oid}).ok());
+
+  auto commit_utilization = [&](double value) {
+    Result<TxnId> t = writer->client().BeginTxn();
+    ASSERT_TRUE(t.ok());
+    DatabaseObject obj = writer->client().Read(t.value(), oid).value();
+    ASSERT_TRUE(
+        obj.SetByName(writer->client().schema(), "Utilization", Value(value))
+            .ok());
+    ASSERT_TRUE(writer->client().Write(t.value(), std::move(obj)).ok());
+    ASSERT_TRUE(writer->client().Commit(t.value()).ok());
+  };
+
+  // Healthy round: commit, pump, refresh — the obligation settles inside
+  // the SLO window and nothing is flagged.
+  commit_utilization(0.25);
+  EXPECT_EQ(viewer->PumpOnce(), 1);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+  EXPECT_NE(auditor.ReportJson().find("\"obligations_settled\":1"),
+            std::string::npos);
+
+  // Fault round: the next dispatch is swallowed after the auditor saw it.
+  viewer->dlc().TestSuppressUpdateDispatches(1);
+  {
+    obs::Span span = obs::Span::StartRoot("audit_test.stale_commit",
+                                          /*force=*/true);
+    commit_utilization(0.75);
+  }
+  viewer->PumpOnce();
+
+  // The fault is real: the display still shows the pre-commit value.
+  auto dobs = view->display_objects();
+  ASSERT_EQ(dobs.size(), 1u);
+  EXPECT_EQ(dobs[0]->Get("Utilization").value(), Value(0.25));
+  // ...and the auditor holds an unsettled obligation, not yet a violation.
+  EXPECT_EQ(auditor.pending_obligations(), 1u);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+
+  // Once the (virtual) deadline passes, the sweep flags the stale view.
+  auditor.CheckNow(viewer->client().clock().Now() + 1000 * kVMillisecond);
+  EXPECT_EQ(auditor.violations_total(), 1u);
+  auto violations = auditor.Violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, AuditInvariant::kVisibility);
+  EXPECT_EQ(violations[0].subscriber, 100u);
+  EXPECT_EQ(violations[0].oid, oid.value);
+  EXPECT_NE(violations[0].trace_id, 0u)
+      << "violation record must join the offending commit's trace";
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+}
+
+}  // namespace
+}  // namespace idba

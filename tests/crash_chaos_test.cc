@@ -10,7 +10,12 @@
 //   - no page-checksum failure is ever observed;
 //   - a subscriber's display locks survive via session recovery: after
 //     the final restart, an update to a watched object still produces a
-//     notification on the reconnected subscriber.
+//     notification on the reconnected subscriber;
+//   - the consistency auditor stays green in STRICT mode on both sides:
+//     the server runs --audit=strict (any fan-out vtime regression aborts
+//     it, which the harness would see as a failed restart/scan), and the
+//     client process audits its own notify stream, with Reconnect()
+//     resetting watermarks so post-restart vtimes don't false-positive.
 //
 // The server binary comes from IDBA_SERVE_BIN (injected by CMake); the
 // cycle count and seed are overridable via IDBA_CHAOS_CYCLES and
@@ -41,6 +46,7 @@
 #include "nms/network_model.h"
 #include "objectmodel/object.h"
 #include "objectmodel/oid.h"
+#include "obs/audit.h"
 #include "tools/admin_call.h"
 
 namespace idba {
@@ -84,7 +90,8 @@ class ServerProcess {
       std::vector<std::string> args = {bin,        "--port",
                                        std::to_string(port), "--data-dir",
                                        data_dir,   "--checkpoint-interval-ms",
-                                       "50"};
+                                       "50",       "--audit",
+                                       "strict"};
       // CI sets IDBA_CHAOS_FLIGHT_DUMP so a server that dies on its own
       // (not by our SIGKILL) leaves a flight-recorder dump to upload.
       if (const char* dump = std::getenv("IDBA_CHAOS_FLIGHT_DUMP")) {
@@ -162,9 +169,16 @@ class CrashChaosTest : public ::testing::Test {
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::remove((dir_ + "/data.idb").c_str());
     std::remove((dir_ + "/wal.idb").c_str());
+    // This process is the subscriber side: audit its notify stream in
+    // strict mode too (a vtime regression crashes the test, loudly).
+    obs::GlobalAuditor().ResetForTest();
+    obs::GlobalAuditor().SetMode(obs::AuditMode::kStrict);
   }
 
-  void TearDown() override { server_.Kill(); }
+  void TearDown() override {
+    server_.Kill();
+    obs::GlobalAuditor().ResetForTest();
+  }
 
   std::unique_ptr<RemoteDatabaseClient> Connect(ClientId id) {
     RemoteClientOptions opts;
@@ -210,6 +224,23 @@ class CrashChaosTest : public ::testing::Test {
       ASSERT_TRUE(WaitFor([&] { return !subscriber->connected(); }));
       ASSERT_TRUE(subscriber->Reconnect(10).ok());
     }
+  }
+
+  /// Server-side auditor field scraped from the AUDIT admin RPC's JSON
+  /// report (no Hello needed; shed-exempt).
+  int64_t AuditField(const std::string& key) {
+    auto sock = Socket::ConnectTo("127.0.0.1", server_.port(),
+                                  /*connect_timeout_ms=*/5000);
+    if (!sock.ok()) return -1;
+    std::vector<uint8_t> body;
+    std::string report;
+    if (!tools::AdminCall(sock.value(), wire::Method::kAudit, body, &report)
+             .ok()) {
+      return -1;
+    }
+    size_t at = report.find("\"" + key + "\":");
+    if (at == std::string::npos) return -1;
+    return std::atoll(report.c_str() + at + key.size() + 3);
   }
 
   /// Counter value scraped from the admin STATS JSON (no Hello needed).
@@ -443,6 +474,11 @@ TEST_F(CrashChaosTest, KillLoopLosesNoCommittedWork) {
   EXPECT_EQ(seen.value().GetByName(subscriber->schema(), "Value").value(),
             Value(final_value));
 
+  // Server-side strict audit: this server just fanned that update out, so
+  // its auditor demonstrably ran — and found nothing.
+  EXPECT_GT(AuditField("checks_total"), 0);
+  EXPECT_EQ(AuditField("violations_total"), 0);
+
   // Bounded recovery: give the background checkpointer (50 ms interval)
   // time to truncate, then crash an idle server. Replay must be a handful
   // of records regardless of how much history the loop accumulated.
@@ -454,6 +490,13 @@ TEST_F(CrashChaosTest, KillLoopLosesNoCommittedWork) {
   Result<std::vector<DatabaseObject>> final_scan = writer->ScanClass(cls);
   ASSERT_TRUE(final_scan.ok());
   EXPECT_EQ(final_scan.value().size(), committed.size());
+
+  // Client-side strict audit: this process watched every notification it
+  // received across all restarts (a violation would have aborted us long
+  // before this line — the counters make the pass explicit).
+  EXPECT_GT(obs::GlobalAuditor().checks_total(), 0u)
+      << "chaos loop never exercised the client-side auditor";
+  EXPECT_EQ(obs::GlobalAuditor().violations_total(), 0u);
 }
 
 }  // namespace

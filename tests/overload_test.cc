@@ -19,6 +19,7 @@
 #include "net/tcp_server.h"
 #include "nms/display_classes.h"
 #include "nms/network_model.h"
+#include "obs/audit.h"
 
 namespace idba {
 namespace {
@@ -395,6 +396,104 @@ TEST(InProcessOverload, InboxOverflowForcesViewResync) {
   auto dobs = view->display_objects();
   ASSERT_EQ(dobs.size(), 1u);
   EXPECT_EQ(dobs[0]->Get("Utilization").value(), Value(0.3));
+}
+
+// --- Regression: the whole coalesce -> resync ladder under strict audit ---
+//
+// Both shedding rungs run with the consistency auditor in strict mode: the
+// coalesce rung must hand the display a max-merged commit vtime (never an
+// older one), and the overflow -> forced-resync rung must keep per-OID
+// vtimes monotonic across the shed (OnResync drops obligations but KEEPS
+// watermarks). Any regression aborts the process via the strict auditor;
+// the explicit counter checks make the pass visible, not just survived.
+TEST(InProcessOverload, CoalesceResyncLadderIsMonotoneUnderStrictAudit) {
+  obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+  auditor.ResetForTest();
+  auditor.set_staleness_slo_us(100 * kVMillisecond);
+  auditor.SetMode(obs::AuditMode::kStrict);
+
+  NmsConfig config;
+  config.num_nodes = 8;
+  config.sites = 1;
+  config.buildings_per_site = 1;
+  config.racks_per_building = 1;
+  config.devices_per_rack = 1;
+
+  // Rung 1: aggressive coalescing. Six commits merge into one envelope;
+  // the dispatched vtime must be the max (a min- or first-merge would trip
+  // the watermark the eager per-commit OnNotifySent hooks already set).
+  {
+    Deployment dep;
+    NmsDatabase db = PopulateNms(&dep.server(), config).value();
+    NmsDisplayClasses dcs =
+        RegisterNmsDisplayClasses(&dep.display_schema(), dep.server().schema(),
+                                  db.schema)
+            .value();
+    DatabaseClientOptions viewer_opts;
+    viewer_opts.inbox.max_pending = 8;
+    viewer_opts.inbox.coalesce_watermark = 1;
+    auto viewer = dep.NewSession(100, viewer_opts);
+    auto writer = dep.NewSession(101);
+    ActiveView* view = viewer->CreateView("links");
+    const DisplayClassDef* dc = dep.display_schema().Find(dcs.color_coded_link);
+    ASSERT_NE(dc, nullptr);
+    Oid oid = db.link_oids[0];
+    ASSERT_TRUE(view->Materialize(dc, {oid}).ok());
+    for (int i = 1; i <= 6; ++i) {
+      ASSERT_TRUE(CommitUtilization(&writer->client(), oid, i / 10.0).ok());
+    }
+    EXPECT_GE(viewer->client().inbox().coalesced(), 5u);
+    EXPECT_EQ(viewer->PumpOnce(), 1);
+    EXPECT_EQ(view->refreshes(), 1u);
+  }
+
+  // The fresh Deployment below is a new server universe with fresh
+  // (lower) virtual clocks — the same situation as reconnecting to a
+  // restarted server — so apply the reconnect semantics: forget both
+  // subscribers. Without this the rung-1 sent watermark would trip a
+  // false monotonicity violation on rung 2's first commit.
+  auditor.OnSessionReset(100);
+  auditor.OnSessionReset(101);
+
+  // Rung 2: overflow -> shed -> forced resync (early notify interleaves
+  // non-coalescible kinds). The resync's full refetch must still observe
+  // vtimes/versions at or above everything the subscriber already saw.
+  {
+    DeploymentOptions dep_opts;
+    dep_opts.dlm.protocol = NotifyProtocol::kEarlyNotify;
+    Deployment dep(dep_opts);
+    NmsDatabase db = PopulateNms(&dep.server(), config).value();
+    NmsDisplayClasses dcs =
+        RegisterNmsDisplayClasses(&dep.display_schema(), dep.server().schema(),
+                                  db.schema)
+            .value();
+    DatabaseClientOptions viewer_opts;
+    viewer_opts.inbox.max_pending = 2;
+    auto viewer = dep.NewSession(100, viewer_opts);
+    auto writer = dep.NewSession(101);
+    ActiveView* view = viewer->CreateView("links");
+    const DisplayClassDef* dc = dep.display_schema().Find(dcs.color_coded_link);
+    ASSERT_NE(dc, nullptr);
+    Oid oid = db.link_oids[0];
+    ASSERT_TRUE(view->Materialize(dc, {oid}).ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(CommitUtilization(&writer->client(), oid, i / 10.0).ok());
+    }
+    EXPECT_GE(viewer->client().inbox().overflows(), 1u);
+    viewer->PumpOnce();
+    EXPECT_GE(view->resyncs(), 1u);
+    // A second pump cycle after the resync: later commits must dispatch
+    // cleanly against the watermarks the pre-shed stream established.
+    for (int i = 4; i <= 5; ++i) {
+      ASSERT_TRUE(CommitUtilization(&writer->client(), oid, i / 10.0).ok());
+      viewer->PumpOnce();
+    }
+  }
+
+  EXPECT_GT(auditor.checks_total(), 0u);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  EXPECT_EQ(auditor.pending_obligations(), 0u);
+  auditor.ResetForTest();
 }
 
 // --- Escalation hook wiring (the transport's disconnect threshold) --------

@@ -18,6 +18,7 @@
 #include "net/remote_client.h"
 #include "net/tcp_server.h"
 #include "nms/network_model.h"
+#include "obs/audit.h"
 
 namespace idba {
 namespace {
@@ -444,6 +445,55 @@ TEST_F(TransportFaultTest, ReconnectReplaysDisplayLocksToRestartedServer) {
   ASSERT_TRUE(
       viewer->Unlock(100, db_.link_oids[1], viewer->clock().Now()).ok());
   EXPECT_EQ(viewer->held_display_locks(), 1u);
+}
+
+// Regression (consistency auditor x session recovery): a reconnect to a
+// RESTARTED deployment synthesizes a RESYNC, but unlike an overload resync
+// the server's virtual clocks started over — post-restart commit vtimes are
+// legitimately LOWER than pre-restart ones. Reconnect() must reset the
+// auditor's per-subscriber watermarks (OnSessionReset), not replay them:
+// with the strict auditor armed, a kept watermark would abort this test on
+// the first post-restart notification.
+TEST_F(TransportFaultTest, RestartThenCommitDoesNotTripStrictAuditor) {
+  obs::ConsistencyAuditor& auditor = obs::GlobalAuditor();
+  auditor.ResetForTest();
+  auditor.SetMode(obs::AuditMode::kStrict);
+
+  StartServer();
+  SeedNms();
+  auto viewer = Connect(100);
+  auto writer = Connect(101);
+  ASSERT_NE(viewer, nullptr);
+  ASSERT_NE(writer, nullptr);
+  Oid watched = db_.link_oids[0];
+  ASSERT_TRUE(viewer->Lock(100, watched, viewer->clock().Now()).ok());
+
+  // Pre-restart stream: several commits drive the watched OID's observed
+  // commit vtime well above zero on both the sender and receiver side.
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(UpdateUtilization(writer.get(), watched, i / 10.0).ok());
+  }
+  ASSERT_TRUE(WaitFor([&] { return viewer->notifications_received() >= 5; }));
+
+  // Full server-process restart: fresh deployment, fresh virtual clocks,
+  // same port. Both sessions reconnect; the viewer's lock replay must be
+  // preceded by an auditor session reset.
+  RestartDeployment();
+  ASSERT_TRUE(WaitFor([&] { return !viewer->connected(); }));
+  ASSERT_TRUE(WaitFor([&] { return !writer->connected(); }));
+  ASSERT_TRUE(viewer->Reconnect().ok());
+  ASSERT_TRUE(writer->Reconnect().ok());
+
+  // Post-restart commit: its vtime is far below the pre-restart watermark.
+  // With the reset this is clean; without it, strict audit aborts here.
+  uint64_t notified_before = viewer->notifications_received();
+  ASSERT_TRUE(UpdateUtilization(writer.get(), watched, 0.9).ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return viewer->notifications_received() > notified_before; }));
+
+  EXPECT_GT(auditor.checks_total(), 0u);
+  EXPECT_EQ(auditor.violations_total(), 0u);
+  auditor.ResetForTest();
 }
 
 TEST_F(TransportFaultTest, ReconnectWhileConnectedIsRefused) {
